@@ -1,0 +1,76 @@
+"""Figure 6 — Dafny verification time vs number of time steps T.
+
+Paper (§6.1, Figure 6): with loops unrolled and methods inlined (no
+invariants available), verification time grows *exponentially* with
+the modeled time horizon T.
+
+We regenerate the curve by running the Dafny-style back end in its
+monolithic (unroll + inline) mode on the buggy FQ scheduler at
+increasing horizons and timing the VC discharge.  The absolute numbers
+depend on our SAT solver, but the shape — superlinear, roughly
+geometric growth per added step — is the figure's finding and is
+asserted below.
+
+Set ``REPRO_BENCH_DEEP=1`` for the full T range (1..6).
+"""
+
+import pytest
+
+from repro.backends.dafny import DafnyBackend
+from repro.compiler.symexec import EncodeConfig
+from repro.netmodels.schedulers import fq_buggy
+from repro.smt.terms import mk_le
+
+from conftest import fig6_horizons
+
+CONFIG = EncodeConfig(buffer_capacity=5, arrivals_per_step=2)
+
+_measured: dict[int, float] = {}
+_clauses: dict[int, int] = {}
+
+
+def total_work_query(view):
+    """The discharged VC: total dequeues never exceed total enqueues."""
+    deq = view.deq_p("ibs[0]") + view.deq_p("ibs[1]")
+    enq = view.enq_p("ibs[0]") + view.enq_p("ibs[1]")
+    return mk_le(deq, enq)
+
+
+@pytest.mark.parametrize("horizon", list(fig6_horizons()))
+def test_fig6_point(benchmark, horizon):
+    dafny = DafnyBackend(fq_buggy(2), config=CONFIG)
+
+    def verify():
+        return dafny.verify_monolithic(
+            horizon, queries=[("total_work", total_work_query)]
+        )
+
+    report = benchmark.pedantic(verify, rounds=1, iterations=1)
+    assert report.ok
+    _measured[horizon] = report.elapsed_seconds
+    _clauses[horizon] = report.vcs[0].cnf_clauses
+
+
+def test_fig6_shape(benchmark, results_table):
+    """The curve must be superlinear (Figure 6's exponential blow-up)."""
+    horizons = sorted(_measured)
+    assert len(horizons) >= 3, "run after the per-point benches"
+    benchmark.pedantic(lambda: sorted(_measured), rounds=1, iterations=1)
+    lines = [f"{'T':>2s} {'verify time':>12s} {'VC clauses':>11s}"]
+    for t in horizons:
+        lines.append(f"{t:2d} {_measured[t]:10.3f}s {_clauses[t]:11d}")
+    ratios = [
+        _measured[b] / max(_measured[a], 1e-9)
+        for a, b in zip(horizons, horizons[1:])
+    ]
+    lines.append(
+        "per-step growth factors: "
+        + ", ".join(f"{r:.1f}x" for r in ratios)
+    )
+    lines.append("paper: exponential growth with T (Figure 6)")
+    results_table["Figure 6 — monolithic Dafny verification time"] = lines
+
+    # Superlinear growth: the last growth factor exceeds 2x and the
+    # total curve spans more than an order of magnitude.
+    assert ratios[-1] > 2.0
+    assert _measured[horizons[-1]] / max(_measured[horizons[0]], 1e-9) > 10

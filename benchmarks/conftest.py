@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Set ``REPRO_BENCH_DEEP=1`` to run the full parameter ranges (the
+Figure-6 curve up to T=6 takes ~a minute per point at the top end);
+the default ranges keep the whole suite to a few minutes.
+"""
+
+import os
+
+import pytest
+
+DEEP = os.environ.get("REPRO_BENCH_DEEP", "0") == "1"
+
+
+def fig6_horizons():
+    return range(1, 7) if DEEP else range(1, 5)
+
+
+@pytest.fixture(scope="session")
+def results_table():
+    """A session-wide dict benches use to accumulate printable rows."""
+    table: dict = {}
+    yield table
+    if table:
+        print("\n\n===== reproduction summary (paper vs measured) =====")
+        for section, rows in table.items():
+            print(f"\n--- {section} ---")
+            for row in rows:
+                print("  " + row)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Synthesizing interface specifications with Houdini (§5 future work).
+
+The paper's §5 plan — "use the Houdini algorithm with Dafny to
+iteratively refine guesses of interface specifications" — implemented
+end to end:
+
+1. a grammar proposes candidate invariant conjuncts over a scheduler's
+   persistent state (conservation laws, sign facts, capacity bounds,
+   pointer ranges, and some deliberately false ones);
+2. the Houdini loop prunes candidates until the conjunction is
+   inductive;
+3. the synthesized specification then powers *modular* verification —
+   the horizon-independent regime that escapes Figure 6's blow-up —
+   without the user writing a single annotation.
+
+Run:  python examples/invariant_synthesis.py
+"""
+
+from repro import DafnyBackend, EncodeConfig
+from repro.backends.houdini import HoudiniSynthesizer
+from repro.netmodels.schedulers import round_robin
+from repro.smt.terms import mk_int, mk_le
+
+CONFIG = EncodeConfig(buffer_capacity=3, arrivals_per_step=1)
+
+
+def main() -> None:
+    program = round_robin(2)
+
+    print("=== 1. synthesize the interface specification ===")
+    houdini = HoudiniSynthesizer(program, config=CONFIG)
+    result = houdini.synthesize()
+    print(f"  {result.iterations} Houdini iterations,"
+          f" {result.solver_calls} solver calls,"
+          f" {result.elapsed_seconds:.1f}s")
+    print(f"  synthesized {len(result.invariant)} conjuncts:")
+    for name in result.names():
+        print(f"    - {name}")
+    rejected = [name for name, why in result.dropped]
+    print(f"  rejected {len(rejected)} candidates, e.g."
+          f" {rejected[:3]}")
+    assert "conserve[ob]" in result.names()
+    assert "nxt_le_1" in result.names(), "the RR pointer bound is found"
+
+    print("=== 2. use it for modular verification ===")
+    dafny = DafnyBackend(program, config=CONFIG)
+
+    def bounded_backlog(view):
+        return mk_le(view.backlog_p("ibs[0]"), mk_int(3))
+
+    report = dafny.verify_modular(
+        result.as_invariant(),
+        queries=[("bounded_backlog", bounded_backlog)],
+    )
+    print(f"  modular verification with the synthesized spec:"
+          f" ok={report.ok} in {report.elapsed_seconds:.2f}s")
+    print(f"  VCs: {[vc.name for vc in report.vcs]}")
+    assert report.ok
+    print("all steps passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: model a scheduler in Buffy, simulate it, verify it.
+
+Covers the full workflow in ~60 lines:
+
+1. write a Buffy program (a two-queue strict-priority scheduler),
+2. parse + type-check it,
+3. simulate it on a concrete workload with the reference interpreter,
+4. ask the SMT back end a performance question and decode the answer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EncodeConfig, Interpreter, Packet, SmtBackend, Status
+from repro import check_program, parse_program
+from repro.smt.terms import mk_int, mk_le
+
+SRC = """\
+prio(in buffer[2] ibs, out buffer ob){
+  // Serve the highest-priority non-empty queue, one packet per step.
+  local bool dequeued;
+  dequeued = false;
+  for (i in 0..2) do {
+    if (!dequeued & backlog-p(ibs[i]) > 0) {
+      move-p(ibs[i], ob, 1);
+      dequeued = true;
+    }
+  }
+}
+"""
+
+
+def main() -> None:
+    program = check_program(parse_program(SRC))
+    print(f"parsed and checked {program.name!r}")
+
+    # ---- simulate: queue 0 gets a burst, queue 1 trickles -------------------
+    interp = Interpreter(program)
+    workload = [
+        {"ibs[0]": [Packet(flow=0)] * 3, "ibs[1]": [Packet(flow=1)]},
+        {"ibs[1]": [Packet(flow=1)]},
+        {},
+        {},
+        {},
+    ]
+    interp.run(workload)
+    out_flows = [p.flow for p in interp.buffer("ob").packets()]
+    print(f"simulated 5 steps; output order by flow: {out_flows}")
+    assert out_flows[:3] == [0, 0, 0], "priority queue must drain first"
+
+    # ---- verify: can the low-priority queue ever be served while the
+    # high-priority queue is continuously backlogged? --------------------------
+    backend = SmtBackend(
+        program, horizon=5,
+        config=EncodeConfig(buffer_capacity=5, arrivals_per_step=2),
+    )
+    always_backlogged = [
+        mk_le(mk_int(1), backend.backlog("ibs[0]", t)) for t in range(5)
+    ]
+    q1_served = mk_le(mk_int(1), backend.deq_count("ibs[1]"))
+    result = backend.find_trace(q1_served, extra_assumptions=always_backlogged)
+    print(f"'low-priority served while high backlogged' is {result.status.value}")
+    assert result.status is Status.UNSATISFIABLE, "strict priority violated!"
+
+    # And the converse is easy to witness:
+    result = backend.find_trace(q1_served)
+    assert result.status is Status.SATISFIED
+    print("witness when the constraint is dropped:")
+    print(result.counterexample.describe())
+
+
+if __name__ == "__main__":
+    main()

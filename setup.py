@@ -1,0 +1,5 @@
+"""Shim for editable installs in offline environments lacking the wheel package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — a reproduction of *Buffy: A Formal Language-Based Framework
+for Network Performance Analysis* (HotNets '24).
+
+The package provides:
+
+* :mod:`repro.lang` — the Buffy language: parser, type checker,
+  reference interpreter, pretty printer, and an embedded builder API;
+* :mod:`repro.buffers` — packet buffers at two precision levels
+  (packet-list and per-flow counters), concrete and symbolic;
+* :mod:`repro.compiler` — symbolic execution of Buffy programs into
+  SMT terms, plus program composition by buffer connection;
+* :mod:`repro.backends` — analysis back ends: bounded SMT
+  verification/synthesis, FPerf-style workload synthesis, Dafny-style
+  annotation checking, and a BMC/k-induction model checker;
+* :mod:`repro.smt` — the from-scratch SMT substrate (terms,
+  bit-blasting, CDCL SAT) standing in for Z3;
+* :mod:`repro.netmodels` — the paper's case-study models (FQ-CoDel
+  style schedulers, CCAC's AIMD/path/delay network);
+* :mod:`repro.baselines` — hand-written FPerf-style encodings used as
+  the Table-1 comparison and for cross-validation;
+* :mod:`repro.analysis` — queries, workloads, trace replay, LoC
+  accounting.
+
+Quickstart::
+
+    from repro import parse_program, check_program, SmtBackend
+    from repro.analysis.queries import starvation
+
+    program = check_program(parse_program(SRC, consts={"N": 2}))
+    backend = SmtBackend(program, horizon=6)
+    result = backend.find_trace(starvation(backend, "ibs[0]"))
+"""
+
+from .backends.dafny import DafnyBackend, StateView
+from .backends.fperf import FPerfBackend
+from .backends.mc import ModelChecker
+from .backends.network import NetworkBackend
+from .backends.smt_backend import SmtBackend, Status
+from .buffers.packets import Packet
+from .compiler.composition import ConcreteNetwork, Connection, SymbolicNetwork
+from .compiler.symexec import EncodeConfig, SymbolicMachine
+from .lang.builder import ProgramBuilder
+from .lang.checker import CheckedProgram, check_program
+from .lang.interp import Interpreter
+from .lang.parser import parse_expr, parse_program
+from .lang.pretty import pretty_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckedProgram",
+    "ConcreteNetwork",
+    "Connection",
+    "DafnyBackend",
+    "EncodeConfig",
+    "FPerfBackend",
+    "Interpreter",
+    "ModelChecker",
+    "NetworkBackend",
+    "Packet",
+    "ProgramBuilder",
+    "SmtBackend",
+    "StateView",
+    "Status",
+    "SymbolicMachine",
+    "SymbolicNetwork",
+    "check_program",
+    "parse_expr",
+    "parse_program",
+    "pretty_program",
+]

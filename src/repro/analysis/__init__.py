@@ -1,0 +1,20 @@
+"""Analysis utilities: queries, workloads, trace replay, LoC accounting."""
+
+from .loc import LocRow, buffy_loc, python_loc, table1_rows
+from .traces import ReplayReport, replay
+from .workloads import (
+    BurstGE,
+    BurstLE,
+    RateGE,
+    RateLE,
+    Workload,
+    onoff_workload,
+    random_workload,
+    uniform_workload,
+)
+
+__all__ = [
+    "BurstGE", "BurstLE", "LocRow", "RateGE", "RateLE", "ReplayReport",
+    "Workload", "buffy_loc", "onoff_workload", "python_loc",
+    "random_workload", "replay", "table1_rows", "uniform_workload",
+]

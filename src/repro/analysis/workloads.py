@@ -1,0 +1,245 @@
+"""The workload language: conditions on input traffic.
+
+FPerf's key capability — which the paper's §4 wants Buffy to target as
+a back end — is synthesizing a *workload*: a set of conditions on
+input traffic under which a performance query always holds.  This
+module defines the condition language:
+
+* :class:`RateGE` / :class:`RateLE` — per-step arrival bounds for one
+  input buffer over a suffix window ``[start, T)``;
+* :class:`BurstGE` / :class:`BurstLE` — arrival bounds at one step;
+* :class:`Workload` — a conjunction of atoms.
+
+Atoms have dual semantics: they *encode* to SMT terms over a symbolic
+machine's arrival variables, and they *evaluate* concretely on a
+workload dict (so synthesized conditions can be checked against
+simulated traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..buffers.packets import Packet
+from ..smt.terms import Term, mk_and, mk_bool_to_int, mk_int, mk_le, mk_sum
+
+
+def arrival_count_term(machine, label: str, step: int) -> Term:
+    """Number of packets arriving at ``label`` in ``step``, as a term."""
+    bits = [
+        av.present
+        for av in machine.arrival_vars
+        if av.buffer == label and av.step == step
+    ]
+    return mk_sum([mk_bool_to_int(b) for b in bits])
+
+
+def concrete_count(arrivals: Mapping[str, Sequence[Packet]], label: str) -> int:
+    return len(arrivals.get(label, ()))
+
+
+@dataclass(frozen=True)
+class Atom:
+    """Base class for workload atoms."""
+
+    def encode(self, machine, horizon: int) -> Term:
+        raise NotImplementedError
+
+    def holds(self, workload: Sequence[Mapping[str, Sequence[Packet]]]) -> bool:
+        raise NotImplementedError
+
+    def cost(self) -> int:
+        """Search-ordering cost: cheaper atoms are preferred."""
+        return 1
+
+
+@dataclass(frozen=True)
+class RateGE(Atom):
+    """Buffer ``label`` receives at least ``rate`` packets every step >= start."""
+
+    label: str
+    rate: int
+    start: int = 0
+
+    def encode(self, machine, horizon: int) -> Term:
+        conj = [
+            mk_le(mk_int(self.rate), arrival_count_term(machine, self.label, t))
+            for t in range(self.start, horizon)
+        ]
+        return mk_and(*conj)
+
+    def holds(self, workload) -> bool:
+        return all(
+            concrete_count(step, self.label) >= self.rate
+            for step in workload[self.start:]
+        )
+
+    def __str__(self) -> str:
+        return f"arrivals({self.label}, t) >= {self.rate} for t >= {self.start}"
+
+
+@dataclass(frozen=True)
+class RateLE(Atom):
+    """Buffer ``label`` receives at most ``rate`` packets every step >= start."""
+
+    label: str
+    rate: int
+    start: int = 0
+
+    def encode(self, machine, horizon: int) -> Term:
+        conj = [
+            mk_le(arrival_count_term(machine, self.label, t), mk_int(self.rate))
+            for t in range(self.start, horizon)
+        ]
+        return mk_and(*conj)
+
+    def holds(self, workload) -> bool:
+        return all(
+            concrete_count(step, self.label) <= self.rate
+            for step in workload[self.start:]
+        )
+
+    def __str__(self) -> str:
+        return f"arrivals({self.label}, t) <= {self.rate} for t >= {self.start}"
+
+
+@dataclass(frozen=True)
+class BurstGE(Atom):
+    """Buffer ``label`` receives at least ``count`` packets at step ``step``."""
+
+    label: str
+    step: int
+    count: int
+
+    def encode(self, machine, horizon: int) -> Term:
+        return mk_le(
+            mk_int(self.count), arrival_count_term(machine, self.label, self.step)
+        )
+
+    def holds(self, workload) -> bool:
+        if self.step >= len(workload):
+            return False
+        return concrete_count(workload[self.step], self.label) >= self.count
+
+    def __str__(self) -> str:
+        return f"arrivals({self.label}, {self.step}) >= {self.count}"
+
+
+@dataclass(frozen=True)
+class BurstLE(Atom):
+    """Buffer ``label`` receives at most ``count`` packets at step ``step``."""
+
+    label: str
+    step: int
+    count: int
+
+    def encode(self, machine, horizon: int) -> Term:
+        return mk_le(
+            arrival_count_term(machine, self.label, self.step), mk_int(self.count)
+        )
+
+    def holds(self, workload) -> bool:
+        if self.step >= len(workload):
+            return True
+        return concrete_count(workload[self.step], self.label) <= self.count
+
+    def __str__(self) -> str:
+        return f"arrivals({self.label}, {self.step}) <= {self.count}"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A conjunction of atoms over input traffic."""
+
+    atoms: tuple[Atom, ...]
+
+    def encode(self, machine, horizon: int) -> Term:
+        return mk_and(*[a.encode(machine, horizon) for a in self.atoms])
+
+    def holds(self, workload) -> bool:
+        return all(a.holds(workload) for a in self.atoms)
+
+    def cost(self) -> int:
+        return sum(a.cost() for a in self.atoms)
+
+    def without(self, atom: Atom) -> "Workload":
+        return Workload(tuple(a for a in self.atoms if a is not atom))
+
+    def __str__(self) -> str:
+        if not self.atoms:
+            return "true"
+        return " AND ".join(str(a) for a in self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+
+def exact_characterization(
+    arrivals: Sequence[Mapping[str, Sequence[Packet]]],
+    labels: Sequence[str],
+) -> Workload:
+    """The most specific workload matching a concrete trace:
+    one BurstGE + BurstLE pair per (buffer, step)."""
+    atoms: list[Atom] = []
+    for t, step in enumerate(arrivals):
+        for label in labels:
+            count = concrete_count(step, label)
+            atoms.append(BurstGE(label, t, count))
+            atoms.append(BurstLE(label, t, count))
+    return Workload(tuple(atoms))
+
+
+# ----- workload generators for simulation/benchmarks ----------------------------
+
+
+def uniform_workload(
+    labels: Sequence[str], horizon: int, per_step: int, flow_of=None
+) -> list[dict[str, list[Packet]]]:
+    """Every buffer gets ``per_step`` unit packets every step."""
+    out = []
+    for _ in range(horizon):
+        step: dict[str, list[Packet]] = {}
+        for label in labels:
+            flow = flow_of(label) if flow_of else _label_flow(label)
+            step[label] = [Packet(flow=flow) for _ in range(per_step)]
+        out.append(step)
+    return out
+
+
+def onoff_workload(
+    labels: Sequence[str], horizon: int, burst: int, period: int
+) -> list[dict[str, list[Packet]]]:
+    """Periodic on/off bursts, staggered across buffers."""
+    out = []
+    for t in range(horizon):
+        step: dict[str, list[Packet]] = {}
+        for i, label in enumerate(labels):
+            if (t + i) % period == 0:
+                step[label] = [Packet(flow=_label_flow(label)) for _ in range(burst)]
+        out.append(step)
+    return out
+
+
+def random_workload(
+    labels: Sequence[str], horizon: int, max_per_step: int, seed: int = 0
+) -> list[dict[str, list[Packet]]]:
+    """Independent uniform arrivals in [0, max_per_step] per buffer/step."""
+    import random
+
+    rng = random.Random(seed)
+    out = []
+    for _ in range(horizon):
+        step: dict[str, list[Packet]] = {}
+        for label in labels:
+            n = rng.randint(0, max_per_step)
+            if n:
+                step[label] = [Packet(flow=_label_flow(label)) for _ in range(n)]
+        out.append(step)
+    return out
+
+
+def _label_flow(label: str) -> int:
+    if label.endswith("]") and "[" in label:
+        return int(label.partition("[")[2][:-1])
+    return 0

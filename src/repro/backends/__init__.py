@@ -1,0 +1,21 @@
+"""Analysis back ends over the shared symbolic-execution IR (§4)."""
+
+from .dafny import DafnyBackend, DafnyReport, StateView, VCStatus
+from .fperf import FPerfBackend, SynthesisResult
+from .houdini import Candidate, HoudiniResult, HoudiniSynthesizer, default_grammar
+from .mc import MCStatus, ModelChecker, to_chc
+from .network import NetworkBackend
+from .smt_backend import (
+    CounterexampleTrace,
+    SmtBackend,
+    Status,
+    VerificationResult,
+)
+
+__all__ = [
+    "Candidate", "CounterexampleTrace", "DafnyBackend", "DafnyReport",
+    "FPerfBackend", "HoudiniResult", "HoudiniSynthesizer",
+    "MCStatus", "ModelChecker", "NetworkBackend", "SmtBackend", "Status",
+    "StateView", "SynthesisResult", "VCStatus", "VerificationResult",
+    "default_grammar", "to_chc",
+]

@@ -1,0 +1,287 @@
+"""Dafny-style back end: an annotation checker over Buffy programs (§4/§6).
+
+Dafny verifies an imperative program by discharging one verification
+condition (VC) per assertion, given user-supplied annotations (loop
+invariants, requires/ensures).  This module reproduces that workflow
+on top of our SMT substrate, in the two regimes the paper's case
+studies contrast:
+
+* **Monolithic** (:meth:`DafnyBackend.verify_monolithic`) — the §6.1
+  regime: no invariants are available, so the per-step program is
+  *inlined* and the timestep loop *unrolled* to horizon ``T``; every
+  assert becomes its own VC over the full unrolling.  Figure 6 shows —
+  and the bench ``bench_fig6_dafny_scaling.py`` reproduces — that
+  verification time grows exponentially in ``T``.
+
+* **Modular** (:meth:`DafnyBackend.verify_modular`) — the §6.2/§5
+  regime: the user supplies an *interface specification* (an inductive
+  invariant over the program's persistent state).  Verification then
+  needs only three T-independent VCs: initiation, consecution (one
+  symbolic step from a havocked state assumed to satisfy the
+  invariant — the paper's "structured havoc"), and the property check.
+
+Procedure contracts (``requires`` / ``ensures``) are checked by
+:meth:`DafnyBackend.verify_procedure`.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..buffers.symbolic import SymbolicList
+from ..compiler.symexec import EncodeConfig, SymbolicMachine, _Executor
+from ..lang.ast import Procedure
+from ..lang.checker import CheckedProgram
+from ..lang.types import ArrayType, BoolType, BufferType, IntType, ListType
+from ..smt.sat.cdcl import CDCLConfig
+from ..smt.solver import CheckResult, SmtSolver
+from ..smt.terms import TRUE, Term, mk_and, mk_not
+
+
+class VCStatus(enum.Enum):
+    VERIFIED = "verified"
+    FAILED = "failed"      # a model violating the VC exists
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class VCResult:
+    """One discharged verification condition."""
+
+    name: str
+    status: VCStatus
+    elapsed_seconds: float
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+
+
+@dataclass
+class DafnyReport:
+    """Aggregate result of a verification run."""
+
+    vcs: list[VCResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(vc.status is VCStatus.VERIFIED for vc in self.vcs)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return sum(vc.elapsed_seconds for vc in self.vcs)
+
+    def failed(self) -> list[VCResult]:
+        return [vc for vc in self.vcs if vc.status is not VCStatus.VERIFIED]
+
+
+class StateView:
+    """Convenience accessors for writing invariants/queries over a machine."""
+
+    def __init__(self, machine: SymbolicMachine):
+        self._machine = machine
+
+    def global_(self, name: str):
+        return self._machine.globals_[name]
+
+    def list_(self, name: str) -> SymbolicList:
+        value = self._machine.globals_[name]
+        if not isinstance(value, SymbolicList):
+            raise TypeError(f"{name!r} is not a list")
+        return value
+
+    def _buf(self, label: str):
+        return self._machine._buffer_by_label(label)
+
+    def backlog_p(self, label: str) -> Term:
+        return self._buf(label).backlog_p()
+
+    def deq_p(self, label: str) -> Term:
+        return self._buf(label).stats.deq_p
+
+    def enq_p(self, label: str) -> Term:
+        return self._buf(label).stats.enq_p
+
+    def drop_p(self, label: str) -> Term:
+        return self._buf(label).stats.drop_p
+
+    def buffer_labels(self) -> list[str]:
+        return self._machine._all_buffer_labels()
+
+
+Invariant = Callable[[StateView], Term]
+Query = Callable[[StateView], Term]
+
+
+class DafnyBackend:
+    """Annotation-checker verification of a Buffy program."""
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        config: Optional[EncodeConfig] = None,
+        sat_config: Optional[CDCLConfig] = None,
+    ):
+        self.checked = checked
+        self.config = config or EncodeConfig()
+        self.sat_config = sat_config
+
+    # ----- VC discharge -----------------------------------------------------
+
+    def _discharge(self, name: str, machine: SymbolicMachine,
+                   goal: Term) -> VCResult:
+        """Check ``assumptions => goal``; a model of the negation fails it."""
+        t0 = time.perf_counter()
+        solver = SmtSolver(sat_config=self.sat_config)
+        for var, (lo, hi) in machine.bounds.items():
+            solver.set_bounds(var, lo, hi)
+        for assumption in machine.assumptions:
+            solver.add(assumption)
+        solver.add(mk_not(goal))
+        result = solver.check()
+        elapsed = time.perf_counter() - t0
+        status = {
+            CheckResult.UNSAT: VCStatus.VERIFIED,
+            CheckResult.SAT: VCStatus.FAILED,
+            CheckResult.UNKNOWN: VCStatus.UNKNOWN,
+        }[result]
+        return VCResult(
+            name,
+            status,
+            elapsed,
+            cnf_vars=solver.stats.cnf_vars,
+            cnf_clauses=solver.stats.cnf_clauses,
+        )
+
+    # ----- monolithic (unroll + inline) regime ------------------------------------
+
+    def verify_monolithic(
+        self,
+        horizon: int,
+        queries: Sequence[tuple[str, Query]] = (),
+        include_asserts: bool = True,
+    ) -> DafnyReport:
+        """Unroll ``horizon`` steps and discharge one VC per obligation.
+
+        Without loop invariants an annotation checker must see the loop
+        bodies unrolled and the scheduler method inlined — this is the
+        transformation §6.1 describes, and the per-VC formulas grow
+        with the horizon.
+        """
+        machine = SymbolicMachine(self.checked, self.config)
+        for _ in range(horizon):
+            machine.exec_step()
+        report = DafnyReport()
+        if include_asserts:
+            for ob in machine.obligations:
+                report.vcs.append(
+                    self._discharge(ob.describe(), machine, ob.formula)
+                )
+        view = StateView(machine)
+        for name, query in queries:
+            report.vcs.append(self._discharge(name, machine, query(view)))
+        return report
+
+    # ----- modular (invariant-annotated) regime --------------------------------------
+
+    def verify_modular(
+        self,
+        invariant: Invariant,
+        queries: Sequence[tuple[str, Query]] = (),
+        value_range: tuple[int, int] = (-1, 63),
+        stat_bound: int = 1 << 10,
+    ) -> DafnyReport:
+        """Check that ``invariant`` is inductive and implies the queries.
+
+        Three T-independent VCs (the §5 modular-analysis workflow):
+
+        1. ``init``      — the initial state satisfies the invariant;
+        2. ``preserve``  — one arbitrary step from any invariant state
+                           re-establishes the invariant (structured havoc);
+        3. one VC per query — the invariant implies it.
+        """
+        report = DafnyReport()
+
+        # (1) initiation: the freshly initialized machine has no
+        # variables in its state, so the invariant must be valid as-is.
+        init_machine = SymbolicMachine(self.checked, self.config)
+        init_goal = invariant(StateView(init_machine))
+        report.vcs.append(self._discharge("init", init_machine, init_goal))
+
+        # (2) consecution: havoc state, assume the invariant, run one step.
+        step_machine = SymbolicMachine(self.checked, self.config)
+        step_machine.havoc_state(value_range=value_range, stat_bound=stat_bound)
+        step_machine.assumptions.append(invariant(StateView(step_machine)))
+        step_machine.exec_step()
+        post = invariant(StateView(step_machine))
+        report.vcs.append(self._discharge("preserve", step_machine, post))
+
+        # (3) property: invariant implies each query at the boundary.
+        for name, query in queries:
+            query_machine = SymbolicMachine(self.checked, self.config)
+            query_machine.havoc_state(
+                value_range=value_range, stat_bound=stat_bound
+            )
+            view = StateView(query_machine)
+            query_machine.assumptions.append(invariant(view))
+            report.vcs.append(
+                self._discharge(f"query:{name}", query_machine, query(view))
+            )
+        return report
+
+    # ----- procedure contracts ---------------------------------------------------------
+
+    def verify_procedure(
+        self,
+        name: str,
+        value_range: tuple[int, int] = (-1, 63),
+        stat_bound: int = 1 << 10,
+    ) -> DafnyReport:
+        """Check a procedure's body against its requires/ensures contract."""
+        proc = self._find_procedure(name)
+        machine = SymbolicMachine(self.checked, self.config)
+        machine.havoc_state(value_range=value_range, stat_bound=stat_bound)
+        env = self._havoc_params(machine, proc, value_range)
+        executor = _Executor(machine, env)
+        for pre in proc.requires:
+            machine.assumptions.append(executor.eval(pre))
+        executor.exec_cmd(proc.body, TRUE)
+        report = DafnyReport()
+        for ob in machine.obligations:
+            report.vcs.append(self._discharge(ob.describe(), machine, ob.formula))
+        for i, post in enumerate(proc.ensures):
+            goal = executor.eval(post)
+            report.vcs.append(
+                self._discharge(f"{name}.ensures[{i}]", machine, goal)
+            )
+        return report
+
+    def _find_procedure(self, name: str) -> Procedure:
+        for proc in self.checked.program.procedures:
+            if proc.name == name:
+                return proc
+        raise KeyError(f"no procedure {name!r} in {self.checked.name}")
+
+    def _havoc_params(self, machine: SymbolicMachine, proc: Procedure,
+                      value_range: tuple[int, int]) -> dict:
+        from ..smt.terms import mk_bool_var, mk_int_var
+
+        env: dict = {}
+        for i, param in enumerate(proc.params):
+            label = f"{machine.prefix}.{proc.name}.arg.{param.name}"
+            if isinstance(param.type, IntType):
+                var = mk_int_var(label)
+                machine.bounds[var.name] = value_range
+                env[param.name] = var
+            elif isinstance(param.type, BoolType):
+                env[param.name] = mk_bool_var(label)
+            elif isinstance(param.type, (ListType, BufferType, ArrayType)):
+                value = machine._default_value(param.type, label)
+                value = machine._havoc_value(value, label, value_range)
+                if isinstance(value, SymbolicList):
+                    pass  # already havocked in place by _havoc_value
+                env[param.name] = value
+            else:  # pragma: no cover - checker prevents
+                raise TypeError(f"unsupported parameter type {param.type}")
+        return env

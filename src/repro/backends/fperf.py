@@ -1,0 +1,231 @@
+"""FPerf-style back end: workload synthesis for performance queries.
+
+FPerf "synthesizes a set of conditions on the input traffic, a.k.a.
+workload, that will satisfy the query" (§6.1).  This back end
+reproduces that capability over the Buffy pipeline with two search
+strategies:
+
+* :meth:`FPerfBackend.synthesize_by_generalization` — find a concrete
+  witness trace with the SMT back end, take its exact workload
+  characterization, then greedily *generalize* (drop or loosen atoms)
+  while the sufficiency check ``W ∧ ¬query UNSAT`` keeps passing.
+  Each loosening costs one solver call; the result is a local minimum
+  of the condition set.
+
+* :meth:`FPerfBackend.synthesize_by_enumeration` — guess-and-check
+  (the SyGuS-style loop of §5): enumerate small conjunctions from the
+  atom grammar in cost order, prune candidates against cached
+  counterexample traces, and verify survivors with the solver.
+
+A synthesized workload ``W`` satisfies, over the bounded horizon:
+
+* *feasibility* — some admissible trace satisfies ``W``;
+* *sufficiency* — every admissible trace satisfying ``W`` satisfies
+  the query.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..analysis.workloads import (
+    Atom,
+    BurstGE,
+    BurstLE,
+    RateGE,
+    RateLE,
+    Workload,
+    exact_characterization,
+)
+from ..backends.smt_backend import SmtBackend, Status
+from ..buffers.packets import Packet
+from ..compiler.symexec import EncodeConfig
+from ..lang.checker import CheckedProgram
+from ..smt.sat.cdcl import CDCLConfig
+from ..smt.terms import Term, mk_not
+
+
+@dataclass
+class SynthesisStats:
+    candidates_tried: int = 0
+    solver_calls: int = 0
+    pruned_by_examples: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class SynthesisResult:
+    workload: Optional[Workload]
+    witness: Optional[list[dict[str, list[Packet]]]]
+    stats: SynthesisStats = field(default_factory=SynthesisStats)
+
+    @property
+    def ok(self) -> bool:
+        return self.workload is not None
+
+
+class FPerfBackend:
+    """Workload synthesis for a Buffy program and a query."""
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        horizon: int,
+        config: Optional[EncodeConfig] = None,
+        sat_config: Optional[CDCLConfig] = None,
+    ):
+        self.checked = checked
+        self.horizon = horizon
+        self.backend = SmtBackend(
+            checked, horizon, config=config, sat_config=sat_config
+        )
+        self.machine = self.backend.machine
+        self.labels = self.machine.input_buffer_labels()
+
+    # ----- solver-side checks --------------------------------------------------
+
+    def _feasible(self, workload: Workload, stats: SynthesisStats) -> bool:
+        stats.solver_calls += 1
+        encoded = workload.encode(self.machine, self.horizon)
+        return (
+            self.backend.find_trace(encoded).status is Status.SATISFIED
+        )
+
+    def _sufficient(self, workload: Workload, query: Term,
+                    stats: SynthesisStats):
+        """UNSAT(W ∧ ¬query) ⇒ sufficient.  Returns (ok, counterexample)."""
+        stats.solver_calls += 1
+        encoded = workload.encode(self.machine, self.horizon)
+        result = self.backend.find_trace(
+            mk_not(query), extra_assumptions=[encoded]
+        )
+        if result.status is Status.UNSATISFIABLE:
+            return True, None
+        return False, result.counterexample
+
+    # ----- strategy 1: generalize from a witness ------------------------------------
+
+    def synthesize_by_generalization(
+        self, query: Term, loosen_rates: bool = True
+    ) -> SynthesisResult:
+        """Witness → exact characterization → greedy generalization."""
+        t0 = time.perf_counter()
+        stats = SynthesisStats()
+
+        stats.solver_calls += 1
+        witness_result = self.backend.find_trace(query)
+        if witness_result.status is not Status.SATISFIED:
+            stats.elapsed_seconds = time.perf_counter() - t0
+            return SynthesisResult(None, None, stats)
+        witness = witness_result.counterexample.workload()
+
+        workload = exact_characterization(witness, self.labels)
+        ok, _ = self._sufficient(workload, query, stats)
+        if not ok:
+            # The exact characterization fixes arrival counts but not
+            # e.g. havoc choices; if the query can still fail, no
+            # arrival-count workload can be sufficient.
+            stats.elapsed_seconds = time.perf_counter() - t0
+            return SynthesisResult(None, witness, stats)
+
+        # Greedily drop atoms while sufficiency holds.
+        atoms = list(workload.atoms)
+        for atom in list(atoms):
+            candidate = Workload(tuple(a for a in atoms if a is not atom))
+            stats.candidates_tried += 1
+            ok, _ = self._sufficient(candidate, query, stats)
+            if ok:
+                atoms = list(candidate.atoms)
+        workload = Workload(tuple(atoms))
+
+        if loosen_rates:
+            workload = self._fold_rates(workload, query, stats)
+
+        stats.elapsed_seconds = time.perf_counter() - t0
+        return SynthesisResult(workload, witness, stats)
+
+    def _fold_rates(self, workload: Workload, query: Term,
+                    stats: SynthesisStats) -> Workload:
+        """Replace runs of per-step burst atoms with rate atoms when valid."""
+        by_label: dict[tuple, list] = {}
+        for atom in workload.atoms:
+            if isinstance(atom, (BurstGE, BurstLE)):
+                key = (atom.label, isinstance(atom, BurstGE))
+                by_label.setdefault(key, []).append(atom)
+        current = workload
+        for (label, is_ge), atoms in by_label.items():
+            if len(atoms) < 2:
+                continue
+            start = min(a.step for a in atoms)
+            bound = (
+                min(a.count for a in atoms) if is_ge
+                else max(a.count for a in atoms)
+            )
+            rate_atom: Atom = (
+                RateGE(label, bound, start) if is_ge else RateLE(label, bound, start)
+            )
+            folded = tuple(
+                a for a in current.atoms if a not in atoms
+            ) + (rate_atom,)
+            candidate = Workload(folded)
+            stats.candidates_tried += 1
+            ok, _ = self._sufficient(candidate, query, stats)
+            if ok:
+                current = candidate
+        return current
+
+    # ----- strategy 2: enumerative guess-and-check ---------------------------------------
+
+    def atom_grammar(self, max_rate: Optional[int] = None) -> list[Atom]:
+        """All atoms in the bounded grammar (the SyGuS search space)."""
+        max_rate = max_rate or self.machine.config.arrivals_per_step
+        atoms: list[Atom] = []
+        for label in self.labels:
+            for rate in range(0, max_rate + 1):
+                for start in (0, 1):
+                    atoms.append(RateGE(label, rate, start))
+                    atoms.append(RateLE(label, rate, start))
+            for step in range(self.horizon):
+                for count in range(0, max_rate + 1):
+                    atoms.append(BurstGE(label, step, count))
+                    atoms.append(BurstLE(label, step, count))
+        return atoms
+
+    def synthesize_by_enumeration(
+        self,
+        query: Term,
+        max_atoms: int = 2,
+        max_candidates: int = 5000,
+        grammar: Optional[Sequence[Atom]] = None,
+    ) -> SynthesisResult:
+        """Enumerate small conjunctions; prune with cached bad examples."""
+        t0 = time.perf_counter()
+        stats = SynthesisStats()
+        atoms = list(grammar) if grammar is not None else self.atom_grammar()
+        bad_examples: list[list[dict[str, list[Packet]]]] = []
+
+        candidates: Iterable[Workload] = (
+            Workload(combo)
+            for size in range(1, max_atoms + 1)
+            for combo in itertools.combinations(atoms, size)
+        )
+        for workload in itertools.islice(candidates, max_candidates):
+            stats.candidates_tried += 1
+            # A candidate consistent with a known bad trace cannot be
+            # sufficient; skip it without a solver call.
+            if any(workload.holds(example) for example in bad_examples):
+                stats.pruned_by_examples += 1
+                continue
+            ok, counterexample = self._sufficient(workload, query, stats)
+            if not ok:
+                if counterexample is not None:
+                    bad_examples.append(counterexample.workload())
+                continue
+            if self._feasible(workload, stats):
+                stats.elapsed_seconds = time.perf_counter() - t0
+                return SynthesisResult(workload, None, stats)
+        stats.elapsed_seconds = time.perf_counter() - t0
+        return SynthesisResult(None, None, stats)

@@ -1,0 +1,235 @@
+"""Houdini-style inference of interface specifications (§5 future work).
+
+The paper: "we plan to explore techniques to synthesize interface
+specifications at the boundary of Buffy programs [...] We will use
+guess-and-check techniques [...] Specifically, we would like to use the
+Houdini algorithm with Dafny to iteratively refine guesses of interface
+specifications."
+
+This module implements that plan over our Dafny-style back end:
+
+1. a *grammar* generates candidate invariant conjuncts over the
+   program's persistent state — buffer-statistic conservation laws,
+   monotonicity and sign facts, capacity bounds, list-length bounds,
+   and bound templates for integer globals;
+2. candidates falsified by the *initial* state are dropped (the
+   initial machine is ground, so this is plain evaluation);
+3. the **Houdini loop**: assume the conjunction of all surviving
+   candidates over a havocked pre-state, execute one symbolic step,
+   and ask the solver for a state where some candidate fails to
+   re-establish itself.  Each counterexample *evaluates* every
+   candidate's post-state term and removes the falsified ones; the
+   loop repeats until the conjunction is inductive (UNSAT).
+
+The result is the unique maximal inductive subset of the candidates —
+an automatically synthesized interface specification usable with
+:meth:`repro.backends.dafny.DafnyBackend.verify_modular` and with
+k-induction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..buffers.symbolic import SymbolicList
+from ..compiler.symexec import EncodeConfig, SymbolicMachine
+from ..lang.checker import CheckedProgram
+from ..smt.sat.cdcl import CDCLConfig
+from ..smt.solver import CheckResult, SmtSolver
+from ..smt.terms import Term, evaluate, free_vars, mk_and, mk_int, mk_le, mk_not
+from .dafny import StateView
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A named invariant conjunct, as a generator over a state view."""
+
+    name: str
+    build: Callable[[StateView], Term]
+
+
+@dataclass
+class HoudiniResult:
+    invariant: list[Candidate]
+    dropped: list[tuple[str, str]]  # (name, reason)
+    iterations: int = 0
+    solver_calls: int = 0
+    elapsed_seconds: float = 0.0
+
+    def names(self) -> list[str]:
+        return [c.name for c in self.invariant]
+
+    def as_invariant(self) -> Callable[[StateView], Term]:
+        """The synthesized conjunction, usable with verify_modular."""
+        candidates = list(self.invariant)
+
+        def invariant(view: StateView) -> Term:
+            if not candidates:
+                return mk_and()
+            return mk_and(*[c.build(view) for c in candidates])
+
+        return invariant
+
+
+def default_grammar(
+    machine: SymbolicMachine,
+    int_global_bounds: Sequence[int] = (0, 1, 2, 4, 8),
+) -> list[Candidate]:
+    """Candidate conjuncts for a program's persistent state.
+
+    Mirrors the paper's "grammars with suitably expressive predicates
+    on buffers that can capture interface specifications of interest
+    for performance analysis".
+    """
+    candidates: list[Candidate] = []
+    for label in machine._all_buffer_labels():
+        candidates.append(Candidate(
+            f"conserve[{label}]",
+            lambda v, l=label: (v.deq_p(l) + v.backlog_p(l)).eq(v.enq_p(l)),
+        ))
+        candidates.append(Candidate(
+            f"deq_le_enq[{label}]",
+            lambda v, l=label: mk_le(v.deq_p(l), v.enq_p(l)),
+        ))
+        candidates.append(Candidate(
+            f"deq_nonneg[{label}]",
+            lambda v, l=label: mk_le(mk_int(0), v.deq_p(l)),
+        ))
+        candidates.append(Candidate(
+            f"drop_nonneg[{label}]",
+            lambda v, l=label: mk_le(mk_int(0), v.drop_p(l)),
+        ))
+        capacity = machine.config.buffer_capacity
+        candidates.append(Candidate(
+            f"backlog_le_cap[{label}]",
+            lambda v, l=label, c=capacity: mk_le(v.backlog_p(l), mk_int(c)),
+        ))
+        # A deliberately-false candidate family Houdini must reject:
+        candidates.append(Candidate(
+            f"never_dequeues[{label}]",
+            lambda v, l=label: v.deq_p(l).eq(mk_int(0)),
+        ))
+    for name, value in machine.globals_.items():
+        if isinstance(value, SymbolicList):
+            candidates.append(Candidate(
+                f"listlen_le_cap[{name}]",
+                lambda v, n=name: mk_le(v.list_(n).len_term(),
+                                        mk_int(v.list_(n).capacity)),
+            ))
+            candidates.append(Candidate(
+                f"listlen_nonneg[{name}]",
+                lambda v, n=name: mk_le(mk_int(0), v.list_(n).len_term()),
+            ))
+            continue
+        if isinstance(value, Term) and value.sort.value == "Int":
+            for bound in int_global_bounds:
+                candidates.append(Candidate(
+                    f"{name}_ge_0",
+                    lambda v, n=name: mk_le(mk_int(0), v.global_(n)),
+                ))
+                candidates.append(Candidate(
+                    f"{name}_le_{bound}",
+                    lambda v, n=name, b=bound: mk_le(v.global_(n), mk_int(b)),
+                ))
+    # Deduplicate by name (the bound loop above repeats the >=0 fact).
+    seen: set[str] = set()
+    unique: list[Candidate] = []
+    for cand in candidates:
+        if cand.name not in seen:
+            seen.add(cand.name)
+            unique.append(cand)
+    return unique
+
+
+class HoudiniSynthesizer:
+    """Infers the maximal inductive subset of candidate invariants."""
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        config: Optional[EncodeConfig] = None,
+        sat_config: Optional[CDCLConfig] = None,
+        value_range: tuple[int, int] = (-1, 63),
+        stat_bound: int = 1 << 10,
+    ):
+        self.checked = checked
+        self.config = config or EncodeConfig()
+        self.sat_config = sat_config
+        self.value_range = value_range
+        self.stat_bound = stat_bound
+
+    def synthesize(
+        self,
+        candidates: Optional[Sequence[Candidate]] = None,
+        max_iterations: int = 64,
+    ) -> HoudiniResult:
+        t0 = time.perf_counter()
+        dropped: list[tuple[str, str]] = []
+
+        # ---- stage 0: build the one-step transition with pre/post terms.
+        machine = SymbolicMachine(self.checked, self.config)
+        if candidates is None:
+            candidates = default_grammar(machine)
+        machine.havoc_state(
+            value_range=self.value_range, stat_bound=self.stat_bound
+        )
+        pre_view = StateView(machine)
+        pre_terms = {c.name: c.build(pre_view) for c in candidates}
+        machine.exec_step()
+        post_view = StateView(machine)
+        post_terms = {c.name: c.build(post_view) for c in candidates}
+
+        # ---- stage 1: drop candidates false in the (ground) initial state.
+        init_machine = SymbolicMachine(self.checked, self.config)
+        init_view = StateView(init_machine)
+        surviving: list[Candidate] = []
+        for cand in candidates:
+            term = cand.build(init_view)
+            values = {
+                v.name: (False if v.sort.value == "Bool" else 0)
+                for v in free_vars(term)
+            }
+            if evaluate(term, values) is True:
+                surviving.append(cand)
+            else:
+                dropped.append((cand.name, "false at init"))
+
+        # ---- stage 2: the Houdini loop.
+        iterations = 0
+        solver_calls = 0
+        while surviving and iterations < max_iterations:
+            iterations += 1
+            solver = SmtSolver(sat_config=self.sat_config)
+            for name, (lo, hi) in machine.bounds.items():
+                solver.set_bounds(name, lo, hi)
+            for assumption in machine.assumptions:
+                solver.add(assumption)
+            solver.add(mk_and(*[pre_terms[c.name] for c in surviving]))
+            solver.add(mk_not(
+                mk_and(*[post_terms[c.name] for c in surviving])
+            ))
+            solver_calls += 1
+            result = solver.check()
+            if result is CheckResult.UNSAT:
+                break  # inductive!
+            if result is CheckResult.UNKNOWN:
+                raise RuntimeError("solver budget exhausted during Houdini")
+            model = solver.model()
+            still: list[Candidate] = []
+            for cand in surviving:
+                if model.eval(post_terms[cand.name]) is True:
+                    still.append(cand)
+                else:
+                    dropped.append((cand.name, f"falsified (iter {iterations})"))
+            assert len(still) < len(surviving), "Houdini must make progress"
+            surviving = still
+
+        return HoudiniResult(
+            invariant=surviving,
+            dropped=dropped,
+            iterations=iterations,
+            solver_calls=solver_calls,
+            elapsed_seconds=time.perf_counter() - t0,
+        )

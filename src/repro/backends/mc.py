@@ -1,0 +1,287 @@
+"""Model-checking back end: transition-system IR, BMC and k-induction.
+
+§4 of the paper: "To use a symbolic model checker, Buffy can transform
+the program into a transition system as the IR [...] we plan to
+translate a program into a system of Constrained Horn Clauses (CHC)".
+
+This module provides:
+
+* :class:`TransitionSystem` — one Buffy time step as a symbolic
+  transition relation over the program's persistent state (built with
+  the structured-havoc machinery);
+* :meth:`ModelChecker.bmc` — bounded model checking of a state
+  property: search for a violation within ``k`` steps from the initial
+  state;
+* :meth:`ModelChecker.k_induction` — unbounded proof attempts: if the
+  property holds in the first ``k`` states (base) and ``k`` consecutive
+  property states are always followed by a property state (step), the
+  property holds at *every* horizon — strictly stronger than the
+  paper's bounded analyses;
+* :func:`to_chc` — export the init/trans/property encoding as
+  SMT-LIB2 Horn clauses for an external Spacer-style engine.
+
+The safety property is a function over :class:`~repro.backends.dafny.StateView`.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..backends.dafny import StateView
+from ..compiler.symexec import EncodeConfig, SymbolicMachine
+from ..lang.checker import CheckedProgram
+from ..smt.sat.cdcl import CDCLConfig
+from ..smt.smtlib import term_to_smtlib
+from ..smt.solver import CheckResult, SmtSolver
+from ..smt.terms import Term, free_vars, mk_and, mk_not
+
+Property = Callable[[StateView], Term]
+
+
+class MCStatus(enum.Enum):
+    SAFE_BOUNDED = "safe-bounded"    # BMC: no violation within the bound
+    PROVED = "proved"                # k-induction: safe at every horizon
+    VIOLATED = "violated"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class MCResult:
+    status: MCStatus
+    bound: int
+    violation_step: Optional[int] = None
+    elapsed_seconds: float = 0.0
+    solver_calls: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (MCStatus.SAFE_BOUNDED, MCStatus.PROVED)
+
+
+class ModelChecker:
+    """BMC and k-induction for a Buffy program's step transition system."""
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        config: Optional[EncodeConfig] = None,
+        sat_config: Optional[CDCLConfig] = None,
+        value_range: tuple[int, int] = (-1, 63),
+        stat_bound: int = 1 << 10,
+    ):
+        self.checked = checked
+        self.config = config or EncodeConfig()
+        self.sat_config = sat_config
+        self.value_range = value_range
+        self.stat_bound = stat_bound
+
+    def _check(self, machine: SymbolicMachine, formula: Term) -> CheckResult:
+        solver = SmtSolver(sat_config=self.sat_config)
+        for name, (lo, hi) in machine.bounds.items():
+            solver.set_bounds(name, lo, hi)
+        for assumption in machine.assumptions:
+            solver.add(assumption)
+        solver.add(formula)
+        return solver.check()
+
+    # ----- bounded model checking --------------------------------------------
+
+    def bmc(self, prop: Property, k: int) -> MCResult:
+        """Search for a property violation within ``k`` steps of init."""
+        t0 = time.perf_counter()
+        machine = SymbolicMachine(self.checked, self.config)
+        calls = 0
+        for step in range(k + 1):
+            goal = mk_not(prop(StateView(machine)))
+            calls += 1
+            result = self._check(machine, goal)
+            if result is CheckResult.SAT:
+                return MCResult(
+                    MCStatus.VIOLATED, k, violation_step=step,
+                    elapsed_seconds=time.perf_counter() - t0,
+                    solver_calls=calls,
+                )
+            if result is CheckResult.UNKNOWN:
+                return MCResult(
+                    MCStatus.UNKNOWN, k,
+                    elapsed_seconds=time.perf_counter() - t0,
+                    solver_calls=calls,
+                )
+            if step < k:
+                machine.exec_step()
+        return MCResult(
+            MCStatus.SAFE_BOUNDED, k,
+            elapsed_seconds=time.perf_counter() - t0, solver_calls=calls,
+        )
+
+    # ----- k-induction -----------------------------------------------------------
+
+    def k_induction(self, prop: Property, k: int = 1,
+                    bmc_first: bool = True) -> MCResult:
+        """Try to prove ``prop`` at every horizon with k-induction."""
+        t0 = time.perf_counter()
+        calls = 0
+
+        if bmc_first:
+            base = self.bmc(prop, k)
+            calls += base.solver_calls
+            if base.status is not MCStatus.SAFE_BOUNDED:
+                base.elapsed_seconds = time.perf_counter() - t0
+                base.solver_calls = calls
+                return base
+
+        # Inductive step: havoc a state, assume prop for k consecutive
+        # states, check prop after one more step.
+        machine = SymbolicMachine(self.checked, self.config)
+        machine.havoc_state(
+            value_range=self.value_range, stat_bound=self.stat_bound
+        )
+        for _ in range(k):
+            machine.assumptions.append(prop(StateView(machine)))
+            machine.exec_step()
+        goal = mk_not(prop(StateView(machine)))
+        calls += 1
+        result = self._check(machine, goal)
+        elapsed = time.perf_counter() - t0
+        if result is CheckResult.UNSAT:
+            return MCResult(MCStatus.PROVED, k, elapsed_seconds=elapsed,
+                            solver_calls=calls)
+        if result is CheckResult.SAT:
+            # The induction step failed — inconclusive, not a violation.
+            return MCResult(MCStatus.UNKNOWN, k, elapsed_seconds=elapsed,
+                            solver_calls=calls)
+        return MCResult(MCStatus.UNKNOWN, k, elapsed_seconds=elapsed,
+                        solver_calls=calls)
+
+    def prove_with_increasing_k(self, prop: Property,
+                                max_k: int = 4) -> MCResult:
+        """Retry k-induction with growing ``k`` until proved or exhausted."""
+        last = MCResult(MCStatus.UNKNOWN, 0)
+        total = 0.0
+        calls = 0
+        for k in range(1, max_k + 1):
+            result = self.k_induction(prop, k)
+            total += result.elapsed_seconds
+            calls += result.solver_calls
+            if result.status in (MCStatus.PROVED, MCStatus.VIOLATED):
+                result.elapsed_seconds = total
+                result.solver_calls = calls
+                return result
+            last = result
+        last.elapsed_seconds = total
+        last.solver_calls = calls
+        return last
+
+
+def to_chc(
+    checked: CheckedProgram,
+    prop: Property,
+    config: Optional[EncodeConfig] = None,
+    value_range: tuple[int, int] = (-1, 63),
+    stat_bound: int = 1 << 10,
+) -> str:
+    """Emit init/trans/property as SMT-LIB2 Horn clauses (Spacer input).
+
+    The state predicate ``Inv`` ranges over the program's havocked
+    persistent state; three rules encode initiation, consecution and
+    the property, in the standard CHC safety format.
+    """
+    # Transition: havoc pre-state, run a step; post-state values are the
+    # machine's state terms afterwards.
+    machine = SymbolicMachine(checked, config or EncodeConfig())
+    machine.havoc_state(value_range=value_range, stat_bound=stat_bound, tag="s")
+    pre_terms = _state_terms(machine)
+    pre_vars = [v for t in pre_terms for v in free_vars(t)]
+    prop_pre = prop(StateView(machine))
+    machine.exec_step()
+    post_terms = _state_terms(machine)
+    side = mk_and(*machine.assumptions) if machine.assumptions else None
+
+    # Fresh-variable names for the step's nondeterminism (arrivals/havocs).
+    aux_vars = []
+    seen = {id(v) for v in pre_vars}
+    for t in post_terms:
+        for v in free_vars(t):
+            if id(v) not in seen:
+                seen.add(id(v))
+                aux_vars.append(v)
+    if side is not None:
+        for v in free_vars(side):
+            if id(v) not in seen:
+                seen.add(id(v))
+                aux_vars.append(v)
+
+    lines = ["(set-logic HORN)"]
+    sorts = " ".join(t.sort.value for t in pre_terms)
+    lines.append(f"(declare-fun Inv ({sorts}) Bool)")
+
+    def quantify(vars_, body: str) -> str:
+        if not vars_:
+            return body
+        decls = " ".join(
+            f"({_safe(v.name)} {v.sort.value})" for v in vars_
+        )
+        return f"(forall ({decls}) {body})"
+
+    init_machine = SymbolicMachine(checked, config or EncodeConfig())
+    init_terms = _state_terms(init_machine)
+    init_args = " ".join(term_to_smtlib(t) for t in init_terms)
+    lines.append(f"(assert (Inv {init_args}))")
+
+    pre_args = " ".join(term_to_smtlib(t) for t in pre_terms)
+    post_args = " ".join(term_to_smtlib(t) for t in post_terms)
+    guard = f"(Inv {pre_args})"
+    if side is not None:
+        guard = f"(and {guard} {term_to_smtlib(side)})"
+    rule = f"(=> {guard} (Inv {post_args}))"
+    lines.append(
+        "(assert "
+        + quantify(pre_vars + aux_vars, rule)
+        + ")"
+    )
+    bad = f"(=> (and (Inv {pre_args}) (not {term_to_smtlib(prop_pre)})) false)"
+    lines.append("(assert " + quantify(pre_vars, bad) + ")")
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"
+
+
+def _safe(name: str) -> str:
+    import re
+
+    if re.match(r"^[A-Za-z_][A-Za-z0-9_.!]*$", name) and "." not in name:
+        return name
+    return "|" + name.replace("|", "_") + "|"
+
+
+def _state_terms(machine: SymbolicMachine) -> list[Term]:
+    """The persistent-state tuple of a machine, as an ordered term list."""
+    from ..buffers.symbolic import SymbolicList, SymbolicListBuffer
+
+    out: list[Term] = []
+    for label in machine._all_buffer_labels():
+        buf = machine._buffer_by_label(label)
+        if isinstance(buf, SymbolicListBuffer):
+            out.extend(buf.flows)
+            out.extend(buf.sizes)
+            out.append(buf.length)
+        else:
+            out.extend(buf.counts)
+        stats = buf.stats
+        out.extend([stats.enq_p, stats.deq_p, stats.drop_p])
+
+    def add_value(value) -> None:
+        if isinstance(value, SymbolicList):
+            out.extend(value.elems)
+            out.append(value.length)
+        elif isinstance(value, list):
+            for v in value:
+                add_value(v)
+        elif isinstance(value, Term):
+            out.append(value)
+
+    for name in sorted(machine.globals_):
+        add_value(machine.globals_[name])
+    return out

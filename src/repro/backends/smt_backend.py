@@ -1,0 +1,255 @@
+"""SMT back end: bounded verification and trace synthesis (§4, "Back-end
+for Z3 and FPerf").
+
+Given a checked Buffy program and a time horizon ``T``, the back end
+unrolls the program ``T`` steps through the symbolic executor and asks
+the SMT substrate either
+
+* :meth:`SmtBackend.check_assertions` — do all ``assert``s hold on
+  every admissible trace? (a violation yields a decoded, replayable
+  counterexample), or
+* :meth:`SmtBackend.find_trace` — synthesize concrete input traffic
+  satisfying an arbitrary query over monitors/buffer statistics (the
+  FPerf-style usage), or
+* :meth:`SmtBackend.prove` — validity of a query on all traces.
+
+Counterexamples decode into per-step packet arrivals plus havoc values,
+which :mod:`repro.analysis.traces` can replay through the concrete
+interpreter — every symbolic result is cross-checked executably.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..buffers.packets import Packet
+from ..compiler.symexec import EncodeConfig, Obligation, SymbolicMachine
+from ..lang.checker import CheckedProgram
+from ..smt.model import Model
+from ..smt.sat.cdcl import CDCLConfig
+from ..smt.solver import CheckResult, SmtSolver, SolverStats
+from ..smt.terms import TRUE, Term, mk_and, mk_not, mk_or
+
+
+class Status(enum.Enum):
+    PROVED = "proved"          # no admissible trace violates the property
+    VIOLATED = "violated"      # a counterexample trace exists
+    SATISFIED = "satisfied"    # find_trace: a witness trace exists
+    UNSATISFIABLE = "unsat"    # find_trace: no admissible trace matches
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class CounterexampleTrace:
+    """A decoded trace: per-step arrivals plus havoc choices."""
+
+    horizon: int
+    arrivals: list[dict[str, list[Packet]]]
+    havocs: dict[tuple, object] = field(default_factory=dict)
+    violated: list[str] = field(default_factory=list)
+    model: Optional[Model] = None
+
+    def workload(self) -> list[dict[str, list[Packet]]]:
+        """Arrivals in the shape ``Interpreter.run`` expects."""
+        return self.arrivals
+
+    def total_arrivals(self, label: Optional[str] = None) -> int:
+        total = 0
+        for step in self.arrivals:
+            for key, packets in step.items():
+                if label is None or key == label:
+                    total += len(packets)
+        return total
+
+    def describe(self) -> str:
+        lines = [f"counterexample over {self.horizon} steps"]
+        for t, step in enumerate(self.arrivals):
+            parts = [
+                f"{key}+{len(packets)}"
+                for key, packets in sorted(step.items())
+                if packets
+            ]
+            lines.append(f"  t={t}: " + (", ".join(parts) if parts else "(idle)"))
+        for name in self.violated:
+            lines.append(f"  violates: {name}")
+        return "\n".join(lines)
+
+
+@dataclass
+class VerificationResult:
+    status: Status
+    horizon: int
+    counterexample: Optional[CounterexampleTrace] = None
+    solver_stats: Optional[SolverStats] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.PROVED
+
+
+class SmtBackend:
+    """Bounded (unrolled) symbolic analysis of one Buffy program."""
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        horizon: int,
+        config: Optional[EncodeConfig] = None,
+        sat_config: Optional[CDCLConfig] = None,
+        validate_models: bool = True,
+    ):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.checked = checked
+        self.horizon = horizon
+        self.config = config or EncodeConfig()
+        self.sat_config = sat_config
+        self.validate_models = validate_models
+        self.machine = SymbolicMachine(checked, self.config)
+        for _ in range(horizon):
+            self.machine.exec_step()
+
+    # ----- query helpers ----------------------------------------------------
+
+    def deq_count(self, label: str, step: int = -1) -> Term:
+        """Cumulative packets dequeued from buffer ``label`` by end of ``step``."""
+        return self.machine.snapshots[step].deq_p[label]
+
+    def drop_count(self, label: str, step: int = -1) -> Term:
+        return self.machine.snapshots[step].drop_p[label]
+
+    def enq_count(self, label: str, step: int = -1) -> Term:
+        return self.machine.snapshots[step].enq_p[label]
+
+    def backlog(self, label: str, step: int = -1) -> Term:
+        return self.machine.snapshots[step].backlog_p[label]
+
+    def monitor(self, name: str, step: int = -1):
+        return self.machine.snapshots[step].monitors[name]
+
+    def assertion_conjunction(self) -> Term:
+        return mk_and(*[ob.formula for ob in self.machine.obligations]) \
+            if self.machine.obligations else TRUE
+
+    # ----- solving -----------------------------------------------------------------
+
+    def _solver(self) -> SmtSolver:
+        solver = SmtSolver(
+            sat_config=self.sat_config, validate_models=self.validate_models
+        )
+        for name, (lo, hi) in self.machine.bounds.items():
+            solver.set_bounds(name, lo, hi)
+        for assumption in self.machine.assumptions:
+            solver.add(assumption)
+        return solver
+
+    def check_assertions(
+        self, extra_assumptions: Sequence[Term] = ()
+    ) -> VerificationResult:
+        """Do the program's ``assert``s hold on every admissible trace?"""
+        t0 = time.perf_counter()
+        solver = self._solver()
+        for a in extra_assumptions:
+            solver.add(a)
+        obligations = self.machine.obligations
+        if not obligations:
+            return VerificationResult(Status.PROVED, self.horizon)
+        solver.add(mk_or(*[mk_not(ob.formula) for ob in obligations]))
+        result = solver.check()
+        elapsed = time.perf_counter() - t0
+        if result is CheckResult.UNKNOWN:
+            return VerificationResult(
+                Status.UNKNOWN, self.horizon,
+                solver_stats=solver.stats, elapsed_seconds=elapsed,
+            )
+        if result is CheckResult.UNSAT:
+            return VerificationResult(
+                Status.PROVED, self.horizon,
+                solver_stats=solver.stats, elapsed_seconds=elapsed,
+            )
+        trace = self.decode_trace(solver.model())
+        trace.violated = [
+            ob.describe()
+            for ob in obligations
+            if solver.model().eval(ob.formula) is False
+        ]
+        return VerificationResult(
+            Status.VIOLATED, self.horizon, counterexample=trace,
+            solver_stats=solver.stats, elapsed_seconds=elapsed,
+        )
+
+    def find_trace(
+        self,
+        query: Term,
+        extra_assumptions: Sequence[Term] = (),
+    ) -> VerificationResult:
+        """Synthesize input traffic satisfying ``query`` (FPerf-style)."""
+        t0 = time.perf_counter()
+        solver = self._solver()
+        for a in extra_assumptions:
+            solver.add(a)
+        solver.add(query)
+        result = solver.check()
+        elapsed = time.perf_counter() - t0
+        if result is CheckResult.UNKNOWN:
+            return VerificationResult(
+                Status.UNKNOWN, self.horizon,
+                solver_stats=solver.stats, elapsed_seconds=elapsed,
+            )
+        if result is CheckResult.UNSAT:
+            return VerificationResult(
+                Status.UNSATISFIABLE, self.horizon,
+                solver_stats=solver.stats, elapsed_seconds=elapsed,
+            )
+        trace = self.decode_trace(solver.model())
+        return VerificationResult(
+            Status.SATISFIED, self.horizon, counterexample=trace,
+            solver_stats=solver.stats, elapsed_seconds=elapsed,
+        )
+
+    def prove(self, query: Term,
+              extra_assumptions: Sequence[Term] = ()) -> VerificationResult:
+        """Is ``query`` valid on every admissible trace?"""
+        result = self.find_trace(mk_not(query), extra_assumptions)
+        mapping = {
+            Status.SATISFIED: Status.VIOLATED,
+            Status.UNSATISFIABLE: Status.PROVED,
+            Status.UNKNOWN: Status.UNKNOWN,
+        }
+        return VerificationResult(
+            mapping[result.status],
+            self.horizon,
+            counterexample=result.counterexample,
+            solver_stats=result.solver_stats,
+            elapsed_seconds=result.elapsed_seconds,
+        )
+
+    # ----- decoding --------------------------------------------------------------------
+
+    def decode_trace(self, model: Model) -> CounterexampleTrace:
+        arrivals: list[dict[str, list[Packet]]] = [
+            {} for _ in range(self.horizon)
+        ]
+        for av in self.machine.arrival_vars:
+            present = model.eval(av.present)
+            if not present:
+                continue
+            packet = Packet(
+                flow=int(model.eval(av.flow)),
+                size=int(model.eval(av.size)),
+            )
+            arrivals[av.step].setdefault(av.buffer, []).append(packet)
+        havocs = {
+            (hv.step, hv.name, hv.occurrence): model.eval(hv.var)
+            for hv in self.machine.havoc_vars
+        }
+        return CounterexampleTrace(
+            horizon=self.horizon,
+            arrivals=arrivals,
+            havocs=havocs,
+            model=model,
+        )

@@ -1,0 +1,11 @@
+"""Hand-written FPerf-style encodings (the Table-1 'before' picture)."""
+
+from .common import BaselineContext, BaselineList
+from .fperf_fq import encode_fq_baseline
+from .fperf_prio import encode_prio_baseline
+from .fperf_rr import encode_rr_baseline
+
+__all__ = [
+    "BaselineContext", "BaselineList", "encode_fq_baseline",
+    "encode_prio_baseline", "encode_rr_baseline",
+]

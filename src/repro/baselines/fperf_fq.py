@@ -1,0 +1,185 @@
+"""FPerf-style encoding of the buggy fair-queuing scheduler (Figure 1).
+
+This file hand-constructs the SMT formulas for the FQ scheduler's
+per-step logic exactly the way FPerf does (see the paper's Figure 1
+and the fperf repository's ``buggy_2l_rr_qm.cpp``): explicit variables
+for every pointer-list slot at every sub-step, and implications
+enumerating every distinct scenario — list pushes, list pops, head
+selection, queue demotion and the dequeue decision are each written
+out slot by slot and case by case.
+
+Compare with the 18-line Buffy program in
+``repro/netmodels/schedulers.py``; the line counts of the two
+artifacts are what ``benchmarks/bench_table1_loc.py`` reports for
+Table 1.
+"""
+
+from __future__ import annotations
+
+from ..smt.terms import (
+    FALSE,
+    ZERO,
+    Term,
+    mk_and,
+    mk_eq,
+    mk_iff,
+    mk_implies,
+    mk_int,
+    mk_ite,
+    mk_lt,
+    mk_not,
+    mk_or,
+)
+from .common import BaselineContext
+
+
+def encode_fq_baseline(
+    n_queues: int = 2,
+    horizon: int = 6,
+    capacity: int = 6,
+    max_arrivals: int = 2,
+) -> BaselineContext:
+    """Build the full FPerf-style constraint system for buggy FQ."""
+    ctx = BaselineContext(
+        n_queues=n_queues,
+        horizon=horizon,
+        capacity=capacity,
+        max_arrivals=max_arrivals,
+        name="fqbl",
+    )
+    n = n_queues
+
+    # The two pointer lists persist across time steps.  Each list is a
+    # bank of slot variables (queue ids, -1 = empty) plus a length.
+    nq_e = [ctx.fresh_int(f"nq_init_e{i}", -1, n - 1) for i in range(n)]
+    nq_len = ctx.fresh_int("nq_init_len", 0, n)
+    oq_e = [ctx.fresh_int(f"oq_init_e{i}", -1, n - 1) for i in range(n)]
+    oq_len = ctx.fresh_int("oq_init_len", 0, n)
+    ctx.add(mk_eq(nq_len, ZERO))
+    ctx.add(mk_eq(oq_len, ZERO))
+    for i in range(n):
+        ctx.add(mk_eq(nq_e[i], mk_int(-1)))
+        ctx.add(mk_eq(oq_e[i], mk_int(-1)))
+
+    for t in range(horizon):
+        # =====================================================================
+        # Phase 1: activate newly backlogged queues into new_queues.
+        # One push-if per queue id; every push is a fresh copy of all
+        # slot variables related to the previous copy by implications.
+        # =====================================================================
+        for i in range(n):
+            qi_not_empty = mk_lt(ZERO, ctx.cnt_mid[i][t])
+            in_nq = mk_or(*[
+                mk_and(mk_lt(mk_int(k), nq_len), mk_eq(nq_e[k], mk_int(i)))
+                for k in range(n)
+            ])
+            in_oq = mk_or(*[
+                mk_and(mk_lt(mk_int(k), oq_len), mk_eq(oq_e[k], mk_int(i)))
+                for k in range(n)
+            ])
+            activate = mk_and(qi_not_empty, mk_not(in_nq), mk_not(in_oq))
+            do_push = mk_and(activate, mk_lt(nq_len, mk_int(n)))
+            new_e = [ctx.fresh_int(f"nq_t{t}_act{i}_e{k}", -1, n - 1)
+                     for k in range(n)]
+            new_len = ctx.fresh_int(f"nq_t{t}_act{i}_len", 0, n)
+            ctx.add(mk_implies(do_push, mk_eq(new_len, nq_len + mk_int(1))))
+            ctx.add(mk_implies(mk_not(do_push), mk_eq(new_len, nq_len)))
+            for k in range(n):
+                at_tail = mk_and(do_push, mk_eq(nq_len, mk_int(k)))
+                ctx.add(mk_implies(at_tail, mk_eq(new_e[k], mk_int(i))))
+                ctx.add(mk_implies(mk_not(at_tail), mk_eq(new_e[k], nq_e[k])))
+            nq_e, nq_len = new_e, new_len
+
+        # =====================================================================
+        # Phase 2: the selection loop — up to n pop attempts per step.
+        # =====================================================================
+        dequeued: Term = FALSE
+        send_conds: list[tuple[Term, Term]] = []
+        for j in range(n):
+            not_done = mk_not(dequeued)
+            nq_nonempty = mk_lt(ZERO, nq_len)
+            oq_nonempty = mk_lt(ZERO, oq_len)
+
+            # ---- pop the head of new_queues when it is non-empty ----
+            pop_nq = mk_and(not_done, nq_nonempty)
+            head_nq = ctx.fresh_int(f"t{t}_s{j}_headnq", -1, n - 1)
+            ctx.add(mk_implies(pop_nq, mk_eq(head_nq, nq_e[0])))
+            ctx.add(mk_implies(mk_not(pop_nq), mk_eq(head_nq, mk_int(-1))))
+            new_nq_e = [ctx.fresh_int(f"nq_t{t}_s{j}_e{k}", -1, n - 1)
+                        for k in range(n)]
+            new_nq_len = ctx.fresh_int(f"nq_t{t}_s{j}_len", 0, n)
+            ctx.add(mk_implies(pop_nq,
+                               mk_eq(new_nq_len, nq_len - mk_int(1))))
+            ctx.add(mk_implies(mk_not(pop_nq), mk_eq(new_nq_len, nq_len)))
+            for k in range(n - 1):
+                ctx.add(mk_implies(pop_nq, mk_eq(new_nq_e[k], nq_e[k + 1])))
+                ctx.add(mk_implies(mk_not(pop_nq),
+                                   mk_eq(new_nq_e[k], nq_e[k])))
+            ctx.add(mk_implies(pop_nq, mk_eq(new_nq_e[n - 1], mk_int(-1))))
+            ctx.add(mk_implies(mk_not(pop_nq),
+                               mk_eq(new_nq_e[n - 1], nq_e[n - 1])))
+            nq_e, nq_len = new_nq_e, new_nq_len
+
+            # ---- otherwise pop the head of old_queues ----
+            pop_oq = mk_and(not_done, mk_not(pop_nq), oq_nonempty)
+            head_oq = ctx.fresh_int(f"t{t}_s{j}_headoq", -1, n - 1)
+            ctx.add(mk_implies(pop_oq, mk_eq(head_oq, oq_e[0])))
+            ctx.add(mk_implies(mk_not(pop_oq), mk_eq(head_oq, mk_int(-1))))
+            new_oq_e = [ctx.fresh_int(f"oq_t{t}_s{j}_e{k}", -1, n - 1)
+                        for k in range(n)]
+            new_oq_len = ctx.fresh_int(f"oq_t{t}_s{j}_len", 0, n)
+            ctx.add(mk_implies(pop_oq,
+                               mk_eq(new_oq_len, oq_len - mk_int(1))))
+            ctx.add(mk_implies(mk_not(pop_oq), mk_eq(new_oq_len, oq_len)))
+            for k in range(n - 1):
+                ctx.add(mk_implies(pop_oq, mk_eq(new_oq_e[k], oq_e[k + 1])))
+                ctx.add(mk_implies(mk_not(pop_oq),
+                                   mk_eq(new_oq_e[k], oq_e[k])))
+            ctx.add(mk_implies(pop_oq, mk_eq(new_oq_e[n - 1], mk_int(-1))))
+            ctx.add(mk_implies(mk_not(pop_oq),
+                               mk_eq(new_oq_e[n - 1], oq_e[n - 1])))
+            oq_e, oq_len = new_oq_e, new_oq_len
+
+            # ---- head selection and its backlog, by per-value cases ----
+            head = mk_ite(pop_nq, head_nq,
+                          mk_ite(pop_oq, head_oq, mk_int(-1)))
+            got_head = mk_not(mk_eq(head, mk_int(-1)))
+            sel_cnt = ZERO
+            for q in range(n):
+                sel_cnt = mk_ite(mk_eq(head, mk_int(q)),
+                                 ctx.cnt_mid[q][t], sel_cnt)
+
+            # ---- demotion (the buggy rule): only queues with more than
+            # one remaining packet go to old_queues; an emptying queue is
+            # silently deactivated and re-enters new_queues on its next
+            # packet — the starvation bug the RFC warns about. ----
+            demote = mk_and(not_done, got_head, mk_lt(mk_int(1), sel_cnt))
+            do_dem = mk_and(demote, mk_lt(oq_len, mk_int(n)))
+            dem_e = [ctx.fresh_int(f"oq_t{t}_s{j}_dem_e{k}", -1, n - 1)
+                     for k in range(n)]
+            dem_len = ctx.fresh_int(f"oq_t{t}_s{j}_dem_len", 0, n)
+            ctx.add(mk_implies(do_dem, mk_eq(dem_len, oq_len + mk_int(1))))
+            ctx.add(mk_implies(mk_not(do_dem), mk_eq(dem_len, oq_len)))
+            for k in range(n):
+                at_tail = mk_and(do_dem, mk_eq(oq_len, mk_int(k)))
+                ctx.add(mk_implies(at_tail, mk_eq(dem_e[k], head)))
+                ctx.add(mk_implies(mk_not(at_tail),
+                                   mk_eq(dem_e[k], oq_e[k])))
+            oq_e, oq_len = dem_e, dem_len
+
+            # ---- the transmit decision for this sub-iteration ----
+            send = mk_and(not_done, got_head, mk_lt(ZERO, sel_cnt))
+            send_conds.append((send, head))
+            dequeued = mk_or(dequeued, send)
+
+        # =====================================================================
+        # Phase 3: tie the dequeue decision variables to the logic.
+        # =====================================================================
+        for q in range(n):
+            fired = mk_or(*[
+                mk_and(send, mk_eq(head, mk_int(q)))
+                for send, head in send_conds
+            ])
+            ctx.add(mk_iff(ctx.deq[q][t], fired))
+
+    return ctx

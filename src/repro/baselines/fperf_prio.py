@@ -1,0 +1,37 @@
+"""FPerf-style encoding of the strict-priority scheduler.
+
+The smallest of the three baseline encodings (Table 1): queue ``q``
+transmits iff it is backlogged and all higher-priority queues are not.
+"""
+
+from __future__ import annotations
+
+from ..smt.terms import ZERO, mk_and, mk_eq, mk_iff, mk_lt, mk_not
+
+from .common import BaselineContext
+
+
+def encode_prio_baseline(
+    n_queues: int = 2,
+    horizon: int = 6,
+    capacity: int = 6,
+    max_arrivals: int = 2,
+) -> BaselineContext:
+    """Build the FPerf-style constraint system for strict priority."""
+    ctx = BaselineContext(
+        n_queues=n_queues,
+        horizon=horizon,
+        capacity=capacity,
+        max_arrivals=max_arrivals,
+        name="spbl",
+    )
+    for t in range(ctx.horizon):
+        for q in range(ctx.n_queues):
+            higher_empty = [
+                mk_eq(ctx.cnt_mid[p][t], ZERO) for p in range(q)
+            ]
+            fires = mk_and(
+                mk_lt(ZERO, ctx.cnt_mid[q][t]), *higher_empty
+            )
+            ctx.add(mk_iff(ctx.deq[q][t], fires))
+    return ctx

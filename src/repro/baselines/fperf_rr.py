@@ -1,0 +1,84 @@
+"""FPerf-style encoding of the round-robin scheduler.
+
+Hand-written per-step formulas for the round-robin pointer scan:
+explicit pointer variables per sub-step and per-value case splits.
+Compare with the 10-line Buffy program (Table 1).
+"""
+
+from __future__ import annotations
+
+from ..smt.terms import (
+    FALSE,
+    ZERO,
+    Term,
+    mk_and,
+    mk_eq,
+    mk_iff,
+    mk_implies,
+    mk_int,
+    mk_ite,
+    mk_lt,
+    mk_not,
+    mk_or,
+)
+from .common import BaselineContext
+
+
+def encode_rr_baseline(
+    n_queues: int = 2,
+    horizon: int = 6,
+    capacity: int = 6,
+    max_arrivals: int = 2,
+) -> BaselineContext:
+    """Build the FPerf-style constraint system for round robin."""
+    ctx = BaselineContext(
+        n_queues=n_queues,
+        horizon=horizon,
+        capacity=capacity,
+        max_arrivals=max_arrivals,
+        name="rrbl",
+    )
+    n = n_queues
+    # The persistent next-queue pointer, one variable per time step.
+    nxt = [ctx.fresh_int(f"nxt_t{t}", 0, n - 1) for t in range(horizon + 1)]
+    ctx.add(mk_eq(nxt[0], ZERO))
+
+    for t in range(horizon):
+        dequeued: Term = FALSE
+        ptr = nxt[t]
+        send_conds: list[tuple[Term, Term]] = []
+        for j in range(n):
+            not_done = mk_not(dequeued)
+            # Does the queue under the pointer have traffic?  Enumerate
+            # every possible pointer value explicitly.
+            ptr_cnt = ZERO
+            for q in range(n):
+                ptr_cnt = mk_ite(mk_eq(ptr, mk_int(q)),
+                                 ctx.cnt_mid[q][t], ptr_cnt)
+            send = mk_and(not_done, mk_lt(ZERO, ptr_cnt))
+            send_conds.append((send, ptr))
+            dequeued = mk_or(dequeued, send)
+            # Advance the pointer (with wraparound) when nothing was sent.
+            advance = mk_not(dequeued)
+            stepped = ctx.fresh_int(f"ptr_t{t}_s{j}", 0, n - 1)
+            wrapped = mk_ite(
+                mk_eq(ptr, mk_int(n - 1)), ZERO, ptr + mk_int(1)
+            )
+            ctx.add(mk_implies(advance, mk_eq(stepped, wrapped)))
+            ctx.add(mk_implies(mk_not(advance), mk_eq(stepped, ptr)))
+            ptr = stepped
+        # After a send, the pointer moves one past the served queue.
+        final = ctx.fresh_int(f"ptr_t{t}_fin", 0, n - 1)
+        served_wrap = mk_ite(
+            mk_eq(ptr, mk_int(n - 1)), ZERO, ptr + mk_int(1)
+        )
+        ctx.add(mk_implies(dequeued, mk_eq(final, served_wrap)))
+        ctx.add(mk_implies(mk_not(dequeued), mk_eq(final, ptr)))
+        ctx.add(mk_eq(nxt[t + 1], final))
+        for q in range(n):
+            fired = mk_or(
+                *[mk_and(send, mk_eq(p, mk_int(q))) for send, p in send_conds]
+            )
+            ctx.add(mk_iff(ctx.deq[q][t], fired))
+
+    return ctx

@@ -1,0 +1,18 @@
+"""Packet buffers: one interface, plug-in precision levels (§3)."""
+
+from .base import BufferStats, ConcreteBufferModel
+from .concrete import CounterBuffer, ListBuffer
+from .packets import Packet
+from .symbolic import (
+    SymbolicBufferModel,
+    SymbolicCounterBuffer,
+    SymbolicList,
+    SymbolicListBuffer,
+    SymbolicPacket,
+)
+
+__all__ = [
+    "BufferStats", "ConcreteBufferModel", "CounterBuffer", "ListBuffer",
+    "Packet", "SymbolicBufferModel", "SymbolicCounterBuffer",
+    "SymbolicList", "SymbolicListBuffer", "SymbolicPacket",
+]

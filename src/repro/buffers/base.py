@@ -1,0 +1,76 @@
+"""The abstract buffer interface: one API, plug-in precision levels.
+
+§3 of the paper: "we provide a unified set of operations over the
+buffers in the language regardless of the abstraction level, [but]
+support backend implementations with different levels of precision."
+
+Concrete models (this package) implement the interface over Python
+state and back the reference interpreter; symbolic models implement the
+same operations over SMT terms and back the compiler
+(:mod:`repro.compiler.symexec`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .packets import Packet
+
+
+@dataclass
+class BufferStats:
+    """Cumulative per-buffer statistics (monitor-style observables)."""
+
+    enqueued_packets: int = 0
+    enqueued_bytes: int = 0
+    dequeued_packets: int = 0
+    dequeued_bytes: int = 0
+    dropped_packets: int = 0
+    dropped_bytes: int = 0
+
+
+class ConcreteBufferModel(abc.ABC):
+    """Executable buffer semantics used by the reference interpreter."""
+
+    capacity: Optional[int]
+    stats: BufferStats
+
+    @abc.abstractmethod
+    def backlog_p(self, fieldname: Optional[str] = None,
+                  value: Optional[int] = None) -> int:
+        """Packets in the buffer (optionally restricted to a filter)."""
+
+    @abc.abstractmethod
+    def backlog_b(self, fieldname: Optional[str] = None,
+                  value: Optional[int] = None) -> int:
+        """Bytes in the buffer (optionally restricted to a filter)."""
+
+    @abc.abstractmethod
+    def enqueue(self, packet: Packet) -> bool:
+        """Add a packet at the tail; False (and a drop) when full."""
+
+    @abc.abstractmethod
+    def dequeue_packets(self, count: int) -> list[Packet]:
+        """Remove up to ``count`` packets from the head."""
+
+    @abc.abstractmethod
+    def dequeue_bytes(self, count: int) -> list[Packet]:
+        """Remove whole head packets totalling at most ``count`` bytes."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> tuple:
+        """A hashable summary of current contents (tests, trace dumps)."""
+
+    def flush_in(self, packets: Sequence[Packet]) -> int:
+        """Enqueue a batch (composition flush); returns packets accepted."""
+        accepted = 0
+        for packet in packets:
+            if self.enqueue(packet):
+                accepted += 1
+        return accepted
+
+    def drain_all(self) -> list[Packet]:
+        """Remove everything (used when flushing outputs to a neighbour)."""
+        return self.dequeue_packets(self.backlog_p())

@@ -1,0 +1,178 @@
+"""Concrete (executable) buffer models at the two precision levels.
+
+* :class:`ListBuffer` — FPerf-style: an ordered queue of packets.
+* :class:`CounterBuffer` — CCAC-style: per-flow packet/byte counters,
+  no intra-buffer ordering.
+
+Both implement :class:`repro.buffers.base.ConcreteBufferModel`, so the
+reference interpreter can run a Buffy program against either precision
+level without changes — the paper's "plug-in models" design (§3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .base import BufferStats, ConcreteBufferModel
+from .packets import Packet
+
+
+class ListBuffer(ConcreteBufferModel):
+    """Full-precision buffer: an ordered list of packets."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._packets: deque[Packet] = deque()
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def packets(self) -> list[Packet]:
+        return list(self._packets)
+
+    def backlog_p(self, fieldname: Optional[str] = None,
+                  value: Optional[int] = None) -> int:
+        if fieldname is None:
+            return len(self._packets)
+        return sum(1 for p in self._packets if p.matches(fieldname, value))
+
+    def backlog_b(self, fieldname: Optional[str] = None,
+                  value: Optional[int] = None) -> int:
+        if fieldname is None:
+            return sum(p.size for p in self._packets)
+        return sum(p.size for p in self._packets if p.matches(fieldname, value))
+
+    def enqueue(self, packet: Packet) -> bool:
+        if self.capacity is not None and len(self._packets) >= self.capacity:
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            return False
+        self._packets.append(packet)
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size
+        return True
+
+    def dequeue_packets(self, count: int) -> list[Packet]:
+        out: list[Packet] = []
+        for _ in range(max(0, count)):
+            if not self._packets:
+                break
+            packet = self._packets.popleft()
+            out.append(packet)
+            self.stats.dequeued_packets += 1
+            self.stats.dequeued_bytes += packet.size
+        return out
+
+    def dequeue_bytes(self, count: int) -> list[Packet]:
+        out: list[Packet] = []
+        remaining = max(0, count)
+        while self._packets and self._packets[0].size <= remaining:
+            packet = self._packets.popleft()
+            remaining -= packet.size
+            out.append(packet)
+            self.stats.dequeued_packets += 1
+            self.stats.dequeued_bytes += packet.size
+        return out
+
+    def snapshot(self) -> tuple:
+        return tuple((p.flow, p.size) for p in self._packets)
+
+
+class CounterBuffer(ConcreteBufferModel):
+    """Count-precision buffer: per-flow packet and byte totals.
+
+    Ordering inside the buffer is abstracted away; dequeues drain flows
+    in ascending flow-id order (a fixed, documented policy so concrete
+    runs are deterministic).  Queries that depend on packet order are
+    outside this model's precision — see the precision ablation
+    (experiment A1 in DESIGN.md).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._packet_counts: dict[int, int] = {}
+        self._byte_counts: dict[int, int] = {}
+
+    def backlog_p(self, fieldname: Optional[str] = None,
+                  value: Optional[int] = None) -> int:
+        if fieldname is None:
+            return sum(self._packet_counts.values())
+        if fieldname != "flow":
+            raise ValueError(
+                f"counter model only tracks the 'flow' field, not {fieldname!r}"
+            )
+        return self._packet_counts.get(value, 0)
+
+    def backlog_b(self, fieldname: Optional[str] = None,
+                  value: Optional[int] = None) -> int:
+        if fieldname is None:
+            return sum(self._byte_counts.values())
+        if fieldname != "flow":
+            raise ValueError(
+                f"counter model only tracks the 'flow' field, not {fieldname!r}"
+            )
+        return self._byte_counts.get(value, 0)
+
+    def enqueue(self, packet: Packet) -> bool:
+        if self.capacity is not None and self.backlog_p() >= self.capacity:
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            return False
+        self._packet_counts[packet.flow] = (
+            self._packet_counts.get(packet.flow, 0) + 1
+        )
+        self._byte_counts[packet.flow] = (
+            self._byte_counts.get(packet.flow, 0) + packet.size
+        )
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size
+        return True
+
+    def _take_one(self, flow: int) -> Packet:
+        count = self._packet_counts[flow]
+        total_bytes = self._byte_counts[flow]
+        # Reconstruct a representative packet with the average size
+        # (exact when all packets in the flow share a size).
+        size = total_bytes // count
+        self._packet_counts[flow] = count - 1
+        self._byte_counts[flow] = total_bytes - size
+        if self._packet_counts[flow] == 0:
+            del self._packet_counts[flow]
+            del self._byte_counts[flow]
+        self.stats.dequeued_packets += 1
+        self.stats.dequeued_bytes += size
+        return Packet(flow=flow, size=size)
+
+    def dequeue_packets(self, count: int) -> list[Packet]:
+        out: list[Packet] = []
+        for _ in range(max(0, count)):
+            flows = sorted(self._packet_counts)
+            if not flows:
+                break
+            out.append(self._take_one(flows[0]))
+        return out
+
+    def dequeue_bytes(self, count: int) -> list[Packet]:
+        out: list[Packet] = []
+        remaining = max(0, count)
+        while True:
+            flows = sorted(self._packet_counts)
+            if not flows:
+                break
+            flow = flows[0]
+            size = self._byte_counts[flow] // self._packet_counts[flow]
+            if size > remaining:
+                break
+            out.append(self._take_one(flow))
+            remaining -= size
+        return out
+
+    def snapshot(self) -> tuple:
+        return tuple(sorted(self._packet_counts.items()))

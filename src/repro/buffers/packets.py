@@ -1,0 +1,50 @@
+"""Packets: the unit of data moving between Buffy buffers.
+
+The list-precision buffer model tracks individual packets.  Every
+packet carries integer fields; ``flow`` (traffic class / input index)
+and ``size`` (bytes) are always present, mirroring the fields Buffy
+filters may reference (``B |> flow == 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable packet with integer fields."""
+
+    flow: int = 0
+    size: int = 1
+    extra: tuple = ()  # extra (field, value) pairs, sorted
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("packet size must be non-negative")
+
+    @classmethod
+    def of(cls, flow: int = 0, size: int = 1, **fields: int) -> "Packet":
+        return cls(flow=flow, size=size, extra=tuple(sorted(fields.items())))
+
+    def get(self, fieldname: str) -> int:
+        if fieldname == "flow":
+            return self.flow
+        if fieldname == "size":
+            return self.size
+        for name, value in self.extra:
+            if name == fieldname:
+                return value
+        raise KeyError(f"packet has no field {fieldname!r}")
+
+    def matches(self, fieldname: str, value: int) -> bool:
+        """Does this packet pass the filter ``fieldname == value``?"""
+        try:
+            return self.get(fieldname) == value
+        except KeyError:
+            return False
+
+    def __repr__(self) -> str:
+        extras = "".join(f", {k}={v}" for k, v in self.extra)
+        return f"Packet(flow={self.flow}, size={self.size}{extras})"

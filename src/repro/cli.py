@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``check FILE``      — parse and type-check a Buffy program;
+* ``pretty FILE``     — parse and pretty-print (format) a program;
+* ``run FILE``        — simulate with a random workload, print stats;
+* ``verify FILE``     — check in-program asserts over a bounded horizon;
+* ``smtlib FILE``     — dump the compiled encoding as SMT-LIB v2;
+* ``loc``             — print the Table-1 LoC comparison.
+
+Named constants for ``buffer[N]``-style sizes are passed with
+``-D N=3`` (repeatable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.workloads import random_workload
+from .backends.smt_backend import SmtBackend, Status
+from .compiler.symexec import EncodeConfig
+from .lang.ast import BuffyError
+from .lang.checker import check_program
+from .lang.interp import Interpreter
+from .lang.parser import parse_program
+from .lang.pretty import pretty_program
+
+
+def _parse_defines(defines: Sequence[str]) -> dict[str, int]:
+    consts: dict[str, int] = {}
+    for item in defines:
+        name, _, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"bad -D option {item!r}; expected NAME=INT")
+        consts[name] = int(value)
+    return consts
+
+
+def _load(path: str, defines: Sequence[str]):
+    with open(path) as handle:
+        source = handle.read()
+    return check_program(parse_program(source, consts=_parse_defines(defines)))
+
+
+def _config(args) -> EncodeConfig:
+    return EncodeConfig(
+        buffer_capacity=args.capacity,
+        arrivals_per_step=args.arrivals,
+    )
+
+
+def cmd_check(args) -> int:
+    checked = _load(args.file, args.define)
+    params = ", ".join(
+        f"{p.kind.value} {p.name}" for p in checked.program.params
+    )
+    print(f"{checked.name}: OK ({params})")
+    if checked.monitors:
+        print(f"  monitors: {', '.join(checked.monitors)}")
+    return 0
+
+
+def cmd_pretty(args) -> int:
+    checked = _load(args.file, args.define)
+    print(pretty_program(checked.program), end="")
+    return 0
+
+
+def cmd_run(args) -> int:
+    checked = _load(args.file, args.define)
+    interp = Interpreter(checked, buffer_capacity=args.capacity)
+    machine_labels = [
+        f"{p.name}[{i}]" if p.count > 1 else p.name
+        for p in checked.program.input_params()
+        for i in range(p.count)
+    ]
+    workload = random_workload(
+        machine_labels, args.horizon, args.arrivals, seed=args.seed
+    )
+    trace = interp.run(workload)
+    print(f"simulated {args.horizon} steps of {checked.name}")
+    for label in machine_labels:
+        if "[" in label:
+            name, _, rest = label.partition("[")
+            buf = interp.buffer(name, int(rest[:-1]))
+        else:
+            buf = interp.buffer(label)
+        stats = buf.stats
+        print(f"  {label}: enq={stats.enqueued_packets}"
+              f" deq={stats.dequeued_packets}"
+              f" drop={stats.dropped_packets}"
+              f" backlog={buf.backlog_p()}")
+    if trace.violations:
+        for violation in trace.violations:
+            print(f"  ASSERT VIOLATION: {violation}")
+        return 1
+    return 0
+
+
+def cmd_verify(args) -> int:
+    checked = _load(args.file, args.define)
+    backend = SmtBackend(checked, horizon=args.horizon, config=_config(args))
+    result = backend.check_assertions()
+    print(f"{checked.name}: {result.status.value}"
+          f" (T={args.horizon}, {result.elapsed_seconds:.2f}s)")
+    if result.status is Status.VIOLATED:
+        print(result.counterexample.describe())
+        return 1
+    return 0 if result.status is Status.PROVED else 2
+
+
+def cmd_smtlib(args) -> int:
+    from .smt.smtlib import to_smtlib
+
+    checked = _load(args.file, args.define)
+    backend = SmtBackend(checked, horizon=args.horizon, config=_config(args))
+    bounds = dict(backend.machine.bounds)
+    formulas = list(backend.machine.assumptions)
+    formulas.extend(ob.formula for ob in backend.machine.obligations)
+    print(to_smtlib(formulas, bounds=bounds), end="")
+    return 0
+
+
+def cmd_loc(args) -> int:
+    from .analysis.loc import table1_rows
+
+    print(f"{'Program':16s} {'FPerf-style':>12s} {'Buffy':>6s} {'ratio':>6s}")
+    for row in table1_rows():
+        print(f"{row.program:16s} {row.fperf_loc:12d} {row.buffy_loc:6d}"
+              f" {row.ratio:5.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Buffy (HotNets '24) reproduction: model and analyze"
+                    " network performance",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_file=True):
+        if with_file:
+            p.add_argument("file", help="Buffy source file")
+        p.add_argument("-D", "--define", action="append", default=[],
+                       metavar="NAME=INT",
+                       help="define a named constant (repeatable)")
+        p.add_argument("--horizon", type=int, default=4,
+                       help="time steps to model (default 4)")
+        p.add_argument("--capacity", type=int, default=6,
+                       help="buffer capacity (default 6)")
+        p.add_argument("--arrivals", type=int, default=2,
+                       help="max arrivals per buffer per step (default 2)")
+        p.add_argument("--seed", type=int, default=0)
+
+    for name, fn, help_text in (
+        ("check", cmd_check, "parse and type-check"),
+        ("pretty", cmd_pretty, "parse and pretty-print"),
+        ("run", cmd_run, "simulate on a random workload"),
+        ("verify", cmd_verify, "check asserts over a bounded horizon"),
+        ("smtlib", cmd_smtlib, "dump the encoding as SMT-LIB v2"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p)
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("loc", help="print the Table-1 LoC comparison")
+    p.set_defaults(fn=cmd_loc)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BuffyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

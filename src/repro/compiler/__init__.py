@@ -1,0 +1,9 @@
+"""Compilation: symbolic execution and composition of Buffy programs."""
+
+from .composition import ConcreteNetwork, Connection, SymbolicNetwork
+from .symexec import EncodeConfig, EncodeError, Obligation, SymbolicMachine
+
+__all__ = [
+    "ConcreteNetwork", "Connection", "EncodeConfig", "EncodeError",
+    "Obligation", "SymbolicMachine", "SymbolicNetwork",
+]

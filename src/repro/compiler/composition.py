@@ -1,0 +1,207 @@
+"""Composition: wiring Buffy programs together through their buffers.
+
+§3 of the paper: "Suppose O_i is an output buffer in program P1, and
+I_j is an input buffer in program P2.  P1 and P2 can be composed by
+'connecting' O_i and I_j.  Semantically, at the end of the time step t,
+the contents of O_i will be flushed into I_j.  At the beginning of
+t+1, I_j's updated state will reflect the modifications [...] The user
+does not need to add extra code — Buffy augments programs to implement
+the mechanics of the composition."
+
+Both execution modes are provided:
+
+* :class:`ConcreteNetwork` — composed simulation over interpreters;
+* :class:`SymbolicNetwork` — composed symbolic encoding over
+  :class:`~repro.compiler.symexec.SymbolicMachine` instances, usable
+  with the same solving/decoding interface as a single program
+  (:class:`NetworkBackend` in :mod:`repro.backends.network`).
+
+Programs in a network interact *only* through end-of-step flushes, so
+per-step execution order between programs is immaterial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..buffers.packets import Packet
+from ..buffers.symbolic import SymbolicPacket
+from ..smt.terms import TRUE
+from ..lang.checker import CheckedProgram
+from ..lang.interp import Interpreter, StepRecord
+from .symexec import EncodeConfig, SymbolicMachine, deliver_packet
+
+
+@dataclass(frozen=True)
+class Connection:
+    """Connect ``src_program.src_buffer`` → ``dst_program.dst_buffer``."""
+
+    src_program: str
+    src_buffer: str   # output buffer label, e.g. "ob" or "pob[1]"
+    dst_program: str
+    dst_buffer: str   # input buffer label
+
+
+class _Topology:
+    """Shared wiring validation for both network kinds."""
+
+    def __init__(self, programs: dict[str, CheckedProgram],
+                 connections: Sequence[Connection]):
+        self.programs = dict(programs)
+        self.connections = list(connections)
+        for conn in self.connections:
+            if conn.src_program not in self.programs:
+                raise KeyError(f"unknown program {conn.src_program!r}")
+            if conn.dst_program not in self.programs:
+                raise KeyError(f"unknown program {conn.dst_program!r}")
+        self.connected_inputs: dict[str, set[str]] = {
+            name: set() for name in self.programs
+        }
+        for conn in self.connections:
+            self.connected_inputs[conn.dst_program].add(conn.dst_buffer)
+
+    def external_inputs(self, name: str,
+                        all_labels: Sequence[str]) -> list[str]:
+        connected = self.connected_inputs[name]
+        return [label for label in all_labels if label not in connected]
+
+
+class ConcreteNetwork:
+    """Composed concrete simulation of multiple Buffy programs."""
+
+    def __init__(
+        self,
+        programs: dict[str, CheckedProgram],
+        connections: Sequence[Connection],
+        interpreter_factory: Optional[Callable[[CheckedProgram], Interpreter]] = None,
+    ):
+        self.topology = _Topology(programs, connections)
+        factory = interpreter_factory or Interpreter
+        self.interpreters: dict[str, Interpreter] = {
+            name: factory(checked) for name, checked in programs.items()
+        }
+        self._pending: dict[tuple[str, str], list[Packet]] = {}
+
+    def step(
+        self,
+        external: Optional[dict[str, dict[str, Sequence[Packet]]]] = None,
+    ) -> dict[str, StepRecord]:
+        """One composed time step; ``external`` maps program → arrivals."""
+        external = external or {}
+        records: dict[str, StepRecord] = {}
+        for name, interp in self.interpreters.items():
+            arrivals: dict[str, list[Packet]] = {
+                label: list(packets)
+                for label, packets in external.get(name, {}).items()
+            }
+            for (prog, label), packets in list(self._pending.items()):
+                if prog == name and packets:
+                    arrivals.setdefault(label, []).extend(packets)
+                    self._pending[(prog, label)] = []
+            records[name] = interp.run_step(arrivals)
+        # End-of-step flush: outputs travel to connected inputs, visible
+        # at the beginning of the next step.
+        for conn in self.topology.connections:
+            drained = self._drain(conn.src_program, conn.src_buffer)
+            key = (conn.dst_program, conn.dst_buffer)
+            self._pending.setdefault(key, []).extend(drained)
+        return records
+
+    def run(self, steps: int,
+            external_per_step: Optional[Sequence[dict]] = None
+            ) -> list[dict[str, StepRecord]]:
+        out = []
+        for t in range(steps):
+            ext = external_per_step[t] if external_per_step else None
+            out.append(self.step(ext))
+        return out
+
+    def _drain(self, program: str, label: str) -> list[Packet]:
+        interp = self.interpreters[program]
+        if label.endswith("]") and "[" in label:
+            name, _, rest = label.partition("[")
+            return interp.buffer(name, int(rest[:-1])).drain_all()
+        return interp.buffer(label).drain_all()
+
+    def interpreter(self, name: str) -> Interpreter:
+        return self.interpreters[name]
+
+
+class SymbolicNetwork:
+    """Composed symbolic encoding of multiple Buffy programs."""
+
+    def __init__(
+        self,
+        programs: dict[str, CheckedProgram],
+        connections: Sequence[Connection],
+        configs: Optional[dict[str, EncodeConfig]] = None,
+        default_config: Optional[EncodeConfig] = None,
+    ):
+        self.topology = _Topology(programs, connections)
+        configs = configs or {}
+        base = default_config or EncodeConfig()
+        self.machines: dict[str, SymbolicMachine] = {
+            name: SymbolicMachine(checked, configs.get(name, base), prefix=name)
+            for name, checked in programs.items()
+        }
+        self._pending: dict[tuple[str, str], list[SymbolicPacket]] = {}
+        self.step = 0
+
+    # ----- aggregated views -----------------------------------------------------
+
+    @property
+    def assumptions(self):
+        return [a for m in self.machines.values() for a in m.assumptions]
+
+    @property
+    def obligations(self):
+        return [ob for m in self.machines.values() for ob in m.obligations]
+
+    @property
+    def bounds(self) -> dict[str, tuple[int, int]]:
+        merged: dict[str, tuple[int, int]] = {}
+        for machine in self.machines.values():
+            merged.update(machine.bounds)
+        return merged
+
+    @property
+    def arrival_vars(self):
+        return [av for m in self.machines.values() for av in m.arrival_vars]
+
+    @property
+    def havoc_vars(self):
+        return [hv for m in self.machines.values() for hv in m.havoc_vars]
+
+    def machine(self, name: str) -> SymbolicMachine:
+        return self.machines[name]
+
+    # ----- stepping ----------------------------------------------------------------
+
+    def exec_step(self) -> None:
+        """One composed symbolic step across all programs."""
+        for name, machine in self.machines.items():
+            external = self.topology.external_inputs(
+                name, machine.input_buffer_labels()
+            )
+            arrivals = machine.make_step_arrivals(labels=external)
+            # Deliver upstream packets flushed at the end of last step.
+            for (prog, label), packets in list(self._pending.items()):
+                if prog != name or not packets:
+                    continue
+                target = machine._buffer_by_label(label)
+                for packet in packets:
+                    deliver_packet(target, packet)
+                self._pending[(prog, label)] = []
+            machine.exec_step(arrivals)
+        for conn in self.topology.connections:
+            src = self.machines[conn.src_program]
+            drained = src._buffer_by_label(conn.src_buffer).drain_all(TRUE)
+            key = (conn.dst_program, conn.dst_buffer)
+            self._pending.setdefault(key, []).extend(drained)
+        self.step += 1
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.exec_step()
+

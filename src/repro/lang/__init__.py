@@ -1,0 +1,16 @@
+"""The Buffy language: AST, parser, checker, interpreter, builder."""
+
+from .ast import BuffyError, Program
+from .builder import EB, ProgramBuilder
+from .checker import CheckedProgram, CheckError, check_program
+from .interp import Interpreter, RandomOracle, ScriptedOracle, TraceInfeasible
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_expr, parse_program
+from .pretty import pretty_expr, pretty_program
+
+__all__ = [
+    "BuffyError", "CheckError", "CheckedProgram", "EB", "Interpreter",
+    "LexError", "ParseError", "Program", "ProgramBuilder", "RandomOracle",
+    "ScriptedOracle", "TraceInfeasible", "check_program", "parse_expr",
+    "parse_program", "pretty_expr", "pretty_program", "tokenize",
+]

@@ -1,0 +1,328 @@
+"""Embedded builder API: construct Buffy programs from Python.
+
+The concrete syntax (:mod:`repro.lang.parser`) is the primary front
+end; the builder is the programmatic alternative for generated models
+(parameter sweeps, ablations) and for users who prefer staying in
+Python::
+
+    b = ProgramBuilder("prio")
+    ibs = b.in_buffers("ibs", 3)
+    ob = b.out_buffer("ob")
+    done = b.local_bool("dequeued")
+    b.assign(done, b.false)
+    with b.for_("i", 0, 3) as i:
+        with b.if_((~done) & (b.backlog_p(ibs[i]) > b.int(0))):
+            b.move_p(ibs[i], ob, b.int(1))
+            b.assign(done, b.true)
+    program = b.build()           # a checked Program
+
+Expression operators are overloaded on :class:`EB` wrappers; command
+context managers (``if_`` / ``for_`` / ``else_``) nest naturally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional, Union
+
+from .ast import (
+    Assert,
+    Assign,
+    Assume,
+    Backlog,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    Call,
+    Cmd,
+    Decl,
+    Expr,
+    FilterExpr,
+    For,
+    Havoc,
+    If,
+    Index,
+    IntLit,
+    ListEmpty,
+    ListHas,
+    ListLen,
+    Move,
+    Param,
+    PopFront,
+    Program,
+    PushBack,
+    Seq,
+    Skip,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarKind,
+)
+from .checker import CheckedProgram, check_program
+from .types import BOOL_T, BUFFER_T, INT_T, LIST_T, ArrayType, ListType
+
+ExprLike = Union["EB", Expr, int, bool]
+
+
+def _expr(value: ExprLike) -> Expr:
+    if isinstance(value, EB):
+        return value.node
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return BoolLit(value)
+    if isinstance(value, int):
+        return IntLit(value)
+    raise TypeError(f"cannot use {value!r} as a Buffy expression")
+
+
+class EB:
+    """Expression builder: wraps an AST node with Python operators."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Expr):
+        self.node = node
+
+    def _bin(self, kind: BinOpKind, other: ExprLike, swap: bool = False) -> "EB":
+        left, right = _expr(self), _expr(other)
+        if swap:
+            left, right = right, left
+        return EB(BinOp(kind, left, right))
+
+    def __add__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.ADD, other)
+
+    def __radd__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.ADD, other, swap=True)
+
+    def __sub__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.SUB, other)
+
+    def __rsub__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.SUB, other, swap=True)
+
+    def __mul__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.MUL, other)
+
+    def __lt__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.LT, other)
+
+    def __le__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.LE, other)
+
+    def __gt__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.GT, other)
+
+    def __ge__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.GE, other)
+
+    def eq(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.EQ, other)
+
+    def ne(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.NE, other)
+
+    def __and__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.AND, other)
+
+    def __or__(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.OR, other)
+
+    def implies(self, other: ExprLike) -> "EB":
+        return self._bin(BinOpKind.IMPLIES, other)
+
+    def __invert__(self) -> "EB":
+        return EB(UnOp(UnOpKind.NOT, _expr(self)))
+
+    def __neg__(self) -> "EB":
+        return EB(UnOp(UnOpKind.NEG, _expr(self)))
+
+    def __getitem__(self, index: ExprLike) -> "EB":
+        return EB(Index(self.node, _expr(index)))
+
+    # list methods
+    def has(self, item: ExprLike) -> "EB":
+        return EB(ListHas(self.node, _expr(item)))
+
+    def empty(self) -> "EB":
+        return EB(ListEmpty(self.node))
+
+    def len(self) -> "EB":
+        return EB(ListLen(self.node))
+
+    def filter(self, fieldname: str, value: ExprLike) -> "EB":
+        return EB(FilterExpr(self.node, fieldname, _expr(value)))
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError(
+            "Buffy expressions are symbolic; use b.if_(...) for branching"
+        )
+
+
+def _of(value: ExprLike) -> Expr:
+    return _expr(value)
+
+
+class ProgramBuilder:
+    """Accumulates declarations and commands into a checked Program."""
+
+    true = EB(BoolLit(True))
+    false = EB(BoolLit(False))
+
+    def __init__(self, name: str):
+        self.name = name
+        self._params: list[Param] = []
+        self._decls: list[Decl] = []
+        self._frames: list[list[Cmd]] = [[]]
+
+    # ----- declarations -----------------------------------------------------
+
+    def in_buffer(self, name: str) -> EB:
+        self._params.append(Param(name, BUFFER_T, VarKind.PARAM_IN))
+        return EB(Var(name))
+
+    def out_buffer(self, name: str) -> EB:
+        self._params.append(Param(name, BUFFER_T, VarKind.PARAM_OUT))
+        return EB(Var(name))
+
+    def in_buffers(self, name: str, count: int) -> EB:
+        self._params.append(
+            Param(name, ArrayType(BUFFER_T, count), VarKind.PARAM_IN)
+        )
+        return EB(Var(name))
+
+    def out_buffers(self, name: str, count: int) -> EB:
+        self._params.append(
+            Param(name, ArrayType(BUFFER_T, count), VarKind.PARAM_OUT)
+        )
+        return EB(Var(name))
+
+    def _decl(self, name: str, typ, kind: VarKind,
+              init: Optional[ExprLike] = None) -> EB:
+        decl = Decl(name, typ, kind, None if init is None else _of(init))
+        if kind is VarKind.LOCAL:
+            self._emit(decl)
+        else:
+            self._decls.append(decl)
+        return EB(Var(name))
+
+    def global_int(self, name: str, init: Optional[int] = None) -> EB:
+        return self._decl(name, INT_T, VarKind.GLOBAL,
+                          None if init is None else init)
+
+    def global_bool(self, name: str, init: Optional[bool] = None) -> EB:
+        return self._decl(name, BOOL_T, VarKind.GLOBAL,
+                          None if init is None else init)
+
+    def global_list(self, name: str, capacity: Optional[int] = None) -> EB:
+        typ = ListType(capacity) if capacity else LIST_T
+        return self._decl(name, typ, VarKind.GLOBAL)
+
+    def monitor_int(self, name: str) -> EB:
+        return self._decl(name, INT_T, VarKind.MONITOR)
+
+    def monitor_int_array(self, name: str, size: int) -> EB:
+        return self._decl(name, ArrayType(INT_T, size), VarKind.MONITOR)
+
+    def const_int(self, name: str, value: int) -> EB:
+        return self._decl(name, INT_T, VarKind.CONST, value)
+
+    def local_int(self, name: str) -> EB:
+        return self._decl(name, INT_T, VarKind.LOCAL)
+
+    def local_bool(self, name: str) -> EB:
+        return self._decl(name, BOOL_T, VarKind.LOCAL)
+
+    # ----- expressions -------------------------------------------------------------
+
+    @staticmethod
+    def int(value: int) -> EB:
+        return EB(IntLit(value))
+
+    @staticmethod
+    def backlog_p(buffer: ExprLike) -> EB:
+        return EB(Backlog(_of(buffer), in_bytes=False))
+
+    @staticmethod
+    def backlog_b(buffer: ExprLike) -> EB:
+        return EB(Backlog(_of(buffer), in_bytes=True))
+
+    # ----- commands -------------------------------------------------------------------
+
+    def _emit(self, cmd: Cmd) -> None:
+        self._frames[-1].append(cmd)
+
+    def assign(self, target: ExprLike, value: ExprLike) -> None:
+        self._emit(Assign(_of(target), _of(value)))
+
+    def move_p(self, src: ExprLike, dst: ExprLike, amount: ExprLike) -> None:
+        self._emit(Move(_of(src), _of(dst), _of(amount), in_bytes=False))
+
+    def move_b(self, src: ExprLike, dst: ExprLike, amount: ExprLike) -> None:
+        self._emit(Move(_of(src), _of(dst), _of(amount), in_bytes=True))
+
+    def push_back(self, target: ExprLike, value: ExprLike) -> None:
+        self._emit(PushBack(_of(target), _of(value)))
+
+    def pop_front(self, var: ExprLike, target: ExprLike) -> None:
+        self._emit(PopFront(_of(var), _of(target)))
+
+    def assert_(self, cond: ExprLike, label: Optional[str] = None) -> None:
+        self._emit(Assert(_of(cond), label))
+
+    def assume(self, cond: ExprLike) -> None:
+        self._emit(Assume(_of(cond)))
+
+    def havoc(self, target: ExprLike, lo: Optional[ExprLike] = None,
+              hi: Optional[ExprLike] = None) -> None:
+        self._emit(Havoc(
+            _of(target),
+            None if lo is None else _of(lo),
+            None if hi is None else _of(hi),
+        ))
+
+    def call(self, name: str, *args: ExprLike) -> None:
+        self._emit(Call(name, tuple(_of(a) for a in args)))
+
+    @contextlib.contextmanager
+    def if_(self, cond: ExprLike):
+        self._frames.append([])
+        yield
+        then_cmds = self._frames.pop()
+        self._emit(If(_of(cond), Seq(tuple(then_cmds))))
+
+    @contextlib.contextmanager
+    def if_else(self, cond: ExprLike):
+        """Yields (then_scope, else_scope) entry functions; see tests."""
+        then_cmds: list[Cmd] = []
+        else_cmds: list[Cmd] = []
+
+        @contextlib.contextmanager
+        def scope(target: list[Cmd]):
+            self._frames.append([])
+            yield
+            target.extend(self._frames.pop())
+
+        yield scope(then_cmds), scope(else_cmds)
+        self._emit(If(_of(cond), Seq(tuple(then_cmds)), Seq(tuple(else_cmds))))
+
+    @contextlib.contextmanager
+    def for_(self, var: str, lo: ExprLike, hi: ExprLike):
+        self._frames.append([])
+        yield EB(Var(var))
+        body = self._frames.pop()
+        self._emit(For(var, _of(lo), _of(hi), Seq(tuple(body))))
+
+    # ----- finalization ------------------------------------------------------------------
+
+    def build(self, check: bool = True) -> Union[Program, CheckedProgram]:
+        program = Program(
+            name=self.name,
+            params=tuple(self._params),
+            decls=tuple(self._decls),
+            body=Seq(tuple(self._frames[0])),
+        )
+        if check:
+            return check_program(program)
+        return program

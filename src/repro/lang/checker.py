@@ -1,0 +1,521 @@
+"""Static checking for Buffy programs.
+
+Beyond conventional type checking, the checker enforces the language
+restrictions the paper relies on for solver-friendliness (§7):
+
+* loop bounds must be compile-time constants (bounded loops),
+* arrays and lists have constant sizes (bounded data structures),
+* output buffers are write-only (§3: "write-only buffers as output"),
+* monitors are ghost state: they may observe the program but cannot
+  influence it (no monitor reads in conditions, moves, or assignments
+  to non-monitor state),
+* procedure calls are non-recursive (so inlining terminates).
+
+It also infers buffer parameter directions when not annotated, from
+``move`` usage (Figure 4 omits in/out qualifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .ast import (
+    Assert,
+    Assign,
+    Assume,
+    Backlog,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    BuffyError,
+    Call,
+    Cmd,
+    Decl,
+    Expr,
+    FilterExpr,
+    For,
+    Havoc,
+    If,
+    Index,
+    IntLit,
+    ListEmpty,
+    ListHas,
+    ListLen,
+    Move,
+    Param,
+    PopFront,
+    Procedure,
+    Program,
+    PushBack,
+    Seq,
+    Skip,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarKind,
+    walk_exprs,
+)
+from .types import (
+    BOOL_T,
+    INT_T,
+    ArrayType,
+    BoolType,
+    BufferType,
+    IntType,
+    ListType,
+    Type,
+)
+
+
+class CheckError(BuffyError):
+    pass
+
+
+@dataclass
+class Binding:
+    type: Type
+    kind: VarKind
+
+
+class Scope:
+    """A lexical scope chain."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.bindings: dict[str, Binding] = {}
+
+    def declare(self, name: str, binding: Binding, pos=None) -> None:
+        if name in self.bindings:
+            raise CheckError(f"duplicate declaration of {name!r}", pos)
+        self.bindings[name] = binding
+
+    def lookup(self, name: str) -> Optional[Binding]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        return None
+
+    def child(self) -> "Scope":
+        return Scope(self)
+
+
+@dataclass
+class CheckedProgram:
+    """A validated program plus derived metadata."""
+
+    program: Program
+    consts: dict[str, int]
+    globals: dict[str, Type] = field(default_factory=dict)
+    monitors: dict[str, Type] = field(default_factory=dict)
+    buffer_fields: tuple = ("flow", "size")
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+def check_program(program: Program) -> CheckedProgram:
+    """Validate a program; returns it with inferred parameter directions."""
+    checker = _Checker(program)
+    checker.run()
+    resolved = Program(
+        name=program.name,
+        params=tuple(checker.final_params),
+        decls=program.decls,
+        body=program.body,
+        procedures=program.procedures,
+    )
+    return CheckedProgram(
+        program=resolved,
+        consts=checker.consts,
+        globals=checker.globals_,
+        monitors=checker.monitors,
+    )
+
+
+class _Checker:
+    def __init__(self, program: Program):
+        self.program = program
+        self.consts = dict(program.constants())
+        self.globals_: dict[str, Type] = {}
+        self.monitors: dict[str, Type] = {}
+        self.unannotated: frozenset = getattr(
+            program, "_unannotated_params", frozenset()
+        )
+        self.used_as_src: set[str] = set()
+        self.used_as_dst: set[str] = set()
+        self.final_params: list[Param] = []
+        self.procs = {p.name: p for p in program.procedures}
+        self._proc_stack: list[str] = []
+
+    # ----- driver -------------------------------------------------------------
+
+    def run(self) -> None:
+        top = Scope()
+        for param in self.program.params:
+            self._check_param_type(param)
+            top.declare(param.name, Binding(param.type, param.kind))
+        for decl in self.program.decls:
+            self._declare(top, decl)
+        body_scope = top.child()
+        self._cmd(self.program.body, body_scope, ghost=False)
+        for proc in self.program.procedures:
+            self._procedure(proc, top)
+        self._finalize_directions()
+
+    def _check_param_type(self, param: Param) -> None:
+        base = param.type.elem if isinstance(param.type, ArrayType) else param.type
+        if not isinstance(base, BufferType):
+            raise CheckError(
+                f"parameter {param.name!r} must be a buffer or buffer array"
+            )
+
+    def _declare(self, scope: Scope, decl: Decl) -> None:
+        if decl.kind is VarKind.CONST:
+            if not isinstance(decl.init, IntLit):
+                raise CheckError(
+                    f"constant {decl.name!r} needs an integer literal initializer",
+                    decl.pos,
+                )
+            scope.declare(decl.name, Binding(INT_T, VarKind.CONST), decl.pos)
+            return
+        self._check_bounded(decl.type, decl.pos, decl.name)
+        scope.declare(decl.name, Binding(decl.type, decl.kind), decl.pos)
+        if decl.kind is VarKind.GLOBAL:
+            self.globals_[decl.name] = decl.type
+        elif decl.kind is VarKind.MONITOR:
+            self.monitors[decl.name] = decl.type
+        if decl.init is not None:
+            init_t = self._expr(decl.init, scope, ghost=decl.kind is VarKind.MONITOR)
+            self._require_assignable(decl.type, init_t, decl.pos)
+
+    def _check_bounded(self, typ: Type, pos, name: str) -> None:
+        if isinstance(typ, ArrayType):
+            if typ.size <= 0:
+                raise CheckError(f"array {name!r} must have positive size", pos)
+            self._check_bounded(typ.elem, pos, name)
+
+    # ----- commands ------------------------------------------------------------------
+
+    def _cmd(self, cmd: Cmd, scope: Scope, ghost: bool) -> None:
+        if isinstance(cmd, Skip):
+            return
+        if isinstance(cmd, Seq):
+            for c in cmd.commands:
+                self._cmd(c, scope, ghost)
+            return
+        if isinstance(cmd, Decl):
+            if cmd.kind is not VarKind.LOCAL:
+                raise CheckError(
+                    f"{cmd.kind.value} declaration of {cmd.name!r} must be at"
+                    " program level",
+                    cmd.pos,
+                )
+            self._declare(scope, cmd)
+            return
+        if isinstance(cmd, Assign):
+            target_t, target_kind = self._lvalue(cmd.target, scope)
+            is_ghost_write = target_kind is VarKind.MONITOR
+            value_t = self._expr(cmd.value, scope, ghost=ghost or is_ghost_write)
+            self._require_assignable(target_t, value_t, cmd.pos)
+            if target_kind is VarKind.CONST:
+                raise CheckError("cannot assign to a constant", cmd.pos)
+            return
+        if isinstance(cmd, If):
+            cond_t = self._expr(cmd.cond, scope, ghost)
+            self._require(cond_t, BoolType, "if condition", cmd.pos)
+            self._cmd(cmd.then, scope.child(), ghost)
+            self._cmd(cmd.els, scope.child(), ghost)
+            return
+        if isinstance(cmd, For):
+            self._const_expr(cmd.lo, "loop lower bound")
+            self._const_expr(cmd.hi, "loop upper bound")
+            inner = scope.child()
+            inner.declare(cmd.var, Binding(INT_T, VarKind.LOCAL), cmd.pos)
+            for inv in cmd.invariants:
+                inv_t = self._expr(inv, inner, ghost=True)
+                self._require(inv_t, BoolType, "loop invariant", cmd.pos)
+            self._cmd(cmd.body, inner, ghost)
+            return
+        if isinstance(cmd, Move):
+            self._buffer_operand(cmd.src, scope, role="src")
+            self._buffer_operand(cmd.dst, scope, role="dst")
+            amount_t = self._expr(cmd.amount, scope, ghost)
+            self._require(amount_t, IntType, "move amount", cmd.pos)
+            return
+        if isinstance(cmd, PushBack):
+            target_t = self._expr(cmd.target, scope, ghost, allow_aggregate=True)
+            if not isinstance(target_t, ListType):
+                raise CheckError("push_back target must be a list", cmd.pos)
+            value_t = self._expr(cmd.value, scope, ghost)
+            self._require(value_t, IntType, "push_back value", cmd.pos)
+            return
+        if isinstance(cmd, PopFront):
+            var_t, var_kind = self._lvalue(cmd.var, scope)
+            if not isinstance(var_t, IntType):
+                raise CheckError("pop_front result must go to an int", cmd.pos)
+            target_t = self._expr(cmd.target, scope, ghost, allow_aggregate=True)
+            if not isinstance(target_t, ListType):
+                raise CheckError("pop_front target must be a list", cmd.pos)
+            return
+        if isinstance(cmd, (Assert, Assume)):
+            cond_t = self._expr(cmd.cond, scope, ghost=True)
+            kind = "assert" if isinstance(cmd, Assert) else "assume"
+            self._require(cond_t, BoolType, f"{kind} condition", cmd.pos)
+            return
+        if isinstance(cmd, Havoc):
+            target_t, target_kind = self._lvalue(cmd.target, scope)
+            if not isinstance(target_t, (IntType, BoolType)):
+                raise CheckError("havoc target must be int or bool", cmd.pos)
+            for bound in (cmd.lo, cmd.hi):
+                if bound is not None:
+                    bound_t = self._expr(bound, scope, ghost)
+                    self._require(bound_t, IntType, "havoc bound", cmd.pos)
+            return
+        if isinstance(cmd, Call):
+            self._call(cmd, scope, ghost)
+            return
+        raise CheckError(f"unsupported command {type(cmd).__name__}", cmd.pos)
+
+    def _call(self, cmd: Call, scope: Scope, ghost: bool) -> None:
+        proc = self.procs.get(cmd.name)
+        if proc is None:
+            raise CheckError(f"unknown procedure {cmd.name!r}", cmd.pos)
+        if cmd.name in self._proc_stack:
+            raise CheckError(
+                f"recursive call to {cmd.name!r} is not allowed", cmd.pos
+            )
+        if len(cmd.args) != len(proc.params):
+            raise CheckError(
+                f"{cmd.name!r} expects {len(proc.params)} argument(s),"
+                f" got {len(cmd.args)}",
+                cmd.pos,
+            )
+        for arg, param in zip(cmd.args, proc.params):
+            arg_t = self._expr(arg, scope, ghost, allow_aggregate=True)
+            self._require_assignable(param.type, arg_t, cmd.pos)
+            # Aggregates are by-reference: require an lvalue-ish argument.
+            if isinstance(param.type, (ListType, BufferType, ArrayType)):
+                if not isinstance(arg, (Var, Index)):
+                    raise CheckError(
+                        f"by-reference argument for {param.name!r} must be a"
+                        " variable or array element",
+                        cmd.pos,
+                    )
+
+    def _procedure(self, proc: Procedure, top: Scope) -> None:
+        self._proc_stack.append(proc.name)
+        scope = top.child()
+        for param in proc.params:
+            scope.declare(param.name, Binding(param.type, VarKind.LOCAL))
+        for spec in proc.requires + proc.ensures:
+            spec_t = self._expr(spec, scope, ghost=True)
+            self._require(spec_t, BoolType, "contract clause", None)
+        self._cmd(proc.body, scope.child(), ghost=False)
+        self._proc_stack.pop()
+
+    # ----- expressions ----------------------------------------------------------------
+
+    def _expr(
+        self,
+        expr: Expr,
+        scope: Scope,
+        ghost: bool,
+        allow_aggregate: bool = False,
+    ) -> Type:
+        typ = self._type_of(expr, scope, ghost)
+        if not allow_aggregate and not isinstance(typ, (IntType, BoolType)):
+            raise CheckError(
+                f"expected a scalar expression, got {typ}", expr.pos
+            )
+        return typ
+
+    def _type_of(self, expr: Expr, scope: Scope, ghost: bool) -> Type:
+        if isinstance(expr, IntLit):
+            return INT_T
+        if isinstance(expr, BoolLit):
+            return BOOL_T
+        if isinstance(expr, Var):
+            binding = scope.lookup(expr.name)
+            if binding is None:
+                raise CheckError(f"undeclared variable {expr.name!r}", expr.pos)
+            if binding.kind is VarKind.MONITOR and not ghost:
+                raise CheckError(
+                    f"monitor {expr.name!r} is ghost state and cannot influence"
+                    " program behaviour (only assert/assume/monitor updates may"
+                    " read it)",
+                    expr.pos,
+                )
+            return binding.type
+        if isinstance(expr, Index):
+            base_t = self._type_of(expr.base, scope, ghost)
+            if not isinstance(base_t, ArrayType):
+                raise CheckError(f"cannot index into {base_t}", expr.pos)
+            index_t = self._type_of(expr.index, scope, ghost)
+            self._require(index_t, IntType, "array index", expr.pos)
+            return base_t.elem
+        if isinstance(expr, BinOp):
+            return self._binop(expr, scope, ghost)
+        if isinstance(expr, UnOp):
+            operand_t = self._type_of(expr.operand, scope, ghost)
+            if expr.kind is UnOpKind.NOT:
+                self._require(operand_t, BoolType, "'!' operand", expr.pos)
+                return BOOL_T
+            self._require(operand_t, IntType, "'-' operand", expr.pos)
+            return INT_T
+        if isinstance(expr, Backlog):
+            self._buffer_expr(expr.buffer, scope, ghost)
+            return INT_T
+        if isinstance(expr, FilterExpr):
+            buffer_t = self._buffer_expr(expr.buffer, scope, ghost)
+            if expr.fieldname not in buffer_t.fields:
+                raise CheckError(
+                    f"unknown packet field {expr.fieldname!r}"
+                    f" (buffer has {', '.join(buffer_t.fields)})",
+                    expr.pos,
+                )
+            value_t = self._type_of(expr.value, scope, ghost)
+            self._require(value_t, IntType, "filter value", expr.pos)
+            return buffer_t
+        if isinstance(expr, (ListHas, ListEmpty, ListLen)):
+            target_t = self._type_of(expr.target, scope, ghost)
+            if not isinstance(target_t, ListType):
+                raise CheckError("list method on a non-list", expr.pos)
+            if isinstance(expr, ListHas):
+                item_t = self._type_of(expr.item, scope, ghost)
+                self._require(item_t, IntType, "has() argument", expr.pos)
+                return BOOL_T
+            return BOOL_T if isinstance(expr, ListEmpty) else INT_T
+        raise CheckError(f"unsupported expression {type(expr).__name__}", expr.pos)
+
+    def _binop(self, expr: BinOp, scope: Scope, ghost: bool) -> Type:
+        left_t = self._type_of(expr.left, scope, ghost)
+        right_t = self._type_of(expr.right, scope, ghost)
+        kind = expr.kind
+        if kind in (BinOpKind.ADD, BinOpKind.SUB, BinOpKind.MUL):
+            self._require(left_t, IntType, f"'{kind.value}' operand", expr.pos)
+            self._require(right_t, IntType, f"'{kind.value}' operand", expr.pos)
+            return INT_T
+        if kind in (BinOpKind.LT, BinOpKind.LE, BinOpKind.GT, BinOpKind.GE):
+            self._require(left_t, IntType, f"'{kind.value}' operand", expr.pos)
+            self._require(right_t, IntType, f"'{kind.value}' operand", expr.pos)
+            return BOOL_T
+        if kind in (BinOpKind.EQ, BinOpKind.NE):
+            if type(left_t) is not type(right_t) or not isinstance(
+                left_t, (IntType, BoolType)
+            ):
+                raise CheckError(
+                    f"'{kind.value}' needs two ints or two bools", expr.pos
+                )
+            return BOOL_T
+        if kind in (BinOpKind.AND, BinOpKind.OR, BinOpKind.IMPLIES):
+            self._require(left_t, BoolType, f"'{kind.value}' operand", expr.pos)
+            self._require(right_t, BoolType, f"'{kind.value}' operand", expr.pos)
+            return BOOL_T
+        raise CheckError(f"unsupported operator {kind}", expr.pos)  # pragma: no cover
+
+    def _buffer_expr(self, expr: Expr, scope: Scope, ghost: bool) -> BufferType:
+        typ = self._type_of(expr, scope, ghost)
+        if isinstance(typ, BufferType):
+            return typ
+        raise CheckError(f"expected a buffer, got {typ}", expr.pos)
+
+    def _buffer_operand(self, expr: Expr, scope: Scope, role: str) -> None:
+        """Check a move operand and record direction usage for inference."""
+        if isinstance(expr, FilterExpr):
+            raise CheckError(
+                "move operates on plain buffers, not filtered views", expr.pos
+            )
+        self._buffer_expr(expr, scope, ghost=False)
+        root = expr
+        while isinstance(root, Index):
+            root = root.base
+        if isinstance(root, Var):
+            binding = scope.lookup(root.name)
+            if binding is not None and binding.kind in (
+                VarKind.PARAM_IN,
+                VarKind.PARAM_OUT,
+            ):
+                (self.used_as_src if role == "src" else self.used_as_dst).add(
+                    root.name
+                )
+                # Write-only outputs: an annotated out-buffer cannot be a source.
+                if (
+                    role == "src"
+                    and binding.kind is VarKind.PARAM_OUT
+                    and root.name not in self.unannotated
+                ):
+                    raise CheckError(
+                        f"output buffer {root.name!r} is write-only", expr.pos
+                    )
+
+    def _lvalue(self, expr: Expr, scope: Scope) -> tuple[Type, VarKind]:
+        if isinstance(expr, Var):
+            binding = scope.lookup(expr.name)
+            if binding is None:
+                raise CheckError(f"undeclared variable {expr.name!r}", expr.pos)
+            return binding.type, binding.kind
+        if isinstance(expr, Index):
+            base_t, base_kind = self._lvalue(expr.base, scope)
+            if not isinstance(base_t, ArrayType):
+                raise CheckError(f"cannot index into {base_t}", expr.pos)
+            index_t = self._type_of(expr.index, scope, ghost=False)
+            self._require(index_t, IntType, "array index", expr.pos)
+            return base_t.elem, base_kind
+        raise CheckError("assignment target must be a variable or element", expr.pos)
+
+    def _require(self, typ: Type, cls: type, what: str, pos) -> None:
+        if not isinstance(typ, cls):
+            raise CheckError(f"{what} must be {cls().__str__()}, got {typ}", pos)
+
+    def _require_assignable(self, target: Type, value: Type, pos) -> None:
+        if type(target) is not type(value):
+            raise CheckError(f"cannot assign {value} to {target}", pos)
+        if isinstance(target, ArrayType):
+            assert isinstance(value, ArrayType)
+            if target.size != value.size:
+                raise CheckError(
+                    f"array size mismatch: {target} vs {value}", pos
+                )
+            self._require_assignable(target.elem, value.elem, pos)
+
+    def _const_expr(self, expr: Expr, what: str) -> int:
+        """Evaluate a compile-time constant expression (loop bounds)."""
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, Var) and expr.name in self.consts:
+            return self.consts[expr.name]
+        if isinstance(expr, BinOp):
+            left = self._const_expr(expr.left, what)
+            right = self._const_expr(expr.right, what)
+            if expr.kind is BinOpKind.ADD:
+                return left + right
+            if expr.kind is BinOpKind.SUB:
+                return left - right
+            if expr.kind is BinOpKind.MUL:
+                return left * right
+        if isinstance(expr, UnOp) and expr.kind is UnOpKind.NEG:
+            return -self._const_expr(expr.operand, what)
+        raise CheckError(
+            f"{what} must be a compile-time constant (§7: bounded loops)",
+            expr.pos,
+        )
+
+    # ----- direction inference ------------------------------------------------------
+
+    def _finalize_directions(self) -> None:
+        for param in self.program.params:
+            kind = param.kind
+            if param.name in self.unannotated:
+                src = param.name in self.used_as_src
+                dst = param.name in self.used_as_dst
+                if src and dst:
+                    raise CheckError(
+                        f"buffer {param.name!r} is used as both a move source"
+                        " and destination; annotate it with in/out"
+                    )
+                kind = VarKind.PARAM_OUT if dst else VarKind.PARAM_IN
+            self.final_params.append(Param(param.name, param.type, kind))

@@ -1,0 +1,628 @@
+"""Reference interpreter: executable semantics for Buffy programs.
+
+The interpreter runs a checked program one *time step* at a time over
+concrete buffer models.  It serves three roles in the reproduction:
+
+1. the ground-truth semantics the symbolic back ends must agree with
+   (differential tests run random workloads through both);
+2. the replay engine that validates counterexample traces produced by
+   the SMT back end;
+3. a straightforward simulator for the example scripts.
+
+``assume`` failures abort the step with :class:`TraceInfeasible`
+(the trace is outside the modelled workload); ``assert`` failures are
+*recorded* and execution continues, so a run collects every violation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from ..buffers.base import ConcreteBufferModel
+from ..buffers.concrete import ListBuffer
+from ..buffers.packets import Packet
+from .ast import (
+    Assert,
+    Assign,
+    Assume,
+    Backlog,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    BuffyError,
+    Call,
+    Cmd,
+    Decl,
+    Expr,
+    FilterExpr,
+    For,
+    Havoc,
+    If,
+    Index,
+    IntLit,
+    ListEmpty,
+    ListHas,
+    ListLen,
+    Move,
+    PopFront,
+    Procedure,
+    Program,
+    PushBack,
+    Seq,
+    Skip,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarKind,
+)
+from .checker import CheckedProgram
+from .types import ArrayType, BoolType, BufferType, IntType, ListType, Type
+
+Value = Union[int, bool, deque, list, ConcreteBufferModel]
+
+
+class TraceInfeasible(BuffyError):
+    """An ``assume`` evaluated to false: the trace is outside the workload."""
+
+
+class InterpError(BuffyError):
+    """Runtime error in the interpreted program (checker should prevent most)."""
+
+
+@dataclass
+class Violation:
+    """A failed ``assert``."""
+
+    step: int
+    label: Optional[str]
+    pos: Optional[tuple]
+
+    def __str__(self) -> str:
+        where = f" at {self.pos[0]}:{self.pos[1]}" if self.pos else ""
+        name = self.label or "assert"
+        return f"step {self.step}: {name} violated{where}"
+
+
+class HavocOracle:
+    """Supplies values for ``havoc`` commands during concrete execution."""
+
+    def choose(self, step: int, name: str, lo: Optional[int], hi: Optional[int],
+               is_bool: bool) -> Union[int, bool]:
+        raise NotImplementedError
+
+
+class RandomOracle(HavocOracle):
+    """Random havoc values — used for simulation and differential testing."""
+
+    def __init__(self, seed: int = 0, default_range: tuple[int, int] = (0, 8)):
+        self._rng = random.Random(seed)
+        self._default = default_range
+
+    def choose(self, step, name, lo, hi, is_bool):
+        if is_bool:
+            return bool(self._rng.getrandbits(1))
+        actual_lo = self._default[0] if lo is None else lo
+        actual_hi = self._default[1] if hi is None else hi
+        if actual_lo >= actual_hi:
+            return actual_lo
+        return self._rng.randrange(actual_lo, actual_hi)
+
+
+class ScriptedOracle(HavocOracle):
+    """Replays havoc values from a counterexample model.
+
+    Values are keyed ``(step, name, occurrence)`` where ``occurrence``
+    counts havocs of the same variable within a step.
+    """
+
+    def __init__(self, values: dict, default: int = 0):
+        self._values = dict(values)
+        self._default = default
+        self._counters: dict[tuple, int] = {}
+
+    def choose(self, step, name, lo, hi, is_bool):
+        occurrence = self._counters.get((step, name), 0)
+        self._counters[(step, name)] = occurrence + 1
+        key = (step, name, occurrence)
+        if key in self._values:
+            return self._values[key]
+        if is_bool:
+            return bool(self._default)
+        return self._default if lo is None else max(lo, self._default)
+
+
+@dataclass
+class StepRecord:
+    """Observables from one executed time step."""
+
+    step: int
+    arrivals: dict[str, list[Packet]] = field(default_factory=dict)
+    departures: dict[str, list[Packet]] = field(default_factory=dict)
+    monitors: dict[str, Value] = field(default_factory=dict)
+    buffer_backlogs: dict[str, int] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+
+
+@dataclass
+class Trace:
+    """The full observable history of a bounded run."""
+
+    steps: list[StepRecord] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Violation]:
+        return [v for s in self.steps for v in s.violations]
+
+    def monitor_series(self, name: str) -> list[Value]:
+        return [s.monitors[name] for s in self.steps]
+
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _scalar_default(typ: Type) -> Value:
+    if isinstance(typ, IntType):
+        return 0
+    if isinstance(typ, BoolType):
+        return False
+    raise InterpError(f"no default for {typ}")
+
+
+class BoundedIntList(deque):
+    """A FIFO int list honoring the declared capacity.
+
+    Matches the symbolic list semantics: ``push_back`` on a full list
+    is a no-op; ``pop_front`` on an empty list yields ``-1`` (callers
+    handle the sentinel).  ``capacity`` of ``None`` means unbounded.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, iterable=()):
+        super().__init__(iterable)
+        self.capacity = capacity
+
+    def push_back(self, value: int) -> bool:
+        if self.capacity is not None and len(self) >= self.capacity:
+            return False
+        self.append(value)
+        return True
+
+
+def default_value(typ: Type, buffer_factory: Callable[..., ConcreteBufferModel],
+                  buffer_capacity: Optional[int]) -> Value:
+    if isinstance(typ, (IntType, BoolType)):
+        return _scalar_default(typ)
+    if isinstance(typ, ListType):
+        return BoundedIntList(typ.capacity)
+    if isinstance(typ, BufferType):
+        capacity = typ.capacity if typ.capacity is not None else buffer_capacity
+        return buffer_factory(capacity=capacity)
+    if isinstance(typ, ArrayType):
+        return [
+            default_value(typ.elem, buffer_factory, buffer_capacity)
+            for _ in range(typ.size)
+        ]
+    raise InterpError(f"cannot build a default value for {typ}")
+
+
+class Interpreter:
+    """Executes a checked Buffy program step by step."""
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        buffer_factory: Callable[..., ConcreteBufferModel] = ListBuffer,
+        buffer_capacity: Optional[int] = 64,
+        oracle: Optional[HavocOracle] = None,
+    ):
+        self.checked = checked
+        self.program: Program = checked.program
+        self.buffer_factory = buffer_factory
+        self.buffer_capacity = buffer_capacity
+        self.oracle = oracle or RandomOracle()
+        self._procs: dict[str, Procedure] = {
+            p.name: p for p in self.program.procedures
+        }
+        self.step_index = 0
+        self.buffers: dict[str, Value] = {}
+        self.globals: dict[str, Value] = {}
+        self.reset()
+
+    # ----- state management --------------------------------------------------
+
+    def reset(self) -> None:
+        """(Re)initialize buffers, globals and monitors."""
+        self.step_index = 0
+        self.buffers = {}
+        for param in self.program.params:
+            self.buffers[param.name] = default_value(
+                param.type, self.buffer_factory, self.buffer_capacity
+            )
+        self.globals = {}
+        for decl in self.program.decls:
+            if decl.kind is VarKind.CONST:
+                continue
+            if decl.init is not None and isinstance(decl.init, (IntLit, BoolLit)):
+                self.globals[decl.name] = decl.init.value
+            else:
+                self.globals[decl.name] = default_value(
+                    decl.type, self.buffer_factory, self.buffer_capacity
+                )
+
+    def buffer(self, name: str, index: Optional[int] = None) -> ConcreteBufferModel:
+        value = self.buffers[name]
+        if index is not None:
+            value = value[index]
+        if not isinstance(value, ConcreteBufferModel):
+            raise InterpError(f"{name!r} is not a buffer")
+        return value
+
+    # ----- step execution --------------------------------------------------------
+
+    def run_step(
+        self, arrivals: Optional[dict[str, Sequence[Packet]]] = None
+    ) -> StepRecord:
+        """Flush arrivals into the input buffers, then run the body once."""
+        record = StepRecord(step=self.step_index)
+        arrivals = arrivals or {}
+        for key, packets in arrivals.items():
+            name, index = _parse_buffer_key(key)
+            target = self.buffers.get(name)
+            if target is None:
+                raise InterpError(f"unknown input buffer {name!r}")
+            if isinstance(target, list):
+                if index is None:
+                    raise InterpError(
+                        f"{name!r} is a buffer array; address elements as"
+                        f" '{name}[i]'"
+                    )
+                target = target[index]
+            elif index is not None:
+                raise InterpError(f"{name!r} is not a buffer array")
+            target.flush_in(list(packets))
+            record.arrivals[str(key)] = list(packets)
+
+        env: dict[str, Value] = {}
+        frame = _Frame(self, env, record)
+        frame.exec_cmd(self.program.body)
+
+        for name in self.checked.monitors:
+            record.monitors[name] = _copy_value(self.globals[name])
+        for param in self.program.params:
+            value = self.buffers[param.name]
+            if isinstance(value, list):
+                for i, buf in enumerate(value):
+                    record.buffer_backlogs[f"{param.name}[{i}]"] = buf.backlog_p()
+            else:
+                record.buffer_backlogs[param.name] = value.backlog_p()
+        self.step_index += 1
+        return record
+
+    def run(
+        self,
+        workload: Sequence[dict[str, Sequence[Packet]]],
+    ) -> Trace:
+        """Run one step per workload entry; returns the collected trace."""
+        trace = Trace()
+        for arrivals in workload:
+            trace.steps.append(self.run_step(arrivals))
+        return trace
+
+    def drain_outputs(self) -> dict[str, list[Packet]]:
+        """Remove and return the contents of all output buffers.
+
+        Composition uses this at the end of each step to flush outputs
+        into downstream programs' inputs (§3, Composition).
+        """
+        out: dict[str, list[Packet]] = {}
+        for param in self.program.output_params():
+            value = self.buffers[param.name]
+            if isinstance(value, list):
+                for i, buf in enumerate(value):
+                    out[f"{param.name}[{i}]"] = buf.drain_all()
+            else:
+                out[param.name] = value.drain_all()
+        return out
+
+
+def _parse_buffer_key(key) -> tuple[str, Optional[int]]:
+    """Accept 'name', 'name[3]' or ('name', 3) buffer addresses."""
+    if isinstance(key, tuple):
+        return key[0], key[1]
+    if isinstance(key, str) and key.endswith("]") and "[" in key:
+        name, _, rest = key.partition("[")
+        return name, int(rest[:-1])
+    return key, None
+
+
+def _copy_value(value: Value) -> Value:
+    if isinstance(value, deque):
+        return deque(value)
+    if isinstance(value, list):
+        return [_copy_value(v) for v in value]
+    return value
+
+
+class _Frame:
+    """One step's execution context: locals + access to program state."""
+
+    def __init__(self, interp: Interpreter, env: dict[str, Value],
+                 record: StepRecord):
+        self.interp = interp
+        self.env = env
+        self.record = record
+
+    # ----- name resolution -------------------------------------------------------
+
+    def _lookup(self, name: str):
+        if name in self.env:
+            return self.env, name
+        interp = self.interp
+        if name in interp.globals:
+            return interp.globals, name
+        if name in interp.buffers:
+            return interp.buffers, name
+        consts = interp.checked.consts
+        if name in consts:
+            return consts, name
+        raise InterpError(f"undefined variable {name!r}")
+
+    def _read(self, name: str) -> Value:
+        table, key = self._lookup(name)
+        return table[key]
+
+    def _write(self, target: Expr, value: Value) -> None:
+        if isinstance(target, Var):
+            table, key = self._lookup(target.name)
+            table[key] = value
+            return
+        if isinstance(target, Index):
+            container = self.eval(target.base, aggregate=True)
+            index = self.eval(target.index)
+            if not isinstance(container, list):
+                raise InterpError("indexed assignment into a non-array", target.pos)
+            if not 0 <= index < len(container):
+                raise InterpError(
+                    f"array index {index} out of range [0, {len(container)})",
+                    target.pos,
+                )
+            container[index] = value
+            return
+        raise InterpError("invalid assignment target", target.pos)
+
+    # ----- expression evaluation ----------------------------------------------------
+
+    def eval(self, expr: Expr, aggregate: bool = False) -> Value:
+        value = self._eval(expr)
+        if not aggregate and isinstance(value, (deque, list, ConcreteBufferModel)):
+            raise InterpError("aggregate used where a scalar is expected", expr.pos)
+        return value
+
+    def _eval(self, expr: Expr) -> Value:
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, BoolLit):
+            return expr.value
+        if isinstance(expr, Var):
+            return self._read(expr.name)
+        if isinstance(expr, Index):
+            container = self.eval(expr.base, aggregate=True)
+            index = self.eval(expr.index)
+            if not isinstance(container, list):
+                raise InterpError("indexing into a non-array", expr.pos)
+            if not 0 <= index < len(container):
+                raise InterpError(
+                    f"array index {index} out of range [0, {len(container)})",
+                    expr.pos,
+                )
+            return container[index]
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, UnOp):
+            operand = self.eval(expr.operand)
+            if expr.kind is UnOpKind.NOT:
+                return not operand
+            return -operand
+        if isinstance(expr, Backlog):
+            buf, fieldname, value = self._eval_buffer(expr.buffer)
+            if expr.in_bytes:
+                return buf.backlog_b(fieldname, value)
+            return buf.backlog_p(fieldname, value)
+        if isinstance(expr, ListHas):
+            target = self.eval(expr.target, aggregate=True)
+            return self.eval(expr.item) in target
+        if isinstance(expr, ListEmpty):
+            target = self.eval(expr.target, aggregate=True)
+            return len(target) == 0
+        if isinstance(expr, ListLen):
+            target = self.eval(expr.target, aggregate=True)
+            return len(target)
+        if isinstance(expr, FilterExpr):
+            raise InterpError(
+                "filtered buffers may only appear under backlog", expr.pos
+            )
+        raise InterpError(f"cannot evaluate {type(expr).__name__}", expr.pos)
+
+    def _eval_binop(self, expr: BinOp) -> Value:
+        kind = expr.kind
+        if kind is BinOpKind.AND:
+            return bool(self.eval(expr.left)) and bool(self.eval(expr.right))
+        if kind is BinOpKind.OR:
+            return bool(self.eval(expr.left)) or bool(self.eval(expr.right))
+        if kind is BinOpKind.IMPLIES:
+            return (not self.eval(expr.left)) or bool(self.eval(expr.right))
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        if kind is BinOpKind.ADD:
+            return left + right
+        if kind is BinOpKind.SUB:
+            return left - right
+        if kind is BinOpKind.MUL:
+            return left * right
+        if kind is BinOpKind.LT:
+            return left < right
+        if kind is BinOpKind.LE:
+            return left <= right
+        if kind is BinOpKind.GT:
+            return left > right
+        if kind is BinOpKind.GE:
+            return left >= right
+        if kind is BinOpKind.EQ:
+            return left == right
+        if kind is BinOpKind.NE:
+            return left != right
+        raise InterpError(f"unsupported operator {kind}", expr.pos)
+
+    def _eval_buffer(self, expr: Expr):
+        """Resolve a buffer expression to (model, filter_field, filter_value)."""
+        if isinstance(expr, FilterExpr):
+            buf, fieldname, value = self._eval_buffer(expr.buffer)
+            if fieldname is not None:
+                raise InterpError("nested filters are not supported", expr.pos)
+            return buf, expr.fieldname, self.eval(expr.value)
+        value = self.eval(expr, aggregate=True)
+        if not isinstance(value, ConcreteBufferModel):
+            raise InterpError("expected a buffer", expr.pos)
+        return value, None, None
+
+    # ----- command execution -----------------------------------------------------------
+
+    def exec_cmd(self, cmd: Cmd) -> None:
+        if isinstance(cmd, Skip):
+            return
+        if isinstance(cmd, Seq):
+            for c in cmd.commands:
+                self.exec_cmd(c)
+            return
+        if isinstance(cmd, Decl):
+            if cmd.init is not None:
+                self.env[cmd.name] = self.eval(cmd.init)
+            else:
+                self.env[cmd.name] = default_value(
+                    cmd.type, self.interp.buffer_factory,
+                    self.interp.buffer_capacity,
+                )
+            return
+        if isinstance(cmd, Assign):
+            self._write(cmd.target, self.eval(cmd.value))
+            return
+        if isinstance(cmd, If):
+            if self.eval(cmd.cond):
+                self.exec_cmd(cmd.then)
+            else:
+                self.exec_cmd(cmd.els)
+            return
+        if isinstance(cmd, For):
+            lo = self.eval(cmd.lo)
+            hi = self.eval(cmd.hi)
+            saved = self.env.get(cmd.var, _MISSING)
+            for i in range(lo, hi):
+                self.env[cmd.var] = i
+                self.exec_cmd(cmd.body)
+            if saved is _MISSING:
+                self.env.pop(cmd.var, None)
+            else:
+                self.env[cmd.var] = saved
+            return
+        if isinstance(cmd, Move):
+            self._exec_move(cmd)
+            return
+        if isinstance(cmd, PushBack):
+            target = self.eval(cmd.target, aggregate=True)
+            value = self.eval(cmd.value)
+            if isinstance(target, BoundedIntList):
+                target.push_back(value)
+            else:
+                target.append(value)
+            return
+        if isinstance(cmd, PopFront):
+            target = self.eval(cmd.target, aggregate=True)
+            value = target.popleft() if target else -1
+            self._write(cmd.var, value)
+            return
+        if isinstance(cmd, Assert):
+            if not self.eval(cmd.cond):
+                self.record.violations.append(
+                    Violation(self.record.step, cmd.label, cmd.pos)
+                )
+            return
+        if isinstance(cmd, Assume):
+            if not self.eval(cmd.cond):
+                raise TraceInfeasible(
+                    f"assume violated at step {self.record.step}", cmd.pos
+                )
+            return
+        if isinstance(cmd, Havoc):
+            lo = None if cmd.lo is None else self.eval(cmd.lo)
+            hi = None if cmd.hi is None else self.eval(cmd.hi)
+            name = _havoc_name(cmd.target)
+            is_bool = isinstance(self._havoc_current(cmd.target), bool)
+            value = self.interp.oracle.choose(
+                self.record.step, name, lo, hi, is_bool
+            )
+            self._write(cmd.target, value)
+            return
+        if isinstance(cmd, Call):
+            self._exec_call(cmd)
+            return
+        raise InterpError(f"unsupported command {type(cmd).__name__}", cmd.pos)
+
+    def _havoc_current(self, target: Expr) -> Value:
+        try:
+            return self.eval(target)
+        except InterpError:
+            return 0
+
+    def _exec_move(self, cmd: Move) -> None:
+        src, src_field, _ = self._eval_buffer(cmd.src)
+        dst, _, _ = self._eval_buffer(cmd.dst)
+        if src_field is not None:
+            raise InterpError("move source cannot be filtered", cmd.pos)
+        amount = self.eval(cmd.amount)
+        if cmd.in_bytes:
+            packets = src.dequeue_bytes(amount)
+        else:
+            packets = src.dequeue_packets(amount)
+        for packet in packets:
+            dst.enqueue(packet)
+        dst_name = _buffer_label(cmd.dst)
+        self.record.departures.setdefault(dst_name, []).extend(packets)
+
+    def _exec_call(self, cmd: Call) -> None:
+        proc = self.interp._procs.get(cmd.name)
+        if proc is None:
+            raise InterpError(f"unknown procedure {cmd.name!r}", cmd.pos)
+        callee_env: dict[str, Value] = {}
+        for param, arg in zip(proc.params, cmd.args):
+            if isinstance(param.type, (ListType, BufferType, ArrayType)):
+                callee_env[param.name] = self.eval(arg, aggregate=True)
+            else:
+                callee_env[param.name] = self.eval(arg)
+        frame = _Frame(self.interp, callee_env, self.record)
+        frame.exec_cmd(proc.body)
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()
+
+
+def _havoc_name(target: Expr) -> str:
+    if isinstance(target, Var):
+        return target.name
+    if isinstance(target, Index):
+        return _havoc_name(target.base)
+    return "<havoc>"
+
+
+def _buffer_label(expr: Expr) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Index):
+        base = _buffer_label(expr.base)
+        return f"{base}[.]"
+    return "<buffer>"

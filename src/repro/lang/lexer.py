@@ -1,0 +1,102 @@
+"""Lexer for the Buffy concrete syntax.
+
+The token set follows Figure 3/4 of the paper, including the
+hyphenated buffer builtins (``backlog-p``, ``move-p``...).  Underscore
+spellings (``backlog_p``) are accepted as aliases since hyphens are
+awkward in a C-like language.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .ast import BuffyError, Pos
+
+
+class LexError(BuffyError):
+    pass
+
+
+KEYWORDS = {
+    "if", "else", "for", "in", "do", "true", "false",
+    "global", "local", "monitor", "const", "havoc",
+    "int", "bool", "list", "buffer",
+    "assert", "assume", "out",
+    "def", "requires", "ensures", "invariant",
+}
+
+# Hyphenated builtins must be matched before IDENT and MINUS.
+_BUILTIN = r"(?:backlog|move)[-_][pb]\b"
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"//[^\n]*"),
+    ("WS", r"[ \t\r]+"),
+    ("NL", r"\n"),
+    ("BUILTIN", _BUILTIN),
+    ("NUMBER", r"\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("DOTDOT", r"\.\."),
+    ("IMPLIES", r"==>"),
+    ("PIPEGT", r"\|>"),
+    ("EQ", r"=="),
+    ("NE", r"!="),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("ANDAND", r"&&"),
+    ("OROR", r"\|\|"),
+    ("LPAREN", r"\("), ("RPAREN", r"\)"),
+    ("LBRACE", r"\{"), ("RBRACE", r"\}"),
+    ("LBRACK", r"\["), ("RBRACK", r"\]"),
+    ("COMMA", r","), ("SEMI", r";"), ("DOT", r"\."),
+    ("ASSIGN", r"="),
+    ("PLUS", r"\+"), ("MINUS", r"-"), ("STAR", r"\*"),
+    ("LT", r"<"), ("GT", r">"),
+    ("AMP", r"&"), ("PIPE", r"\|"),
+    ("BANG", r"!"),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    pos: Pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.pos})"
+
+
+EOF = "EOF"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Buffy source text; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    index = 0
+    n = len(source)
+    while index < n:
+        match = _MASTER.match(source, index)
+        if match is None:
+            col = index - line_start + 1
+            raise LexError(f"unexpected character {source[index]!r}", (line, col))
+        kind = match.lastgroup or ""
+        text = match.group(0)
+        if kind == "NL":
+            line += 1
+            line_start = match.end()
+        elif kind not in ("WS", "COMMENT"):
+            col = match.start() - line_start + 1
+            if kind == "IDENT" and text in KEYWORDS:
+                kind = text.upper()
+            if kind == "BUILTIN":
+                text = text.replace("_", "-")  # canonical hyphen form
+            tokens.append(Token(kind, text, (line, col)))
+        index = match.end()
+    tokens.append(Token(EOF, "", (line, n - line_start + 1)))
+    return tokens

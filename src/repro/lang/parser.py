@@ -1,0 +1,699 @@
+"""Recursive-descent parser for the Buffy concrete syntax.
+
+The grammar follows Figure 3 of the paper with the usual C-like
+precedence, except that (as in Figure 4) comparisons bind *tighter*
+than ``&`` / ``|``, so ``backlog-p(b) > 0 & !nq.has(i)`` parses as
+``(backlog-p(b) > 0) & (!nq.has(i))``.
+
+Array sizes in types may reference named constants (``buffer[N] ibs``);
+they are resolved against ``const`` declarations in the program plus
+any constants supplied to :func:`parse_program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from .ast import (
+    Assert,
+    Assign,
+    Assume,
+    Backlog,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    BuffyError,
+    Call,
+    Cmd,
+    Decl,
+    Expr,
+    FilterExpr,
+    For,
+    Havoc,
+    If,
+    Index,
+    IntLit,
+    ListEmpty,
+    ListHas,
+    ListLen,
+    Move,
+    Param,
+    PopFront,
+    Procedure,
+    Program,
+    PushBack,
+    Seq,
+    Skip,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarKind,
+)
+from .lexer import EOF, Token, tokenize
+from .types import (
+    BOOL_T,
+    BUFFER_T,
+    INT_T,
+    LIST_T,
+    ArrayType,
+    BufferType,
+    ListType,
+    Type,
+)
+
+
+class ParseError(BuffyError):
+    pass
+
+
+RawSize = Union[int, str]
+
+
+@dataclass(frozen=True)
+class _RawArray(Type):
+    """Array type with a possibly-symbolic size, resolved after parsing."""
+
+    elem: Type
+    size: RawSize
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.elem}[{self.size}]"
+
+
+@dataclass(frozen=True)
+class _RawList(Type):
+    size: Optional[RawSize]
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"list[{self.size}]"
+
+
+@dataclass(frozen=True)
+class _PopFrontMarker(Expr):
+    target: Expr
+
+
+@dataclass(frozen=True)
+class _PushBackMarker(Expr):
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class _CallMarker(Expr):
+    name: str
+    args: tuple
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._i = 0
+
+    # ----- token plumbing ---------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._i]
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._i + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind is not EOF:
+            self._i += 1
+        return tok
+
+    def _check(self, kind: str) -> bool:
+        return self._cur.kind == kind
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, what: str = "") -> Token:
+        if not self._check(kind):
+            want = what or kind
+            raise ParseError(
+                f"expected {want}, found {self._cur.text or self._cur.kind!r}",
+                self._cur.pos,
+            )
+        return self._advance()
+
+    # ----- program ------------------------------------------------------------
+
+    def parse_program(self) -> tuple[Program, dict[str, RawSize]]:
+        name = self._expect("IDENT", "program name").text
+        self._expect("LPAREN")
+        params: list[tuple[str, Type, Optional[VarKind]]] = []
+        if not self._check("RPAREN"):
+            params.append(self._param())
+            while self._accept("COMMA"):
+                params.append(self._param())
+        self._expect("RPAREN")
+        self._expect("LBRACE")
+        decls: list[Decl] = []
+        procedures: list[Procedure] = []
+        body: list[Cmd] = []
+        while not self._check("RBRACE"):
+            if self._check("DEF"):
+                procedures.append(self._procedure())
+                continue
+            stmt = self._statement()
+            if isinstance(stmt, Decl) and stmt.kind in (
+                VarKind.GLOBAL,
+                VarKind.MONITOR,
+                VarKind.CONST,
+            ):
+                decls.append(stmt)
+            else:
+                body.append(stmt)
+        self._expect("RBRACE")
+        raw_params = tuple(
+            Param(n, t, k if k is not None else VarKind.PARAM_IN)
+            for (n, t, k) in params
+        )
+        # Remember which params had no explicit direction for inference.
+        unannotated = {n for (n, _, k) in params if k is None}
+        program = Program(
+            name=name,
+            params=raw_params,
+            decls=tuple(decls),
+            body=Seq(tuple(body)),
+            procedures=tuple(procedures),
+        )
+        return program, {"__unannotated__": unannotated}  # type: ignore[dict-item]
+
+    def _param(self) -> tuple[str, Type, Optional[VarKind]]:
+        kind: Optional[VarKind] = None
+        if self._accept("IN"):
+            kind = VarKind.PARAM_IN
+        elif self._accept("OUT"):
+            kind = VarKind.PARAM_OUT
+        self._expect("BUFFER", "'buffer'")
+        typ: Type = BUFFER_T
+        if self._accept("LBRACK"):
+            size = self._raw_size()
+            self._expect("RBRACK")
+            typ = _RawArray(BUFFER_T, size)
+        name = self._expect("IDENT", "parameter name").text
+        return name, typ, kind
+
+    def _raw_size(self) -> RawSize:
+        if self._check("NUMBER"):
+            return int(self._advance().text)
+        return self._expect("IDENT", "array size").text
+
+    def _procedure(self) -> Procedure:
+        self._expect("DEF")
+        name = self._expect("IDENT", "procedure name").text
+        self._expect("LPAREN")
+        params: list[Decl] = []
+        if not self._check("RPAREN"):
+            params.append(self._proc_param())
+            while self._accept("COMMA"):
+                params.append(self._proc_param())
+        self._expect("RPAREN")
+        requires: list[Expr] = []
+        ensures: list[Expr] = []
+        while True:
+            if self._accept("REQUIRES"):
+                requires.append(self._expr())
+                self._accept("SEMI")
+            elif self._accept("ENSURES"):
+                ensures.append(self._expr())
+                self._accept("SEMI")
+            else:
+                break
+        body = self._block()
+        return Procedure(
+            name=name,
+            params=tuple(params),
+            body=body,
+            requires=tuple(requires),
+            ensures=tuple(ensures),
+        )
+
+    def _proc_param(self) -> Decl:
+        typ = self._type()
+        name = self._expect("IDENT", "parameter name").text
+        return Decl(name=name, type=typ, kind=VarKind.LOCAL)
+
+    def _type(self) -> Type:
+        if self._accept("INT"):
+            base: Type = INT_T
+        elif self._accept("BOOL"):
+            base = BOOL_T
+        elif self._accept("BUFFER"):
+            base = BUFFER_T
+        elif self._accept("LIST"):
+            if self._accept("LBRACK"):
+                size = self._raw_size()
+                self._expect("RBRACK")
+                return _RawList(size)
+            return LIST_T
+        else:
+            raise ParseError(
+                f"expected a type, found {self._cur.text!r}", self._cur.pos
+            )
+        while self._accept("LBRACK"):
+            size = self._raw_size()
+            self._expect("RBRACK")
+            base = _RawArray(base, size)
+        return base
+
+    # ----- statements --------------------------------------------------------------
+
+    def _block(self) -> Cmd:
+        if self._accept("LBRACE"):
+            commands: list[Cmd] = []
+            while not self._check("RBRACE"):
+                commands.append(self._statement())
+            self._expect("RBRACE")
+            if len(commands) == 1:
+                return commands[0]
+            return Seq(tuple(commands))
+        return self._statement()
+
+    def _statement(self) -> Cmd:
+        tok = self._cur
+        if tok.kind in ("GLOBAL", "LOCAL", "MONITOR", "CONST"):
+            return self._decl()
+        if tok.kind == "IF":
+            return self._if()
+        if tok.kind == "FOR":
+            return self._for()
+        if tok.kind == "BUILTIN":
+            return self._move()
+        if tok.kind == "ASSERT":
+            self._advance()
+            self._expect("LPAREN")
+            cond = self._expr()
+            self._expect("RPAREN")
+            self._expect("SEMI")
+            return Assert(cond, pos=tok.pos)
+        if tok.kind == "ASSUME":
+            self._advance()
+            self._expect("LPAREN")
+            cond = self._expr()
+            self._expect("RPAREN")
+            self._expect("SEMI")
+            return Assume(cond, pos=tok.pos)
+        if tok.kind == "HAVOC":
+            self._advance()
+            target = self._postfix()
+            lo = hi = None
+            if self._accept("IN"):
+                lo = self._expr_nocmp()
+                self._expect("DOTDOT")
+                hi = self._expr_nocmp()
+            self._expect("SEMI")
+            return Havoc(target, lo, hi, pos=tok.pos)
+        if tok.kind == "SEMI":
+            self._advance()
+            return Skip(pos=tok.pos)
+        if tok.kind == "LBRACE":
+            return self._block()
+        # Expression-led statements: assignment / push_back / pop_front / call.
+        return self._expr_statement()
+
+    def _decl(self) -> Cmd:
+        kind_tok = self._advance()
+        kind = VarKind(kind_tok.text)
+        # "global list nq;" — type follows the kind keyword.
+        typ = self._type()
+        name = self._expect("IDENT", "variable name").text
+        init = None
+        if self._accept("ASSIGN"):
+            init = self._expr()
+        self._expect("SEMI")
+        return Decl(name=name, type=typ, kind=kind, init=init, pos=kind_tok.pos)
+
+    def _if(self) -> Cmd:
+        tok = self._expect("IF")
+        self._expect("LPAREN")
+        cond = self._expr()
+        self._expect("RPAREN")
+        then = self._block()
+        els: Cmd = Skip()
+        if self._accept("ELSE"):
+            els = self._block()
+        return If(cond, then, els, pos=tok.pos)
+
+    def _for(self) -> Cmd:
+        tok = self._expect("FOR")
+        self._expect("LPAREN")
+        var = self._expect("IDENT", "loop variable").text
+        self._expect("IN")
+        lo = self._expr()
+        self._expect("DOTDOT")
+        hi = self._expr()
+        self._expect("RPAREN")
+        invariants: list[Expr] = []
+        while self._accept("INVARIANT"):
+            invariants.append(self._expr())
+            self._accept("SEMI")
+        self._accept("DO")
+        body = self._block()
+        return For(var, lo, hi, body, tuple(invariants), pos=tok.pos)
+
+    def _move(self) -> Cmd:
+        tok = self._advance()  # BUILTIN
+        if not tok.text.startswith("move"):
+            raise ParseError(f"{tok.text} is an expression, not a statement", tok.pos)
+        in_bytes = tok.text.endswith("b")
+        self._expect("LPAREN")
+        src = self._expr()
+        self._expect("COMMA")
+        dst = self._expr()
+        self._expect("COMMA")
+        amount = self._expr()
+        self._expect("RPAREN")
+        self._expect("SEMI")
+        return Move(src, dst, amount, in_bytes=in_bytes, pos=tok.pos)
+
+    def _expr_statement(self) -> Cmd:
+        pos = self._cur.pos
+        lhs = self._postfix()
+        if isinstance(lhs, _PushBackMarker):
+            self._expect("SEMI")
+            return PushBack(lhs.target, lhs.value, pos=pos)
+        if isinstance(lhs, _CallMarker):
+            self._expect("SEMI")
+            return Call(lhs.name, lhs.args, pos=pos)
+        if self._accept("ASSIGN"):
+            rhs = self._expr_or_pop()
+            self._expect("SEMI")
+            if isinstance(rhs, _PopFrontMarker):
+                return PopFront(lhs, rhs.target, pos=pos)
+            return Assign(lhs, rhs, pos=pos)
+        raise ParseError(
+            f"expected a statement, found {self._cur.text!r}", self._cur.pos
+        )
+
+    def _expr_or_pop(self) -> Expr:
+        expr = self._expr()
+        return expr
+
+    # ----- expressions ----------------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._implies()
+
+    def _expr_nocmp(self) -> Expr:
+        """Expression without comparison (for havoc ranges: lo..hi)."""
+        return self._addsub()
+
+    def _implies(self) -> Expr:
+        left = self._or()
+        if self._accept("IMPLIES"):
+            right = self._implies()  # right-associative
+            return BinOp(BinOpKind.IMPLIES, left, right)
+        return left
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while True:
+            tok = self._cur
+            if tok.kind in ("PIPE", "OROR"):
+                self._advance()
+                left = BinOp(BinOpKind.OR, left, self._and(), pos=tok.pos)
+            else:
+                return left
+
+    def _and(self) -> Expr:
+        left = self._cmp()
+        while True:
+            tok = self._cur
+            if tok.kind in ("AMP", "ANDAND"):
+                self._advance()
+                left = BinOp(BinOpKind.AND, left, self._cmp(), pos=tok.pos)
+            else:
+                return left
+
+    _CMP = {
+        "LT": BinOpKind.LT,
+        "LE": BinOpKind.LE,
+        "GT": BinOpKind.GT,
+        "GE": BinOpKind.GE,
+        "EQ": BinOpKind.EQ,
+        "NE": BinOpKind.NE,
+    }
+
+    def _cmp(self) -> Expr:
+        left = self._addsub()
+        tok = self._cur
+        kind = self._CMP.get(tok.kind)
+        if kind is not None:
+            self._advance()
+            return BinOp(kind, left, self._addsub(), pos=tok.pos)
+        return left
+
+    def _addsub(self) -> Expr:
+        left = self._mul()
+        while True:
+            tok = self._cur
+            if tok.kind == "PLUS":
+                self._advance()
+                left = BinOp(BinOpKind.ADD, left, self._mul(), pos=tok.pos)
+            elif tok.kind == "MINUS":
+                self._advance()
+                left = BinOp(BinOpKind.SUB, left, self._mul(), pos=tok.pos)
+            else:
+                return left
+
+    def _mul(self) -> Expr:
+        left = self._unary()
+        while self._check("STAR"):
+            tok = self._advance()
+            left = BinOp(BinOpKind.MUL, left, self._unary(), pos=tok.pos)
+        return left
+
+    def _unary(self) -> Expr:
+        tok = self._cur
+        if tok.kind == "BANG":
+            self._advance()
+            return UnOp(UnOpKind.NOT, self._unary(), pos=tok.pos)
+        if tok.kind == "MINUS":
+            self._advance()
+            return UnOp(UnOpKind.NEG, self._unary(), pos=tok.pos)
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while True:
+            tok = self._cur
+            if tok.kind == "LBRACK":
+                self._advance()
+                index = self._expr()
+                self._expect("RBRACK")
+                expr = Index(expr, index, pos=tok.pos)
+            elif tok.kind == "DOT":
+                self._advance()
+                expr = self._method(expr)
+            elif tok.kind == "PIPEGT":
+                self._advance()
+                fieldname = self._expect("IDENT", "packet field name").text
+                self._expect("EQ", "'=='")
+                value = self._unary()
+                expr = FilterExpr(expr, fieldname, value, pos=tok.pos)
+            else:
+                return expr
+
+    def _method(self, target: Expr) -> Expr:
+        name_tok = self._expect("IDENT", "method name")
+        name = name_tok.text
+        self._expect("LPAREN")
+        args: list[Expr] = []
+        if not self._check("RPAREN"):
+            args.append(self._expr())
+            while self._accept("COMMA"):
+                args.append(self._expr())
+        self._expect("RPAREN")
+        pos = name_tok.pos
+
+        def arity(n: int) -> None:
+            if len(args) != n:
+                raise ParseError(f".{name}() takes {n} argument(s)", pos)
+
+        if name == "has":
+            arity(1)
+            return ListHas(target, args[0], pos=pos)
+        if name == "empty":
+            arity(0)
+            return ListEmpty(target, pos=pos)
+        if name == "len":
+            arity(0)
+            return ListLen(target, pos=pos)
+        if name in ("push_back", "enq"):
+            arity(1)
+            return _PushBackMarker(target, args[0], pos=pos)
+        if name == "pop_front":
+            arity(0)
+            return _PopFrontMarker(target, pos=pos)
+        raise ParseError(f"unknown method .{name}()", pos)
+
+    def _primary(self) -> Expr:
+        tok = self._cur
+        if tok.kind == "NUMBER":
+            self._advance()
+            return IntLit(int(tok.text), pos=tok.pos)
+        if tok.kind == "TRUE":
+            self._advance()
+            return BoolLit(True, pos=tok.pos)
+        if tok.kind == "FALSE":
+            self._advance()
+            return BoolLit(False, pos=tok.pos)
+        if tok.kind == "BUILTIN":
+            self._advance()
+            if not tok.text.startswith("backlog"):
+                raise ParseError(f"{tok.text} is a statement, not an expression", tok.pos)
+            self._expect("LPAREN")
+            buf = self._expr()
+            self._expect("RPAREN")
+            return Backlog(buf, in_bytes=tok.text.endswith("b"), pos=tok.pos)
+        if tok.kind == "IDENT":
+            self._advance()
+            if self._check("LPAREN"):
+                self._advance()
+                args: list[Expr] = []
+                if not self._check("RPAREN"):
+                    args.append(self._expr())
+                    while self._accept("COMMA"):
+                        args.append(self._expr())
+                self._expect("RPAREN")
+                return _CallMarker(tok.text, tuple(args), pos=tok.pos)
+            return Var(tok.text, pos=tok.pos)
+        if tok.kind == "LPAREN":
+            self._advance()
+            expr = self._expr()
+            self._expect("RPAREN")
+            return expr
+        raise ParseError(f"expected an expression, found {tok.text!r}", tok.pos)
+
+
+# =============================================================================
+# Size resolution and public API
+# =============================================================================
+
+
+def _resolve_type(typ: Type, consts: dict[str, int]) -> Type:
+    if isinstance(typ, _RawArray):
+        elem = _resolve_type(typ.elem, consts)
+        return ArrayType(elem, _resolve_size(typ.size, consts))
+    if isinstance(typ, _RawList):
+        size = None if typ.size is None else _resolve_size(typ.size, consts)
+        return ListType(capacity=size)
+    return typ
+
+
+def _resolve_size(size: RawSize, consts: dict[str, int]) -> int:
+    if isinstance(size, int):
+        return size
+    if size not in consts:
+        raise ParseError(f"unknown constant {size!r} used as array size")
+    return consts[size]
+
+
+def _resolve_cmd(cmd: Cmd, consts: dict[str, int]) -> Cmd:
+    if isinstance(cmd, Decl):
+        return Decl(
+            name=cmd.name,
+            type=_resolve_type(cmd.type, consts),
+            kind=cmd.kind,
+            init=cmd.init,
+            pos=cmd.pos,
+        )
+    if isinstance(cmd, Seq):
+        return Seq(tuple(_resolve_cmd(c, consts) for c in cmd.commands))
+    if isinstance(cmd, If):
+        return If(cmd.cond, _resolve_cmd(cmd.then, consts),
+                  _resolve_cmd(cmd.els, consts), pos=cmd.pos)
+    if isinstance(cmd, For):
+        return For(cmd.var, cmd.lo, cmd.hi, _resolve_cmd(cmd.body, consts),
+                   cmd.invariants, pos=cmd.pos)
+    return cmd
+
+
+def parse_program(
+    source: str, consts: Optional[dict[str, int]] = None
+) -> Program:
+    """Parse Buffy source text into a :class:`Program`.
+
+    ``consts`` supplies values for named array sizes (e.g. ``N`` in
+    ``buffer[N] ibs``) in addition to ``const`` declarations inside the
+    program; supplied values take precedence.
+    """
+    parser = _Parser(tokenize(source))
+    program, extra = parser.parse_program()
+    if not parser._check(EOF):
+        raise ParseError(
+            f"unexpected trailing input {parser._cur.text!r}", parser._cur.pos
+        )
+    unannotated: set = extra.pop("__unannotated__", set())  # type: ignore[assignment]
+
+    all_consts = dict(program.constants())
+    all_consts.update(consts or {})
+
+    params = tuple(
+        Param(p.name, _resolve_type(p.type, all_consts), p.kind)
+        for p in program.params
+    )
+    # Externally supplied constants become const declarations so that the
+    # checker and interpreter resolve them exactly like in-program consts.
+    declared_names = {d.name for d in program.decls}
+    synthetic = tuple(
+        Decl(name, INT_T, VarKind.CONST, IntLit(value))
+        for name, value in (consts or {}).items()
+        if name not in declared_names
+    )
+    decls = synthetic + tuple(
+        Decl(
+            d.name,
+            _resolve_type(d.type, all_consts),
+            d.kind,
+            # Supplied constants override in-program initializers.
+            IntLit(all_consts[d.name]) if d.kind is VarKind.CONST else d.init,
+            pos=d.pos,
+        )
+        for d in program.decls
+    )
+    procedures = tuple(
+        Procedure(
+            pr.name,
+            tuple(
+                Decl(d.name, _resolve_type(d.type, all_consts), d.kind, d.init)
+                for d in pr.params
+            ),
+            _resolve_cmd(pr.body, all_consts),
+            pr.requires,
+            pr.ensures,
+        )
+        for pr in program.procedures
+    )
+    resolved = Program(
+        name=program.name,
+        params=params,
+        decls=decls,
+        body=_resolve_cmd(program.body, all_consts),
+        procedures=procedures,
+    )
+    # Attach direction-inference hints for the checker.
+    object.__setattr__(resolved, "_unannotated_params", frozenset(unannotated))
+    return resolved
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a standalone Buffy expression (queries, assumptions)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._expr()
+    if not parser._check(EOF):
+        raise ParseError(
+            f"unexpected trailing input {parser._cur.text!r}", parser._cur.pos
+        )
+    if isinstance(expr, (_PushBackMarker, _PopFrontMarker, _CallMarker)):
+        raise ParseError("statement-only construct used as an expression")
+    return expr

@@ -1,0 +1,186 @@
+"""Pretty printer: Buffy ASTs back to concrete syntax.
+
+Supports round-trip testing (``parse(pretty(parse(src)))`` is
+structurally equal to ``parse(src)``) and makes builder-constructed
+programs inspectable.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Assert,
+    Assign,
+    Assume,
+    Backlog,
+    BinOp,
+    BoolLit,
+    Call,
+    Cmd,
+    Decl,
+    Expr,
+    FilterExpr,
+    For,
+    Havoc,
+    If,
+    Index,
+    IntLit,
+    ListEmpty,
+    ListHas,
+    ListLen,
+    Move,
+    Param,
+    PopFront,
+    Procedure,
+    Program,
+    PushBack,
+    Seq,
+    Skip,
+    UnOp,
+    Var,
+    VarKind,
+)
+from .types import ArrayType, BufferType, ListType, Type
+
+_INDENT = "  "
+
+
+def pretty_expr(expr: Expr) -> str:
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Index):
+        return f"{pretty_expr(expr.base)}[{pretty_expr(expr.index)}]"
+    if isinstance(expr, BinOp):
+        return (
+            f"({pretty_expr(expr.left)} {expr.kind.value}"
+            f" {pretty_expr(expr.right)})"
+        )
+    if isinstance(expr, UnOp):
+        return f"{expr.kind.value}{pretty_expr(expr.operand)}"
+    if isinstance(expr, Backlog):
+        op = "backlog-b" if expr.in_bytes else "backlog-p"
+        return f"{op}({pretty_expr(expr.buffer)})"
+    if isinstance(expr, FilterExpr):
+        return (
+            f"({pretty_expr(expr.buffer)} |> {expr.fieldname}"
+            f" == {pretty_expr(expr.value)})"
+        )
+    if isinstance(expr, ListHas):
+        return f"{pretty_expr(expr.target)}.has({pretty_expr(expr.item)})"
+    if isinstance(expr, ListEmpty):
+        return f"{pretty_expr(expr.target)}.empty()"
+    if isinstance(expr, ListLen):
+        return f"{pretty_expr(expr.target)}.len()"
+    raise ValueError(f"cannot print {type(expr).__name__}")
+
+
+def pretty_type(typ: Type) -> str:
+    if isinstance(typ, ArrayType):
+        return f"{pretty_type(typ.elem)}[{typ.size}]"
+    if isinstance(typ, ListType):
+        if typ.capacity is not None:
+            return f"list[{typ.capacity}]"
+        return "list"
+    return str(typ)
+
+
+def pretty_cmd(cmd: Cmd, depth: int = 0) -> str:
+    pad = _INDENT * depth
+    if isinstance(cmd, Skip):
+        return f"{pad};"
+    if isinstance(cmd, Seq):
+        return "\n".join(pretty_cmd(c, depth) for c in cmd.commands)
+    if isinstance(cmd, Decl):
+        init = f" = {pretty_expr(cmd.init)}" if cmd.init is not None else ""
+        return f"{pad}{cmd.kind.value} {pretty_type(cmd.type)} {cmd.name}{init};"
+    if isinstance(cmd, Assign):
+        return f"{pad}{pretty_expr(cmd.target)} = {pretty_expr(cmd.value)};"
+    if isinstance(cmd, If):
+        out = [f"{pad}if ({pretty_expr(cmd.cond)}) {{"]
+        out.append(pretty_cmd(cmd.then, depth + 1))
+        if not isinstance(cmd.els, Skip):
+            out.append(f"{pad}}} else {{")
+            out.append(pretty_cmd(cmd.els, depth + 1))
+        out.append(f"{pad}}}")
+        return "\n".join(out)
+    if isinstance(cmd, For):
+        header = (
+            f"{pad}for ({cmd.var} in {pretty_expr(cmd.lo)}"
+            f"..{pretty_expr(cmd.hi)})"
+        )
+        invs = "".join(
+            f"\n{pad}{_INDENT}invariant {pretty_expr(inv)};"
+            for inv in cmd.invariants
+        )
+        body = pretty_cmd(cmd.body, depth + 1)
+        return f"{header}{invs} do {{\n{body}\n{pad}}}"
+    if isinstance(cmd, Move):
+        op = "move-b" if cmd.in_bytes else "move-p"
+        return (
+            f"{pad}{op}({pretty_expr(cmd.src)}, {pretty_expr(cmd.dst)},"
+            f" {pretty_expr(cmd.amount)});"
+        )
+    if isinstance(cmd, PushBack):
+        return (
+            f"{pad}{pretty_expr(cmd.target)}"
+            f".push_back({pretty_expr(cmd.value)});"
+        )
+    if isinstance(cmd, PopFront):
+        return (
+            f"{pad}{pretty_expr(cmd.var)} ="
+            f" {pretty_expr(cmd.target)}.pop_front();"
+        )
+    if isinstance(cmd, Assert):
+        return f"{pad}assert({pretty_expr(cmd.cond)});"
+    if isinstance(cmd, Assume):
+        return f"{pad}assume({pretty_expr(cmd.cond)});"
+    if isinstance(cmd, Havoc):
+        if cmd.lo is not None and cmd.hi is not None:
+            return (
+                f"{pad}havoc {pretty_expr(cmd.target)} in"
+                f" {pretty_expr(cmd.lo)}..{pretty_expr(cmd.hi)};"
+            )
+        return f"{pad}havoc {pretty_expr(cmd.target)};"
+    if isinstance(cmd, Call):
+        args = ", ".join(pretty_expr(a) for a in cmd.args)
+        return f"{pad}{cmd.name}({args});"
+    raise ValueError(f"cannot print {type(cmd).__name__}")
+
+
+def pretty_param(param: Param) -> str:
+    qualifier = "in" if param.kind is VarKind.PARAM_IN else "out"
+    if isinstance(param.type, ArrayType):
+        return f"{qualifier} buffer[{param.type.size}] {param.name}"
+    return f"{qualifier} buffer {param.name}"
+
+
+def pretty_procedure(proc: Procedure, depth: int = 1) -> str:
+    pad = _INDENT * depth
+    params = ", ".join(
+        f"{pretty_type(p.type)} {p.name}" for p in proc.params
+    )
+    out = [f"{pad}def {proc.name}({params})"]
+    for clause in proc.requires:
+        out.append(f"{pad}{_INDENT}requires {pretty_expr(clause)};")
+    for clause in proc.ensures:
+        out.append(f"{pad}{_INDENT}ensures {pretty_expr(clause)};")
+    out.append(f"{pad}{{")
+    out.append(pretty_cmd(proc.body, depth + 1))
+    out.append(f"{pad}}}")
+    return "\n".join(out)
+
+
+def pretty_program(program: Program) -> str:
+    """Render a full program as parseable Buffy source."""
+    params = ", ".join(pretty_param(p) for p in program.params)
+    lines = [f"{program.name}({params}){{"]
+    for decl in program.decls:
+        lines.append(pretty_cmd(decl, 1))
+    for proc in program.procedures:
+        lines.append(pretty_procedure(proc))
+    lines.append(pretty_cmd(program.body, 1))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

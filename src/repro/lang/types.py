@@ -1,0 +1,85 @@
+"""Static types for the Buffy language.
+
+§7 of the paper: "Buffy only supports integers, boolean, and buffers,
+and array and list data structures."  All aggregate types carry static
+size bounds so every program can be finitized (unrolled / flattened)
+for the back-end solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Type:
+    """Base class for Buffy types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class BufferType(Type):
+    """A packet buffer.
+
+    ``fields`` are the packet fields filters may reference; every
+    packet implicitly carries ``flow`` (its traffic class / input index)
+    and ``size`` (bytes).  ``capacity`` bounds the number of packets the
+    symbolic list model tracks.
+    """
+
+    fields: Tuple[str, ...] = ("flow", "size")
+    capacity: Optional[int] = None
+
+    def __str__(self) -> str:
+        return "buffer"
+
+
+@dataclass(frozen=True)
+class ListType(Type):
+    """A bounded FIFO list of integers (queue-pointer lists in FQ)."""
+
+    capacity: Optional[int] = None
+
+    def __str__(self) -> str:
+        return "list"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A fixed-size array (``buffer[N]``, ``int[N]``)."""
+
+    elem: Type
+    size: int
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.size}]"
+
+
+INT_T = IntType()
+BOOL_T = BoolType()
+BUFFER_T = BufferType()
+LIST_T = ListType()
+
+
+def is_numeric(t: Type) -> bool:
+    return isinstance(t, IntType)
+
+
+def element_type(t: Type) -> Type:
+    if isinstance(t, ArrayType):
+        return t.elem
+    raise TypeError(f"{t} is not indexable")

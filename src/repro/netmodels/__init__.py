@@ -1,0 +1,14 @@
+"""The paper's case-study network models."""
+
+from .schedulers import (
+    ALL_SCHEDULERS,
+    fq_buggy,
+    fq_fixed,
+    round_robin,
+    strict_priority,
+)
+
+__all__ = [
+    "ALL_SCHEDULERS", "fq_buggy", "fq_fixed", "round_robin",
+    "strict_priority",
+]

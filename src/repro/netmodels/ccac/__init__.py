@@ -1,0 +1,17 @@
+"""CCAC case study: AIMD over a non-deterministic Internet path (§6.2)."""
+
+from .models import (
+    AIMD_SRC,
+    DELAY_SRC,
+    PATH_SRC,
+    aimd_program,
+    ccac_network,
+    ccac_symbolic_network,
+    delay_program,
+    path_program,
+)
+
+__all__ = [
+    "AIMD_SRC", "DELAY_SRC", "PATH_SRC", "aimd_program", "ccac_network",
+    "ccac_symbolic_network", "delay_program", "path_program",
+]

@@ -1,0 +1,198 @@
+"""CCAC case study: AIMD over a non-deterministic Internet path (§6.2).
+
+CCAC models Internet paths as "a path server, which is a generalized
+and non-deterministic token bucket filter, followed by a fixed delay".
+Following the paper, the model is decomposed into three Buffy programs
+composed by connecting buffers (Figure 7):
+
+* :data:`AIMD_SRC` — the congestion control algorithm.  One time step
+  is one RTT: consume acks from ``cin1``, additively increase the
+  window, detect persistent ack silence and multiplicatively decrease
+  (halving computed with a bounded loop — Buffy has no division), then
+  transmit up to ``cwnd - inflight`` packets from the application
+  buffer ``cin0`` into ``cout0``.
+
+* :data:`PATH_SRC` — the path server.  A havocked per-step token refill
+  is constrained (``assume``) to CCAC's generalized token bucket: the
+  cumulative service over any prefix stays within ``C*t ± B``.  Served
+  packets are forwarded as their own acknowledgements into ``pob1``
+  (payload delivery is observed via the input buffer's dequeue
+  statistic — packets double as ack tokens so the language stays
+  move-only; see DESIGN.md).
+
+* :data:`DELAY_SRC` — a unit-delay stage; a fixed delay of ``D`` steps
+  is ``D`` unit stages composed in series (composition's end-of-step
+  flush provides exactly one step of latency per stage).
+
+The wiring (:func:`ccac_network` / :func:`ccac_symbolic_network`):
+``aimd.cout0 → path.pin0``, ``path.pob1 → delay_1.dib0``,
+``delay_k.dob0 → delay_{k+1}.dib0``, ``delay_D.dob0 → aimd.cin1``.
+
+The ack-burst loss scenario: the path server may stall (refill at the
+low edge of the bucket envelope) while tokens and acks accumulate,
+then release a burst; the burst of acks reaches AIMD one delay later,
+AIMD dumps a full window into the path buffer, and the buffer
+overflows — a packet loss that the loss query detects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...compiler.composition import (
+    ConcreteNetwork,
+    Connection,
+    SymbolicNetwork,
+)
+from ...compiler.symexec import EncodeConfig
+from ...lang.checker import CheckedProgram, check_program
+from ...lang.parser import parse_program
+
+AIMD_SRC = """\
+aimd(in buffer cin0, in buffer cin1, out buffer cout0, out buffer sink){
+  const int IW = 2;       // initial window
+  const int CWND_MAX = 8; // window clamp (keeps the model bounded)
+  const int ACK_CAP = 8;  // acks consumed per step bound
+  const int RTO = 3;      // silent RTTs before multiplicative decrease
+  global int cwnd; global int inflight;
+  global bool started; global int silent;
+  monitor int m_cwnd; monitor int m_acked;
+  if (!started) { cwnd = IW; started = true; }
+  // consume this RTT's acks
+  local int acks;
+  acks = backlog-p(cin1);
+  move-p(cin1, sink, ACK_CAP);
+  inflight = inflight - acks;
+  if (inflight < 0) { inflight = 0; }
+  // AIMD window update
+  if (acks > 0) {
+    silent = 0;
+    if (cwnd < CWND_MAX) { cwnd = cwnd + 1; }
+  } else {
+    if (inflight > 0) { silent = silent + 1; }
+  }
+  if (silent >= RTO) {
+    // multiplicative decrease: cwnd = max(1, cwnd / 2), division-free
+    local int half;
+    half = 0;
+    for (i in 0..CWND_MAX) do {
+      if (half + half + 2 <= cwnd) { half = half + 1; }
+    }
+    cwnd = half;
+    if (cwnd < 1) { cwnd = 1; }
+    inflight = 0;
+    silent = 0;
+  }
+  // transmit up to the window
+  local int can_send; local int before;
+  can_send = cwnd - inflight;
+  if (can_send < 0) { can_send = 0; }
+  before = backlog-p(cin0);
+  move-p(cin0, cout0, can_send);
+  inflight = inflight + (before - backlog-p(cin0));
+  m_cwnd = cwnd;
+  m_acked = m_acked + acks;
+}
+"""
+
+PATH_SRC = """\
+path(in buffer pin0, out buffer pob1){
+  const int RATE = 1;    // C: long-term service rate (packets per step)
+  const int BURST = 2;   // B: token-bucket burst tolerance
+  const int MAXR = 3;    // per-step refill cap (RATE + BURST)
+  const int BUCKET = 3;  // token accumulation cap
+  global int tokens; global int tick; global int trefill;
+  monitor int m_served;
+  tick = tick + 1;
+  // CCAC's generalized token bucket: the cumulative service envelope
+  // stays within C*t - B .. C*t + B, each step's refill is havocked.
+  local int refill;
+  havoc refill in 0..MAXR;
+  trefill = trefill + refill;
+  assume(trefill <= RATE * tick + BURST);
+  assume(trefill >= RATE * tick - BURST);
+  tokens = tokens + refill;
+  if (tokens > BUCKET) { tokens = BUCKET; }
+  // serve up to the available tokens; served packets double as acks
+  local int before; local int served;
+  before = backlog-p(pin0);
+  move-p(pin0, pob1, tokens);
+  served = before - backlog-p(pin0);
+  tokens = tokens - served;
+  m_served = m_served + served;
+}
+"""
+
+DELAY_SRC = """\
+delay(in buffer dib0, out buffer dob0){
+  const int CAP = 8;
+  move-p(dib0, dob0, CAP);
+}
+"""
+
+
+def aimd_program() -> CheckedProgram:
+    return check_program(parse_program(AIMD_SRC))
+
+
+def path_program() -> CheckedProgram:
+    return check_program(parse_program(PATH_SRC))
+
+
+def delay_program() -> CheckedProgram:
+    return check_program(parse_program(DELAY_SRC))
+
+
+def _wiring(delay_steps: int) -> tuple[dict[str, CheckedProgram], list[Connection]]:
+    if delay_steps < 1:
+        raise ValueError("delay must be at least one step")
+    programs: dict[str, CheckedProgram] = {
+        "aimd": aimd_program(),
+        "path": path_program(),
+    }
+    connections = [
+        Connection("aimd", "cout0", "path", "pin0"),
+    ]
+    prev = ("path", "pob1")
+    for k in range(delay_steps):
+        name = f"delay{k}"
+        programs[name] = delay_program()
+        connections.append(Connection(prev[0], prev[1], name, "dib0"))
+        prev = (name, "dob0")
+    connections.append(Connection(prev[0], prev[1], "aimd", "cin1"))
+    return programs, connections
+
+
+def ccac_network(delay_steps: int = 1) -> ConcreteNetwork:
+    """The composed concrete (simulation) network of Figure 7."""
+    programs, connections = _wiring(delay_steps)
+    return ConcreteNetwork(programs, connections)
+
+
+def ccac_symbolic_network(
+    delay_steps: int = 1,
+    path_capacity: int = 4,
+    config: Optional[EncodeConfig] = None,
+) -> tuple[dict[str, CheckedProgram], list[Connection], dict[str, EncodeConfig]]:
+    """Programs, wiring and per-program configs for symbolic analysis.
+
+    ``path_capacity`` is the bottleneck buffer size — the loss query
+    asks whether ``path.pin0`` can overflow it.
+    """
+    programs, connections = _wiring(delay_steps)
+    base = config or EncodeConfig(
+        buffer_capacity=8,
+        arrivals_per_step=4,
+        havoc_default=(0, 4),
+    )
+    configs = {name: base for name in programs}
+    path_cfg = EncodeConfig(
+        buffer_capacity=path_capacity,
+        arrivals_per_step=base.arrivals_per_step,
+        havoc_default=base.havoc_default,
+        buffer_model=base.buffer_model,
+        packet_size=base.packet_size,
+        max_size=base.max_size,
+    )
+    configs["path"] = path_cfg
+    return programs, connections, configs

@@ -1,0 +1,71 @@
+"""Additional network-function models: DRR and traffic shaping.
+
+§2.1 of the paper describes FQ-CoDel's *quantum* mechanism ("if it has
+already sent a quantum of bytes..."); deficit round robin is the
+classical scheduler built on that idea, and a token-bucket shaper is
+the canonical rate-limiting element (it also underlies CCAC's path
+server).  Both are small Buffy programs, exercising arrays of integer
+globals (per-queue credits) and the shaper's token arithmetic.
+"""
+
+from __future__ import annotations
+
+from ..lang.checker import CheckedProgram, check_program
+from ..lang.parser import parse_program
+
+DRR_SRC = """\
+drr(in buffer[N] ibs, out buffer ob){
+  global int ptr; global int[N] credit;
+  local bool dequeued;
+  dequeued = false;
+  for (k in 0..N) do {
+    if (!dequeued) {
+      if (backlog-p(ibs[ptr]) > 0) {
+        // a fresh visit grants the queue its quantum of credit
+        if (credit[ptr] == 0) { credit[ptr] = Q; }
+        move-p(ibs[ptr], ob, 1);
+        credit[ptr] = credit[ptr] - 1;
+        dequeued = true;
+        if (credit[ptr] == 0) {
+          ptr = ptr + 1; if (ptr == N) { ptr = 0; }
+        }
+      } else {
+        credit[ptr] = 0;
+        ptr = ptr + 1; if (ptr == N) { ptr = 0; }
+      }
+    }
+  }
+}
+"""
+
+SHAPER_SRC = """\
+shaper(in buffer ib, out buffer ob){
+  global int tokens; global bool started;
+  monitor int m_sent;
+  if (!started) { tokens = BUCKET; started = true; }
+  // refill at RATE, capped at the bucket depth
+  tokens = tokens + RATE;
+  if (tokens > BUCKET) { tokens = BUCKET; }
+  // release as many whole packets as we hold tokens for
+  local int before; local int sent;
+  before = backlog-p(ib);
+  move-p(ib, ob, tokens);
+  sent = before - backlog-p(ib);
+  tokens = tokens - sent;
+  m_sent = m_sent + sent;
+}
+"""
+
+
+def drr(n_queues: int = 2, quantum: int = 2) -> CheckedProgram:
+    """Deficit round robin: ``quantum`` consecutive packets per visit."""
+    return check_program(
+        parse_program(DRR_SRC, consts={"N": n_queues, "Q": quantum})
+    )
+
+
+def token_bucket_shaper(rate: int = 1, bucket: int = 3) -> CheckedProgram:
+    """A token-bucket traffic shaper: long-term ``rate``, burst ``bucket``."""
+    return check_program(
+        parse_program(SHAPER_SRC, consts={"RATE": rate, "BUCKET": bucket})
+    )

@@ -1,0 +1,104 @@
+"""SMT substrate: the reproduction's stand-in for Z3.
+
+Layers (bottom-up):
+
+* :mod:`repro.smt.sat` — CDCL / DPLL SAT engines over DIMACS literals.
+* :mod:`repro.smt.cnf` — CNF container and DIMACS I/O.
+* :mod:`repro.smt.terms` — hash-consed Bool/Int term DAG.
+* :mod:`repro.smt.intervals` — bounds analysis (exact bit-widths).
+* :mod:`repro.smt.bitblast` — Tseitin bit-blasting to CNF.
+* :mod:`repro.smt.solver` — assert/check/model facade.
+* :mod:`repro.smt.smtlib` — SMT-LIB v2 printing and parsing.
+"""
+
+from .intervals import BoundsEnv, Interval
+from .model import Model
+from .solver import CheckResult, SmtSolver, is_satisfiable, prove
+from .sorts import BOOL, INT, Sort
+from .terms import (
+    FALSE,
+    ONE,
+    TRUE,
+    ZERO,
+    Op,
+    Term,
+    dag_size,
+    evaluate,
+    free_vars,
+    fresh_var,
+    iter_dag,
+    mk_add,
+    mk_and,
+    mk_bool,
+    mk_bool_to_int,
+    mk_bool_var,
+    mk_distinct,
+    mk_eq,
+    mk_iff,
+    mk_implies,
+    mk_int,
+    mk_int_var,
+    mk_ite,
+    mk_le,
+    mk_lt,
+    mk_max,
+    mk_min,
+    mk_mul,
+    mk_neg,
+    mk_not,
+    mk_or,
+    mk_sub,
+    mk_sum,
+    mk_var,
+    substitute,
+    to_sexpr,
+)
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "BoundsEnv",
+    "CheckResult",
+    "FALSE",
+    "Interval",
+    "Model",
+    "ONE",
+    "Op",
+    "SmtSolver",
+    "Sort",
+    "TRUE",
+    "Term",
+    "ZERO",
+    "dag_size",
+    "evaluate",
+    "free_vars",
+    "fresh_var",
+    "is_satisfiable",
+    "iter_dag",
+    "mk_add",
+    "mk_and",
+    "mk_bool",
+    "mk_bool_to_int",
+    "mk_bool_var",
+    "mk_distinct",
+    "mk_eq",
+    "mk_iff",
+    "mk_implies",
+    "mk_int",
+    "mk_int_var",
+    "mk_ite",
+    "mk_le",
+    "mk_lt",
+    "mk_max",
+    "mk_min",
+    "mk_mul",
+    "mk_neg",
+    "mk_not",
+    "mk_or",
+    "mk_sub",
+    "mk_sum",
+    "mk_var",
+    "prove",
+    "substitute",
+    "to_sexpr",
+]

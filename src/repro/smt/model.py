@@ -1,0 +1,53 @@
+"""Models (satisfying assignments) returned by the SMT solver."""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from .sorts import BOOL
+from .terms import Term, evaluate, free_vars
+
+
+class Model:
+    """A satisfying assignment over the problem variables.
+
+    Access by variable term or name::
+
+        model[x]          # x is a Term or a name string
+        model.eval(x + y) # evaluate an arbitrary term under the model
+    """
+
+    def __init__(self, assignment: Mapping[str, Union[bool, int]]):
+        self._assignment = dict(assignment)
+
+    def __getitem__(self, key: Union[Term, str]) -> Union[bool, int]:
+        name = key.name if isinstance(key, Term) else key
+        return self._assignment[name]
+
+    def get(self, key: Union[Term, str], default=None):
+        name = key.name if isinstance(key, Term) else key
+        return self._assignment.get(name, default)
+
+    def __contains__(self, key: Union[Term, str]) -> bool:
+        name = key.name if isinstance(key, Term) else key
+        return name in self._assignment
+
+    def eval(self, term: Term) -> Union[bool, int]:
+        """Evaluate a term; unconstrained variables default to 0/False."""
+        assignment = dict(self._assignment)
+        for var in free_vars(term):
+            if var.name not in assignment:
+                assignment[var.name] = False if var.sort is BOOL else 0
+        return evaluate(term, assignment)
+
+    def as_dict(self) -> dict[str, Union[bool, int]]:
+        return dict(self._assignment)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __repr__(self) -> str:
+        items = ", ".join(
+            f"{k}={v}" for k, v in sorted(self._assignment.items())
+        )
+        return f"Model({items})"

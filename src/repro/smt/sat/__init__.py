@@ -1,0 +1,16 @@
+"""SAT solving engines for the SMT substrate.
+
+Two engines ship with the reproduction:
+
+* :class:`repro.smt.sat.cdcl.CDCLSolver` — the production engine:
+  conflict-driven clause learning with two-watched-literal propagation,
+  VSIDS decision heuristic, first-UIP learning with clause minimization,
+  Luby restarts and phase saving.
+* :class:`repro.smt.sat.dpll.DPLLSolver` — a plain chronological-
+  backtracking baseline used in the SAT-feature ablation benchmark.
+"""
+
+from .cdcl import CDCLConfig, CDCLSolver, SatResult, SatStats
+from .dpll import DPLLSolver
+
+__all__ = ["CDCLConfig", "CDCLSolver", "DPLLSolver", "SatResult", "SatStats"]

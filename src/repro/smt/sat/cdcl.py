@@ -1,0 +1,565 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+This is the decision engine at the bottom of the reproduction's SMT
+stack (the paper uses Z3; we build the solver ourselves).  The design
+follows MiniSat:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause minimization,
+* VSIDS (exponential) variable activities with phase saving,
+* Luby-sequence restarts,
+* activity-based learned-clause database reduction,
+* solving under assumptions, with unsat-core extraction over them.
+
+Individual features can be switched off through :class:`CDCLConfig`,
+which the SAT ablation benchmark (experiment A2 in DESIGN.md) uses.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..cnf import CNF
+
+
+class SatResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class CDCLConfig:
+    """Feature switches and tuning constants for :class:`CDCLSolver`."""
+
+    use_vsids: bool = True
+    use_restarts: bool = True
+    use_phase_saving: bool = True
+    use_minimization: bool = True
+    restart_base: int = 100
+    var_decay: float = 0.95
+    clause_decay: float = 0.999
+    max_learnts_frac: float = 0.35
+    max_conflicts: Optional[int] = None
+
+
+@dataclass
+class SatStats:
+    """Counters exposed for benchmarks and tests."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+    deleted: int = 0
+    minimized_lits: int = 0
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    x = i - 1  # 0-based position
+    size = 1
+    seq = 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: list[int], learnt: bool):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+_UNASSIGNED = 0
+
+
+class CDCLSolver:
+    """CDCL SAT solver over DIMACS-style literals.
+
+    Typical use::
+
+        solver = CDCLSolver(num_vars)
+        solver.add_clause([1, -2])
+        result = solver.solve()
+        if result is SatResult.SAT:
+            model = solver.model()   # model[v] in {True, False}, 1-indexed
+    """
+
+    def __init__(self, num_vars: int = 0, config: Optional[CDCLConfig] = None):
+        self.config = config or CDCLConfig()
+        self.stats = SatStats()
+        self.num_vars = 0
+        # Per-variable state (1-indexed; slot 0 unused).
+        self._value: list[int] = [0]        # +1 true, -1 false, 0 unassigned
+        self._level: list[int] = [0]
+        self._reason: list[Optional[_Clause]] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        # Watches keyed by literal index (2v for v, 2v+1 for -v).
+        self._watches: list[list[_Clause]] = [[], []]
+        self._clauses: list[_Clause] = []
+        self._learnts: list[_Clause] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._ok = True
+        self._conflict_assumptions: list[int] = []
+        # Max-activity heap with lazy (stale-entry) deletion.
+        self._heap: list[tuple[float, int]] = []
+        self._ensure_vars(num_vars)
+
+    # ----- problem construction -------------------------------------------
+
+    def _ensure_vars(self, n: int) -> None:
+        while self.num_vars < n:
+            self.num_vars += 1
+            self._value.append(_UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            self._watches.append([])
+            self._watches.append([])
+            heapq.heappush(self._heap, (0.0, self.num_vars))
+
+    def new_var(self) -> int:
+        self._ensure_vars(self.num_vars + 1)
+        return self.num_vars
+
+    @staticmethod
+    def _idx(lit: int) -> int:
+        return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+    def _lit_value(self, lit: int) -> int:
+        v = self._value[abs(lit)]
+        return v if lit > 0 else -v
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially unsat."""
+        if not self._ok:
+            return False
+        clause: list[int] = []
+        seen: set[int] = set()
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self._ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            # Skip literals already false at level 0; satisfied at level 0
+            # makes the clause redundant.
+            if not self._trail_lim and self._lit_value(lit) == 1:
+                return True
+            if not self._trail_lim and self._lit_value(lit) == -1:
+                continue
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        c = _Clause(clause, learnt=False)
+        self._clauses.append(c)
+        self._attach(c)
+        return True
+
+    def add_cnf(self, cnf: CNF) -> bool:
+        self._ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    def _attach(self, clause: _Clause) -> None:
+        # Watch the negations of the first two literals: when one of them
+        # becomes false we must visit the clause.
+        self._watches[self._idx(-clause.lits[0])].append(clause)
+        self._watches[self._idx(-clause.lits[1])].append(clause)
+
+    # ----- assignment / propagation ----------------------------------------
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        val = self._lit_value(lit)
+        if val == 1:
+            return True
+        if val == -1:
+            return False
+        v = abs(lit)
+        self._value[v] = 1 if lit > 0 else -1
+        self._level[v] = len(self._trail_lim)
+        self._reason[v] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = -lit
+            watch_list = self._watches[self._idx(lit)]
+            i = 0
+            j = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                lits = clause.lits
+                # Normalize: make sure the false literal is at position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == 1:
+                    watch_list[j] = clause
+                    j += 1
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != -1:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[self._idx(-lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                watch_list[j] = clause
+                j += 1
+                if self._lit_value(first) == -1:
+                    # Conflict: keep remaining watches, restore list, report.
+                    while i < n:
+                        watch_list[j] = watch_list[i]
+                        j += 1
+                        i += 1
+                    del watch_list[j:]
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+            del watch_list[j:]
+        return None
+
+    # ----- activities -------------------------------------------------------
+
+    def _bump_var(self, v: int) -> None:
+        self._activity[v] += self._var_inc
+        if self._activity[v] > 1e100:
+            for u in range(1, self.num_vars + 1):
+                self._activity[u] *= 1e-100
+            self._var_inc *= 1e-100
+        if self._value[v] == _UNASSIGNED:
+            heapq.heappush(self._heap, (-self._activity[v], v))
+
+    def _decay_var(self) -> None:
+        self._var_inc /= self.config.var_decay
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_clause(self) -> None:
+        self._cla_inc /= self.config.clause_decay
+
+    # ----- conflict analysis -------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP analysis; returns (learnt clause, backtrack level).
+
+        The asserting literal is placed first in the learnt clause.
+        """
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        clause: Optional[_Clause] = conflict
+        index = len(self._trail) - 1
+        cur_level = len(self._trail_lim)
+
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._bump_clause(clause)
+            for q in clause.lits:
+                if lit is not None and q == lit:
+                    continue
+                v = abs(q)
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self._level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Find next literal to expand on the trail.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            v = abs(lit)
+            seen[v] = False
+            counter -= 1
+            if counter == 0:
+                learnt[0] = -lit
+                break
+            clause = self._reason[v]
+
+        if self.config.use_minimization:
+            learnt = self._minimize(learnt, seen)
+
+        # Compute backtrack level: max level among non-asserting literals.
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = self._level[abs(learnt[1])]
+        return learnt, bt_level
+
+    def _minimize(self, learnt: list[int], seen: list[bool]) -> list[int]:
+        """Local clause minimization (self-subsumption with reasons)."""
+        # Re-mark learnt literals (analysis unmarked expanded ones).
+        for lit in learnt:
+            seen[abs(lit)] = True
+        out = [learnt[0]]
+        for lit in learnt[1:]:
+            reason = self._reason[abs(lit)]
+            if reason is None:
+                out.append(lit)
+                continue
+            redundant = True
+            for q in reason.lits:
+                v = abs(q)
+                if q != -lit and not seen[v] and self._level[v] > 0:
+                    redundant = False
+                    break
+            if redundant:
+                self.stats.minimized_lits += 1
+            else:
+                out.append(lit)
+        return out
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            v = abs(lit)
+            if self.config.use_phase_saving:
+                self._phase[v] = lit > 0
+            self._value[v] = _UNASSIGNED
+            self._reason[v] = None
+            heapq.heappush(self._heap, (-self._activity[v], v))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ----- decisions ----------------------------------------------------------
+
+    def _decide(self) -> Optional[int]:
+        if self.config.use_vsids:
+            v = 0
+            while self._heap:
+                neg_act, u = heapq.heappop(self._heap)
+                if self._value[u] != _UNASSIGNED:
+                    continue  # stale: assigned since it was pushed
+                if -neg_act != self._activity[u]:
+                    # Stale activity snapshot: requeue the fresh value.
+                    heapq.heappush(self._heap, (-self._activity[u], u))
+                    continue
+                v = u
+                break
+            if v == 0:
+                return None
+        else:
+            v = 0
+            for u in range(1, self.num_vars + 1):
+                if self._value[u] == _UNASSIGNED:
+                    v = u
+                    break
+            if v == 0:
+                return None
+        return v if self._phase[v] else -v
+
+    # ----- learned clause DB ----------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        kept: list[_Clause] = []
+        removed = 0
+        for i, clause in enumerate(self._learnts):
+            locked = self._reason[abs(clause.lits[0])] is clause
+            if i >= keep_from or locked or len(clause.lits) <= 2:
+                kept.append(clause)
+            else:
+                self._detach(clause)
+                removed += 1
+        self._learnts = kept
+        self.stats.deleted += removed
+
+    def _detach(self, clause: _Clause) -> None:
+        for lit in clause.lits[:2]:
+            lst = self._watches[self._idx(-lit)]
+            try:
+                lst.remove(clause)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+
+    # ----- main search -----------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Search for a model, optionally under assumption literals."""
+        self._conflict_assumptions = []
+        if not self._ok:
+            return SatResult.UNSAT
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return SatResult.UNSAT
+
+        restart_count = 0
+        conflicts_until_restart = (
+            self.config.restart_base * _luby(1) if self.config.use_restarts else -1
+        )
+        conflicts_since_restart = 0
+        max_learnts = max(
+            1000, int(self.config.max_learnts_frac * max(1, len(self._clauses)))
+        )
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if not self._trail_lim:
+                    self._ok = False
+                    return SatResult.UNSAT
+                learnt, bt_level = self._analyze(conflict)
+                self._backtrack(bt_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self._learnts.append(clause)
+                    self._attach(clause)
+                    self._bump_clause(clause)
+                    self.stats.learned += 1
+                    self._enqueue(learnt[0], clause)
+                self._decay_var()
+                self._decay_clause()
+                if (
+                    self.config.max_conflicts is not None
+                    and self.stats.conflicts >= self.config.max_conflicts
+                ):
+                    return SatResult.UNKNOWN
+                continue
+
+            if (
+                self.config.use_restarts
+                and conflicts_since_restart >= conflicts_until_restart
+            ):
+                restart_count += 1
+                self.stats.restarts += 1
+                conflicts_since_restart = 0
+                conflicts_until_restart = self.config.restart_base * _luby(
+                    restart_count + 1
+                )
+                self._backtrack(0)
+                continue
+
+            if len(self._learnts) > max_learnts + len(self._trail):
+                self._reduce_db()
+
+            # Place assumptions as pseudo-decisions before real decisions.
+            next_lit: Optional[int] = None
+            decision_level = len(self._trail_lim)
+            if decision_level < len(assumptions):
+                a = assumptions[decision_level]
+                self._ensure_vars(abs(a))
+                val = self._lit_value(a)
+                if val == 1:
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if val == -1:
+                    self._conflict_assumptions = self._analyze_final(a, assumptions)
+                    return SatResult.UNSAT
+                next_lit = a
+            else:
+                next_lit = self._decide()
+                if next_lit is None:
+                    return SatResult.SAT
+                self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(next_lit, None)
+
+    def _analyze_final(self, failed: int, assumptions: Sequence[int]) -> list[int]:
+        """Compute the subset of assumptions implying ``-failed`` (unsat core)."""
+        assumption_set = set(assumptions)
+        core = {failed}
+        seen = [False] * (self.num_vars + 1)
+        seen[abs(failed)] = True
+        for lit in reversed(self._trail):
+            v = abs(lit)
+            if not seen[v]:
+                continue
+            reason = self._reason[v]
+            if reason is None:
+                if lit in assumption_set:
+                    core.add(lit)
+            else:
+                for q in reason.lits:
+                    if self._level[abs(q)] > 0:
+                        seen[abs(q)] = True
+        return sorted(core, key=abs)
+
+    def unsat_assumptions(self) -> list[int]:
+        """Assumption literals involved in the last UNSAT answer."""
+        return list(self._conflict_assumptions)
+
+    def model(self) -> list[bool]:
+        """The satisfying assignment (1-indexed; index 0 is unused)."""
+        out = [False] * (self.num_vars + 1)
+        for v in range(1, self.num_vars + 1):
+            out[v] = self._value[v] == 1
+        return out
+
+
+def solve_cnf(
+    cnf: CNF, config: Optional[CDCLConfig] = None
+) -> tuple[SatResult, Optional[list[bool]], SatStats]:
+    """One-shot convenience wrapper: solve a CNF and return (result, model, stats)."""
+    solver = CDCLSolver(cnf.num_vars, config)
+    if not solver.add_cnf(cnf):
+        return SatResult.UNSAT, None, solver.stats
+    result = solver.solve()
+    model = solver.model() if result is SatResult.SAT else None
+    return result, model, solver.stats

@@ -1,0 +1,144 @@
+"""A plain DPLL SAT solver (no learning, chronological backtracking).
+
+This is the ablation baseline for the CDCL engine (experiment A2 in
+DESIGN.md): unit propagation plus chronological backtracking over the
+first unassigned variable.  It shares the DIMACS literal convention
+with :class:`repro.smt.sat.cdcl.CDCLSolver`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..cnf import CNF
+from .cdcl import SatResult, SatStats
+
+
+class DPLLSolver:
+    """Recursive-style DPLL with an explicit trail (iterative backtracking)."""
+
+    def __init__(self, num_vars: int = 0, max_decisions: Optional[int] = None):
+        self.num_vars = num_vars
+        self.max_decisions = max_decisions
+        self.stats = SatStats()
+        self._clauses: list[list[int]] = []
+        self._ok = True
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        clause = []
+        seen: set[int] = set()
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self.num_vars = max(self.num_vars, abs(lit))
+            if -lit in seen:
+                return True
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self._ok = False
+            return False
+        self._clauses.append(clause)
+        return True
+
+    def add_cnf(self, cnf: CNF) -> bool:
+        self.num_vars = max(self.num_vars, cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    def solve(self) -> SatResult:
+        if not self._ok:
+            return SatResult.UNSAT
+        value: list[int] = [0] * (self.num_vars + 1)
+        # Trail entries: (literal, is_decision)
+        trail: list[tuple[int, bool]] = []
+        self._value = value
+
+        def lit_val(lit: int) -> int:
+            v = value[abs(lit)]
+            return v if lit > 0 else -v
+
+        def propagate() -> bool:
+            """Naive unit propagation to fixpoint; False on conflict."""
+            changed = True
+            while changed:
+                changed = False
+                for clause in self._clauses:
+                    unassigned = None
+                    n_unassigned = 0
+                    satisfied = False
+                    for lit in clause:
+                        val = lit_val(lit)
+                        if val == 1:
+                            satisfied = True
+                            break
+                        if val == 0:
+                            unassigned = lit
+                            n_unassigned += 1
+                    if satisfied:
+                        continue
+                    if n_unassigned == 0:
+                        return False
+                    if n_unassigned == 1:
+                        value[abs(unassigned)] = 1 if unassigned > 0 else -1
+                        trail.append((unassigned, False))
+                        self.stats.propagations += 1
+                        changed = True
+            return True
+
+        def backtrack() -> Optional[int]:
+            """Undo to the most recent unflipped decision; return its literal."""
+            while trail:
+                lit, is_decision = trail.pop()
+                value[abs(lit)] = 0
+                if is_decision:
+                    return lit
+            return None
+
+        flipped: set[int] = set()  # decision literals already flipped (by depth)
+        depth_flipped: list[bool] = []
+
+        while True:
+            if not propagate():
+                self.stats.conflicts += 1
+                # Chronological backtracking with flip.
+                while True:
+                    lit = backtrack()
+                    if lit is None:
+                        return SatResult.UNSAT
+                    was_flipped = depth_flipped.pop()
+                    if not was_flipped:
+                        value[abs(lit)] = -1 if lit > 0 else 1
+                        trail.append((-lit, True))
+                        depth_flipped.append(True)
+                        break
+                continue
+            # Pick the first unassigned variable.
+            var = 0
+            for v in range(1, self.num_vars + 1):
+                if value[v] == 0:
+                    var = v
+                    break
+            if var == 0:
+                return SatResult.SAT
+            self.stats.decisions += 1
+            if self.max_decisions is not None and self.stats.decisions > self.max_decisions:
+                return SatResult.UNKNOWN
+            value[var] = -1  # try False first, mirroring CDCL's default phase
+            trail.append((-var, True))
+            depth_flipped.append(False)
+
+    def model(self) -> list[bool]:
+        return [v == 1 for v in self._value]
+
+
+def solve_cnf_dpll(cnf: CNF) -> tuple[SatResult, Optional[list[bool]]]:
+    """One-shot DPLL solve of a CNF."""
+    solver = DPLLSolver()
+    if not solver.add_cnf(cnf):
+        return SatResult.UNSAT, None
+    result = solver.solve()
+    return result, solver.model() if result is SatResult.SAT else None

@@ -1,0 +1,312 @@
+"""SMT-LIB v2 export and import.
+
+§4 of the paper: "The SMT problem can be written in the standard
+SMT-LIB format supported by different SMT solvers."  This module
+renders a set of assertions as an SMT-LIB v2 script (so a user with a
+real Z3/cvc5 can check our benchmarks independently), and parses the
+same fragment back (used for round-trip tests).
+
+Supported fragment: ``declare-const`` over Int/Bool, ``assert`` with
+the operators of :class:`repro.smt.terms.Op`, ``check-sat``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional, Sequence, Union
+
+from .sorts import BOOL, INT
+from .terms import (
+    FALSE,
+    TRUE,
+    Op,
+    Term,
+    free_vars,
+    mk_add,
+    mk_and,
+    mk_bool,
+    mk_eq,
+    mk_implies,
+    mk_int,
+    mk_ite,
+    mk_le,
+    mk_lt,
+    mk_mul,
+    mk_neg,
+    mk_not,
+    mk_or,
+    mk_sub,
+    mk_var,
+    mk_xor,
+)
+
+_NAME_SAFE = re.compile(r"^[A-Za-z_~!@$%^&*+=<>.?/-][A-Za-z0-9_~!@$%^&*+=<>.?/-]*$")
+
+
+def _smt_name(name: str) -> str:
+    if _NAME_SAFE.match(name):
+        return name
+    escaped = name.replace("|", "_")
+    return f"|{escaped}|"
+
+
+_OP_NAMES = {
+    Op.NOT: "not",
+    Op.AND: "and",
+    Op.OR: "or",
+    Op.XOR: "xor",
+    Op.IMPLIES: "=>",
+    Op.EQ: "=",
+    Op.ITE: "ite",
+    Op.ADD: "+",
+    Op.SUB: "-",
+    Op.NEG: "-",
+    Op.MUL: "*",
+    Op.LT: "<",
+    Op.LE: "<=",
+}
+
+
+def _atom_to_smtlib(term: Term) -> Optional[str]:
+    if term.is_var:
+        return _smt_name(term.name)
+    if term.is_const:
+        if term.sort is BOOL:
+            return "true" if term.value else "false"
+        v = term.value
+        return str(v) if v >= 0 else f"(- {-v})"
+    return None
+
+
+def term_to_smtlib(term: Term) -> str:
+    """Render one term as an SMT-LIB expression.
+
+    Shared subterms (the DAG is hash-consed, so sharing is pervasive
+    in compiled programs) are bound with nested ``let``s — expanding
+    to a tree would be exponential.
+    """
+    import sys
+
+    from .terms import iter_dag
+
+    # Rendering recurses over unshared spines; deep per-step ite chains
+    # in compiled programs can exceed the default recursion limit.
+    limit = sys.getrecursionlimit()
+    if limit < 100_000:
+        sys.setrecursionlimit(100_000)
+
+    refs: dict[int, int] = {}
+    for node in iter_dag(term):
+        for arg in node.args:
+            refs[id(arg)] = refs.get(id(arg), 0) + 1
+
+    names: dict[int, str] = {}
+    bindings: list[tuple[str, str]] = []
+
+    def render(node: Term) -> str:
+        atom = _atom_to_smtlib(node)
+        if atom is not None:
+            return atom
+        bound = names.get(id(node))
+        if bound is not None:
+            return bound
+        args = " ".join(render(a) for a in node.args)
+        text = f"({_OP_NAMES[node.op]} {args})"
+        if refs.get(id(node), 0) > 1:
+            name = f"$t{len(bindings)}"
+            bindings.append((name, text))
+            names[id(node)] = name
+            return name
+        return text
+
+    body = render(term)
+    for name, text in reversed(bindings):
+        body = f"(let (({name} {text})) {body})"
+    return body
+
+
+def to_smtlib(
+    assertions: Sequence[Term],
+    logic: str = "QF_LIA",
+    bounds: Optional[dict[str, tuple[int, int]]] = None,
+) -> str:
+    """Render a full SMT-LIB v2 script for the given assertions.
+
+    Declared bounds are emitted as extra range assertions so external
+    solvers see the same (bounded) problem our pipeline decides.
+    """
+    lines = [f"(set-logic {logic})"]
+    declared: set[str] = set()
+    for formula in assertions:
+        for var in free_vars(formula):
+            if var.name in declared:
+                continue
+            declared.add(var.name)
+            lines.append(
+                f"(declare-const {_smt_name(var.name)} {var.sort.value})"
+            )
+    for name, (lo, hi) in (bounds or {}).items():
+        if name in declared:
+            safe = _smt_name(name)
+            lines.append(f"(assert (<= {lo} {safe}))")
+            lines.append(f"(assert (<= {safe} {hi}))")
+    for formula in assertions:
+        lines.append(f"(assert {term_to_smtlib(formula)})")
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"
+
+
+# ----- parsing ----------------------------------------------------------------
+
+
+class SmtLibParseError(ValueError):
+    """Raised when SMT-LIB input cannot be parsed."""
+
+
+_TOKEN = re.compile(r"\(|\)|\|[^|]*\||[^\s()]+")
+
+SExpr = Union[str, list]
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    for raw_line in text.splitlines():
+        line = raw_line.split(";", 1)[0]
+        for match in _TOKEN.finditer(line):
+            yield match.group(0)
+
+
+def _parse_sexprs(tokens: list[str]) -> list[SExpr]:
+    out: list[SExpr] = []
+    stack: list[list[SExpr]] = []
+    for tok in tokens:
+        if tok == "(":
+            stack.append([])
+        elif tok == ")":
+            if not stack:
+                raise SmtLibParseError("unbalanced ')'")
+            done = stack.pop()
+            (stack[-1] if stack else out).append(done)
+        else:
+            (stack[-1] if stack else out).append(tok)
+    if stack:
+        raise SmtLibParseError("unbalanced '('")
+    return out
+
+
+class SmtLibScript:
+    """A parsed script: declarations plus assertions as terms."""
+
+    def __init__(self) -> None:
+        self.declarations: dict[str, Term] = {}
+        self.assertions: list[Term] = []
+        self.logic: Optional[str] = None
+        self.has_check_sat = False
+
+
+def parse_smtlib(text: str) -> SmtLibScript:
+    """Parse the supported SMT-LIB fragment into terms."""
+    script = SmtLibScript()
+    for form in _parse_sexprs(list(_tokenize(text))):
+        if not isinstance(form, list) or not form:
+            raise SmtLibParseError(f"unexpected top-level atom: {form!r}")
+        head = form[0]
+        if head == "set-logic":
+            script.logic = str(form[1])
+        elif head == "declare-const":
+            name = _unquote(str(form[1]))
+            sort = {"Int": INT, "Bool": BOOL}.get(str(form[2]))
+            if sort is None:
+                raise SmtLibParseError(f"unsupported sort {form[2]!r}")
+            script.declarations[name] = mk_var(name, sort)
+        elif head == "declare-fun":
+            if form[2] != []:
+                raise SmtLibParseError("only 0-ary declare-fun supported")
+            name = _unquote(str(form[1]))
+            sort = {"Int": INT, "Bool": BOOL}.get(str(form[3]))
+            if sort is None:
+                raise SmtLibParseError(f"unsupported sort {form[3]!r}")
+            script.declarations[name] = mk_var(name, sort)
+        elif head == "assert":
+            script.assertions.append(_sexpr_to_term(form[1], script.declarations))
+        elif head == "check-sat":
+            script.has_check_sat = True
+        elif head in ("set-option", "set-info", "get-model", "exit"):
+            continue
+        else:
+            raise SmtLibParseError(f"unsupported command {head!r}")
+    return script
+
+
+def _unquote(name: str) -> str:
+    if name.startswith("|") and name.endswith("|"):
+        return name[1:-1]
+    return name
+
+
+def _sexpr_to_term(sexpr: SExpr, env: dict[str, Term]) -> Term:
+    if isinstance(sexpr, str):
+        if sexpr == "true":
+            return TRUE
+        if sexpr == "false":
+            return FALSE
+        if re.fullmatch(r"-?\d+", sexpr):
+            return mk_int(int(sexpr))
+        name = _unquote(sexpr)
+        if name not in env:
+            raise SmtLibParseError(f"undeclared symbol {name!r}")
+        return env[name]
+    if not sexpr:
+        raise SmtLibParseError("empty application")
+    head = sexpr[0]
+    if head == "let":
+        inner = dict(env)
+        for binding in sexpr[1]:
+            if not (isinstance(binding, list) and len(binding) == 2):
+                raise SmtLibParseError("malformed let binding")
+            # SMT-LIB let is parallel; our writer only emits nested
+            # single-binding lets, and parallel semantics coincide here
+            # because each binding is evaluated against the outer env.
+            inner[_unquote(str(binding[0]))] = _sexpr_to_term(binding[1], env)
+        return _sexpr_to_term(sexpr[2], inner)
+    args = [_sexpr_to_term(a, env) for a in sexpr[1:]]
+    if head == "not":
+        return mk_not(*args)
+    if head == "and":
+        return mk_and(*args)
+    if head == "or":
+        return mk_or(*args)
+    if head == "xor":
+        return mk_xor(*args)
+    if head == "=>":
+        term = args[-1]
+        for a in reversed(args[:-1]):
+            term = mk_implies(a, term)
+        return term
+    if head == "=":
+        conjuncts = [mk_eq(a, b) for a, b in zip(args, args[1:])]
+        return mk_and(*conjuncts) if len(conjuncts) > 1 else conjuncts[0]
+    if head == "ite":
+        return mk_ite(*args)
+    if head == "+":
+        return mk_add(*args)
+    if head == "-":
+        if len(args) == 1:
+            return mk_neg(args[0])
+        term = args[0]
+        for a in args[1:]:
+            term = mk_sub(term, a)
+        return term
+    if head == "*":
+        term = args[0]
+        for a in args[1:]:
+            term = mk_mul(term, a)
+        return term
+    if head == "<":
+        return mk_lt(*args)
+    if head == "<=":
+        return mk_le(*args)
+    if head == ">":
+        return mk_lt(args[1], args[0])
+    if head == ">=":
+        return mk_le(args[1], args[0])
+    raise SmtLibParseError(f"unsupported operator {head!r}")

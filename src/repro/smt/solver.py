@@ -1,0 +1,190 @@
+"""The user-facing SMT solver: the repo's stand-in for Z3.
+
+:class:`SmtSolver` exposes the familiar assert/check/model/push/pop
+interface over the pipeline *terms → intervals → bit-blasting → CDCL*.
+Because Buffy's fragment is bounded integers + booleans, this pipeline
+is a complete decision procedure (see DESIGN.md, substitution table).
+
+Example::
+
+    solver = SmtSolver()
+    x = mk_int_var("x")
+    solver.set_bounds("x", 0, 10)
+    solver.add(x * x <= mk_int(16), x >= mk_int(3))
+    assert solver.check() is CheckResult.SAT
+    assert solver.model()[x] in (3, 4)
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from .bitblast import BitBlaster
+from .intervals import BoundsEnv, Interval
+from .model import Model
+from .sat.cdcl import CDCLConfig, CDCLSolver, SatResult, SatStats
+from .sorts import BOOL
+from .terms import TRUE, Term, evaluate, free_vars, mk_and
+
+
+class CheckResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError(
+            "CheckResult is not a boolean; compare against CheckResult.SAT"
+        )
+
+
+@dataclass
+class SolverStats:
+    """Aggregate statistics from the last ``check()`` call."""
+
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    sat: SatStats = field(default_factory=SatStats)
+
+
+class SmtSolver:
+    """SMT solver for quantifier-free bounded-integer/boolean formulas."""
+
+    def __init__(
+        self,
+        sat_config: Optional[CDCLConfig] = None,
+        default_bounds: Interval = Interval(-(1 << 15), (1 << 15) - 1),
+        validate_models: bool = True,
+        simplify_terms: bool = False,
+    ):
+        self.sat_config = sat_config
+        self.validate_models = validate_models
+        self.simplify_terms = simplify_terms
+        self._bounds = BoundsEnv(default=default_bounds)
+        self._stack: list[list[Term]] = [[]]
+        self._model: Optional[Model] = None
+        self.stats = SolverStats()
+
+    # ----- assertions -------------------------------------------------------
+
+    def add(self, *formulas: Term) -> None:
+        """Assert one or more boolean formulas."""
+        for f in formulas:
+            if not isinstance(f, Term) or f.sort is not BOOL:
+                raise TypeError(f"can only assert Bool terms, got {f!r}")
+            self._stack[-1].append(f)
+
+    def set_bounds(self, var: Union[Term, str], lo: int, hi: int) -> None:
+        """Declare the interval of an integer variable.
+
+        Tighter bounds mean narrower bit-vectors and faster solving; any
+        variable without declared bounds uses the solver default.
+        """
+        name = var.name if isinstance(var, Term) else var
+        self._bounds.set(name, lo, hi)
+
+    def assertions(self) -> list[Term]:
+        return [f for frame in self._stack for f in frame]
+
+    # ----- scopes --------------------------------------------------------------
+
+    def push(self) -> None:
+        self._stack.append([])
+
+    def pop(self) -> None:
+        if len(self._stack) == 1:
+            raise RuntimeError("pop without matching push")
+        self._stack.pop()
+
+    # ----- solving ---------------------------------------------------------------
+
+    def check(self, *assumptions: Term) -> CheckResult:
+        """Decide satisfiability of the asserted formulas (+ assumptions)."""
+        self._model = None
+        formulas = self.assertions() + [
+            a for a in assumptions if a is not TRUE
+        ]
+        for a in assumptions:
+            if a.sort is not BOOL:
+                raise TypeError("assumptions must be Bool terms")
+
+        t0 = time.perf_counter()
+        original_formulas = formulas
+        if self.simplify_terms:
+            from .simplify import simplify
+
+            formulas = [simplify(f) for f in formulas]
+        blaster = BitBlaster(bounds=self._bounds)
+        for f in formulas:
+            blaster.assert_formula(f)
+        t1 = time.perf_counter()
+
+        sat = CDCLSolver(blaster.cnf.num_vars, self.sat_config)
+        ok = sat.add_cnf(blaster.cnf)
+        result = sat.solve() if ok else SatResult.UNSAT
+        t2 = time.perf_counter()
+
+        self.stats = SolverStats(
+            encode_seconds=t1 - t0,
+            solve_seconds=t2 - t1,
+            cnf_vars=blaster.cnf.num_vars,
+            cnf_clauses=len(blaster.cnf.clauses),
+            sat=sat.stats,
+        )
+
+        if result is SatResult.UNKNOWN:
+            return CheckResult.UNKNOWN
+        if result is SatResult.UNSAT:
+            return CheckResult.UNSAT
+
+        assignment = blaster.varmap.decode(sat.model())
+        model = Model(assignment)
+        if self.validate_models:
+            # Validate against the *original* terms: this also checks the
+            # simplifier preserved semantics on this model.
+            self._validate(original_formulas, model)
+        self._model = model
+        return CheckResult.SAT
+
+    def _validate(self, formulas: Sequence[Term], model: Model) -> None:
+        """Cross-check the decoded model against the original terms.
+
+        This guards the whole pipeline: if bit-blasting or the SAT solver
+        mis-translated anything, evaluation of the *source* terms catches it.
+        """
+        for f in formulas:
+            if model.eval(f) is not True:
+                raise AssertionError(
+                    f"internal error: model does not satisfy formula {f!r}"
+                )
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise RuntimeError("model() is only available after a SAT check()")
+        return self._model
+
+
+def is_satisfiable(formula: Term, bounds: Optional[dict[str, tuple[int, int]]] = None,
+                   **solver_kwargs) -> bool:
+    """Convenience one-shot satisfiability test."""
+    solver = SmtSolver(**solver_kwargs)
+    for name, (lo, hi) in (bounds or {}).items():
+        solver.set_bounds(name, lo, hi)
+    solver.add(formula)
+    result = solver.check()
+    if result is CheckResult.UNKNOWN:
+        raise RuntimeError("solver returned unknown")
+    return result is CheckResult.SAT
+
+
+def prove(formula: Term, bounds: Optional[dict[str, tuple[int, int]]] = None,
+          **solver_kwargs) -> bool:
+    """Validity check: True iff ``formula`` holds for all bounded assignments."""
+    from .terms import mk_not
+
+    return not is_satisfiable(mk_not(formula), bounds, **solver_kwargs)

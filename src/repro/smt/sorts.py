@@ -1,0 +1,26 @@
+"""Sorts for the SMT term language.
+
+The Buffy reproduction only needs two sorts — booleans and (bounded)
+integers — mirroring the paper's §7 restriction to "integers, booleans,
+and buffers".  Integers are conceptually unbounded at the term level;
+the solving pipeline derives finite bit-widths per variable from
+user-supplied or inferred interval bounds (see ``repro.smt.intervals``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Sort(enum.Enum):
+    """The sort (type) of an SMT term."""
+
+    BOOL = "Bool"
+    INT = "Int"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+BOOL = Sort.BOOL
+INT = Sort.INT

@@ -1,0 +1,91 @@
+"""Tests for analysis utilities: LoC accounting, workload generators,
+trace replay tamper detection."""
+
+import pytest
+
+from repro.analysis.loc import (
+    buffy_loc,
+    python_loc,
+    scheduler_agnostic_loc,
+    table1_rows,
+)
+from repro.analysis.traces import replay
+from repro.analysis.workloads import (
+    onoff_workload,
+    random_workload,
+    uniform_workload,
+)
+from repro.backends.smt_backend import SmtBackend
+from repro.buffers.packets import Packet
+from repro.compiler.symexec import EncodeConfig
+from repro.netmodels.schedulers import fq_buggy
+from repro.smt.terms import mk_int, mk_le
+
+
+class TestLoc:
+    def test_buffy_loc_skips_comments_and_blanks(self):
+        src = "a(in buffer b, out buffer o){\n// comment\n\n  x = 1; // t\n}\n"
+        assert buffy_loc(src) == 3
+
+    def test_python_loc_skips_docstrings_imports(self):
+        src = '"""Doc."""\nimport os\n\nX = 1  # comment\n\n\ndef f():\n' \
+              '    """Doc."""\n    return X\n'
+        assert python_loc(src) == 3  # X = 1, def f():, return X
+
+    def test_table1_shape(self):
+        rows = table1_rows()
+        names = [r.program for r in rows]
+        assert names == ["Fair-Queue", "Round-Robin", "Strict-Priority"]
+        # The paper's qualitative claims: every scheduler is much smaller
+        # in Buffy; FQ has the largest absolute encoding; ratios exceed 3x.
+        for row in rows:
+            assert row.buffy_loc < row.fperf_loc
+            assert row.ratio >= 3.0
+        assert rows[0].fperf_loc == max(r.fperf_loc for r in rows)
+        assert rows[2].fperf_loc == min(r.fperf_loc for r in rows)
+
+    def test_buffy_counts_match_paper_scale(self):
+        rows = {r.program: r for r in table1_rows()}
+        # Paper: 18 / 10 / 7 — ours must be within a couple of lines.
+        assert abs(rows["Fair-Queue"].buffy_loc - 18) <= 2
+        assert abs(rows["Round-Robin"].buffy_loc - 10) <= 2
+        assert abs(rows["Strict-Priority"].buffy_loc - 7) <= 2
+
+    def test_agnostic_layer_counted_separately(self):
+        assert scheduler_agnostic_loc() > 100
+
+
+class TestWorkloadGenerators:
+    def test_uniform(self):
+        wl = uniform_workload(["ibs[0]", "ibs[1]"], horizon=3, per_step=2)
+        assert len(wl) == 3
+        assert all(len(step["ibs[0]"]) == 2 for step in wl)
+        assert wl[0]["ibs[1]"][0].flow == 1
+
+    def test_onoff_staggered(self):
+        wl = onoff_workload(["a", "b"], horizon=4, burst=3, period=2)
+        assert "a" in wl[0] and "b" not in wl[0]
+        assert "b" in wl[1] and "a" not in wl[1]
+
+    def test_random_deterministic(self):
+        a = random_workload(["x"], horizon=5, max_per_step=3, seed=4)
+        b = random_workload(["x"], horizon=5, max_per_step=3, seed=4)
+        assert [len(s.get("x", [])) for s in a] == \
+               [len(s.get("x", [])) for s in b]
+
+
+class TestReplayTamperDetection:
+    def test_tampered_trace_reports_mismatch(self):
+        config = EncodeConfig(buffer_capacity=5, arrivals_per_step=2)
+        backend = SmtBackend(fq_buggy(2), horizon=4, config=config)
+        result = backend.find_trace(
+            mk_le(mk_int(2), backend.deq_count("ibs[1]"))
+        )
+        trace = result.counterexample
+        # Corrupt the workload: add packets the model never saw.
+        trace.arrivals[0].setdefault("ibs[0]", []).extend(
+            [Packet(flow=0)] * 3
+        )
+        report = replay(fq_buggy(2), trace, backend=backend)
+        assert not report.consistent
+        assert report.mismatches

@@ -1,0 +1,202 @@
+"""Tests for the symbolic buffer and list models.
+
+Strategy: drive the symbolic models with *constant* guards and values,
+evaluate the resulting terms under an empty assignment, and compare
+against a plain Python reference — randomized with hypothesis.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers.symbolic import (
+    SymbolicCounterBuffer,
+    SymbolicList,
+    SymbolicListBuffer,
+    SymbolicPacket,
+)
+from repro.smt.terms import FALSE, TRUE, evaluate, mk_bool, mk_int
+
+
+def val(term):
+    return evaluate(term, {})
+
+
+class TestSymbolicList:
+    def test_push_pop_fifo(self):
+        lst = SymbolicList(4)
+        lst.push_back(mk_int(7), TRUE)
+        lst.push_back(mk_int(9), TRUE)
+        assert val(lst.len_term()) == 2
+        assert val(lst.pop_front(TRUE)) == 7
+        assert val(lst.pop_front(TRUE)) == 9
+        assert val(lst.empty()) is True
+
+    def test_pop_empty_sentinel(self):
+        lst = SymbolicList(2)
+        assert val(lst.pop_front(TRUE)) == -1
+        assert val(lst.len_term()) == 0
+
+    def test_guarded_push_noop(self):
+        lst = SymbolicList(2)
+        lst.push_back(mk_int(1), FALSE)
+        assert val(lst.len_term()) == 0
+
+    def test_has(self):
+        lst = SymbolicList(3)
+        lst.push_back(mk_int(2), TRUE)
+        assert val(lst.has(mk_int(2))) is True
+        assert val(lst.has(mk_int(5))) is False
+
+    def test_overflow_flag(self):
+        lst = SymbolicList(1)
+        lst.push_back(mk_int(1), TRUE)
+        assert val(lst.overflowed) is False
+        lst.push_back(mk_int(2), TRUE)
+        assert val(lst.overflowed) is True
+        assert val(lst.len_term()) == 1
+
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 5)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ), max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_random_ops_match_deque(self, ops):
+        lst = SymbolicList(6)
+        ref: deque = deque()
+        for op, arg in ops:
+            if op == "push":
+                lst.push_back(mk_int(arg), TRUE)
+                if len(ref) < 6:
+                    ref.append(arg)
+            else:
+                got = val(lst.pop_front(TRUE))
+                expected = ref.popleft() if ref else -1
+                assert got == expected
+        assert val(lst.len_term()) == len(ref)
+        for value in range(6):
+            assert val(lst.has(mk_int(value))) == (value in ref)
+
+
+def pkt(flow, size=1, present=True):
+    return SymbolicPacket(mk_int(flow), mk_int(size), mk_bool(present))
+
+
+class TestSymbolicListBuffer:
+    def test_enqueue_dequeue(self):
+        buf = SymbolicListBuffer(4)
+        buf.enqueue(pkt(0, 2))
+        buf.enqueue(pkt(1, 3))
+        assert val(buf.backlog_p()) == 2
+        assert val(buf.backlog_b()) == 5
+        out = buf.dequeue_packets(mk_int(1), TRUE)
+        taken = [(val(p.flow), val(p.size)) for p in out if val(p.present)]
+        assert taken == [(0, 2)]
+        assert val(buf.backlog_p()) == 1
+
+    def test_absent_packet_ignored(self):
+        buf = SymbolicListBuffer(2)
+        buf.enqueue(pkt(0, present=False))
+        assert val(buf.backlog_p()) == 0
+
+    def test_capacity_drop_stats(self):
+        buf = SymbolicListBuffer(1)
+        buf.enqueue(pkt(0))
+        buf.enqueue(pkt(1))
+        assert val(buf.backlog_p()) == 1
+        assert val(buf.stats.drop_p) == 1
+        assert val(buf.stats.enq_p) == 1
+
+    def test_filtered_backlog(self):
+        buf = SymbolicListBuffer(4)
+        buf.enqueue(pkt(0, 2))
+        buf.enqueue(pkt(1, 4))
+        buf.enqueue(pkt(0, 6))
+        assert val(buf.backlog_p("flow", mk_int(0))) == 2
+        assert val(buf.backlog_b("flow", mk_int(0))) == 8
+        assert val(buf.backlog_p("size", mk_int(4))) == 1
+
+    def test_dequeue_bytes_whole_packets(self):
+        buf = SymbolicListBuffer(4)
+        buf.enqueue(pkt(0, 3))
+        buf.enqueue(pkt(1, 3))
+        out = buf.dequeue_bytes(mk_int(5), TRUE)
+        taken = [val(p.flow) for p in out if val(p.present)]
+        assert taken == [0]
+        assert val(buf.backlog_p()) == 1
+
+    def test_guarded_dequeue_noop(self):
+        buf = SymbolicListBuffer(2)
+        buf.enqueue(pkt(0))
+        buf.dequeue_packets(mk_int(1), FALSE)
+        assert val(buf.backlog_p()) == 1
+        assert val(buf.stats.deq_p) == 0
+
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("enq"), st.integers(0, 2), st.integers(1, 3)),
+        st.tuples(st.just("deq"), st.integers(0, 3), st.just(1)),
+    ), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_random_ops_match_reference(self, ops):
+        from repro.buffers.concrete import ListBuffer
+        from repro.buffers.packets import Packet
+
+        sym = SymbolicListBuffer(5)
+        ref = ListBuffer(capacity=5)
+        for op, a, b in ops:
+            if op == "enq":
+                sym.enqueue(pkt(a, b))
+                ref.enqueue(Packet(flow=a, size=b))
+            else:
+                out = sym.dequeue_packets(mk_int(a), TRUE)
+                expected = ref.dequeue_packets(a)
+                got = [
+                    (val(p.flow), val(p.size)) for p in out if val(p.present)
+                ]
+                assert got == [(p.flow, p.size) for p in expected]
+        assert val(sym.backlog_p()) == ref.backlog_p()
+        assert val(sym.stats.deq_p) == ref.stats.dequeued_packets
+        assert val(sym.stats.drop_p) == ref.stats.dropped_packets
+
+
+class TestSymbolicCounterBuffer:
+    def test_enqueue_and_backlog(self):
+        buf = SymbolicCounterBuffer(3)
+        buf.enqueue(pkt(0))
+        buf.enqueue(pkt(2))
+        buf.enqueue(pkt(2))
+        assert val(buf.backlog_p()) == 3
+        assert val(buf.backlog_p("flow", mk_int(2))) == 2
+        assert val(buf.backlog_b()) == 3  # unit size
+
+    def test_dequeue_lowest_first_bulk(self):
+        buf = SymbolicCounterBuffer(3)
+        for flow in (2, 0, 2):
+            buf.enqueue(pkt(flow))
+        out = buf.dequeue_packets(mk_int(2), TRUE)
+        transfers = [
+            (val(p.flow), val(p.bulk)) for p in out if val(p.present)
+        ]
+        assert transfers == [(0, 1), (2, 1)]
+        assert val(buf.backlog_p()) == 1
+
+    def test_capacity(self):
+        buf = SymbolicCounterBuffer(2, capacity=1)
+        buf.enqueue(pkt(0))
+        buf.enqueue(pkt(1))
+        assert val(buf.backlog_p()) == 1
+        assert val(buf.stats.drop_p) == 1
+
+    def test_enqueue_bulk_with_room_limit(self):
+        buf = SymbolicCounterBuffer(2, capacity=3)
+        buf.enqueue_bulk(0, mk_int(5))
+        assert val(buf.backlog_p()) == 3
+        assert val(buf.stats.drop_p) == 2
+
+    def test_havoc_produces_bounded_vars(self):
+        bounds = {}
+        buf = SymbolicCounterBuffer(2, capacity=4)
+        buf.havoc("hv", stat_bound=16, bounds=bounds)
+        assert all(0 <= lo <= hi for lo, hi in bounds.values())
+        assert len(bounds) >= 2 + 6  # counts + stats

@@ -1,0 +1,122 @@
+"""Tests for the embedded builder API."""
+
+import pytest
+
+from repro.buffers.packets import Packet
+from repro.lang.builder import EB, ProgramBuilder
+from repro.lang.checker import CheckError
+from repro.lang.interp import Interpreter
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+
+
+def build_prio(n=2):
+    b = ProgramBuilder("prio")
+    ibs = b.in_buffers("ibs", n)
+    ob = b.out_buffer("ob")
+    done = b.local_bool("dequeued")
+    b.assign(done, False)
+    with b.for_("i", 0, n) as i:
+        with b.if_((~done) & (b.backlog_p(ibs[i]) > 0)):
+            b.move_p(ibs[i], ob, 1)
+            b.assign(done, True)
+    return b.build()
+
+
+class TestBuilder:
+    def test_builds_checked_program(self):
+        checked = build_prio()
+        assert checked.name == "prio"
+        assert [p.name for p in checked.program.params] == ["ibs", "ob"]
+
+    def test_builder_program_runs(self):
+        interp = Interpreter(build_prio())
+        interp.run([{"ibs[0]": [Packet(flow=0)], "ibs[1]": [Packet(flow=1)]},
+                    {}, {}])
+        flows = [p.flow for p in interp.buffer("ob").packets()]
+        assert flows == [0, 1]
+
+    def test_equivalent_to_parsed_program(self):
+        """The built program behaves like its concrete-syntax twin."""
+        from repro.netmodels.schedulers import strict_priority
+
+        workload = [
+            {"ibs[0]": [Packet(flow=0)] * 2, "ibs[1]": [Packet(flow=1)]},
+            {}, {}, {},
+        ]
+        built = Interpreter(build_prio())
+        parsed = Interpreter(strict_priority(2))
+        built.run(workload)
+        parsed.run(workload)
+        assert (built.buffer("ob").snapshot()
+                == parsed.buffer("ob").snapshot())
+
+    def test_if_else(self):
+        b = ProgramBuilder("p")
+        ib = b.in_buffer("ib")
+        ob = b.out_buffer("ob")
+        m = b.monitor_int("m")
+        with b.if_else(b.backlog_p(ib) > 0) as (then, els):
+            with then:
+                b.assign(m, 1)
+            with els:
+                b.assign(m, 2)
+        b.move_p(ib, ob, 1)
+        checked = b.build()
+        interp = Interpreter(checked)
+        assert interp.run_step({"ib": [Packet()]}).monitors["m"] == 1
+        assert interp.run_step({}).monitors["m"] == 2
+
+    def test_monitors_assume_assert_havoc(self):
+        b = ProgramBuilder("p")
+        ib = b.in_buffer("ib")
+        ob = b.out_buffer("ob")
+        m = b.monitor_int("m")
+        x = b.local_int("x")
+        b.havoc(x, 0, 4)
+        b.assume(x >= 0)
+        b.assign(m, x)
+        b.assert_(m >= 0, label="nonneg")
+        b.move_p(ib, ob, x)
+        checked = b.build()
+        trace = Interpreter(checked).run([{}, {}])
+        assert trace.ok()
+
+    def test_pretty_printed_builder_program_parses(self):
+        checked = build_prio()
+        text = pretty_program(checked.program)
+        reparsed = parse_program(text)
+        assert reparsed.name == "prio"
+
+    def test_type_errors_still_caught(self):
+        b = ProgramBuilder("bad")
+        ib = b.in_buffer("ib")
+        ob = b.out_buffer("ob")
+        x = b.local_int("x")
+        b.assign(x, True)  # int := bool
+        b.move_p(ib, ob, 1)
+        with pytest.raises(CheckError):
+            b.build()
+
+    def test_expression_bool_guard(self):
+        b = ProgramBuilder("p")
+        x = b.local_int("x")
+        with pytest.raises(TypeError):
+            if x > 0:  # misuse: Python truth-testing a symbolic expr
+                pass
+
+    def test_const_and_global_decls(self):
+        b = ProgramBuilder("p")
+        ib = b.in_buffer("ib")
+        ob = b.out_buffer("ob")
+        k = b.const_int("K", 3)
+        g = b.global_int("g")
+        lst = b.global_list("l", capacity=4)
+        b.push_back(lst, 1)
+        with b.for_("i", 0, k):
+            b.assign(g, g + 1)
+        b.move_p(ib, ob, g)
+        checked = b.build()
+        interp = Interpreter(checked)
+        interp.run_step({})
+        assert interp.globals["g"] == 3

@@ -1,0 +1,114 @@
+"""Tests for the CCAC case-study models (§6.2)."""
+
+import pytest
+
+from repro.backends.network import NetworkBackend
+from repro.backends.smt_backend import Status
+from repro.buffers.packets import Packet
+from repro.netmodels.ccac.models import (
+    aimd_program,
+    ccac_network,
+    ccac_symbolic_network,
+    delay_program,
+    path_program,
+)
+from repro.smt.terms import mk_int, mk_le
+
+
+class TestPrograms:
+    def test_programs_check(self):
+        assert aimd_program().name == "aimd"
+        assert path_program().name == "path"
+        assert delay_program().name == "delay"
+
+    def test_wiring_shape(self):
+        from repro.netmodels.ccac.models import _wiring
+
+        programs, connections = _wiring(delay_steps=2)
+        assert set(programs) == {"aimd", "path", "delay0", "delay1"}
+        # aimd -> path -> delay0 -> delay1 -> aimd
+        assert len(connections) == 4
+
+    def test_invalid_delay(self):
+        with pytest.raises(ValueError):
+            ccac_network(delay_steps=0)
+
+
+class TestConcreteBehaviour:
+    def test_window_growth_with_ack_clocking(self):
+        net = ccac_network(delay_steps=1)
+        for _ in range(10):
+            net.step({"aimd": {"cin0": [Packet(flow=0)] * 4}})
+        aimd = net.interpreter("aimd")
+        assert aimd.globals["cwnd"] > 2  # additive increase happened
+        assert net.interpreter("path").globals["m_served"] > 0
+
+    def test_no_data_no_service(self):
+        net = ccac_network(delay_steps=1)
+        for _ in range(5):
+            net.step()
+        assert net.interpreter("path").globals["m_served"] == 0
+
+    def test_multiplicative_decrease_on_silence(self):
+        # Drive the AIMD program standalone: grow the window with manual
+        # acks, then go silent for RTO steps and observe the halving.
+        from repro.lang.interp import Interpreter
+
+        interp = Interpreter(aimd_program())
+        for _ in range(6):
+            interp.run_step({
+                "cin0": [Packet(flow=0)] * 4,
+                "cin1": [Packet(flow=0)] * 2,  # acks keep arriving
+            })
+        before = interp.globals["cwnd"]
+        assert before > 2
+        assert interp.globals["inflight"] > 0
+        for _ in range(4):  # RTO = 3 silent RTTs triggers the decrease
+            interp.run_step({})
+        assert interp.globals["cwnd"] <= max(1, before // 2)
+
+    def test_token_bucket_envelope(self):
+        net = ccac_network(delay_steps=1)
+        for _ in range(10):
+            net.step({"aimd": {"cin0": [Packet(flow=0)] * 4}})
+        path = net.interpreter("path")
+        tick = path.globals["tick"]
+        trefill = path.globals["trefill"]
+        assert trefill <= 1 * tick + 2  # RATE*t + BURST
+        assert trefill >= 1 * tick - 2
+
+
+@pytest.mark.slow
+class TestSymbolicLoss:
+    def test_loss_reachable_with_small_buffer(self):
+        programs, connections, configs = ccac_symbolic_network(
+            delay_steps=1, path_capacity=3
+        )
+        backend = NetworkBackend(
+            programs, connections, horizon=6, configs=configs
+        )
+        lost = mk_le(mk_int(1), backend.drop_count("path", "pin0"))
+        result = backend.find_trace(lost)
+        assert result.status is Status.SATISFIED
+
+    def test_no_loss_with_tiny_window_cap(self):
+        # With cwnd clamped to the buffer size, AIMD cannot overflow it:
+        # at most CWND_MAX packets are ever in flight toward the buffer.
+        from repro.compiler.composition import Connection
+        from repro.lang.checker import check_program
+        from repro.lang.parser import parse_program
+        from repro.netmodels.ccac.models import AIMD_SRC, _wiring
+
+        small_window = AIMD_SRC.replace(
+            "const int CWND_MAX = 8;", "const int CWND_MAX = 2;"
+        ).replace("const int IW = 2;", "const int IW = 1;")
+        programs, connections, configs = ccac_symbolic_network(
+            delay_steps=1, path_capacity=6
+        )
+        programs["aimd"] = check_program(parse_program(small_window))
+        backend = NetworkBackend(
+            programs, connections, horizon=4, configs=configs
+        )
+        lost = mk_le(mk_int(1), backend.drop_count("path", "pin0"))
+        result = backend.find_trace(lost)
+        assert result.status is Status.UNSATISFIABLE

@@ -1,0 +1,127 @@
+"""Tests for the Dafny-style annotation-checker back end."""
+
+import pytest
+
+from repro.backends.dafny import DafnyBackend, StateView, VCStatus
+from repro.compiler.symexec import EncodeConfig
+from repro.lang.checker import check_program
+from repro.lang.parser import parse_program
+from repro.netmodels.schedulers import round_robin, strict_priority
+from repro.smt.terms import mk_and, mk_int, mk_le
+
+CONFIG = EncodeConfig(buffer_capacity=4, arrivals_per_step=2)
+
+
+def conservation(view: StateView):
+    return mk_and(*[
+        (view.deq_p(label) + view.backlog_p(label)).eq(view.enq_p(label))
+        for label in view.buffer_labels()
+    ])
+
+
+def bogus_invariant(view: StateView):
+    # Claims the output buffer never holds more than one packet — false.
+    return mk_le(view.backlog_p("ob"), mk_int(1))
+
+
+class TestMonolithic:
+    def test_valid_query_verifies(self):
+        dafny = DafnyBackend(strict_priority(2), config=CONFIG)
+        report = dafny.verify_monolithic(
+            3, queries=[("conservation", conservation)]
+        )
+        assert report.ok
+        assert len(report.vcs) == 1
+
+    def test_invalid_query_fails(self):
+        dafny = DafnyBackend(strict_priority(2), config=CONFIG)
+        report = dafny.verify_monolithic(3, queries=[("bogus", bogus_invariant)])
+        assert not report.ok
+        assert report.failed()[0].status is VCStatus.FAILED
+
+    def test_in_program_asserts_become_vcs(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          monitor int steps;
+          steps = steps + 1;
+          assert(steps <= 2);
+          move-p(ib, ob, 1);
+        }
+        """
+        checked = check_program(parse_program(src))
+        dafny = DafnyBackend(checked, config=CONFIG)
+        ok_report = dafny.verify_monolithic(2)
+        assert ok_report.ok and len(ok_report.vcs) == 2
+        bad_report = dafny.verify_monolithic(3)
+        assert not bad_report.ok  # the step-3 instance fails
+
+    def test_vc_growth_with_horizon(self):
+        """Monolithic VCs grow with the unrolling depth (Figure 6's cause)."""
+        dafny = DafnyBackend(round_robin(2), config=CONFIG)
+        small = dafny.verify_monolithic(1, queries=[("c", conservation)])
+        large = dafny.verify_monolithic(4, queries=[("c", conservation)])
+        assert large.vcs[0].cnf_clauses > small.vcs[0].cnf_clauses
+
+
+class TestModular:
+    def test_inductive_invariant_verifies(self):
+        dafny = DafnyBackend(strict_priority(2), config=CONFIG)
+        report = dafny.verify_modular(
+            conservation, queries=[("deq_le_enq", lambda v: mk_and(*[
+                mk_le(v.deq_p(l), v.enq_p(l)) for l in v.buffer_labels()
+            ]))]
+        )
+        assert report.ok
+        assert [vc.name for vc in report.vcs] == [
+            "init", "preserve", "query:deq_le_enq",
+        ]
+
+    def test_non_inductive_invariant_fails_preserve(self):
+        dafny = DafnyBackend(strict_priority(2), config=CONFIG)
+        report = dafny.verify_modular(bogus_invariant)
+        failed_names = [vc.name for vc in report.failed()]
+        assert "preserve" in failed_names
+
+    def test_modular_time_is_horizon_independent(self):
+        """The modular VCs never mention a horizon at all — the check is
+        the same regardless of how long we'd run the system."""
+        dafny = DafnyBackend(strict_priority(2), config=CONFIG)
+        report = dafny.verify_modular(conservation)
+        assert report.ok
+        # Three VCs max (init/preserve/queries): no per-step VCs.
+        assert len(report.vcs) == 2
+
+
+class TestProcedureContracts:
+    SRC = """\
+    p(in buffer ib, out buffer ob){
+      def send_some(buffer src, buffer dst, int n)
+        requires n >= 0;
+        ensures backlog-p(src) >= 0;
+      {
+        move-p(src, dst, n);
+      }
+      send_some(ib, ob, 1);
+    }
+    """
+
+    def test_contract_verifies(self):
+        checked = check_program(parse_program(self.SRC))
+        dafny = DafnyBackend(checked, config=CONFIG)
+        report = dafny.verify_procedure("send_some")
+        assert report.ok
+
+    def test_bad_contract_fails(self):
+        src = self.SRC.replace(
+            "ensures backlog-p(src) >= 0;",
+            "ensures backlog-p(src) == 0;",
+        )
+        checked = check_program(parse_program(src))
+        dafny = DafnyBackend(checked, config=CONFIG)
+        report = dafny.verify_procedure("send_some")
+        assert not report.ok
+
+    def test_unknown_procedure(self):
+        checked = check_program(parse_program(self.SRC))
+        with pytest.raises(KeyError):
+            DafnyBackend(checked, config=CONFIG).verify_procedure("nope")

@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The fast examples run in-process on every test invocation; the two
+case-study walkthroughs (several solver minutes) are marked slow:
+
+    pytest tests/test_examples.py -m slow
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "buffer_precision",
+    "invariant_synthesis",
+])
+def test_fast_examples(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out  # every example narrates its steps
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", [
+    "multi_backend",
+    "fq_starvation",
+    "ccac_ackburst",
+])
+def test_slow_examples(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out

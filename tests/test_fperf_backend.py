@@ -1,0 +1,136 @@
+"""Tests for the FPerf-style workload-synthesis back end."""
+
+import pytest
+
+from repro.analysis.workloads import (
+    BurstGE,
+    BurstLE,
+    RateGE,
+    RateLE,
+    Workload,
+    exact_characterization,
+)
+from repro.backends.fperf import FPerfBackend
+from repro.buffers.packets import Packet
+from repro.compiler.symexec import EncodeConfig
+from repro.netmodels.schedulers import fq_buggy, strict_priority
+from repro.smt.terms import mk_int, mk_le
+
+CONFIG = EncodeConfig(buffer_capacity=5, arrivals_per_step=2)
+
+
+def wl(*counts_per_step):
+    """Workload shorthand: counts_per_step[t] = {label: count}."""
+    out = []
+    for step in counts_per_step:
+        out.append({
+            label: [Packet() for _ in range(count)]
+            for label, count in step.items()
+        })
+    return out
+
+
+class TestAtoms:
+    def test_rate_ge(self):
+        atom = RateGE("a", 1, start=1)
+        assert atom.holds(wl({"a": 0}, {"a": 1}, {"a": 2}))
+        assert not atom.holds(wl({"a": 1}, {"a": 0}))
+
+    def test_rate_le(self):
+        atom = RateLE("a", 1)
+        assert atom.holds(wl({"a": 1}, {"a": 0}))
+        assert not atom.holds(wl({"a": 2}))
+
+    def test_burst(self):
+        assert BurstGE("a", 1, 2).holds(wl({}, {"a": 2}))
+        assert not BurstGE("a", 1, 2).holds(wl({}, {"a": 1}))
+        assert BurstLE("a", 0, 1).holds(wl({"a": 1}))
+        assert BurstLE("a", 5, 1).holds(wl({"a": 1}))  # beyond horizon
+
+    def test_workload_conjunction(self):
+        workload = Workload((RateGE("a", 1), BurstLE("a", 0, 1)))
+        assert workload.holds(wl({"a": 1}, {"a": 2}))
+        assert not workload.holds(wl({"a": 2}, {"a": 2}))
+        assert "AND" in str(workload)
+
+    def test_exact_characterization(self):
+        trace = wl({"a": 2}, {"a": 0})
+        workload = exact_characterization(trace, ["a"])
+        assert workload.holds(trace)
+        assert not workload.holds(wl({"a": 1}, {"a": 0}))
+        assert not workload.holds(wl({"a": 2}, {"a": 1}))
+
+
+class TestAtomEncodingAgreesWithConcrete:
+    """An atom's SMT encoding and its concrete check must agree."""
+
+    @pytest.mark.parametrize("atom", [
+        RateGE("ibs[0]", 1), RateLE("ibs[0]", 1, start=1),
+        BurstGE("ibs[1]", 0, 2), BurstLE("ibs[1]", 1, 0),
+    ])
+    def test_atom_agreement(self, atom):
+        from repro.backends.smt_backend import SmtBackend, Status
+
+        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        encoded = atom.encode(backend.machine, 3)
+        result = backend.find_trace(encoded)
+        assert result.status is Status.SATISFIED
+        assert atom.holds(result.counterexample.workload())
+
+
+class TestGeneralization:
+    def test_synthesizes_for_reachable_query(self):
+        fperf = FPerfBackend(strict_priority(2), horizon=3, config=CONFIG)
+        query = mk_le(mk_int(2), fperf.backend.deq_count("ibs[0]"))
+        result = fperf.synthesize_by_generalization(query)
+        assert result.ok
+        assert len(result.workload) >= 1
+        # Every synthesized workload must be feasible and sufficient.
+        stats_before = result.stats.solver_calls
+        assert fperf._feasible(result.workload, result.stats)
+        ok, _ = fperf._sufficient(result.workload, query, result.stats)
+        assert ok
+        assert result.stats.solver_calls > stats_before
+
+    def test_unreachable_query_returns_none(self):
+        fperf = FPerfBackend(strict_priority(2), horizon=3, config=CONFIG)
+        query = mk_le(mk_int(99), fperf.backend.deq_count("ibs[0]"))
+        result = fperf.synthesize_by_generalization(query)
+        assert not result.ok
+        assert result.witness is None
+
+    def test_fq_starvation_workload(self):
+        from repro.analysis.queries import starvation
+
+        fperf = FPerfBackend(fq_buggy(2), horizon=5, config=CONFIG)
+        query = starvation(fperf.backend, "ibs[0]", max_service=1)
+        result = fperf.synthesize_by_generalization(query)
+        assert result.ok
+        text = str(result.workload)
+        # The paced-competitor condition must be part of the workload.
+        assert "ibs[1]" in text
+
+
+class TestEnumeration:
+    def test_single_atom_synthesis(self):
+        fperf = FPerfBackend(strict_priority(2), horizon=3, config=CONFIG)
+        # "queue 1 never dequeues anything": guaranteed whenever queue 1
+        # receives nothing.
+        query = fperf.backend.deq_count("ibs[1]").eq(mk_int(0))
+        result = fperf.synthesize_by_enumeration(query, max_atoms=1)
+        assert result.ok
+        assert result.stats.candidates_tried >= 1
+
+    def test_example_pruning_kicks_in(self):
+        fperf = FPerfBackend(strict_priority(2), horizon=3, config=CONFIG)
+        query = fperf.backend.deq_count("ibs[1]").eq(mk_int(0))
+        result = fperf.synthesize_by_enumeration(query, max_atoms=1)
+        assert result.stats.pruned_by_examples > 0
+
+    def test_grammar_size(self):
+        fperf = FPerfBackend(strict_priority(2), horizon=3, config=CONFIG)
+        grammar = fperf.atom_grammar()
+        kinds = {type(a).__name__ for a in grammar}
+        assert kinds == {"RateGE", "RateLE", "BurstGE", "BurstLE"}
+        labels = {a.label for a in grammar}
+        assert labels == {"ibs[0]", "ibs[1]"}

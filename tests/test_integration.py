@@ -1,0 +1,139 @@
+"""Cross-module integration tests: the full pipelines at small scale."""
+
+import pytest
+
+from repro import (
+    DafnyBackend,
+    EncodeConfig,
+    FPerfBackend,
+    Interpreter,
+    ModelChecker,
+    Packet,
+    SmtBackend,
+    Status,
+    check_program,
+    parse_program,
+    pretty_program,
+)
+from repro.analysis.traces import replay
+from repro.backends.mc import MCStatus
+from repro.smt.smtlib import parse_smtlib, to_smtlib
+from repro.smt.terms import mk_and, mk_int, mk_le
+
+CONFIG = EncodeConfig(buffer_capacity=4, arrivals_per_step=2)
+
+
+class TestFullPipeline:
+    """Source text → every artifact the framework can produce."""
+
+    SRC = """\
+    twoq(in buffer[2] ibs, out buffer ob){
+      global int turn;
+      monitor int served;
+      local bool done; local int before;
+      done = false;
+      before = backlog-p(ob);
+      for (k in 0..2) do {
+        if (!done & backlog-p(ibs[turn]) > 0) {
+          move-p(ibs[turn], ob, 1);
+          done = true;
+        }
+        if (!done) { turn = turn + 1; if (turn == 2) { turn = 0; } }
+      }
+      if (done) { turn = turn + 1; if (turn == 2) { turn = 0; } }
+      served = served + (backlog-p(ob) - before);
+      assert(served >= 0);
+    }
+    """
+
+    @pytest.fixture
+    def checked(self):
+        return check_program(parse_program(self.SRC))
+
+    def test_parse_pretty_reparse(self, checked):
+        reparsed = check_program(
+            parse_program(pretty_program(checked.program))
+        )
+        assert reparsed.name == checked.name
+
+    def test_interpret(self, checked):
+        interp = Interpreter(checked)
+        trace = interp.run([
+            {"ibs[0]": [Packet(flow=0)], "ibs[1]": [Packet(flow=1)]},
+            {}, {},
+        ])
+        assert trace.ok()
+        flows = [p.flow for p in interp.buffer("ob").packets()]
+        assert sorted(flows) == [0, 1]
+
+    def test_smt_verify_and_replay(self, checked):
+        backend = SmtBackend(checked, horizon=3, config=CONFIG)
+        assert backend.check_assertions().status is Status.PROVED
+        result = backend.find_trace(
+            mk_le(mk_int(2), backend.monitor("served"))
+        )
+        assert result.status is Status.SATISFIED
+        assert replay(checked, result.counterexample,
+                      backend=backend).consistent
+
+    def test_dafny_and_mc_agree(self, checked):
+        def conservation(view):
+            return mk_and(*[
+                (view.deq_p(l) + view.backlog_p(l)).eq(view.enq_p(l))
+                for l in view.buffer_labels()
+            ])
+
+        dafny = DafnyBackend(checked, config=CONFIG)
+        assert dafny.verify_modular(conservation).ok
+        mc = ModelChecker(checked, config=CONFIG)
+        assert mc.k_induction(conservation, k=1).status is MCStatus.PROVED
+
+    def test_fperf_synthesis(self, checked):
+        fperf = FPerfBackend(checked, horizon=3, config=CONFIG)
+        query = mk_le(mk_int(2), fperf.backend.deq_count("ibs[0]"))
+        result = fperf.synthesize_by_generalization(query)
+        assert result.ok
+
+    def test_smtlib_export_reimports(self, checked):
+        backend = SmtBackend(checked, horizon=2, config=CONFIG)
+        formulas = list(backend.machine.assumptions)
+        formulas.extend(ob.formula for ob in backend.machine.obligations)
+        text = to_smtlib(formulas, bounds=dict(backend.machine.bounds))
+        script = parse_smtlib(text)
+        assert len(script.assertions) >= len(formulas)
+
+
+class TestMonitorHistoryAcrossBackends:
+    """A monitor's per-step history must agree between the interpreter
+    and the symbolic snapshots on a deterministic workload."""
+
+    def test_monitor_history(self):
+        src = """\
+        acc(in buffer ib, out buffer ob){
+          monitor int seen;
+          seen = seen + backlog-p(ib);
+          move-p(ib, ob, 1);
+        }
+        """
+        checked = check_program(parse_program(src))
+        workload = [{"ib": [Packet()]}, {"ib": [Packet(), Packet()]}, {}]
+        interp = Interpreter(checked, buffer_capacity=4)
+        trace = interp.run(workload)
+        concrete = trace.monitor_series("seen")
+
+        backend = SmtBackend(
+            checked, horizon=3,
+            config=EncodeConfig(buffer_capacity=4, arrivals_per_step=2),
+        )
+        from repro.smt.terms import mk_bool, mk_eq, mk_not
+
+        pins = []
+        for av in backend.machine.arrival_vars:
+            count = len(workload[av.step].get("ib", []))
+            pins.append(mk_eq(av.present, mk_bool(av.slot < count)))
+        for t, expected in enumerate(concrete):
+            mismatch = mk_not(
+                mk_eq(backend.monitor("seen", t), mk_int(expected))
+            )
+            result = backend.find_trace(mismatch, extra_assumptions=pins)
+            assert result.status is Status.UNSATISFIABLE

@@ -1,0 +1,263 @@
+"""Tests for the reference interpreter (executable semantics)."""
+
+import pytest
+
+from repro.buffers.concrete import CounterBuffer
+from repro.buffers.packets import Packet
+from repro.lang.checker import check_program
+from repro.lang.interp import (
+    Interpreter,
+    RandomOracle,
+    ScriptedOracle,
+    TraceInfeasible,
+)
+from repro.lang.parser import parse_program
+
+
+def interp_for(src, **kwargs):
+    return Interpreter(check_program(parse_program(src)), **kwargs)
+
+
+class TestBasics:
+    def test_move_semantics(self):
+        it = interp_for("p(in buffer ib, out buffer ob){ move-p(ib, ob, 2); }")
+        it.run_step({"ib": [Packet(flow=0), Packet(flow=1), Packet(flow=2)]})
+        assert it.buffer("ib").backlog_p() == 1
+        assert [p.flow for p in it.buffer("ob").packets()] == [0, 1]
+
+    def test_move_clamps_to_available(self):
+        it = interp_for("p(in buffer ib, out buffer ob){ move-p(ib, ob, 9); }")
+        it.run_step({"ib": [Packet()]})
+        assert it.buffer("ob").backlog_p() == 1
+
+    def test_move_bytes(self):
+        it = interp_for("p(in buffer ib, out buffer ob){ move-b(ib, ob, 4); }")
+        it.run_step({"ib": [Packet(size=3), Packet(size=3)]})
+        assert it.buffer("ob").backlog_p() == 1  # only one 3-byte pkt fits 4
+
+    def test_globals_persist_locals_do_not(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          global int g; local int l;
+          g = g + 1; l = l + 1;
+          move-p(ib, ob, 0);
+        }
+        """
+        it = interp_for(src)
+        it.run_step({})
+        it.run_step({})
+        assert it.globals["g"] == 2
+
+    def test_list_operations(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          global list l; local int x; monitor int got;
+          l.push_back(4);
+          l.push_back(7);
+          x = l.pop_front();
+          got = x;
+          move-p(ib, ob, 0);
+        }
+        """
+        it = interp_for(src)
+        record = it.run_step({})
+        assert record.monitors["got"] == 4
+        assert list(it.globals["l"]) == [7]
+
+    def test_pop_empty_yields_sentinel(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          global list l; local int x; monitor int got;
+          x = l.pop_front();
+          got = x;
+          move-p(ib, ob, 0);
+        }
+        """
+        record = interp_for(src).run_step({})
+        assert record.monitors["got"] == -1
+
+    def test_filtered_backlog(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          monitor int f0; monitor int bytes1;
+          f0 = backlog-p(ib |> flow == 0);
+          bytes1 = backlog-b(ib |> flow == 1);
+          move-p(ib, ob, 0);
+        }
+        """
+        it = interp_for(src)
+        record = it.run_step({"ib": [
+            Packet(flow=0), Packet(flow=0), Packet(flow=1, size=5),
+        ]})
+        assert record.monitors["f0"] == 2
+        assert record.monitors["bytes1"] == 5
+
+    def test_for_loop_and_arrays(self):
+        src = """\
+        p(in buffer[3] ibs, out buffer ob){
+          monitor int total;
+          for (i in 0..3) do {
+            total = total + backlog-p(ibs[i]);
+          }
+          move-p(ibs[0], ob, 0);
+        }
+        """
+        it = interp_for(src)
+        record = it.run_step({"ibs[0]": [Packet()], "ibs[2]": [Packet()] * 2})
+        assert record.monitors["total"] == 3
+
+    def test_capacity_drops(self):
+        it = interp_for(
+            "p(in buffer ib, out buffer ob){ move-p(ib, ob, 0); }",
+            buffer_capacity=2,
+        )
+        it.run_step({"ib": [Packet()] * 5})
+        assert it.buffer("ib").backlog_p() == 2
+        assert it.buffer("ib").stats.dropped_packets == 3
+
+
+class TestAssertAssume:
+    def test_assert_violation_recorded(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          assert(backlog-p(ib) == 0);
+          move-p(ib, ob, 1);
+        }
+        """
+        it = interp_for(src)
+        trace = it.run([{"ib": [Packet()]}])
+        assert len(trace.violations) == 1
+        assert trace.violations[0].step == 0
+        assert not trace.ok()
+
+    def test_assume_violation_raises(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          assume(backlog-p(ib) == 0);
+          move-p(ib, ob, 1);
+        }
+        """
+        it = interp_for(src)
+        with pytest.raises(TraceInfeasible):
+            it.run_step({"ib": [Packet()]})
+
+    def test_passing_assert_silent(self):
+        src = "p(in buffer ib, out buffer ob){ assert(true);" \
+              " move-p(ib, ob, 1); }"
+        assert interp_for(src).run([{}]).ok()
+
+
+class TestHavoc:
+    SRC = """\
+    p(in buffer ib, out buffer ob){
+      local int x; monitor int got;
+      havoc x in 2..5;
+      got = x;
+      move-p(ib, ob, 0);
+    }
+    """
+
+    def test_random_oracle_respects_range(self):
+        it = interp_for(self.SRC, oracle=RandomOracle(seed=3))
+        for _ in range(20):
+            record = it.run_step({})
+            assert 2 <= record.monitors["got"] < 5
+
+    def test_scripted_oracle_replays(self):
+        oracle = ScriptedOracle({(0, "x", 0): 4, (1, "x", 0): 2})
+        it = interp_for(self.SRC, oracle=oracle)
+        assert it.run_step({}).monitors["got"] == 4
+        assert it.run_step({}).monitors["got"] == 2
+
+
+class TestProcedures:
+    def test_call_by_reference_buffer(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          def relay(buffer src, buffer dst, int n){
+            move-p(src, dst, n);
+          }
+          relay(ib, ob, 2);
+        }
+        """
+        it = interp_for(src)
+        it.run_step({"ib": [Packet()] * 3})
+        assert it.buffer("ob").backlog_p() == 2
+
+    def test_scalars_by_value(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          monitor int m; local int x;
+          def bump(int v){ v = v + 1; }
+          x = 5;
+          bump(x);
+          m = x;
+          move-p(ib, ob, 0);
+        }
+        """
+        record = interp_for(src).run_step({})
+        assert record.monitors["m"] == 5
+
+
+class TestCounterModelInterp:
+    def test_counter_buffers(self):
+        src = "p(in buffer ib, out buffer ob){ move-p(ib, ob, 2); }"
+        it = Interpreter(
+            check_program(parse_program(src)), buffer_factory=CounterBuffer
+        )
+        it.run_step({"ib": [Packet(flow=1), Packet(flow=0), Packet(flow=1)]})
+        assert it.buffer("ib").backlog_p() == 1
+        # lowest-flow-first drain: flows 0 and 1 left the buffer
+        assert it.buffer("ob").backlog_p("flow", 0) == 1
+        assert it.buffer("ob").backlog_p("flow", 1) == 1
+
+
+class TestScheduling:
+    def test_fq_buggy_starves(self):
+        from repro.netmodels.schedulers import fq_buggy
+
+        it = Interpreter(fq_buggy(2))
+        workload = [{"ibs[0]": [Packet(flow=0)] * 6}] + [
+            {"ibs[1]": [Packet(flow=1)]} for _ in range(7)
+        ]
+        it.run(workload)
+        flows = [p.flow for p in it.buffer("ob").packets()]
+        assert flows.count(0) == 1  # served once, then starved
+
+    def test_fq_fixed_alternates(self):
+        from repro.netmodels.schedulers import fq_fixed
+
+        it = Interpreter(fq_fixed(2))
+        workload = [{"ibs[0]": [Packet(flow=0)] * 6}] + [
+            {"ibs[1]": [Packet(flow=1)]} for _ in range(7)
+        ]
+        it.run(workload)
+        flows = [p.flow for p in it.buffer("ob").packets()]
+        assert flows.count(0) >= 3
+
+    def test_rr_alternates(self):
+        from repro.netmodels.schedulers import round_robin
+
+        it = Interpreter(round_robin(3))
+        it.run([{"ibs[0]": [Packet(flow=0)] * 3,
+                 "ibs[2]": [Packet(flow=2)] * 3}] + [{}] * 5)
+        flows = [p.flow for p in it.buffer("ob").packets()]
+        assert flows == [0, 2, 0, 2, 0, 2]
+
+    def test_priority_strictness(self):
+        from repro.netmodels.schedulers import strict_priority
+
+        it = Interpreter(strict_priority(2))
+        it.run([{"ibs[0]": [Packet(flow=0)] * 2,
+                 "ibs[1]": [Packet(flow=1)]}] + [{}] * 2)
+        flows = [p.flow for p in it.buffer("ob").packets()]
+        assert flows == [0, 0, 1]
+
+    def test_reset(self):
+        from repro.netmodels.schedulers import round_robin
+
+        it = Interpreter(round_robin(2))
+        it.run([{"ibs[0]": [Packet()]}])
+        it.reset()
+        assert it.step_index == 0
+        assert it.buffer("ob").backlog_p() == 0

@@ -1,0 +1,153 @@
+"""Tests for the static checker: types, ghost discipline, boundedness."""
+
+import pytest
+
+from repro.lang.checker import CheckError, check_program
+from repro.lang.parser import parse_program
+
+
+def check(src, **consts):
+    return check_program(parse_program(src, consts=consts or None))
+
+
+class TestTypes:
+    def test_valid_program(self):
+        checked = check(
+            "p(in buffer ib, out buffer ob){ move-p(ib, ob, 1); }"
+        )
+        assert checked.name == "p"
+
+    def test_undeclared_variable(self):
+        with pytest.raises(CheckError, match="undeclared"):
+            check("p(in buffer ib, out buffer ob){ x = 1; move-p(ib, ob, 1);}")
+
+    def test_bool_int_mismatch(self):
+        with pytest.raises(CheckError):
+            check("p(in buffer ib, out buffer ob){ local int x; x = true;"
+                  " move-p(ib, ob, 1);}")
+
+    def test_if_condition_must_be_bool(self):
+        with pytest.raises(CheckError):
+            check("p(in buffer ib, out buffer ob){ if (3) { move-p(ib, ob, 1);}}")
+
+    def test_arith_on_bool(self):
+        with pytest.raises(CheckError):
+            check("p(in buffer ib, out buffer ob){ local bool b;"
+                  " local int x; x = b + 1; move-p(ib, ob, 1);}")
+
+    def test_index_non_array(self):
+        with pytest.raises(CheckError):
+            check("p(in buffer ib, out buffer ob){ local int x; x = x[0];"
+                  " move-p(ib, ob, 1);}")
+
+    def test_move_amount_must_be_int(self):
+        with pytest.raises(CheckError):
+            check("p(in buffer ib, out buffer ob){ move-p(ib, ob, true); }")
+
+    def test_list_method_on_non_list(self):
+        with pytest.raises(CheckError):
+            check("p(in buffer ib, out buffer ob){ local int x;"
+                  " if (x.empty()) {} move-p(ib, ob, 1);}")
+
+    def test_unknown_packet_field(self):
+        with pytest.raises(CheckError, match="field"):
+            check("p(in buffer ib, out buffer ob){ local int x;"
+                  " x = backlog-p(ib |> color == 1); move-p(ib, ob, 1);}")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(CheckError, match="duplicate"):
+            check("p(in buffer ib, out buffer ob){ global int x;"
+                  " global int x; move-p(ib, ob, 1);}")
+
+    def test_assign_to_const(self):
+        with pytest.raises(CheckError):
+            check("p(in buffer ib, out buffer ob){ const int K = 2;"
+                  " K = 3; move-p(ib, ob, 1);}")
+
+
+class TestBoundedness:
+    def test_variable_loop_bound_rejected(self):
+        with pytest.raises(CheckError, match="constant"):
+            check("p(in buffer ib, out buffer ob){ local int n; n = 3;"
+                  " for (i in 0..n) do { move-p(ib, ob, 1);}}")
+
+    def test_const_expression_loop_bound(self):
+        check("p(in buffer ib, out buffer ob){ const int K = 2;"
+              " for (i in 0..K * 2) do { move-p(ib, ob, 1);}}")
+
+    def test_backlog_is_not_a_constant_bound(self):
+        with pytest.raises(CheckError, match="constant"):
+            check("p(in buffer ib, out buffer ob){"
+                  " for (i in 0..backlog-p(ib)) do { move-p(ib, ob, 1);}}")
+
+
+class TestMonitorDiscipline:
+    def test_monitor_cannot_drive_control_flow(self):
+        with pytest.raises(CheckError, match="ghost"):
+            check("p(in buffer ib, out buffer ob){ monitor int m;"
+                  " if (m > 0) { move-p(ib, ob, 1);}}")
+
+    def test_monitor_cannot_feed_move(self):
+        with pytest.raises(CheckError, match="ghost"):
+            check("p(in buffer ib, out buffer ob){ monitor int m;"
+                  " move-p(ib, ob, m);}")
+
+    def test_monitor_update_may_read_state(self):
+        check("p(in buffer ib, out buffer ob){ monitor int m; local int x;"
+              " x = 1; m = m + x; move-p(ib, ob, 1);}")
+
+    def test_assert_may_read_monitor(self):
+        check("p(in buffer ib, out buffer ob){ monitor int m;"
+              " assert(m >= 0); move-p(ib, ob, 1);}")
+
+    def test_assume_may_read_monitor(self):
+        check("p(in buffer ib, out buffer ob){ monitor int m;"
+              " assume(m >= 0); move-p(ib, ob, 1);}")
+
+
+class TestBufferDirections:
+    def test_annotated_out_is_write_only(self):
+        with pytest.raises(CheckError, match="write-only"):
+            check("p(in buffer a, out buffer b){ move-p(b, a, 1); }")
+
+    def test_inference_conflict(self):
+        with pytest.raises(CheckError, match="annotate"):
+            check("p(buffer a, buffer b, buffer c){"
+                  " move-p(a, b, 1); move-p(b, c, 1); }")
+
+    def test_scalar_param_rejected(self):
+        # Program parameters must be buffers.
+        with pytest.raises(Exception):
+            check("p(int x, out buffer b){ move-p(b, b, 1); }")
+
+
+class TestProcedures:
+    def test_unknown_procedure(self):
+        with pytest.raises(CheckError, match="unknown procedure"):
+            check("p(in buffer ib, out buffer ob){ foo(1); move-p(ib, ob, 1);}")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CheckError, match="argument"):
+            check("p(in buffer ib, out buffer ob){"
+                  " def f(int x){ ; } f(1, 2); move-p(ib, ob, 1);}")
+
+    def test_buffer_passed_by_reference(self):
+        # Aggregates are by-reference; a buffer variable is a valid argument.
+        check("p(in buffer ib, out buffer ob){ def f(buffer b, buffer o){"
+              " move-p(b, o, 1);} f(ib, ob); }")
+
+    def test_arg_type_mismatch(self):
+        with pytest.raises(CheckError):
+            check("p(in buffer ib, out buffer ob){ def f(int x){ ; }"
+                  " f(true); move-p(ib, ob, 1);}")
+
+
+class TestHavoc:
+    def test_havoc_scalar_ok(self):
+        check("p(in buffer ib, out buffer ob){ local int x;"
+              " havoc x in 0..4; move-p(ib, ob, x);}")
+
+    def test_havoc_list_rejected(self):
+        with pytest.raises(CheckError):
+            check("p(in buffer ib, out buffer ob){ global list l;"
+                  " havoc l; move-p(ib, ob, 1);}")

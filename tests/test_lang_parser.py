@@ -1,0 +1,292 @@
+"""Tests for the Buffy lexer and parser."""
+
+import pytest
+
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    Assume,
+    Backlog,
+    BinOp,
+    BinOpKind,
+    Decl,
+    FilterExpr,
+    For,
+    Havoc,
+    If,
+    Index,
+    IntLit,
+    ListEmpty,
+    ListHas,
+    Move,
+    PopFront,
+    PushBack,
+    Seq,
+    UnOp,
+    Var,
+    VarKind,
+)
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse_expr, parse_program
+from repro.lang.types import ArrayType, BufferType, IntType, ListType
+
+
+class TestLexer:
+    def test_hyphenated_builtins(self):
+        tokens = tokenize("backlog-p(b) move-b(x, y, 1)")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "BUILTIN"
+        assert tokens[0].text == "backlog-p"
+        assert tokens[4].text == "move-b"
+
+    def test_underscore_builtin_aliases(self):
+        tokens = tokenize("backlog_p(b)")
+        assert tokens[0].text == "backlog-p"  # canonicalized
+
+    def test_keywords(self):
+        tokens = tokenize("if else for global monitor havoc")
+        assert [t.kind for t in tokens[:-1]] == [
+            "IF", "ELSE", "FOR", "GLOBAL", "MONITOR", "HAVOC",
+        ]
+
+    def test_comments_and_positions(self):
+        tokens = tokenize("x = 1; // comment\ny = 2;")
+        y_tok = [t for t in tokens if t.text == "y"][0]
+        assert y_tok.pos == (2, 1)
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a ==> b |> c .. == != <= >=")
+        kinds = [t.kind for t in tokens]
+        assert "IMPLIES" in kinds and "PIPEGT" in kinds and "DOTDOT" in kinds
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("x = #;")
+
+
+class TestExprParsing:
+    def test_precedence_cmp_binds_tighter_than_and(self):
+        # Figure 4 relies on this: backlog > 0 & !l.has(i)
+        expr = parse_expr("backlog-p(b) > 0 & !l.has(i)")
+        assert isinstance(expr, BinOp) and expr.kind is BinOpKind.AND
+        assert isinstance(expr.left, BinOp) and expr.left.kind is BinOpKind.GT
+
+    def test_arith_precedence(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.kind is BinOpKind.ADD
+        assert expr.right.kind is BinOpKind.MUL
+
+    def test_implies_right_assoc(self):
+        expr = parse_expr("a ==> b ==> c")
+        assert expr.kind is BinOpKind.IMPLIES
+        assert isinstance(expr.left, Var)
+
+    def test_unary(self):
+        expr = parse_expr("-x + !p & q")
+        assert expr.kind is BinOpKind.AND
+
+    def test_filter(self):
+        expr = parse_expr("backlog-p(b |> flow == 2)")
+        assert isinstance(expr, Backlog)
+        assert isinstance(expr.buffer, FilterExpr)
+        assert expr.buffer.fieldname == "flow"
+
+    def test_list_methods(self):
+        assert isinstance(parse_expr("l.has(3)"), ListHas)
+        assert isinstance(parse_expr("l.empty()"), ListEmpty)
+
+    def test_indexing(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, Index)
+
+    def test_parenthesized(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.kind is BinOpKind.MUL
+
+    def test_statement_marker_rejected_as_expr(self):
+        with pytest.raises(ParseError):
+            parse_expr("l.push_back(3)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + 2 )")
+
+
+PROGRAM = """\
+sched(in buffer[N] ibs, out buffer ob){
+  const int Q = 2;
+  global list nq;
+  monitor int served;
+  local int head;
+  for (i in 0..N) do {
+    if (backlog-p(ibs[i]) > 0 & !nq.has(i)) { nq.push_back(i); }
+  }
+  head = nq.pop_front();
+  if (head != 0 - 1) {
+    move-p(ibs[head], ob, 1);
+    served = served + 1;
+  }
+  assert(served <= Q * 2);
+  assume(backlog-p(ob) <= 8);
+  havoc head in 0..N;
+}
+"""
+
+
+class TestProgramParsing:
+    def test_structure(self):
+        program = parse_program(PROGRAM, consts={"N": 3})
+        assert program.name == "sched"
+        assert [p.name for p in program.params] == ["ibs", "ob"]
+        assert isinstance(program.params[0].type, ArrayType)
+        assert program.params[0].type.size == 3
+        decl_names = [d.name for d in program.decls]
+        assert "nq" in decl_names and "served" in decl_names
+        assert program.constants()["Q"] == 2
+        assert program.constants()["N"] == 3
+
+    def test_command_kinds_present(self):
+        program = parse_program(PROGRAM, consts={"N": 3})
+        kinds = {type(c).__name__ for c in _walk(program.body)}
+        assert {"For", "If", "PushBack", "PopFront", "Move",
+                "Assert", "Assume", "Havoc", "Assign"} <= kinds
+
+    def test_supplied_const_overrides(self):
+        program = parse_program("p(in buffer b, out buffer o){const int K = 1;"
+                                " move-p(b, o, K);}", consts={"K": 5})
+        assert program.constants()["K"] == 5
+
+    def test_unknown_size_const(self):
+        with pytest.raises(ParseError):
+            parse_program("p(in buffer[M] b, out buffer o){ move-p(b[0], o, 1);}")
+
+    def test_procedure_with_contract(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          def send(int n)
+            requires n >= 0;
+            ensures backlog-p(ob) >= 0;
+          { move-p(ib, ob, n); }
+          send(1);
+        }
+        """
+        program = parse_program(src)
+        assert len(program.procedures) == 1
+        proc = program.procedures[0]
+        assert proc.name == "send"
+        assert len(proc.requires) == 1 and len(proc.ensures) == 1
+
+    def test_loop_invariant_syntax(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          local int x;
+          x = 0;
+          for (i in 0..4) invariant x >= 0; do { x = x + 1; }
+          move-p(ib, ob, x);
+        }
+        """
+        program = parse_program(src)
+        fors = [c for c in _walk(program.body) if isinstance(c, For)]
+        assert len(fors[0].invariants) == 1
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("p(in buffer b, out buffer o){ x = 1 }")
+
+    def test_in_out_inference(self):
+        # Figure 4 style: no qualifiers; direction inferred from moves.
+        src = "fq(buffer a, buffer b){ move-p(a, b, 1); }"
+        program = parse_program(src)
+        from repro.lang.checker import check_program
+
+        checked = check_program(program)
+        kinds = {p.name: p.kind for p in checked.program.params}
+        assert kinds["a"] is VarKind.PARAM_IN
+        assert kinds["b"] is VarKind.PARAM_OUT
+
+
+def _walk(cmd):
+    from repro.lang.ast import walk_commands
+
+    return list(walk_commands(cmd))
+
+
+class TestPrettyRoundTrip:
+    @pytest.mark.parametrize("source_name", [
+        "FQ_BUGGY_SRC", "FQ_FIXED_SRC", "RR_SRC", "PRIO_SRC",
+    ])
+    def test_schedulers_round_trip(self, source_name):
+        from repro.lang.pretty import pretty_program
+        from repro.netmodels import schedulers
+
+        source = getattr(schedulers, source_name)
+        first = parse_program(source, consts={"N": 2})
+        printed = pretty_program(first)
+        second = parse_program(printed)
+        assert first.name == second.name
+        assert _strip(first.body) == _strip(second.body)
+
+    def test_ccac_round_trip(self):
+        from repro.lang.pretty import pretty_program
+        from repro.netmodels.ccac.models import AIMD_SRC, PATH_SRC
+
+        for src in (AIMD_SRC, PATH_SRC):
+            first = parse_program(src)
+            second = parse_program(pretty_program(first))
+            assert _strip(first.body) == _strip(second.body)
+
+
+def _strip(cmd):
+    """Structural fingerprint ignoring positions and Seq nesting."""
+    from repro.lang import ast as A
+
+    if isinstance(cmd, A.Seq):
+        parts = []
+        for c in cmd.commands:
+            inner = _strip(c)
+            if isinstance(c, A.Seq):
+                parts.extend(inner[1])
+            else:
+                parts.append(inner)
+        if len(parts) == 1:
+            return parts[0]
+        return ("seq", parts)
+    if isinstance(cmd, A.If):
+        return ("if", _sexpr(cmd.cond), _strip(cmd.then), _strip(cmd.els))
+    if isinstance(cmd, A.For):
+        return ("for", cmd.var, _sexpr(cmd.lo), _sexpr(cmd.hi),
+                _strip(cmd.body))
+    if isinstance(cmd, A.Skip):
+        return ("skip",)
+    return (type(cmd).__name__,) + tuple(
+        _sexpr(e) for e in A.exprs_of(cmd)
+    )
+
+
+def _sexpr(expr):
+    from repro.lang import ast as A
+
+    if isinstance(expr, A.IntLit):
+        return ("int", expr.value)
+    if isinstance(expr, A.BoolLit):
+        return ("bool", expr.value)
+    if isinstance(expr, A.Var):
+        return ("var", expr.name)
+    if isinstance(expr, A.Index):
+        return ("idx", _sexpr(expr.base), _sexpr(expr.index))
+    if isinstance(expr, A.BinOp):
+        return ("bin", expr.kind.value, _sexpr(expr.left), _sexpr(expr.right))
+    if isinstance(expr, A.UnOp):
+        return ("un", expr.kind.value, _sexpr(expr.operand))
+    if isinstance(expr, A.Backlog):
+        return ("backlog", expr.in_bytes, _sexpr(expr.buffer))
+    if isinstance(expr, A.FilterExpr):
+        return ("filter", expr.fieldname, _sexpr(expr.buffer),
+                _sexpr(expr.value))
+    if isinstance(expr, A.ListHas):
+        return ("has", _sexpr(expr.target), _sexpr(expr.item))
+    if isinstance(expr, A.ListEmpty):
+        return ("empty", _sexpr(expr.target))
+    if isinstance(expr, A.ListLen):
+        return ("len", _sexpr(expr.target))
+    raise AssertionError(f"unexpected {expr!r}")

@@ -1,0 +1,99 @@
+"""Tests for the model-checking back end (BMC, k-induction, CHC)."""
+
+from repro.backends.mc import MCStatus, ModelChecker, to_chc
+from repro.compiler.symexec import EncodeConfig
+from repro.lang.checker import check_program
+from repro.lang.parser import parse_program
+from repro.netmodels.schedulers import strict_priority
+from repro.smt.terms import mk_and, mk_int, mk_le, mk_lt
+
+CONFIG = EncodeConfig(buffer_capacity=3, arrivals_per_step=1)
+
+
+def conservation(view):
+    return mk_and(*[
+        (view.deq_p(label) + view.backlog_p(label)).eq(view.enq_p(label))
+        for label in view.buffer_labels()
+    ])
+
+
+def bounded_backlog(view):
+    # Backlog can never exceed the buffer capacity (3 here).
+    return mk_and(*[
+        mk_le(view.backlog_p(label), mk_int(3))
+        for label in view.buffer_labels()
+    ])
+
+
+def false_property(view):
+    return mk_lt(view.backlog_p("ob"), mk_int(1))
+
+
+class TestBMC:
+    def test_safe_within_bound(self):
+        mc = ModelChecker(strict_priority(2), config=CONFIG)
+        result = mc.bmc(conservation, k=3)
+        assert result.status is MCStatus.SAFE_BOUNDED
+        assert result.ok
+        assert result.solver_calls == 4
+
+    def test_violation_found_with_step(self):
+        mc = ModelChecker(strict_priority(2), config=CONFIG)
+        result = mc.bmc(false_property, k=3)
+        assert result.status is MCStatus.VIOLATED
+        assert result.violation_step is not None
+        assert result.violation_step >= 1  # ob is empty initially
+        assert not result.ok
+
+    def test_violation_at_initial_state(self):
+        mc = ModelChecker(strict_priority(2), config=CONFIG)
+        # "ob is non-empty" is already false at step 0... invert:
+        result = mc.bmc(lambda v: mk_lt(mk_int(0), v.enq_p("ob")), k=1)
+        assert result.status is MCStatus.VIOLATED
+        assert result.violation_step == 0
+
+
+class TestKInduction:
+    def test_proves_conservation_unboundedly(self):
+        mc = ModelChecker(strict_priority(2), config=CONFIG)
+        result = mc.k_induction(conservation, k=1)
+        assert result.status is MCStatus.PROVED
+
+    def test_proves_bounded_backlog(self):
+        mc = ModelChecker(strict_priority(2), config=CONFIG)
+        result = mc.k_induction(bounded_backlog, k=1)
+        assert result.status is MCStatus.PROVED
+
+    def test_false_property_caught_in_base(self):
+        mc = ModelChecker(strict_priority(2), config=CONFIG)
+        result = mc.k_induction(false_property, k=1)
+        assert result.status is MCStatus.VIOLATED
+
+    def test_increasing_k(self):
+        mc = ModelChecker(strict_priority(2), config=CONFIG)
+        result = mc.prove_with_increasing_k(conservation, max_k=2)
+        assert result.status is MCStatus.PROVED
+
+
+class TestCHCExport:
+    def test_chc_structure(self):
+        text = to_chc(strict_priority(2), conservation, config=CONFIG)
+        assert text.startswith("(set-logic HORN)")
+        assert "(declare-fun Inv" in text
+        assert text.count("(assert") == 3  # init, trans, property
+        assert text.rstrip().endswith("(check-sat)")
+
+    def test_chc_sorts_match_state(self):
+        src = """\
+        p(in buffer ib, out buffer ob){
+          global bool flag; global int count;
+          flag = !flag;
+          count = count + 1;
+          move-p(ib, ob, 1);
+        }
+        """
+        checked = check_program(parse_program(src))
+        text = to_chc(checked, lambda v: mk_le(mk_int(0), v.global_("count")),
+                      config=CONFIG)
+        header = [l for l in text.splitlines() if "declare-fun" in l][0]
+        assert "Bool" in header and "Int" in header

@@ -1,0 +1,178 @@
+"""Tests for the SMT back end: verification, synthesis, decoding."""
+
+import pytest
+
+from repro.analysis.queries import (
+    fair_share,
+    loss,
+    no_loss,
+    ordering_fifo,
+    starvation,
+)
+from repro.analysis.traces import replay
+from repro.backends.smt_backend import SmtBackend, Status
+from repro.compiler.symexec import EncodeConfig
+from repro.lang.checker import check_program
+from repro.lang.parser import parse_program
+from repro.netmodels.schedulers import fq_buggy, fq_fixed, strict_priority
+from repro.smt.terms import mk_and, mk_int, mk_le, mk_lt, mk_not
+
+CONFIG = EncodeConfig(buffer_capacity=5, arrivals_per_step=2)
+
+
+class TestBasics:
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            SmtBackend(strict_priority(2), horizon=0)
+
+    def test_prove_total_service_bound(self):
+        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        total = backend.deq_count("ibs[0]") + backend.deq_count("ibs[1]")
+        assert backend.prove(mk_le(total, mk_int(3))).status is Status.PROVED
+        result = backend.prove(mk_le(total, mk_int(2)))
+        assert result.status is Status.VIOLATED
+        assert result.counterexample is not None
+
+    def test_find_trace_decodes_packets(self):
+        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        result = backend.find_trace(
+            mk_le(mk_int(2), backend.deq_count("ibs[1]"))
+        )
+        assert result.status is Status.SATISFIED
+        trace = result.counterexample
+        assert trace.total_arrivals("ibs[1]") >= 2
+        assert "counterexample over 3 steps" in trace.describe()
+
+    def test_priority_invariant(self):
+        backend = SmtBackend(strict_priority(2), horizon=4, config=CONFIG)
+        blocked = [
+            mk_le(mk_int(1), backend.backlog("ibs[0]", t)) for t in range(4)
+        ]
+        q1_served = mk_le(mk_int(1), backend.deq_count("ibs[1]"))
+        result = backend.find_trace(q1_served, extra_assumptions=blocked)
+        assert result.status is Status.UNSATISFIABLE
+
+
+class TestInProgramAsserts:
+    SRC = """\
+    p(in buffer ib, out buffer ob){
+      monitor int served; local int before;
+      before = backlog-p(ib);
+      move-p(ib, ob, 1);
+      served = served + (before - backlog-p(ib));
+      assert(served <= LIMIT);
+    }
+    """
+
+    def _backend(self, limit, horizon=3):
+        checked = check_program(
+            parse_program(self.SRC, consts={"LIMIT": limit})
+        )
+        return SmtBackend(checked, horizon=horizon, config=CONFIG)
+
+    def test_violable_assert_found(self):
+        result = self._backend(limit=1).check_assertions()
+        assert result.status is Status.VIOLATED
+        assert result.counterexample.violated
+
+    def test_unviolable_assert_proved(self):
+        # served <= horizon always (one packet per step).
+        result = self._backend(limit=3).check_assertions()
+        assert result.status is Status.PROVED
+
+    def test_no_obligations_is_proved(self):
+        checked = check_program(parse_program(
+            "p(in buffer ib, out buffer ob){ move-p(ib, ob, 1); }"
+        ))
+        backend = SmtBackend(checked, horizon=2, config=CONFIG)
+        assert backend.check_assertions().status is Status.PROVED
+
+
+class TestAssume:
+    SRC = """\
+    p(in buffer ib, out buffer ob){
+      assume(backlog-p(ib) <= 1);
+      move-p(ib, ob, 1);
+    }
+    """
+
+    def test_assume_restricts_traces(self):
+        checked = check_program(parse_program(self.SRC))
+        backend = SmtBackend(checked, horizon=3, config=CONFIG)
+        # With at most 1 packet present at a time, at most 3 ever dequeue,
+        # and a backlog of 2 is impossible.
+        result = backend.find_trace(
+            mk_le(mk_int(2), backend.backlog("ib", 0))
+        )
+        assert result.status is Status.UNSATISFIABLE
+
+
+class TestCaseStudyQueries:
+    def test_starvation_found_on_buggy_fq(self):
+        backend = SmtBackend(fq_buggy(2), horizon=5, config=CONFIG)
+        query = starvation(backend, "ibs[0]", max_service=1,
+                           competitors_min_service={"ibs[1]": 3})
+        result = backend.find_trace(query)
+        assert result.status is Status.SATISFIED
+
+    def test_starvation_unsat_on_fixed_fq(self):
+        backend = SmtBackend(fq_fixed(2), horizon=5, config=CONFIG)
+        query = starvation(backend, "ibs[0]", max_service=1,
+                           competitors_min_service={"ibs[1]": 3})
+        result = backend.find_trace(query)
+        assert result.status is Status.UNSATISFIABLE
+
+    def test_fair_share_query_shape(self):
+        backend = SmtBackend(fq_fixed(2), horizon=4, config=CONFIG)
+        term = fair_share(backend, "ibs[0]")
+        assert term.sort.value == "Bool"
+
+    def test_loss_queries(self):
+        checked = check_program(parse_program(
+            "p(in buffer ib, out buffer ob){ move-p(ib, ob, 1); }"
+        ))
+        config = EncodeConfig(buffer_capacity=2, arrivals_per_step=2)
+        backend = SmtBackend(checked, horizon=4, config=config)
+        assert backend.find_trace(
+            loss(backend, "ib")
+        ).status is Status.SATISFIED
+        assert backend.find_trace(
+            no_loss(backend, ["ib"])
+        ).status is Status.SATISFIED
+
+    def test_replay_consistency(self):
+        backend = SmtBackend(fq_buggy(2), horizon=5, config=CONFIG)
+        query = starvation(backend, "ibs[0]", max_service=1)
+        result = backend.find_trace(query)
+        report = replay(fq_buggy(2), result.counterexample, backend=backend)
+        assert report.consistent, report.mismatches
+
+    def test_ordering_query_satisfiable(self):
+        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        query = ordering_fifo(backend, "ob", first_flow=0, second_flow=1)
+        # prio: flow-0 packets go out first, so flow0-then-flow1 is reachable.
+        assert backend.find_trace(query).status is Status.SATISFIED
+
+    def test_ordering_query_unsat_when_impossible(self):
+        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        # While ibs[0] stays backlogged, a flow-1 packet can never be
+        # *ahead of* a flow-0 packet in the output.
+        blocked = [
+            mk_le(mk_int(1), backend.backlog("ibs[0]", t)) for t in range(3)
+        ]
+        query = ordering_fifo(backend, "ob", first_flow=1, second_flow=0)
+        result = backend.find_trace(query, extra_assumptions=blocked)
+        assert result.status is Status.UNSATISFIABLE
+
+
+class TestCounterModelBackend:
+    def test_counter_model_agrees_on_count_query(self):
+        for model in ("list", "counter"):
+            config = EncodeConfig(
+                buffer_model=model, buffer_capacity=5, arrivals_per_step=2
+            )
+            backend = SmtBackend(strict_priority(2), horizon=3, config=config)
+            sat_q = mk_le(mk_int(2), backend.deq_count("ibs[0]"))
+            assert backend.find_trace(sat_q).status is Status.SATISFIED
+            unsat_q = mk_le(mk_int(4), backend.deq_count("ibs[0]"))
+            assert backend.find_trace(unsat_q).status is Status.UNSATISFIABLE

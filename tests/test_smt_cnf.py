@@ -1,0 +1,96 @@
+"""Unit tests for the CNF container and DIMACS I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.cnf import CNF, check_assignment
+
+
+class TestCNF:
+    def test_new_var(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.num_vars == 2
+
+    def test_add_clause_dedup(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clause([1, 1, 2])
+        assert cnf.clauses == [[1, 2]]
+
+    def test_tautology_dropped(self):
+        cnf = CNF(num_vars=1)
+        cnf.add_clause([1, -1])
+        assert len(cnf) == 0
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF(num_vars=1)
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_unallocated_var_rejected(self):
+        cnf = CNF(num_vars=1)
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])
+
+    def test_iter_and_len(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clauses([[1], [-2, 1]])
+        assert len(cnf) == 2
+        assert list(cnf) == [[1], [-2, 1]]
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        cnf = CNF(num_vars=3)
+        cnf.add_clauses([[1, -2], [3], [-1, 2, -3]])
+        text = cnf.to_dimacs()
+        parsed = CNF.from_dimacs(text)
+        assert parsed.num_vars == 3
+        assert parsed.clauses == cnf.clauses
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        cnf = CNF.from_dimacs(text)
+        assert cnf.num_vars == 2
+        assert cnf.clauses == [[1, -2]]
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError):
+            CNF.from_dimacs("p dnf 1 1\n1 0\n")
+
+    def test_multiline_clause(self):
+        cnf = CNF.from_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert cnf.clauses == [[1, 2, 3]]
+
+
+class TestCheckAssignment:
+    def test_satisfied(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clauses([[1, 2], [-1, 2]])
+        assert check_assignment(cnf, [False, False, True])
+
+    def test_unsatisfied(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clauses([[1], [2]])
+        assert not check_assignment(cnf, [False, True, False])
+
+    def test_short_assignment_rejected(self):
+        cnf = CNF(num_vars=3)
+        with pytest.raises(ValueError):
+            check_assignment(cnf, [False, True])
+
+
+@given(st.lists(
+    st.lists(st.integers(min_value=-5, max_value=5).filter(lambda v: v != 0),
+             min_size=1, max_size=4),
+    min_size=0, max_size=10,
+))
+@settings(max_examples=50, deadline=None)
+def test_dimacs_round_trip_random(clauses):
+    cnf = CNF(num_vars=5)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    parsed = CNF.from_dimacs(cnf.to_dimacs())
+    assert parsed.clauses == cnf.clauses

@@ -1,0 +1,296 @@
+"""Unit tests for the hash-consed term layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.sorts import BOOL, INT
+from repro.smt.terms import (
+    FALSE,
+    ONE,
+    TRUE,
+    ZERO,
+    Op,
+    dag_size,
+    evaluate,
+    free_vars,
+    fresh_var,
+    iter_dag,
+    mk_add,
+    mk_and,
+    mk_bool,
+    mk_bool_to_int,
+    mk_bool_var,
+    mk_distinct,
+    mk_eq,
+    mk_implies,
+    mk_int,
+    mk_int_var,
+    mk_ite,
+    mk_le,
+    mk_lt,
+    mk_max,
+    mk_min,
+    mk_mul,
+    mk_neg,
+    mk_not,
+    mk_or,
+    mk_sub,
+    mk_sum,
+    mk_var,
+    mk_xor,
+    substitute,
+    to_sexpr,
+)
+
+
+class TestInterning:
+    def test_same_var_is_identical(self):
+        assert mk_int_var("a") is mk_int_var("a")
+        assert mk_bool_var("b") is mk_bool_var("b")
+
+    def test_same_structure_is_identical(self):
+        x, y = mk_int_var("x"), mk_int_var("y")
+        assert mk_add(x, y) is mk_add(x, y)
+
+    def test_bool_and_int_constants_do_not_collide(self):
+        # Regression: Python's False == 0 collided Bool and Int constants
+        # in the interning table.
+        assert mk_int(0) is not mk_bool(False)
+        assert mk_int(1) is not mk_bool(True)
+        assert ZERO.sort is INT
+        assert FALSE.sort is BOOL
+
+    def test_var_sorts_distinct(self):
+        assert mk_var("v", INT) is not mk_var("v", BOOL)
+
+    def test_fresh_vars_unique(self):
+        assert fresh_var("t", INT) is not fresh_var("t", INT)
+
+
+class TestBooleanConstructors:
+    def test_and_simplifications(self):
+        p = mk_bool_var("p")
+        assert mk_and() is TRUE
+        assert mk_and(p) is p
+        assert mk_and(p, TRUE) is p
+        assert mk_and(p, FALSE) is FALSE
+        assert mk_and(p, p) is p
+        assert mk_and(p, mk_not(p)) is FALSE
+
+    def test_or_simplifications(self):
+        p = mk_bool_var("p")
+        assert mk_or() is FALSE
+        assert mk_or(p, FALSE) is p
+        assert mk_or(p, TRUE) is TRUE
+        assert mk_or(p, mk_not(p)) is TRUE
+
+    def test_and_flattening(self):
+        p, q, r = (mk_bool_var(n) for n in "pqr")
+        nested = mk_and(p, mk_and(q, r))
+        assert nested.op is Op.AND
+        assert len(nested.args) == 3
+
+    def test_not_involution(self):
+        p = mk_bool_var("p")
+        assert mk_not(mk_not(p)) is p
+        assert mk_not(TRUE) is FALSE
+
+    def test_implies(self):
+        p, q = mk_bool_var("p"), mk_bool_var("q")
+        assert mk_implies(TRUE, q) is q
+        assert mk_implies(FALSE, q) is TRUE
+        assert mk_implies(p, TRUE) is TRUE
+        assert mk_implies(p, p) is TRUE
+
+    def test_xor(self):
+        p, q = mk_bool_var("p"), mk_bool_var("q")
+        assert mk_xor(p, p) is FALSE
+        assert mk_xor(p, FALSE) is p
+        assert mk_xor(p, TRUE) is mk_not(p)
+        assert mk_xor(p, q) is mk_xor(q, p)
+
+    def test_bool_ite_encodes_with_connectives(self):
+        c, p, q = (mk_bool_var(n) for n in "cpq")
+        ite = mk_ite(c, p, q)
+        assert ite.op in (Op.AND, Op.OR)
+        for cv in (False, True):
+            for pv in (False, True):
+                for qv in (False, True):
+                    expected = pv if cv else qv
+                    got = evaluate(ite, {"c": cv, "p": pv, "q": qv})
+                    assert got == expected
+
+
+class TestArithmeticConstructors:
+    def test_add_constant_folding(self):
+        x = mk_int_var("x")
+        assert mk_add(mk_int(2), mk_int(3)) is mk_int(5)
+        assert mk_add(x, mk_int(0)) is x
+
+    def test_add_flattens_and_gathers_constants(self):
+        x, y = mk_int_var("x"), mk_int_var("y")
+        term = mk_add(mk_add(x, mk_int(2)), mk_add(y, mk_int(3)))
+        consts = [a for a in term.args if a.is_const]
+        assert len(consts) == 1 and consts[0].value == 5
+
+    def test_sub(self):
+        x = mk_int_var("x")
+        assert mk_sub(x, ZERO) is x
+        assert mk_sub(x, x) is ZERO
+        assert mk_sub(mk_int(7), mk_int(3)) is mk_int(4)
+
+    def test_neg(self):
+        x = mk_int_var("x")
+        assert mk_neg(mk_neg(x)) is x
+        assert mk_neg(mk_int(5)) is mk_int(-5)
+
+    def test_mul(self):
+        x = mk_int_var("x")
+        assert mk_mul(x, ONE) is x
+        assert mk_mul(x, ZERO) is ZERO
+        assert mk_mul(x, mk_int(-1)) is mk_neg(x)
+        assert mk_mul(mk_int(3), mk_int(4)) is mk_int(12)
+
+    def test_comparisons_fold(self):
+        assert mk_lt(mk_int(1), mk_int(2)) is TRUE
+        assert mk_le(mk_int(2), mk_int(2)) is TRUE
+        assert mk_lt(mk_int(2), mk_int(2)) is FALSE
+        x = mk_int_var("x")
+        assert mk_lt(x, x) is FALSE
+        assert mk_le(x, x) is TRUE
+
+    def test_eq(self):
+        x, y = mk_int_var("x"), mk_int_var("y")
+        assert mk_eq(x, x) is TRUE
+        assert mk_eq(mk_int(1), mk_int(2)) is FALSE
+        assert mk_eq(x, y) is mk_eq(y, x)
+
+    def test_min_max(self):
+        assert evaluate(mk_min(mk_int_var("x"), mk_int(3)), {"x": 5}) == 3
+        assert evaluate(mk_max(mk_int_var("x"), mk_int(3)), {"x": 5}) == 5
+
+    def test_sum_and_bool_to_int(self):
+        assert mk_sum([]) is ZERO
+        b = mk_bool_var("b")
+        assert evaluate(mk_bool_to_int(b), {"b": True}) == 1
+        assert evaluate(mk_bool_to_int(b), {"b": False}) == 0
+
+    def test_distinct(self):
+        x, y, z = (mk_int_var(n) for n in "xyz")
+        d = mk_distinct(x, y, z)
+        assert evaluate(d, {"x": 1, "y": 2, "z": 3}) is True
+        assert evaluate(d, {"x": 1, "y": 2, "z": 1}) is False
+
+
+class TestTypeErrors:
+    def test_bool_arg_to_arith(self):
+        with pytest.raises(TypeError):
+            mk_add(mk_bool_var("p"), mk_int(1))
+
+    def test_int_arg_to_and(self):
+        with pytest.raises(TypeError):
+            mk_and(mk_int_var("x"), TRUE)
+
+    def test_eq_sort_mismatch(self):
+        with pytest.raises(TypeError):
+            mk_eq(mk_int_var("x"), mk_bool_var("p"))
+
+    def test_ite_branch_mismatch(self):
+        with pytest.raises(TypeError):
+            mk_ite(TRUE, mk_int(1), mk_bool(True))
+
+    def test_mk_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            mk_int(True)
+
+
+class TestOperatorOverloading:
+    def test_python_operators(self):
+        x, y = mk_int_var("x"), mk_int_var("y")
+        f = ((x + y) * mk_int(2) <= mk_int(10)) & x.eq(y)
+        assert evaluate(f, {"x": 2, "y": 2}) is True
+        assert evaluate(f, {"x": 3, "y": 3}) is False
+
+    def test_reflected_int_operators(self):
+        x = mk_int_var("x")
+        assert evaluate(1 + x, {"x": 2}) == 3
+        assert evaluate(5 - x, {"x": 2}) == 3
+        assert evaluate(3 * x, {"x": 2}) == 6
+
+    def test_comparison_chain(self):
+        x = mk_int_var("x")
+        assert (x > mk_int(2)).sort is BOOL
+        assert (x >= mk_int(2)).sort is BOOL
+
+    def test_immutability(self):
+        x = mk_int_var("x")
+        with pytest.raises(AttributeError):
+            x.op = Op.CONST
+
+
+class TestTraversal:
+    def test_free_vars(self):
+        x, y = mk_int_var("x"), mk_int_var("y")
+        f = mk_and(x < y, mk_bool_var("p"))
+        names = {v.name for v in free_vars(f)}
+        assert names == {"x", "y", "p"}
+
+    def test_dag_size_counts_shared_once(self):
+        x = mk_int_var("x")
+        shared = x + x  # one ADD node over x... folds to form with const?
+        f = mk_eq(shared, shared)
+        assert f is TRUE  # identical operands fold
+
+    def test_iter_dag_postorder(self):
+        x, y = mk_int_var("x"), mk_int_var("y")
+        f = x + y
+        nodes = list(iter_dag(f))
+        assert nodes[-1] is f
+        assert all(
+            arg in nodes[: nodes.index(node)]
+            for node in nodes
+            for arg in node.args
+        )
+
+    def test_substitute(self):
+        x, y, z = (mk_int_var(n) for n in "xyz")
+        f = (x + y) < z
+        g = substitute(f, {x: mk_int(1), y: mk_int(2)})
+        assert evaluate(g, {"z": 4}) is True
+        assert evaluate(g, {"z": 3}) is False
+
+    def test_substitute_sort_mismatch(self):
+        x = mk_int_var("x")
+        with pytest.raises(TypeError):
+            substitute(x + x, {x: mk_bool_var("p")})
+
+    def test_to_sexpr(self):
+        x = mk_int_var("x")
+        assert "(+" in to_sexpr(x + mk_int(1)) or "(+ " in to_sexpr(x + mk_int(1))
+        assert to_sexpr(mk_int(-3)) == "(- 3)"
+
+
+@given(
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_arith_constructors_agree_with_python(a, b):
+    """Constant folding must agree with Python integer arithmetic."""
+    ta, tb = mk_int(a), mk_int(b)
+    assert mk_add(ta, tb).value == a + b
+    assert mk_sub(ta, tb).value == a - b
+    assert mk_mul(ta, tb).value == a * b
+    assert mk_lt(ta, tb) is mk_bool(a < b)
+    assert mk_le(ta, tb) is mk_bool(a <= b)
+
+
+@given(st.integers(min_value=-8, max_value=8), st.integers(min_value=-8, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_evaluate_matches_semantics(a, b):
+    x, y = mk_int_var("x"), mk_int_var("y")
+    env = {"x": a, "y": b}
+    assert evaluate(mk_min(x, y), env) == min(a, b)
+    assert evaluate(mk_max(x, y), env) == max(a, b)
+    assert evaluate(mk_ite(x < y, x, y), env) == min(a, b)

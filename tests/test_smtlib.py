@@ -1,0 +1,155 @@
+"""Tests for SMT-LIB v2 printing and parsing."""
+
+import pytest
+
+from repro.smt.smtlib import (
+    SmtLibParseError,
+    parse_smtlib,
+    term_to_smtlib,
+    to_smtlib,
+)
+from repro.smt.terms import (
+    evaluate,
+    free_vars,
+    mk_and,
+    mk_bool_var,
+    mk_eq,
+    mk_implies,
+    mk_int,
+    mk_int_var,
+    mk_ite,
+    mk_le,
+    mk_lt,
+    mk_mul,
+    mk_neg,
+    mk_not,
+    mk_or,
+    mk_sub,
+    mk_var,
+    mk_xor,
+)
+from repro.smt.sorts import INT
+
+
+def roundtrip(term):
+    text = to_smtlib([term])
+    script = parse_smtlib(text)
+    assert len(script.assertions) == 1
+    return script.assertions[0]
+
+
+def assert_equivalent(a, b, domain=range(-3, 4)):
+    names = {v.name: v for v in free_vars(a)}
+    names.update({v.name: v for v in free_vars(b)})
+    import itertools
+
+    int_names = [n for n, v in names.items() if v.sort is INT]
+    bool_names = [n for n, v in names.items() if v.sort is not INT]
+    for ints in itertools.product(domain, repeat=len(int_names)):
+        for bools in itertools.product((False, True), repeat=len(bool_names)):
+            env = dict(zip(int_names, ints))
+            env.update(dict(zip(bool_names, bools)))
+            assert evaluate(a, env) == evaluate(b, env)
+
+
+class TestPrinter:
+    def test_atoms(self):
+        assert term_to_smtlib(mk_int(5)) == "5"
+        assert term_to_smtlib(mk_int(-5)) == "(- 5)"
+        assert term_to_smtlib(mk_bool_var("p")) == "p"
+
+    def test_odd_names_quoted(self):
+        v = mk_int_var("weird name.t0")
+        assert term_to_smtlib(v).startswith("|")
+
+    def test_shared_subterms_use_let(self):
+        x = mk_int_var("x")
+        shared = x + mk_int(1)
+        term = mk_eq(mk_mul(shared, shared), mk_int(4))
+        text = term_to_smtlib(term)
+        assert "let" in text
+        assert text.count("(+ x 1)") == 1
+
+    def test_large_shared_dag_is_linear(self):
+        # A tower of squarings is exponential as a tree but linear with lets.
+        x = mk_int_var("x")
+        term = x
+        for _ in range(40):
+            term = mk_mul(term, term)
+        text = term_to_smtlib(mk_lt(term, mk_int(1)))
+        assert len(text) < 10_000
+
+    def test_script_shape(self):
+        x = mk_int_var("sx")
+        text = to_smtlib([mk_lt(x, mk_int(3))], bounds={"sx": (0, 5)})
+        assert text.startswith("(set-logic")
+        assert "(declare-const sx Int)" in text
+        assert "(check-sat)" in text
+        assert "(assert (<= 0 sx))" in text
+
+
+class TestRoundTrip:
+    def test_arith(self):
+        x, y = mk_int_var("x"), mk_int_var("y")
+        term = mk_lt(mk_sub(mk_mul(x, y), mk_neg(x)), mk_int(7))
+        assert_equivalent(term, roundtrip(term))
+
+    def test_boolean(self):
+        p, q = mk_bool_var("p"), mk_bool_var("q")
+        term = mk_and(mk_or(p, mk_not(q)), mk_xor(p, q), mk_implies(q, p))
+        assert_equivalent(term, roundtrip(term))
+
+    def test_ite(self):
+        x = mk_int_var("x")
+        p = mk_bool_var("p")
+        term = mk_eq(mk_ite(p, x, mk_neg(x)), mk_int(2))
+        assert_equivalent(term, roundtrip(term))
+
+    def test_with_sharing(self):
+        x = mk_int_var("x")
+        shared = x + mk_int(2)
+        term = mk_le(mk_mul(shared, shared), shared + mk_int(10))
+        assert_equivalent(term, roundtrip(term))
+
+
+class TestParser:
+    def test_declare_fun(self):
+        script = parse_smtlib(
+            "(declare-fun a () Int)(assert (< a 3))(check-sat)"
+        )
+        assert "a" in script.declarations
+        assert script.has_check_sat
+
+    def test_comments_ignored(self):
+        script = parse_smtlib("; hi\n(set-logic QF_LIA)\n")
+        assert script.logic == "QF_LIA"
+
+    def test_chained_comparison_operators(self):
+        script = parse_smtlib(
+            "(declare-const a Int)(assert (>= a 2))(assert (> 3 a))"
+        )
+        assert evaluate(script.assertions[0], {"a": 2}) is True
+        assert evaluate(script.assertions[1], {"a": 2}) is True
+        assert evaluate(script.assertions[1], {"a": 3}) is False
+
+    def test_undeclared_symbol(self):
+        with pytest.raises(SmtLibParseError):
+            parse_smtlib("(assert (< b 3))")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(SmtLibParseError):
+            parse_smtlib("(assert (< 1 2)")
+
+    def test_unsupported_command(self):
+        with pytest.raises(SmtLibParseError):
+            parse_smtlib("(maximize x)")
+
+    def test_unsupported_sort(self):
+        with pytest.raises(SmtLibParseError):
+            parse_smtlib("(declare-const r Real)")
+
+    def test_minus_variants(self):
+        script = parse_smtlib(
+            "(declare-const a Int)(assert (= (- a) (- 0 a)))"
+        )
+        assert evaluate(script.assertions[0], {"a": 4}) is True
