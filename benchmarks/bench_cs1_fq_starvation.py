@@ -21,6 +21,8 @@ from repro.backends.smt_backend import SmtBackend, Status
 from repro.compiler.symexec import EncodeConfig
 from repro.netmodels.schedulers import fq_buggy, fq_fixed
 
+from conftest import skip_if_exhausted
+
 HORIZON = 6
 CONFIG = EncodeConfig(buffer_capacity=6, arrivals_per_step=2)
 
@@ -35,12 +37,14 @@ def starvation_query(backend):
     )
 
 
-def test_cs1_buggy_trace_synthesis(benchmark):
-    backend = SmtBackend(fq_buggy(2), horizon=HORIZON, config=CONFIG)
+def test_cs1_buggy_trace_synthesis(benchmark, bench_budget):
+    backend = SmtBackend(fq_buggy(2), horizon=HORIZON, config=CONFIG,
+                         budget=bench_budget())
     result = benchmark.pedantic(
         lambda: backend.find_trace(starvation_query(backend)),
         rounds=1, iterations=1,
     )
+    skip_if_exhausted(result)
     assert result.status is Status.SATISFIED
     report = replay(fq_buggy(2), result.counterexample, backend=backend)
     assert report.consistent
@@ -57,12 +61,14 @@ def test_cs1_buggy_trace_synthesis(benchmark):
     assert competitor_steps >= HORIZON - 2
 
 
-def test_cs1_fixed_scheduler_excludes_starvation(benchmark):
-    backend = SmtBackend(fq_fixed(2), horizon=HORIZON, config=CONFIG)
+def test_cs1_fixed_scheduler_excludes_starvation(benchmark, bench_budget):
+    backend = SmtBackend(fq_fixed(2), horizon=HORIZON, config=CONFIG,
+                         budget=bench_budget())
     result = benchmark.pedantic(
         lambda: backend.find_trace(starvation_query(backend)),
         rounds=1, iterations=1,
     )
+    skip_if_exhausted(result)
     assert result.status is Status.UNSATISFIABLE
     _summary.append(
         f"fixed FQ, T={HORIZON}: starvation UNSAT in"
@@ -70,13 +76,15 @@ def test_cs1_fixed_scheduler_excludes_starvation(benchmark):
     )
 
 
-def test_cs1_workload_synthesis(benchmark):
-    fperf = FPerfBackend(fq_buggy(2), horizon=HORIZON, config=CONFIG)
+def test_cs1_workload_synthesis(benchmark, bench_budget):
+    fperf = FPerfBackend(fq_buggy(2), horizon=HORIZON, config=CONFIG,
+                         budget=bench_budget())
     query = starvation(fperf.backend, "ibs[0]", max_service=1)
     result = benchmark.pedantic(
         lambda: fperf.synthesize_by_generalization(query),
         rounds=1, iterations=1,
     )
+    skip_if_exhausted(result)
     assert result.ok
     text = str(result.workload)
     _summary.append(

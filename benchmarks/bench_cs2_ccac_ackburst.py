@@ -28,6 +28,8 @@ from repro.netmodels.ccac.models import (
 )
 from repro.smt.terms import mk_and, mk_int, mk_le, mk_or
 
+from conftest import skip_if_exhausted
+
 # The ack-burst scenario needs enough steps for the window to grow, the
 # path to stall, and the burst to come back around the loop: 8 RTTs.
 HORIZON = 8
@@ -36,13 +38,15 @@ PATH_CAPACITY = 3
 _summary: list[str] = []
 
 
-def _backend(programs=None, capacity=PATH_CAPACITY, horizon=HORIZON):
+def _backend(programs=None, capacity=PATH_CAPACITY, horizon=HORIZON,
+             budget=None):
     progs, connections, configs = ccac_symbolic_network(
         delay_steps=1, path_capacity=capacity
     )
     if programs:
         progs.update(programs)
-    return NetworkBackend(progs, connections, horizon=horizon, configs=configs)
+    return NetworkBackend(progs, connections, horizon=horizon,
+                          configs=configs, budget=budget)
 
 
 def _ack_burst(backend, horizon):
@@ -54,8 +58,8 @@ def _ack_burst(backend, horizon):
     return mk_or(*terms)
 
 
-def test_cs2_ack_burst_loss_reachable(benchmark):
-    backend = _backend()
+def test_cs2_ack_burst_loss_reachable(benchmark, bench_budget):
+    backend = _backend(budget=bench_budget())
     query = mk_and(
         _ack_burst(backend, HORIZON),
         mk_le(mk_int(1), backend.drop_count("path", "pin0")),
@@ -63,6 +67,7 @@ def test_cs2_ack_burst_loss_reachable(benchmark):
     result = benchmark.pedantic(
         lambda: backend.find_trace(query), rounds=1, iterations=1
     )
+    skip_if_exhausted(result)
     assert result.status is Status.SATISFIED
     refills = [
         int(v) for k, v in sorted(result.counterexample.havocs.items())
@@ -77,7 +82,7 @@ def test_cs2_ack_burst_loss_reachable(benchmark):
     assert 0 in refills
 
 
-def test_cs2_no_loss_with_clamped_window(benchmark):
+def test_cs2_no_loss_with_clamped_window(benchmark, bench_budget):
     small_window = AIMD_SRC.replace(
         "const int CWND_MAX = 8;", "const int CWND_MAX = 2;"
     ).replace("const int IW = 2;", "const int IW = 1;")
@@ -85,11 +90,13 @@ def test_cs2_no_loss_with_clamped_window(benchmark):
         programs={"aimd": check_program(parse_program(small_window))},
         capacity=6,
         horizon=5,
+        budget=bench_budget(),
     )
     query = mk_le(mk_int(1), backend.drop_count("path", "pin0"))
     result = benchmark.pedantic(
         lambda: backend.find_trace(query), rounds=1, iterations=1
     )
+    skip_if_exhausted(result)
     assert result.status is Status.UNSATISFIABLE
     _summary.append(
         "window clamped to 2 <= buffer 6: loss UNSAT"
@@ -97,12 +104,13 @@ def test_cs2_no_loss_with_clamped_window(benchmark):
     )
 
 
-def test_cs2_modular_path_server_invariant(benchmark):
+def test_cs2_modular_path_server_invariant(benchmark, bench_budget):
     """§6.2: CCAC supplies path-server invariants, so the Dafny back end
     can check its property modularly — no unrolling, no inlining."""
     config = EncodeConfig(buffer_capacity=4, arrivals_per_step=2,
                           havoc_default=(0, 4))
-    dafny = DafnyBackend(path_program(), config=config)
+    dafny = DafnyBackend(path_program(), config=config,
+                         budget=bench_budget())
 
     def conservation(view):
         return mk_and(*[
@@ -113,6 +121,7 @@ def test_cs2_modular_path_server_invariant(benchmark):
     report = benchmark.pedantic(
         lambda: dafny.verify_modular(conservation), rounds=1, iterations=1
     )
+    skip_if_exhausted(report)
     assert report.ok
     _summary.append(
         f"path server modular check (init+preserve):"

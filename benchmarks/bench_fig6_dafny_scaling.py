@@ -21,7 +21,7 @@ from repro.compiler.symexec import EncodeConfig
 from repro.netmodels.schedulers import fq_buggy
 from repro.smt.terms import mk_le
 
-from conftest import fig6_horizons
+from conftest import fig6_horizons, skip_if_exhausted
 
 CONFIG = EncodeConfig(buffer_capacity=5, arrivals_per_step=2)
 
@@ -37,8 +37,8 @@ def total_work_query(view):
 
 
 @pytest.mark.parametrize("horizon", list(fig6_horizons()))
-def test_fig6_point(benchmark, horizon):
-    dafny = DafnyBackend(fq_buggy(2), config=CONFIG)
+def test_fig6_point(benchmark, horizon, bench_budget):
+    dafny = DafnyBackend(fq_buggy(2), config=CONFIG, budget=bench_budget())
 
     def verify():
         return dafny.verify_monolithic(
@@ -46,14 +46,17 @@ def test_fig6_point(benchmark, horizon):
         )
 
     report = benchmark.pedantic(verify, rounds=1, iterations=1)
+    skip_if_exhausted(report)
     assert report.ok
     _measured[horizon] = report.elapsed_seconds
     _clauses[horizon] = report.vcs[0].cnf_clauses
 
 
-def test_fig6_shape(benchmark, results_table):
+def test_fig6_shape(benchmark, results_table, request):
     """The curve must be superlinear (Figure 6's exponential blow-up)."""
     horizons = sorted(_measured)
+    if len(horizons) < 3 and request.config.getoption("--deadline"):
+        pytest.skip("too few points survived the --deadline budget")
     assert len(horizons) >= 3, "run after the per-point benches"
     benchmark.pedantic(lambda: sorted(_measured), rounds=1, iterations=1)
     lines = [f"{'T':>2s} {'verify time':>12s} {'VC clauses':>11s}"]

@@ -3,6 +3,11 @@
 Set ``REPRO_BENCH_DEEP=1`` to run the full parameter ranges (the
 Figure-6 curve up to T=6 takes ~a minute per point at the top end);
 the default ranges keep the whole suite to a few minutes.
+
+Pass ``--deadline SECONDS`` to give every benchmarked solve a
+wall-clock budget: points that exhaust it are skipped with a resource
+report instead of running unboundedly — useful on slow machines and in
+CI.
 """
 
 import os
@@ -10,6 +15,37 @@ import os
 import pytest
 
 DEEP = os.environ.get("REPRO_BENCH_DEEP", "0") == "1"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per benchmarked solve; exhausted points"
+             " are skipped with a resource report instead of hanging",
+    )
+
+
+@pytest.fixture
+def bench_budget(request):
+    """Factory for per-solve budgets honoring ``--deadline`` (or None)."""
+    seconds = request.config.getoption("--deadline")
+    if seconds is None:
+        return lambda: None
+    from repro.runtime import Budget
+
+    return lambda: Budget(deadline_seconds=seconds)
+
+
+def skip_if_exhausted(report):
+    """Skip the current bench point when a governed run came back partial.
+
+    Accepts any result carrying ``complete`` and ``resource_report``.
+    """
+    if getattr(report, "complete", True):
+        return
+    inner = getattr(report, "resource_report", None)
+    detail = inner.describe() if inner else "resource budget exhausted"
+    pytest.skip(f"--deadline exhausted: {detail}")
 
 
 def fig6_horizons():

@@ -14,6 +14,9 @@ The package provides:
   annotation checking, and a BMC/k-induction model checker;
 * :mod:`repro.smt` — the from-scratch SMT substrate (terms,
   bit-blasting, CDCL SAT) standing in for Z3;
+* :mod:`repro.runtime` — resource governance: budgets/deadlines with
+  cooperative cancellation, structured UNKNOWN reports, escalation
+  portfolios, and a seeded fault-injection harness;
 * :mod:`repro.netmodels` — the paper's case-study models (FQ-CoDel
   style schedulers, CCAC's AIMD/path/delay network);
 * :mod:`repro.baselines` — hand-written FPerf-style encodings used as
@@ -37,6 +40,15 @@ from .backends.mc import ModelChecker
 from .backends.network import NetworkBackend
 from .backends.smt_backend import SmtBackend, Status
 from .buffers.packets import Packet
+from .runtime import (
+    Budget,
+    BudgetExhausted,
+    EscalationPolicy,
+    ExhaustionReason,
+    ResourceReport,
+    SolverFault,
+    inject_faults,
+)
 from .compiler.composition import ConcreteNetwork, Connection, SymbolicNetwork
 from .compiler.symexec import EncodeConfig, SymbolicMachine
 from .lang.builder import ProgramBuilder
@@ -48,23 +60,30 @@ from .lang.pretty import pretty_program
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
+    "BudgetExhausted",
     "CheckedProgram",
     "ConcreteNetwork",
     "Connection",
     "DafnyBackend",
     "EncodeConfig",
+    "EscalationPolicy",
+    "ExhaustionReason",
     "FPerfBackend",
     "Interpreter",
     "ModelChecker",
     "NetworkBackend",
     "Packet",
     "ProgramBuilder",
+    "ResourceReport",
     "SmtBackend",
+    "SolverFault",
     "StateView",
     "Status",
     "SymbolicMachine",
     "SymbolicNetwork",
     "check_program",
+    "inject_faults",
     "parse_expr",
     "parse_program",
     "pretty_program",

@@ -1,9 +1,9 @@
 """Analysis back ends over the shared symbolic-execution IR (§4)."""
 
-from .dafny import DafnyBackend, DafnyReport, StateView, VCStatus
+from .dafny import DafnyBackend, DafnyReport, StateView, VCResult, VCStatus
 from .fperf import FPerfBackend, SynthesisResult
 from .houdini import Candidate, HoudiniResult, HoudiniSynthesizer, default_grammar
-from .mc import MCStatus, ModelChecker, to_chc
+from .mc import MCResult, MCStatus, ModelChecker, to_chc
 from .network import NetworkBackend
 from .smt_backend import (
     CounterexampleTrace,
@@ -15,7 +15,7 @@ from .smt_backend import (
 __all__ = [
     "Candidate", "CounterexampleTrace", "DafnyBackend", "DafnyReport",
     "FPerfBackend", "HoudiniResult", "HoudiniSynthesizer",
-    "MCStatus", "ModelChecker", "NetworkBackend", "SmtBackend", "Status",
-    "StateView", "SynthesisResult", "VCStatus", "VerificationResult",
-    "default_grammar", "to_chc",
+    "MCResult", "MCStatus", "ModelChecker", "NetworkBackend", "SmtBackend",
+    "Status", "StateView", "SynthesisResult", "VCResult", "VCStatus",
+    "VerificationResult", "default_grammar", "to_chc",
 ]

@@ -36,8 +36,9 @@ from ..compiler.symexec import EncodeConfig, SymbolicMachine, _Executor
 from ..lang.ast import Procedure
 from ..lang.checker import CheckedProgram
 from ..lang.types import ArrayType, BoolType, BufferType, IntType, ListType
+from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
 from ..smt.sat.cdcl import CDCLConfig
-from ..smt.solver import CheckResult, SmtSolver
+from ..smt.solver import CheckResult, SmtSolver, governed_check
 from ..smt.terms import TRUE, Term, mk_and, mk_not
 
 
@@ -56,11 +57,19 @@ class VCResult:
     elapsed_seconds: float
     cnf_vars: int = 0
     cnf_clauses: int = 0
+    resource_report: Optional[ResourceReport] = None
 
 
 @dataclass
 class DafnyReport:
-    """Aggregate result of a verification run."""
+    """Aggregate result of a verification run.
+
+    Under a :class:`repro.runtime.Budget` individual VCs may come back
+    UNKNOWN (with :attr:`VCResult.resource_report` populated) while the
+    rest of the run keeps going — per-VC failure isolation.  ``ok`` is
+    then False and :attr:`complete` distinguishes "a VC failed" from
+    "a VC was not decided".
+    """
 
     vcs: list[VCResult] = field(default_factory=list)
 
@@ -69,11 +78,19 @@ class DafnyReport:
         return all(vc.status is VCStatus.VERIFIED for vc in self.vcs)
 
     @property
+    def complete(self) -> bool:
+        """True when every VC was actually decided (no UNKNOWNs)."""
+        return all(vc.status is not VCStatus.UNKNOWN for vc in self.vcs)
+
+    @property
     def elapsed_seconds(self) -> float:
         return sum(vc.elapsed_seconds for vc in self.vcs)
 
     def failed(self) -> list[VCResult]:
         return [vc for vc in self.vcs if vc.status is not VCStatus.VERIFIED]
+
+    def unknown(self) -> list[VCResult]:
+        return [vc for vc in self.vcs if vc.status is VCStatus.UNKNOWN]
 
 
 class StateView:
@@ -122,24 +139,36 @@ class DafnyBackend:
         checked: CheckedProgram,
         config: Optional[EncodeConfig] = None,
         sat_config: Optional[CDCLConfig] = None,
+        budget: Optional[Budget] = None,
+        escalation=None,
     ):
         self.checked = checked
         self.config = config or EncodeConfig()
         self.sat_config = sat_config
+        self.budget = budget
+        self.escalation = escalation
 
     # ----- VC discharge -----------------------------------------------------
 
     def _discharge(self, name: str, machine: SymbolicMachine,
                    goal: Term) -> VCResult:
-        """Check ``assumptions => goal``; a model of the negation fails it."""
+        """Check ``assumptions => goal``; a model of the negation fails it.
+
+        A budget exhaustion or solver fault marks *this* VC UNKNOWN and
+        the caller continues with the remaining VCs (an already-spent
+        budget makes those refuse quickly rather than hang).
+        """
         t0 = time.perf_counter()
-        solver = SmtSolver(sat_config=self.sat_config)
+        solver = SmtSolver(
+            sat_config=self.sat_config,
+            budget=self.budget, escalation=self.escalation,
+        )
         for var, (lo, hi) in machine.bounds.items():
             solver.set_bounds(var, lo, hi)
         for assumption in machine.assumptions:
             solver.add(assumption)
         solver.add(mk_not(goal))
-        result = solver.check()
+        result, report = governed_check(solver)
         elapsed = time.perf_counter() - t0
         status = {
             CheckResult.UNSAT: VCStatus.VERIFIED,
@@ -152,6 +181,13 @@ class DafnyBackend:
             elapsed,
             cnf_vars=solver.stats.cnf_vars,
             cnf_clauses=solver.stats.cnf_clauses,
+            resource_report=report,
+        )
+
+    def _exhausted_vc(self, name: str, exc: BudgetExhausted) -> VCResult:
+        """A VC whose *encoding* (symbolic unrolling) ran out of budget."""
+        return VCResult(
+            name, VCStatus.UNKNOWN, 0.0, resource_report=exc.report
         )
 
     # ----- monolithic (unroll + inline) regime ------------------------------------
@@ -169,10 +205,17 @@ class DafnyBackend:
         transformation §6.1 describes, and the per-VC formulas grow
         with the horizon.
         """
-        machine = SymbolicMachine(self.checked, self.config)
-        for _ in range(horizon):
-            machine.exec_step()
+        machine = SymbolicMachine(self.checked, self.config,
+                                  budget=self.budget)
         report = DafnyReport()
+        try:
+            for _ in range(horizon):
+                machine.exec_step()
+        except BudgetExhausted as exc:
+            # Could not even finish encoding: report one UNKNOWN VC so
+            # callers see a structured partial result, not an exception.
+            report.vcs.append(self._exhausted_vc("unroll", exc))
+            return report
         if include_asserts:
             for ob in machine.obligations:
                 report.vcs.append(
@@ -210,10 +253,15 @@ class DafnyBackend:
         report.vcs.append(self._discharge("init", init_machine, init_goal))
 
         # (2) consecution: havoc state, assume the invariant, run one step.
-        step_machine = SymbolicMachine(self.checked, self.config)
+        step_machine = SymbolicMachine(self.checked, self.config,
+                                       budget=self.budget)
         step_machine.havoc_state(value_range=value_range, stat_bound=stat_bound)
         step_machine.assumptions.append(invariant(StateView(step_machine)))
-        step_machine.exec_step()
+        try:
+            step_machine.exec_step()
+        except BudgetExhausted as exc:
+            report.vcs.append(self._exhausted_vc("preserve", exc))
+            return report
         post = invariant(StateView(step_machine))
         report.vcs.append(self._discharge("preserve", step_machine, post))
 

@@ -44,6 +44,7 @@ from ..backends.smt_backend import SmtBackend, Status
 from ..buffers.packets import Packet
 from ..compiler.symexec import EncodeConfig
 from ..lang.checker import CheckedProgram
+from ..runtime.budget import Budget, ResourceReport
 from ..smt.sat.cdcl import CDCLConfig
 from ..smt.terms import Term, mk_not
 
@@ -61,6 +62,12 @@ class SynthesisResult:
     workload: Optional[Workload]
     witness: Optional[list[dict[str, list[Packet]]]]
     stats: SynthesisStats = field(default_factory=SynthesisStats)
+    # False when the search stopped early on budget exhaustion; the
+    # workload (if any) is then a best-so-far: still *sufficient* —
+    # every returned workload passed that check — just not maximally
+    # generalized.
+    complete: bool = True
+    resource_report: Optional[ResourceReport] = None
 
     @property
     def ok(self) -> bool:
@@ -76,32 +83,63 @@ class FPerfBackend:
         horizon: int,
         config: Optional[EncodeConfig] = None,
         sat_config: Optional[CDCLConfig] = None,
+        budget: Optional[Budget] = None,
+        escalation=None,
     ):
         self.checked = checked
         self.horizon = horizon
+        self.budget = budget
         self.backend = SmtBackend(
-            checked, horizon, config=config, sat_config=sat_config
+            checked, horizon, config=config, sat_config=sat_config,
+            budget=budget, escalation=escalation,
         )
         self.machine = self.backend.machine
         self.labels = self.machine.input_buffer_labels()
+        # Report from the most recent UNKNOWN solver answer (if any).
+        self._last_report: Optional[ResourceReport] = None
+
+    # ----- budget plumbing ------------------------------------------------------
+
+    def _budget_report(self, where: str) -> Optional[ResourceReport]:
+        """A report when the budget is spent, else None (loop-top check)."""
+        if self.budget is None:
+            return None
+        reason = self.budget.exhausted()
+        if reason is None:
+            return None
+        return self.budget.report(reason, where)
 
     # ----- solver-side checks --------------------------------------------------
 
     def _feasible(self, workload: Workload, stats: SynthesisStats) -> bool:
         stats.solver_calls += 1
         encoded = workload.encode(self.machine, self.horizon)
-        return (
-            self.backend.find_trace(encoded).status is Status.SATISFIED
-        )
+        result = self.backend.find_trace(encoded)
+        if result.status is Status.UNKNOWN:
+            # Undecided is not feasible-for-sure; remember why.
+            self._last_report = result.resource_report
+            return False
+        self._last_report = None
+        return result.status is Status.SATISFIED
 
     def _sufficient(self, workload: Workload, query: Term,
                     stats: SynthesisStats):
-        """UNSAT(W ∧ ¬query) ⇒ sufficient.  Returns (ok, counterexample)."""
+        """UNSAT(W ∧ ¬query) ⇒ sufficient.  Returns (ok, counterexample).
+
+        An UNKNOWN answer is treated conservatively as "not proven
+        sufficient" (with ``self._last_report`` set), never as a
+        refutation — so budget exhaustion can only shrink the result,
+        not corrupt it.
+        """
         stats.solver_calls += 1
         encoded = workload.encode(self.machine, self.horizon)
         result = self.backend.find_trace(
             mk_not(query), extra_assumptions=[encoded]
         )
+        if result.status is Status.UNKNOWN:
+            self._last_report = result.resource_report
+            return False, None
+        self._last_report = None
         if result.status is Status.UNSATISFIABLE:
             return True, None
         return False, result.counterexample
@@ -117,6 +155,12 @@ class FPerfBackend:
 
         stats.solver_calls += 1
         witness_result = self.backend.find_trace(query)
+        if witness_result.status is Status.UNKNOWN:
+            stats.elapsed_seconds = time.perf_counter() - t0
+            return SynthesisResult(
+                None, None, stats, complete=False,
+                resource_report=witness_result.resource_report,
+            )
         if witness_result.status is not Status.SATISFIED:
             stats.elapsed_seconds = time.perf_counter() - t0
             return SynthesisResult(None, None, stats)
@@ -125,15 +169,31 @@ class FPerfBackend:
         workload = exact_characterization(witness, self.labels)
         ok, _ = self._sufficient(workload, query, stats)
         if not ok:
+            stats.elapsed_seconds = time.perf_counter() - t0
+            if self._last_report is not None:
+                # Undecided, not refuted: a partial result with the
+                # witness but no proven workload.
+                return SynthesisResult(
+                    None, witness, stats, complete=False,
+                    resource_report=self._last_report,
+                )
             # The exact characterization fixes arrival counts but not
             # e.g. havoc choices; if the query can still fail, no
             # arrival-count workload can be sufficient.
-            stats.elapsed_seconds = time.perf_counter() - t0
             return SynthesisResult(None, witness, stats)
 
-        # Greedily drop atoms while sufficiency holds.
+        # Greedily drop atoms while sufficiency holds.  On budget
+        # exhaustion the best-so-far workload — already proven
+        # sufficient — is returned with ``complete=False``.
         atoms = list(workload.atoms)
         for atom in list(atoms):
+            report = self._budget_report("FPerf generalization loop")
+            if report is not None:
+                stats.elapsed_seconds = time.perf_counter() - t0
+                return SynthesisResult(
+                    Workload(tuple(atoms)), witness, stats,
+                    complete=False, resource_report=report,
+                )
             candidate = Workload(tuple(a for a in atoms if a is not atom))
             stats.candidates_tried += 1
             ok, _ = self._sufficient(candidate, query, stats)
@@ -143,6 +203,13 @@ class FPerfBackend:
 
         if loosen_rates:
             workload = self._fold_rates(workload, query, stats)
+            report = self._budget_report("FPerf rate folding")
+            if report is not None:
+                stats.elapsed_seconds = time.perf_counter() - t0
+                return SynthesisResult(
+                    workload, witness, stats,
+                    complete=False, resource_report=report,
+                )
 
         stats.elapsed_seconds = time.perf_counter() - t0
         return SynthesisResult(workload, witness, stats)
@@ -157,6 +224,8 @@ class FPerfBackend:
                 by_label.setdefault(key, []).append(atom)
         current = workload
         for (label, is_ge), atoms in by_label.items():
+            if self._budget_report("FPerf rate folding") is not None:
+                return current
             if len(atoms) < 2:
                 continue
             start = min(a.step for a in atoms)
@@ -213,6 +282,12 @@ class FPerfBackend:
             for combo in itertools.combinations(atoms, size)
         )
         for workload in itertools.islice(candidates, max_candidates):
+            report = self._budget_report("FPerf enumeration loop")
+            if report is not None:
+                stats.elapsed_seconds = time.perf_counter() - t0
+                return SynthesisResult(
+                    None, None, stats, complete=False, resource_report=report
+                )
             stats.candidates_tried += 1
             # A candidate consistent with a known bad trace cannot be
             # sufficient; skip it without a solver call.

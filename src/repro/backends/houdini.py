@@ -36,8 +36,14 @@ from typing import Callable, Optional, Sequence
 from ..buffers.symbolic import SymbolicList
 from ..compiler.symexec import EncodeConfig, SymbolicMachine
 from ..lang.checker import CheckedProgram
+from ..runtime.budget import (
+    Budget,
+    BudgetExhausted,
+    ExhaustionReason,
+    ResourceReport,
+)
 from ..smt.sat.cdcl import CDCLConfig
-from ..smt.solver import CheckResult, SmtSolver
+from ..smt.solver import CheckResult, SmtSolver, governed_check
 from ..smt.terms import Term, evaluate, free_vars, mk_and, mk_int, mk_le, mk_not
 from .dafny import StateView
 
@@ -57,6 +63,12 @@ class HoudiniResult:
     iterations: int = 0
     solver_calls: int = 0
     elapsed_seconds: float = 0.0
+    # False when the loop stopped on budget exhaustion: the invariant
+    # set is then an over-approximation (not yet proven inductive) and
+    # ``resource_report`` says what ran out.  The same partial result
+    # rides on the raised :class:`BudgetExhausted` as ``exc.partial``.
+    complete: bool = True
+    resource_report: Optional[ResourceReport] = None
 
     def names(self) -> list[str]:
         return [c.name for c in self.invariant]
@@ -153,23 +165,35 @@ class HoudiniSynthesizer:
         sat_config: Optional[CDCLConfig] = None,
         value_range: tuple[int, int] = (-1, 63),
         stat_bound: int = 1 << 10,
+        budget: Optional[Budget] = None,
+        escalation=None,
     ):
         self.checked = checked
         self.config = config or EncodeConfig()
         self.sat_config = sat_config
         self.value_range = value_range
         self.stat_bound = stat_bound
+        self.budget = budget
+        self.escalation = escalation
 
     def synthesize(
         self,
         candidates: Optional[Sequence[Candidate]] = None,
         max_iterations: int = 64,
     ) -> HoudiniResult:
+        """Run the Houdini loop to the maximal inductive subset.
+
+        Raises :class:`BudgetExhausted` when the budget runs out
+        mid-loop; the exception's ``partial`` attribute carries a
+        ``HoudiniResult`` with ``complete=False`` whose invariant set is
+        the surviving (not yet proven inductive) candidates.
+        """
         t0 = time.perf_counter()
         dropped: list[tuple[str, str]] = []
 
         # ---- stage 0: build the one-step transition with pre/post terms.
-        machine = SymbolicMachine(self.checked, self.config)
+        machine = SymbolicMachine(self.checked, self.config,
+                                  budget=self.budget)
         if candidates is None:
             candidates = default_grammar(machine)
         machine.havoc_state(
@@ -177,7 +201,12 @@ class HoudiniSynthesizer:
         )
         pre_view = StateView(machine)
         pre_terms = {c.name: c.build(pre_view) for c in candidates}
-        machine.exec_step()
+        try:
+            machine.exec_step()
+        except BudgetExhausted as exc:
+            raise self._exhausted(
+                exc.report, list(candidates), dropped, 0, 0, t0
+            ) from None
         post_view = StateView(machine)
         post_terms = {c.name: c.build(post_view) for c in candidates}
 
@@ -201,7 +230,10 @@ class HoudiniSynthesizer:
         solver_calls = 0
         while surviving and iterations < max_iterations:
             iterations += 1
-            solver = SmtSolver(sat_config=self.sat_config)
+            solver = SmtSolver(
+                sat_config=self.sat_config,
+                budget=self.budget, escalation=self.escalation,
+            )
             for name, (lo, hi) in machine.bounds.items():
                 solver.set_bounds(name, lo, hi)
             for assumption in machine.assumptions:
@@ -211,11 +243,19 @@ class HoudiniSynthesizer:
                 mk_and(*[post_terms[c.name] for c in surviving])
             ))
             solver_calls += 1
-            result = solver.check()
+            result, report = governed_check(solver)
             if result is CheckResult.UNSAT:
                 break  # inductive!
             if result is CheckResult.UNKNOWN:
-                raise RuntimeError("solver budget exhausted during Houdini")
+                if report is None:
+                    report = ResourceReport(
+                        reason=ExhaustionReason.FAULT,
+                        message="solver returned UNKNOWN during Houdini",
+                    )
+                raise self._exhausted(
+                    report, surviving, dropped,
+                    iterations, solver_calls, t0,
+                )
             model = solver.model()
             still: list[Candidate] = []
             for cand in surviving:
@@ -233,3 +273,24 @@ class HoudiniSynthesizer:
             solver_calls=solver_calls,
             elapsed_seconds=time.perf_counter() - t0,
         )
+
+    def _exhausted(
+        self,
+        report: ResourceReport,
+        surviving: list[Candidate],
+        dropped: list[tuple[str, str]],
+        iterations: int,
+        solver_calls: int,
+        t0: float,
+    ) -> BudgetExhausted:
+        """A typed exhaustion exception carrying the partial result."""
+        partial = HoudiniResult(
+            invariant=list(surviving),
+            dropped=list(dropped),
+            iterations=iterations,
+            solver_calls=solver_calls,
+            elapsed_seconds=time.perf_counter() - t0,
+            complete=False,
+            resource_report=report,
+        )
+        return BudgetExhausted(report, partial=partial)

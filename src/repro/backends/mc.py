@@ -33,9 +33,10 @@ from typing import Callable, Optional
 from ..backends.dafny import StateView
 from ..compiler.symexec import EncodeConfig, SymbolicMachine
 from ..lang.checker import CheckedProgram
+from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
 from ..smt.sat.cdcl import CDCLConfig
 from ..smt.smtlib import term_to_smtlib
-from ..smt.solver import CheckResult, SmtSolver
+from ..smt.solver import CheckResult, SmtSolver, governed_check
 from ..smt.terms import Term, free_vars, mk_and, mk_not
 
 Property = Callable[[StateView], Term]
@@ -55,10 +56,18 @@ class MCResult:
     violation_step: Optional[int] = None
     elapsed_seconds: float = 0.0
     solver_calls: int = 0
+    # BMC under a budget: the deepest step proven violation-free before
+    # the run stopped — the partial result of an exhausted search.
+    safe_until: Optional[int] = None
+    resource_report: Optional[ResourceReport] = None
 
     @property
     def ok(self) -> bool:
         return self.status in (MCStatus.SAFE_BOUNDED, MCStatus.PROVED)
+
+    @property
+    def complete(self) -> bool:
+        return self.status is not MCStatus.UNKNOWN
 
 
 class ModelChecker:
@@ -71,50 +80,79 @@ class ModelChecker:
         sat_config: Optional[CDCLConfig] = None,
         value_range: tuple[int, int] = (-1, 63),
         stat_bound: int = 1 << 10,
+        budget: Optional[Budget] = None,
+        escalation=None,
     ):
         self.checked = checked
         self.config = config or EncodeConfig()
         self.sat_config = sat_config
         self.value_range = value_range
         self.stat_bound = stat_bound
+        self.budget = budget
+        self.escalation = escalation
 
-    def _check(self, machine: SymbolicMachine, formula: Term) -> CheckResult:
-        solver = SmtSolver(sat_config=self.sat_config)
+    def _machine(self) -> SymbolicMachine:
+        return SymbolicMachine(self.checked, self.config, budget=self.budget)
+
+    def _check(
+        self, machine: SymbolicMachine, formula: Term
+    ) -> tuple[CheckResult, Optional[ResourceReport]]:
+        solver = SmtSolver(
+            sat_config=self.sat_config,
+            budget=self.budget, escalation=self.escalation,
+        )
         for name, (lo, hi) in machine.bounds.items():
             solver.set_bounds(name, lo, hi)
         for assumption in machine.assumptions:
             solver.add(assumption)
         solver.add(formula)
-        return solver.check()
+        return governed_check(solver)
 
     # ----- bounded model checking --------------------------------------------
 
     def bmc(self, prop: Property, k: int) -> MCResult:
-        """Search for a property violation within ``k`` steps of init."""
+        """Search for a property violation within ``k`` steps of init.
+
+        Under a budget an exhausted run returns UNKNOWN carrying the
+        deepest step already proven safe (``safe_until``) — a usable
+        partial result — plus the :class:`ResourceReport`.
+        """
         t0 = time.perf_counter()
-        machine = SymbolicMachine(self.checked, self.config)
+        machine = self._machine()
         calls = 0
+        safe_until: Optional[int] = None
         for step in range(k + 1):
             goal = mk_not(prop(StateView(machine)))
             calls += 1
-            result = self._check(machine, goal)
+            result, report = self._check(machine, goal)
             if result is CheckResult.SAT:
                 return MCResult(
                     MCStatus.VIOLATED, k, violation_step=step,
                     elapsed_seconds=time.perf_counter() - t0,
-                    solver_calls=calls,
+                    solver_calls=calls, safe_until=safe_until,
                 )
             if result is CheckResult.UNKNOWN:
                 return MCResult(
                     MCStatus.UNKNOWN, k,
                     elapsed_seconds=time.perf_counter() - t0,
-                    solver_calls=calls,
+                    solver_calls=calls, safe_until=safe_until,
+                    resource_report=report,
                 )
+            safe_until = step
             if step < k:
-                machine.exec_step()
+                try:
+                    machine.exec_step()
+                except BudgetExhausted as exc:
+                    return MCResult(
+                        MCStatus.UNKNOWN, k,
+                        elapsed_seconds=time.perf_counter() - t0,
+                        solver_calls=calls, safe_until=safe_until,
+                        resource_report=exc.report,
+                    )
         return MCResult(
             MCStatus.SAFE_BOUNDED, k,
             elapsed_seconds=time.perf_counter() - t0, solver_calls=calls,
+            safe_until=safe_until,
         )
 
     # ----- k-induction -----------------------------------------------------------
@@ -135,16 +173,23 @@ class ModelChecker:
 
         # Inductive step: havoc a state, assume prop for k consecutive
         # states, check prop after one more step.
-        machine = SymbolicMachine(self.checked, self.config)
+        machine = self._machine()
         machine.havoc_state(
             value_range=self.value_range, stat_bound=self.stat_bound
         )
-        for _ in range(k):
-            machine.assumptions.append(prop(StateView(machine)))
-            machine.exec_step()
+        try:
+            for _ in range(k):
+                machine.assumptions.append(prop(StateView(machine)))
+                machine.exec_step()
+        except BudgetExhausted as exc:
+            return MCResult(
+                MCStatus.UNKNOWN, k,
+                elapsed_seconds=time.perf_counter() - t0,
+                solver_calls=calls, resource_report=exc.report,
+            )
         goal = mk_not(prop(StateView(machine)))
         calls += 1
-        result = self._check(machine, goal)
+        result, report = self._check(machine, goal)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNSAT:
             return MCResult(MCStatus.PROVED, k, elapsed_seconds=elapsed,
@@ -154,7 +199,7 @@ class ModelChecker:
             return MCResult(MCStatus.UNKNOWN, k, elapsed_seconds=elapsed,
                             solver_calls=calls)
         return MCResult(MCStatus.UNKNOWN, k, elapsed_seconds=elapsed,
-                        solver_calls=calls)
+                        solver_calls=calls, resource_report=report)
 
     def prove_with_increasing_k(self, prop: Property,
                                 max_k: int = 4) -> MCResult:
@@ -171,6 +216,8 @@ class ModelChecker:
                 result.solver_calls = calls
                 return result
             last = result
+            if result.resource_report is not None:
+                break  # budget spent: growing k further cannot help
         last.elapsed_seconds = total
         last.solver_calls = calls
         return last

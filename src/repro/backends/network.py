@@ -15,9 +15,10 @@ from ..buffers.packets import Packet
 from ..compiler.composition import Connection, SymbolicNetwork
 from ..compiler.symexec import EncodeConfig
 from ..lang.checker import CheckedProgram
+from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
 from ..smt.model import Model
 from ..smt.sat.cdcl import CDCLConfig
-from ..smt.solver import CheckResult, SmtSolver
+from ..smt.solver import CheckResult, SmtSolver, governed_check
 from ..smt.terms import Term, mk_not, mk_or
 from .smt_backend import CounterexampleTrace, Status, VerificationResult
 
@@ -34,17 +35,29 @@ class NetworkBackend:
         default_config: Optional[EncodeConfig] = None,
         sat_config: Optional[CDCLConfig] = None,
         validate_models: bool = True,
+        budget: Optional[Budget] = None,
+        escalation=None,
     ):
         if horizon <= 0:
             raise ValueError("horizon must be positive")
         self.horizon = horizon
         self.sat_config = sat_config
         self.validate_models = validate_models
+        self.budget = budget
+        self.escalation = escalation
         self.network = SymbolicNetwork(
             programs, connections, configs=configs, default_config=default_config
         )
-        for _ in range(horizon):
-            self.network.exec_step()
+        for machine in self.network.machines.values():
+            machine.budget = budget
+        # As in SmtBackend: exhaustion during unrolling is remembered,
+        # and every later query answers UNKNOWN with this report.
+        self._unroll_report: Optional[ResourceReport] = None
+        try:
+            for _ in range(horizon):
+                self.network.exec_step()
+        except BudgetExhausted as exc:
+            self._unroll_report = exc.report
 
     # ----- query helpers -----------------------------------------------------
 
@@ -67,7 +80,8 @@ class NetworkBackend:
 
     def _solver(self) -> SmtSolver:
         solver = SmtSolver(
-            sat_config=self.sat_config, validate_models=self.validate_models
+            sat_config=self.sat_config, validate_models=self.validate_models,
+            budget=self.budget, escalation=self.escalation,
         )
         for name, (lo, hi) in self.network.bounds.items():
             solver.set_bounds(name, lo, hi)
@@ -75,10 +89,22 @@ class NetworkBackend:
             solver.add(assumption)
         return solver
 
+    def _exhausted_result(
+        self, report: Optional[ResourceReport], elapsed: float,
+        solver: Optional[SmtSolver] = None,
+    ) -> VerificationResult:
+        return VerificationResult(
+            Status.UNKNOWN, self.horizon,
+            solver_stats=solver.stats if solver else None,
+            elapsed_seconds=elapsed, resource_report=report,
+        )
+
     def check_assertions(
         self, extra_assumptions: Sequence[Term] = ()
     ) -> VerificationResult:
         t0 = time.perf_counter()
+        if self._unroll_report is not None:
+            return self._exhausted_result(self._unroll_report, 0.0)
         obligations = self.network.obligations
         if not obligations:
             return VerificationResult(Status.PROVED, self.horizon)
@@ -86,12 +112,10 @@ class NetworkBackend:
         for a in extra_assumptions:
             solver.add(a)
         solver.add(mk_or(*[mk_not(ob.formula) for ob in obligations]))
-        result = solver.check()
+        result, report = governed_check(solver)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNKNOWN:
-            return VerificationResult(Status.UNKNOWN, self.horizon,
-                                      solver_stats=solver.stats,
-                                      elapsed_seconds=elapsed)
+            return self._exhausted_result(report, elapsed, solver)
         if result is CheckResult.UNSAT:
             return VerificationResult(Status.PROVED, self.horizon,
                                       solver_stats=solver.stats,
@@ -110,16 +134,16 @@ class NetworkBackend:
         self, query: Term, extra_assumptions: Sequence[Term] = ()
     ) -> VerificationResult:
         t0 = time.perf_counter()
+        if self._unroll_report is not None:
+            return self._exhausted_result(self._unroll_report, 0.0)
         solver = self._solver()
         for a in extra_assumptions:
             solver.add(a)
         solver.add(query)
-        result = solver.check()
+        result, report = governed_check(solver)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNKNOWN:
-            return VerificationResult(Status.UNKNOWN, self.horizon,
-                                      solver_stats=solver.stats,
-                                      elapsed_seconds=elapsed)
+            return self._exhausted_result(report, elapsed, solver)
         if result is CheckResult.UNSAT:
             return VerificationResult(Status.UNSATISFIABLE, self.horizon,
                                       solver_stats=solver.stats,
@@ -142,6 +166,7 @@ class NetworkBackend:
             counterexample=result.counterexample,
             solver_stats=result.solver_stats,
             elapsed_seconds=result.elapsed_seconds,
+            resource_report=result.resource_report,
         )
 
     # ----- decoding -------------------------------------------------------------------

@@ -28,9 +28,10 @@ from typing import Optional, Sequence
 from ..buffers.packets import Packet
 from ..compiler.symexec import EncodeConfig, Obligation, SymbolicMachine
 from ..lang.checker import CheckedProgram
+from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
 from ..smt.model import Model
 from ..smt.sat.cdcl import CDCLConfig
-from ..smt.solver import CheckResult, SmtSolver, SolverStats
+from ..smt.solver import CheckResult, SmtSolver, SolverStats, governed_check
 from ..smt.terms import TRUE, Term, mk_and, mk_not, mk_or
 
 
@@ -85,10 +86,16 @@ class VerificationResult:
     counterexample: Optional[CounterexampleTrace] = None
     solver_stats: Optional[SolverStats] = None
     elapsed_seconds: float = 0.0
+    resource_report: Optional[ResourceReport] = None
 
     @property
     def ok(self) -> bool:
         return self.status is Status.PROVED
+
+    @property
+    def complete(self) -> bool:
+        """False when the analysis stopped early (budget/fault)."""
+        return self.status is not Status.UNKNOWN
 
 
 class SmtBackend:
@@ -101,6 +108,8 @@ class SmtBackend:
         config: Optional[EncodeConfig] = None,
         sat_config: Optional[CDCLConfig] = None,
         validate_models: bool = True,
+        budget: Optional[Budget] = None,
+        escalation=None,
     ):
         if horizon <= 0:
             raise ValueError("horizon must be positive")
@@ -109,9 +118,17 @@ class SmtBackend:
         self.config = config or EncodeConfig()
         self.sat_config = sat_config
         self.validate_models = validate_models
-        self.machine = SymbolicMachine(checked, self.config)
-        for _ in range(horizon):
-            self.machine.exec_step()
+        self.budget = budget
+        self.escalation = escalation
+        self.machine = SymbolicMachine(checked, self.config, budget=budget)
+        # Budget exhaustion during unrolling is remembered, not raised:
+        # every later query then answers UNKNOWN with this report.
+        self._unroll_report: Optional[ResourceReport] = None
+        try:
+            for _ in range(horizon):
+                self.machine.exec_step()
+        except BudgetExhausted as exc:
+            self._unroll_report = exc.report
 
     # ----- query helpers ----------------------------------------------------
 
@@ -139,7 +156,8 @@ class SmtBackend:
 
     def _solver(self) -> SmtSolver:
         solver = SmtSolver(
-            sat_config=self.sat_config, validate_models=self.validate_models
+            sat_config=self.sat_config, validate_models=self.validate_models,
+            budget=self.budget, escalation=self.escalation,
         )
         for name, (lo, hi) in self.machine.bounds.items():
             solver.set_bounds(name, lo, hi)
@@ -147,11 +165,23 @@ class SmtBackend:
             solver.add(assumption)
         return solver
 
+    def _exhausted_result(
+        self, report: Optional[ResourceReport], elapsed: float,
+        solver: Optional[SmtSolver] = None,
+    ) -> VerificationResult:
+        return VerificationResult(
+            Status.UNKNOWN, self.horizon,
+            solver_stats=solver.stats if solver else None,
+            elapsed_seconds=elapsed, resource_report=report,
+        )
+
     def check_assertions(
         self, extra_assumptions: Sequence[Term] = ()
     ) -> VerificationResult:
         """Do the program's ``assert``s hold on every admissible trace?"""
         t0 = time.perf_counter()
+        if self._unroll_report is not None:
+            return self._exhausted_result(self._unroll_report, 0.0)
         solver = self._solver()
         for a in extra_assumptions:
             solver.add(a)
@@ -159,13 +189,10 @@ class SmtBackend:
         if not obligations:
             return VerificationResult(Status.PROVED, self.horizon)
         solver.add(mk_or(*[mk_not(ob.formula) for ob in obligations]))
-        result = solver.check()
+        result, report = governed_check(solver)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNKNOWN:
-            return VerificationResult(
-                Status.UNKNOWN, self.horizon,
-                solver_stats=solver.stats, elapsed_seconds=elapsed,
-            )
+            return self._exhausted_result(report, elapsed, solver)
         if result is CheckResult.UNSAT:
             return VerificationResult(
                 Status.PROVED, self.horizon,
@@ -189,17 +216,16 @@ class SmtBackend:
     ) -> VerificationResult:
         """Synthesize input traffic satisfying ``query`` (FPerf-style)."""
         t0 = time.perf_counter()
+        if self._unroll_report is not None:
+            return self._exhausted_result(self._unroll_report, 0.0)
         solver = self._solver()
         for a in extra_assumptions:
             solver.add(a)
         solver.add(query)
-        result = solver.check()
+        result, report = governed_check(solver)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNKNOWN:
-            return VerificationResult(
-                Status.UNKNOWN, self.horizon,
-                solver_stats=solver.stats, elapsed_seconds=elapsed,
-            )
+            return self._exhausted_result(report, elapsed, solver)
         if result is CheckResult.UNSAT:
             return VerificationResult(
                 Status.UNSATISFIABLE, self.horizon,
@@ -226,6 +252,7 @@ class SmtBackend:
             counterexample=result.counterexample,
             solver_stats=result.solver_stats,
             elapsed_seconds=result.elapsed_seconds,
+            resource_report=result.resource_report,
         )
 
     # ----- decoding --------------------------------------------------------------------

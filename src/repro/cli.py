@@ -11,6 +11,10 @@ Commands:
 
 Named constants for ``buffer[N]``-style sizes are passed with
 ``-D N=3`` (repeatable).
+
+Exit codes for ``verify``: 0 — all asserts proved; 1 — a counterexample
+was found; 2 — undecided (e.g. an injected fault); 3 — the resource
+budget was exhausted (``--timeout``); 4 — usage/input errors.
 """
 
 from __future__ import annotations
@@ -27,6 +31,13 @@ from .lang.checker import check_program
 from .lang.interp import Interpreter
 from .lang.parser import parse_program
 from .lang.pretty import pretty_program
+from .runtime.budget import Budget, ExhaustionReason
+
+EXIT_PROVED = 0
+EXIT_VIOLATED = 1
+EXIT_UNKNOWN = 2
+EXIT_BUDGET = 3
+EXIT_ERROR = 4
 
 
 def _parse_defines(defines: Sequence[str]) -> dict[str, int]:
@@ -100,16 +111,40 @@ def cmd_run(args) -> int:
     return 0
 
 
+_BUDGET_REASONS = frozenset({
+    ExhaustionReason.DEADLINE,
+    ExhaustionReason.CONFLICTS,
+    ExhaustionReason.MEMORY,
+    ExhaustionReason.SOLVER_CALLS,
+    ExhaustionReason.CANCELLED,
+})
+
+
 def cmd_verify(args) -> int:
     checked = _load(args.file, args.define)
-    backend = SmtBackend(checked, horizon=args.horizon, config=_config(args))
+    budget = None
+    if args.timeout is not None:
+        if args.timeout <= 0:
+            print("error: --timeout must be positive", file=sys.stderr)
+            raise SystemExit(EXIT_ERROR)
+        budget = Budget(deadline_seconds=args.timeout)
+    backend = SmtBackend(
+        checked, horizon=args.horizon, config=_config(args), budget=budget
+    )
     result = backend.check_assertions()
     print(f"{checked.name}: {result.status.value}"
           f" (T={args.horizon}, {result.elapsed_seconds:.2f}s)")
     if result.status is Status.VIOLATED:
         print(result.counterexample.describe())
-        return 1
-    return 0 if result.status is Status.PROVED else 2
+        return EXIT_VIOLATED
+    if result.status is Status.PROVED:
+        return EXIT_PROVED
+    report = result.resource_report
+    if report is not None:
+        print(report.describe())
+        if report.reason in _BUDGET_REASONS:
+            return EXIT_BUDGET
+    return EXIT_UNKNOWN
 
 
 def cmd_smtlib(args) -> int:
@@ -134,8 +169,17 @@ def cmd_loc(args) -> int:
     return 0
 
 
+class _Parser(argparse.ArgumentParser):
+    """Usage errors exit with EXIT_ERROR, not argparse's default 2 —
+    exit code 2 means "undecided" in this CLI's contract."""
+
+    def error(self, message):
+        self.print_usage(sys.stderr)
+        self.exit(EXIT_ERROR, f"{self.prog}: error: {message}\n")
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="Buffy (HotNets '24) reproduction: model and analyze"
                     " network performance",
@@ -155,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--arrivals", type=int, default=2,
                        help="max arrivals per buffer per step (default 2)")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock budget; an exhausted run exits 3"
+                            " with a resource report instead of hanging")
 
     for name, fn, help_text in (
         ("check", cmd_check, "parse and type-check"),
@@ -178,10 +225,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.fn(args)
     except BuffyError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 3
+        return EXIT_ERROR
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 3
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -179,11 +179,16 @@ class SymbolicMachine:
         checked: CheckedProgram,
         config: Optional[EncodeConfig] = None,
         prefix: Optional[str] = None,
+        budget=None,
     ):
         self.checked = checked
         self.program = checked.program
         self.config = config or EncodeConfig()
         self.prefix = prefix if prefix is not None else checked.name
+        # Optional repro.runtime.Budget (duck-typed to avoid an import
+        # cycle): polled at step granularity so deep unrollings honor
+        # wall-clock deadlines and cancellation.
+        self.budget = budget
         self.step = 0
         self.assumptions: list[Term] = []
         self.obligations: list[Obligation] = []
@@ -320,6 +325,11 @@ class SymbolicMachine:
         self, arrivals: Optional[dict[str, list[SymbolicPacket]]] = None
     ) -> StepSnapshot:
         """Flush arrivals, run the body once, snapshot observables."""
+        if self.budget is not None:
+            self.budget.start()
+            self.budget.checkpoint(
+                f"symbolic execution (step {self.step})"
+            )
         if arrivals is None:
             arrivals = self.make_step_arrivals()
         self.flush_arrivals(arrivals)

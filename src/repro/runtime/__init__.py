@@ -1,0 +1,36 @@
+"""Resource governance for the solve path (budgets, portfolios, chaos).
+
+* :mod:`repro.runtime.budget` — :class:`Budget` (deadline / conflict /
+  memory / solver-call caps with cooperative cancellation),
+  :class:`ResourceReport`, and the typed :class:`BudgetExhausted` /
+  :class:`SolverFault` exceptions;
+* :mod:`repro.runtime.portfolio` — :class:`EscalationPolicy`, the
+  retry-with-varied-CDCL-config ladder applied before accepting an
+  UNKNOWN answer;
+* :mod:`repro.runtime.chaos` — seeded fault injection
+  (:func:`inject_faults`) proving every back end degrades cleanly.
+"""
+
+from .budget import (
+    Budget,
+    BudgetExhausted,
+    ExhaustionReason,
+    ResourceReport,
+    SolverFault,
+)
+from .chaos import ChaosConfig, ChaosLog, ChaosMonkey, InjectedFault, inject_faults
+from .portfolio import EscalationPolicy
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "ChaosConfig",
+    "ChaosLog",
+    "ChaosMonkey",
+    "EscalationPolicy",
+    "ExhaustionReason",
+    "InjectedFault",
+    "ResourceReport",
+    "SolverFault",
+    "inject_faults",
+]

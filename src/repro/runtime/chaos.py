@@ -1,0 +1,113 @@
+"""Seeded fault injection for the solver layer.
+
+The degradation contract — *every back end survives any single solver
+call going wrong* — is only trustworthy if tests can make solver calls
+go wrong on demand.  :func:`inject_faults` installs a seeded
+:class:`ChaosMonkey` on :class:`~repro.smt.solver.SmtSolver`; while
+active, each ``check()`` may, with configured probabilities,
+
+* return **UNKNOWN** (with an ``INJECTED`` :class:`ResourceReport`),
+* raise :class:`InjectedFault` (a :class:`SolverFault` back ends must
+  isolate), or
+* sleep for a configured delay first (exercising deadlines).
+
+Determinism: the monkey draws from one ``random.Random(seed)`` stream
+in call order, so a failing schedule replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .budget import SolverFault
+
+
+class InjectedFault(SolverFault):
+    """An exception deliberately injected into a solver call."""
+
+
+@dataclass
+class ChaosConfig:
+    """Per-call fault probabilities (each rolled independently)."""
+
+    seed: int = 0
+    unknown_rate: float = 0.0
+    fault_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.005
+
+
+@dataclass
+class ChaosLog:
+    """What the monkey actually did, for test assertions."""
+
+    calls: int = 0
+    unknowns: int = 0
+    faults: int = 0
+    delays: int = 0
+    schedule: list[str] = field(default_factory=list)
+
+
+class ChaosMonkey:
+    """Decides, per solver call, which fault (if any) to inject."""
+
+    def __init__(self, config: Optional[ChaosConfig] = None, **kwargs):
+        self.config = config or ChaosConfig(**kwargs)
+        self._rng = random.Random(self.config.seed)
+        self.log = ChaosLog()
+
+    def intercept(self) -> Optional[str]:
+        """Called by ``SmtSolver.check()`` on entry.
+
+        May sleep, may raise :class:`InjectedFault`; returns
+        ``"unknown"`` when the call should answer UNKNOWN without
+        solving, else None to proceed normally.
+        """
+        cfg = self.config
+        self.log.calls += 1
+        if cfg.delay_rate and self._rng.random() < cfg.delay_rate:
+            self.log.delays += 1
+            self.log.schedule.append("delay")
+            time.sleep(cfg.delay_seconds)
+        if cfg.fault_rate and self._rng.random() < cfg.fault_rate:
+            self.log.faults += 1
+            self.log.schedule.append("fault")
+            raise InjectedFault(
+                f"injected solver fault (call #{self.log.calls},"
+                f" seed {cfg.seed})"
+            )
+        if cfg.unknown_rate and self._rng.random() < cfg.unknown_rate:
+            self.log.unknowns += 1
+            self.log.schedule.append("unknown")
+            return "unknown"
+        self.log.schedule.append("ok")
+        return None
+
+
+@contextmanager
+def inject_faults(
+    config: Optional[ChaosConfig] = None, **kwargs
+) -> Iterator[ChaosMonkey]:
+    """Install a :class:`ChaosMonkey` on every ``SmtSolver`` in scope.
+
+    Usage::
+
+        with inject_faults(seed=7, unknown_rate=0.3) as monkey:
+            report = DafnyBackend(prog).verify_monolithic(3)
+        assert monkey.log.unknowns >= 1
+    """
+    # Imported lazily: repro.smt.solver imports this package's budget
+    # module, so a top-level import here would be circular.
+    from ..smt import solver as solver_mod
+
+    monkey = ChaosMonkey(config, **kwargs)
+    previous = solver_mod.SmtSolver._chaos
+    solver_mod.SmtSolver._chaos = monkey
+    try:
+        yield monkey
+    finally:
+        solver_mod.SmtSolver._chaos = previous

@@ -1,0 +1,64 @@
+"""Retry-with-escalation portfolio policy for UNKNOWN solver answers.
+
+When a query exhausts its *per-call* conflict cap, giving up outright
+wastes what the budget still allows.  The portfolio re-runs the query
+(on the already bit-blasted CNF) with a **varied CDCL configuration** —
+restarts toggled, VSIDS decay changed, phase saving flipped — and a
+geometrically larger conflict slice, the standard algorithm-portfolio
+move solvers like Z3 apply before reporting unknown.  A *hard* budget
+exhaustion (deadline, cumulative conflict cap, cancellation) is never
+retried: the overall budget always wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..smt.sat.cdcl import CDCLConfig
+
+
+@dataclass(frozen=True)
+class EscalationPolicy:
+    """How far, and how, to escalate before accepting UNKNOWN.
+
+    ``max_attempts`` counts every run including the first; the ladder
+    therefore yields ``max_attempts - 1`` variant configurations.
+    ``conflict_growth`` scales the per-call conflict cap each retry.
+    """
+
+    max_attempts: int = 3
+    conflict_growth: float = 2.0
+
+    def ladder(self, base: Optional[CDCLConfig]) -> list[CDCLConfig]:
+        """Variant configurations for retries, in escalation order."""
+        base = base or CDCLConfig()
+        variants: list[CDCLConfig] = []
+        for i in range(max(0, self.max_attempts - 1)):
+            cfg = self._vary(base, i)
+            if base.max_conflicts is not None:
+                cfg = replace(
+                    cfg,
+                    max_conflicts=max(
+                        1,
+                        int(base.max_conflicts * self.conflict_growth ** (i + 1)),
+                    ),
+                )
+            variants.append(cfg)
+        return variants
+
+    @staticmethod
+    def _vary(base: CDCLConfig, step: int) -> CDCLConfig:
+        # Cycle through orthogonal heuristic flips so consecutive
+        # attempts explore genuinely different search trajectories.
+        kind = step % 3
+        if kind == 0:
+            return replace(base, use_restarts=not base.use_restarts)
+        if kind == 1:
+            decay = 0.999 if base.var_decay < 0.99 else 0.85
+            return replace(
+                base,
+                var_decay=decay,
+                use_phase_saving=not base.use_phase_saving,
+            )
+        return replace(base, restart_base=max(1, base.restart_base * 4))

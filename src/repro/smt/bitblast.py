@@ -18,12 +18,15 @@ decoding SAT models back into integer/boolean assignments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from .cnf import CNF
 from .intervals import BoundsEnv, Interval, infer_intervals
 from .sorts import BOOL, INT
 from .terms import Op, Term, iter_dag
+
+if TYPE_CHECKING:  # Budget stays duck-typed to avoid an import cycle
+    from ..runtime.budget import Budget
 
 
 @dataclass
@@ -63,9 +66,11 @@ def decode_twos_complement(bits: Sequence[bool]) -> int:
 class BitBlaster:
     """Translates hash-consed terms into CNF with Tseitin gates."""
 
-    def __init__(self, cnf: Optional[CNF] = None, bounds: Optional[BoundsEnv] = None):
+    def __init__(self, cnf: Optional[CNF] = None, bounds: Optional[BoundsEnv] = None,
+                 budget: Optional["Budget"] = None):
         self.cnf = cnf or CNF()
         self.bounds = bounds or BoundsEnv()
+        self.budget = budget
         self.varmap = VarMap()
         # The constant-true literal: lets constant bits be plain literals.
         self._true = self.cnf.new_var()
@@ -74,6 +79,7 @@ class BitBlaster:
         self._bits_cache: dict[int, list[int]] = {}  # id(term) -> LSB-first lits
         self._gate_cache: dict[tuple, int] = {}
         self._intervals: dict[int, Interval] = {}
+        self._lits_since_check = 0
 
     # ----- public API -------------------------------------------------------
 
@@ -89,7 +95,9 @@ class BitBlaster:
         """Bit-blast ``formula`` and assert it as a unit clause."""
         if formula.sort is not BOOL:
             raise TypeError("can only assert Bool terms")
-        self._intervals.update(infer_intervals(formula, self.bounds))
+        self._intervals.update(
+            infer_intervals(formula, self.bounds, budget=self.budget)
+        )
         lit = self._blast_bool(formula)
         self.cnf.add_clause([lit])
 
@@ -103,6 +111,12 @@ class BitBlaster:
     # ----- gate constructors --------------------------------------------------
 
     def _new_lit(self) -> int:
+        # Safepoint: gate construction is where encoding time goes, so a
+        # deadline is honored within a few thousand gates.
+        self._lits_since_check += 1
+        if self.budget is not None and self._lits_since_check >= 2048:
+            self._lits_since_check = 0
+            self.budget.checkpoint("bit-blasting")
         return self.cnf.new_var()
 
     def _gate_and(self, lits: Sequence[int]) -> int:

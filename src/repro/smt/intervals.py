@@ -100,10 +100,20 @@ class BoundsEnv:
         return BoundsEnv(self._bounds, self.default)
 
 
-def infer_intervals(root: Term, env: BoundsEnv) -> dict[int, Interval]:
-    """Map ``id(node) -> Interval`` for every INT node under ``root``."""
+def infer_intervals(root: Term, env: BoundsEnv,
+                    budget=None) -> dict[int, Interval]:
+    """Map ``id(node) -> Interval`` for every INT node under ``root``.
+
+    ``budget`` (a :class:`repro.runtime.budget.Budget`, duck-typed) is
+    polled periodically so inference over huge unrolled DAGs respects a
+    wall-clock deadline.
+    """
     out: dict[int, Interval] = {}
+    visited = 0
     for node in iter_dag(root):
+        visited += 1
+        if budget is not None and (visited & 0x1FFF) == 0x1FFF:
+            budget.checkpoint("interval inference")
         if node.sort is not INT:
             continue
         out[id(node)] = _node_interval(node, out, env)

@@ -20,9 +20,12 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..cnf import CNF
+
+if TYPE_CHECKING:  # avoid a runtime ↔ smt import cycle; Budget is duck-typed
+    from ...runtime.budget import Budget, ResourceReport
 
 
 class SatResult(enum.Enum):
@@ -98,8 +101,14 @@ class CDCLSolver:
             model = solver.model()   # model[v] in {True, False}, 1-indexed
     """
 
-    def __init__(self, num_vars: int = 0, config: Optional[CDCLConfig] = None):
+    def __init__(self, num_vars: int = 0, config: Optional[CDCLConfig] = None,
+                 budget: Optional["Budget"] = None):
         self.config = config or CDCLConfig()
+        self.budget = budget
+        # Populated when solve() answers UNKNOWN: a ResourceReport when a
+        # Budget ran out, None when only the per-call conflict cap hit
+        # (the retryable case the escalation portfolio targets).
+        self.exhaust_report: Optional["ResourceReport"] = None
         self.stats = SatStats()
         self.num_vars = 0
         # Per-variable state (1-indexed; slot 0 unused).
@@ -187,7 +196,9 @@ class CDCLSolver:
 
     def add_cnf(self, cnf: CNF) -> bool:
         self._ensure_vars(cnf.num_vars)
-        for clause in cnf.clauses:
+        for i, clause in enumerate(cnf.clauses):
+            if self.budget is not None and (i & 0xFFF) == 0xFFF:
+                self.budget.checkpoint("loading CNF into CDCL")
             if not self.add_clause(clause):
                 return False
         return True
@@ -436,8 +447,18 @@ class CDCLSolver:
 
     # ----- main search -----------------------------------------------------------
 
-    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
-        """Search for a model, optionally under assumption literals."""
+    def solve(self, assumptions: Sequence[int] = (),
+              budget: Optional["Budget"] = None) -> SatResult:
+        """Search for a model, optionally under assumption literals.
+
+        With a ``budget``, the search loop polls it at every conflict
+        (and periodically between decisions) and answers UNKNOWN with
+        :attr:`exhaust_report` populated when it runs out — cooperative
+        cancellation, so no formula can hang the caller.
+        """
+        if budget is None:
+            budget = self.budget
+        self.exhaust_report = None
         self._conflict_assumptions = []
         if not self._ok:
             return SatResult.UNSAT
@@ -445,6 +466,7 @@ class CDCLSolver:
         if self._propagate() is not None:
             self._ok = False
             return SatResult.UNSAT
+        decisions_since_check = 0
 
         restart_count = 0
         conflicts_until_restart = (
@@ -460,6 +482,8 @@ class CDCLSolver:
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
+                if budget is not None:
+                    budget.charge_conflicts(1)
                 if not self._trail_lim:
                     self._ok = False
                     return SatResult.UNSAT
@@ -473,9 +497,18 @@ class CDCLSolver:
                     self._attach(clause)
                     self._bump_clause(clause)
                     self.stats.learned += 1
+                    if budget is not None:
+                        budget.charge_learned(1)
                     self._enqueue(learnt[0], clause)
                 self._decay_var()
                 self._decay_clause()
+                if budget is not None:
+                    reason = budget.exhausted()
+                    if reason is not None:
+                        self.exhaust_report = budget.report(
+                            reason, "CDCL search (conflict safepoint)"
+                        )
+                        return SatResult.UNKNOWN
                 if (
                     self.config.max_conflicts is not None
                     and self.stats.conflicts >= self.config.max_conflicts
@@ -518,6 +551,16 @@ class CDCLSolver:
                 if next_lit is None:
                     return SatResult.SAT
                 self.stats.decisions += 1
+                # Deadline safepoint for conflict-free stretches of search.
+                decisions_since_check += 1
+                if budget is not None and decisions_since_check >= 256:
+                    decisions_since_check = 0
+                    reason = budget.exhausted()
+                    if reason is not None:
+                        self.exhaust_report = budget.report(
+                            reason, "CDCL search (decision safepoint)"
+                        )
+                        return SatResult.UNKNOWN
             self._trail_lim.append(len(self._trail))
             self._enqueue(next_lit, None)
 
@@ -554,10 +597,11 @@ class CDCLSolver:
 
 
 def solve_cnf(
-    cnf: CNF, config: Optional[CDCLConfig] = None
+    cnf: CNF, config: Optional[CDCLConfig] = None,
+    budget: Optional["Budget"] = None,
 ) -> tuple[SatResult, Optional[list[bool]], SatStats]:
     """One-shot convenience wrapper: solve a CNF and return (result, model, stats)."""
-    solver = CDCLSolver(cnf.num_vars, config)
+    solver = CDCLSolver(cnf.num_vars, config, budget=budget)
     if not solver.add_cnf(cnf):
         return SatResult.UNSAT, None, solver.stats
     result = solver.solve()

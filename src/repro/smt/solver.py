@@ -13,6 +13,14 @@ Example::
     solver.add(x * x <= mk_int(16), x >= mk_int(3))
     assert solver.check() is CheckResult.SAT
     assert solver.model()[x] in (3, 4)
+
+Resource governance: construct with a :class:`repro.runtime.Budget`
+and every phase of ``check()`` — encoding and search — becomes
+cancellable; an exhausted run answers :attr:`CheckResult.UNKNOWN` with
+:attr:`SmtSolver.last_report` populated instead of hanging or raising.
+An optional :class:`repro.runtime.EscalationPolicy` retries retryable
+UNKNOWNs (per-call conflict caps) with varied CDCL configurations
+before giving up.
 """
 
 from __future__ import annotations
@@ -20,14 +28,25 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
+from ..runtime.budget import (
+    Budget,
+    BudgetExhausted,
+    ExhaustionReason,
+    ResourceReport,
+    SolverFault,
+)
 from .bitblast import BitBlaster
 from .intervals import BoundsEnv, Interval
 from .model import Model
 from .sat.cdcl import CDCLConfig, CDCLSolver, SatResult, SatStats
 from .sorts import BOOL
 from .terms import TRUE, Term, evaluate, free_vars, mk_and
+
+if TYPE_CHECKING:
+    from ..runtime.chaos import ChaosMonkey
+    from ..runtime.portfolio import EscalationPolicy
 
 
 class CheckResult(enum.Enum):
@@ -49,11 +68,15 @@ class SolverStats:
     solve_seconds: float = 0.0
     cnf_vars: int = 0
     cnf_clauses: int = 0
+    attempts: int = 1
     sat: SatStats = field(default_factory=SatStats)
 
 
 class SmtSolver:
     """SMT solver for quantifier-free bounded-integer/boolean formulas."""
+
+    # Installed by repro.runtime.chaos.inject_faults for fault testing.
+    _chaos: Optional["ChaosMonkey"] = None
 
     def __init__(
         self,
@@ -61,13 +84,19 @@ class SmtSolver:
         default_bounds: Interval = Interval(-(1 << 15), (1 << 15) - 1),
         validate_models: bool = True,
         simplify_terms: bool = False,
+        budget: Optional[Budget] = None,
+        escalation: Optional["EscalationPolicy"] = None,
     ):
         self.sat_config = sat_config
         self.validate_models = validate_models
         self.simplify_terms = simplify_terms
+        self.budget = budget
+        self.escalation = escalation
         self._bounds = BoundsEnv(default=default_bounds)
         self._stack: list[list[Term]] = [[]]
         self._model: Optional[Model] = None
+        self._last_result: Optional[CheckResult] = None
+        self.last_report: Optional[ResourceReport] = None
         self.stats = SolverStats()
 
     # ----- assertions -------------------------------------------------------
@@ -104,8 +133,16 @@ class SmtSolver:
     # ----- solving ---------------------------------------------------------------
 
     def check(self, *assumptions: Term) -> CheckResult:
-        """Decide satisfiability of the asserted formulas (+ assumptions)."""
+        """Decide satisfiability of the asserted formulas (+ assumptions).
+
+        Never hangs under a budget: the encode and search phases poll it
+        cooperatively, and exhaustion yields UNKNOWN with
+        :attr:`last_report` describing the spend.  Timing stats are
+        recorded even for exhausted runs.
+        """
         self._model = None
+        self._last_result = None
+        self.last_report = None
         formulas = self.assertions() + [
             a for a in assumptions if a is not TRUE
         ]
@@ -113,20 +150,56 @@ class SmtSolver:
             if a.sort is not BOOL:
                 raise TypeError("assumptions must be Bool terms")
 
+        if self.budget is not None:
+            self.budget.start()
+            self.budget.charge_solver_call()
+            reason = self.budget.exhausted()
+            if reason is not None:
+                return self._exhausted(
+                    self.budget.report(reason, "refused before encoding"),
+                    SolverStats(),
+                )
+
+        monkey = type(self)._chaos
+        if monkey is not None:
+            # May sleep or raise InjectedFault; "unknown" short-circuits.
+            if monkey.intercept() == "unknown":
+                report = ResourceReport(
+                    reason=ExhaustionReason.INJECTED,
+                    message="chaos harness injected UNKNOWN",
+                )
+                return self._exhausted(report, SolverStats())
+            # An injected delay may have consumed the deadline.
+            if self.budget is not None:
+                reason = self.budget.exhausted()
+                if reason is not None:
+                    return self._exhausted(
+                        self.budget.report(reason, "refused before encoding"),
+                        SolverStats(),
+                    )
+
         t0 = time.perf_counter()
         original_formulas = formulas
         if self.simplify_terms:
             from .simplify import simplify
 
             formulas = [simplify(f) for f in formulas]
-        blaster = BitBlaster(bounds=self._bounds)
-        for f in formulas:
-            blaster.assert_formula(f)
+        blaster = BitBlaster(bounds=self._bounds, budget=self.budget)
+        try:
+            for f in formulas:
+                blaster.assert_formula(f)
+        except BudgetExhausted as exc:
+            return self._exhausted(
+                exc.report,
+                SolverStats(
+                    encode_seconds=time.perf_counter() - t0,
+                    cnf_vars=blaster.cnf.num_vars,
+                    cnf_clauses=len(blaster.cnf.clauses),
+                ),
+            )
         t1 = time.perf_counter()
 
-        sat = CDCLSolver(blaster.cnf.num_vars, self.sat_config)
-        ok = sat.add_cnf(blaster.cnf)
-        result = sat.solve() if ok else SatResult.UNSAT
+        result, sat, attempts = self._solve_with_escalation(blaster)
         t2 = time.perf_counter()
 
         self.stats = SolverStats(
@@ -134,12 +207,16 @@ class SmtSolver:
             solve_seconds=t2 - t1,
             cnf_vars=blaster.cnf.num_vars,
             cnf_clauses=len(blaster.cnf.clauses),
+            attempts=attempts,
             sat=sat.stats,
         )
 
         if result is SatResult.UNKNOWN:
+            self._last_result = CheckResult.UNKNOWN
+            self.last_report = self._unknown_report(sat, attempts)
             return CheckResult.UNKNOWN
         if result is SatResult.UNSAT:
+            self._last_result = CheckResult.UNSAT
             return CheckResult.UNSAT
 
         assignment = blaster.varmap.decode(sat.model())
@@ -149,7 +226,64 @@ class SmtSolver:
             # simplifier preserved semantics on this model.
             self._validate(original_formulas, model)
         self._model = model
+        self._last_result = CheckResult.SAT
         return CheckResult.SAT
+
+    def _solve_with_escalation(
+        self, blaster: BitBlaster
+    ) -> tuple[SatResult, CDCLSolver, int]:
+        """Run CDCL, re-running retryable UNKNOWNs per the portfolio.
+
+        Only a per-call conflict-cap UNKNOWN is retried (with a varied
+        configuration on the same CNF); a hard budget exhaustion —
+        deadline, cumulative caps, cancellation — always stops the
+        ladder immediately.
+        """
+        configs: list[Optional[CDCLConfig]] = [self.sat_config]
+        if self.escalation is not None:
+            configs.extend(self.escalation.ladder(self.sat_config))
+        attempts = 0
+        result = SatResult.UNKNOWN
+        sat = CDCLSolver(0)
+        for config in configs:
+            attempts += 1
+            sat = CDCLSolver(blaster.cnf.num_vars, config, budget=self.budget)
+            try:
+                ok = sat.add_cnf(blaster.cnf)
+            except BudgetExhausted as exc:
+                sat.exhaust_report = exc.report
+                return SatResult.UNKNOWN, sat, attempts
+            result = sat.solve(budget=self.budget) if ok else SatResult.UNSAT
+            if result is not SatResult.UNKNOWN:
+                break
+            if sat.exhaust_report is not None:
+                break  # hard budget exhaustion: escalating would be futile
+        return result, sat, attempts
+
+    def _unknown_report(self, sat: CDCLSolver, attempts: int) -> ResourceReport:
+        if sat.exhaust_report is not None:
+            report = sat.exhaust_report
+            report.attempts = attempts
+            return report
+        # Per-call conflict cap (CDCLConfig.max_conflicts), no Budget.
+        max_conflicts = (
+            self.sat_config.max_conflicts if self.sat_config else None
+        )
+        return ResourceReport(
+            reason=ExhaustionReason.CONFLICTS,
+            message="per-call conflict cap (CDCLConfig.max_conflicts)",
+            conflicts=sat.stats.conflicts,
+            max_conflicts=max_conflicts,
+            solver_calls=self.budget.solver_calls if self.budget else 1,
+            attempts=attempts,
+        )
+
+    def _exhausted(self, report: ResourceReport,
+                   stats: SolverStats) -> CheckResult:
+        self.stats = stats
+        self.last_report = report
+        self._last_result = CheckResult.UNKNOWN
+        return CheckResult.UNKNOWN
 
     def _validate(self, formulas: Sequence[Term], model: Model) -> None:
         """Cross-check the decoded model against the original terms.
@@ -165,8 +299,38 @@ class SmtSolver:
 
     def model(self) -> Model:
         if self._model is None:
+            if self._last_result is CheckResult.UNKNOWN:
+                why = (
+                    f": {self.last_report.reason.value}"
+                    if self.last_report is not None else ""
+                )
+                raise RuntimeError(
+                    "model() is unavailable: the last check() returned"
+                    f" UNKNOWN{why}; no (stale) model is retained"
+                )
             raise RuntimeError("model() is only available after a SAT check()")
         return self._model
+
+
+def governed_check(
+    solver: SmtSolver, *assumptions: Term
+) -> tuple[CheckResult, Optional[ResourceReport]]:
+    """``solver.check()`` with solver faults degraded to UNKNOWN.
+
+    The back ends' failure-isolation primitive: a budget exhaustion or
+    an (injected) :class:`SolverFault` becomes ``(UNKNOWN, report)`` for
+    this one query instead of aborting the whole analysis.  Genuine
+    bugs (any other exception) still propagate.
+    """
+    try:
+        result = solver.check(*assumptions)
+    except BudgetExhausted as exc:
+        return CheckResult.UNKNOWN, exc.report
+    except SolverFault as exc:
+        return CheckResult.UNKNOWN, ResourceReport(
+            reason=ExhaustionReason.FAULT, message=str(exc)
+        )
+    return result, solver.last_report
 
 
 def is_satisfiable(formula: Term, bounds: Optional[dict[str, tuple[int, int]]] = None,

@@ -1,0 +1,106 @@
+"""Tests for the seeded fault-injection harness (repro.runtime.chaos)."""
+
+import pytest
+
+from repro.runtime import (
+    ChaosConfig,
+    ChaosMonkey,
+    ExhaustionReason,
+    InjectedFault,
+    SolverFault,
+    inject_faults,
+)
+from repro.smt.solver import CheckResult, SmtSolver, governed_check
+from repro.smt.terms import mk_int, mk_int_var, mk_le
+
+
+def _solver_with_simple_formula():
+    solver = SmtSolver()
+    x = mk_int_var("x")
+    solver.set_bounds("x", 0, 10)
+    solver.add(mk_le(mk_int(3), x))
+    return solver
+
+
+class TestChaosMonkey:
+    def test_deterministic_schedule_by_seed(self):
+        def run(seed):
+            monkey = ChaosMonkey(ChaosConfig(seed=seed, unknown_rate=0.5))
+            out = []
+            for _ in range(32):
+                out.append(monkey.intercept())
+            return out
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)  # overwhelmingly likely for 32 draws
+
+    def test_rates_zero_is_transparent(self):
+        monkey = ChaosMonkey(ChaosConfig(seed=0))
+        assert all(monkey.intercept() is None for _ in range(16))
+        assert monkey.log.schedule == ["ok"] * 16
+
+    def test_fault_raises_injected_fault(self):
+        monkey = ChaosMonkey(ChaosConfig(seed=0, fault_rate=1.0))
+        with pytest.raises(InjectedFault):
+            monkey.intercept()
+        assert monkey.log.faults == 1
+
+    def test_injected_fault_is_a_solver_fault(self):
+        assert issubclass(InjectedFault, SolverFault)
+
+
+class TestInjectFaults:
+    def test_installs_and_restores(self):
+        assert SmtSolver._chaos is None
+        with inject_faults(seed=1, unknown_rate=1.0) as monkey:
+            assert SmtSolver._chaos is monkey
+        assert SmtSolver._chaos is None
+
+    def test_restores_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with inject_faults(seed=1):
+                raise RuntimeError("boom")
+        assert SmtSolver._chaos is None
+
+    def test_injected_unknown_has_report(self):
+        solver = _solver_with_simple_formula()
+        with inject_faults(seed=3, unknown_rate=1.0) as monkey:
+            result = solver.check()
+        assert result is CheckResult.UNKNOWN
+        assert solver.last_report.reason is ExhaustionReason.INJECTED
+        assert monkey.log.unknowns == 1
+        with pytest.raises(RuntimeError, match="UNKNOWN"):
+            solver.model()
+
+    def test_injected_fault_propagates_from_raw_check(self):
+        solver = _solver_with_simple_formula()
+        with inject_faults(seed=3, fault_rate=1.0):
+            with pytest.raises(InjectedFault):
+                solver.check()
+
+    def test_governed_check_isolates_fault(self):
+        solver = _solver_with_simple_formula()
+        with inject_faults(seed=3, fault_rate=1.0):
+            result, report = governed_check(solver)
+        assert result is CheckResult.UNKNOWN
+        assert report.reason is ExhaustionReason.FAULT
+        assert "injected solver fault" in report.message
+
+    def test_solving_resumes_after_scope(self):
+        solver = _solver_with_simple_formula()
+        with inject_faults(seed=3, unknown_rate=1.0):
+            assert solver.check() is CheckResult.UNKNOWN
+        assert solver.check() is CheckResult.SAT
+        assert int(solver.model()[mk_int_var("x")]) >= 3
+
+    def test_delay_injection_trips_deadline(self):
+        from repro.runtime import Budget
+
+        solver = _solver_with_simple_formula()
+        solver.budget = Budget(deadline_seconds=0.01)
+        with inject_faults(seed=3, delay_rate=1.0, delay_seconds=0.05):
+            result = solver.check()
+        # The injected sleep consumed the whole deadline: the encode
+        # safepoints must stop the run with a DEADLINE report.
+        assert result is CheckResult.UNKNOWN
+        assert solver.last_report.reason is ExhaustionReason.DEADLINE

@@ -37,7 +37,7 @@ class TestCli:
     def test_check_bad_program(self, tmp_path, capsys):
         path = tmp_path / "bad.buffy"
         path.write_text("p(in buffer ib, out buffer ob){ x = 1; }")
-        assert main(["check", str(path)]) == 3
+        assert main(["check", str(path)]) == 4
         assert "error" in capsys.readouterr().err
 
     def test_pretty_round_trips(self, prio_file, capsys, tmp_path):
@@ -79,11 +79,48 @@ class TestCli:
         assert "Fair-Queue" in capsys.readouterr().out
 
     def test_missing_file(self, capsys):
-        assert main(["check", "/nonexistent.buffy"]) == 3
+        assert main(["check", "/nonexistent.buffy"]) == 4
 
     def test_bad_define(self, prio_file):
         with pytest.raises(SystemExit):
             main(["check", prio_file, "-D", "N"])
+
+    def test_verify_generous_timeout_still_proves(self, asserting_file, capsys):
+        assert main(["verify", asserting_file, "-D", "LIMIT=4",
+                     "--horizon", "3", "--timeout", "600"]) == 0
+        assert "proved" in capsys.readouterr().out
+
+    def test_verify_tiny_timeout_exits_3_with_report(self, asserting_file,
+                                                     capsys):
+        # 1 microsecond: the deadline passes during encoding, so the
+        # run must stop early, exit 3, and print the resource report.
+        assert main(["verify", asserting_file, "-D", "LIMIT=2",
+                     "--horizon", "4", "--timeout", "1e-6"]) == 3
+        out = capsys.readouterr().out
+        assert "unknown" in out
+        assert "resource budget exhausted: deadline" in out
+
+    def test_verify_injected_unknown_exits_2(self, asserting_file, capsys):
+        from repro.runtime import ChaosConfig, inject_faults
+
+        with inject_faults(ChaosConfig(seed=1, unknown_rate=1.0)):
+            code = main(["verify", asserting_file, "-D", "LIMIT=2",
+                         "--horizon", "3"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "resource budget exhausted: injected" in out
+
+    def test_verify_rejects_nonpositive_timeout(self, asserting_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", asserting_file, "-D", "LIMIT=2",
+                  "--timeout", "0"])
+        assert excinfo.value.code == 4  # usage error, not "violated"
+
+    def test_usage_errors_exit_4_not_2(self, asserting_file):
+        # argparse's stock exit code (2) would collide with "undecided".
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", asserting_file, "--timeout", "banana"])
+        assert excinfo.value.code == 4
 
 
 class TestShippedModel:

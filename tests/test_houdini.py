@@ -99,3 +99,36 @@ class TestSynthesis:
         mc = ModelChecker(strict_priority(2), config=CONFIG)
         result = mc.k_induction(invariant, k=1)
         assert result.status is MCStatus.PROVED
+
+
+class TestBudgetExhaustion:
+    """An exhausted budget raises typed BudgetExhausted, not RuntimeError,
+    and the exception carries the partial (surviving) invariant set."""
+
+    def test_typed_exception_with_partial_result(self):
+        from repro.runtime import Budget, BudgetExhausted
+
+        houdini = HoudiniSynthesizer(
+            strict_priority(2), config=CONFIG,
+            budget=Budget(max_conflicts=10),
+        )
+        with pytest.raises(BudgetExhausted) as excinfo:
+            houdini.synthesize()
+        exc = excinfo.value
+        assert not isinstance(exc, AssertionError)
+        assert exc.report is not None
+        partial = exc.partial
+        assert partial is not None
+        assert not partial.complete
+        assert partial.resource_report is exc.report
+        # The partial set is the not-yet-refuted candidates: it still
+        # contains every candidate a full run would keep.
+        full = HoudiniSynthesizer(strict_priority(2), config=CONFIG)
+        kept = set(full.synthesize().names())
+        assert kept <= set(partial.names())
+
+    def test_completed_run_is_marked_complete(self):
+        houdini = HoudiniSynthesizer(strict_priority(2), config=CONFIG)
+        result = houdini.synthesize()
+        assert result.complete
+        assert result.resource_report is None

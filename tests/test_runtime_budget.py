@@ -1,0 +1,162 @@
+"""Tests for the resource-governance core (repro.runtime)."""
+
+import pytest
+
+from repro.runtime import (
+    Budget,
+    BudgetExhausted,
+    EscalationPolicy,
+    ExhaustionReason,
+    ResourceReport,
+)
+from repro.smt.sat.cdcl import CDCLConfig
+
+
+class FakeClock:
+    """A controllable monotonic clock for deadline tests."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBudget:
+    def test_unlimited_budget_never_exhausts(self):
+        budget = Budget()
+        budget.start()
+        budget.charge_conflicts(10**6)
+        budget.charge_learned(10**6)
+        assert budget.exhausted() is None
+        budget.checkpoint("anywhere")  # must not raise
+
+    def test_deadline_only_ticks_after_start(self):
+        clock = FakeClock()
+        budget = Budget(deadline_seconds=1.0, clock=clock)
+        clock.advance(100)
+        assert budget.exhausted() is None  # not started: clock irrelevant
+        budget.start()
+        assert budget.exhausted() is None
+        clock.advance(1.5)
+        assert budget.exhausted() is ExhaustionReason.DEADLINE
+
+    def test_start_is_idempotent(self):
+        clock = FakeClock()
+        budget = Budget(deadline_seconds=10.0, clock=clock)
+        budget.start()
+        clock.advance(5)
+        budget.start()  # must not reset the wall clock
+        assert budget.elapsed_seconds() == pytest.approx(5.0)
+        assert budget.remaining_seconds() == pytest.approx(5.0)
+
+    def test_conflict_cap(self):
+        budget = Budget(max_conflicts=10)
+        budget.charge_conflicts(9)
+        assert budget.exhausted() is None
+        budget.charge_conflicts(1)
+        assert budget.exhausted() is ExhaustionReason.CONFLICTS
+
+    def test_learned_clause_cap_is_memory(self):
+        budget = Budget(max_learned_clauses=4)
+        budget.charge_learned(4)
+        assert budget.exhausted() is ExhaustionReason.MEMORY
+
+    def test_solver_call_cap_allows_nth_call(self):
+        budget = Budget(max_solver_calls=2)
+        budget.charge_solver_call()
+        budget.charge_solver_call()
+        assert budget.exhausted() is None  # the Nth call may still run
+        budget.charge_solver_call()
+        assert budget.exhausted() is ExhaustionReason.SOLVER_CALLS
+
+    def test_cancel_wins_over_everything(self):
+        budget = Budget(max_conflicts=10)
+        budget.cancel()
+        assert budget.exhausted() is ExhaustionReason.CANCELLED
+
+    def test_checkpoint_raises_with_report(self):
+        budget = Budget(max_conflicts=1)
+        budget.charge_conflicts(1)
+        with pytest.raises(BudgetExhausted) as excinfo:
+            budget.checkpoint("unit test")
+        report = excinfo.value.report
+        assert report.reason is ExhaustionReason.CONFLICTS
+        assert report.message == "unit test"
+        assert report.conflicts == 1
+        assert report.max_conflicts == 1
+
+    def test_report_snapshot_and_describe(self):
+        clock = FakeClock()
+        budget = Budget(deadline_seconds=2.0, max_conflicts=100, clock=clock)
+        budget.start()
+        clock.advance(2.5)
+        budget.charge_conflicts(7)
+        report = budget.report(ExhaustionReason.DEADLINE, "during test")
+        text = report.describe()
+        assert "resource budget exhausted: deadline" in text
+        assert "during test" in text
+        assert "conflicts: 7 of 100" in text
+        assert "2.50s of 2s" in text
+
+    def test_describe_unbounded_caps(self):
+        report = ResourceReport(reason=ExhaustionReason.CANCELLED)
+        text = report.describe()
+        assert "of unbounded" in text
+        assert "unbounded s" not in text and "unboundeds" not in text
+
+
+class TestBudgetNesting:
+    def test_slice_spend_propagates_to_parent(self):
+        parent = Budget(max_conflicts=10)
+        child = parent.slice(max_conflicts=100)
+        child.charge_conflicts(10)
+        assert child.exhausted() is ExhaustionReason.CONFLICTS  # via parent
+        assert parent.exhausted() is ExhaustionReason.CONFLICTS
+
+    def test_slice_deadline_clamped_to_parent_remaining(self):
+        clock = FakeClock()
+        parent = Budget(deadline_seconds=10.0, clock=clock)
+        parent.start()
+        clock.advance(8)
+        child = parent.slice(deadline_seconds=5.0)
+        assert child.deadline_seconds == pytest.approx(2.0)
+
+    def test_parent_exhaustion_visible_in_child(self):
+        parent = Budget(max_solver_calls=0)
+        child = parent.slice()
+        parent.charge_solver_call()
+        assert child.exhausted() is ExhaustionReason.SOLVER_CALLS
+
+    def test_started_parent_starts_child(self):
+        parent = Budget().start()
+        child = parent.slice()
+        assert child.started
+
+
+class TestEscalationPolicy:
+    def test_ladder_length(self):
+        policy = EscalationPolicy(max_attempts=3)
+        assert len(policy.ladder(None)) == 2
+
+    def test_ladder_varies_configs(self):
+        base = CDCLConfig(max_conflicts=100)
+        policy = EscalationPolicy(max_attempts=4, conflict_growth=2.0)
+        rungs = policy.ladder(base)
+        # Conflict caps must grow geometrically...
+        assert [c.max_conflicts for c in rungs] == [200, 400, 800]
+        # ...and each rung must differ from the base configuration.
+        for rung in rungs:
+            assert (
+                rung.use_restarts != base.use_restarts
+                or rung.var_decay != base.var_decay
+                or rung.restart_base != base.restart_base
+            )
+
+    def test_ladder_without_base_config(self):
+        policy = EscalationPolicy(max_attempts=2)
+        (rung,) = policy.ladder(None)
+        assert rung.max_conflicts is None  # no cap to grow
