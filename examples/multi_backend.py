@@ -14,6 +14,7 @@ plus the SMT-LIB exporter, so an external solver could double-check.
 Run:  python examples/multi_backend.py
 """
 
+import repro
 from repro import (
     DafnyBackend,
     EncodeConfig,
@@ -21,6 +22,7 @@ from repro import (
     ModelChecker,
     SmtBackend,
     Status,
+    Verdict,
 )
 from repro.backends.mc import MCStatus, to_chc
 from repro.netmodels.schedulers import round_robin
@@ -41,6 +43,17 @@ def conservation(view):
 
 def main() -> None:
     program = round_robin(2)
+
+    print("=== 0. the analyze() facade: one call, one verdict type ===")
+    # Every back end below can also be driven through repro.analyze(),
+    # which returns a uniform AnalysisOutcome (verdict/witness/report).
+    for backend in ("smt", "dafny", "mc", "houdini"):
+        query = conservation if backend in ("dafny", "mc") else None
+        outcome = repro.analyze(program, query, backend=backend,
+                                steps=3, config=CONFIG)
+        print(f"  analyze(..., backend={backend!r}):"
+              f" {outcome.verdict.value} (exit {outcome.exit_code})")
+        assert outcome.verdict is Verdict.PROVED
 
     print("=== 1. SMT back end: bounded trace synthesis ===")
     smt = SmtBackend(program, horizon=HORIZON, config=CONFIG)

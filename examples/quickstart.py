@@ -6,14 +6,16 @@ Covers the full workflow in ~60 lines:
 1. write a Buffy program (a two-queue strict-priority scheduler),
 2. parse + type-check it,
 3. simulate it on a concrete workload with the reference interpreter,
-4. ask the SMT back end a performance question and decode the answer.
+4. ask performance questions through the one-call ``repro.analyze()``
+   facade and branch on its uniform :class:`repro.Verdict`.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import EncodeConfig, Interpreter, Packet, SmtBackend, Status
+import repro
+from repro import EncodeConfig, Interpreter, Packet, Verdict
 from repro import check_program, parse_program
-from repro.smt.terms import mk_int, mk_le
+from repro.smt.terms import mk_and, mk_int, mk_le
 
 SRC = """\
 prio(in buffer[2] ibs, out buffer ob){
@@ -50,23 +52,29 @@ def main() -> None:
 
     # ---- verify: can the low-priority queue ever be served while the
     # high-priority queue is continuously backlogged? --------------------------
-    backend = SmtBackend(
-        program, horizon=5,
-        config=EncodeConfig(buffer_capacity=5, arrivals_per_step=2),
-    )
-    always_backlogged = [
-        mk_le(mk_int(1), backend.backlog("ibs[0]", t)) for t in range(5)
-    ]
-    q1_served = mk_le(mk_int(1), backend.deq_count("ibs[1]"))
-    result = backend.find_trace(q1_served, extra_assumptions=always_backlogged)
-    print(f"'low-priority served while high backlogged' is {result.status.value}")
-    assert result.status is Status.UNSATISFIABLE, "strict priority violated!"
+    config = EncodeConfig(buffer_capacity=5, arrivals_per_step=2)
+
+    def starved_but_served(bk):
+        always_backlogged = [
+            mk_le(mk_int(1), bk.backlog("ibs[0]", t)) for t in range(5)
+        ]
+        q1_served = mk_le(mk_int(1), bk.deq_count("ibs[1]"))
+        return mk_and(q1_served, *always_backlogged)
+
+    outcome = repro.analyze(program, starved_but_served,
+                            steps=5, config=config)
+    print(f"'low-priority served while high backlogged': {outcome.verdict.value}")
+    # VIOLATED here means "no such trace exists" — strict priority holds.
+    assert outcome.verdict is Verdict.VIOLATED, "strict priority violated!"
 
     # And the converse is easy to witness:
-    result = backend.find_trace(q1_served)
-    assert result.status is Status.SATISFIED
+    outcome = repro.analyze(
+        program, lambda bk: mk_le(mk_int(1), bk.deq_count("ibs[1]")),
+        steps=5, config=config,
+    )
+    assert outcome.verdict is Verdict.PROVED and outcome.witness is not None
     print("witness when the constraint is dropped:")
-    print(result.counterexample.describe())
+    print(outcome.witness.describe())
 
 
 if __name__ == "__main__":

@@ -26,14 +26,19 @@ The package provides:
 
 Quickstart::
 
-    from repro import parse_program, check_program, SmtBackend
+    import repro
     from repro.analysis.queries import starvation
 
-    program = check_program(parse_program(SRC, consts={"N": 2}))
-    backend = SmtBackend(program, horizon=6)
-    result = backend.find_trace(starvation(backend, "ibs[0]"))
+    outcome = repro.analyze(
+        SRC, lambda bk: starvation(bk, "ibs[0]"),
+        steps=6, jobs=4, consts={"N": 2},
+    )
+    print(outcome.verdict)        # Verdict.PROVED / VIOLATED / ...
+    raise SystemExit(outcome.exit_code)
 """
 
+from .analysis.facade import analyze
+from .analysis.result import EXIT_ERROR, AnalysisOutcome, Verdict
 from .backends.dafny import DafnyBackend, StateView
 from .backends.fperf import FPerfBackend
 from .backends.mc import ModelChecker
@@ -60,12 +65,14 @@ from .lang.pretty import pretty_program
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisOutcome",
     "Budget",
     "BudgetExhausted",
     "CheckedProgram",
     "ConcreteNetwork",
     "Connection",
     "DafnyBackend",
+    "EXIT_ERROR",
     "EncodeConfig",
     "EscalationPolicy",
     "ExhaustionReason",
@@ -82,6 +89,8 @@ __all__ = [
     "Status",
     "SymbolicMachine",
     "SymbolicNetwork",
+    "Verdict",
+    "analyze",
     "check_program",
     "inject_faults",
     "parse_expr",

@@ -1,6 +1,9 @@
-"""Analysis utilities: queries, workloads, trace replay, LoC accounting."""
+"""Analysis utilities: queries, workloads, trace replay, LoC accounting,
+plus the uniform result vocabulary and the :func:`analyze` facade."""
 
+from .facade import analyze
 from .loc import LocRow, buffy_loc, python_loc, table1_rows
+from .result import EXIT_ERROR, AnalysisOutcome, Verdict, verdict_for_unknown
 from .traces import ReplayReport, replay
 from .workloads import (
     BurstGE,
@@ -14,7 +17,8 @@ from .workloads import (
 )
 
 __all__ = [
-    "BurstGE", "BurstLE", "LocRow", "RateGE", "RateLE", "ReplayReport",
-    "Workload", "buffy_loc", "onoff_workload", "python_loc",
-    "random_workload", "replay", "table1_rows", "uniform_workload",
+    "AnalysisOutcome", "BurstGE", "BurstLE", "EXIT_ERROR", "LocRow",
+    "RateGE", "RateLE", "ReplayReport", "Verdict", "Workload", "analyze",
+    "buffy_loc", "onoff_workload", "python_loc", "random_workload",
+    "replay", "table1_rows", "uniform_workload", "verdict_for_unknown",
 ]

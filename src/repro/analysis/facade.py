@@ -1,0 +1,133 @@
+"""The one-call analysis facade: :func:`repro.analyze`.
+
+Dispatch one analysis across the five back ends behind a single
+keyword surface and a single result type::
+
+    import repro
+    outcome = repro.analyze(program, query, backend="smt", steps=6,
+                            budget=Budget(deadline_seconds=30), jobs=4)
+    if outcome.verdict is repro.Verdict.VIOLATED:
+        print(outcome.witness.describe())
+    sys.exit(outcome.exit_code)
+
+``program`` is a :class:`~repro.lang.checker.CheckedProgram` or raw
+Buffy source (parsed and checked with ``consts=...``).  ``query``
+depends on the back end:
+
+===========  ==========================================================
+backend      query
+===========  ==========================================================
+``smt``      a Term to find a trace for (``prove=True`` proves it
+             instead); ``None`` checks the program's ``assert``\\ s
+``fperf``    a Term to synthesize a sufficient workload for
+``dafny``    an invariant ``StateView -> Term`` for the modular
+             regime; ``None`` verifies monolithically over ``steps``
+``mc``       a property ``StateView -> Term``; BMC to depth ``steps``,
+             or k-induction with ``prove=True``
+``houdini``  ignored (the candidate grammar is the specification)
+===========  ==========================================================
+
+Callable ``query`` values for ``smt``/``fperf`` receive the constructed
+back end (for its term accessors) and return the query Term.
+
+Engine knobs: ``jobs`` (portfolio/VC parallelism, default
+``$REPRO_JOBS``), ``cache`` (result cache, default ``$REPRO_CACHE``),
+``incremental`` (shared encodings; each back end picks its own sound
+default), ``chaos`` and ``solver_factory`` (test seams).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..runtime.budget import Budget, BudgetExhausted
+from .result import AnalysisOutcome, Verdict
+
+_BACKENDS = ("smt", "fperf", "dafny", "mc", "houdini")
+
+
+def analyze(
+    program: Any,
+    query: Any = None,
+    *,
+    backend: str = "smt",
+    steps: int = 6,
+    budget: Optional[Budget] = None,
+    jobs: Optional[int] = None,
+    cache: Any = None,
+    incremental: Optional[bool] = None,
+    chaos: Any = None,
+    solver_factory: Any = None,
+    escalation: Any = None,
+    config: Any = None,
+    sat_config: Any = None,
+    consts: Optional[dict[str, int]] = None,
+    prove: bool = False,
+) -> AnalysisOutcome:
+    """Run one analysis and return its :class:`AnalysisOutcome`."""
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+        )
+    if isinstance(program, str):
+        from ..lang.checker import check_program
+        from ..lang.parser import parse_program
+
+        program = check_program(parse_program(program, consts=consts))
+
+    knobs = dict(
+        config=config, sat_config=sat_config, budget=budget,
+        escalation=escalation, chaos=chaos, solver_factory=solver_factory,
+        jobs=jobs, cache=cache, incremental=incremental,
+    )
+
+    if backend == "smt":
+        from ..backends.smt_backend import SmtBackend
+
+        bk = SmtBackend(program, steps, **knobs)
+        if query is None:
+            return bk.check_assertions().outcome()
+        term = query(bk) if callable(query) else query
+        result = bk.prove(term) if prove else bk.find_trace(term)
+        return result.outcome()
+
+    if backend == "fperf":
+        from ..backends.fperf import FPerfBackend
+
+        fp = FPerfBackend(program, steps, **knobs)
+        term = query(fp) if callable(query) else query
+        if term is None:
+            raise ValueError("backend='fperf' requires a query term")
+        return fp.synthesize_by_generalization(term).outcome()
+
+    if backend == "dafny":
+        from ..backends.dafny import DafnyBackend
+
+        dafny = DafnyBackend(program, **knobs)
+        if query is None:
+            return dafny.verify_monolithic(steps).outcome()
+        return dafny.verify_modular(query).outcome()
+
+    if backend == "mc":
+        from ..backends.mc import ModelChecker
+
+        if query is None:
+            raise ValueError("backend='mc' requires a property query")
+        mc = ModelChecker(program, **knobs)
+        if prove:
+            return mc.prove_with_increasing_k(query, max_k=steps).outcome()
+        return mc.bmc(query, steps).outcome()
+
+    from ..backends.houdini import HoudiniSynthesizer
+
+    houdini = HoudiniSynthesizer(program, **knobs)
+    try:
+        return houdini.synthesize(query).outcome()
+    except BudgetExhausted as exc:
+        if exc.partial is not None:
+            return exc.partial.outcome()
+        from .result import verdict_for_unknown
+
+        return AnalysisOutcome(
+            verdict=verdict_for_unknown(exc.report), report=exc.report
+        )

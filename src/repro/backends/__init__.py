@@ -1,5 +1,6 @@
 """Analysis back ends over the shared symbolic-execution IR (§4)."""
 
+from .base import AnalysisBackend
 from .dafny import DafnyBackend, DafnyReport, StateView, VCResult, VCStatus
 from .fperf import FPerfBackend, SynthesisResult
 from .houdini import Candidate, HoudiniResult, HoudiniSynthesizer, default_grammar
@@ -13,6 +14,7 @@ from .smt_backend import (
 )
 
 __all__ = [
+    "AnalysisBackend",
     "Candidate", "CounterexampleTrace", "DafnyBackend", "DafnyReport",
     "FPerfBackend", "HoudiniResult", "HoudiniSynthesizer",
     "MCResult", "MCStatus", "ModelChecker", "NetworkBackend", "SmtBackend",

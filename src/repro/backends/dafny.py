@@ -37,9 +37,10 @@ from ..lang.ast import Procedure
 from ..lang.checker import CheckedProgram
 from ..lang.types import ArrayType, BoolType, BufferType, IntType, ListType
 from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
-from ..smt.sat.cdcl import CDCLConfig
+from ..smt.sat.cdcl import CDCLConfig, SatResult
 from ..smt.solver import CheckResult, SmtSolver, governed_check
 from ..smt.terms import TRUE, Term, mk_and, mk_not
+from .base import AnalysisBackend, resolve_legacy_names
 
 
 class VCStatus(enum.Enum):
@@ -92,6 +93,31 @@ class DafnyReport:
     def unknown(self) -> list[VCResult]:
         return [vc for vc in self.vcs if vc.status is VCStatus.UNKNOWN]
 
+    def outcome(self):
+        """Convert to the uniform :class:`repro.analysis.result.AnalysisOutcome`."""
+        from ..analysis.result import AnalysisOutcome, Verdict, verdict_for_unknown
+
+        failed = [vc for vc in self.vcs if vc.status is VCStatus.FAILED]
+        unknown = self.unknown()
+        if failed:
+            verdict = Verdict.VIOLATED
+        elif unknown:
+            verdict = verdict_for_unknown(unknown[0].resource_report)
+        else:
+            verdict = Verdict.PROVED
+        report = unknown[0].resource_report if unknown else None
+        return AnalysisOutcome(
+            verdict=verdict,
+            witness=[vc.name for vc in failed] or None,
+            report=report,
+            stats={
+                "vcs": len(self.vcs),
+                "failed": len(failed),
+                "unknown": len(unknown),
+                "elapsed_seconds": self.elapsed_seconds,
+            },
+        )
+
 
 class StateView:
     """Convenience accessors for writing invariants/queries over a machine."""
@@ -131,44 +157,70 @@ Invariant = Callable[[StateView], Term]
 Query = Callable[[StateView], Term]
 
 
-class DafnyBackend:
-    """Annotation-checker verification of a Buffy program."""
+class DafnyBackend(AnalysisBackend):
+    """Annotation-checker verification of a Buffy program.
+
+    Normalized constructor: ``DafnyBackend(program, *, budget=...,
+    chaos=..., solver_factory=..., jobs=..., cache=...)``; the legacy
+    ``checked=`` keyword remains as a shim.  All VCs sharing one
+    symbolic machine are discharged against **one** incremental solver
+    (the machine is bit-blasted once, each negated goal rides as a
+    check-time assumption), and with ``jobs > 1`` independent VCs of a
+    machine are additionally farmed out across the worker pool.
+    """
 
     def __init__(
         self,
-        checked: CheckedProgram,
+        program: Optional[CheckedProgram] = None,
         config: Optional[EncodeConfig] = None,
         sat_config: Optional[CDCLConfig] = None,
         budget: Optional[Budget] = None,
         escalation=None,
+        *,
+        validate_models: bool = True,
+        chaos=None,
+        solver_factory=None,
+        jobs: Optional[int] = None,
+        cache=None,
+        incremental: Optional[bool] = None,
+        checked: Optional[CheckedProgram] = None,
     ):
-        self.checked = checked
+        program, _ = resolve_legacy_names(program, None, checked, None,
+                                          "DafnyBackend")
+        if program is None:
+            raise TypeError("DafnyBackend requires a program")
+        super().__init__(
+            program,
+            sat_config=sat_config, validate_models=validate_models,
+            budget=budget, escalation=escalation, chaos=chaos,
+            solver_factory=solver_factory, jobs=jobs, cache=cache,
+            incremental=incremental,
+        )
         self.config = config or EncodeConfig()
-        self.sat_config = sat_config
-        self.budget = budget
-        self.escalation = escalation
+
+    def _default_incremental(self) -> bool:
+        # Many VCs share one machine encoding — reuse it by default.
+        return True
 
     # ----- VC discharge -----------------------------------------------------
 
-    def _discharge(self, name: str, machine: SymbolicMachine,
-                   goal: Term) -> VCResult:
+    def _discharge(self, name: str, target, goal: Term) -> VCResult:
         """Check ``assumptions => goal``; a model of the negation fails it.
 
-        A budget exhaustion or solver fault marks *this* VC UNKNOWN and
+        ``target`` is a prepared solver (shared across a machine's VCs)
+        or, for the legacy spelling, a :class:`SymbolicMachine`.  A
+        budget exhaustion or solver fault marks *this* VC UNKNOWN and
         the caller continues with the remaining VCs (an already-spent
         budget makes those refuse quickly rather than hang).
         """
         t0 = time.perf_counter()
-        solver = SmtSolver(
-            sat_config=self.sat_config,
-            budget=self.budget, escalation=self.escalation,
-        )
-        for var, (lo, hi) in machine.bounds.items():
-            solver.set_bounds(var, lo, hi)
-        for assumption in machine.assumptions:
-            solver.add(assumption)
-        solver.add(mk_not(goal))
-        result, report = governed_check(solver)
+        if isinstance(target, SymbolicMachine):
+            solver = self._machine_solver(target)
+        else:
+            solver = target
+        # The negated goal is a check-time assumption, not an assertion,
+        # so the shared incremental encoding stays goal-free.
+        result, report = governed_check(solver, mk_not(goal))
         elapsed = time.perf_counter() - t0
         status = {
             CheckResult.UNSAT: VCStatus.VERIFIED,
@@ -183,6 +235,176 @@ class DafnyBackend:
             cnf_clauses=solver.stats.cnf_clauses,
             resource_report=report,
         )
+
+    def _discharge_all(
+        self, machine: SymbolicMachine,
+        named_goals: Sequence[tuple[str, Term]],
+    ) -> list[VCResult]:
+        """Discharge every VC of one machine against one shared encoding.
+
+        With ``jobs > 1`` (and no chaos/custom factory intercepting the
+        solver) the independent VCs are solved concurrently on the
+        worker pool — the CNF ships once, each worker checks a
+        different negated goal under assumptions.
+        """
+        named_goals = list(named_goals)
+        if not named_goals:
+            return []
+        jobs = self._effective_jobs()
+        if (
+            len(named_goals) > 1 and jobs > 1
+            and self.solver_factory is None and not self._chaos_active()
+        ):
+            results = self._discharge_parallel(machine, named_goals, jobs)
+            if results is not None:
+                return results
+        solver = self._machine_solver(machine)
+        return [
+            self._discharge(name, solver, goal) for name, goal in named_goals
+        ]
+
+    def _effective_jobs(self) -> int:
+        if self.jobs is not None:
+            return max(1, self.jobs)
+        from ..engine.parallel import default_jobs
+
+        return default_jobs()
+
+    def _discharge_parallel(
+        self, machine: SymbolicMachine,
+        named_goals: list[tuple[str, Term]], jobs: int,
+    ) -> Optional[list[VCResult]]:
+        """Batch-discharge independent VCs across the process pool.
+
+        Each VC is first looked up in the result cache (keyed on the
+        machine's assumptions + the negated goal + bounds); only misses
+        are bit-blasted and shipped to the pool.  Returns None (caller
+        falls back to the shared sequential path) when the pool is
+        unavailable or a model fails validation.
+        """
+        from ..engine.cache import (
+            CacheEntry,
+            formula_fingerprint,
+            resolve_cache,
+        )
+        from ..engine.parallel import PoolUnavailable, get_pool
+        from ..smt.bitblast import BitBlaster
+        from ..smt.intervals import BoundsEnv
+        from ..smt.model import Model
+
+        t0 = time.perf_counter()
+        bounds = BoundsEnv()
+        for var, (lo, hi) in machine.bounds.items():
+            bounds.set(var, lo, hi)
+        cache = resolve_cache(self.cache)
+        keys: list[Optional[str]] = [None] * len(named_goals)
+        done: dict[int, VCResult] = {}
+        if cache is not None:
+            memo: dict[int, bytes] = {}
+            base = list(machine.assumptions)
+            for idx, (name, goal) in enumerate(named_goals):
+                key = formula_fingerprint(base + [mk_not(goal)], bounds, memo)
+                keys[idx] = key
+                hit = cache.get(key)
+                if hit is None:
+                    continue
+                if hit.verdict == "unsat":
+                    done[idx] = VCResult(
+                        name, VCStatus.VERIFIED, 0.0,
+                        cnf_vars=hit.cnf_vars, cnf_clauses=hit.cnf_clauses,
+                    )
+                elif hit.assignment is not None:
+                    # A SAT hit is trusted only after its assignment
+                    # re-validates against this VC's own terms.
+                    model = Model(dict(hit.assignment))
+                    if model.eval(mk_not(goal)) is True and all(
+                        model.eval(a) is True for a in machine.assumptions
+                    ):
+                        done[idx] = VCResult(
+                            name, VCStatus.FAILED, 0.0,
+                            cnf_vars=hit.cnf_vars,
+                            cnf_clauses=hit.cnf_clauses,
+                        )
+        misses = [i for i in range(len(named_goals)) if i not in done]
+        if not misses:
+            return [done[i] for i in range(len(named_goals))]
+        blaster = BitBlaster(bounds=bounds, budget=self.budget)
+        try:
+            for assumption in machine.assumptions:
+                blaster.assert_formula(assumption)
+            goal_lits = [
+                blaster.literal_for(mk_not(named_goals[i][1]))
+                for i in misses
+            ]
+        except BudgetExhausted as exc:
+            return [
+                done.get(i) or VCResult(
+                    named_goals[i][0], VCStatus.UNKNOWN, 0.0,
+                    resource_report=exc.report,
+                )
+                for i in range(len(named_goals))
+            ]
+        if self.budget is not None:
+            for _ in misses:
+                self.budget.charge_solver_call()
+        try:
+            pool = get_pool(jobs)
+            slots = pool.solve_many(
+                blaster.cnf, [[lit] for lit in goal_lits],
+                config=self.sat_config, budget=self.budget,
+            )
+        except PoolUnavailable:
+            return None
+        elapsed = time.perf_counter() - t0
+        per_vc = elapsed / max(1, len(misses))
+        for idx, slot in zip(misses, slots):
+            name, goal = named_goals[idx]
+            if slot is None or slot.error is not None:
+                return None  # worker died: redo sequentially
+            if slot.verdict is SatResult.SAT:
+                assignment = blaster.varmap.decode(slot.model)
+                model = Model(assignment)
+                if self.validate_models and (
+                    model.eval(mk_not(goal)) is not True
+                    or any(model.eval(a) is not True
+                           for a in machine.assumptions)
+                ):
+                    return None  # refuse an unvalidated parallel model
+                status = VCStatus.FAILED
+                report = None
+            elif slot.verdict is SatResult.UNSAT:
+                status = VCStatus.VERIFIED
+                report = None
+            else:
+                status = VCStatus.UNKNOWN
+                report = self._slot_report(slot)
+            if cache is not None and keys[idx] is not None and (
+                status is not VCStatus.UNKNOWN
+            ):
+                cache.put(keys[idx], CacheEntry(
+                    verdict="unsat" if status is VCStatus.VERIFIED else "sat",
+                    assignment=dict(assignment)
+                    if status is VCStatus.FAILED else None,
+                    cnf_vars=blaster.cnf.num_vars,
+                    cnf_clauses=len(blaster.cnf.clauses),
+                ))
+            done[idx] = VCResult(
+                name, status, per_vc,
+                cnf_vars=blaster.cnf.num_vars,
+                cnf_clauses=len(blaster.cnf.clauses),
+                resource_report=report,
+            )
+        return [done[i] for i in range(len(named_goals))]
+
+    def _slot_report(self, slot) -> Optional[ResourceReport]:
+        from ..runtime.budget import ExhaustionReason
+
+        if slot.reason is None:
+            return None
+        reason = ExhaustionReason(slot.reason)
+        if self.budget is not None:
+            return self.budget.report(reason, "parallel VC discharge")
+        return ResourceReport(reason=reason, message="parallel VC discharge")
 
     def _exhausted_vc(self, name: str, exc: BudgetExhausted) -> VCResult:
         """A VC whose *encoding* (symbolic unrolling) ran out of budget."""
@@ -216,14 +438,14 @@ class DafnyBackend:
             # callers see a structured partial result, not an exception.
             report.vcs.append(self._exhausted_vc("unroll", exc))
             return report
+        named_goals: list[tuple[str, Term]] = []
         if include_asserts:
             for ob in machine.obligations:
-                report.vcs.append(
-                    self._discharge(ob.describe(), machine, ob.formula)
-                )
+                named_goals.append((ob.describe(), ob.formula))
         view = StateView(machine)
         for name, query in queries:
-            report.vcs.append(self._discharge(name, machine, query(view)))
+            named_goals.append((name, query(view)))
+        report.vcs.extend(self._discharge_all(machine, named_goals))
         return report
 
     # ----- modular (invariant-annotated) regime --------------------------------------
@@ -296,13 +518,12 @@ class DafnyBackend:
             machine.assumptions.append(executor.eval(pre))
         executor.exec_cmd(proc.body, TRUE)
         report = DafnyReport()
-        for ob in machine.obligations:
-            report.vcs.append(self._discharge(ob.describe(), machine, ob.formula))
-        for i, post in enumerate(proc.ensures):
-            goal = executor.eval(post)
-            report.vcs.append(
-                self._discharge(f"{name}.ensures[{i}]", machine, goal)
-            )
+        named_goals = [(ob.describe(), ob.formula) for ob in machine.obligations]
+        named_goals += [
+            (f"{name}.ensures[{i}]", executor.eval(post))
+            for i, post in enumerate(proc.ensures)
+        ]
+        report.vcs.extend(self._discharge_all(machine, named_goals))
         return report
 
     def _find_procedure(self, name: str) -> Procedure:

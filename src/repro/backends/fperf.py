@@ -73,26 +73,71 @@ class SynthesisResult:
     def ok(self) -> bool:
         return self.workload is not None
 
+    def outcome(self):
+        """Convert to the uniform :class:`repro.analysis.result.AnalysisOutcome`."""
+        from ..analysis.result import AnalysisOutcome, Verdict, verdict_for_unknown
+
+        if self.workload is not None:
+            verdict = Verdict.PROVED
+        elif not self.complete:
+            verdict = verdict_for_unknown(self.resource_report)
+        else:
+            # The search space was exhausted without a sufficient
+            # workload: a definitive negative within the grammar.
+            verdict = Verdict.VIOLATED
+        return AnalysisOutcome(
+            verdict=verdict,
+            witness=self.workload,
+            report=self.resource_report,
+            stats={
+                "candidates_tried": self.stats.candidates_tried,
+                "solver_calls": self.stats.solver_calls,
+                "pruned_by_examples": self.stats.pruned_by_examples,
+                "elapsed_seconds": self.stats.elapsed_seconds,
+            },
+        )
+
 
 class FPerfBackend:
-    """Workload synthesis for a Buffy program and a query."""
+    """Workload synthesis for a Buffy program and a query.
+
+    A thin strategy layer over :class:`SmtBackend`; the normalized
+    keyword tail (``chaos`` / ``solver_factory`` / ``jobs`` / ``cache``
+    / ``incremental``) is forwarded to it.  Synthesis issues dozens to
+    thousands of queries against the *same* unrolled machine, so the
+    inner back end runs incrementally by default: one shared encoding,
+    every query as check-time assumptions.
+    """
 
     def __init__(
         self,
-        checked: CheckedProgram,
-        horizon: int,
+        program: Optional[CheckedProgram] = None,
+        steps: Optional[int] = None,
         config: Optional[EncodeConfig] = None,
         sat_config: Optional[CDCLConfig] = None,
         budget: Optional[Budget] = None,
         escalation=None,
+        *,
+        validate_models: bool = True,
+        chaos=None,
+        solver_factory=None,
+        jobs: Optional[int] = None,
+        cache=None,
+        incremental: Optional[bool] = None,
+        checked: Optional[CheckedProgram] = None,
+        horizon: Optional[int] = None,
     ):
-        self.checked = checked
-        self.horizon = horizon
         self.budget = budget
         self.backend = SmtBackend(
-            checked, horizon, config=config, sat_config=sat_config,
-            budget=budget, escalation=escalation,
+            program, steps, config=config, sat_config=sat_config,
+            validate_models=validate_models, budget=budget,
+            escalation=escalation, chaos=chaos,
+            solver_factory=solver_factory, jobs=jobs, cache=cache,
+            incremental=True if incremental is None else incremental,
+            checked=checked, horizon=horizon,
         )
+        self.checked = self.backend.program
+        self.horizon = self.backend.horizon
         self.machine = self.backend.machine
         self.labels = self.machine.input_buffer_labels()
         # Report from the most recent UNKNOWN solver answer (if any).

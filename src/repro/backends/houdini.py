@@ -45,6 +45,7 @@ from ..runtime.budget import (
 from ..smt.sat.cdcl import CDCLConfig
 from ..smt.solver import CheckResult, SmtSolver, governed_check
 from ..smt.terms import Term, evaluate, free_vars, mk_and, mk_int, mk_le, mk_not
+from .base import AnalysisBackend, resolve_legacy_names
 from .dafny import StateView
 
 
@@ -72,6 +73,31 @@ class HoudiniResult:
 
     def names(self) -> list[str]:
         return [c.name for c in self.invariant]
+
+    def outcome(self):
+        """Convert to the uniform :class:`repro.analysis.result.AnalysisOutcome`."""
+        from ..analysis.result import AnalysisOutcome, Verdict, verdict_for_unknown
+
+        if not self.complete:
+            verdict = verdict_for_unknown(self.resource_report)
+        elif self.invariant:
+            verdict = Verdict.PROVED
+        else:
+            # Every candidate was falsified: no invariant exists in
+            # the grammar, a definitive negative answer.
+            verdict = Verdict.VIOLATED
+        return AnalysisOutcome(
+            verdict=verdict,
+            witness=self.as_invariant() if self.invariant else None,
+            report=self.resource_report,
+            stats={
+                "invariants": len(self.invariant),
+                "dropped": len(self.dropped),
+                "iterations": self.iterations,
+                "solver_calls": self.solver_calls,
+                "elapsed_seconds": self.elapsed_seconds,
+            },
+        )
 
     def as_invariant(self) -> Callable[[StateView], Term]:
         """The synthesized conjunction, usable with verify_modular."""
@@ -155,26 +181,54 @@ def default_grammar(
     return unique
 
 
-class HoudiniSynthesizer:
-    """Infers the maximal inductive subset of candidate invariants."""
+class HoudiniSynthesizer(AnalysisBackend):
+    """Infers the maximal inductive subset of candidate invariants.
+
+    Normalized constructor: ``HoudiniSynthesizer(program, *,
+    budget=..., chaos=..., solver_factory=..., jobs=..., cache=...)``;
+    the legacy ``checked=`` keyword remains as a shim.  Every Houdini
+    round re-queries the *same* one-step transition system, so by
+    default all rounds share one incremental solver: the machine is
+    bit-blasted once and each round's candidate conjunction rides as
+    check-time assumptions.
+    """
 
     def __init__(
         self,
-        checked: CheckedProgram,
+        program: Optional[CheckedProgram] = None,
         config: Optional[EncodeConfig] = None,
         sat_config: Optional[CDCLConfig] = None,
         value_range: tuple[int, int] = (-1, 63),
         stat_bound: int = 1 << 10,
         budget: Optional[Budget] = None,
         escalation=None,
+        *,
+        validate_models: bool = True,
+        chaos=None,
+        solver_factory=None,
+        jobs: Optional[int] = None,
+        cache=None,
+        incremental: Optional[bool] = None,
+        checked: Optional[CheckedProgram] = None,
     ):
-        self.checked = checked
+        program, _ = resolve_legacy_names(program, None, checked, None,
+                                          "HoudiniSynthesizer")
+        if program is None:
+            raise TypeError("HoudiniSynthesizer requires a program")
+        super().__init__(
+            program,
+            sat_config=sat_config, validate_models=validate_models,
+            budget=budget, escalation=escalation, chaos=chaos,
+            solver_factory=solver_factory, jobs=jobs, cache=cache,
+            incremental=incremental,
+        )
         self.config = config or EncodeConfig()
-        self.sat_config = sat_config
         self.value_range = value_range
         self.stat_bound = stat_bound
-        self.budget = budget
-        self.escalation = escalation
+
+    def _default_incremental(self) -> bool:
+        # Every round re-queries the same one-step transition system.
+        return True
 
     def synthesize(
         self,
@@ -228,22 +282,19 @@ class HoudiniSynthesizer:
         # ---- stage 2: the Houdini loop.
         iterations = 0
         solver_calls = 0
+        # With the (default) incremental engine the machine is encoded
+        # once and every round's candidate conjunction rides as
+        # check-time assumptions on the same solver.
+        shared = self._machine_solver(machine) if self._incremental() else None
         while surviving and iterations < max_iterations:
             iterations += 1
-            solver = SmtSolver(
-                sat_config=self.sat_config,
-                budget=self.budget, escalation=self.escalation,
-            )
-            for name, (lo, hi) in machine.bounds.items():
-                solver.set_bounds(name, lo, hi)
-            for assumption in machine.assumptions:
-                solver.add(assumption)
-            solver.add(mk_and(*[pre_terms[c.name] for c in surviving]))
-            solver.add(mk_not(
+            solver = shared or self._machine_solver(machine)
+            pre = mk_and(*[pre_terms[c.name] for c in surviving])
+            neg_post = mk_not(
                 mk_and(*[post_terms[c.name] for c in surviving])
-            ))
+            )
             solver_calls += 1
-            result, report = governed_check(solver)
+            result, report = governed_check(solver, pre, neg_post)
             if result is CheckResult.UNSAT:
                 break  # inductive!
             if result is CheckResult.UNKNOWN:

@@ -38,6 +38,7 @@ from ..smt.sat.cdcl import CDCLConfig
 from ..smt.smtlib import term_to_smtlib
 from ..smt.solver import CheckResult, SmtSolver, governed_check
 from ..smt.terms import Term, free_vars, mk_and, mk_not
+from .base import AnalysisBackend, resolve_legacy_names
 
 Property = Callable[[StateView], Term]
 
@@ -69,44 +70,112 @@ class MCResult:
     def complete(self) -> bool:
         return self.status is not MCStatus.UNKNOWN
 
+    def outcome(self):
+        """Convert to the uniform :class:`repro.analysis.result.AnalysisOutcome`."""
+        from ..analysis.result import AnalysisOutcome, Verdict, verdict_for_unknown
 
-class ModelChecker:
-    """BMC and k-induction for a Buffy program's step transition system."""
+        if self.status is MCStatus.UNKNOWN:
+            verdict = verdict_for_unknown(self.resource_report)
+        elif self.status is MCStatus.VIOLATED:
+            verdict = Verdict.VIOLATED
+        else:  # SAFE_BOUNDED / PROVED both answer the asked query positively
+            verdict = Verdict.PROVED
+        return AnalysisOutcome(
+            verdict=verdict,
+            witness=self.violation_step,
+            report=self.resource_report,
+            stats={
+                "bound": self.bound,
+                "solver_calls": self.solver_calls,
+                "safe_until": self.safe_until,
+                "elapsed_seconds": self.elapsed_seconds,
+            },
+        )
+
+
+class _BmcSession:
+    """One incremental solver tracking a monotonically growing machine.
+
+    BMC extends the same machine step after step; instead of
+    re-encoding the whole unrolling per depth, new bounds and
+    assumptions are synced into a shared solver and each depth's goal
+    rides as a check-time assumption.
+    """
+
+    def __init__(self, solver: SmtSolver, machine: SymbolicMachine):
+        self.solver = solver
+        self.machine = machine
+        self._bounds_seen: set[str] = set()
+        self._synced = 0
+
+    def sync(self) -> None:
+        for name, (lo, hi) in self.machine.bounds.items():
+            if name not in self._bounds_seen:
+                self.solver.set_bounds(name, lo, hi)
+                self._bounds_seen.add(name)
+        for assumption in self.machine.assumptions[self._synced:]:
+            self.solver.add(assumption)
+        self._synced = len(self.machine.assumptions)
+
+
+class ModelChecker(AnalysisBackend):
+    """BMC and k-induction for a Buffy program's step transition system.
+
+    Normalized constructor: ``ModelChecker(program, *, budget=...,
+    chaos=..., solver_factory=..., jobs=..., cache=...)``; the legacy
+    ``checked=`` keyword remains as a shim.  BMC shares one incremental
+    solver across depths by default (the unrolling is encoded once,
+    growing step by step).
+    """
 
     def __init__(
         self,
-        checked: CheckedProgram,
+        program: Optional[CheckedProgram] = None,
         config: Optional[EncodeConfig] = None,
         sat_config: Optional[CDCLConfig] = None,
         value_range: tuple[int, int] = (-1, 63),
         stat_bound: int = 1 << 10,
         budget: Optional[Budget] = None,
         escalation=None,
+        *,
+        validate_models: bool = True,
+        chaos=None,
+        solver_factory=None,
+        jobs: Optional[int] = None,
+        cache=None,
+        incremental: Optional[bool] = None,
+        checked: Optional[CheckedProgram] = None,
     ):
-        self.checked = checked
+        program, _ = resolve_legacy_names(program, None, checked, None,
+                                          "ModelChecker")
+        if program is None:
+            raise TypeError("ModelChecker requires a program")
+        super().__init__(
+            program,
+            sat_config=sat_config, validate_models=validate_models,
+            budget=budget, escalation=escalation, chaos=chaos,
+            solver_factory=solver_factory, jobs=jobs, cache=cache,
+            incremental=incremental,
+        )
         self.config = config or EncodeConfig()
-        self.sat_config = sat_config
         self.value_range = value_range
         self.stat_bound = stat_bound
-        self.budget = budget
-        self.escalation = escalation
+
+    def _default_incremental(self) -> bool:
+        # BMC grows one unrolling monotonically — encode it once.
+        return True
 
     def _machine(self) -> SymbolicMachine:
-        return SymbolicMachine(self.checked, self.config, budget=self.budget)
+        return SymbolicMachine(self.program, self.config, budget=self.budget)
 
     def _check(
-        self, machine: SymbolicMachine, formula: Term
+        self, machine: SymbolicMachine, formula: Term,
+        session: Optional[_BmcSession] = None,
     ) -> tuple[CheckResult, Optional[ResourceReport]]:
-        solver = SmtSolver(
-            sat_config=self.sat_config,
-            budget=self.budget, escalation=self.escalation,
-        )
-        for name, (lo, hi) in machine.bounds.items():
-            solver.set_bounds(name, lo, hi)
-        for assumption in machine.assumptions:
-            solver.add(assumption)
-        solver.add(formula)
-        return governed_check(solver)
+        if session is not None:
+            session.sync()
+            return governed_check(session.solver, formula)
+        return governed_check(self._machine_solver(machine), formula)
 
     # ----- bounded model checking --------------------------------------------
 
@@ -119,12 +188,16 @@ class ModelChecker:
         """
         t0 = time.perf_counter()
         machine = self._machine()
+        session = (
+            _BmcSession(self._new_solver(), machine)
+            if self._incremental() else None
+        )
         calls = 0
         safe_until: Optional[int] = None
         for step in range(k + 1):
             goal = mk_not(prop(StateView(machine)))
             calls += 1
-            result, report = self._check(machine, goal)
+            result, report = self._check(machine, goal, session)
             if result is CheckResult.SAT:
                 return MCResult(
                     MCStatus.VIOLATED, k, violation_step=step,

@@ -20,31 +20,56 @@ from ..smt.model import Model
 from ..smt.sat.cdcl import CDCLConfig
 from ..smt.solver import CheckResult, SmtSolver, governed_check
 from ..smt.terms import Term, mk_not, mk_or
+from .base import AnalysisBackend
 from .smt_backend import CounterexampleTrace, Status, VerificationResult
 
 
-class NetworkBackend:
-    """Bounded symbolic analysis of a composed network of Buffy programs."""
+class NetworkBackend(AnalysisBackend):
+    """Bounded symbolic analysis of a composed network of Buffy programs.
+
+    Carries the same normalized keyword tail as the other back ends
+    (``budget`` / ``chaos`` / ``solver_factory`` / ``jobs`` / ``cache``
+    / ``incremental``); ``steps`` is the legacy ``horizon`` (third
+    positional argument, kept in place).
+    """
 
     def __init__(
         self,
-        programs: dict[str, CheckedProgram],
-        connections: Sequence[Connection],
-        horizon: int,
+        programs: dict[str, CheckedProgram] = None,
+        connections: Sequence[Connection] = (),
+        steps: Optional[int] = None,
         configs: Optional[dict[str, EncodeConfig]] = None,
         default_config: Optional[EncodeConfig] = None,
         sat_config: Optional[CDCLConfig] = None,
         validate_models: bool = True,
         budget: Optional[Budget] = None,
         escalation=None,
+        *,
+        chaos=None,
+        solver_factory=None,
+        jobs: Optional[int] = None,
+        cache=None,
+        incremental: Optional[bool] = None,
+        horizon: Optional[int] = None,
     ):
-        if horizon <= 0:
+        if horizon is not None:
+            if steps is not None:
+                raise TypeError(
+                    "NetworkBackend: pass either 'steps' or legacy"
+                    " 'horizon', not both"
+                )
+            steps = horizon
+        if steps is None or steps <= 0:
             raise ValueError("horizon must be positive")
-        self.horizon = horizon
-        self.sat_config = sat_config
-        self.validate_models = validate_models
-        self.budget = budget
-        self.escalation = escalation
+        super().__init__(
+            programs, steps,
+            sat_config=sat_config, validate_models=validate_models,
+            budget=budget, escalation=escalation, chaos=chaos,
+            solver_factory=solver_factory, jobs=jobs, cache=cache,
+            incremental=incremental,
+        )
+        self.horizon = steps
+        self._shared_solver: Optional[SmtSolver] = None
         self.network = SymbolicNetwork(
             programs, connections, configs=configs, default_config=default_config
         )
@@ -54,7 +79,7 @@ class NetworkBackend:
         # and every later query answers UNKNOWN with this report.
         self._unroll_report: Optional[ResourceReport] = None
         try:
-            for _ in range(horizon):
+            for _ in range(steps):
                 self.network.exec_step()
         except BudgetExhausted as exc:
             self._unroll_report = exc.report
@@ -79,14 +104,15 @@ class NetworkBackend:
     # ----- solving ------------------------------------------------------------------
 
     def _solver(self) -> SmtSolver:
-        solver = SmtSolver(
-            sat_config=self.sat_config, validate_models=self.validate_models,
-            budget=self.budget, escalation=self.escalation,
-        )
+        if self._incremental() and self._shared_solver is not None:
+            return self._shared_solver
+        solver = self._new_solver()
         for name, (lo, hi) in self.network.bounds.items():
             solver.set_bounds(name, lo, hi)
         for assumption in self.network.assumptions:
             solver.add(assumption)
+        if self._incremental():
+            self._shared_solver = solver
         return solver
 
     def _exhausted_result(
@@ -109,10 +135,8 @@ class NetworkBackend:
         if not obligations:
             return VerificationResult(Status.PROVED, self.horizon)
         solver = self._solver()
-        for a in extra_assumptions:
-            solver.add(a)
-        solver.add(mk_or(*[mk_not(ob.formula) for ob in obligations]))
-        result, report = governed_check(solver)
+        goal = mk_or(*[mk_not(ob.formula) for ob in obligations])
+        result, report = governed_check(solver, *extra_assumptions, goal)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNKNOWN:
             return self._exhausted_result(report, elapsed, solver)
@@ -137,10 +161,7 @@ class NetworkBackend:
         if self._unroll_report is not None:
             return self._exhausted_result(self._unroll_report, 0.0)
         solver = self._solver()
-        for a in extra_assumptions:
-            solver.add(a)
-        solver.add(query)
-        result, report = governed_check(solver)
+        result, report = governed_check(solver, *extra_assumptions, query)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNKNOWN:
             return self._exhausted_result(report, elapsed, solver)

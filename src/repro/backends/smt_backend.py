@@ -33,6 +33,7 @@ from ..smt.model import Model
 from ..smt.sat.cdcl import CDCLConfig
 from ..smt.solver import CheckResult, SmtSolver, SolverStats, governed_check
 from ..smt.terms import TRUE, Term, mk_and, mk_not, mk_or
+from .base import AnalysisBackend, resolve_legacy_names
 
 
 class Status(enum.Enum):
@@ -97,35 +98,91 @@ class VerificationResult:
         """False when the analysis stopped early (budget/fault)."""
         return self.status is not Status.UNKNOWN
 
+    def outcome(self):
+        """Convert to the uniform :class:`repro.analysis.result.AnalysisOutcome`."""
+        # Lazy import: repro.analysis imports the back ends at package
+        # init, so the reverse edge must not run at module import time.
+        from ..analysis.result import AnalysisOutcome, Verdict, verdict_for_unknown
 
-class SmtBackend:
-    """Bounded (unrolled) symbolic analysis of one Buffy program."""
+        if self.status is Status.UNKNOWN:
+            verdict = verdict_for_unknown(self.resource_report)
+        else:
+            verdict = {
+                Status.PROVED: Verdict.PROVED,
+                Status.VIOLATED: Verdict.VIOLATED,
+                # find_trace: the requested witness exists / provably cannot.
+                Status.SATISFIED: Verdict.PROVED,
+                Status.UNSATISFIABLE: Verdict.VIOLATED,
+            }[self.status]
+        stats: dict[str, object] = {
+            "horizon": self.horizon,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.solver_stats is not None:
+            stats["conflicts"] = self.solver_stats.sat.conflicts
+            stats["attempts"] = self.solver_stats.attempts
+            stats["cache_hit"] = self.solver_stats.cache_hit
+        return AnalysisOutcome(
+            verdict=verdict,
+            witness=self.counterexample,
+            report=self.resource_report,
+            stats=stats,
+        )
+
+
+class SmtBackend(AnalysisBackend):
+    """Bounded (unrolled) symbolic analysis of one Buffy program.
+
+    Normalized constructor: ``SmtBackend(program, steps, *, budget=...,
+    chaos=..., solver_factory=..., jobs=..., cache=..., incremental=...)``.
+    The legacy ``checked=`` / ``horizon=`` keyword spellings remain as
+    deprecated shims.  With ``incremental=True`` one solver (and one
+    bit-blasted encoding of the unrolled machine) is shared across all
+    queries; each query's formulas are passed as check-time assumptions
+    so the shared encoding is never polluted.
+    """
 
     def __init__(
         self,
-        checked: CheckedProgram,
-        horizon: int,
+        program: Optional[CheckedProgram] = None,
+        steps: Optional[int] = None,
         config: Optional[EncodeConfig] = None,
         sat_config: Optional[CDCLConfig] = None,
         validate_models: bool = True,
         budget: Optional[Budget] = None,
         escalation=None,
+        *,
+        chaos=None,
+        solver_factory=None,
+        jobs: Optional[int] = None,
+        cache=None,
+        incremental: Optional[bool] = None,
+        checked: Optional[CheckedProgram] = None,
+        horizon: Optional[int] = None,
     ):
-        if horizon <= 0:
+        program, steps = resolve_legacy_names(
+            program, steps, checked, horizon, "SmtBackend"
+        )
+        if program is None or steps is None:
+            raise TypeError("SmtBackend requires a program and a horizon")
+        if steps <= 0:
             raise ValueError("horizon must be positive")
-        self.checked = checked
-        self.horizon = horizon
+        super().__init__(
+            program, steps,
+            sat_config=sat_config, validate_models=validate_models,
+            budget=budget, escalation=escalation, chaos=chaos,
+            solver_factory=solver_factory, jobs=jobs, cache=cache,
+            incremental=incremental,
+        )
+        self.horizon = steps
         self.config = config or EncodeConfig()
-        self.sat_config = sat_config
-        self.validate_models = validate_models
-        self.budget = budget
-        self.escalation = escalation
-        self.machine = SymbolicMachine(checked, self.config, budget=budget)
+        self.machine = SymbolicMachine(program, self.config, budget=budget)
+        self._shared_solver: Optional[SmtSolver] = None
         # Budget exhaustion during unrolling is remembered, not raised:
         # every later query then answers UNKNOWN with this report.
         self._unroll_report: Optional[ResourceReport] = None
         try:
-            for _ in range(horizon):
+            for _ in range(steps):
                 self.machine.exec_step()
         except BudgetExhausted as exc:
             self._unroll_report = exc.report
@@ -155,15 +212,11 @@ class SmtBackend:
     # ----- solving -----------------------------------------------------------------
 
     def _solver(self) -> SmtSolver:
-        solver = SmtSolver(
-            sat_config=self.sat_config, validate_models=self.validate_models,
-            budget=self.budget, escalation=self.escalation,
-        )
-        for name, (lo, hi) in self.machine.bounds.items():
-            solver.set_bounds(name, lo, hi)
-        for assumption in self.machine.assumptions:
-            solver.add(assumption)
-        return solver
+        if self._incremental():
+            if self._shared_solver is None:
+                self._shared_solver = self._machine_solver(self.machine)
+            return self._shared_solver
+        return self._machine_solver(self.machine)
 
     def _exhausted_result(
         self, report: Optional[ResourceReport], elapsed: float,
@@ -182,14 +235,14 @@ class SmtBackend:
         t0 = time.perf_counter()
         if self._unroll_report is not None:
             return self._exhausted_result(self._unroll_report, 0.0)
-        solver = self._solver()
-        for a in extra_assumptions:
-            solver.add(a)
         obligations = self.machine.obligations
         if not obligations:
             return VerificationResult(Status.PROVED, self.horizon)
-        solver.add(mk_or(*[mk_not(ob.formula) for ob in obligations]))
-        result, report = governed_check(solver)
+        solver = self._solver()
+        # Query formulas ride as check-time assumptions (conjoined for
+        # this one call) so a shared incremental solver stays clean.
+        goal = mk_or(*[mk_not(ob.formula) for ob in obligations])
+        result, report = governed_check(solver, *extra_assumptions, goal)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNKNOWN:
             return self._exhausted_result(report, elapsed, solver)
@@ -219,10 +272,7 @@ class SmtBackend:
         if self._unroll_report is not None:
             return self._exhausted_result(self._unroll_report, 0.0)
         solver = self._solver()
-        for a in extra_assumptions:
-            solver.add(a)
-        solver.add(query)
-        result, report = governed_check(solver)
+        result, report = governed_check(solver, *extra_assumptions, query)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNKNOWN:
             return self._exhausted_result(report, elapsed, solver)

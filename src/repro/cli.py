@@ -12,9 +12,11 @@ Commands:
 Named constants for ``buffer[N]``-style sizes are passed with
 ``-D N=3`` (repeatable).
 
-Exit codes for ``verify``: 0 — all asserts proved; 1 — a counterexample
-was found; 2 — undecided (e.g. an injected fault); 3 — the resource
-budget was exhausted (``--timeout``); 4 — usage/input errors.
+Exit codes for ``verify`` derive from
+:class:`repro.analysis.result.Verdict` (the one place they are
+defined): 0 — all asserts proved; 1 — a counterexample was found; 2 —
+undecided (e.g. an injected fault); 3 — the resource budget was
+exhausted (``--timeout``); 4 — usage/input errors.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from .analysis.result import BUDGET_REASONS, EXIT_ERROR, Verdict
 from .analysis.workloads import random_workload
 from .backends.smt_backend import SmtBackend, Status
 from .compiler.symexec import EncodeConfig
@@ -31,13 +34,13 @@ from .lang.checker import check_program
 from .lang.interp import Interpreter
 from .lang.parser import parse_program
 from .lang.pretty import pretty_program
-from .runtime.budget import Budget, ExhaustionReason
+from .runtime.budget import Budget
 
-EXIT_PROVED = 0
-EXIT_VIOLATED = 1
-EXIT_UNKNOWN = 2
-EXIT_BUDGET = 3
-EXIT_ERROR = 4
+# Back-compat aliases: the canonical mapping lives on Verdict.exit_code.
+EXIT_PROVED = Verdict.PROVED.exit_code
+EXIT_VIOLATED = Verdict.VIOLATED.exit_code
+EXIT_UNKNOWN = Verdict.UNDECIDED.exit_code
+EXIT_BUDGET = Verdict.EXHAUSTED.exit_code
 
 
 def _parse_defines(defines: Sequence[str]) -> dict[str, int]:
@@ -111,13 +114,8 @@ def cmd_run(args) -> int:
     return 0
 
 
-_BUDGET_REASONS = frozenset({
-    ExhaustionReason.DEADLINE,
-    ExhaustionReason.CONFLICTS,
-    ExhaustionReason.MEMORY,
-    ExhaustionReason.SOLVER_CALLS,
-    ExhaustionReason.CANCELLED,
-})
+# Deprecated alias; the canonical set lives in repro.analysis.result.
+_BUDGET_REASONS = BUDGET_REASONS
 
 
 def cmd_verify(args) -> int:
@@ -129,22 +127,18 @@ def cmd_verify(args) -> int:
             raise SystemExit(EXIT_ERROR)
         budget = Budget(deadline_seconds=args.timeout)
     backend = SmtBackend(
-        checked, horizon=args.horizon, config=_config(args), budget=budget
+        checked, horizon=args.horizon, config=_config(args), budget=budget,
+        jobs=args.jobs,
     )
     result = backend.check_assertions()
     print(f"{checked.name}: {result.status.value}"
           f" (T={args.horizon}, {result.elapsed_seconds:.2f}s)")
     if result.status is Status.VIOLATED:
         print(result.counterexample.describe())
-        return EXIT_VIOLATED
-    if result.status is Status.PROVED:
-        return EXIT_PROVED
-    report = result.resource_report
-    if report is not None:
-        print(report.describe())
-        if report.reason in _BUDGET_REASONS:
-            return EXIT_BUDGET
-    return EXIT_UNKNOWN
+    elif result.resource_report is not None:
+        print(result.resource_report.describe())
+    # The exit code derives from the Verdict in exactly one place.
+    return result.outcome().exit_code
 
 
 def cmd_smtlib(args) -> int:
@@ -202,6 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                        help="wall-clock budget; an exhausted run exits 3"
                             " with a resource report instead of hanging")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="solver processes for the parallel portfolio"
+                            " (default $REPRO_JOBS or 1)")
 
     for name, fn, help_text in (
         ("check", cmd_check, "parse and type-check"),

@@ -1,0 +1,39 @@
+"""The solving engine: parallel portfolio, incremental reuse, caching.
+
+Everything here sits *under* the :class:`repro.smt.solver.SmtSolver`
+facade — callers keep the assert/check/model interface and opt into the
+engine through ``SmtSolver(parallelism=..., cache=..., incremental=...)``
+or the backend/CLI ``jobs`` knobs.
+"""
+
+from .cache import (
+    CacheEntry,
+    CacheStats,
+    ResultCache,
+    default_cache,
+    formula_fingerprint,
+    resolve_cache,
+)
+from .parallel import (
+    PoolUnavailable,
+    PortfolioPool,
+    SlotResult,
+    default_jobs,
+    get_pool,
+    shutdown_pool,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "ResultCache",
+    "default_cache",
+    "formula_fingerprint",
+    "resolve_cache",
+    "PoolUnavailable",
+    "PortfolioPool",
+    "SlotResult",
+    "default_jobs",
+    "get_pool",
+    "shutdown_pool",
+]

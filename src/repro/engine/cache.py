@@ -1,0 +1,263 @@
+"""Content-addressed result cache for SMT queries.
+
+A query is the pair *(set of asserted formulas, effective integer
+bounds)*.  Both determine the answer completely — the pipeline is a
+decision procedure — so a canonical fingerprint of the two is a sound
+cache key.  The fingerprint is **structural** (per-node sha256 over the
+hash-consed term DAG), not ``id``-based, so keys are stable across
+processes and interpreter runs and can address an on-disk store.
+
+Two tiers:
+
+* an in-memory LRU (:class:`ResultCache`), always on when the solver is
+  given a cache;
+* an optional on-disk store (JSON files under ``~/.cache/repro`` by
+  default, overridable via ``REPRO_CACHE_DIR``) shared between runs.
+
+Only definitive answers (SAT with a decoded assignment, UNSAT) are
+cached; UNKNOWN depends on the budget that produced it and is never
+stored.  SAT hits are re-validated against the query's own terms by the
+solver before being trusted, so a corrupted disk entry degrades to a
+miss, never to a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from ..smt.intervals import BoundsEnv
+from ..smt.terms import Term, iter_dag
+
+Assignment = Mapping[str, Union[bool, int]]
+
+
+def _term_digests(root: Term, memo: dict[int, bytes]) -> bytes:
+    """Structural sha256 digest of every node under ``root`` (memoized)."""
+    for node in iter_dag(root):
+        if id(node) in memo:
+            continue
+        h = hashlib.sha256()
+        h.update(node.op.value.encode())
+        h.update(b"\x00")
+        h.update(node.sort.value.encode())
+        h.update(b"\x00")
+        if node.payload is not None:
+            # repr() distinguishes True from 1 and "x" from x.
+            h.update(repr(node.payload).encode())
+        h.update(b"\x00")
+        for arg in node.args:
+            h.update(memo[id(arg)])
+        memo[id(node)] = h.digest()
+    return memo[id(root)]
+
+
+def formula_fingerprint(
+    formulas: Sequence[Term], bounds: BoundsEnv,
+    memo: Optional[dict[int, bytes]] = None,
+) -> str:
+    """Canonical hex key for a query: formulas + the bounds that matter.
+
+    Formula digests are sorted, so assertion order does not split cache
+    entries.  Bounds contribute only the intervals of integer variables
+    free in the formulas (plus the default interval, which governs any
+    undeclared variable) — changing an irrelevant bound does not miss,
+    while changing a relevant one always does.
+    """
+    if memo is None:
+        memo = {}
+    digests = sorted(_term_digests(f, memo) for f in formulas)
+    names = sorted(
+        {
+            node.name
+            for f in formulas
+            for node in iter_dag(f)
+            if node.is_var
+        }
+    )
+    h = hashlib.sha256()
+    for d in digests:
+        h.update(d)
+    h.update(b"|bounds|")
+    default = bounds.default
+    h.update(f"default:{default.lo}:{default.hi}".encode())
+    for name in names:
+        iv = bounds.get(name)
+        h.update(f"|{name}:{iv.lo}:{iv.hi}".encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, surfaced in :class:`ResourceReport`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalid: int = 0  # disk entries that failed to parse / validate
+
+
+@dataclass
+class CacheEntry:
+    """A definitive answer: verdict plus the decoded assignment (SAT)."""
+
+    verdict: str  # "sat" | "unsat"
+    assignment: Optional[dict[str, Union[bool, int]]] = None
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+
+
+class ResultCache:
+    """In-memory LRU + optional on-disk store of query results.
+
+    Thread-compatible for the repo's single-threaded solvers; disk
+    writes are atomic (temp file + rename) so concurrent CI shards can
+    share one directory.
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 disk_dir: Optional[Union[str, Path]] = None):
+        self.capacity = max(1, capacity)
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+        self._lru: OrderedDict[str, CacheEntry] = OrderedDict()
+
+    # ----- lookup -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self._lru.get(key)
+        if entry is not None:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        entry = self._disk_get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._remember(key, entry)
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        if entry.verdict not in ("sat", "unsat"):
+            raise ValueError("only definitive verdicts are cacheable")
+        self.stats.stores += 1
+        self._remember(key, entry)
+        self._disk_put(key, entry)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def _remember(self, key: str, entry: CacheEntry) -> None:
+        self._lru[key] = entry
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ----- disk tier --------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / key[:2] / f"{key}.json"
+
+    def _disk_get(self, key: str) -> Optional[CacheEntry]:
+        if self.disk_dir is None:
+            return None
+        try:
+            raw = self._disk_path(key).read_text()
+            data = json.loads(raw)
+            verdict = data["verdict"]
+            if verdict not in ("sat", "unsat"):
+                raise ValueError(verdict)
+            assignment = data.get("assignment")
+            if assignment is not None and not isinstance(assignment, dict):
+                raise ValueError("bad assignment")
+            return CacheEntry(
+                verdict=verdict,
+                assignment=assignment,
+                cnf_vars=int(data.get("cnf_vars", 0)),
+                cnf_clauses=int(data.get("cnf_clauses", 0)),
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.invalid += 1
+            return None
+
+    def _disk_put(self, key: str, entry: CacheEntry) -> None:
+        if self.disk_dir is None:
+            return
+        path = self._disk_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps({
+                "verdict": entry.verdict,
+                "assignment": entry.assignment,
+                "cnf_vars": entry.cnf_vars,
+                "cnf_clauses": entry.cnf_clauses,
+            }))
+            tmp.replace(path)
+        except OSError:
+            # Best-effort: a read-only or full disk must not fail a solve.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+DEFAULT_DISK_DIR = Path.home() / ".cache" / "repro"
+
+_default_cache: Optional[ResultCache] = None
+_default_key: Optional[tuple] = None
+
+
+def resolve_cache(setting) -> Optional[ResultCache]:
+    """Map a cache knob (None / bool / ResultCache) to an effective cache.
+
+    ``False`` disables caching outright; ``None``/``True`` defer to the
+    environment-configured :func:`default_cache`; a :class:`ResultCache`
+    instance is used as-is.
+    """
+    if setting is False:
+        return None
+    if setting is None or setting is True:
+        return default_cache()
+    return setting
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The process-wide cache configured by environment variables.
+
+    Caching is opt-in: ``REPRO_CACHE=1`` enables a process-wide
+    in-memory LRU, ``REPRO_CACHE=disk`` additionally persists under
+    ``~/.cache/repro``, and ``REPRO_CACHE_DIR=DIR`` persists under DIR.
+    With none of these set (or ``REPRO_CACHE=0``) there is no ambient
+    cache — solvers only cache when handed one explicitly.
+    """
+    global _default_cache, _default_key
+    mode = os.environ.get("REPRO_CACHE", "").strip().lower()
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    key = (mode, cache_dir)
+    if key == _default_key:
+        return _default_cache
+    if mode in ("", "0", "off", "none", "false") and not cache_dir:
+        _default_cache, _default_key = None, key
+        return None
+    disk: Optional[Path] = Path(cache_dir) if cache_dir else None
+    if disk is None and mode == "disk":
+        disk = DEFAULT_DISK_DIR
+    _default_cache, _default_key = ResultCache(disk_dir=disk), key
+    return _default_cache

@@ -1,0 +1,403 @@
+"""Process-parallel CDCL portfolio.
+
+The sequential :class:`~repro.runtime.portfolio.EscalationPolicy`
+ladder tries one CDCL configuration after another.  With ``jobs > 1``
+the same ladder races **concurrently**: every configuration solves the
+identical (picklable) CNF in its own worker process, the first
+definitive SAT/UNSAT answer wins and the losers are cancelled
+cooperatively.  Because every configuration is a complete decision
+procedure, the winning *verdict* is deterministic regardless of which
+worker reports first — only the model and the timing can vary.
+
+Design notes:
+
+* Workers are **persistent** — the pool is shared across queries (one
+  fork/spawn per worker per process lifetime, not per check), fed by
+  per-worker task queues and drained through one shared result queue.
+* Cancellation is a shared monotonically increasing *generation*
+  counter: the parent bumps it to the current task id when a winner
+  lands, and each worker's budget treats ``generation >= my task id``
+  as :attr:`ExhaustionReason.CANCELLED` at its normal safepoints.
+  Stale results from cancelled tasks are filtered by task id.
+* Budget deadlines are shipped as *remaining seconds* and re-anchored
+  on the worker's own monotonic clock, so the pool never depends on
+  clocks being shared across processes.
+* The module is spawn-safe: the worker entrypoint is a top-level
+  function and every payload (clause lists, config kwargs, assumption
+  literals) is picklable.  On platforms offering ``fork`` we prefer it
+  for its near-zero startup cost.
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import multiprocessing as mp
+import os
+import queue as queue_mod
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..runtime.budget import Budget, BudgetExhausted, ExhaustionReason
+from ..smt.cnf import CNF
+from ..smt.sat.cdcl import CDCLConfig, CDCLSolver, SatResult, SatStats
+
+
+def default_jobs() -> int:
+    """Parallelism from the ``REPRO_JOBS`` environment variable (>= 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+class _WorkerBudget(Budget):
+    """A worker-side budget that also honors the shared cancel generation."""
+
+    def __init__(self, cancel_cell, task_id: int, **kwargs):
+        super().__init__(**kwargs)
+        self._cancel_cell = cancel_cell
+        self._task_id = task_id
+
+    def exhausted(self) -> Optional[ExhaustionReason]:
+        if (
+            self._cancel_cell is not None
+            and self._cancel_cell.value >= self._task_id
+        ):
+            return ExhaustionReason.CANCELLED
+        return super().exhausted()
+
+
+def _stats_tuple(stats: SatStats) -> tuple:
+    return (
+        stats.decisions,
+        stats.conflicts,
+        stats.propagations,
+        stats.restarts,
+        stats.learned,
+        stats.deleted,
+        stats.minimized_lits,
+    )
+
+
+def _portfolio_worker(task_queue, result_queue, cancel_cell) -> None:
+    """Worker loop: solve (CNF, config, assumptions) tasks until poisoned.
+
+    Result messages are ``(task_id, slot, verdict, model, reason,
+    stats)`` where ``verdict`` is "sat"/"unsat"/"unknown"/"error",
+    ``model`` is a 1-indexed bool list for SAT, ``reason`` the
+    exhaustion reason value for UNKNOWN, and ``stats`` a SatStats tuple.
+    """
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        (task_id, slot, num_vars, clauses, config_kwargs, assumptions,
+         deadline, max_conflicts, max_learned) = task
+        if cancel_cell is not None and cancel_cell.value >= task_id:
+            result_queue.put(
+                (task_id, slot, "unknown", None, "cancelled",
+                 _stats_tuple(SatStats()))
+            )
+            continue
+        budget = _WorkerBudget(
+            cancel_cell, task_id,
+            deadline_seconds=deadline,
+            max_conflicts=max_conflicts,
+            max_learned_clauses=max_learned,
+        )
+        budget.start()
+        solver = CDCLSolver(
+            num_vars, CDCLConfig(**config_kwargs), budget=budget
+        )
+        try:
+            cnf = CNF(num_vars=num_vars, clauses=[list(c) for c in clauses])
+            ok = solver.add_cnf(cnf)
+            result = (
+                solver.solve(assumptions=assumptions) if ok else SatResult.UNSAT
+            )
+        except BudgetExhausted as exc:
+            result_queue.put(
+                (task_id, slot, "unknown", None, exc.report.reason.value,
+                 _stats_tuple(solver.stats))
+            )
+            continue
+        except Exception as exc:  # never kill the worker loop
+            result_queue.put(
+                (task_id, slot, "error", repr(exc), None,
+                 _stats_tuple(solver.stats))
+            )
+            continue
+        if result is SatResult.SAT:
+            result_queue.put(
+                (task_id, slot, "sat", solver.model(), None,
+                 _stats_tuple(solver.stats))
+            )
+        elif result is SatResult.UNSAT:
+            result_queue.put(
+                (task_id, slot, "unsat", None, None,
+                 _stats_tuple(solver.stats))
+            )
+        else:
+            reason = (
+                solver.exhaust_report.reason.value
+                if solver.exhaust_report is not None else None
+            )
+            result_queue.put(
+                (task_id, slot, "unknown", None, reason,
+                 _stats_tuple(solver.stats))
+            )
+
+
+@dataclass
+class SlotResult:
+    """Outcome of one portfolio slot (one config or one assumption set)."""
+
+    verdict: SatResult
+    model: Optional[list[bool]] = None
+    reason: Optional[str] = None  # ExhaustionReason.value for UNKNOWN
+    stats: SatStats = dataclasses.field(default_factory=SatStats)
+    error: Optional[str] = None
+
+
+class PoolUnavailable(RuntimeError):
+    """The pool cannot run (worker startup failed, workers died, ...)."""
+
+
+class PortfolioPool:
+    """A persistent pool of CDCL worker processes shared across queries."""
+
+    def __init__(self, jobs: int, start_method: Optional[str] = None):
+        self.jobs = max(1, jobs)
+        if start_method is None:
+            start_method = os.environ.get("REPRO_MP_START") or None
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = mp.get_context(start_method)
+        self._cancel = self._ctx.Value("q", 0)
+        self._results = self._ctx.Queue()
+        self._task_id = 0
+        self._workers: list[tuple] = []  # (process, task_queue)
+        self._closed = False
+        for _ in range(self.jobs):
+            self._spawn_worker()
+
+    # ----- lifecycle --------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        task_queue = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_portfolio_worker,
+            args=(task_queue, self._results, self._cancel),
+            daemon=True,
+        )
+        proc.start()
+        self._workers.append((proc, task_queue))
+
+    def _revive(self) -> None:
+        """Replace dead workers so one crash doesn't shrink the pool."""
+        alive = [(p, q) for p, q in self._workers if p.is_alive()]
+        self._workers = alive
+        while len(self._workers) < self.jobs:
+            self._spawn_worker()
+
+    def alive(self) -> bool:
+        return not self._closed and any(p.is_alive() for p, _ in self._workers)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._cancel.value = self._task_id + 1
+        for proc, task_queue in self._workers:
+            try:
+                task_queue.put_nowait(None)
+            except Exception:
+                pass
+        for proc, _ in self._workers:
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._workers = []
+
+    # ----- solving ----------------------------------------------------------
+
+    def solve_portfolio(
+        self,
+        cnf: CNF,
+        configs: Sequence[Optional[CDCLConfig]],
+        assumptions: Sequence[int] = (),
+        budget: Optional[Budget] = None,
+    ) -> tuple[SlotResult, int]:
+        """Race ``configs`` on one CNF; first SAT/UNSAT wins.
+
+        Returns ``(winner-or-summary, slots_dispatched)``.  When every
+        slot answers UNKNOWN the summary carries the first *hard*
+        exhaustion reason (or None for the retryable per-call conflict
+        cap) and the maximum per-slot spend.
+        """
+        tasks = [
+            (list(assumptions), config if config is not None else CDCLConfig())
+            for config in configs
+        ]
+        results = self._run(cnf, tasks, budget, first_wins=True)
+        definitive = next(
+            (
+                r for r in results
+                if r is not None
+                and r.verdict in (SatResult.SAT, SatResult.UNSAT)
+            ),
+            None,
+        )
+        if definitive is not None:
+            return definitive, len(tasks)
+        # All UNKNOWN (or dead): summarize.
+        summary = SlotResult(verdict=SatResult.UNKNOWN, stats=SatStats())
+        hard = None
+        for r in results:
+            if r is None:
+                continue
+            summary.stats.conflicts = max(
+                summary.stats.conflicts, r.stats.conflicts
+            )
+            summary.stats.learned = max(summary.stats.learned, r.stats.learned)
+            summary.stats.decisions = max(
+                summary.stats.decisions, r.stats.decisions
+            )
+            if r.reason is not None and r.reason != "cancelled" and hard is None:
+                hard = r.reason
+        summary.reason = hard
+        return summary, len(tasks)
+
+    def solve_many(
+        self,
+        cnf: CNF,
+        assumption_sets: Sequence[Sequence[int]],
+        config: Optional[CDCLConfig] = None,
+        budget: Optional[Budget] = None,
+    ) -> list[Optional[SlotResult]]:
+        """Solve one CNF under several assumption sets concurrently.
+
+        The data-parallel mode used by :class:`DafnyBackend` to
+        discharge independent VCs across the pool.  Every slot runs to
+        completion (no first-wins cancellation); a slot is None only if
+        its worker died.
+        """
+        config = config or CDCLConfig()
+        tasks = [(list(a), config) for a in assumption_sets]
+        return self._run(cnf, tasks, budget, first_wins=False)
+
+    def _run(
+        self,
+        cnf: CNF,
+        tasks: Sequence[tuple[list[int], CDCLConfig]],
+        budget: Optional[Budget],
+        first_wins: bool,
+    ) -> list[Optional[SlotResult]]:
+        if self._closed:
+            raise PoolUnavailable("pool is closed")
+        self._revive()
+        if not self._workers:
+            raise PoolUnavailable("no live workers")
+        self._task_id += 1
+        task_id = self._task_id
+        deadline = budget.remaining_seconds() if budget is not None else None
+        max_conflicts = max_learned = None
+        if budget is not None:
+            if budget.max_conflicts is not None:
+                max_conflicts = max(
+                    1, budget.max_conflicts - budget.conflicts
+                )
+            if budget.max_learned_clauses is not None:
+                max_learned = max(
+                    1, budget.max_learned_clauses - budget.learned_clauses
+                )
+        slots: list[Optional[SlotResult]] = [None] * len(tasks)
+        assigned_workers: list = []
+        for slot, (assumptions, config) in enumerate(tasks):
+            proc, task_queue = self._workers[slot % len(self._workers)]
+            task_queue.put((
+                task_id, slot, cnf.num_vars, cnf.clauses,
+                dataclasses.asdict(config), assumptions,
+                deadline, max_conflicts, max_learned,
+            ))
+            assigned_workers.append(proc)
+        pending = len(tasks)
+        winner_seen = False
+        while pending > 0:
+            try:
+                msg = self._results.get(timeout=0.05)
+            except queue_mod.Empty:
+                if budget is not None and budget.exhausted() is not None:
+                    # Parent budget ran out (e.g. cancel() from outside):
+                    # tell the workers and stop waiting for stragglers.
+                    self._cancel.value = task_id
+                    break
+                if not any(p.is_alive() for p in assigned_workers):
+                    break  # every worker with our tasks died
+                continue
+            msg_task_id, slot, verdict, payload, reason, stats_t = msg
+            if msg_task_id != task_id:
+                continue  # stale result from a cancelled generation
+            pending -= 1
+            stats = SatStats(*stats_t)
+            if verdict == "sat":
+                slots[slot] = SlotResult(SatResult.SAT, payload, None, stats)
+            elif verdict == "unsat":
+                slots[slot] = SlotResult(SatResult.UNSAT, None, None, stats)
+            elif verdict == "error":
+                slots[slot] = SlotResult(
+                    SatResult.UNKNOWN, None, "fault", stats, error=payload
+                )
+            else:
+                slots[slot] = SlotResult(
+                    SatResult.UNKNOWN, None, reason, stats
+                )
+            if (
+                first_wins
+                and not winner_seen
+                and verdict in ("sat", "unsat")
+            ):
+                winner_seen = True
+                self._cancel.value = task_id
+                # Keep draining so the queue stays clean, but losers are
+                # now cancelled and report quickly.
+        if first_wins and not winner_seen:
+            self._cancel.value = task_id
+        if budget is not None:
+            # Charge the critical-path spend (max across slots), not the
+            # aggregate: budgets govern wall-clock-equivalent work.
+            done = [s for s in slots if s is not None]
+            if done:
+                budget.charge_conflicts(max(s.stats.conflicts for s in done))
+                budget.charge_learned(max(s.stats.learned for s in done))
+        return slots
+
+
+_shared_pool: Optional[PortfolioPool] = None
+
+
+def get_pool(jobs: int) -> PortfolioPool:
+    """The process-wide pool, grown (never shrunk) to ``jobs`` workers."""
+    global _shared_pool
+    if (
+        _shared_pool is None
+        or _shared_pool.jobs < jobs
+        or not _shared_pool.alive()
+    ):
+        if _shared_pool is not None:
+            _shared_pool.close()
+        _shared_pool = PortfolioPool(jobs)
+    return _shared_pool
+
+
+def shutdown_pool() -> None:
+    global _shared_pool
+    if _shared_pool is not None:
+        _shared_pool.close()
+        _shared_pool = None
+
+
+atexit.register(shutdown_pool)

@@ -56,6 +56,9 @@ class ResourceReport:
     solver_calls: int = 0
     max_solver_calls: Optional[int] = None
     attempts: int = 1
+    # Result-cache counters (repro.engine.cache), when a cache was used.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def describe(self) -> str:
         """Human-readable rendering (used by the CLI)."""
@@ -85,6 +88,11 @@ class ResourceReport:
         )
         if self.attempts > 1:
             lines.append(f"  escalation attempts: {self.attempts}")
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"  result cache: {self.cache_hits} hits,"
+                f" {self.cache_misses} misses"
+            )
         return "\n".join(lines)
 
 

@@ -13,9 +13,12 @@ retried: the overall budget always wins.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..smt.sat.cdcl import CDCLConfig
+
+if TYPE_CHECKING:
+    from .budget import Budget
 
 
 @dataclass(frozen=True)
@@ -30,9 +33,19 @@ class EscalationPolicy:
     max_attempts: int = 3
     conflict_growth: float = 2.0
 
-    def ladder(self, base: Optional[CDCLConfig]) -> list[CDCLConfig]:
-        """Variant configurations for retries, in escalation order."""
+    def ladder(
+        self, base: Optional[CDCLConfig], budget: Optional["Budget"] = None,
+    ) -> list[CDCLConfig]:
+        """Variant configurations for retries, in escalation order.
+
+        With a ``budget`` whose wall clock is already spent, the ladder
+        is empty: a doomed rung is never even constructed.  (Per-rung
+        affordability during the climb is checked by
+        :meth:`can_afford`, which knows the previous rung's cost.)
+        """
         base = base or CDCLConfig()
+        if budget is not None and budget.exhausted() is not None:
+            return []
         variants: list[CDCLConfig] = []
         for i in range(max(0, self.max_attempts - 1)):
             cfg = self._vary(base, i)
@@ -46,6 +59,28 @@ class EscalationPolicy:
                 )
             variants.append(cfg)
         return variants
+
+    @staticmethod
+    def can_afford(
+        budget: Optional["Budget"], min_expected_seconds: float
+    ) -> bool:
+        """Whether the remaining wall-clock budget can pay for a rung.
+
+        ``min_expected_seconds`` is a floor on the rung's cost — callers
+        pass the previous rung's elapsed time, since every later rung
+        has a geometrically *larger* conflict slice and therefore runs
+        at least as long before giving up.  Skipping a rung the budget
+        cannot pay for turns "start, burn the tail of the deadline,
+        report DEADLINE" into an immediate honest UNKNOWN.
+        """
+        if budget is None:
+            return True
+        if budget.exhausted() is not None:
+            return False
+        remaining = budget.remaining_seconds()
+        if remaining is None:
+            return True
+        return remaining > min_expected_seconds
 
     @staticmethod
     def _vary(base: CDCLConfig, step: int) -> CDCLConfig:

@@ -445,6 +445,17 @@ class CDCLSolver:
             except ValueError:  # pragma: no cover - defensive
                 pass
 
+    # ----- incremental interface -------------------------------------------------
+
+    def backtrack_to_root(self) -> None:
+        """Undo all decisions, keeping root-level assignments and learnts.
+
+        Incremental callers must be at the root level before adding
+        clauses between :meth:`solve` calls — :meth:`add_clause`'s
+        level-0 simplification and unit handling assume it.
+        """
+        self._backtrack(0)
+
     # ----- main search -----------------------------------------------------------
 
     def solve(self, assumptions: Sequence[int] = (),
@@ -460,6 +471,9 @@ class CDCLSolver:
             budget = self.budget
         self.exhaust_report = None
         self._conflict_assumptions = []
+        # The per-call conflict cap is a *delta* from this call's start,
+        # so a reused (incremental) solver gets a fresh slice each call.
+        conflicts_at_start = self.stats.conflicts
         if not self._ok:
             return SatResult.UNSAT
         self._backtrack(0)
@@ -511,7 +525,8 @@ class CDCLSolver:
                         return SatResult.UNKNOWN
                 if (
                     self.config.max_conflicts is not None
-                    and self.stats.conflicts >= self.config.max_conflicts
+                    and self.stats.conflicts - conflicts_at_start
+                    >= self.config.max_conflicts
                 ):
                     return SatResult.UNKNOWN
                 continue

@@ -21,6 +21,21 @@ cancellable; an exhausted run answers :attr:`CheckResult.UNKNOWN` with
 An optional :class:`repro.runtime.EscalationPolicy` retries retryable
 UNKNOWNs (per-call conflict caps) with varied CDCL configurations
 before giving up.
+
+The solving engine (:mod:`repro.engine`) adds three opt-in modes under
+this same facade:
+
+* ``parallelism=N`` (or ``REPRO_JOBS=N``) races the escalation ladder's
+  configurations concurrently in a shared process pool — first SAT or
+  UNSAT wins, losers are cancelled.  Verdicts are deterministic (every
+  configuration decides the same theory); models and timings may vary.
+* ``cache=`` consults a content-addressed result cache *before*
+  encoding; identical (formulas, bounds) queries answer in microseconds.
+* ``incremental=True`` keeps one bit-blasted CNF and one CDCL solver
+  alive across ``check()`` calls: assumptions become SAT-level
+  assumption literals, push/pop frames become activation literals, and
+  learned clauses survive — the mode `DafnyBackend` and Houdini use to
+  discharge many near-identical queries against one shared encoding.
 """
 
 from __future__ import annotations
@@ -45,6 +60,7 @@ from .sorts import BOOL
 from .terms import TRUE, Term, evaluate, free_vars, mk_and
 
 if TYPE_CHECKING:
+    from ..engine.cache import ResultCache
     from ..runtime.chaos import ChaosMonkey
     from ..runtime.portfolio import EscalationPolicy
 
@@ -70,12 +86,113 @@ class SolverStats:
     cnf_clauses: int = 0
     attempts: int = 1
     sat: SatStats = field(default_factory=SatStats)
+    cache_hit: bool = False
+
+
+@dataclass
+class _SolveOutcome:
+    """Internal: what the (sequential or parallel) search produced."""
+
+    result: SatResult
+    model: Optional[list[bool]] = None
+    stats: SatStats = field(default_factory=SatStats)
+    exhaust_report: Optional[ResourceReport] = None
+    attempts: int = 1
+
+
+class _IncFrame:
+    """Bookkeeping for one assertion-stack frame in incremental mode."""
+
+    __slots__ = ("act", "encoded")
+
+    def __init__(self, act: Optional[int]):
+        self.act = act      # activation literal; None for the root frame
+        self.encoded = 0    # formulas of this frame already encoded
+
+
+class _IncrementalSession:
+    """One live (BitBlaster, CDCLSolver) pair reused across checks.
+
+    Push frames get an *activation literal*: every formula ``f`` of the
+    frame is encoded as the guard clause ``(-act ∨ lit(f))`` and ``act``
+    is assumed during solves.  Popping retires the frame by permanently
+    asserting ``-act`` — its clauses become vacuous, while everything
+    learned from them stays valid (learnt clauses can only mention
+    ``-act``, which is now true).
+    """
+
+    def __init__(self, bounds: BoundsEnv, config: Optional[CDCLConfig],
+                 budget: Optional[Budget]):
+        self.blaster = BitBlaster(bounds=bounds, budget=budget)
+        self.sat = CDCLSolver(0, config, budget=budget)
+        self.frames: list[_IncFrame] = [_IncFrame(act=None)]
+        self.retired_acts: list[int] = []
+        self.loaded_clauses = 0
+        self.budget = budget
+
+    def retire_to(self, depth: int) -> None:
+        """Drop frames beyond ``depth`` (called from ``pop()``)."""
+        while len(self.frames) > depth:
+            frame = self.frames.pop()
+            if frame.act is not None:
+                self.retired_acts.append(frame.act)
+
+    def sync(self, stack: Sequence[Sequence[Term]], assumptions: Sequence[Term],
+             simplify_terms: bool) -> list[int]:
+        """Encode everything new; return the assumption literals to solve under."""
+        blaster = self.blaster
+        for act in self.retired_acts:
+            blaster.cnf.add_clause([-act])
+        self.retired_acts.clear()
+        while len(self.frames) < len(stack):
+            self.frames.append(_IncFrame(act=blaster.cnf.new_var()))
+        if simplify_terms:
+            from .simplify import simplify
+        else:
+            simplify = None
+        for frame, formulas in zip(self.frames, stack):
+            while frame.encoded < len(formulas):
+                f = formulas[frame.encoded]
+                if simplify is not None:
+                    f = simplify(f)
+                if frame.act is None:
+                    blaster.assert_formula(f)
+                else:
+                    blaster.cnf.add_clause([-frame.act, blaster.literal_for(f)])
+                frame.encoded += 1
+        lits = [frame.act for frame in self.frames if frame.act is not None]
+        for a in assumptions:
+            f = simplify(a) if simplify is not None else a
+            lits.append(blaster.literal_for(f))
+        self._load_clauses()
+        return lits
+
+    def _load_clauses(self) -> None:
+        """Feed clauses added since the last solve into the live CDCL."""
+        sat = self.sat
+        sat.backtrack_to_root()
+        while sat.num_vars < self.blaster.cnf.num_vars:
+            sat.new_var()
+        clauses = self.blaster.cnf.clauses
+        i = self.loaded_clauses
+        while i < len(clauses):
+            if self.budget is not None and (i & 0xFFF) == 0xFFF:
+                self.budget.checkpoint("loading CNF into CDCL (incremental)")
+            sat.add_clause(clauses[i])  # False only on root-level unsat
+            i += 1
+            self.loaded_clauses = i
+
+    @property
+    def root_unsat(self) -> bool:
+        return not self.sat._ok
 
 
 class SmtSolver:
     """SMT solver for quantifier-free bounded-integer/boolean formulas."""
 
     # Installed by repro.runtime.chaos.inject_faults for fault testing.
+    # Read through ``self._chaos`` so an instance-level monkey (threaded
+    # in by a back end's ``chaos=`` parameter) overrides the class hook.
     _chaos: Optional["ChaosMonkey"] = None
 
     def __init__(
@@ -86,14 +203,24 @@ class SmtSolver:
         simplify_terms: bool = False,
         budget: Optional[Budget] = None,
         escalation: Optional["EscalationPolicy"] = None,
+        parallelism: Optional[int] = None,
+        cache: Union["ResultCache", None, bool] = None,
+        incremental: bool = False,
     ):
         self.sat_config = sat_config
         self.validate_models = validate_models
         self.simplify_terms = simplify_terms
         self.budget = budget
         self.escalation = escalation
+        # None defers to REPRO_JOBS at check() time; an int pins it.
+        self.parallelism = parallelism
+        # None defers to REPRO_CACHE/REPRO_CACHE_DIR; False disables;
+        # a ResultCache instance is used directly.
+        self.cache = cache
+        self.incremental = incremental
         self._bounds = BoundsEnv(default=default_bounds)
         self._stack: list[list[Term]] = [[]]
+        self._inc: Optional[_IncrementalSession] = None
         self._model: Optional[Model] = None
         self._last_result: Optional[CheckResult] = None
         self.last_report: Optional[ResourceReport] = None
@@ -115,6 +242,15 @@ class SmtSolver:
         variable without declared bounds uses the solver default.
         """
         name = var.name if isinstance(var, Term) else var
+        if (
+            self._inc is not None
+            and name in self._inc.blaster.varmap.int_vars
+            and self._bounds.get(name) != Interval(lo, hi)
+        ):
+            raise RuntimeError(
+                f"cannot change bounds of {name!r}: it is already encoded"
+                " in this incremental session"
+            )
         self._bounds.set(name, lo, hi)
 
     def assertions(self) -> list[Term]:
@@ -129,6 +265,22 @@ class SmtSolver:
         if len(self._stack) == 1:
             raise RuntimeError("pop without matching push")
         self._stack.pop()
+        if self._inc is not None:
+            self._inc.retire_to(len(self._stack))
+
+    # ----- engine knobs ---------------------------------------------------------
+
+    def _effective_jobs(self) -> int:
+        if self.parallelism is not None:
+            return max(1, self.parallelism)
+        from ..engine.parallel import default_jobs
+
+        return default_jobs()
+
+    def _effective_cache(self) -> Optional["ResultCache"]:
+        from ..engine.cache import resolve_cache
+
+        return resolve_cache(self.cache)
 
     # ----- solving ---------------------------------------------------------------
 
@@ -160,7 +312,7 @@ class SmtSolver:
                     SolverStats(),
                 )
 
-        monkey = type(self)._chaos
+        monkey = self._chaos
         if monkey is not None:
             # May sleep or raise InjectedFault; "unknown" short-circuits.
             if monkey.intercept() == "unknown":
@@ -177,6 +329,25 @@ class SmtSolver:
                         self.budget.report(reason, "refused before encoding"),
                         SolverStats(),
                     )
+
+        if self.incremental:
+            return self._check_incremental(list(assumptions))
+        return self._check_oneshot(formulas)
+
+    # ----- one-shot path (with cache and parallel portfolio) -------------------
+
+    def _check_oneshot(self, formulas: list[Term]) -> CheckResult:
+        cache = self._effective_cache()
+        cache_key: Optional[str] = None
+        if cache is not None:
+            from ..engine.cache import formula_fingerprint
+
+            cache_key = formula_fingerprint(formulas, self._bounds)
+            hit = cache.get(cache_key)
+            if hit is not None:
+                result = self._replay_cached(formulas, hit)
+                if result is not None:
+                    return result
 
         t0 = time.perf_counter()
         original_formulas = formulas
@@ -199,7 +370,7 @@ class SmtSolver:
             )
         t1 = time.perf_counter()
 
-        result, sat, attempts = self._solve_with_escalation(blaster)
+        outcome = self._solve_with_escalation(blaster)
         t2 = time.perf_counter()
 
         self.stats = SolverStats(
@@ -207,76 +378,246 @@ class SmtSolver:
             solve_seconds=t2 - t1,
             cnf_vars=blaster.cnf.num_vars,
             cnf_clauses=len(blaster.cnf.clauses),
-            attempts=attempts,
-            sat=sat.stats,
+            attempts=outcome.attempts,
+            sat=outcome.stats,
         )
 
-        if result is SatResult.UNKNOWN:
+        if outcome.result is SatResult.UNKNOWN:
             self._last_result = CheckResult.UNKNOWN
-            self.last_report = self._unknown_report(sat, attempts)
+            self.last_report = self._unknown_report(outcome)
             return CheckResult.UNKNOWN
-        if result is SatResult.UNSAT:
+        if outcome.result is SatResult.UNSAT:
+            if cache is not None and cache_key is not None:
+                self._cache_store(cache, cache_key, "unsat", None)
             self._last_result = CheckResult.UNSAT
             return CheckResult.UNSAT
 
-        assignment = blaster.varmap.decode(sat.model())
+        assert outcome.model is not None
+        assignment = blaster.varmap.decode(outcome.model)
         model = Model(assignment)
         if self.validate_models:
             # Validate against the *original* terms: this also checks the
             # simplifier preserved semantics on this model.
             self._validate(original_formulas, model)
+        if cache is not None and cache_key is not None:
+            self._cache_store(cache, cache_key, "sat", dict(assignment))
         self._model = model
         self._last_result = CheckResult.SAT
         return CheckResult.SAT
 
-    def _solve_with_escalation(
-        self, blaster: BitBlaster
-    ) -> tuple[SatResult, CDCLSolver, int]:
-        """Run CDCL, re-running retryable UNKNOWNs per the portfolio.
+    def _replay_cached(self, formulas: list[Term],
+                       hit) -> Optional[CheckResult]:
+        """Answer from a cache entry, or None when the entry is unusable.
+
+        SAT entries are always re-validated by evaluating the query's
+        own terms under the stored assignment, so a stale or corrupted
+        disk entry degrades to a miss, never to a wrong answer.
+        """
+        t0 = time.perf_counter()
+        if hit.verdict == "unsat":
+            self.stats = SolverStats(
+                solve_seconds=time.perf_counter() - t0,
+                cnf_vars=hit.cnf_vars,
+                cnf_clauses=hit.cnf_clauses,
+                cache_hit=True,
+            )
+            self._last_result = CheckResult.UNSAT
+            return CheckResult.UNSAT
+        assignment = hit.assignment or {}
+        model = Model(assignment)
+        for f in formulas:
+            if model.eval(f) is not True:
+                return None  # corrupt/colliding entry: fall through to solve
+        self.stats = SolverStats(
+            solve_seconds=time.perf_counter() - t0,
+            cnf_vars=hit.cnf_vars,
+            cnf_clauses=hit.cnf_clauses,
+            cache_hit=True,
+        )
+        self._model = model
+        self._last_result = CheckResult.SAT
+        return CheckResult.SAT
+
+    def _cache_store(self, cache, key: str, verdict: str,
+                     assignment: Optional[dict]) -> None:
+        from ..engine.cache import CacheEntry
+
+        cache.put(key, CacheEntry(
+            verdict=verdict,
+            assignment=assignment,
+            cnf_vars=self.stats.cnf_vars,
+            cnf_clauses=self.stats.cnf_clauses,
+        ))
+
+    def _solve_with_escalation(self, blaster: BitBlaster) -> _SolveOutcome:
+        """Run CDCL over the escalation ladder, sequentially or in parallel.
 
         Only a per-call conflict-cap UNKNOWN is retried (with a varied
         configuration on the same CNF); a hard budget exhaustion —
         deadline, cumulative caps, cancellation — always stops the
-        ladder immediately.
+        ladder immediately.  With ``parallelism > 1`` the whole ladder
+        races concurrently in the shared worker pool instead; the pool
+        falling over (unlikely) falls back to the sequential climb.
         """
         configs: list[Optional[CDCLConfig]] = [self.sat_config]
         if self.escalation is not None:
-            configs.extend(self.escalation.ladder(self.sat_config))
+            configs.extend(
+                self.escalation.ladder(self.sat_config, self.budget)
+            )
+        if self._effective_jobs() > 1:
+            try:
+                return self._solve_parallel(blaster, configs)
+            except Exception as exc:
+                from ..engine.parallel import PoolUnavailable
+
+                if not isinstance(exc, PoolUnavailable):
+                    raise
+                # fall through to the sequential ladder
+
         attempts = 0
-        result = SatResult.UNKNOWN
-        sat = CDCLSolver(0)
+        outcome = _SolveOutcome(SatResult.UNKNOWN)
+        last_seconds = 0.0
         for config in configs:
+            if attempts > 0 and not self.escalation.can_afford(
+                self.budget, last_seconds
+            ):
+                break  # the next (larger) rung cannot fit in the deadline
             attempts += 1
+            t0 = time.perf_counter()
             sat = CDCLSolver(blaster.cnf.num_vars, config, budget=self.budget)
             try:
                 ok = sat.add_cnf(blaster.cnf)
             except BudgetExhausted as exc:
-                sat.exhaust_report = exc.report
-                return SatResult.UNKNOWN, sat, attempts
+                return _SolveOutcome(
+                    SatResult.UNKNOWN, stats=sat.stats,
+                    exhaust_report=exc.report, attempts=attempts,
+                )
             result = sat.solve(budget=self.budget) if ok else SatResult.UNSAT
+            last_seconds = time.perf_counter() - t0
+            outcome = _SolveOutcome(
+                result,
+                model=sat.model() if result is SatResult.SAT else None,
+                stats=sat.stats,
+                exhaust_report=sat.exhaust_report,
+                attempts=attempts,
+            )
             if result is not SatResult.UNKNOWN:
                 break
             if sat.exhaust_report is not None:
                 break  # hard budget exhaustion: escalating would be futile
-        return result, sat, attempts
+        return outcome
 
-    def _unknown_report(self, sat: CDCLSolver, attempts: int) -> ResourceReport:
-        if sat.exhaust_report is not None:
-            report = sat.exhaust_report
-            report.attempts = attempts
-            return report
-        # Per-call conflict cap (CDCLConfig.max_conflicts), no Budget.
-        max_conflicts = (
-            self.sat_config.max_conflicts if self.sat_config else None
+    def _solve_parallel(
+        self, blaster: BitBlaster, configs: list[Optional[CDCLConfig]]
+    ) -> _SolveOutcome:
+        from ..engine.parallel import get_pool
+
+        pool = get_pool(self._effective_jobs())
+        slot, attempts = pool.solve_portfolio(
+            blaster.cnf, configs, budget=self.budget
         )
-        return ResourceReport(
-            reason=ExhaustionReason.CONFLICTS,
-            message="per-call conflict cap (CDCLConfig.max_conflicts)",
-            conflicts=sat.stats.conflicts,
-            max_conflicts=max_conflicts,
-            solver_calls=self.budget.solver_calls if self.budget else 1,
+        if slot.error is not None or slot.reason == "fault":
+            raise SolverFault(
+                f"portfolio worker failed: {slot.error or 'unknown fault'}"
+            )
+        exhaust_report: Optional[ResourceReport] = None
+        if slot.verdict is SatResult.UNKNOWN and slot.reason not in (
+            None, "cancelled",
+        ):
+            reason = ExhaustionReason(slot.reason)
+            if self.budget is not None:
+                exhaust_report = self.budget.report(
+                    reason, "parallel portfolio", attempts=attempts
+                )
+            else:
+                exhaust_report = ResourceReport(
+                    reason=reason, message="parallel portfolio",
+                    conflicts=slot.stats.conflicts, attempts=attempts,
+                )
+        return _SolveOutcome(
+            slot.verdict,
+            model=slot.model,
+            stats=slot.stats,
+            exhaust_report=exhaust_report,
             attempts=attempts,
         )
+
+    # ----- incremental path -----------------------------------------------------
+
+    def _check_incremental(self, assumptions: list[Term]) -> CheckResult:
+        t0 = time.perf_counter()
+        inc = self._inc
+        if inc is None:
+            inc = self._inc = _IncrementalSession(
+                self._bounds, self.sat_config, self.budget
+            )
+        try:
+            lits = inc.sync(self._stack, assumptions, self.simplify_terms)
+        except BudgetExhausted as exc:
+            return self._exhausted(
+                exc.report,
+                SolverStats(
+                    encode_seconds=time.perf_counter() - t0,
+                    cnf_vars=inc.blaster.cnf.num_vars,
+                    cnf_clauses=len(inc.blaster.cnf.clauses),
+                ),
+            )
+        t1 = time.perf_counter()
+        if inc.root_unsat:
+            result = SatResult.UNSAT
+        else:
+            result = inc.sat.solve(assumptions=lits, budget=self.budget)
+        t2 = time.perf_counter()
+        self.stats = SolverStats(
+            encode_seconds=t1 - t0,
+            solve_seconds=t2 - t1,
+            cnf_vars=inc.blaster.cnf.num_vars,
+            cnf_clauses=len(inc.blaster.cnf.clauses),
+            attempts=1,
+            sat=inc.sat.stats,  # cumulative across the session, by design
+        )
+        if result is SatResult.UNKNOWN:
+            self._last_result = CheckResult.UNKNOWN
+            self.last_report = self._unknown_report(_SolveOutcome(
+                result, stats=inc.sat.stats,
+                exhaust_report=inc.sat.exhaust_report,
+            ))
+            return CheckResult.UNKNOWN
+        if result is SatResult.UNSAT:
+            self._last_result = CheckResult.UNSAT
+            return CheckResult.UNSAT
+        assignment = inc.blaster.varmap.decode(inc.sat.model())
+        model = Model(assignment)
+        if self.validate_models:
+            self._validate(self.assertions() + assumptions, model)
+        self._model = model
+        self._last_result = CheckResult.SAT
+        return CheckResult.SAT
+
+    # ----- reporting ------------------------------------------------------------
+
+    def _unknown_report(self, outcome: _SolveOutcome) -> ResourceReport:
+        if outcome.exhaust_report is not None:
+            report = outcome.exhaust_report
+            report.attempts = outcome.attempts
+        else:
+            # Per-call conflict cap (CDCLConfig.max_conflicts), no Budget.
+            max_conflicts = (
+                self.sat_config.max_conflicts if self.sat_config else None
+            )
+            report = ResourceReport(
+                reason=ExhaustionReason.CONFLICTS,
+                message="per-call conflict cap (CDCLConfig.max_conflicts)",
+                conflicts=outcome.stats.conflicts,
+                max_conflicts=max_conflicts,
+                solver_calls=self.budget.solver_calls if self.budget else 1,
+                attempts=outcome.attempts,
+            )
+        cache = self._effective_cache()
+        if cache is not None:
+            report.cache_hits = cache.stats.hits
+            report.cache_misses = cache.stats.misses
+        return report
 
     def _exhausted(self, report: ResourceReport,
                    stats: SolverStats) -> CheckResult:
