@@ -38,18 +38,20 @@ def query(view):
     ])
 
 
-def test_hand_written_invariant(benchmark):
+def test_hand_written_invariant(benchmark, bench_json):
     dafny = DafnyBackend(strict_priority(2), config=CONFIG)
     report = benchmark.pedantic(
         lambda: dafny.verify_modular(hand_written, queries=[("q", query)]),
         rounds=1, iterations=1,
     )
     assert report.ok
+    bench_json("verify_seconds", report.elapsed_seconds, "s",
+               strategy="hand-written")
     _rows.append(f"hand-written invariant:  {report.elapsed_seconds:6.2f}s"
                  " (user supplies the spec)")
 
 
-def test_synthesized_invariant(benchmark):
+def test_synthesized_invariant(benchmark, bench_json):
     def synthesize_and_verify():
         houdini = HoudiniSynthesizer(strict_priority(2), config=CONFIG)
         result = houdini.synthesize()
@@ -63,6 +65,11 @@ def test_synthesized_invariant(benchmark):
         synthesize_and_verify, rounds=1, iterations=1
     )
     assert report.ok
+    bench_json("verify_seconds",
+               result.elapsed_seconds + report.elapsed_seconds, "s",
+               strategy="houdini")
+    bench_json("houdini_iterations", result.iterations, "rounds")
+    bench_json("invariant_conjuncts", len(result.invariant), "terms")
     _rows.append(
         f"Houdini + modular check: {result.elapsed_seconds + report.elapsed_seconds:6.2f}s"
         f" ({len(result.invariant)} conjuncts in {result.iterations}"
@@ -70,13 +77,15 @@ def test_synthesized_invariant(benchmark):
     )
 
 
-def test_monolithic_fallback(benchmark):
+def test_monolithic_fallback(benchmark, bench_json):
     dafny = DafnyBackend(strict_priority(2), config=CONFIG)
     report = benchmark.pedantic(
         lambda: dafny.verify_monolithic(4, queries=[("q", query)]),
         rounds=1, iterations=1,
     )
     assert report.ok
+    bench_json("verify_seconds", report.elapsed_seconds, "s",
+               strategy="monolithic", horizon=4)
     _rows.append(f"monolithic (T=4 only):   {report.elapsed_seconds:6.2f}s"
                  " (bounded result, grows with T)")
 

@@ -36,7 +36,7 @@ def query(view):
 
 
 @pytest.mark.parametrize("horizon", HORIZONS)
-def test_monolithic_cost(benchmark, horizon):
+def test_monolithic_cost(benchmark, horizon, bench_json):
     dafny = DafnyBackend(strict_priority(2), config=CONFIG)
     report = benchmark.pedantic(
         lambda: dafny.verify_monolithic(horizon, queries=[("q", query)]),
@@ -44,9 +44,11 @@ def test_monolithic_cost(benchmark, horizon):
     )
     assert report.ok
     _mono[horizon] = report.elapsed_seconds
+    bench_json("verify_seconds", report.elapsed_seconds, "s",
+               mode="monolithic", horizon=horizon)
 
 
-def test_modular_cost(benchmark):
+def test_modular_cost(benchmark, bench_json):
     dafny = DafnyBackend(strict_priority(2), config=CONFIG)
     report = benchmark.pedantic(
         lambda: dafny.verify_modular(conservation, queries=[("q", query)]),
@@ -54,6 +56,7 @@ def test_modular_cost(benchmark):
     )
     assert report.ok
     _modular.append(report.elapsed_seconds)
+    bench_json("verify_seconds", report.elapsed_seconds, "s", mode="modular")
 
 
 def test_modular_summary(benchmark, results_table):

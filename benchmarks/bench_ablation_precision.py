@@ -31,7 +31,7 @@ def count_query(backend):
 
 
 @pytest.mark.parametrize("model", ["list", "counter"])
-def test_count_query_per_model(benchmark, model):
+def test_count_query_per_model(benchmark, model, bench_json):
     config = EncodeConfig(
         buffer_model=model, buffer_capacity=6, arrivals_per_step=2
     )
@@ -42,6 +42,9 @@ def test_count_query_per_model(benchmark, model):
     )
     assert result.status is Status.SATISFIED
     stats = result.solver_stats
+    bench_json("solve_seconds", result.elapsed_seconds, "s", model=model)
+    bench_json("cnf_vars", stats.cnf_vars, "vars", model=model)
+    bench_json("cnf_clauses", stats.cnf_clauses, "clauses", model=model)
     _rows.append(
         f"{model:8s} model: count query satisfied,"
         f" {stats.cnf_vars} vars / {stats.cnf_clauses} clauses,"

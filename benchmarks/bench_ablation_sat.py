@@ -36,7 +36,7 @@ def total_work_query(view):
 
 
 @pytest.mark.parametrize("variant", list(VARIANTS))
-def test_sat_feature_ablation(benchmark, variant):
+def test_sat_feature_ablation(benchmark, variant, bench_json):
     dafny = DafnyBackend(
         fq_buggy(2), config=CONFIG, sat_config=VARIANTS[variant]
     )
@@ -48,6 +48,10 @@ def test_sat_feature_ablation(benchmark, variant):
     )
     # Every configuration must remain sound.
     assert report.ok
+    bench_json("verify_seconds", report.elapsed_seconds, "s",
+               variant=variant, horizon=HORIZON)
+    bench_json("cnf_clauses", report.vcs[0].cnf_clauses, "clauses",
+               variant=variant)
     _rows.append(
         f"{variant:16s}: {report.elapsed_seconds:7.2f}s"
         f" ({report.vcs[0].cnf_clauses} clauses)"

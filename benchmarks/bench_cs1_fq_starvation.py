@@ -37,7 +37,7 @@ def starvation_query(backend):
     )
 
 
-def test_cs1_buggy_trace_synthesis(benchmark, bench_budget):
+def test_cs1_buggy_trace_synthesis(benchmark, bench_budget, bench_json):
     backend = SmtBackend(fq_buggy(2), horizon=HORIZON, config=CONFIG,
                          budget=bench_budget())
     result = benchmark.pedantic(
@@ -48,6 +48,10 @@ def test_cs1_buggy_trace_synthesis(benchmark, bench_budget):
     assert result.status is Status.SATISFIED
     report = replay(fq_buggy(2), result.counterexample, backend=backend)
     assert report.consistent
+    bench_json("solve_seconds", result.elapsed_seconds, "s",
+               scheduler="buggy", horizon=HORIZON)
+    bench_json("cnf_clauses", result.solver_stats.cnf_clauses, "clauses",
+               scheduler="buggy")
     _summary.append(
         f"buggy FQ, T={HORIZON}: starvation trace FOUND in"
         f" {result.elapsed_seconds:.1f}s"
@@ -61,7 +65,8 @@ def test_cs1_buggy_trace_synthesis(benchmark, bench_budget):
     assert competitor_steps >= HORIZON - 2
 
 
-def test_cs1_fixed_scheduler_excludes_starvation(benchmark, bench_budget):
+def test_cs1_fixed_scheduler_excludes_starvation(benchmark, bench_budget,
+                                                 bench_json):
     backend = SmtBackend(fq_fixed(2), horizon=HORIZON, config=CONFIG,
                          budget=bench_budget())
     result = benchmark.pedantic(
@@ -70,13 +75,15 @@ def test_cs1_fixed_scheduler_excludes_starvation(benchmark, bench_budget):
     )
     skip_if_exhausted(result)
     assert result.status is Status.UNSATISFIABLE
+    bench_json("solve_seconds", result.elapsed_seconds, "s",
+               scheduler="fixed", horizon=HORIZON)
     _summary.append(
         f"fixed FQ, T={HORIZON}: starvation UNSAT in"
         f" {result.elapsed_seconds:.1f}s (RFC 8290 fix verified)"
     )
 
 
-def test_cs1_workload_synthesis(benchmark, bench_budget):
+def test_cs1_workload_synthesis(benchmark, bench_budget, bench_json):
     fperf = FPerfBackend(fq_buggy(2), horizon=HORIZON, config=CONFIG,
                          budget=bench_budget())
     query = starvation(fperf.backend, "ibs[0]", max_service=1)
@@ -86,6 +93,8 @@ def test_cs1_workload_synthesis(benchmark, bench_budget):
     )
     skip_if_exhausted(result)
     assert result.ok
+    bench_json("fperf_solver_calls", result.stats.solver_calls, "calls")
+    bench_json("workload_conditions", len(result.workload), "conditions")
     text = str(result.workload)
     _summary.append(
         f"FPerf synthesis: {result.stats.solver_calls} solver calls,"

@@ -58,7 +58,7 @@ def _ack_burst(backend, horizon):
     return mk_or(*terms)
 
 
-def test_cs2_ack_burst_loss_reachable(benchmark, bench_budget):
+def test_cs2_ack_burst_loss_reachable(benchmark, bench_budget, bench_json):
     backend = _backend(budget=bench_budget())
     query = mk_and(
         _ack_burst(backend, HORIZON),
@@ -69,6 +69,8 @@ def test_cs2_ack_burst_loss_reachable(benchmark, bench_budget):
     )
     skip_if_exhausted(result)
     assert result.status is Status.SATISFIED
+    bench_json("solve_seconds", result.elapsed_seconds, "s",
+               scenario="ack-burst-loss", horizon=HORIZON)
     refills = [
         int(v) for k, v in sorted(result.counterexample.havocs.items())
         if k[0] == "path"
@@ -82,7 +84,7 @@ def test_cs2_ack_burst_loss_reachable(benchmark, bench_budget):
     assert 0 in refills
 
 
-def test_cs2_no_loss_with_clamped_window(benchmark, bench_budget):
+def test_cs2_no_loss_with_clamped_window(benchmark, bench_budget, bench_json):
     small_window = AIMD_SRC.replace(
         "const int CWND_MAX = 8;", "const int CWND_MAX = 2;"
     ).replace("const int IW = 2;", "const int IW = 1;")
@@ -98,13 +100,16 @@ def test_cs2_no_loss_with_clamped_window(benchmark, bench_budget):
     )
     skip_if_exhausted(result)
     assert result.status is Status.UNSATISFIABLE
+    bench_json("solve_seconds", result.elapsed_seconds, "s",
+               scenario="clamped-window")
     _summary.append(
         "window clamped to 2 <= buffer 6: loss UNSAT"
         f" in {result.elapsed_seconds:.1f}s (overshoot is the cause)"
     )
 
 
-def test_cs2_modular_path_server_invariant(benchmark, bench_budget):
+def test_cs2_modular_path_server_invariant(benchmark, bench_budget,
+                                           bench_json):
     """§6.2: CCAC supplies path-server invariants, so the Dafny back end
     can check its property modularly — no unrolling, no inlining."""
     config = EncodeConfig(buffer_capacity=4, arrivals_per_step=2,
@@ -123,6 +128,8 @@ def test_cs2_modular_path_server_invariant(benchmark, bench_budget):
     )
     skip_if_exhausted(report)
     assert report.ok
+    bench_json("solve_seconds", report.elapsed_seconds, "s",
+               scenario="modular-path-server")
     _summary.append(
         f"path server modular check (init+preserve):"
         f" {report.elapsed_seconds:.2f}s, horizon-independent"

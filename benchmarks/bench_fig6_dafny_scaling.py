@@ -46,7 +46,7 @@ def total_work_query(view):
 
 
 @pytest.mark.parametrize("horizon", list(fig6_horizons()))
-def test_fig6_point(benchmark, horizon, bench_budget):
+def test_fig6_point(benchmark, horizon, bench_budget, bench_json):
     dafny = DafnyBackend(fq_buggy(2), config=CONFIG, budget=bench_budget())
 
     def verify():
@@ -59,6 +59,10 @@ def test_fig6_point(benchmark, horizon, bench_budget):
     assert report.ok
     _measured[horizon] = report.elapsed_seconds
     _clauses[horizon] = report.vcs[0].cnf_clauses
+    bench_json("verify_seconds", report.elapsed_seconds, "s",
+               horizon=horizon)
+    bench_json("cnf_clauses", report.vcs[0].cnf_clauses, "clauses",
+               horizon=horizon)
 
 
 def test_fig6_shape(benchmark, results_table, request):
@@ -123,7 +127,7 @@ def _timed_discharge(**engine_knobs):
     return time.perf_counter() - t0, report
 
 
-def test_engine_vs_sequential_seed(benchmark, results_table):
+def test_engine_vs_sequential_seed(benchmark, results_table, bench_json):
     """The tentpole's evidence: engine discharge vs the seed path.
 
     * the **warm** engine (result cache populated) must beat the
@@ -152,6 +156,10 @@ def test_engine_vs_sequential_seed(benchmark, results_table):
     n_vcs = len(seed_report.vcs)
     per_vc_warm = warm_t / n_vcs
     cpus = os.cpu_count() or 1
+    bench_json("engine_seconds", seed_t, "s", path="sequential-seed")
+    bench_json("engine_seconds", cold_t, "s", path="parallel-cold")
+    bench_json("engine_seconds", warm_t, "s", path="parallel-warm")
+    bench_json("warm_ms_per_vc", per_vc_warm * 1000, "ms")
     lines = [
         f"workload: {n_vcs} VCs on fq_fixed at T={ENGINE_HORIZON}",
         f"sequential seed (jobs=1, no reuse): {seed_t:8.3f}s",

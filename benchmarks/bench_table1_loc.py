@@ -25,8 +25,12 @@ PAPER = {
 }
 
 
-def test_table1_loc(benchmark, results_table):
+def test_table1_loc(benchmark, results_table, bench_json):
     rows = benchmark(table1_rows)
+    for row in rows:
+        bench_json("buffy_loc", row.buffy_loc, "lines", program=row.program)
+        bench_json("fperf_loc", row.fperf_loc, "lines", program=row.program)
+        bench_json("loc_ratio", row.ratio, "x", program=row.program)
     lines = [f"{'Program':16s} {'paper F/B':>12s} {'ours F/B':>12s} {'ratio':>6s}"]
     for row in rows:
         paper_f, paper_b = PAPER[row.program]

@@ -8,13 +8,75 @@ Pass ``--deadline SECONDS`` to give every benchmarked solve a
 wall-clock budget: points that exhaust it are skipped with a resource
 report instead of running unboundedly — useful on slow machines and in
 CI.
+
+Every ``bench_<name>.py`` module also writes a machine-readable
+``BENCH_<name>.json`` at session end (into ``$REPRO_BENCH_OUT`` or the
+current directory) with a stable schema::
+
+    {"schema_version": 1, "bench": "<name>",
+     "results": [{"name": ..., "value": ..., "unit": ..., "labels": {...}}]}
+
+Tests record points through the ``bench_json`` fixture:
+``bench_json("verify_seconds", 1.23, "s", horizon=4)``.
 """
 
+import json
 import os
 
 import pytest
 
 DEEP = os.environ.get("REPRO_BENCH_DEEP", "0") == "1"
+
+#: bench name -> recorded result rows, written out at session finish.
+_BENCH_JSON: dict = {}
+
+#: The one stable schema every BENCH_<name>.json carries.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _bench_name(module_name: str) -> str:
+    prefix = "bench_"
+    if module_name.startswith(prefix):
+        return module_name[len(prefix):]
+    return module_name
+
+
+@pytest.fixture
+def bench_json(request):
+    """Record one ``{name, value, unit, labels}`` row for this module's
+    ``BENCH_<name>.json``."""
+    rows = _BENCH_JSON.setdefault(_bench_name(request.module.__name__), [])
+
+    def record(name, value, unit="", **labels):
+        row = {"name": name, "value": value, "unit": unit}
+        if labels:
+            row["labels"] = {k: v for k, v in sorted(labels.items())}
+        rows.append(row)
+
+    return record
+
+
+def pytest_collection_modifyitems(session, config, items):
+    # Seed an entry per collected bench module so every bench_*.py
+    # produces a BENCH_<name>.json even when all its points skip.
+    for item in items:
+        module = getattr(item, "module", None)
+        if module is not None and module.__name__.startswith("bench_"):
+            _BENCH_JSON.setdefault(_bench_name(module.__name__), [])
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+    for name, rows in _BENCH_JSON.items():
+        doc = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "bench": name,
+            "results": rows,
+        }
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
 
 
 def pytest_addoption(parser):

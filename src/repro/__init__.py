@@ -22,7 +22,10 @@ The package provides:
 * :mod:`repro.baselines` — hand-written FPerf-style encodings used as
   the Table-1 comparison and for cross-validation;
 * :mod:`repro.analysis` — queries, workloads, trace replay, LoC
-  accounting.
+  accounting;
+* :mod:`repro.obs` — zero-dependency observability: hierarchical
+  spans, a metrics registry, and JSONL / Chrome-trace / Prometheus
+  exporters across the whole compile–solve pipeline.
 
 Quickstart::
 
@@ -61,6 +64,7 @@ from .lang.checker import CheckedProgram, check_program
 from .lang.interp import Interpreter
 from .lang.parser import parse_expr, parse_program
 from .lang.pretty import pretty_program
+from .obs import METRICS, TRACER, TelemetrySnapshot, telemetry
 
 __version__ = "1.0.0"
 
@@ -78,6 +82,7 @@ __all__ = [
     "ExhaustionReason",
     "FPerfBackend",
     "Interpreter",
+    "METRICS",
     "ModelChecker",
     "NetworkBackend",
     "Packet",
@@ -89,6 +94,8 @@ __all__ = [
     "Status",
     "SymbolicMachine",
     "SymbolicNetwork",
+    "TRACER",
+    "TelemetrySnapshot",
     "Verdict",
     "analyze",
     "check_program",
@@ -96,4 +103,5 @@ __all__ = [
     "parse_expr",
     "parse_program",
     "pretty_program",
+    "telemetry",
 ]

@@ -63,8 +63,62 @@ def analyze(
     sat_config: Any = None,
     consts: Optional[dict[str, int]] = None,
     prove: bool = False,
+    telemetry: bool = False,
 ) -> AnalysisOutcome:
-    """Run one analysis and return its :class:`AnalysisOutcome`."""
+    """Run one analysis and return its :class:`AnalysisOutcome`.
+
+    With ``telemetry=True`` the run records spans and metrics through
+    :mod:`repro.obs` (including deltas shipped back from parallel
+    workers) and attaches the resulting
+    :class:`~repro.obs.TelemetrySnapshot` as ``outcome.telemetry``.
+    """
+    if not telemetry:
+        return _analyze(
+            program, query, backend=backend, steps=steps, budget=budget,
+            jobs=jobs, cache=cache, incremental=incremental, chaos=chaos,
+            solver_factory=solver_factory, escalation=escalation,
+            config=config, sat_config=sat_config, consts=consts,
+            prove=prove,
+        )
+
+    import dataclasses
+
+    from .. import obs
+
+    obs.reset()
+    obs.enable()
+    try:
+        with obs.TRACER.span("analyze", backend=backend, steps=steps):
+            outcome = _analyze(
+                program, query, backend=backend, steps=steps, budget=budget,
+                jobs=jobs, cache=cache, incremental=incremental, chaos=chaos,
+                solver_factory=solver_factory, escalation=escalation,
+                config=config, sat_config=sat_config, consts=consts,
+                prove=prove,
+            )
+    finally:
+        obs.disable()
+    return dataclasses.replace(outcome, telemetry=obs.capture())
+
+
+def _analyze(
+    program: Any,
+    query: Any = None,
+    *,
+    backend: str = "smt",
+    steps: int = 6,
+    budget: Optional[Budget] = None,
+    jobs: Optional[int] = None,
+    cache: Any = None,
+    incremental: Optional[bool] = None,
+    chaos: Any = None,
+    solver_factory: Any = None,
+    escalation: Any = None,
+    config: Any = None,
+    sat_config: Any = None,
+    consts: Optional[dict[str, int]] = None,
+    prove: bool = False,
+) -> AnalysisOutcome:
     if backend not in _BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {_BACKENDS}"

@@ -91,6 +91,11 @@ class AnalysisOutcome:
     witness: Any = None
     report: Optional[ResourceReport] = None
     stats: Mapping[str, Any] = field(default_factory=dict)
+    # A repro.obs.TelemetrySnapshot when the analysis ran with telemetry
+    # enabled (repro.analyze(telemetry=True) or the CLI's --trace /
+    # --metrics); None otherwise.  Typed as Any to keep this module
+    # import-light.
+    telemetry: Any = None
 
     @property
     def ok(self) -> bool:

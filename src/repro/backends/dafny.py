@@ -36,6 +36,7 @@ from ..compiler.symexec import EncodeConfig, SymbolicMachine, _Executor
 from ..lang.ast import Procedure
 from ..lang.checker import CheckedProgram
 from ..lang.types import ArrayType, BoolType, BufferType, IntType, ListType
+from ..obs import METRICS, TRACER
 from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
 from ..smt.sat.cdcl import CDCLConfig, SatResult
 from ..smt.solver import CheckResult, SmtSolver, governed_check
@@ -220,13 +221,18 @@ class DafnyBackend(AnalysisBackend):
             solver = target
         # The negated goal is a check-time assumption, not an assertion,
         # so the shared incremental encoding stays goal-free.
-        result, report = governed_check(solver, mk_not(goal))
+        with TRACER.span("vc", vc=name, backend="dafny") as sp:
+            result, report = governed_check(solver, mk_not(goal))
+            sp.set("result", result.value)
         elapsed = time.perf_counter() - t0
         status = {
             CheckResult.UNSAT: VCStatus.VERIFIED,
             CheckResult.SAT: VCStatus.FAILED,
             CheckResult.UNKNOWN: VCStatus.UNKNOWN,
         }[result]
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_vcs_total", backend="dafny", status=status.value)
         return VCResult(
             name,
             status,
@@ -349,10 +355,12 @@ class DafnyBackend(AnalysisBackend):
                 self.budget.charge_solver_call()
         try:
             pool = get_pool(jobs)
-            slots = pool.solve_many(
-                blaster.cnf, [[lit] for lit in goal_lits],
-                config=self.sat_config, budget=self.budget,
-            )
+            with TRACER.span("vc-batch", backend="dafny",
+                             vcs=len(misses), jobs=jobs):
+                slots = pool.solve_many(
+                    blaster.cnf, [[lit] for lit in goal_lits],
+                    config=self.sat_config, budget=self.budget,
+                )
         except PoolUnavailable:
             return None
         elapsed = time.perf_counter() - t0
@@ -394,7 +402,13 @@ class DafnyBackend(AnalysisBackend):
                 cnf_clauses=len(blaster.cnf.clauses),
                 resource_report=report,
             )
-        return [done[i] for i in range(len(named_goals))]
+        results = [done[i] for i in range(len(named_goals))]
+        if METRICS.enabled:
+            for vc in results:
+                METRICS.counter_inc(
+                    "repro_vcs_total", backend="dafny",
+                    status=vc.status.value)
+        return results
 
     def _slot_report(self, slot) -> Optional[ResourceReport]:
         from ..runtime.budget import ExhaustionReason

@@ -44,6 +44,7 @@ from ..backends.smt_backend import SmtBackend, Status
 from ..buffers.packets import Packet
 from ..compiler.symexec import EncodeConfig
 from ..lang.checker import CheckedProgram
+from ..obs import METRICS, TRACER
 from ..runtime.budget import Budget, ResourceReport
 from ..smt.sat.cdcl import CDCLConfig
 from ..smt.terms import Term, mk_not
@@ -158,8 +159,13 @@ class FPerfBackend:
 
     def _feasible(self, workload: Workload, stats: SynthesisStats) -> bool:
         stats.solver_calls += 1
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_vcs_total", backend="fperf", status="feasible")
         encoded = workload.encode(self.machine, self.horizon)
-        result = self.backend.find_trace(encoded)
+        with TRACER.span("cegis-iter", kind="feasible",
+                         atoms=len(workload.atoms)):
+            result = self.backend.find_trace(encoded)
         if result.status is Status.UNKNOWN:
             # Undecided is not feasible-for-sure; remember why.
             self._last_report = result.resource_report
@@ -177,10 +183,15 @@ class FPerfBackend:
         not corrupt it.
         """
         stats.solver_calls += 1
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_vcs_total", backend="fperf", status="sufficient")
         encoded = workload.encode(self.machine, self.horizon)
-        result = self.backend.find_trace(
-            mk_not(query), extra_assumptions=[encoded]
-        )
+        with TRACER.span("cegis-iter", kind="sufficient",
+                         atoms=len(workload.atoms)):
+            result = self.backend.find_trace(
+                mk_not(query), extra_assumptions=[encoded]
+            )
         if result.status is Status.UNKNOWN:
             self._last_report = result.resource_report
             return False, None

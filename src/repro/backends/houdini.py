@@ -36,6 +36,7 @@ from typing import Callable, Optional, Sequence
 from ..buffers.symbolic import SymbolicList
 from ..compiler.symexec import EncodeConfig, SymbolicMachine
 from ..lang.checker import CheckedProgram
+from ..obs import METRICS, TRACER
 from ..runtime.budget import (
     Budget,
     BudgetExhausted,
@@ -294,7 +295,13 @@ class HoudiniSynthesizer(AnalysisBackend):
                 mk_and(*[post_terms[c.name] for c in surviving])
             )
             solver_calls += 1
-            result, report = governed_check(solver, pre, neg_post)
+            if METRICS.enabled:
+                METRICS.counter_inc(
+                    "repro_vcs_total", backend="houdini", status="round")
+            with TRACER.span("houdini-round", round=iterations,
+                             candidates=len(surviving)) as sp:
+                result, report = governed_check(solver, pre, neg_post)
+                sp.set("result", result.value)
             if result is CheckResult.UNSAT:
                 break  # inductive!
             if result is CheckResult.UNKNOWN:

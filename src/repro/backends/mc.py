@@ -33,6 +33,7 @@ from typing import Callable, Optional
 from ..backends.dafny import StateView
 from ..compiler.symexec import EncodeConfig, SymbolicMachine
 from ..lang.checker import CheckedProgram
+from ..obs import METRICS, TRACER
 from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
 from ..smt.sat.cdcl import CDCLConfig
 from ..smt.smtlib import term_to_smtlib
@@ -197,7 +198,12 @@ class ModelChecker(AnalysisBackend):
         for step in range(k + 1):
             goal = mk_not(prop(StateView(machine)))
             calls += 1
-            result, report = self._check(machine, goal, session)
+            if METRICS.enabled:
+                METRICS.counter_inc(
+                    "repro_vcs_total", backend="mc", status="bound")
+            with TRACER.span("bmc-bound", bound=step) as sp:
+                result, report = self._check(machine, goal, session)
+                sp.set("result", result.value)
             if result is CheckResult.SAT:
                 return MCResult(
                     MCStatus.VIOLATED, k, violation_step=step,

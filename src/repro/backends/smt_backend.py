@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 from ..buffers.packets import Packet
 from ..compiler.symexec import EncodeConfig, Obligation, SymbolicMachine
 from ..lang.checker import CheckedProgram
+from ..obs import METRICS, TRACER
 from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
 from ..smt.model import Model
 from ..smt.sat.cdcl import CDCLConfig
@@ -242,7 +243,13 @@ class SmtBackend(AnalysisBackend):
         # Query formulas ride as check-time assumptions (conjoined for
         # this one call) so a shared incremental solver stays clean.
         goal = mk_or(*[mk_not(ob.formula) for ob in obligations])
-        result, report = governed_check(solver, *extra_assumptions, goal)
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_vcs_total", backend="smt", status="asserts")
+        with TRACER.span("vc", vc="asserts", backend="smt",
+                         obligations=len(obligations)) as sp:
+            result, report = governed_check(solver, *extra_assumptions, goal)
+            sp.set("result", result.value)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNKNOWN:
             return self._exhausted_result(report, elapsed, solver)
@@ -272,7 +279,12 @@ class SmtBackend(AnalysisBackend):
         if self._unroll_report is not None:
             return self._exhausted_result(self._unroll_report, 0.0)
         solver = self._solver()
-        result, report = governed_check(solver, *extra_assumptions, query)
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_vcs_total", backend="smt", status="trace-query")
+        with TRACER.span("vc", vc="find-trace", backend="smt") as sp:
+            result, report = governed_check(solver, *extra_assumptions, query)
+            sp.set("result", result.value)
         elapsed = time.perf_counter() - t0
         if result is CheckResult.UNKNOWN:
             return self._exhausted_result(report, elapsed, solver)

@@ -6,11 +6,19 @@ Commands:
 * ``pretty FILE``     — parse and pretty-print (format) a program;
 * ``run FILE``        — simulate with a random workload, print stats;
 * ``verify FILE``     — check in-program asserts over a bounded horizon;
+* ``analyze FILE``    — run any back end through :func:`repro.analyze`;
 * ``smtlib FILE``     — dump the compiled encoding as SMT-LIB v2;
+* ``stats TRACE``     — summarize a previously emitted trace file;
 * ``loc``             — print the Table-1 LoC comparison.
 
 Named constants for ``buffer[N]``-style sizes are passed with
 ``-D N=3`` (repeatable).
+
+Observability: ``verify`` and ``analyze`` accept ``--trace FILE``
+(Chrome trace-event JSON, loadable in Perfetto) and ``--metrics
+[FILE]`` (Prometheus text; omit FILE to print to stdout).  Either flag
+turns telemetry on for the run — including metric/span deltas merged
+back from ``--jobs N`` worker processes.
 
 Exit codes for ``verify`` derive from
 :class:`repro.analysis.result.Verdict` (the one place they are
@@ -66,6 +74,27 @@ def _config(args) -> EncodeConfig:
     )
 
 
+def _telemetry_wanted(args) -> bool:
+    return (getattr(args, "trace", None) is not None
+            or getattr(args, "metrics", None) is not None)
+
+
+def _export_telemetry(snapshot, args) -> None:
+    """Write the artifacts ``--trace``/``--metrics`` asked for."""
+    if snapshot is None:
+        return
+    if getattr(args, "trace", None):
+        snapshot.write_chrome_trace(args.trace)
+        print(f"trace: wrote {args.trace} ({len(snapshot.spans)} spans;"
+              " open in https://ui.perfetto.dev)", file=sys.stderr)
+    metrics = getattr(args, "metrics", None)
+    if metrics == "-":
+        print(snapshot.to_prometheus(), end="")
+    elif metrics:
+        snapshot.write_prometheus(metrics)
+        print(f"metrics: wrote {metrics}", file=sys.stderr)
+
+
 def cmd_check(args) -> int:
     checked = _load(args.file, args.define)
     params = ", ".join(
@@ -118,27 +147,74 @@ def cmd_run(args) -> int:
 _BUDGET_REASONS = BUDGET_REASONS
 
 
+def _budget_from(args):
+    if args.timeout is None:
+        return None
+    if args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
+        raise SystemExit(EXIT_ERROR)
+    return Budget(deadline_seconds=args.timeout)
+
+
 def cmd_verify(args) -> int:
-    checked = _load(args.file, args.define)
-    budget = None
-    if args.timeout is not None:
-        if args.timeout <= 0:
-            print("error: --timeout must be positive", file=sys.stderr)
-            raise SystemExit(EXIT_ERROR)
-        budget = Budget(deadline_seconds=args.timeout)
-    backend = SmtBackend(
-        checked, horizon=args.horizon, config=_config(args), budget=budget,
-        jobs=args.jobs,
-    )
-    result = backend.check_assertions()
+    snapshot = None
+    wanted = _telemetry_wanted(args)
+    if wanted:
+        from . import obs
+
+        obs.reset()
+        obs.enable()
+    try:
+        checked = _load(args.file, args.define)
+        backend = SmtBackend(
+            checked, horizon=args.horizon, config=_config(args),
+            budget=_budget_from(args), jobs=args.jobs,
+        )
+        result = backend.check_assertions()
+    finally:
+        if wanted:
+            from . import obs
+
+            obs.disable()
+            snapshot = obs.capture()
     print(f"{checked.name}: {result.status.value}"
           f" (T={args.horizon}, {result.elapsed_seconds:.2f}s)")
     if result.status is Status.VIOLATED:
         print(result.counterexample.describe())
     elif result.resource_report is not None:
         print(result.resource_report.describe())
+    _export_telemetry(snapshot, args)
     # The exit code derives from the Verdict in exactly one place.
     return result.outcome().exit_code
+
+
+def cmd_analyze(args) -> int:
+    from .analysis.facade import analyze
+
+    with open(args.file) as handle:
+        source = handle.read()
+    outcome = analyze(
+        source,
+        backend=args.backend,
+        steps=args.horizon,
+        budget=_budget_from(args),
+        jobs=args.jobs,
+        config=_config(args),
+        consts=_parse_defines(args.define),
+        prove=args.prove,
+        telemetry=_telemetry_wanted(args),
+    )
+    print(outcome.describe())
+    _export_telemetry(outcome.telemetry, args)
+    return outcome.exit_code
+
+
+def cmd_stats(args) -> int:
+    from .obs.export import snapshot_from_chrome_trace
+
+    snapshot = snapshot_from_chrome_trace(args.trace_file)
+    print(snapshot.describe())
+    return 0
 
 
 def cmd_smtlib(args) -> int:
@@ -200,6 +276,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="solver processes for the parallel portfolio"
                             " (default $REPRO_JOBS or 1)")
 
+    def telemetry_opts(p):
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="record spans and write a Chrome trace-event"
+                            " JSON (open in https://ui.perfetto.dev)")
+        p.add_argument("--metrics", nargs="?", const="-", default=None,
+                       metavar="FILE",
+                       help="record metrics and write Prometheus text"
+                            " (omit FILE to print to stdout)")
+
     for name, fn, help_text in (
         ("check", cmd_check, "parse and type-check"),
         ("pretty", cmd_pretty, "parse and pretty-print"),
@@ -209,7 +294,30 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=help_text)
         common(p)
+        if name == "verify":
+            telemetry_opts(p)
         p.set_defaults(fn=fn)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run an analysis back end through repro.analyze()",
+    )
+    common(p)
+    telemetry_opts(p)
+    p.add_argument("--backend", choices=("smt", "dafny", "houdini"),
+                   default="smt",
+                   help="back end to dispatch to (query-less regimes:"
+                        " smt asserts, dafny monolithic, houdini"
+                        " synthesis; default smt)")
+    p.add_argument("--prove", action="store_true",
+                   help="prove instead of searching for a counterexample")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "stats", help="summarize a --trace file (spans by total time)"
+    )
+    p.add_argument("trace_file", help="Chrome trace JSON from --trace")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("loc", help="print the Table-1 LoC comparison")
     p.set_defaults(fn=cmd_loc)

@@ -66,6 +66,7 @@ from ..lang.ast import (
     VarKind,
 )
 from ..lang.checker import CheckedProgram
+from ..obs import TRACER
 from ..lang.types import (
     ArrayType,
     BoolType,
@@ -330,12 +331,13 @@ class SymbolicMachine:
             self.budget.checkpoint(
                 f"symbolic execution (step {self.step})"
             )
-        if arrivals is None:
-            arrivals = self.make_step_arrivals()
-        self.flush_arrivals(arrivals)
-        executor = _Executor(self, {})
-        executor.exec_cmd(self.program.body, TRUE)
-        snapshot = self._snapshot()
+        with TRACER.span("symexec", step=self.step):
+            if arrivals is None:
+                arrivals = self.make_step_arrivals()
+            self.flush_arrivals(arrivals)
+            executor = _Executor(self, {})
+            executor.exec_cmd(self.program.body, TRUE)
+            snapshot = self._snapshot()
         self.snapshots.append(snapshot)
         self.step += 1
         return snapshot

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
+from ..obs import METRICS
 from ..smt.intervals import BoundsEnv
 from ..smt.terms import Term, iter_dag
 
@@ -136,20 +137,28 @@ class ResultCache:
         if entry is not None:
             self._lru.move_to_end(key)
             self.stats.hits += 1
+            if METRICS.enabled:
+                METRICS.counter_inc("repro_cache_hits_total", tier="memory")
             return entry
         entry = self._disk_get(key)
         if entry is not None:
             self.stats.hits += 1
             self.stats.disk_hits += 1
+            if METRICS.enabled:
+                METRICS.counter_inc("repro_cache_hits_total", tier="disk")
             self._remember(key, entry)
             return entry
         self.stats.misses += 1
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_cache_misses_total")
         return None
 
     def put(self, key: str, entry: CacheEntry) -> None:
         if entry.verdict not in ("sat", "unsat"):
             raise ValueError("only definitive verdicts are cacheable")
         self.stats.stores += 1
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_cache_stores_total")
         self._remember(key, entry)
         self._disk_put(key, entry)
 

@@ -38,6 +38,7 @@ import queue as queue_mod
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..obs import METRICS, TRACER
 from ..runtime.budget import Budget, BudgetExhausted, ExhaustionReason
 from ..smt.cnf import CNF
 from ..smt.sat.cdcl import CDCLConfig, CDCLSolver, SatResult, SatStats
@@ -80,26 +81,60 @@ def _stats_tuple(stats: SatStats) -> tuple:
     )
 
 
+def _worker_telemetry_begin(enabled: bool) -> None:
+    """Arm (or disarm) this worker's local tracer/registry for one task.
+
+    With ``fork`` the worker inherits the parent's singletons, including
+    any records the parent had at fork time — so the state is reset
+    explicitly per task and re-enabled only when the parent asked for
+    telemetry, making each result's delta attributable to that task.
+    """
+    TRACER.clear()
+    METRICS.clear()
+    TRACER.enabled = enabled
+    METRICS.enabled = enabled
+    if enabled:
+        TRACER.metrics = METRICS
+        METRICS.proc = "worker"
+
+
+def _worker_telemetry_capture(enabled: bool):
+    """The span/metric delta shipped back with a result (None if off)."""
+    if not enabled:
+        return None
+    METRICS.counter_inc("repro_parallel_tasks_total", proc="worker")
+    blob = {
+        "spans": TRACER.export_records(),
+        "metrics": METRICS.snapshot(),
+    }
+    TRACER.clear()
+    METRICS.clear()
+    return blob
+
+
 def _portfolio_worker(task_queue, result_queue, cancel_cell) -> None:
     """Worker loop: solve (CNF, config, assumptions) tasks until poisoned.
 
     Result messages are ``(task_id, slot, verdict, model, reason,
-    stats)`` where ``verdict`` is "sat"/"unsat"/"unknown"/"error",
-    ``model`` is a 1-indexed bool list for SAT, ``reason`` the
-    exhaustion reason value for UNKNOWN, and ``stats`` a SatStats tuple.
+    stats, telemetry)`` where ``verdict`` is "sat"/"unsat"/"unknown"/
+    "error", ``model`` is a 1-indexed bool list for SAT, ``reason`` the
+    exhaustion reason value for UNKNOWN, ``stats`` a SatStats tuple,
+    and ``telemetry`` the worker's span/metric delta (or None when the
+    parent ran without telemetry).
     """
     while True:
         task = task_queue.get()
         if task is None:
             return
         (task_id, slot, num_vars, clauses, config_kwargs, assumptions,
-         deadline, max_conflicts, max_learned) = task
+         deadline, max_conflicts, max_learned, telemetry) = task
         if cancel_cell is not None and cancel_cell.value >= task_id:
             result_queue.put(
                 (task_id, slot, "unknown", None, "cancelled",
-                 _stats_tuple(SatStats()))
+                 _stats_tuple(SatStats()), None)
             )
             continue
+        _worker_telemetry_begin(telemetry)
         budget = _WorkerBudget(
             cancel_cell, task_id,
             deadline_seconds=deadline,
@@ -111,32 +146,43 @@ def _portfolio_worker(task_queue, result_queue, cancel_cell) -> None:
             num_vars, CDCLConfig(**config_kwargs), budget=budget
         )
         try:
-            cnf = CNF(num_vars=num_vars, clauses=[list(c) for c in clauses])
-            ok = solver.add_cnf(cnf)
-            result = (
-                solver.solve(assumptions=assumptions) if ok else SatResult.UNSAT
-            )
+            with TRACER.span("portfolio-rung", slot=slot,
+                             mode="parallel") as span:
+                cnf = CNF(
+                    num_vars=num_vars, clauses=[list(c) for c in clauses]
+                )
+                ok = solver.add_cnf(cnf)
+                with TRACER.span("cdcl", slot=slot):
+                    result = (
+                        solver.solve(assumptions=assumptions) if ok
+                        else SatResult.UNSAT
+                    )
+                span.set("result", result.value)
         except BudgetExhausted as exc:
             result_queue.put(
                 (task_id, slot, "unknown", None, exc.report.reason.value,
-                 _stats_tuple(solver.stats))
+                 _stats_tuple(solver.stats),
+                 _worker_telemetry_capture(telemetry))
             )
             continue
         except Exception as exc:  # never kill the worker loop
             result_queue.put(
                 (task_id, slot, "error", repr(exc), None,
-                 _stats_tuple(solver.stats))
+                 _stats_tuple(solver.stats),
+                 _worker_telemetry_capture(telemetry))
             )
             continue
         if result is SatResult.SAT:
             result_queue.put(
                 (task_id, slot, "sat", solver.model(), None,
-                 _stats_tuple(solver.stats))
+                 _stats_tuple(solver.stats),
+                 _worker_telemetry_capture(telemetry))
             )
         elif result is SatResult.UNSAT:
             result_queue.put(
                 (task_id, slot, "unsat", None, None,
-                 _stats_tuple(solver.stats))
+                 _stats_tuple(solver.stats),
+                 _worker_telemetry_capture(telemetry))
             )
         else:
             reason = (
@@ -145,7 +191,8 @@ def _portfolio_worker(task_queue, result_queue, cancel_cell) -> None:
             )
             result_queue.put(
                 (task_id, slot, "unknown", None, reason,
-                 _stats_tuple(solver.stats))
+                 _stats_tuple(solver.stats),
+                 _worker_telemetry_capture(telemetry))
             )
 
 
@@ -180,6 +227,9 @@ class PortfolioPool:
         self._task_id = 0
         self._workers: list[tuple] = []  # (process, task_queue)
         self._closed = False
+        # Slots cooperatively cancelled during the most recent _run();
+        # surfaced via ResourceReport.cancelled_slots on timeouts.
+        self.last_cancelled = 0
         for _ in range(self.jobs):
             self._spawn_worker()
 
@@ -314,6 +364,7 @@ class PortfolioPool:
                 max_learned = max(
                     1, budget.max_learned_clauses - budget.learned_clauses
                 )
+        telemetry = TRACER.enabled or METRICS.enabled
         slots: list[Optional[SlotResult]] = [None] * len(tasks)
         assigned_workers: list = []
         for slot, (assumptions, config) in enumerate(tasks):
@@ -321,7 +372,7 @@ class PortfolioPool:
             task_queue.put((
                 task_id, slot, cnf.num_vars, cnf.clauses,
                 dataclasses.asdict(config), assumptions,
-                deadline, max_conflicts, max_learned,
+                deadline, max_conflicts, max_learned, telemetry,
             ))
             assigned_workers.append(proc)
         pending = len(tasks)
@@ -338,10 +389,14 @@ class PortfolioPool:
                 if not any(p.is_alive() for p in assigned_workers):
                     break  # every worker with our tasks died
                 continue
-            msg_task_id, slot, verdict, payload, reason, stats_t = msg
+            msg_task_id, slot, verdict, payload, reason, stats_t, telem = msg
             if msg_task_id != task_id:
                 continue  # stale result from a cancelled generation
             pending -= 1
+            if telem is not None:
+                # Fold the worker's span/metric delta into this process.
+                TRACER.merge(telem["spans"])
+                METRICS.merge(telem["metrics"])
             stats = SatStats(*stats_t)
             if verdict == "sat":
                 slots[slot] = SlotResult(SatResult.SAT, payload, None, stats)
@@ -366,6 +421,14 @@ class PortfolioPool:
                 # now cancelled and report quickly.
         if first_wins and not winner_seen:
             self._cancel.value = task_id
+        self.last_cancelled = sum(
+            1 for s in slots if s is not None and s.reason == "cancelled"
+        )
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_parallel_tasks_total", len(tasks))
+            METRICS.counter_inc(
+                "repro_parallel_cancelled_total", self.last_cancelled
+            )
         if budget is not None:
             # Charge the critical-path spend (max across slots), not the
             # aggregate: budgets govern wall-clock-equivalent work.

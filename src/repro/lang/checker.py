@@ -56,6 +56,7 @@ from .ast import (
     VarKind,
     walk_exprs,
 )
+from ..obs import TRACER
 from .types import (
     BOOL_T,
     INT_T,
@@ -119,6 +120,11 @@ class CheckedProgram:
 
 def check_program(program: Program) -> CheckedProgram:
     """Validate a program; returns it with inferred parameter directions."""
+    with TRACER.span("typecheck", program=program.name):
+        return _check_program(program)
+
+
+def _check_program(program: Program) -> CheckedProgram:
     checker = _Checker(program)
     checker.run()
     resolved = Program(

@@ -50,6 +50,7 @@ from .ast import (
     Var,
     VarKind,
 )
+from ..obs import TRACER
 from .lexer import EOF, Token, tokenize
 from .types import (
     BOOL_T,
@@ -627,6 +628,15 @@ def parse_program(
     ``buffer[N] ibs``) in addition to ``const`` declarations inside the
     program; supplied values take precedence.
     """
+    with TRACER.span("parse", source_bytes=len(source)) as sp:
+        program = _parse_program(source, consts)
+        sp.set("program", program.name)
+    return program
+
+
+def _parse_program(
+    source: str, consts: Optional[dict[str, int]]
+) -> Program:
     parser = _Parser(tokenize(source))
     program, extra = parser.parse_program()
     if not parser._check(EOF):

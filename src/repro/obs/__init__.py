@@ -1,0 +1,88 @@
+"""repro.obs — zero-dependency tracing, metrics, and profiling.
+
+Usage (library)::
+
+    from repro.obs import telemetry, TRACER, METRICS
+
+    with telemetry():                   # enable for one run
+        outcome = repro.analyze(...)
+    outcome.telemetry.write_chrome_trace("trace.json")
+
+Usage (CLI)::
+
+    repro analyze model.buffy --trace trace.json --metrics metrics.prom
+    repro stats trace.json
+
+Both singletons start disabled; instrumented call sites pay one
+attribute load + branch when telemetry is off (see the guard test in
+``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .tracer import TRACER, Span, SpanRecord, Tracer
+from .metrics import METRICS, MetricsRegistry
+from .export import (
+    TelemetrySnapshot,
+    load_chrome_trace,
+    snapshot_from_chrome_trace,
+)
+
+__all__ = [
+    "TRACER",
+    "METRICS",
+    "Tracer",
+    "Span",
+    "SpanRecord",
+    "MetricsRegistry",
+    "TelemetrySnapshot",
+    "telemetry",
+    "enable",
+    "disable",
+    "reset",
+    "capture",
+    "load_chrome_trace",
+    "snapshot_from_chrome_trace",
+]
+
+
+def enable() -> None:
+    """Turn on span recording and metric collection (idempotent)."""
+    TRACER.metrics = METRICS
+    TRACER.enable()
+    METRICS.enable()
+
+
+def disable() -> None:
+    TRACER.disable()
+    METRICS.disable()
+
+
+def reset() -> None:
+    """Drop all recorded spans and series (keeps the enabled state)."""
+    TRACER.clear()
+    METRICS.clear()
+
+
+def capture() -> TelemetrySnapshot:
+    """Snapshot everything recorded so far."""
+    return TelemetrySnapshot.capture(TRACER, METRICS)
+
+
+@contextmanager
+def telemetry(clear: bool = True):
+    """Enable telemetry for a block; yields the live tracer.
+
+    On exit the singletons are disabled again (never cleared, so the
+    caller can still :func:`capture` afterwards — or capture inside
+    the block).
+    """
+    if clear:
+        reset()
+    enable()
+    try:
+        yield TRACER
+    finally:
+        disable()

@@ -1,0 +1,170 @@
+"""Exporters: JSONL event log, Chrome trace-event JSON, Prometheus text.
+
+All three render a :class:`TelemetrySnapshot` — an immutable capture of
+span records plus a metrics snapshot, taken at the end of an
+``analyze()`` call (after worker deltas have been merged in).
+
+Chrome trace format reference: the "JSON Array Format" with complete
+(``ph: "X"``) events; ``ts``/``dur`` are microseconds.  The emitted
+file loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` as a flamegraph, one track per pid.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .metrics import MetricsRegistry, _num
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Everything one analysis run observed, ready for export."""
+
+    spans: tuple = ()          # tuple[SpanRecord-as-dict, ...]
+    metrics: dict = field(default_factory=dict)  # MetricsRegistry.snapshot()
+
+    # ----- constructors -----------------------------------------------------
+
+    @classmethod
+    def capture(cls, tracer, registry) -> "TelemetrySnapshot":
+        return cls(
+            spans=tuple(tracer.export_records()),
+            metrics=registry.snapshot(),
+        )
+
+    # ----- summaries --------------------------------------------------------
+
+    def phase_names(self) -> set[str]:
+        return {s["name"] for s in self.spans}
+
+    def counter_total(self, name: str) -> float:
+        return sum(c["value"] for c in self.metrics.get("counters", ())
+                   if c["name"] == name)
+
+    # ----- exporters --------------------------------------------------------
+
+    def chrome_trace_events(self) -> list[dict[str, Any]]:
+        """Complete-event list, sorted by ``ts`` (monotonically ordered)."""
+        events = []
+        for s in self.spans:
+            events.append({
+                "name": s["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(s["ts"] * 1e6, 3),
+                "dur": round(s["wall"] * 1e6, 3),
+                "pid": s["pid"],
+                "tid": s["pid"],
+                "args": {
+                    **s["attrs"],
+                    "cpu_us": round(s["cpu"] * 1e6, 3),
+                    "span_id": s["span_id"],
+                    "parent_id": s["parent_id"],
+                },
+            })
+        events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        return events
+
+    def write_chrome_trace(self, path: str) -> None:
+        doc = {
+            "traceEvents": self.chrome_trace_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs"},
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=None, separators=(",", ":"))
+            fh.write("\n")
+
+    def write_jsonl(self, path: str) -> None:
+        """One JSON object per line: spans first (by ts), then metrics."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for s in sorted(self.spans, key=lambda s: s["ts"]):
+                fh.write(json.dumps({"event": "span", **s}) + "\n")
+            for kind in ("counters", "gauges", "histograms"):
+                for item in self.metrics.get(kind, ()):
+                    fh.write(json.dumps({"event": kind[:-1], **item}) + "\n")
+
+    def to_prometheus(self) -> str:
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.merge(self.metrics)
+        _add_derived_series(registry)
+        return registry.to_prometheus()
+
+    def write_prometheus(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_prometheus())
+
+    # ----- human summary (CLI `repro stats`) --------------------------------
+
+    def describe(self) -> str:
+        lines = []
+        by_phase: dict[str, list[float]] = {}
+        for s in self.spans:
+            by_phase.setdefault(s["name"], []).append(s["wall"])
+        if by_phase:
+            lines.append("spans:")
+            for name in sorted(by_phase,
+                               key=lambda n: -sum(by_phase[n])):
+                walls = by_phase[name]
+                lines.append(
+                    f"  {name:<20} n={len(walls):<5} "
+                    f"total={sum(walls)*1e3:9.2f}ms "
+                    f"max={max(walls)*1e3:8.2f}ms"
+                )
+        counters = self.metrics.get("counters", ())
+        if counters:
+            lines.append("counters:")
+            for c in counters:
+                label = "".join(
+                    f" {k}={v}" for k, v in sorted(c["labels"].items()))
+                lines.append(f"  {c['name']}{label} = {_num(c['value'])}")
+        gauges = self.metrics.get("gauges", ())
+        if gauges:
+            lines.append("gauges:")
+            for g in gauges:
+                label = "".join(
+                    f" {k}={v}" for k, v in sorted(g["labels"].items()))
+                lines.append(f"  {g['name']}{label} = {_num(g['value'])}")
+        return "\n".join(lines) if lines else "(no telemetry recorded)"
+
+
+def _add_derived_series(registry: MetricsRegistry) -> None:
+    """Gauges computed at export time rather than on the hot path."""
+    hits = registry.counter_total("repro_cache_hits_total")
+    misses = registry.counter_total("repro_cache_misses_total")
+    total = hits + misses
+    registry.gauge_set("repro_cache_hit_ratio", hits / total if total else 0.0)
+
+
+def load_chrome_trace(path: str) -> list[dict[str, Any]]:
+    """Read back a trace file's event list (used by `repro stats`)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if isinstance(doc, list):  # bare JSON-array variant of the format
+        return doc
+    return doc.get("traceEvents", [])
+
+
+def snapshot_from_chrome_trace(path: str) -> TelemetrySnapshot:
+    """Rebuild a (span-only) snapshot from an emitted trace file."""
+    spans = []
+    for e in load_chrome_trace(path):
+        if e.get("ph") != "X":
+            continue
+        args = e.get("args", {})
+        spans.append({
+            "name": e.get("name", "?"),
+            "ts": e.get("ts", 0) / 1e6,
+            "wall": e.get("dur", 0) / 1e6,
+            "cpu": args.get("cpu_us", 0) / 1e6,
+            "span_id": args.get("span_id", 0),
+            "parent_id": args.get("parent_id", 0),
+            "pid": e.get("pid", 0),
+            "attrs": {k: v for k, v in args.items()
+                      if k not in ("cpu_us", "span_id", "parent_id")},
+        })
+    return TelemetrySnapshot(spans=tuple(spans))

@@ -1,0 +1,245 @@
+"""Metrics registry: counters, gauges, and histograms with labels.
+
+Named series absorb the solver-internal statistics that used to live
+in private dataclasses — :class:`~repro.smt.sat.cdcl.SatStats`, the
+engine cache's :class:`~repro.engine.cache.CacheStats`, incremental
+push/pop reuse, chaos-injection counts — so one Prometheus scrape (or
+one ``repro stats`` call) sees the whole pipeline.
+
+Series are keyed by ``(name, frozenset(labels.items()))``.  The
+registry is disabled by default and every mutator begins with an
+``enabled`` guard so instrumented hot paths cost one attribute load
+and one branch when telemetry is off.
+
+Cross-process story: portfolio workers run their own (module-global)
+registry, :meth:`snapshot` it after each task, and the parent
+:meth:`merge`\\ s the snapshot — counters add, gauges last-write-wins,
+histograms merge bucket-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+#: Default histogram bucket upper bounds (seconds-oriented, powers of 4).
+DEFAULT_BUCKETS = (0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384)
+
+LabelKey = "tuple[tuple[str, str], ...]"
+
+
+def _label_key(labels: dict) -> tuple:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Histogram:
+    __slots__ = ("count", "total", "min", "max", "buckets", "bounds")
+
+    def __init__(self, bounds=DEFAULT_BUCKETS):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)  # +inf bucket last
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def merge(self, other: "_Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if self.bounds == other.bounds:
+            for i, n in enumerate(other.buckets):
+                self.buckets[i] += n
+        else:  # pragma: no cover - all registries share DEFAULT_BUCKETS
+            self.buckets[-1] += other.count
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "_Histogram":
+        h = cls(bounds=tuple(data.get("bounds", DEFAULT_BUCKETS)))
+        h.count = int(data["count"])
+        h.total = float(data["sum"])
+        h.min = float("inf") if data.get("min") is None else float(data["min"])
+        h.max = float("-inf") if data.get("max") is None else float(data["max"])
+        h.buckets = [int(n) for n in data["buckets"]]
+        return h
+
+
+class MetricsRegistry:
+    """Process-local registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        #: Role tag stamped onto solver-core series ("main" in the parent
+        #: process, "worker" inside portfolio workers) so merged output
+        #: keeps worker-attributed series distinguishable.
+        self.proc = "main"
+        self._counters: dict[tuple, float] = {}
+        self._gauges: dict[tuple, float] = {}
+        self._histograms: dict[tuple, _Histogram] = {}
+
+    # ----- mutators (all guarded on .enabled) -------------------------------
+
+    def counter_inc(self, name: str, n: float = 1, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        self._counters[key] = self._counters.get(key, 0) + n
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        self._gauges[(name, _label_key(labels))] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = _Histogram()
+        hist.observe(value)
+
+    # ----- reads ------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        return self._counters.get((name, _label_key(labels)), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        return self._gauges.get((name, _label_key(labels)))
+
+    # ----- lifecycle --------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # ----- aggregation ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Picklable/JSON-able dump of every series."""
+        return {
+            "counters": [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                {"name": name, "labels": dict(labels), **hist.to_dict()}
+                for (name, labels), hist in sorted(self._histograms.items())
+            ],
+        }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add; gauges last-write-wins; histograms merge.
+        """
+        for item in snapshot.get("counters", ()):
+            key = (item["name"], _label_key(item.get("labels") or {}))
+            self._counters[key] = self._counters.get(key, 0) + item["value"]
+        for item in snapshot.get("gauges", ()):
+            key = (item["name"], _label_key(item.get("labels") or {}))
+            self._gauges[key] = item["value"]
+        for item in snapshot.get("histograms", ()):
+            key = (item["name"], _label_key(item.get("labels") or {}))
+            incoming = _Histogram.from_dict(item)
+            existing = self._histograms.get(key)
+            if existing is None:
+                self._histograms[key] = incoming
+            else:
+                existing.merge(incoming)
+
+    # ----- export -----------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Render every series in the Prometheus text exposition format."""
+        lines: list[str] = []
+
+        def fmt_labels(labels: tuple, extra: Iterable = ()) -> str:
+            parts = [f'{k}="{_escape(v)}"' for k, v in labels]
+            parts.extend(f'{k}="{_escape(v)}"' for k, v in extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        seen_types: set[str] = set()
+
+        def typ(name: str, kind: str) -> None:
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for (name, labels), value in sorted(self._counters.items()):
+            typ(name, "counter")
+            lines.append(f"{name}{fmt_labels(labels)} {_num(value)}")
+        for (name, labels), value in sorted(self._gauges.items()):
+            typ(name, "gauge")
+            lines.append(f"{name}{fmt_labels(labels)} {_num(value)}")
+        for (name, labels), hist in sorted(self._histograms.items()):
+            typ(name, "histogram")
+            cumulative = 0
+            for bound, n in zip(hist.bounds, hist.buckets):
+                cumulative += n
+                lines.append(
+                    f"{name}_bucket"
+                    f"{fmt_labels(labels, [('le', _num(bound))])} {cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket{fmt_labels(labels, [('le', '+Inf')])} "
+                f"{hist.count}"
+            )
+            lines.append(f"{name}_sum{fmt_labels(labels)} {_num(hist.total)}")
+            lines.append(f"{name}_count{fmt_labels(labels)} {hist.count}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _escape(value: Any) -> str:
+    return (str(value).replace("\\", "\\\\")
+            .replace('"', '\\"').replace("\n", "\\n"))
+
+
+def _num(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+#: The process-wide registry. Mutated in place, never replaced.
+METRICS = MetricsRegistry()

@@ -59,6 +59,9 @@ class ResourceReport:
     # Result-cache counters (repro.engine.cache), when a cache was used.
     cache_hits: int = 0
     cache_misses: int = 0
+    # Portfolio slots cooperatively cancelled in the last parallel solve
+    # (losers of a first-wins race, or survivors of a timed-out one).
+    cancelled_slots: int = 0
 
     def describe(self) -> str:
         """Human-readable rendering (used by the CLI)."""
@@ -92,6 +95,11 @@ class ResourceReport:
             lines.append(
                 f"  result cache: {self.cache_hits} hits,"
                 f" {self.cache_misses} misses"
+            )
+        if self.cancelled_slots:
+            lines.append(
+                f"  parallel portfolio: {self.cancelled_slots}"
+                " worker slots cancelled"
             )
         return "\n".join(lines)
 

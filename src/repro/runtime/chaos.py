@@ -23,6 +23,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from ..obs import METRICS
 from .budget import SolverFault
 
 
@@ -72,10 +73,14 @@ class ChaosMonkey:
         if cfg.delay_rate and self._rng.random() < cfg.delay_rate:
             self.log.delays += 1
             self.log.schedule.append("delay")
+            if METRICS.enabled:
+                METRICS.counter_inc("repro_chaos_injected_total", kind="delay")
             time.sleep(cfg.delay_seconds)
         if cfg.fault_rate and self._rng.random() < cfg.fault_rate:
             self.log.faults += 1
             self.log.schedule.append("fault")
+            if METRICS.enabled:
+                METRICS.counter_inc("repro_chaos_injected_total", kind="fault")
             raise InjectedFault(
                 f"injected solver fault (call #{self.log.calls},"
                 f" seed {cfg.seed})"
@@ -83,6 +88,9 @@ class ChaosMonkey:
         if cfg.unknown_rate and self._rng.random() < cfg.unknown_rate:
             self.log.unknowns += 1
             self.log.schedule.append("unknown")
+            if METRICS.enabled:
+                METRICS.counter_inc(
+                    "repro_chaos_injected_total", kind="unknown")
             return "unknown"
         self.log.schedule.append("ok")
         return None

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
+from ..obs import TRACER
 from .cnf import CNF
 from .intervals import BoundsEnv, Interval, infer_intervals
 from .sorts import BOOL, INT
@@ -95,11 +96,17 @@ class BitBlaster:
         """Bit-blast ``formula`` and assert it as a unit clause."""
         if formula.sort is not BOOL:
             raise TypeError("can only assert Bool terms")
-        self._intervals.update(
-            infer_intervals(formula, self.bounds, budget=self.budget)
-        )
-        lit = self._blast_bool(formula)
-        self.cnf.add_clause([lit])
+        with TRACER.span("interval-inference"):
+            self._intervals.update(
+                infer_intervals(formula, self.bounds, budget=self.budget)
+            )
+        # The Tseitin span covers the whole gate-clause encoding; the
+        # per-gate inner loop stays span-free (it is the hot path).
+        with TRACER.span("tseitin") as sp:
+            clauses_before = len(self.cnf.clauses)
+            lit = self._blast_bool(formula)
+            self.cnf.add_clause([lit])
+            sp.set("clauses", len(self.cnf.clauses) - clauses_before)
 
     def literal_for(self, formula: Term) -> int:
         """Bit-blast ``formula`` and return its literal without asserting it."""

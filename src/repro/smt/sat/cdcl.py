@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..cnf import CNF
+from ...obs import METRICS
 
 if TYPE_CHECKING:  # avoid a runtime ↔ smt import cycle; Budget is duck-typed
     from ...runtime.budget import Budget, ResourceReport
@@ -60,6 +61,15 @@ class SatStats:
     learned: int = 0
     deleted: int = 0
     minimized_lits: int = 0
+
+    def snapshot(self) -> "SatStats":
+        return SatStats(**vars(self))
+
+    def diff(self, earlier: "SatStats") -> "SatStats":
+        """Per-call view: this snapshot minus an ``earlier`` one."""
+        return SatStats(**{
+            k: v - getattr(earlier, k) for k, v in vars(self).items()
+        })
 
 
 def _luby(i: int) -> int:
@@ -109,7 +119,11 @@ class CDCLSolver:
         # Budget ran out, None when only the per-call conflict cap hit
         # (the retryable case the escalation portfolio targets).
         self.exhaust_report: Optional["ResourceReport"] = None
+        # `stats` accumulates over the solver's lifetime (incremental
+        # sessions reuse one solver across many solve() calls);
+        # `last_stats` is the delta attributable to the most recent call.
         self.stats = SatStats()
+        self.last_stats = SatStats()
         self.num_vars = 0
         # Per-variable state (1-indexed; slot 0 unused).
         self._value: list[int] = [0]        # +1 true, -1 false, 0 unassigned
@@ -466,7 +480,39 @@ class CDCLSolver:
         (and periodically between decisions) and answers UNKNOWN with
         :attr:`exhaust_report` populated when it runs out — cooperative
         cancellation, so no formula can hang the caller.
+
+        :attr:`stats` keeps accumulating across calls (lifetime view);
+        :attr:`last_stats` holds just this call's delta, which is what
+        per-query reporting must use on incremental sessions.
         """
+        before = self.stats.snapshot()
+        try:
+            return self._search(assumptions, budget)
+        finally:
+            self.last_stats = self.stats.diff(before)
+            if METRICS.enabled:
+                delta = self.last_stats
+                proc = METRICS.proc
+                METRICS.counter_inc(
+                    "repro_cdcl_decisions_total", delta.decisions, proc=proc)
+                METRICS.counter_inc(
+                    "repro_cdcl_conflicts_total", delta.conflicts, proc=proc)
+                METRICS.counter_inc(
+                    "repro_cdcl_propagations_total", delta.propagations,
+                    proc=proc)
+                METRICS.counter_inc(
+                    "repro_cdcl_restarts_total", delta.restarts, proc=proc)
+                METRICS.counter_inc(
+                    "repro_cdcl_learned_total", delta.learned, proc=proc)
+                METRICS.counter_inc(
+                    "repro_cdcl_deleted_total", delta.deleted, proc=proc)
+                METRICS.counter_inc(
+                    "repro_cdcl_minimized_lits_total", delta.minimized_lits,
+                    proc=proc)
+                METRICS.counter_inc("repro_cdcl_solves_total", 1, proc=proc)
+
+    def _search(self, assumptions: Sequence[int],
+                budget: Optional["Budget"]) -> SatResult:
         if budget is None:
             budget = self.budget
         self.exhaust_report = None

@@ -45,6 +45,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
+from ..obs import METRICS, TRACER
 from ..runtime.budget import (
     Budget,
     BudgetExhausted,
@@ -78,7 +79,13 @@ class CheckResult(enum.Enum):
 
 @dataclass
 class SolverStats:
-    """Aggregate statistics from the last ``check()`` call."""
+    """Aggregate statistics from the last ``check()`` call.
+
+    ``sat`` is always the *per-call* view — on an incremental session it
+    is the delta attributable to this check, not the session's running
+    totals.  ``sat_lifetime`` carries the cumulative counters of the
+    underlying CDCL solver (identical to ``sat`` on one-shot paths).
+    """
 
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
@@ -86,6 +93,7 @@ class SolverStats:
     cnf_clauses: int = 0
     attempts: int = 1
     sat: SatStats = field(default_factory=SatStats)
+    sat_lifetime: SatStats = field(default_factory=SatStats)
     cache_hit: bool = False
 
 
@@ -136,6 +144,9 @@ class _IncrementalSession:
             frame = self.frames.pop()
             if frame.act is not None:
                 self.retired_acts.append(frame.act)
+                if METRICS.enabled:
+                    METRICS.counter_inc(
+                        "repro_incremental_frames_retired_total")
 
     def sync(self, stack: Sequence[Sequence[Term]], assumptions: Sequence[Term],
              simplify_terms: bool) -> list[int]:
@@ -146,6 +157,8 @@ class _IncrementalSession:
         self.retired_acts.clear()
         while len(self.frames) < len(stack):
             self.frames.append(_IncFrame(act=blaster.cnf.new_var()))
+            if METRICS.enabled:
+                METRICS.counter_inc("repro_incremental_frames_pushed_total")
         if simplify_terms:
             from .simplify import simplify
         else:
@@ -225,6 +238,9 @@ class SmtSolver:
         self._last_result: Optional[CheckResult] = None
         self.last_report: Optional[ResourceReport] = None
         self.stats = SolverStats()
+        # Portfolio slots cancelled during the most recent parallel solve;
+        # folded into resource reports so timeouts say what was tried.
+        self._last_cancelled = 0
 
     # ----- assertions -------------------------------------------------------
 
@@ -330,9 +346,13 @@ class SmtSolver:
                         SolverStats(),
                     )
 
-        if self.incremental:
-            return self._check_incremental(list(assumptions))
-        return self._check_oneshot(formulas)
+        path = "incremental" if self.incremental else "oneshot"
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_solver_checks_total", path=path)
+        with TRACER.span("check", path=path):
+            if self.incremental:
+                return self._check_incremental(list(assumptions))
+            return self._check_oneshot(formulas)
 
     # ----- one-shot path (with cache and parallel portfolio) -------------------
 
@@ -357,8 +377,11 @@ class SmtSolver:
             formulas = [simplify(f) for f in formulas]
         blaster = BitBlaster(bounds=self._bounds, budget=self.budget)
         try:
-            for f in formulas:
-                blaster.assert_formula(f)
+            with TRACER.span("bitblast", formulas=len(formulas)) as sp:
+                for f in formulas:
+                    blaster.assert_formula(f)
+                sp.set("cnf_vars", blaster.cnf.num_vars)
+                sp.set("cnf_clauses", len(blaster.cnf.clauses))
         except BudgetExhausted as exc:
             return self._exhausted(
                 exc.report,
@@ -380,6 +403,7 @@ class SmtSolver:
             cnf_clauses=len(blaster.cnf.clauses),
             attempts=outcome.attempts,
             sat=outcome.stats,
+            sat_lifetime=outcome.stats,  # one-shot: per-call == lifetime
         )
 
         if outcome.result is SatResult.UNKNOWN:
@@ -484,15 +508,26 @@ class SmtSolver:
                 break  # the next (larger) rung cannot fit in the deadline
             attempts += 1
             t0 = time.perf_counter()
-            sat = CDCLSolver(blaster.cnf.num_vars, config, budget=self.budget)
-            try:
-                ok = sat.add_cnf(blaster.cnf)
-            except BudgetExhausted as exc:
-                return _SolveOutcome(
-                    SatResult.UNKNOWN, stats=sat.stats,
-                    exhaust_report=exc.report, attempts=attempts,
+            with TRACER.span("portfolio-rung", rung=attempts,
+                             mode="sequential") as rung_span:
+                sat = CDCLSolver(
+                    blaster.cnf.num_vars, config, budget=self.budget
                 )
-            result = sat.solve(budget=self.budget) if ok else SatResult.UNSAT
+                try:
+                    ok = sat.add_cnf(blaster.cnf)
+                except BudgetExhausted as exc:
+                    return _SolveOutcome(
+                        SatResult.UNKNOWN, stats=sat.stats,
+                        exhaust_report=exc.report, attempts=attempts,
+                    )
+                with TRACER.span("cdcl", rung=attempts) as cdcl_span:
+                    result = (
+                        sat.solve(budget=self.budget) if ok
+                        else SatResult.UNSAT
+                    )
+                    cdcl_span.set("result", result.value)
+                    cdcl_span.set("conflicts", sat.last_stats.conflicts)
+                rung_span.set("result", result.value)
             last_seconds = time.perf_counter() - t0
             outcome = _SolveOutcome(
                 result,
@@ -516,6 +551,7 @@ class SmtSolver:
         slot, attempts = pool.solve_portfolio(
             blaster.cnf, configs, budget=self.budget
         )
+        self._last_cancelled = pool.last_cancelled
         if slot.error is not None or slot.reason == "fault":
             raise SolverFault(
                 f"portfolio worker failed: {slot.error or 'unknown fault'}"
@@ -551,6 +587,13 @@ class SmtSolver:
             inc = self._inc = _IncrementalSession(
                 self._bounds, self.sat_config, self.budget
             )
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_incremental_checks_total")
+            # Clauses already loaded into the live CDCL solver are work
+            # this check inherits instead of redoing.
+            METRICS.counter_inc(
+                "repro_incremental_clauses_reused_total", inc.loaded_clauses
+            )
         try:
             lits = inc.sync(self._stack, assumptions, self.simplify_terms)
         except BudgetExhausted as exc:
@@ -566,7 +609,10 @@ class SmtSolver:
         if inc.root_unsat:
             result = SatResult.UNSAT
         else:
-            result = inc.sat.solve(assumptions=lits, budget=self.budget)
+            with TRACER.span("cdcl", path="incremental",
+                             assumptions=len(lits)) as sp:
+                result = inc.sat.solve(assumptions=lits, budget=self.budget)
+                sp.set("result", result.value)
         t2 = time.perf_counter()
         self.stats = SolverStats(
             encode_seconds=t1 - t0,
@@ -574,12 +620,15 @@ class SmtSolver:
             cnf_vars=inc.blaster.cnf.num_vars,
             cnf_clauses=len(inc.blaster.cnf.clauses),
             attempts=1,
-            sat=inc.sat.stats,  # cumulative across the session, by design
+            # Per-call delta: the session's CDCL solver lives across
+            # checks, so its raw counters mix all previous queries.
+            sat=inc.sat.last_stats,
+            sat_lifetime=inc.sat.stats,
         )
         if result is SatResult.UNKNOWN:
             self._last_result = CheckResult.UNKNOWN
             self.last_report = self._unknown_report(_SolveOutcome(
-                result, stats=inc.sat.stats,
+                result, stats=inc.sat.last_stats,
                 exhaust_report=inc.sat.exhaust_report,
             ))
             return CheckResult.UNKNOWN
@@ -613,14 +662,24 @@ class SmtSolver:
                 solver_calls=self.budget.solver_calls if self.budget else 1,
                 attempts=outcome.attempts,
             )
+        self._attach_engine_counters(report)
+        return report
+
+    def _attach_engine_counters(self, report: ResourceReport) -> None:
+        """Fold engine-level telemetry into a resource report.
+
+        Cache traffic and cancelled portfolio slots tell a ``--timeout``
+        user what was tried before the solver gave up.
+        """
         cache = self._effective_cache()
         if cache is not None:
             report.cache_hits = cache.stats.hits
             report.cache_misses = cache.stats.misses
-        return report
+        report.cancelled_slots = self._last_cancelled
 
     def _exhausted(self, report: ResourceReport,
                    stats: SolverStats) -> CheckResult:
+        self._attach_engine_counters(report)
         self.stats = stats
         self.last_report = report
         self._last_result = CheckResult.UNKNOWN
