@@ -25,7 +25,11 @@ The package provides:
   accounting;
 * :mod:`repro.obs` — zero-dependency observability: hierarchical
   spans, a metrics registry, and JSONL / Chrome-trace / Prometheus
-  exporters across the whole compile–solve pipeline.
+  exporters across the whole compile–solve pipeline;
+* :mod:`repro.trust` — certified answers: DRAT-style proof logging in
+  the CDCL core, an independent proof checker, and unsat cores, so
+  UNSAT/VERIFIED claims can be machine-checked
+  (``analyze(certify=True)`` / ``REPRO_CERTIFY=1``).
 
 Quickstart::
 
@@ -41,7 +45,12 @@ Quickstart::
 """
 
 from .analysis.facade import analyze
-from .analysis.result import EXIT_ERROR, AnalysisOutcome, Verdict
+from .analysis.result import (
+    EXIT_CERTIFICATION,
+    EXIT_ERROR,
+    AnalysisOutcome,
+    Verdict,
+)
 from .backends.dafny import DafnyBackend, StateView
 from .backends.fperf import FPerfBackend
 from .backends.mc import ModelChecker
@@ -65,6 +74,7 @@ from .lang.interp import Interpreter
 from .lang.parser import parse_expr, parse_program
 from .lang.pretty import pretty_program
 from .obs import METRICS, TRACER, TelemetrySnapshot, telemetry
+from .trust import Certificate, DratChecker, DratError, ProofLog, check_drat
 
 __version__ = "1.0.0"
 
@@ -75,7 +85,11 @@ __all__ = [
     "CheckedProgram",
     "ConcreteNetwork",
     "Connection",
+    "Certificate",
     "DafnyBackend",
+    "DratChecker",
+    "DratError",
+    "EXIT_CERTIFICATION",
     "EXIT_ERROR",
     "EncodeConfig",
     "EscalationPolicy",
@@ -87,6 +101,7 @@ __all__ = [
     "NetworkBackend",
     "Packet",
     "ProgramBuilder",
+    "ProofLog",
     "ResourceReport",
     "SmtBackend",
     "SolverFault",
@@ -98,6 +113,7 @@ __all__ = [
     "TelemetrySnapshot",
     "Verdict",
     "analyze",
+    "check_drat",
     "check_program",
     "inject_faults",
     "parse_expr",

@@ -33,7 +33,9 @@ back end (for its term accessors) and return the query Term.
 Engine knobs: ``jobs`` (portfolio/VC parallelism, default
 ``$REPRO_JOBS``), ``cache`` (result cache, default ``$REPRO_CACHE``),
 ``incremental`` (shared encodings; each back end picks its own sound
-default), ``chaos`` and ``solver_factory`` (test seams).
+default), ``certify`` (require checker-accepted DRAT certificates for
+UNSAT/VERIFIED answers, default ``$REPRO_CERTIFY``), ``chaos`` and
+``solver_factory`` (test seams).
 """
 
 from __future__ import annotations
@@ -63,6 +65,7 @@ def analyze(
     sat_config: Any = None,
     consts: Optional[dict[str, int]] = None,
     prove: bool = False,
+    certify: Optional[bool] = None,
     telemetry: bool = False,
 ) -> AnalysisOutcome:
     """Run one analysis and return its :class:`AnalysisOutcome`.
@@ -78,7 +81,7 @@ def analyze(
             jobs=jobs, cache=cache, incremental=incremental, chaos=chaos,
             solver_factory=solver_factory, escalation=escalation,
             config=config, sat_config=sat_config, consts=consts,
-            prove=prove,
+            prove=prove, certify=certify,
         )
 
     import dataclasses
@@ -94,7 +97,7 @@ def analyze(
                 jobs=jobs, cache=cache, incremental=incremental, chaos=chaos,
                 solver_factory=solver_factory, escalation=escalation,
                 config=config, sat_config=sat_config, consts=consts,
-                prove=prove,
+                prove=prove, certify=certify,
             )
     finally:
         obs.disable()
@@ -118,6 +121,7 @@ def _analyze(
     sat_config: Any = None,
     consts: Optional[dict[str, int]] = None,
     prove: bool = False,
+    certify: Optional[bool] = None,
 ) -> AnalysisOutcome:
     if backend not in _BACKENDS:
         raise ValueError(
@@ -133,6 +137,7 @@ def _analyze(
         config=config, sat_config=sat_config, budget=budget,
         escalation=escalation, chaos=chaos, solver_factory=solver_factory,
         jobs=jobs, cache=cache, incremental=incremental,
+        certify=certify,
     )
 
     if backend == "smt":

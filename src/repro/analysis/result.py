@@ -68,6 +68,11 @@ _EXIT_CODES = {
 #: Exit code for usage/input errors (no Verdict exists for these).
 EXIT_ERROR = 4
 
+#: Exit code for "an answer was produced but failed certification": a
+#: certified run (``analyze(certify=True)`` / ``--certify``) refused an
+#: UNSAT/VERIFIED claim because its DRAT certificate did not check.
+EXIT_CERTIFICATION = 5
+
 
 def verdict_for_unknown(report: Optional[ResourceReport]) -> Verdict:
     """Classify an UNKNOWN answer by its resource report."""
@@ -103,6 +108,11 @@ class AnalysisOutcome:
 
     @property
     def exit_code(self) -> int:
+        if (
+            self.report is not None
+            and self.report.reason is ExhaustionReason.CERTIFICATION_FAILED
+        ):
+            return EXIT_CERTIFICATION
         return self.verdict.exit_code
 
     def describe(self) -> str:

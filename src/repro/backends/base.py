@@ -86,6 +86,7 @@ class AnalysisBackend:
         jobs: Optional[int] = None,
         cache: Union["ResultCache", bool, None] = None,
         incremental: Optional[bool] = None,
+        certify: Optional[bool] = None,
     ):
         self.program = program
         self.steps = steps
@@ -100,6 +101,7 @@ class AnalysisBackend:
         self.jobs = jobs
         self.cache = cache
         self.incremental = incremental
+        self.certify = certify
 
     # ``checked`` stays readable on every back end (legacy attribute).
     @property
@@ -126,6 +128,14 @@ class AnalysisBackend:
             return self._default_incremental()
         return self.incremental
 
+    def _effective_certify(self) -> bool:
+        """Whether this back end's UNSAT answers must carry checked proofs."""
+        if self.certify is None:
+            from ..trust import certify_default
+
+            return certify_default()
+        return self.certify
+
     def _new_solver(self, **overrides) -> SmtSolver:
         """Build one solver with the back end's knobs threaded through."""
         kwargs: dict[str, Any] = dict(
@@ -136,6 +146,7 @@ class AnalysisBackend:
             parallelism=self.jobs,
             cache=self.cache,
             incremental=self._incremental(),
+            certify=self.certify,
         )
         kwargs.update(overrides)
         factory = self.solver_factory or SmtSolver

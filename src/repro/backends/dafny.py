@@ -37,7 +37,12 @@ from ..lang.ast import Procedure
 from ..lang.checker import CheckedProgram
 from ..lang.types import ArrayType, BoolType, BufferType, IntType, ListType
 from ..obs import METRICS, TRACER
-from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
+from ..runtime.budget import (
+    Budget,
+    BudgetExhausted,
+    ExhaustionReason,
+    ResourceReport,
+)
 from ..smt.sat.cdcl import CDCLConfig, SatResult
 from ..smt.solver import CheckResult, SmtSolver, governed_check
 from ..smt.terms import TRUE, Term, mk_and, mk_not
@@ -184,6 +189,7 @@ class DafnyBackend(AnalysisBackend):
         jobs: Optional[int] = None,
         cache=None,
         incremental: Optional[bool] = None,
+        certify: Optional[bool] = None,
         checked: Optional[CheckedProgram] = None,
     ):
         program, _ = resolve_legacy_names(program, None, checked, None,
@@ -195,7 +201,7 @@ class DafnyBackend(AnalysisBackend):
             sat_config=sat_config, validate_models=validate_models,
             budget=budget, escalation=escalation, chaos=chaos,
             solver_factory=solver_factory, jobs=jobs, cache=cache,
-            incremental=incremental,
+            incremental=incremental, certify=certify,
         )
         self.config = config or EncodeConfig()
 
@@ -303,6 +309,7 @@ class DafnyBackend(AnalysisBackend):
         for var, (lo, hi) in machine.bounds.items():
             bounds.set(var, lo, hi)
         cache = resolve_cache(self.cache)
+        certify = self._effective_certify()
         keys: list[Optional[str]] = [None] * len(named_goals)
         done: dict[int, VCResult] = {}
         if cache is not None:
@@ -315,6 +322,10 @@ class DafnyBackend(AnalysisBackend):
                 if hit is None:
                     continue
                 if hit.verdict == "unsat":
+                    if certify:
+                        # A cached VERIFIED carries no proof; a certified
+                        # run must re-derive (and re-check) it.
+                        continue
                     done[idx] = VCResult(
                         name, VCStatus.VERIFIED, 0.0,
                         cnf_vars=hit.cnf_vars, cnf_clauses=hit.cnf_clauses,
@@ -360,6 +371,7 @@ class DafnyBackend(AnalysisBackend):
                 slots = pool.solve_many(
                     blaster.cnf, [[lit] for lit in goal_lits],
                     config=self.sat_config, budget=self.budget,
+                    certify=certify,
                 )
         except PoolUnavailable:
             return None
@@ -381,8 +393,14 @@ class DafnyBackend(AnalysisBackend):
                 status = VCStatus.FAILED
                 report = None
             elif slot.verdict is SatResult.UNSAT:
-                status = VCStatus.VERIFIED
-                report = None
+                report = (
+                    self._certify_slot(blaster, slot, name) if certify
+                    else None
+                )
+                status = (
+                    VCStatus.UNKNOWN if report is not None
+                    else VCStatus.VERIFIED
+                )
             else:
                 status = VCStatus.UNKNOWN
                 report = self._slot_report(slot)
@@ -409,6 +427,58 @@ class DafnyBackend(AnalysisBackend):
                     "repro_vcs_total", backend="dafny",
                     status=vc.status.value)
         return results
+
+    def _certify_slot(self, blaster, slot, name: str) -> Optional[ResourceReport]:
+        """Check one parallel UNSAT slot's DRAT certificate.
+
+        Returns None when the certificate checks; otherwise a
+        CERTIFICATION_FAILED report — the caller downgrades the VC to
+        UNKNOWN rather than report an unverified VERIFIED.
+        """
+        from ..trust import Certificate
+
+        cert = Certificate(
+            num_vars=blaster.cnf.num_vars,
+            clauses=list(blaster.cnf.clauses),
+            steps=list(slot.proof or []),
+            core=tuple(slot.core or ()),
+        )
+        with TRACER.span("proof-check", vc=name, steps=len(cert.steps)):
+            ok = cert.verify()
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_trust_proofs_checked_total")
+        if ok:
+            return None
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_trust_proofs_failed_total")
+        return ResourceReport(
+            reason=ExhaustionReason.CERTIFICATION_FAILED,
+            message=f"VC {name!r}: UNSAT answer failed proof check:"
+                    f" {cert.error}",
+        )
+
+    def explain_vc(self, machine: SymbolicMachine, goal: Term) -> list[Term]:
+        """Which of ``machine``'s assumptions a verified ``goal`` uses.
+
+        Discharges ``assumptions => goal`` on one incremental solver
+        with every machine assumption passed as a *check-time
+        assumption* rather than an assertion; on UNSAT (VC verified)
+        the solver's unsat core names exactly the assumptions the
+        refutation touched.  An empty list means the goal is valid on
+        its own.  Raises :class:`ValueError` when the VC is not
+        verified (SAT: a counterexample exists; UNKNOWN: undecided).
+        """
+        solver = self._new_solver(incremental=True)
+        for var, (lo, hi) in machine.bounds.items():
+            solver.set_bounds(var, lo, hi)
+        solver.add(mk_not(goal))
+        result = solver.check(*machine.assumptions)
+        if result is not CheckResult.UNSAT:
+            raise ValueError(
+                f"VC is not verified (check() answered {result.value});"
+                " no unsat core exists"
+            )
+        return solver.unsat_core()
 
     def _slot_report(self, slot) -> Optional[ResourceReport]:
         from ..runtime.budget import ExhaustionReason

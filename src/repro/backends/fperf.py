@@ -125,6 +125,7 @@ class FPerfBackend:
         jobs: Optional[int] = None,
         cache=None,
         incremental: Optional[bool] = None,
+        certify: Optional[bool] = None,
         checked: Optional[CheckedProgram] = None,
         horizon: Optional[int] = None,
     ):
@@ -135,6 +136,7 @@ class FPerfBackend:
             escalation=escalation, chaos=chaos,
             solver_factory=solver_factory, jobs=jobs, cache=cache,
             incremental=True if incremental is None else incremental,
+            certify=certify,
             checked=checked, horizon=horizon,
         )
         self.checked = self.backend.program

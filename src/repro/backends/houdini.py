@@ -210,6 +210,7 @@ class HoudiniSynthesizer(AnalysisBackend):
         jobs: Optional[int] = None,
         cache=None,
         incremental: Optional[bool] = None,
+        certify: Optional[bool] = None,
         checked: Optional[CheckedProgram] = None,
     ):
         program, _ = resolve_legacy_names(program, None, checked, None,
@@ -221,7 +222,7 @@ class HoudiniSynthesizer(AnalysisBackend):
             sat_config=sat_config, validate_models=validate_models,
             budget=budget, escalation=escalation, chaos=chaos,
             solver_factory=solver_factory, jobs=jobs, cache=cache,
-            incremental=incremental,
+            incremental=incremental, certify=certify,
         )
         self.config = config or EncodeConfig()
         self.value_range = value_range

@@ -145,6 +145,7 @@ class ModelChecker(AnalysisBackend):
         jobs: Optional[int] = None,
         cache=None,
         incremental: Optional[bool] = None,
+        certify: Optional[bool] = None,
         checked: Optional[CheckedProgram] = None,
     ):
         program, _ = resolve_legacy_names(program, None, checked, None,
@@ -156,7 +157,7 @@ class ModelChecker(AnalysisBackend):
             sat_config=sat_config, validate_models=validate_models,
             budget=budget, escalation=escalation, chaos=chaos,
             solver_factory=solver_factory, jobs=jobs, cache=cache,
-            incremental=incremental,
+            incremental=incremental, certify=certify,
         )
         self.config = config or EncodeConfig()
         self.value_range = value_range
@@ -233,6 +234,34 @@ class ModelChecker(AnalysisBackend):
             elapsed_seconds=time.perf_counter() - t0, solver_calls=calls,
             safe_until=safe_until,
         )
+
+    def bound_core(self, prop: Property, k: int) -> list[Term]:
+        """Which machine assumptions make depth-``k`` safety non-vacuous.
+
+        Unrolls ``k`` steps and asks for a violation of ``prop`` at the
+        final state, passing every machine assumption (arrival bounds,
+        havoc constraints) as a *check-time assumption*.  On UNSAT (the
+        bound is safe) the solver's unsat core names the assumptions
+        the safety argument actually used.  An **empty** core flags a
+        vacuous bound: the negated property is unsatisfiable on its own
+        (e.g. contradictory variable bounds), so a deeper search could
+        never find a violation either.  Raises :class:`ValueError` when
+        the depth is not safe (SAT or UNKNOWN).
+        """
+        machine = self._machine()
+        for _ in range(k):
+            machine.exec_step()
+        solver = self._new_solver(incremental=True)
+        for name, (lo, hi) in machine.bounds.items():
+            solver.set_bounds(name, lo, hi)
+        solver.add(mk_not(prop(StateView(machine))))
+        result = solver.check(*machine.assumptions)
+        if result is not CheckResult.UNSAT:
+            raise ValueError(
+                f"depth {k} is not safe (check() answered {result.value});"
+                " no unsat core exists"
+            )
+        return solver.unsat_core()
 
     # ----- k-induction -----------------------------------------------------------
 

@@ -158,6 +158,7 @@ class SmtBackend(AnalysisBackend):
         jobs: Optional[int] = None,
         cache=None,
         incremental: Optional[bool] = None,
+        certify: Optional[bool] = None,
         checked: Optional[CheckedProgram] = None,
         horizon: Optional[int] = None,
     ):
@@ -173,7 +174,7 @@ class SmtBackend(AnalysisBackend):
             sat_config=sat_config, validate_models=validate_models,
             budget=budget, escalation=escalation, chaos=chaos,
             solver_factory=solver_factory, jobs=jobs, cache=cache,
-            incremental=incremental,
+            incremental=incremental, certify=certify,
         )
         self.horizon = steps
         self.config = config or EncodeConfig()

@@ -20,11 +20,14 @@ Observability: ``verify`` and ``analyze`` accept ``--trace FILE``
 turns telemetry on for the run — including metric/span deltas merged
 back from ``--jobs N`` worker processes.
 
-Exit codes for ``verify`` derive from
+Exit codes for ``verify`` and ``analyze`` derive from
 :class:`repro.analysis.result.Verdict` (the one place they are
 defined): 0 — all asserts proved; 1 — a counterexample was found; 2 —
 undecided (e.g. an injected fault); 3 — the resource budget was
-exhausted (``--timeout``); 4 — usage/input errors.
+exhausted (``--timeout``); 4 — usage/input errors; 5 — an answer was
+produced but failed certification (``--certify``: an UNSAT/VERIFIED
+claim whose DRAT certificate did not check is never reported as
+proved).
 """
 
 from __future__ import annotations
@@ -169,6 +172,7 @@ def cmd_verify(args) -> int:
         backend = SmtBackend(
             checked, horizon=args.horizon, config=_config(args),
             budget=_budget_from(args), jobs=args.jobs,
+            certify=args.certify or None,
         )
         result = backend.check_assertions()
     finally:
@@ -202,6 +206,7 @@ def cmd_analyze(args) -> int:
         config=_config(args),
         consts=_parse_defines(args.define),
         prove=args.prove,
+        certify=args.certify or None,
         telemetry=_telemetry_wanted(args),
     )
     print(outcome.describe())
@@ -276,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="solver processes for the parallel portfolio"
                             " (default $REPRO_JOBS or 1)")
 
+    def certify_opt(p):
+        p.add_argument("--certify", action="store_true",
+                       help="require a checker-accepted DRAT certificate"
+                            " for every UNSAT/VERIFIED answer; a rejected"
+                            " proof exits 5 instead of reporting proved"
+                            " (default $REPRO_CERTIFY)")
+
     def telemetry_opts(p):
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="record spans and write a Chrome trace-event"
@@ -295,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         common(p)
         if name == "verify":
+            certify_opt(p)
             telemetry_opts(p)
         p.set_defaults(fn=fn)
 
@@ -303,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an analysis back end through repro.analyze()",
     )
     common(p)
+    certify_opt(p)
     telemetry_opts(p)
     p.add_argument("--backend", choices=("smt", "dafny", "houdini"),
                    default="smt",

@@ -103,6 +103,7 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     invalid: int = 0  # disk entries that failed to parse / validate
+    corrupt_entries: int = 0  # checksum mismatches / truncated JSON
 
 
 @dataclass
@@ -120,8 +121,14 @@ class ResultCache:
 
     Thread-compatible for the repo's single-threaded solvers; disk
     writes are atomic (temp file + rename) so concurrent CI shards can
-    share one directory.
+    share one directory.  Disk entries carry a sha256 checksum over the
+    canonical payload; any mismatch, truncation or parse failure is a
+    miss — the bad file is deleted so it cannot keep costing a read.
     """
+
+    # Chaos hook: repro.runtime.chaos.inject_faults installs a monkey
+    # here so tests can corrupt entries at write time.
+    _chaos = None
 
     def __init__(self, capacity: int = 1024,
                  disk_dir: Optional[Union[str, Path]] = None):
@@ -181,12 +188,27 @@ class ResultCache:
         assert self.disk_dir is not None
         return self.disk_dir / key[:2] / f"{key}.json"
 
+    @staticmethod
+    def _payload_checksum(payload: dict) -> str:
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
     def _disk_get(self, key: str) -> Optional[CacheEntry]:
         if self.disk_dir is None:
             return None
+        path = self._disk_path(key)
         try:
-            raw = self._disk_path(key).read_text()
+            raw = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.stats.invalid += 1
+            return None
+        try:
             data = json.loads(raw)
+            stored = data.pop("sha256")
+            if stored != self._payload_checksum(data):
+                raise ValueError("checksum mismatch")
             verdict = data["verdict"]
             if verdict not in ("sat", "unsat"):
                 raise ValueError(verdict)
@@ -199,10 +221,18 @@ class ResultCache:
                 cnf_vars=int(data.get("cnf_vars", 0)),
                 cnf_clauses=int(data.get("cnf_clauses", 0)),
             )
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except (json.JSONDecodeError, ValueError, KeyError,
+                AttributeError, TypeError):
+            # Truncated, tampered or legacy (pre-checksum) entry: treat
+            # as corrupt, drop it from disk, report a miss.
             self.stats.invalid += 1
+            self.stats.corrupt_entries += 1
+            if METRICS.enabled:
+                METRICS.counter_inc("repro_cache_corrupt_entries_total")
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
 
     def _disk_put(self, key: str, entry: CacheEntry) -> None:
@@ -210,14 +240,20 @@ class ResultCache:
             return
         path = self._disk_path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        payload = {
+            "verdict": entry.verdict,
+            "assignment": entry.assignment,
+            "cnf_vars": entry.cnf_vars,
+            "cnf_clauses": entry.cnf_clauses,
+        }
+        payload["sha256"] = self._payload_checksum(payload)
+        text = json.dumps(payload)
+        monkey = ResultCache._chaos
+        if monkey is not None:
+            text = monkey.corrupt_cache_text(text)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps({
-                "verdict": entry.verdict,
-                "assignment": entry.assignment,
-                "cnf_vars": entry.cnf_vars,
-                "cnf_clauses": entry.cnf_clauses,
-            }))
+            tmp.write_text(text)
             tmp.replace(path)
         except OSError:
             # Best-effort: a read-only or full disk must not fail a solve.

@@ -26,6 +26,15 @@ Design notes:
   function and every payload (clause lists, config kwargs, assumption
   literals) is picklable.  On platforms offering ``fork`` we prefer it
   for its near-zero startup cost.
+* The pool is **supervised**: every worker carries a shared heartbeat
+  cell it refreshes at its budget safepoints, and the parent's result
+  loop periodically sweeps for dead (``is_alive``) or hung (stale
+  heartbeat) workers.  A lost worker is respawned with exponential
+  backoff and its in-flight queries are re-dispatched; a query that
+  kills two workers in a row is *quarantined* — it resolves to a typed
+  ``UNKNOWN(reason="quarantined")`` instead of hanging the run or
+  crashing the pool.  The deterministic ``worker_crash`` chaos hook
+  (``REPRO_CHAOS_WORKER_CRASH``) exercises all of this in tests.
 """
 
 from __future__ import annotations
@@ -35,6 +44,8 @@ import dataclasses
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import random
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -42,6 +53,7 @@ from ..obs import METRICS, TRACER
 from ..runtime.budget import Budget, BudgetExhausted, ExhaustionReason
 from ..smt.cnf import CNF
 from ..smt.sat.cdcl import CDCLConfig, CDCLSolver, SatResult, SatStats
+from ..trust.proof import ProofLog
 
 
 def default_jobs() -> int:
@@ -53,20 +65,49 @@ def default_jobs() -> int:
 
 
 class _WorkerBudget(Budget):
-    """A worker-side budget that also honors the shared cancel generation."""
+    """A worker-side budget that also honors the shared cancel generation.
 
-    def __init__(self, cancel_cell, task_id: int, **kwargs):
+    Doubles as the worker's *heartbeat* source: ``exhausted()`` runs at
+    every CDCL conflict and 256-decision safepoint, so refreshing the
+    shared heartbeat cell here gives the parent's supervisor a liveness
+    signal exactly as often as cooperative cancellation is possible.
+    Wall-clock (``time.time``) because the cell is compared across
+    processes.
+    """
+
+    def __init__(self, cancel_cell, task_id: int, heartbeat=None, **kwargs):
         super().__init__(**kwargs)
         self._cancel_cell = cancel_cell
         self._task_id = task_id
+        self._heartbeat = heartbeat
 
     def exhausted(self) -> Optional[ExhaustionReason]:
+        if self._heartbeat is not None:
+            self._heartbeat.value = time.time()
         if (
             self._cancel_cell is not None
             and self._cancel_cell.value >= self._task_id
         ):
             return ExhaustionReason.CANCELLED
         return super().exhausted()
+
+
+def _chaos_should_crash(chaos, task_id: int, slot: int, attempt: int) -> bool:
+    """Deterministic worker-crash draw for the ``worker_crash`` hook.
+
+    ``chaos`` is ``(rate, seed, max_crashes)``.  The draw is keyed on
+    (seed, task, slot, attempt) — not on a shared RNG stream — so the
+    same schedule replays regardless of worker interleaving, and a
+    retried dispatch (higher ``attempt``) past ``max_crashes`` is
+    guaranteed to survive.
+    """
+    rate, seed, max_crashes = chaos
+    if attempt >= max_crashes:
+        return False
+    draw = random.Random(
+        seed * 1000003 + task_id * 8191 + slot * 131 + attempt
+    ).random()
+    return draw < rate
 
 
 def _stats_tuple(stats: SatStats) -> tuple:
@@ -112,38 +153,51 @@ def _worker_telemetry_capture(enabled: bool):
     return blob
 
 
-def _portfolio_worker(task_queue, result_queue, cancel_cell) -> None:
+def _portfolio_worker(task_queue, result_queue, cancel_cell,
+                      heartbeat) -> None:
     """Worker loop: solve (CNF, config, assumptions) tasks until poisoned.
 
     Result messages are ``(task_id, slot, verdict, model, reason,
-    stats, telemetry)`` where ``verdict`` is "sat"/"unsat"/"unknown"/
-    "error", ``model`` is a 1-indexed bool list for SAT, ``reason`` the
-    exhaustion reason value for UNKNOWN, ``stats`` a SatStats tuple,
-    and ``telemetry`` the worker's span/metric delta (or None when the
-    parent ran without telemetry).
+    stats, telemetry, extra)`` where ``verdict`` is "sat"/"unsat"/
+    "unknown"/"error", ``model`` is a 1-indexed bool list for SAT,
+    ``reason`` the exhaustion reason value for UNKNOWN, ``stats`` a
+    SatStats tuple, ``telemetry`` the worker's span/metric delta (or
+    None when the parent ran without telemetry), and ``extra`` is
+    ``(proof_steps, unsat_assumptions)`` on a certified UNSAT, else
+    None.
     """
     while True:
         task = task_queue.get()
         if task is None:
             return
-        (task_id, slot, num_vars, clauses, config_kwargs, assumptions,
-         deadline, max_conflicts, max_learned, telemetry) = task
+        (task_id, slot, attempt, num_vars, clauses, config_kwargs,
+         assumptions, deadline, max_conflicts, max_learned, telemetry,
+         certify, chaos) = task
+        if heartbeat is not None:
+            heartbeat.value = time.time()
+        if chaos is not None and _chaos_should_crash(
+            chaos, task_id, slot, attempt
+        ):
+            # Simulated hard crash (OOM-kill, segfault): no result, no
+            # cleanup — the parent's supervisor must recover the query.
+            os._exit(3)
         if cancel_cell is not None and cancel_cell.value >= task_id:
             result_queue.put(
                 (task_id, slot, "unknown", None, "cancelled",
-                 _stats_tuple(SatStats()), None)
+                 _stats_tuple(SatStats()), None, None)
             )
             continue
         _worker_telemetry_begin(telemetry)
         budget = _WorkerBudget(
-            cancel_cell, task_id,
+            cancel_cell, task_id, heartbeat,
             deadline_seconds=deadline,
             max_conflicts=max_conflicts,
             max_learned_clauses=max_learned,
         )
         budget.start()
         solver = CDCLSolver(
-            num_vars, CDCLConfig(**config_kwargs), budget=budget
+            num_vars, CDCLConfig(**config_kwargs), budget=budget,
+            proof=ProofLog() if certify else None,
         )
         try:
             with TRACER.span("portfolio-rung", slot=slot,
@@ -162,27 +216,32 @@ def _portfolio_worker(task_queue, result_queue, cancel_cell) -> None:
             result_queue.put(
                 (task_id, slot, "unknown", None, exc.report.reason.value,
                  _stats_tuple(solver.stats),
-                 _worker_telemetry_capture(telemetry))
+                 _worker_telemetry_capture(telemetry), None)
             )
             continue
         except Exception as exc:  # never kill the worker loop
             result_queue.put(
                 (task_id, slot, "error", repr(exc), None,
                  _stats_tuple(solver.stats),
-                 _worker_telemetry_capture(telemetry))
+                 _worker_telemetry_capture(telemetry), None)
             )
             continue
         if result is SatResult.SAT:
             result_queue.put(
                 (task_id, slot, "sat", solver.model(), None,
                  _stats_tuple(solver.stats),
-                 _worker_telemetry_capture(telemetry))
+                 _worker_telemetry_capture(telemetry), None)
             )
         elif result is SatResult.UNSAT:
+            extra = None
+            if certify and solver.proof is not None:
+                extra = (
+                    list(solver.proof.steps), solver.unsat_assumptions()
+                )
             result_queue.put(
                 (task_id, slot, "unsat", None, None,
                  _stats_tuple(solver.stats),
-                 _worker_telemetry_capture(telemetry))
+                 _worker_telemetry_capture(telemetry), extra)
             )
         else:
             reason = (
@@ -192,7 +251,7 @@ def _portfolio_worker(task_queue, result_queue, cancel_cell) -> None:
             result_queue.put(
                 (task_id, slot, "unknown", None, reason,
                  _stats_tuple(solver.stats),
-                 _worker_telemetry_capture(telemetry))
+                 _worker_telemetry_capture(telemetry), None)
             )
 
 
@@ -205,6 +264,21 @@ class SlotResult:
     reason: Optional[str] = None  # ExhaustionReason.value for UNKNOWN
     stats: SatStats = dataclasses.field(default_factory=SatStats)
     error: Optional[str] = None
+    # Certified UNSAT answers: the worker's DRAT proof steps and (for
+    # assumption slots) the unsat assumption core.
+    proof: Optional[list] = None
+    core: tuple = ()
+
+
+class _Worker:
+    """One pool worker: process, its task queue, its heartbeat cell."""
+
+    __slots__ = ("proc", "queue", "heartbeat")
+
+    def __init__(self, proc, queue, heartbeat):
+        self.proc = proc
+        self.queue = queue
+        self.heartbeat = heartbeat
 
 
 class PoolUnavailable(RuntimeError):
@@ -214,7 +288,8 @@ class PoolUnavailable(RuntimeError):
 class PortfolioPool:
     """A persistent pool of CDCL worker processes shared across queries."""
 
-    def __init__(self, jobs: int, start_method: Optional[str] = None):
+    def __init__(self, jobs: int, start_method: Optional[str] = None,
+                 hang_seconds: Optional[float] = None):
         self.jobs = max(1, jobs)
         if start_method is None:
             start_method = os.environ.get("REPRO_MP_START") or None
@@ -225,51 +300,104 @@ class PortfolioPool:
         self._cancel = self._ctx.Value("q", 0)
         self._results = self._ctx.Queue()
         self._task_id = 0
-        self._workers: list[tuple] = []  # (process, task_queue)
+        self._workers: list[_Worker] = []
         self._closed = False
         # Slots cooperatively cancelled during the most recent _run();
         # surfaced via ResourceReport.cancelled_slots on timeouts.
         self.last_cancelled = 0
+        # Supervision: a worker with in-flight work whose heartbeat is
+        # older than hang_seconds is presumed wedged and replaced.  A
+        # query is quarantined after quarantine_after worker losses.
+        if hang_seconds is None:
+            try:
+                hang_seconds = float(os.environ.get("REPRO_HANG_SECONDS", "30"))
+            except ValueError:
+                hang_seconds = 30.0
+        self.hang_seconds = hang_seconds
+        self.quarantine_after = 2
+        self.respawn_base_seconds = 0.01
+        self._consecutive_respawns = 0
+        # Lifetime counters and per-run snapshots (read by SmtSolver
+        # into ResourceReport after each parallel solve).
+        self.workers_respawned = 0
+        self.queries_quarantined = 0
+        self.last_respawned = 0
+        self.last_quarantined = 0
+        # Pool-level chaos from the environment (CI smoke jobs):
+        # REPRO_CHAOS_WORKER_CRASH=<rate> with optional REPRO_CHAOS_SEED
+        # and REPRO_CHAOS_MAX_CRASHES (default: crash any query once).
+        self.worker_chaos: Optional[tuple] = None
+        try:
+            rate = float(os.environ.get("REPRO_CHAOS_WORKER_CRASH", "0"))
+            if rate > 0:
+                self.worker_chaos = (
+                    rate,
+                    int(os.environ.get("REPRO_CHAOS_SEED", "0")),
+                    int(os.environ.get("REPRO_CHAOS_MAX_CRASHES", "1")),
+                )
+        except ValueError:
+            self.worker_chaos = None
         for _ in range(self.jobs):
             self._spawn_worker()
 
     # ----- lifecycle --------------------------------------------------------
 
-    def _spawn_worker(self) -> None:
+    def _spawn_worker(self) -> _Worker:
         task_queue = self._ctx.Queue()
+        heartbeat = self._ctx.Value("d", time.time(), lock=False)
         proc = self._ctx.Process(
             target=_portfolio_worker,
-            args=(task_queue, self._results, self._cancel),
+            args=(task_queue, self._results, self._cancel, heartbeat),
             daemon=True,
         )
         proc.start()
-        self._workers.append((proc, task_queue))
+        worker = _Worker(proc, task_queue, heartbeat)
+        self._workers.append(worker)
+        return worker
+
+    def _respawn(self) -> _Worker:
+        """Replace a lost worker, backing off on repeated failures."""
+        if self._consecutive_respawns:
+            time.sleep(min(
+                0.25,
+                self.respawn_base_seconds * (2 ** self._consecutive_respawns),
+            ))
+        self._consecutive_respawns += 1
+        worker = self._spawn_worker()
+        self.workers_respawned += 1
+        self.last_respawned += 1
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_engine_workers_respawned_total")
+        return worker
 
     def _revive(self) -> None:
         """Replace dead workers so one crash doesn't shrink the pool."""
-        alive = [(p, q) for p, q in self._workers if p.is_alive()]
+        alive = [w for w in self._workers if w.proc.is_alive()]
         self._workers = alive
         while len(self._workers) < self.jobs:
             self._spawn_worker()
 
     def alive(self) -> bool:
-        return not self._closed and any(p.is_alive() for p, _ in self._workers)
+        return (
+            not self._closed
+            and any(w.proc.is_alive() for w in self._workers)
+        )
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
         self._cancel.value = self._task_id + 1
-        for proc, task_queue in self._workers:
+        for worker in self._workers:
             try:
-                task_queue.put_nowait(None)
+                worker.queue.put_nowait(None)
             except Exception:
                 pass
-        for proc, _ in self._workers:
-            proc.join(timeout=1.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=1.0)
+        for worker in self._workers:
+            worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=1.0)
         self._workers = []
 
     # ----- solving ----------------------------------------------------------
@@ -280,6 +408,8 @@ class PortfolioPool:
         configs: Sequence[Optional[CDCLConfig]],
         assumptions: Sequence[int] = (),
         budget: Optional[Budget] = None,
+        certify: bool = False,
+        chaos: Optional[tuple] = None,
     ) -> tuple[SlotResult, int]:
         """Race ``configs`` on one CNF; first SAT/UNSAT wins.
 
@@ -292,7 +422,9 @@ class PortfolioPool:
             (list(assumptions), config if config is not None else CDCLConfig())
             for config in configs
         ]
-        results = self._run(cnf, tasks, budget, first_wins=True)
+        results = self._run(
+            cnf, tasks, budget, first_wins=True, certify=certify, chaos=chaos
+        )
         definitive = next(
             (
                 r for r in results
@@ -327,17 +459,21 @@ class PortfolioPool:
         assumption_sets: Sequence[Sequence[int]],
         config: Optional[CDCLConfig] = None,
         budget: Optional[Budget] = None,
+        certify: bool = False,
+        chaos: Optional[tuple] = None,
     ) -> list[Optional[SlotResult]]:
         """Solve one CNF under several assumption sets concurrently.
 
         The data-parallel mode used by :class:`DafnyBackend` to
         discharge independent VCs across the pool.  Every slot runs to
         completion (no first-wins cancellation); a slot is None only if
-        its worker died.
+        its worker died and could not be replaced.
         """
         config = config or CDCLConfig()
         tasks = [(list(a), config) for a in assumption_sets]
-        return self._run(cnf, tasks, budget, first_wins=False)
+        return self._run(
+            cnf, tasks, budget, first_wins=False, certify=certify, chaos=chaos
+        )
 
     def _run(
         self,
@@ -345,14 +481,21 @@ class PortfolioPool:
         tasks: Sequence[tuple[list[int], CDCLConfig]],
         budget: Optional[Budget],
         first_wins: bool,
+        certify: bool = False,
+        chaos: Optional[tuple] = None,
     ) -> list[Optional[SlotResult]]:
         if self._closed:
             raise PoolUnavailable("pool is closed")
         self._revive()
         if not self._workers:
             raise PoolUnavailable("no live workers")
+        if chaos is None:
+            chaos = self.worker_chaos
         self._task_id += 1
         task_id = self._task_id
+        self.last_respawned = 0
+        self.last_quarantined = 0
+        self._consecutive_respawns = 0
         deadline = budget.remaining_seconds() if budget is not None else None
         max_conflicts = max_learned = None
         if budget is not None:
@@ -366,15 +509,27 @@ class PortfolioPool:
                 )
         telemetry = TRACER.enabled or METRICS.enabled
         slots: list[Optional[SlotResult]] = [None] * len(tasks)
-        assigned_workers: list = []
+        # Per-slot dispatch state, kept so the supervisor can requeue a
+        # lost worker's in-flight queries on a replacement.
+        payloads: list[tuple] = []
+        attempts = [0] * len(tasks)
+        assigned: dict[int, _Worker] = {}
+        dispatched_at: dict[int, float] = {}
+
+        def dispatch(slot: int, worker: _Worker) -> None:
+            worker.queue.put(
+                (task_id, slot, attempts[slot]) + payloads[slot]
+            )
+            assigned[slot] = worker
+            dispatched_at[slot] = time.time()
+
         for slot, (assumptions, config) in enumerate(tasks):
-            proc, task_queue = self._workers[slot % len(self._workers)]
-            task_queue.put((
-                task_id, slot, cnf.num_vars, cnf.clauses,
-                dataclasses.asdict(config), assumptions,
-                deadline, max_conflicts, max_learned, telemetry,
+            payloads.append((
+                cnf.num_vars, cnf.clauses, dataclasses.asdict(config),
+                assumptions, deadline, max_conflicts, max_learned,
+                telemetry, certify, chaos,
             ))
-            assigned_workers.append(proc)
+            dispatch(slot, self._workers[slot % len(self._workers)])
         pending = len(tasks)
         winner_seen = False
         while pending > 0:
@@ -386,13 +541,21 @@ class PortfolioPool:
                     # tell the workers and stop waiting for stragglers.
                     self._cancel.value = task_id
                     break
-                if not any(p.is_alive() for p in assigned_workers):
-                    break  # every worker with our tasks died
+                pending = self._supervise(
+                    slots, attempts, assigned, dispatched_at,
+                    dispatch, pending, winner_seen,
+                )
                 continue
-            msg_task_id, slot, verdict, payload, reason, stats_t, telem = msg
-            if msg_task_id != task_id:
-                continue  # stale result from a cancelled generation
+            (msg_task_id, slot, verdict, payload, reason, stats_t, telem,
+             extra) = msg
+            if msg_task_id != task_id or slots[slot] is not None:
+                # Stale generation, or a duplicate from a worker that was
+                # presumed hung after its slot was already resolved.
+                continue
             pending -= 1
+            assigned.pop(slot, None)
+            dispatched_at.pop(slot, None)
+            self._consecutive_respawns = 0
             if telem is not None:
                 # Fold the worker's span/metric delta into this process.
                 TRACER.merge(telem["spans"])
@@ -401,7 +564,11 @@ class PortfolioPool:
             if verdict == "sat":
                 slots[slot] = SlotResult(SatResult.SAT, payload, None, stats)
             elif verdict == "unsat":
-                slots[slot] = SlotResult(SatResult.UNSAT, None, None, stats)
+                proof, core = extra if extra is not None else (None, ())
+                slots[slot] = SlotResult(
+                    SatResult.UNSAT, None, None, stats,
+                    proof=proof, core=tuple(core),
+                )
             elif verdict == "error":
                 slots[slot] = SlotResult(
                     SatResult.UNKNOWN, None, "fault", stats, error=payload
@@ -437,6 +604,77 @@ class PortfolioPool:
                 budget.charge_conflicts(max(s.stats.conflicts for s in done))
                 budget.charge_learned(max(s.stats.learned for s in done))
         return slots
+
+    def _supervise(self, slots, attempts, assigned, dispatched_at,
+                   dispatch, pending: int, winner_seen: bool) -> int:
+        """Sweep for dead or hung workers; recover or quarantine their slots.
+
+        Called from the result loop whenever the queue is briefly idle.
+        A worker counts as *hung* when neither its heartbeat nor any of
+        its dispatch timestamps moved within ``hang_seconds`` (a fresh
+        dispatch resets the clock, so a worker is never flagged while a
+        task is still in its queue's grace window).  Returns the updated
+        pending-slot count.
+        """
+        now = time.time()
+        lost: list[_Worker] = []
+        for worker in set(assigned.values()):
+            if not worker.proc.is_alive():
+                lost.append(worker)
+                continue
+            latest = max(
+                [worker.heartbeat.value]
+                + [t for s, t in dispatched_at.items()
+                   if assigned.get(s) is worker]
+            )
+            if now - latest > self.hang_seconds:
+                worker.proc.terminate()
+                worker.proc.join(timeout=1.0)
+                lost.append(worker)
+        for worker in lost:
+            if worker in self._workers:
+                self._workers.remove(worker)
+            replacement: Optional[_Worker] = None
+            respawn_error: Optional[str] = None
+            lost_slots = sorted(
+                s for s, w in assigned.items() if w is worker
+            )
+            for slot in lost_slots:
+                assigned.pop(slot, None)
+                dispatched_at.pop(slot, None)
+                if winner_seen:
+                    # The race is decided; don't redo a loser's work.
+                    slots[slot] = SlotResult(
+                        SatResult.UNKNOWN, None, "cancelled", SatStats()
+                    )
+                    pending -= 1
+                    continue
+                attempts[slot] += 1
+                if attempts[slot] >= self.quarantine_after:
+                    slots[slot] = SlotResult(
+                        SatResult.UNKNOWN, None, "quarantined", SatStats()
+                    )
+                    pending -= 1
+                    self.queries_quarantined += 1
+                    self.last_quarantined += 1
+                    if METRICS.enabled:
+                        METRICS.counter_inc(
+                            "repro_engine_quarantined_total")
+                    continue
+                if replacement is None and respawn_error is None:
+                    try:
+                        replacement = self._respawn()
+                    except Exception as exc:
+                        respawn_error = repr(exc)
+                if replacement is None:
+                    slots[slot] = SlotResult(
+                        SatResult.UNKNOWN, None, "fault", SatStats(),
+                        error=f"worker respawn failed: {respawn_error}",
+                    )
+                    pending -= 1
+                    continue
+                dispatch(slot, replacement)
+        return pending
 
 
 _shared_pool: Optional[PortfolioPool] = None

@@ -33,6 +33,8 @@ class ExhaustionReason(enum.Enum):
     CANCELLED = "cancelled"          # Budget.cancel() was called
     INJECTED = "injected"            # chaos harness returned UNKNOWN
     FAULT = "fault"                  # solver raised an (injected) fault
+    QUARANTINED = "quarantined"      # query killed 2 portfolio workers
+    CERTIFICATION_FAILED = "certification_failed"  # UNSAT proof rejected
 
 
 @dataclass
@@ -62,6 +64,13 @@ class ResourceReport:
     # Portfolio slots cooperatively cancelled in the last parallel solve
     # (losers of a first-wins race, or survivors of a timed-out one).
     cancelled_slots: int = 0
+    # Pool supervision (repro.engine.parallel): workers respawned after
+    # dying/hanging, and queries quarantined after repeated worker loss.
+    workers_respawned: int = 0
+    quarantined_queries: int = 0
+    # Trust layer (repro.trust): DRAT certificates checked and rejected.
+    proofs_checked: int = 0
+    proofs_failed: int = 0
 
     def describe(self) -> str:
         """Human-readable rendering (used by the CLI)."""
@@ -100,6 +109,16 @@ class ResourceReport:
             lines.append(
                 f"  parallel portfolio: {self.cancelled_slots}"
                 " worker slots cancelled"
+            )
+        if self.workers_respawned or self.quarantined_queries:
+            lines.append(
+                f"  pool supervision: {self.workers_respawned} workers"
+                f" respawned, {self.quarantined_queries} queries quarantined"
+            )
+        if self.proofs_checked or self.proofs_failed:
+            lines.append(
+                f"  certification: {self.proofs_checked} proofs checked,"
+                f" {self.proofs_failed} rejected"
             )
         return "\n".join(lines)
 

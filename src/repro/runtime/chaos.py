@@ -40,6 +40,14 @@ class ChaosConfig:
     fault_rate: float = 0.0
     delay_rate: float = 0.0
     delay_seconds: float = 0.005
+    # Trust/engine hooks: corrupt a DRAT certificate before checking,
+    # corrupt a cache entry's on-disk text before writing, or hard-kill
+    # a portfolio worker at task receipt (at most worker_max_crashes
+    # times per query, so retries can be exercised deterministically).
+    proof_corrupt_rate: float = 0.0
+    cache_corrupt_rate: float = 0.0
+    worker_crash_rate: float = 0.0
+    worker_max_crashes: int = 1
 
 
 @dataclass
@@ -50,6 +58,8 @@ class ChaosLog:
     unknowns: int = 0
     faults: int = 0
     delays: int = 0
+    proofs_corrupted: int = 0
+    cache_corrupted: int = 0
     schedule: list[str] = field(default_factory=list)
 
 
@@ -95,6 +105,47 @@ class ChaosMonkey:
         self.log.schedule.append("ok")
         return None
 
+    def should_corrupt_proof(self) -> bool:
+        """Roll the proof-corruption die (zero-rate draws nothing)."""
+        cfg = self.config
+        if not cfg.proof_corrupt_rate:
+            return False
+        if self._rng.random() >= cfg.proof_corrupt_rate:
+            return False
+        self.log.proofs_corrupted += 1
+        self.log.schedule.append("proof_corrupt")
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_chaos_injected_total", kind="proof_corrupt")
+        return True
+
+    def corrupt_proof(self, cert) -> bool:
+        """Maybe prepend a non-RUP step to a :class:`Certificate`.
+
+        Prepended (not appended) so the bogus step is examined *before*
+        the refutation point — an appended step would land where the
+        checker has already derived the empty clause and accepts
+        anything.
+        """
+        if not self.should_corrupt_proof():
+            return False
+        cert.steps.insert(0, ("a", (cert.num_vars + 1,)))
+        return True
+
+    def corrupt_cache_text(self, text: str) -> str:
+        """Maybe truncate a cache entry's serialized form before write."""
+        cfg = self.config
+        if not cfg.cache_corrupt_rate:
+            return text
+        if self._rng.random() >= cfg.cache_corrupt_rate:
+            return text
+        self.log.cache_corrupted += 1
+        self.log.schedule.append("cache_corrupt")
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_chaos_injected_total", kind="cache_corrupt")
+        return text[: len(text) // 2]
+
 
 @contextmanager
 def inject_faults(
@@ -110,12 +161,16 @@ def inject_faults(
     """
     # Imported lazily: repro.smt.solver imports this package's budget
     # module, so a top-level import here would be circular.
+    from ..engine import cache as cache_mod
     from ..smt import solver as solver_mod
 
     monkey = ChaosMonkey(config, **kwargs)
     previous = solver_mod.SmtSolver._chaos
+    previous_cache = cache_mod.ResultCache._chaos
     solver_mod.SmtSolver._chaos = monkey
+    cache_mod.ResultCache._chaos = monkey
     try:
         yield monkey
     finally:
         solver_mod.SmtSolver._chaos = previous
+        cache_mod.ResultCache._chaos = previous_cache

@@ -27,6 +27,7 @@ from ...obs import METRICS
 
 if TYPE_CHECKING:  # avoid a runtime ↔ smt import cycle; Budget is duck-typed
     from ...runtime.budget import Budget, ResourceReport
+    from ...trust.proof import ProofLog
 
 
 class SatResult(enum.Enum):
@@ -112,9 +113,14 @@ class CDCLSolver:
     """
 
     def __init__(self, num_vars: int = 0, config: Optional[CDCLConfig] = None,
-                 budget: Optional["Budget"] = None):
+                 budget: Optional["Budget"] = None,
+                 proof: Optional["ProofLog"] = None):
         self.config = config or CDCLConfig()
         self.budget = budget
+        # Optional DRAT-style proof log: every learned clause, every
+        # learned-clause deletion, and the empty clause on root-level
+        # unsatisfiability.  Checked by repro.trust.drat independently.
+        self.proof = proof
         # Populated when solve() answers UNKNOWN: a ResourceReport when a
         # Budget ran out, None when only the per-call conflict cap hit
         # (the retryable case the escalation portfolio targets).
@@ -172,6 +178,11 @@ class CDCLSolver:
         v = self._value[abs(lit)]
         return v if lit > 0 else -v
 
+    def _log_empty(self) -> None:
+        """Log the empty clause: the proof's terminal refutation step."""
+        if self.proof is not None:
+            self.proof.add(())
+
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula became trivially unsat."""
         if not self._ok:
@@ -195,13 +206,17 @@ class CDCLSolver:
             seen.add(lit)
             clause.append(lit)
         if not clause:
+            self._log_empty()
             self._ok = False
             return False
         if len(clause) == 1:
             if not self._enqueue(clause[0], None):
+                self._log_empty()
                 self._ok = False
                 return False
             self._ok = self._propagate() is None
+            if not self._ok:
+                self._log_empty()
             return self._ok
         c = _Clause(clause, learnt=False)
         self._clauses.append(c)
@@ -446,6 +461,8 @@ class CDCLSolver:
             if i >= keep_from or locked or len(clause.lits) <= 2:
                 kept.append(clause)
             else:
+                if self.proof is not None:
+                    self.proof.delete(clause.lits)
                 self._detach(clause)
                 removed += 1
         self._learnts = kept
@@ -486,9 +503,26 @@ class CDCLSolver:
         per-query reporting must use on incremental sessions.
         """
         before = self.stats.snapshot()
+        # An UNSAT-under-assumptions answer leaves the assumption trail
+        # in place; without a snapshot the *next* solve's backtrack(0)
+        # would phase-save those assumption-forced values and bias its
+        # search.  SAT answers keep their trail (model()) and their
+        # phases (deliberate phase persistence across checks).
+        phase_snapshot = list(self._phase) if assumptions else None
+        result: Optional[SatResult] = None
         try:
-            return self._search(assumptions, budget)
+            result = self._search(assumptions, budget)
+            return result
         finally:
+            if phase_snapshot is not None and result is SatResult.UNSAT:
+                saving = self.config.use_phase_saving
+                self.config.use_phase_saving = False
+                try:
+                    self._backtrack(0)
+                finally:
+                    self.config.use_phase_saving = saving
+                phase_snapshot.extend(self._phase[len(phase_snapshot):])
+                self._phase = phase_snapshot
             self.last_stats = self.stats.diff(before)
             if METRICS.enabled:
                 delta = self.last_stats
@@ -524,6 +558,7 @@ class CDCLSolver:
             return SatResult.UNSAT
         self._backtrack(0)
         if self._propagate() is not None:
+            self._log_empty()
             self._ok = False
             return SatResult.UNSAT
         decisions_since_check = 0
@@ -545,9 +580,12 @@ class CDCLSolver:
                 if budget is not None:
                     budget.charge_conflicts(1)
                 if not self._trail_lim:
+                    self._log_empty()
                     self._ok = False
                     return SatResult.UNSAT
                 learnt, bt_level = self._analyze(conflict)
+                if self.proof is not None:
+                    self.proof.add(learnt)
                 self._backtrack(bt_level)
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], None)

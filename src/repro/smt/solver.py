@@ -53,6 +53,7 @@ from ..runtime.budget import (
     ResourceReport,
     SolverFault,
 )
+from ..trust import Certificate, DratChecker, DratError, ProofLog, certify_default
 from .bitblast import BitBlaster
 from .intervals import BoundsEnv, Interval
 from .model import Model
@@ -106,6 +107,10 @@ class _SolveOutcome:
     stats: SatStats = field(default_factory=SatStats)
     exhaust_report: Optional[ResourceReport] = None
     attempts: int = 1
+    # Certified runs: the winning solver's DRAT proof steps and (for
+    # UNSAT-under-assumptions) the failing assumption literals.
+    proof: Optional[list] = None
+    core: tuple = ()
 
 
 class _IncFrame:
@@ -130,13 +135,21 @@ class _IncrementalSession:
     """
 
     def __init__(self, bounds: BoundsEnv, config: Optional[CDCLConfig],
-                 budget: Optional[Budget]):
+                 budget: Optional[Budget],
+                 proof: Optional[ProofLog] = None):
         self.blaster = BitBlaster(bounds=bounds, budget=budget)
-        self.sat = CDCLSolver(0, config, budget=budget)
+        self.proof = proof
+        self.sat = CDCLSolver(0, config, budget=budget, proof=proof)
         self.frames: list[_IncFrame] = [_IncFrame(act=None)]
         self.retired_acts: list[int] = []
         self.loaded_clauses = 0
         self.budget = budget
+        # Live incremental DRAT checker: certified UNSAT answers feed it
+        # only the clauses/steps that appeared since the last check, so
+        # certifying N answers on one growing formula stays linear.
+        self.checker: Optional[DratChecker] = None
+        self.checked_clauses = 0
+        self.checked_steps = 0
 
     def retire_to(self, depth: int) -> None:
         """Drop frames beyond ``depth`` (called from ``pop()``)."""
@@ -219,6 +232,7 @@ class SmtSolver:
         parallelism: Optional[int] = None,
         cache: Union["ResultCache", None, bool] = None,
         incremental: bool = False,
+        certify: Optional[bool] = None,
     ):
         self.sat_config = sat_config
         self.validate_models = validate_models
@@ -231,6 +245,12 @@ class SmtSolver:
         # a ResultCache instance is used directly.
         self.cache = cache
         self.incremental = incremental
+        # None defers to REPRO_CERTIFY at check() time; a bool pins it.
+        # When active, every UNSAT answer must carry a DRAT certificate
+        # accepted by the independent repro.trust checker, else the
+        # answer degrades to UNKNOWN(certification_failed).
+        self.certify = certify
+        self.certificate: Optional[Certificate] = None
         self._bounds = BoundsEnv(default=default_bounds)
         self._stack: list[list[Term]] = [[]]
         self._inc: Optional[_IncrementalSession] = None
@@ -241,6 +261,13 @@ class SmtSolver:
         # Portfolio slots cancelled during the most recent parallel solve;
         # folded into resource reports so timeouts say what was tried.
         self._last_cancelled = 0
+        # Supervision and trust counters for resource reports.
+        self._last_respawned = 0
+        self._last_quarantined = 0
+        self._proofs_checked = 0
+        self._proofs_failed = 0
+        # Assumption terms behind the last UNSAT (incremental mode only).
+        self._last_core_terms: Optional[list[Term]] = None
 
     # ----- assertions -------------------------------------------------------
 
@@ -298,6 +325,11 @@ class SmtSolver:
 
         return resolve_cache(self.cache)
 
+    def _effective_certify(self) -> bool:
+        if self.certify is not None:
+            return self.certify
+        return certify_default()
+
     # ----- solving ---------------------------------------------------------------
 
     def check(self, *assumptions: Term) -> CheckResult:
@@ -311,6 +343,8 @@ class SmtSolver:
         self._model = None
         self._last_result = None
         self.last_report = None
+        self.certificate = None
+        self._last_core_terms = None
         formulas = self.assertions() + [
             a for a in assumptions if a is not TRUE
         ]
@@ -357,6 +391,7 @@ class SmtSolver:
     # ----- one-shot path (with cache and parallel portfolio) -------------------
 
     def _check_oneshot(self, formulas: list[Term]) -> CheckResult:
+        certify = self._effective_certify()
         cache = self._effective_cache()
         cache_key: Optional[str] = None
         if cache is not None:
@@ -365,7 +400,7 @@ class SmtSolver:
             cache_key = formula_fingerprint(formulas, self._bounds)
             hit = cache.get(cache_key)
             if hit is not None:
-                result = self._replay_cached(formulas, hit)
+                result = self._replay_cached(formulas, hit, certify)
                 if result is not None:
                     return result
 
@@ -393,7 +428,7 @@ class SmtSolver:
             )
         t1 = time.perf_counter()
 
-        outcome = self._solve_with_escalation(blaster)
+        outcome = self._solve_with_escalation(blaster, certify)
         t2 = time.perf_counter()
 
         self.stats = SolverStats(
@@ -411,6 +446,13 @@ class SmtSolver:
             self.last_report = self._unknown_report(outcome)
             return CheckResult.UNKNOWN
         if outcome.result is SatResult.UNSAT:
+            if certify:
+                failure = self._certify_unsat(
+                    blaster.cnf.num_vars, blaster.cnf.clauses,
+                    outcome.proof, outcome.core,
+                )
+                if failure is not None:
+                    return failure
             if cache is not None and cache_key is not None:
                 self._cache_store(cache, cache_key, "unsat", None)
             self._last_result = CheckResult.UNSAT
@@ -430,15 +472,19 @@ class SmtSolver:
         return CheckResult.SAT
 
     def _replay_cached(self, formulas: list[Term],
-                       hit) -> Optional[CheckResult]:
+                       hit, certify: bool = False) -> Optional[CheckResult]:
         """Answer from a cache entry, or None when the entry is unusable.
 
         SAT entries are always re-validated by evaluating the query's
         own terms under the stored assignment, so a stale or corrupted
-        disk entry degrades to a miss, never to a wrong answer.
+        disk entry degrades to a miss, never to a wrong answer.  A
+        certified run treats UNSAT hits as misses: cache entries carry
+        no proof, and an uncheckable answer must be re-derived.
         """
         t0 = time.perf_counter()
         if hit.verdict == "unsat":
+            if certify:
+                return None
             self.stats = SolverStats(
                 solve_seconds=time.perf_counter() - t0,
                 cnf_vars=hit.cnf_vars,
@@ -473,7 +519,43 @@ class SmtSolver:
             cnf_clauses=self.stats.cnf_clauses,
         ))
 
-    def _solve_with_escalation(self, blaster: BitBlaster) -> _SolveOutcome:
+    def _certify_unsat(self, num_vars: int, clauses, proof,
+                       core) -> Optional[CheckResult]:
+        """Check an UNSAT answer's DRAT certificate.
+
+        Returns None on success (with :attr:`certificate` populated) or
+        the degraded UNKNOWN answer when the proof is rejected — a
+        certified run never reports an UNSAT it cannot replay.
+        """
+        cert = Certificate(
+            num_vars=num_vars,
+            clauses=clauses,
+            steps=list(proof or ()),
+            core=tuple(core or ()),
+        )
+        monkey = self._chaos
+        if monkey is not None:
+            monkey.corrupt_proof(cert)
+        with TRACER.span("proof-check", steps=len(cert.steps),
+                         clauses=len(cert.clauses)):
+            ok = cert.verify()
+        self._proofs_checked += 1
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_trust_proofs_checked_total")
+        if ok:
+            self.certificate = cert
+            return None
+        self._proofs_failed += 1
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_trust_proofs_failed_total")
+        report = ResourceReport(
+            reason=ExhaustionReason.CERTIFICATION_FAILED,
+            message=f"UNSAT answer failed proof check: {cert.error}",
+        )
+        return self._exhausted(report, self.stats)
+
+    def _solve_with_escalation(self, blaster: BitBlaster,
+                               certify: bool = False) -> _SolveOutcome:
         """Run CDCL over the escalation ladder, sequentially or in parallel.
 
         Only a per-call conflict-cap UNKNOWN is retried (with a varied
@@ -490,7 +572,7 @@ class SmtSolver:
             )
         if self._effective_jobs() > 1:
             try:
-                return self._solve_parallel(blaster, configs)
+                return self._solve_parallel(blaster, configs, certify)
             except Exception as exc:
                 from ..engine.parallel import PoolUnavailable
 
@@ -511,7 +593,8 @@ class SmtSolver:
             with TRACER.span("portfolio-rung", rung=attempts,
                              mode="sequential") as rung_span:
                 sat = CDCLSolver(
-                    blaster.cnf.num_vars, config, budget=self.budget
+                    blaster.cnf.num_vars, config, budget=self.budget,
+                    proof=ProofLog() if certify else None,
                 )
                 try:
                     ok = sat.add_cnf(blaster.cnf)
@@ -535,6 +618,9 @@ class SmtSolver:
                 stats=sat.stats,
                 exhaust_report=sat.exhaust_report,
                 attempts=attempts,
+                proof=(
+                    list(sat.proof.steps) if sat.proof is not None else None
+                ),
             )
             if result is not SatResult.UNKNOWN:
                 break
@@ -543,15 +629,27 @@ class SmtSolver:
         return outcome
 
     def _solve_parallel(
-        self, blaster: BitBlaster, configs: list[Optional[CDCLConfig]]
+        self, blaster: BitBlaster, configs: list[Optional[CDCLConfig]],
+        certify: bool = False,
     ) -> _SolveOutcome:
         from ..engine.parallel import get_pool
 
         pool = get_pool(self._effective_jobs())
+        monkey = self._chaos
+        chaos = None
+        if monkey is not None and monkey.config.worker_crash_rate > 0:
+            chaos = (
+                monkey.config.worker_crash_rate,
+                monkey.config.seed,
+                monkey.config.worker_max_crashes,
+            )
         slot, attempts = pool.solve_portfolio(
-            blaster.cnf, configs, budget=self.budget
+            blaster.cnf, configs, budget=self.budget,
+            certify=certify, chaos=chaos,
         )
         self._last_cancelled = pool.last_cancelled
+        self._last_respawned = pool.last_respawned
+        self._last_quarantined = pool.last_quarantined
         if slot.error is not None or slot.reason == "fault":
             raise SolverFault(
                 f"portfolio worker failed: {slot.error or 'unknown fault'}"
@@ -576,16 +674,24 @@ class SmtSolver:
             stats=slot.stats,
             exhaust_report=exhaust_report,
             attempts=attempts,
+            proof=slot.proof,
+            core=slot.core,
         )
 
     # ----- incremental path -----------------------------------------------------
 
     def _check_incremental(self, assumptions: list[Term]) -> CheckResult:
         t0 = time.perf_counter()
+        certify = self._effective_certify()
         inc = self._inc
-        if inc is None:
+        if inc is None or (certify and inc.proof is None):
+            # A session created without proof logging cannot certify:
+            # earlier calls' learned clauses would be missing from the
+            # replay.  Rebuild from scratch when certification turns on
+            # mid-session (the stack re-encodes via frame counters).
             inc = self._inc = _IncrementalSession(
-                self._bounds, self.sat_config, self.budget
+                self._bounds, self.sat_config, self.budget,
+                proof=ProofLog() if certify else None,
             )
         if METRICS.enabled:
             METRICS.counter_inc("repro_incremental_checks_total")
@@ -633,6 +739,19 @@ class SmtSolver:
             ))
             return CheckResult.UNKNOWN
         if result is SatResult.UNSAT:
+            core_lits = [] if inc.root_unsat else inc.sat.unsat_assumptions()
+            # Map the SAT-level core back to the caller's assumption
+            # terms (activation literals of push frames are dropped).
+            core_set = set(core_lits)
+            pairs = (
+                list(zip(lits[len(lits) - len(assumptions):], assumptions))
+                if assumptions else []
+            )
+            self._last_core_terms = [t for (l, t) in pairs if l in core_set]
+            if certify:
+                failure = self._certify_incremental(inc, core_lits)
+                if failure is not None:
+                    return failure
             self._last_result = CheckResult.UNSAT
             return CheckResult.UNSAT
         assignment = inc.blaster.varmap.decode(inc.sat.model())
@@ -642,6 +761,77 @@ class SmtSolver:
         self._model = model
         self._last_result = CheckResult.SAT
         return CheckResult.SAT
+
+    def _certify_incremental(self, inc: _IncrementalSession,
+                             core_lits: list[int]) -> Optional[CheckResult]:
+        """Certify an incremental UNSAT against the session's live checker.
+
+        The checker persists across calls; only clauses and proof steps
+        that appeared since the last certification are replayed, then
+        the core (or root refutation) is checked.  A rejected proof
+        degrades the answer exactly like the one-shot path; the checker
+        is discarded so the next certification rebuilds from scratch.
+        """
+        monkey = self._chaos
+        corrupt = monkey is not None and monkey.should_corrupt_proof()
+        clauses = inc.blaster.cnf.clauses
+        steps = inc.proof.steps if inc.proof is not None else []
+        error: Optional[str] = None
+        with TRACER.span(
+            "proof-check", path="incremental",
+            steps=len(steps) - inc.checked_steps,
+            clauses=len(clauses) - inc.checked_clauses,
+        ):
+            try:
+                chk = inc.checker
+                if chk is None:
+                    chk = DratChecker(0)
+                    inc.checked_clauses = 0
+                    inc.checked_steps = 0
+                while inc.checked_clauses < len(clauses):
+                    chk.add_clause(clauses[inc.checked_clauses])
+                    inc.checked_clauses += 1
+                while inc.checked_steps < len(steps):
+                    chk.apply_step(steps[inc.checked_steps])
+                    inc.checked_steps += 1
+                inc.checker = chk
+                if corrupt:
+                    # Chaos: feed a deterministically non-RUP step (a
+                    # unit over a variable no clause mentions).
+                    chk.apply_step(("a", (inc.blaster.cnf.num_vars + 1,)))
+                if core_lits:
+                    ok = chk.assumptions_conflict(core_lits)
+                    if not ok:
+                        error = ("assumption core does not propagate"
+                                 " to a conflict")
+                else:
+                    ok = chk.refuted
+                    if not ok:
+                        error = "proof does not derive the empty clause"
+            except DratError as exc:
+                inc.checker = None  # suspect state: rebuild next time
+                ok = False
+                error = str(exc)
+        self._proofs_checked += 1
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_trust_proofs_checked_total")
+        if ok:
+            self.certificate = Certificate(
+                num_vars=inc.blaster.cnf.num_vars,
+                clauses=list(clauses),
+                steps=list(steps),
+                core=tuple(core_lits),
+                verified=True,
+            )
+            return None
+        self._proofs_failed += 1
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_trust_proofs_failed_total")
+        report = ResourceReport(
+            reason=ExhaustionReason.CERTIFICATION_FAILED,
+            message=f"UNSAT answer failed proof check: {error}",
+        )
+        return self._exhausted(report, self.stats)
 
     # ----- reporting ------------------------------------------------------------
 
@@ -676,6 +866,10 @@ class SmtSolver:
             report.cache_hits = cache.stats.hits
             report.cache_misses = cache.stats.misses
         report.cancelled_slots = self._last_cancelled
+        report.workers_respawned = self._last_respawned
+        report.quarantined_queries = self._last_quarantined
+        report.proofs_checked = self._proofs_checked
+        report.proofs_failed = self._proofs_failed
 
     def _exhausted(self, report: ResourceReport,
                    stats: SolverStats) -> CheckResult:
@@ -710,6 +904,27 @@ class SmtSolver:
                 )
             raise RuntimeError("model() is only available after a SAT check()")
         return self._model
+
+    def unsat_core(self) -> list[Term]:
+        """The assumption terms the last UNSAT answer depended on.
+
+        Computed by the CDCL final-conflict analysis over assumption
+        literals, so it is a (not necessarily minimal, but usually
+        small) subset of the ``check(*assumptions)`` arguments whose
+        conjunction with the asserted stack is already unsatisfiable.
+        Incremental mode only: the one-shot path folds assumptions into
+        the encoding and has no assumption literals to trace.
+        """
+        if self._last_result is not CheckResult.UNSAT:
+            raise RuntimeError(
+                "unsat_core() is only available after an UNSAT check()"
+            )
+        if self._last_core_terms is None:
+            raise RuntimeError(
+                "unsat_core() requires incremental mode"
+                " (SmtSolver(incremental=True))"
+            )
+        return list(self._last_core_terms)
 
 
 def governed_check(

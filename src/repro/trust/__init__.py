@@ -1,0 +1,35 @@
+"""Trust layer: certified UNSAT answers.
+
+The solver's SAT answers have always been validated by re-evaluating
+the original terms under the decoded model (``SmtSolver._validate``).
+This package closes the other half of the trust gap: UNSAT answers can
+carry a :class:`Certificate` — the original CNF plus the CDCL solver's
+DRAT-style proof log — replayed by an independent, from-scratch
+checker (:mod:`repro.trust.drat`).  ``analyze(certify=True)`` and
+``REPRO_CERTIFY=1`` refuse to report UNSAT-backed verdicts unless the
+certificate checks.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .drat import Certificate, DratChecker, DratError, check_drat
+from .proof import ProofLog, Step
+
+__all__ = [
+    "Certificate",
+    "DratChecker",
+    "DratError",
+    "ProofLog",
+    "Step",
+    "certify_default",
+    "check_drat",
+]
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+def certify_default() -> bool:
+    """The process-wide certification default (``REPRO_CERTIFY`` env var)."""
+    return os.environ.get("REPRO_CERTIFY", "").strip().lower() in _TRUTHY

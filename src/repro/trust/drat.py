@@ -1,0 +1,317 @@
+"""Independent DRAT proof checker (reverse unit propagation).
+
+This is the read side of the trust layer: given the *original* CNF and
+the solver's clausal proof log, :class:`DratChecker` replays every
+addition by the RUP criterion — assume the negation of the clause,
+unit-propagate, and require a conflict — and every deletion by
+retiring the clause from propagation.  The checker shares no code with
+:mod:`repro.smt.sat.cdcl`; it is a from-scratch two-watched-literal
+propagator, so a bug in the solver cannot hide in the checker.
+
+Soundness argument (why an accepted proof really refutes the CNF):
+
+* Every accepted addition is RUP with respect to the clauses currently
+  alive plus the persistent root assignments, and is therefore entailed
+  by them.
+* Root assignments are themselves unit-propagation consequences of
+  clauses alive at the time they were derived.
+* Deletions only *remove* clauses, so by induction everything the
+  checker ever uses is entailed by the original CNF.  An accepted empty
+  clause (or a core whose assumption yields a root conflict) therefore
+  certifies unsatisfiability (under those assumptions).
+
+Deletions never threaten soundness, only completeness — and since we
+generate the proofs ourselves, the solver guarantees (reasons on the
+final trail are locked, hence alive at end-of-log) make its own proofs
+checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # duck-typed, mirroring the solver's Budget handling
+    from ...runtime.budget import Budget
+
+
+class DratError(Exception):
+    """A proof failed to verify (bad step, missing refutation, bad core)."""
+
+
+class _CClause:
+    __slots__ = ("lits", "watch", "deleted")
+
+    def __init__(self, lits: tuple[int, ...]):
+        self.lits = lits
+        # The two currently watched literals, or None when the clause is
+        # permanently satisfied/refuted at the root and never watched.
+        self.watch: Optional[tuple[int, int]] = None
+        self.deleted = False
+
+
+class DratChecker:
+    """Replays a clausal proof by reverse unit propagation.
+
+    The checker keeps one *persistent* partial assignment: the root-level
+    unit-propagation closure of the clauses added so far.  RUP checks and
+    core queries push temporary assumptions on top of it and always undo
+    back to the root, so a checker instance can be kept alive and fed
+    incrementally (new clauses, then new proof steps) across many
+    certifications of one growing formula.
+    """
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = 0
+        #: True once the clause set is refuted at the root level.
+        self.refuted = False
+        self._value: list[int] = [0]   # 1-indexed: +1 true, -1 false, 0 free
+        self._watches: dict[int, list[_CClause]] = {}
+        self._by_key: dict[tuple[int, ...], list[_CClause]] = {}
+        self._trail: list[int] = []
+        self._qhead = 0
+        self._ensure_vars(num_vars)
+
+    # ----- assignment machinery ---------------------------------------------
+
+    def _ensure_vars(self, n: int) -> None:
+        while self.num_vars < n:
+            self.num_vars += 1
+            self._value.append(0)
+
+    def _val(self, lit: int) -> int:
+        v = self._value[abs(lit)]
+        return v if lit > 0 else -v
+
+    def _assign(self, lit: int) -> None:
+        self._value[abs(lit)] = 1 if lit > 0 else -1
+        self._trail.append(lit)
+
+    def _propagate(self) -> bool:
+        """Propagate queued assignments; True iff a conflict was found."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            false_lit = -lit
+            watchers = self._watches.get(false_lit)
+            if not watchers:
+                continue
+            keep: list[_CClause] = []
+            i = 0
+            n = len(watchers)
+            while i < n:
+                rec = watchers[i]
+                i += 1
+                if rec.deleted:
+                    continue  # retired: drop from the watch list lazily
+                w0, w1 = rec.watch
+                if w0 == false_lit:
+                    w0, w1 = w1, w0
+                if self._val(w0) > 0:
+                    rec.watch = (w0, w1)
+                    keep.append(rec)
+                    continue
+                moved = False
+                for q in rec.lits:
+                    if q != w0 and q != false_lit and self._val(q) >= 0:
+                        rec.watch = (w0, q)
+                        self._watches.setdefault(q, []).append(rec)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                rec.watch = (w0, false_lit)
+                keep.append(rec)
+                v0 = self._val(w0)
+                if v0 < 0:
+                    # Conflict: restore the remaining watchers and stop.
+                    keep.extend(r for r in watchers[i:] if not r.deleted)
+                    self._watches[false_lit] = keep
+                    self._qhead = len(self._trail)
+                    return True
+                if v0 == 0:
+                    self._assign(w0)
+            self._watches[false_lit] = keep
+        return False
+
+    def _undo_to(self, saved: int) -> None:
+        for lit in self._trail[saved:]:
+            self._value[abs(lit)] = 0
+        del self._trail[saved:]
+        self._qhead = saved
+
+    # ----- queries ----------------------------------------------------------
+
+    def _rup(self, clause: tuple[int, ...]) -> bool:
+        """Is ``clause`` a reverse-unit-propagation consequence?"""
+        if self.refuted:
+            return True  # anything follows from a refuted clause set
+        saved = len(self._trail)
+        conflict = False
+        for lit in clause:
+            v = self._val(lit)
+            if v > 0:
+                # The clause is satisfied at the root: its negation is
+                # immediately contradictory.
+                conflict = True
+                break
+            if v == 0:
+                self._assign(-lit)
+        if not conflict:
+            conflict = self._propagate()
+        self._undo_to(saved)
+        return conflict
+
+    def assumptions_conflict(self, lits: Iterable[int]) -> bool:
+        """Do these assumption literals propagate to a conflict?
+
+        The final check for an UNSAT-under-assumptions certificate: the
+        core is genuine iff asserting it on top of the (replayed) clause
+        set refutes by unit propagation alone.  Temporary, like RUP.
+        """
+        if self.refuted:
+            return True
+        saved = len(self._trail)
+        conflict = False
+        for lit in lits:
+            self._ensure_vars(abs(lit))
+            v = self._val(lit)
+            if v < 0:
+                conflict = True
+                break
+            if v == 0:
+                self._assign(lit)
+        if not conflict:
+            conflict = self._propagate()
+        self._undo_to(saved)
+        return conflict
+
+    # ----- clause set maintenance -------------------------------------------
+
+    def add_clause(self, lits: Iterable[int], check: bool = False) -> None:
+        """Install a clause; with ``check=True`` verify it is RUP first.
+
+        Raises :class:`DratError` when a checked clause is not RUP —
+        that is the rejection path for corrupted or bogus proofs.
+        """
+        clause = tuple(lits)
+        for lit in clause:
+            if lit == 0:
+                raise DratError("0 is not a valid literal")
+            self._ensure_vars(abs(lit))
+        if check and not self._rup(clause):
+            raise DratError(f"proof step is not RUP: {list(clause)}")
+        rec = _CClause(clause)
+        self._by_key.setdefault(tuple(sorted(clause)), []).append(rec)
+        if self.refuted:
+            return
+        distinct = tuple(dict.fromkeys(clause))
+        lit_set = set(distinct)
+        if any(-l in lit_set for l in distinct):
+            return  # tautology: permanently satisfied, never watched
+        if any(self._val(l) > 0 for l in distinct):
+            return  # satisfied by a persistent root literal forever
+        free = [l for l in distinct if self._val(l) == 0]
+        if not free:
+            self.refuted = True  # all literals false at the root
+            return
+        if len(free) == 1:
+            # Unit under the root assignment: extend the persistent
+            # closure; once true, the clause never needs watching.
+            self._assign(free[0])
+            if self._propagate():
+                self.refuted = True
+            return
+        rec.watch = (free[0], free[1])
+        self._watches.setdefault(free[0], []).append(rec)
+        self._watches.setdefault(free[1], []).append(rec)
+
+    def delete_clause(self, lits: Iterable[int]) -> None:
+        """Retire one instance of the clause from propagation.
+
+        Unknown deletions are ignored: removing clauses can only weaken
+        the set, so leniency here cannot make an invalid proof pass.
+        """
+        key = tuple(sorted(lits))
+        recs = self._by_key.get(key)
+        if not recs:
+            return
+        rec = recs.pop()
+        if not recs:
+            del self._by_key[key]
+        rec.deleted = True
+
+    def apply_step(self, step: tuple[str, tuple[int, ...]]) -> None:
+        kind, lits = step
+        if kind == "a":
+            self.add_clause(lits, check=True)
+        elif kind == "d":
+            self.delete_clause(lits)
+        else:
+            raise DratError(f"unknown proof step kind {kind!r}")
+
+
+def check_drat(
+    num_vars: int,
+    clauses: Sequence[Sequence[int]],
+    steps: Sequence[tuple[str, tuple[int, ...]]],
+    core: Sequence[int] = (),
+    budget: Optional["Budget"] = None,
+) -> DratChecker:
+    """Replay a proof against the original CNF; raise DratError on failure.
+
+    With an empty ``core`` the proof must derive the empty clause; with
+    a core the replayed clause set must refute under those assumption
+    literals by unit propagation alone.  Returns the checker (its state
+    can answer further assumption queries on the same formula).
+    """
+    checker = DratChecker(num_vars)
+    for i, clause in enumerate(clauses):
+        if budget is not None and (i & 0xFFF) == 0xFFF:
+            budget.checkpoint("DRAT check: loading CNF")
+        checker.add_clause(clause)
+    for i, step in enumerate(steps):
+        if budget is not None and (i & 0xFF) == 0xFF:
+            budget.checkpoint("DRAT check: replaying proof")
+        checker.apply_step(step)
+    if core:
+        if not checker.assumptions_conflict(core):
+            raise DratError(
+                "assumption core does not propagate to a conflict"
+            )
+    elif not checker.refuted:
+        raise DratError("proof does not derive the empty clause")
+    return checker
+
+
+@dataclass
+class Certificate:
+    """A replayable refutation attached to an UNSAT answer.
+
+    ``clauses`` is the original CNF (pre-solver, so the certificate does
+    not depend on the solver's own simplifications), ``steps`` the
+    solver's proof log, and ``core`` the assumption literals for
+    UNSAT-under-assumptions answers (empty for root unsatisfiability).
+    """
+
+    num_vars: int
+    clauses: list = field(default_factory=list)
+    steps: list = field(default_factory=list)
+    core: tuple = ()
+    verified: bool = False
+    error: Optional[str] = None
+
+    def verify(self, budget: Optional["Budget"] = None) -> bool:
+        """Run the independent checker; records verified/error in place."""
+        try:
+            check_drat(
+                self.num_vars, self.clauses, self.steps,
+                core=self.core, budget=budget,
+            )
+        except DratError as exc:
+            self.verified = False
+            self.error = str(exc)
+            return False
+        self.verified = True
+        self.error = None
+        return True

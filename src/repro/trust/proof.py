@@ -1,0 +1,49 @@
+"""In-memory DRAT-style proof log.
+
+:class:`ProofLog` is the write side of the trust layer: the CDCL
+solver appends every learned clause ("a" steps) and every learned
+clause it deletes from the database ("d" steps), plus the empty clause
+when it derives root-level unsatisfiability.  The log is append-only,
+picklable (portfolio workers ship their steps back to the parent) and
+deliberately knows nothing about checking — the read side lives in
+:mod:`repro.trust.drat`, which must stay independent of the solver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: One proof step: ("a", lits) adds a clause, ("d", lits) deletes one.
+Step = tuple[str, tuple[int, ...]]
+
+
+class ProofLog:
+    """Append-only sequence of clausal proof steps."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Sequence[Step] = ()):
+        self.steps: list[Step] = list(steps)
+
+    def add(self, lits: Iterable[int]) -> None:
+        """Record a learned (or derived-empty) clause addition."""
+        self.steps.append(("a", tuple(lits)))
+
+    def delete(self, lits: Iterable[int]) -> None:
+        """Record the deletion of a previously added clause."""
+        self.steps.append(("d", tuple(lits)))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def to_drat(self) -> str:
+        """Textual DRAT rendering (``d``-prefixed deletions, 0-terminated)."""
+        lines = []
+        for kind, lits in self.steps:
+            body = " ".join(str(l) for l in lits)
+            prefix = "d " if kind == "d" else ""
+            lines.append(f"{prefix}{body} 0".replace("  ", " ").strip())
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -236,10 +236,13 @@ class TestResultCache:
         assert hit.counterexample.total_arrivals() >= 1
 
     def test_unsat_is_cached(self):
+        # certify=False: certified runs treat proof-less cached UNSAT
+        # entries as misses, and this test asserts the uncertified
+        # cache semantics regardless of REPRO_CERTIFY.
         cache = ResultCache()
         a = mk_bool_var("a")
         for expect_hit in (False, True):
-            solver = SmtSolver(cache=cache)
+            solver = SmtSolver(cache=cache, certify=False)
             solver.add(a, mk_not(a))
             assert solver.check() is CheckResult.UNSAT
             assert solver.stats.cache_hit is expect_hit

@@ -138,6 +138,35 @@ class TestAssumptions:
         solver = CDCLSolver(1)
         assert solver.solve(assumptions=[1, -1]) is SatResult.UNSAT
 
+    def test_unsat_assumptions_do_not_pollute_phase_saving(self):
+        # Regression: an UNSAT solve under assumptions used to leave
+        # the assumption-forced polarities in the saved-phase array, so
+        # a later plain solve() could pick a different model than a
+        # fresh solver on the same clauses.
+        clauses = [[-1, 2]]
+        polluted = CDCLSolver(2)
+        for c in clauses:
+            polluted.add_clause(c)
+        assert polluted.solve(assumptions=[1, -2]) is SatResult.UNSAT
+        assert polluted.solve() is SatResult.SAT
+
+        fresh = CDCLSolver(2)
+        for c in clauses:
+            fresh.add_clause(c)
+        assert fresh.solve() is SatResult.SAT
+        assert polluted.model() == fresh.model()
+
+    def test_phase_snapshot_covers_vars_added_during_solve(self):
+        # Variables created after the snapshot was taken (e.g. by a
+        # clause added mid-session) must keep their phases on restore.
+        solver = CDCLSolver(2)
+        solver.add_clause([-1, 2])
+        assert solver.solve(assumptions=[1, -2]) is SatResult.UNSAT
+        solver.new_var()
+        solver.add_clause([3])
+        assert solver.solve() is SatResult.SAT
+        assert solver.model()[3]
+
 
 @pytest.mark.parametrize("config", [
     CDCLConfig(),
