@@ -29,7 +29,11 @@ The package provides:
 * :mod:`repro.trust` — certified answers: DRAT-style proof logging in
   the CDCL core, an independent proof checker, and unsat cores, so
   UNSAT/VERIFIED claims can be machine-checked
-  (``analyze(certify=True)`` / ``REPRO_CERTIFY=1``).
+  (``analyze(certify=True)`` / ``REPRO_CERTIFY=1``);
+* :mod:`repro.persist` — durability: a checksummed write-ahead
+  journal, CDCL checkpoint/resume (``REPRO_CHECKPOINT_DIR``), and the
+  crash-recoverable batch queue behind :func:`repro.analyze_many` and
+  ``repro batch run/resume``.
 
 Quickstart::
 
@@ -44,9 +48,10 @@ Quickstart::
     raise SystemExit(outcome.exit_code)
 """
 
-from .analysis.facade import analyze
+from .analysis.facade import analyze, analyze_many
 from .analysis.result import (
     EXIT_CERTIFICATION,
+    EXIT_DEADLETTER,
     EXIT_ERROR,
     AnalysisOutcome,
     Verdict,
@@ -74,15 +79,18 @@ from .lang.interp import Interpreter
 from .lang.parser import parse_expr, parse_program
 from .lang.pretty import pretty_program
 from .obs import METRICS, TRACER, TelemetrySnapshot, telemetry
+from .persist import BatchRunner, CheckpointStore, Journal
 from .trust import Certificate, DratChecker, DratError, ProofLog, check_drat
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisOutcome",
+    "BatchRunner",
     "Budget",
     "BudgetExhausted",
     "CheckedProgram",
+    "CheckpointStore",
     "ConcreteNetwork",
     "Connection",
     "Certificate",
@@ -90,12 +98,14 @@ __all__ = [
     "DratChecker",
     "DratError",
     "EXIT_CERTIFICATION",
+    "EXIT_DEADLETTER",
     "EXIT_ERROR",
     "EncodeConfig",
     "EscalationPolicy",
     "ExhaustionReason",
     "FPerfBackend",
     "Interpreter",
+    "Journal",
     "METRICS",
     "ModelChecker",
     "NetworkBackend",
@@ -113,6 +123,7 @@ __all__ = [
     "TelemetrySnapshot",
     "Verdict",
     "analyze",
+    "analyze_many",
     "check_drat",
     "check_program",
     "inject_faults",

@@ -104,6 +104,19 @@ def analyze(
     return dataclasses.replace(outcome, telemetry=obs.capture())
 
 
+def analyze_many(programs, **kwargs) -> "list[AnalysisOutcome]":
+    """Analyze a batch of programs; durably when ``journal_dir`` is given.
+
+    Thin facade over :func:`repro.persist.batch.analyze_many` (see
+    there for the crash-recovery contract): with a ``journal_dir``,
+    jobs are journaled, executed with retries + backoff, and a killed
+    run can be finished by re-invoking with the same directory.
+    """
+    from ..persist.batch import analyze_many as _analyze_many
+
+    return _analyze_many(programs, **kwargs)
+
+
 def _analyze(
     program: Any,
     query: Any = None,

@@ -73,6 +73,12 @@ EXIT_ERROR = 4
 #: UNSAT/VERIFIED claim because its DRAT certificate did not check.
 EXIT_CERTIFICATION = 5
 
+#: Exit code for "a durable batch finished with deadlettered jobs": a
+#: ``repro batch run``/``resume`` exhausted a job's retry budget (or hit
+#: a permanent error) and parked it in the deadletter state for operator
+#: attention.  Dominates every per-job exit code in the batch summary.
+EXIT_DEADLETTER = 6
+
 
 def verdict_for_unknown(report: Optional[ResourceReport]) -> Verdict:
     """Classify an UNKNOWN answer by its resource report."""

@@ -9,6 +9,9 @@ Commands:
 * ``analyze FILE``    — run any back end through :func:`repro.analyze`;
 * ``smtlib FILE``     — dump the compiled encoding as SMT-LIB v2;
 * ``stats TRACE``     — summarize a previously emitted trace file;
+* ``batch ...``       — durable batch analysis over a journal directory
+  (``submit`` / ``run`` / ``resume`` / ``status``): jobs survive
+  SIGKILL and resume exactly where the journal left off;
 * ``loc``             — print the Table-1 LoC comparison.
 
 Named constants for ``buffer[N]``-style sizes are passed with
@@ -27,12 +30,14 @@ undecided (e.g. an injected fault); 3 — the resource budget was
 exhausted (``--timeout``); 4 — usage/input errors; 5 — an answer was
 produced but failed certification (``--certify``: an UNSAT/VERIFIED
 claim whose DRAT certificate did not check is never reported as
-proved).
+proved); 6 — a ``batch run``/``resume`` finished with deadlettered
+jobs (retry budget exhausted or a permanent per-job error).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -83,19 +88,30 @@ def _telemetry_wanted(args) -> bool:
 
 
 def _export_telemetry(snapshot, args) -> None:
-    """Write the artifacts ``--trace``/``--metrics`` asked for."""
+    """Write the artifacts ``--trace``/``--metrics`` asked for.
+
+    Exporter writes are crash-safe and degrade I/O failure to a False
+    return (the analysis verdict is already decided; telemetry must not
+    change the exit code) — surfaced here as a warning.
+    """
     if snapshot is None:
         return
     if getattr(args, "trace", None):
-        snapshot.write_chrome_trace(args.trace)
-        print(f"trace: wrote {args.trace} ({len(snapshot.spans)} spans;"
-              " open in https://ui.perfetto.dev)", file=sys.stderr)
+        if snapshot.write_chrome_trace(args.trace):
+            print(f"trace: wrote {args.trace} ({len(snapshot.spans)} spans;"
+                  " open in https://ui.perfetto.dev)", file=sys.stderr)
+        else:
+            print(f"warning: could not write trace to {args.trace}",
+                  file=sys.stderr)
     metrics = getattr(args, "metrics", None)
     if metrics == "-":
         print(snapshot.to_prometheus(), end="")
     elif metrics:
-        snapshot.write_prometheus(metrics)
-        print(f"metrics: wrote {metrics}", file=sys.stderr)
+        if snapshot.write_prometheus(metrics):
+            print(f"metrics: wrote {metrics}", file=sys.stderr)
+        else:
+            print(f"warning: could not write metrics to {metrics}",
+                  file=sys.stderr)
 
 
 def cmd_check(args) -> int:
@@ -214,6 +230,81 @@ def cmd_analyze(args) -> int:
     return outcome.exit_code
 
 
+def _batch_runner(args):
+    from .persist.batch import BatchRunner
+
+    return BatchRunner(
+        args.dir, max_attempts=getattr(args, "max_attempts", 3),
+    )
+
+
+def cmd_batch_submit(args) -> int:
+    sources = []
+    for path in args.files:
+        with open(path) as handle:
+            sources.append((path, handle.read()))
+    with _batch_runner(args) as runner:
+        ids = runner.submit(
+            sources,
+            backend=args.backend,
+            steps=args.horizon,
+            consts=_parse_defines(args.define),
+            prove=args.prove,
+            options={"capacity": args.capacity, "arrivals": args.arrivals},
+        )
+    print(f"submitted {len(ids)} job(s) to {args.dir}")
+    for path, job_id in zip(args.files, ids):
+        print(f"  {job_id[:12]}  {path}")
+    return 0
+
+
+def _batch_chaos():
+    """Env-driven I/O chaos for CI smoke jobs (mirrors the worker-crash
+    hook in the portfolio pool): REPRO_CHAOS_IO_ERROR=<rate> with
+    optional REPRO_CHAOS_SEED makes every persistence write roll a
+    seeded die and degrade on OSError instead of crashing the run."""
+    from contextlib import nullcontext
+
+    try:
+        rate = float(os.environ.get("REPRO_CHAOS_IO_ERROR", "0"))
+    except ValueError:
+        rate = 0.0
+    if rate <= 0:
+        return nullcontext()
+    from .runtime.chaos import inject_faults
+
+    return inject_faults(
+        seed=int(os.environ.get("REPRO_CHAOS_SEED", "0")),
+        io_error_rate=rate,
+    )
+
+
+def cmd_batch_run(args) -> int:
+    with _batch_chaos(), _batch_runner(args) as runner:
+        try:
+            report = runner.run(
+                resume=args.resume,
+                timeout=args.timeout,
+                jobs=args.jobs,
+                certify=args.certify or None,
+            )
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+    print(report.describe())
+    return report.exit_code
+
+
+def cmd_batch_status(args) -> int:
+    with _batch_runner(args) as runner:
+        report = runner.status()
+    print(report.describe())
+    if report.recovered:
+        print(f"  note: {report.recovered} job(s) look interrupted;"
+              " `repro batch resume` will requeue them")
+    return 0
+
+
 def cmd_stats(args) -> int:
     from .obs.export import snapshot_from_chrome_trace
 
@@ -326,6 +417,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prove", action="store_true",
                    help="prove instead of searching for a counterexample")
     p.set_defaults(fn=cmd_analyze)
+
+    batch = sub.add_parser(
+        "batch",
+        help="durable, crash-recoverable batch analysis"
+             " (submit/run/resume/status over a journal directory)",
+    )
+    batch_sub = batch.add_subparsers(dest="batch_command", required=True)
+
+    bp = batch_sub.add_parser(
+        "submit", help="journal analysis jobs for later execution"
+    )
+    bp.add_argument("dir", help="batch journal directory")
+    bp.add_argument("files", nargs="+", help="Buffy source files")
+    bp.add_argument("-D", "--define", action="append", default=[],
+                    metavar="NAME=INT",
+                    help="define a named constant (repeatable)")
+    bp.add_argument("--horizon", type=int, default=4)
+    bp.add_argument("--capacity", type=int, default=6)
+    bp.add_argument("--arrivals", type=int, default=2)
+    bp.add_argument("--backend", choices=("smt", "dafny", "houdini"),
+                    default="smt")
+    bp.add_argument("--prove", action="store_true")
+    bp.set_defaults(fn=cmd_batch_submit)
+
+    for bname, resume, help_text in (
+        ("run", False,
+         "execute journaled jobs (requeues work orphaned by a crash)"),
+        ("resume", True,
+         "finish an interrupted batch: replay the journal, requeue"
+         " in-flight jobs, execute only what is missing"),
+    ):
+        bp = batch_sub.add_parser(bname, help=help_text)
+        bp.add_argument("dir", help="batch journal directory")
+        bp.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS", help="per-job wall-clock budget")
+        bp.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="solver processes per job"
+                             " (default $REPRO_JOBS or 1)")
+        bp.add_argument("--max-attempts", type=int, default=3,
+                        help="attempts before a job deadletters (default 3)")
+        certify_opt(bp)
+        bp.set_defaults(fn=cmd_batch_run, resume=resume)
+
+    bp = batch_sub.add_parser(
+        "status", help="print the journaled job table without executing"
+    )
+    bp.add_argument("dir", help="batch journal directory")
+    bp.set_defaults(fn=cmd_batch_status)
 
     p = sub.add_parser(
         "stats", help="summarize a --trace file (spans by total time)"

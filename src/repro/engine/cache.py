@@ -104,6 +104,7 @@ class CacheStats:
     evictions: int = 0
     invalid: int = 0  # disk entries that failed to parse / validate
     corrupt_entries: int = 0  # checksum mismatches / truncated JSON
+    io_errors: int = 0  # disk writes/reads that failed (real or injected)
 
 
 @dataclass
@@ -203,6 +204,10 @@ class ResultCache:
             return None
         except OSError:
             self.stats.invalid += 1
+            self.stats.io_errors += 1
+            if METRICS.enabled:
+                METRICS.counter_inc(
+                    "repro_persist_io_errors_total", where="cache")
             return None
         try:
             data = json.loads(raw)
@@ -252,11 +257,17 @@ class ResultCache:
         if monkey is not None:
             text = monkey.corrupt_cache_text(text)
         try:
+            if monkey is not None:
+                monkey.maybe_io_error("cache")
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp.write_text(text)
             tmp.replace(path)
         except OSError:
             # Best-effort: a read-only or full disk must not fail a solve.
+            self.stats.io_errors += 1
+            if METRICS.enabled:
+                METRICS.counter_inc(
+                    "repro_persist_io_errors_total", where="cache")
             try:
                 tmp.unlink()
             except OSError:

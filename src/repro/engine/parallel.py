@@ -29,9 +29,11 @@ Design notes:
 * The pool is **supervised**: every worker carries a shared heartbeat
   cell it refreshes at its budget safepoints, and the parent's result
   loop periodically sweeps for dead (``is_alive``) or hung (stale
-  heartbeat) workers.  A lost worker is respawned with exponential
-  backoff and its in-flight queries are re-dispatched; a query that
-  kills two workers in a row is *quarantined* — it resolves to a typed
+  heartbeat) workers.  Any loss rebuilds the whole transport — workers
+  *and* shared queues, since an abrupt death can leave the result
+  pipe's write lock held forever — with exponential backoff, and the
+  in-flight queries are re-dispatched; a query that kills two workers
+  in a row is *quarantined* — it resolves to a typed
   ``UNKNOWN(reason="quarantined")`` instead of hanging the run or
   crashing the pool.  The deterministic ``worker_crash`` chaos hook
   (``REPRO_CHAOS_WORKER_CRASH``) exercises all of this in tests.
@@ -297,7 +299,11 @@ class PortfolioPool:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self._ctx = mp.get_context(start_method)
-        self._cancel = self._ctx.Value("q", 0)
+        # lock=False: the cell is written only by this parent and read
+        # by workers.  A synchronized Value's lock would be taken by
+        # every reader, and a worker dying abruptly mid-read would
+        # leave it held forever, wedging the parent's cancel writes.
+        self._cancel = self._ctx.Value("q", 0, lock=False)
         self._results = self._ctx.Queue()
         self._task_id = 0
         self._workers: list[_Worker] = []
@@ -355,25 +361,58 @@ class PortfolioPool:
         self._workers.append(worker)
         return worker
 
-    def _respawn(self) -> _Worker:
-        """Replace a lost worker, backing off on repeated failures."""
+    def _rebuild_transport(self, replaced: int = 0) -> None:
+        """Tear down every worker AND the shared queues; start fresh.
+
+        Called after any abrupt worker loss.  A worker that dies
+        without cleanup (OOM-kill, segfault, the ``worker_crash``
+        chaos hook's ``os._exit``) may die holding the shared result
+        pipe's *write lock* — its queue feeder thread takes that lock
+        for every message, and death can strike between ``send_bytes``
+        and the release.  The lock then stays held forever and every
+        surviving worker's answers block behind it, so the parent sees
+        only silence and would mis-quarantine innocent queries.  The
+        parent cannot observe whether the lock died held; after any
+        abrupt loss the whole transport is presumed poisoned (the same
+        call ``concurrent.futures`` makes with ``BrokenProcessPool``)
+        and replaced: workers, task queues and result queue alike.
+        In-flight answers still in the old pipe are recomputed.
+        """
         if self._consecutive_respawns:
             time.sleep(min(
                 0.25,
                 self.respawn_base_seconds * (2 ** self._consecutive_respawns),
             ))
         self._consecutive_respawns += 1
-        worker = self._spawn_worker()
-        self.workers_respawned += 1
-        self.last_respawned += 1
-        if METRICS.enabled:
-            METRICS.counter_inc("repro_engine_workers_respawned_total")
-        return worker
+        for worker in self._workers:
+            worker.proc.terminate()
+        for worker in self._workers:
+            worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=1.0)
+            # A parent-side feeder blocked on a full pipe to a dead
+            # worker must not hang interpreter shutdown.
+            worker.queue.cancel_join_thread()
+            worker.queue.close()
+        self._workers = []
+        self._results.close()
+        self._results = self._ctx.Queue()
+        self.workers_respawned += replaced
+        self.last_respawned += replaced
+        if METRICS.enabled and replaced:
+            METRICS.counter_inc(
+                "repro_engine_workers_respawned_total", replaced
+            )
+        for _ in range(self.jobs):
+            self._spawn_worker()
 
     def _revive(self) -> None:
         """Replace dead workers so one crash doesn't shrink the pool."""
-        alive = [w for w in self._workers if w.proc.is_alive()]
-        self._workers = alive
+        if any(not w.proc.is_alive() for w in self._workers):
+            # A worker that died between runs may have poisoned the
+            # shared queues (see _rebuild_transport): replace them all.
+            self._rebuild_transport()
         while len(self._workers) < self.jobs:
             self._spawn_worker()
 
@@ -615,12 +654,19 @@ class PortfolioPool:
         dispatch resets the clock, so a worker is never flagged while a
         task is still in its queue's grace window).  Returns the updated
         pending-slot count.
+
+        Any loss poisons the shared transport (a dead worker may hold
+        the result pipe's write lock — see :meth:`_rebuild_transport`),
+        so the sweep replaces the entire pool and re-dispatches every
+        unresolved in-flight query on it.  Only slots whose own worker
+        was lost count toward quarantine; innocent queries whose worker
+        was sacrificed in the rebuild retry without penalty.
         """
         now = time.time()
-        lost: list[_Worker] = []
+        lost: set[_Worker] = set()
         for worker in set(assigned.values()):
             if not worker.proc.is_alive():
-                lost.append(worker)
+                lost.add(worker)
                 continue
             latest = max(
                 [worker.heartbeat.value]
@@ -628,52 +674,61 @@ class PortfolioPool:
                    if assigned.get(s) is worker]
             )
             if now - latest > self.hang_seconds:
-                worker.proc.terminate()
-                worker.proc.join(timeout=1.0)
-                lost.append(worker)
-        for worker in lost:
-            if worker in self._workers:
-                self._workers.remove(worker)
-            replacement: Optional[_Worker] = None
-            respawn_error: Optional[str] = None
-            lost_slots = sorted(
-                s for s, w in assigned.items() if w is worker
-            )
-            for slot in lost_slots:
-                assigned.pop(slot, None)
-                dispatched_at.pop(slot, None)
-                if winner_seen:
-                    # The race is decided; don't redo a loser's work.
-                    slots[slot] = SlotResult(
-                        SatResult.UNKNOWN, None, "cancelled", SatStats()
-                    )
-                    pending -= 1
-                    continue
-                attempts[slot] += 1
-                if attempts[slot] >= self.quarantine_after:
-                    slots[slot] = SlotResult(
-                        SatResult.UNKNOWN, None, "quarantined", SatStats()
-                    )
-                    pending -= 1
-                    self.queries_quarantined += 1
-                    self.last_quarantined += 1
-                    if METRICS.enabled:
-                        METRICS.counter_inc(
-                            "repro_engine_quarantined_total")
-                    continue
-                if replacement is None and respawn_error is None:
-                    try:
-                        replacement = self._respawn()
-                    except Exception as exc:
-                        respawn_error = repr(exc)
-                if replacement is None:
-                    slots[slot] = SlotResult(
-                        SatResult.UNKNOWN, None, "fault", SatStats(),
-                        error=f"worker respawn failed: {respawn_error}",
-                    )
-                    pending -= 1
-                    continue
-                dispatch(slot, replacement)
+                lost.add(worker)
+        if not lost:
+            return pending
+        lost_slots = sorted(s for s, w in assigned.items() if w in lost)
+        innocent_slots = sorted(
+            s for s, w in assigned.items() if w not in lost
+        )
+        assigned.clear()
+        dispatched_at.clear()
+        rebuild_error: Optional[str] = None
+        try:
+            self._rebuild_transport(replaced=len(lost))
+        except Exception as exc:
+            rebuild_error = repr(exc)
+        requeue: list[int] = []
+        for slot in lost_slots:
+            if winner_seen:
+                # The race is decided; don't redo a loser's work.
+                slots[slot] = SlotResult(
+                    SatResult.UNKNOWN, None, "cancelled", SatStats()
+                )
+                pending -= 1
+                continue
+            attempts[slot] += 1
+            if attempts[slot] >= self.quarantine_after:
+                slots[slot] = SlotResult(
+                    SatResult.UNKNOWN, None, "quarantined", SatStats()
+                )
+                pending -= 1
+                self.queries_quarantined += 1
+                self.last_quarantined += 1
+                if METRICS.enabled:
+                    METRICS.counter_inc(
+                        "repro_engine_quarantined_total")
+                continue
+            requeue.append(slot)
+        for slot in innocent_slots:
+            if winner_seen:
+                slots[slot] = SlotResult(
+                    SatResult.UNKNOWN, None, "cancelled", SatStats()
+                )
+                pending -= 1
+                continue
+            requeue.append(slot)
+        for slot in requeue:
+            if rebuild_error is not None or not self._workers:
+                slots[slot] = SlotResult(
+                    SatResult.UNKNOWN, None, "fault", SatStats(),
+                    error=f"worker respawn failed: {rebuild_error}",
+                )
+                pending -= 1
+                continue
+            if METRICS.enabled:
+                METRICS.counter_inc("repro_engine_requeued_total")
+            dispatch(slot, self._workers[slot % len(self._workers)])
         return pending
 
 

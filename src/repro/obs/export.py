@@ -8,15 +8,54 @@ Chrome trace format reference: the "JSON Array Format" with complete
 (``ph: "X"``) events; ``ts``/``dur`` are microseconds.  The emitted
 file loads directly in Perfetto (https://ui.perfetto.dev) or
 ``chrome://tracing`` as a flamegraph, one track per pid.
+
+Every ``write_*`` exporter is crash-safe (temp file + ``os.replace``,
+so a killed export leaves the previous file intact, never a truncated
+one) and degrades an ``OSError`` — real or injected via the
+``io_error`` chaos hook — to a counted metric and a ``False`` return
+instead of raising: telemetry must never take down the analysis it
+observed.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from .metrics import MetricsRegistry, _num
+
+
+def _atomic_write(path: str, render: Callable[[Any], None],
+                  where: str) -> bool:
+    """Write via temp file + ``os.replace``; OSError → metric + False.
+
+    ``render`` receives the open temp file handle.  Honors the seeded
+    ``io_error`` chaos hook installed on :class:`TelemetrySnapshot`.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    monkey = TelemetrySnapshot._chaos
+    try:
+        if monkey is not None:
+            monkey.maybe_io_error(where)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            render(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return True
+    except OSError:
+        from . import METRICS
+
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_obs_export_errors_total", where=where)
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return False
 
 
 @dataclass(frozen=True)
@@ -25,6 +64,11 @@ class TelemetrySnapshot:
 
     spans: tuple = ()          # tuple[SpanRecord-as-dict, ...]
     metrics: dict = field(default_factory=dict)  # MetricsRegistry.snapshot()
+
+    #: Chaos hook (class attribute — the dataclass is frozen):
+    #: repro.runtime.chaos.inject_faults installs a monkey here so
+    #: tests can make exporter writes fail on demand.
+    _chaos = None
 
     # ----- constructors -----------------------------------------------------
 
@@ -68,24 +112,30 @@ class TelemetrySnapshot:
         events.sort(key=lambda e: (e["ts"], -e["dur"]))
         return events
 
-    def write_chrome_trace(self, path: str) -> None:
+    def write_chrome_trace(self, path: str) -> bool:
         doc = {
             "traceEvents": self.chrome_trace_events(),
             "displayTimeUnit": "ms",
             "otherData": {"producer": "repro.obs"},
         }
-        with open(path, "w", encoding="utf-8") as fh:
+
+        def render(fh):
             json.dump(doc, fh, indent=None, separators=(",", ":"))
             fh.write("\n")
 
-    def write_jsonl(self, path: str) -> None:
+        return _atomic_write(path, render, "trace")
+
+    def write_jsonl(self, path: str) -> bool:
         """One JSON object per line: spans first (by ts), then metrics."""
-        with open(path, "w", encoding="utf-8") as fh:
+
+        def render(fh):
             for s in sorted(self.spans, key=lambda s: s["ts"]):
                 fh.write(json.dumps({"event": "span", **s}) + "\n")
             for kind in ("counters", "gauges", "histograms"):
                 for item in self.metrics.get(kind, ()):
                     fh.write(json.dumps({"event": kind[:-1], **item}) + "\n")
+
+        return _atomic_write(path, render, "jsonl")
 
     def to_prometheus(self) -> str:
         registry = MetricsRegistry()
@@ -94,9 +144,9 @@ class TelemetrySnapshot:
         _add_derived_series(registry)
         return registry.to_prometheus()
 
-    def write_prometheus(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_prometheus())
+    def write_prometheus(self, path: str) -> bool:
+        text = self.to_prometheus()
+        return _atomic_write(path, lambda fh: fh.write(text), "prometheus")
 
     # ----- human summary (CLI `repro stats`) --------------------------------
 

@@ -1,0 +1,552 @@
+"""Crash-recoverable batch execution of analysis jobs.
+
+The durable counterpart of calling :func:`repro.analyze` in a loop: a
+:class:`BatchRunner` owns one directory containing
+
+* ``journal.jsonl`` — the write-ahead journal of job submissions and
+  state transitions (``pending → running → done | failed | deadletter``),
+* ``snapshot.json`` — the compacted job table (written atomically when
+  the journal grows past ``compact_after_bytes``),
+* ``cache/``        — an on-disk :class:`~repro.engine.cache.ResultCache`
+  shared by every job, so a job re-executed after a crash answers its
+  already-solved sub-queries from disk instead of re-deriving them.
+
+Execution contract — **at-least-once, idempotent**:
+
+* A job's identity is a sha256 over its canonical spec (source text,
+  backend, steps, consts, options); submitting the same work twice is
+  a no-op, and every journal replay converges to the same job table.
+* ``running`` is journaled *before* execution starts, ``done`` (with
+  the verdict) after it finishes.  A process killed in between leaves
+  the job ``running`` in the journal; the next :meth:`run` requeues it
+  (``repro_persist_recoveries_total``) and executes it again.  Because
+  the pipeline is a decision procedure and sub-queries hit the shared
+  result cache, re-execution produces the identical verdict.
+* Transient failures (:class:`~repro.runtime.budget.SolverFault`,
+  ``OSError``) retry with exponential backoff + seeded jitter, up to
+  ``max_attempts``; exhausting the attempts — or any permanent error
+  such as a parse failure — moves the job to the **deadletter** state,
+  which maps to exit code :data:`~repro.analysis.result.EXIT_DEADLETTER`.
+
+The CLI surface is ``repro batch submit/run/resume/status``; the
+library surface is :func:`repro.analyze_many`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..analysis.result import EXIT_DEADLETTER, AnalysisOutcome, Verdict
+from ..obs import METRICS, TRACER
+from ..runtime.budget import SolverFault
+from .journal import Journal, canonical_json, load_snapshot, write_snapshot
+
+#: Job lifecycle states, as journaled.
+STATES = ("pending", "running", "done", "failed", "deadletter")
+
+#: Exceptions worth retrying: infrastructure, not the job itself.
+TRANSIENT_ERRORS = (SolverFault, OSError)
+
+
+def job_id_for(spec: dict) -> str:
+    """The idempotency key: sha256 over the canonical job spec."""
+    keyed = {k: spec.get(k) for k in
+             ("source", "backend", "steps", "consts", "prove", "options")}
+    return hashlib.sha256(canonical_json(keyed).encode()).hexdigest()
+
+
+@dataclass
+class JobRecord:
+    """One job's current state, as reconstructed from the journal."""
+
+    job_id: str
+    spec: dict
+    state: str = "pending"
+    attempts: int = 0
+    verdict: Optional[str] = None
+    exit_code: Optional[int] = None
+    error: Optional[str] = None
+    recovered: bool = False  # requeued from an interrupted run
+
+    @property
+    def label(self) -> str:
+        return self.spec.get("label") or self.job_id[:12]
+
+    def to_snapshot(self) -> dict:
+        return {
+            "job_id": self.job_id, "spec": self.spec, "state": self.state,
+            "attempts": self.attempts, "verdict": self.verdict,
+            "exit_code": self.exit_code, "error": self.error,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "JobRecord":
+        return cls(
+            job_id=data["job_id"], spec=data["spec"],
+            state=data.get("state", "pending"),
+            attempts=int(data.get("attempts", 0)),
+            verdict=data.get("verdict"),
+            exit_code=data.get("exit_code"),
+            error=data.get("error"),
+        )
+
+
+@dataclass
+class BatchReport:
+    """What one :meth:`BatchRunner.run` (or :meth:`status`) observed."""
+
+    records: list[JobRecord] = field(default_factory=list)
+    recovered: int = 0
+    retries: int = 0
+    executed: int = 0
+    replayed: int = 0  # finished jobs answered straight from the journal
+
+    def by_state(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for rec in self.records:
+            counts[rec.state] = counts.get(rec.state, 0) + 1
+        return counts
+
+    @property
+    def exit_code(self) -> int:
+        """Deadletter dominates; otherwise the worst job exit code."""
+        if any(r.state == "deadletter" for r in self.records):
+            return EXIT_DEADLETTER
+        codes = [r.exit_code for r in self.records if r.exit_code is not None]
+        return max(codes, default=0)
+
+    def outcomes(self) -> list[AnalysisOutcome]:
+        """Journal-reconstructed outcomes, in submission order.
+
+        Witnesses and resource reports are not journaled (they are not
+        portably serializable); replayed outcomes carry the verdict and
+        a ``stats`` marker instead.
+        """
+        out = []
+        for rec in self.records:
+            if rec.verdict is not None:
+                out.append(AnalysisOutcome(
+                    verdict=Verdict(rec.verdict),
+                    stats={"job_id": rec.job_id, "attempts": rec.attempts},
+                ))
+            else:
+                out.append(AnalysisOutcome(
+                    verdict=Verdict.UNDECIDED,
+                    stats={"job_id": rec.job_id, "state": rec.state,
+                           "error": rec.error},
+                ))
+        return out
+
+    def describe(self) -> str:
+        lines = []
+        counts = self.by_state()
+        summary = ", ".join(
+            f"{counts[s]} {s}" for s in STATES if counts.get(s)
+        ) or "no jobs"
+        lines.append(f"batch: {summary}")
+        if self.recovered:
+            lines.append(f"  recovered (requeued after crash): {self.recovered}")
+        if self.retries:
+            lines.append(f"  transient retries: {self.retries}")
+        for rec in self.records:
+            detail = rec.verdict or rec.state
+            if rec.state == "deadletter" and rec.error:
+                detail = f"deadletter after {rec.attempts} attempts: {rec.error}"
+            lines.append(f"  {rec.label}: {detail}")
+        return "\n".join(lines)
+
+
+class BatchRunner:
+    """Journal-backed, crash-recoverable executor for analysis jobs."""
+
+    JOURNAL = "journal.jsonl"
+    SNAPSHOT = "snapshot.json"
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        max_attempts: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        seed: int = 0,
+        fsync: str = "always",
+        compact_after_bytes: int = 1 << 20,
+        executor: Optional[Callable[[JobRecord], AnalysisOutcome]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.compact_after_bytes = compact_after_bytes
+        self._rng = random.Random(seed)
+        self._fsync = fsync
+        self._executor = executor
+        self._sleep = sleep
+        # Per-job engine knobs used by the default executor; set by run().
+        self._run_knobs: dict[str, Any] = {}
+        # In-process job table: jobs submitted by THIS process, kept so
+        # a degraded journal (disk full, io_error chaos) costs only
+        # durability — the current run still executes every job.
+        self._mem: dict[str, JobRecord] = {}
+        self._mem_order: list[str] = []
+        self.journal = Journal(self.directory / self.JOURNAL, fsync=fsync)
+        # Every job shares one on-disk result cache: a crashed job's
+        # re-execution answers its solved sub-queries from disk.
+        from ..engine.cache import ResultCache
+
+        self.cache = ResultCache(disk_dir=self.directory / "cache")
+
+    # ----- journal state ----------------------------------------------------
+
+    def load(self) -> tuple[dict[str, JobRecord], list[str]]:
+        """Rebuild the job table: snapshot first, then journal replay.
+
+        Replay is idempotent — a transition already reflected in the
+        snapshot re-applies to the same state — so a crash between
+        snapshot write and journal truncation costs nothing.
+        """
+        jobs: dict[str, JobRecord] = {}
+        order: list[str] = []
+        snap = load_snapshot(self.directory / self.SNAPSHOT)
+        if snap:
+            for data in snap.get("jobs", ()):
+                rec = JobRecord.from_snapshot(data)
+                jobs[rec.job_id] = rec
+                order.append(rec.job_id)
+        for rec_data in self.journal.replay():
+            kind = rec_data.get("kind")
+            if kind == "submit":
+                spec = rec_data.get("spec") or {}
+                job_id = rec_data.get("id") or job_id_for(spec)
+                if job_id not in jobs:
+                    jobs[job_id] = JobRecord(job_id=job_id, spec=spec)
+                    order.append(job_id)
+            elif kind == "state":
+                rec = jobs.get(rec_data.get("id", ""))
+                if rec is None or rec_data.get("state") not in STATES:
+                    continue
+                rec.state = rec_data["state"]
+                rec.attempts = int(rec_data.get("attempt", rec.attempts))
+                if "verdict" in rec_data:
+                    rec.verdict = rec_data["verdict"]
+                if "exit_code" in rec_data:
+                    rec.exit_code = rec_data["exit_code"]
+                if "error" in rec_data:
+                    rec.error = rec_data["error"]
+        # Jobs this process submitted that never reached the journal
+        # (degraded writes): fold them in so they still execute.
+        for job_id in self._mem_order:
+            if job_id not in jobs:
+                jobs[job_id] = self._mem[job_id]
+                order.append(job_id)
+        return jobs, order
+
+    def compact(self, jobs: dict[str, JobRecord],
+                order: Sequence[str]) -> bool:
+        """Fold the journal into the snapshot and truncate it."""
+        ok = write_snapshot(
+            self.directory / self.SNAPSHOT,
+            {"jobs": [jobs[j].to_snapshot() for j in order if j in jobs]},
+        )
+        if ok:
+            self.journal.reset()
+            if METRICS.enabled:
+                METRICS.counter_inc("repro_persist_compactions_total")
+        return ok
+
+    def _journal_state(self, rec: JobRecord, **extra) -> None:
+        self.journal.append({
+            "kind": "state", "id": rec.job_id, "state": rec.state,
+            "attempt": rec.attempts, **extra,
+        })
+
+    # ----- submission -------------------------------------------------------
+
+    def submit(
+        self,
+        sources: Sequence[Union[str, tuple[str, str]]],
+        *,
+        backend: str = "smt",
+        steps: int = 6,
+        consts: Optional[dict[str, int]] = None,
+        prove: bool = False,
+        options: Optional[dict] = None,
+    ) -> list[str]:
+        """Journal jobs for later execution; returns their idempotency keys.
+
+        ``sources`` are Buffy program texts, or ``(label, text)`` pairs.
+        Resubmitting an identical spec is a no-op (same key, already
+        journaled), so ``submit`` can be retried blindly after a crash.
+        """
+        jobs, _ = self.load()
+        ids: list[str] = []
+        for item in sources:
+            label, source = item if isinstance(item, tuple) else (None, item)
+            spec = {
+                "source": source, "backend": backend, "steps": steps,
+                "consts": dict(consts or {}), "prove": prove,
+                "options": dict(options or {}), "label": label,
+            }
+            job_id = job_id_for(spec)
+            ids.append(job_id)
+            if job_id in jobs:
+                continue  # idempotent resubmission
+            rec = JobRecord(job_id=job_id, spec=spec)
+            jobs[job_id] = rec
+            self._mem[job_id] = rec
+            self._mem_order.append(job_id)
+            self.journal.append({"kind": "submit", "id": job_id, "spec": spec})
+            if METRICS.enabled:
+                METRICS.counter_inc("repro_persist_jobs_submitted_total")
+        self.journal.flush()
+        return ids
+
+    # ----- execution --------------------------------------------------------
+
+    def _execute(self, rec: JobRecord) -> AnalysisOutcome:
+        """Default executor: one :func:`repro.analyze` call per job."""
+        from ..analysis.facade import analyze
+        from ..runtime.budget import Budget
+
+        spec = rec.spec
+        knobs = self._run_knobs
+        budget = None
+        if knobs.get("timeout"):
+            budget = Budget(deadline_seconds=knobs["timeout"])
+        config = None
+        options = spec.get("options") or {}
+        if options.get("capacity") or options.get("arrivals"):
+            from ..compiler.symexec import EncodeConfig
+
+            config = EncodeConfig(
+                buffer_capacity=options.get("capacity", 6),
+                arrivals_per_step=options.get("arrivals", 2),
+            )
+        return analyze(
+            spec["source"],
+            backend=spec.get("backend", "smt"),
+            steps=spec.get("steps", 6),
+            consts=spec.get("consts") or None,
+            prove=bool(spec.get("prove")),
+            budget=budget,
+            jobs=knobs.get("jobs"),
+            cache=self.cache,
+            certify=knobs.get("certify"),
+            config=config,
+        )
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with seeded jitter (deterministic replays)."""
+        base = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return base * (1.0 + self._rng.random())
+
+    def run(
+        self,
+        *,
+        resume: bool = False,
+        timeout: Optional[float] = None,
+        jobs: Optional[int] = None,
+        certify: Optional[bool] = None,
+    ) -> BatchReport:
+        """Execute every runnable job; requeue work orphaned by a crash.
+
+        ``resume`` only changes bookkeeping strictness (it requires an
+        existing journal); recovery itself is unconditional — *any*
+        run first requeues jobs left ``running`` by a dead process.
+        At-least-once semantics: a job is re-executed until a journaled
+        ``done`` or ``deadletter`` record exists for it.
+        """
+        if resume and not (self.directory / self.JOURNAL).exists() \
+                and not (self.directory / self.SNAPSHOT).exists():
+            raise FileNotFoundError(
+                f"nothing to resume: no journal in {self.directory}"
+            )
+        self._run_knobs = {
+            "timeout": timeout, "jobs": jobs, "certify": certify,
+        }
+        # Test hook: deterministically SIGKILL this process after N jobs
+        # complete, to exercise crash recovery end-to-end.
+        kill_after = _kill_after_from_env()
+        jobs_table, order = self.load()
+        report = BatchReport()
+        for job_id in order:
+            rec = jobs_table[job_id]
+            if rec.state == "running":
+                # Orphaned by a crashed run: requeue (at-least-once).
+                rec.state = "pending"
+                rec.recovered = True
+                report.recovered += 1
+                self._journal_state(rec, note="recovered")
+                if METRICS.enabled:
+                    METRICS.counter_inc("repro_persist_recoveries_total")
+        executor = self._executor or self._execute
+        completed_this_run = 0
+        for job_id in order:
+            rec = jobs_table[job_id]
+            if rec.state in ("done", "deadletter"):
+                report.replayed += 1
+                continue
+            with TRACER.span("batch-job", job=rec.label):
+                while rec.state in ("pending", "failed"):
+                    rec.attempts += 1
+                    rec.state = "running"
+                    self._journal_state(rec)
+                    try:
+                        outcome = executor(rec)
+                    except TRANSIENT_ERRORS as exc:
+                        if rec.attempts >= self.max_attempts:
+                            rec.state = "deadletter"
+                            rec.error = repr(exc)
+                            self._journal_state(rec, error=rec.error)
+                            if METRICS.enabled:
+                                METRICS.counter_inc(
+                                    "repro_persist_deadletters_total")
+                            break
+                        rec.state = "failed"
+                        rec.error = repr(exc)
+                        report.retries += 1
+                        self._journal_state(rec, error=rec.error)
+                        if METRICS.enabled:
+                            METRICS.counter_inc("repro_persist_retries_total")
+                        self._sleep(self._backoff(rec.attempts))
+                    except Exception as exc:
+                        # Permanent (parse/type errors, genuine bugs):
+                        # retrying cannot help — deadletter immediately.
+                        rec.state = "deadletter"
+                        rec.error = repr(exc)
+                        self._journal_state(rec, error=rec.error)
+                        if METRICS.enabled:
+                            METRICS.counter_inc(
+                                "repro_persist_deadletters_total")
+                        break
+                    else:
+                        rec.state = "done"
+                        rec.verdict = outcome.verdict.value
+                        rec.exit_code = outcome.exit_code
+                        rec.error = None
+                        report.executed += 1
+                        self._journal_state(
+                            rec, verdict=rec.verdict,
+                            exit_code=rec.exit_code,
+                        )
+                        if METRICS.enabled:
+                            METRICS.counter_inc(
+                                "repro_persist_jobs_done_total")
+                        completed_this_run += 1
+                        if kill_after and completed_this_run >= kill_after:
+                            self.journal.flush()
+                            _die_hard()
+                        break
+        report.records = [jobs_table[j] for j in order]
+        self.journal.flush()
+        try:
+            journal_bytes = (self.directory / self.JOURNAL).stat().st_size
+        except OSError:
+            journal_bytes = 0
+        if journal_bytes > self.compact_after_bytes:
+            self.compact(jobs_table, order)
+        return report
+
+    def status(self) -> BatchReport:
+        """The job table as the journal tells it, without executing."""
+        jobs_table, order = self.load()
+        report = BatchReport(records=[jobs_table[j] for j in order])
+        report.recovered = sum(
+            1 for r in report.records if r.state == "running"
+        )
+        return report
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _kill_after_from_env() -> int:
+    """The REPRO_BATCH_KILL_AFTER crash-test hook (0 = disabled)."""
+    try:
+        return max(0, int(os.environ.get("REPRO_BATCH_KILL_AFTER", "0")))
+    except ValueError:
+        return 0
+
+
+def _die_hard() -> None:
+    """SIGKILL this process *and* its process group.
+
+    The hook models the whole machine dying mid-run, so any portfolio
+    workers the run spawned must die with it — a worker that survived
+    would both misrepresent the failure mode and keep the parent's
+    inherited stdout/stderr pipes open, wedging a supervising process
+    that waits for EOF.  Callers arming REPRO_BATCH_KILL_AFTER should
+    start the run in its own session (``start_new_session=True``) so
+    the group kill cannot reach the test harness itself.
+    """
+    try:
+        os.killpg(os.getpgid(0), signal.SIGKILL)
+    except OSError:
+        pass
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def analyze_many(
+    programs: Sequence[Union[str, tuple[str, str]]],
+    *,
+    backend: str = "smt",
+    steps: int = 6,
+    consts: Optional[dict[str, int]] = None,
+    prove: bool = False,
+    journal_dir: Optional[Union[str, Path]] = None,
+    max_attempts: int = 3,
+    timeout: Optional[float] = None,
+    jobs: Optional[int] = None,
+    certify: Optional[bool] = None,
+    options: Optional[dict] = None,
+) -> list[AnalysisOutcome]:
+    """Analyze many programs; with ``journal_dir``, durably.
+
+    Without a journal directory this is a plain loop over
+    :func:`repro.analyze`.  With one, jobs are journaled and executed
+    through a :class:`BatchRunner`: a killed process can re-invoke
+    ``analyze_many`` with the same directory and finish exactly the
+    work that is missing — completed jobs replay their journaled
+    verdicts, interrupted ones re-execute against the shared result
+    cache.  Outcomes are returned in input order.
+    """
+    if journal_dir is None:
+        from ..analysis.facade import analyze
+        from ..runtime.budget import Budget
+
+        out = []
+        for item in programs:
+            _, source = item if isinstance(item, tuple) else (None, item)
+            budget = Budget(deadline_seconds=timeout) if timeout else None
+            out.append(analyze(
+                source, backend=backend, steps=steps, consts=consts,
+                prove=prove, budget=budget, jobs=jobs, certify=certify,
+            ))
+        return out
+
+    with BatchRunner(journal_dir, max_attempts=max_attempts) as runner:
+        ids = runner.submit(
+            programs, backend=backend, steps=steps, consts=consts,
+            prove=prove, options=options,
+        )
+        report = runner.run(timeout=timeout, jobs=jobs, certify=certify)
+        by_id = {rec.job_id: rec for rec in report.records}
+        singles = BatchReport(records=[by_id[i] for i in ids])
+        return singles.outcomes()

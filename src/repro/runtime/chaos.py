@@ -48,6 +48,12 @@ class ChaosConfig:
     cache_corrupt_rate: float = 0.0
     worker_crash_rate: float = 0.0
     worker_max_crashes: int = 1
+    # Durability hooks (repro.persist): raise OSError on a journal,
+    # snapshot, checkpoint, cache or exporter write; or report that the
+    # process should die between a checkpoint's temp write and its
+    # atomic rename (the torn-save window).
+    io_error_rate: float = 0.0
+    kill_checkpoint_rate: float = 0.0
 
 
 @dataclass
@@ -60,6 +66,8 @@ class ChaosLog:
     delays: int = 0
     proofs_corrupted: int = 0
     cache_corrupted: int = 0
+    io_errors: int = 0
+    checkpoint_kills: int = 0
     schedule: list[str] = field(default_factory=list)
 
 
@@ -132,6 +140,41 @@ class ChaosMonkey:
         cert.steps.insert(0, ("a", (cert.num_vars + 1,)))
         return True
 
+    def maybe_io_error(self, where: str) -> None:
+        """Maybe raise ``OSError`` at a persistence write site.
+
+        Callers (journal appends, snapshot/checkpoint/cache writes,
+        telemetry exporters) catch the error and degrade to a counted
+        metric — this hook exists to prove they do.
+        """
+        cfg = self.config
+        if not cfg.io_error_rate:
+            return
+        if self._rng.random() >= cfg.io_error_rate:
+            return
+        self.log.io_errors += 1
+        self.log.schedule.append(f"io_error:{where}")
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_chaos_injected_total", kind="io_error")
+        raise OSError(
+            f"injected I/O error at {where} (#{self.log.io_errors},"
+            f" seed {cfg.seed})"
+        )
+
+    def should_kill_during_checkpoint(self) -> bool:
+        """Roll the die for dying inside a checkpoint's torn-save window."""
+        cfg = self.config
+        if not cfg.kill_checkpoint_rate:
+            return False
+        if self._rng.random() >= cfg.kill_checkpoint_rate:
+            return False
+        self.log.checkpoint_kills += 1
+        self.log.schedule.append("kill_checkpoint")
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_chaos_injected_total", kind="kill_checkpoint")
+        return True
+
     def corrupt_cache_text(self, text: str) -> str:
         """Maybe truncate a cache entry's serialized form before write."""
         cfg = self.config
@@ -162,15 +205,24 @@ def inject_faults(
     # Imported lazily: repro.smt.solver imports this package's budget
     # module, so a top-level import here would be circular.
     from ..engine import cache as cache_mod
+    from ..obs import export as export_mod
+    from ..persist import checkpoint as ckpt_mod
+    from ..persist import journal as journal_mod
     from ..smt import solver as solver_mod
 
     monkey = ChaosMonkey(config, **kwargs)
-    previous = solver_mod.SmtSolver._chaos
-    previous_cache = cache_mod.ResultCache._chaos
-    solver_mod.SmtSolver._chaos = monkey
-    cache_mod.ResultCache._chaos = monkey
+    hooks = [
+        solver_mod.SmtSolver,
+        cache_mod.ResultCache,
+        journal_mod.Journal,
+        ckpt_mod.CheckpointStore,
+        export_mod.TelemetrySnapshot,
+    ]
+    previous = [cls._chaos for cls in hooks]
+    for cls in hooks:
+        cls._chaos = monkey
     try:
         yield monkey
     finally:
-        solver_mod.SmtSolver._chaos = previous
-        cache_mod.ResultCache._chaos = previous_cache
+        for cls, prev in zip(hooks, previous):
+            cls._chaos = prev

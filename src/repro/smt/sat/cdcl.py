@@ -150,6 +150,15 @@ class CDCLSolver:
         self._conflict_assumptions: list[int] = []
         # Max-activity heap with lazy (stale-entry) deletion.
         self._heap: list[tuple[float, int]] = []
+        # Where the next solve() resumes the Luby restart sequence.
+        # 0 for fresh solvers; restore_state() advances it so a resumed
+        # search continues the interrupted solve's restart schedule.
+        # _restart_count mirrors the live position during _search so a
+        # checkpoint taken after an UNKNOWN can serialize it.
+        self._restart_resume = 0
+        self._restart_count = 0
+        # Learned clauses re-installed by restore_state(), for telemetry.
+        self.restored_learnts = 0
         self._ensure_vars(num_vars)
 
     # ----- problem construction -------------------------------------------
@@ -487,6 +496,124 @@ class CDCLSolver:
         """
         self._backtrack(0)
 
+    # ----- checkpoint / resume ---------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Serialize everything a future solver needs to resume this search.
+
+        Captured at the root level: the learned-clause database (with
+        activities), root-level derived units, VSIDS activities and
+        their increment, saved phases, and the Luby restart position.
+        The dict is JSON-serializable; :mod:`repro.persist.checkpoint`
+        wraps it in a checksummed on-disk envelope.  The original CNF
+        is *not* included — learned clauses are only sound relative to
+        the formula they were derived from, so the persistence layer
+        keys checkpoints by a CNF fingerprint.
+        """
+        self._backtrack(0)
+        return {
+            "format": 1,
+            "num_vars": self.num_vars,
+            "ok": self._ok,
+            "root_units": list(self._trail),
+            "learnts": [
+                {"lits": list(c.lits), "act": c.activity}
+                for c in self._learnts
+            ],
+            "activity": list(self._activity[1:]),
+            "phase": [1 if p else 0 for p in self._phase[1:]],
+            "var_inc": self._var_inc,
+            "cla_inc": self._cla_inc,
+            "restarts": self._restart_count,
+        }
+
+    def restore_state(self, state: dict) -> int:
+        """Re-install a :meth:`checkpoint_state` dict; returns learnts kept.
+
+        Call after loading the *same* CNF the checkpoint was taken
+        from (the persistence layer enforces this via fingerprinted
+        keys; this method only sanity-checks the variable count).
+        Restored learned clauses are re-filtered against the current
+        root-level assignment, so restoring is safe even if level-0
+        propagation ordered differently.  Raises :class:`ValueError`
+        on a structural mismatch and refuses proof-logging solvers —
+        a DRAT log cannot certify clauses whose derivations happened
+        in a previous process.
+        """
+        if self.proof is not None:
+            raise ValueError(
+                "cannot restore a checkpoint into a proof-logging solver"
+            )
+        if int(state.get("format", 0)) != 1:
+            raise ValueError("unsupported checkpoint format")
+        if int(state["num_vars"]) != self.num_vars:
+            raise ValueError(
+                f"checkpoint has {state['num_vars']} vars,"
+                f" solver has {self.num_vars}"
+            )
+        self._backtrack(0)
+        if not state.get("ok", True):
+            self._log_empty()
+            self._ok = False
+            return 0
+        restored = 0
+        for lit in state.get("root_units", ()):
+            if not self.add_clause([int(lit)]):
+                return restored  # checkpointed root units refute the CNF
+        for item in state.get("learnts", ()):
+            lits = [int(l) for l in item["lits"]]
+            keep: list[int] = []
+            satisfied = False
+            for lit in lits:
+                val = self._lit_value(lit)
+                if val == 1:
+                    satisfied = True  # already true at root: redundant
+                    break
+                if val == 0:
+                    keep.append(lit)
+            if satisfied:
+                continue
+            if not keep:
+                self._log_empty()
+                self._ok = False
+                return restored
+            if len(keep) == 1:
+                if not self.add_clause(keep):
+                    return restored
+                restored += 1
+                continue
+            clause = _Clause(keep, learnt=True)
+            clause.activity = float(item.get("act", 0.0))
+            self._learnts.append(clause)
+            self._attach(clause)
+            restored += 1
+        if self._propagate() is not None:
+            self._log_empty()
+            self._ok = False
+        activity = state.get("activity", ())
+        for v, act in enumerate(activity, start=1):
+            if v <= self.num_vars:
+                self._activity[v] = float(act)
+        phase = state.get("phase", ())
+        for v, ph in enumerate(phase, start=1):
+            if v <= self.num_vars:
+                self._phase[v] = bool(ph)
+        self._var_inc = float(state.get("var_inc", 1.0))
+        self._cla_inc = float(state.get("cla_inc", 1.0))
+        self._restart_resume = int(state.get("restarts", 0))
+        # Rebuild the decision heap so restored activities take effect.
+        self._heap = [
+            (-self._activity[v], v)
+            for v in range(1, self.num_vars + 1)
+            if self._value[v] == _UNASSIGNED
+        ]
+        heapq.heapify(self._heap)
+        self.restored_learnts = restored
+        if METRICS.enabled and restored:
+            METRICS.counter_inc(
+                "repro_checkpoint_learnts_restored_total", restored)
+        return restored
+
     # ----- main search -----------------------------------------------------------
 
     def solve(self, assumptions: Sequence[int] = (),
@@ -563,9 +690,10 @@ class CDCLSolver:
             return SatResult.UNSAT
         decisions_since_check = 0
 
-        restart_count = 0
+        self._restart_count = self._restart_resume
         conflicts_until_restart = (
-            self.config.restart_base * _luby(1) if self.config.use_restarts else -1
+            self.config.restart_base * _luby(self._restart_count + 1)
+            if self.config.use_restarts else -1
         )
         conflicts_since_restart = 0
         max_learnts = max(
@@ -619,11 +747,11 @@ class CDCLSolver:
                 self.config.use_restarts
                 and conflicts_since_restart >= conflicts_until_restart
             ):
-                restart_count += 1
+                self._restart_count += 1
                 self.stats.restarts += 1
                 conflicts_since_restart = 0
                 conflicts_until_restart = self.config.restart_base * _luby(
-                    restart_count + 1
+                    self._restart_count + 1
                 )
                 self._backtrack(0)
                 continue

@@ -63,6 +63,7 @@ from .terms import TRUE, Term, evaluate, free_vars, mk_and
 
 if TYPE_CHECKING:
     from ..engine.cache import ResultCache
+    from ..persist.checkpoint import CheckpointStore
     from ..runtime.chaos import ChaosMonkey
     from ..runtime.portfolio import EscalationPolicy
 
@@ -233,6 +234,7 @@ class SmtSolver:
         cache: Union["ResultCache", None, bool] = None,
         incremental: bool = False,
         certify: Optional[bool] = None,
+        checkpoints: Union["CheckpointStore", str, None, bool] = None,
     ):
         self.sat_config = sat_config
         self.validate_models = validate_models
@@ -250,6 +252,13 @@ class SmtSolver:
         # accepted by the independent repro.trust checker, else the
         # answer degrades to UNKNOWN(certification_failed).
         self.certify = certify
+        # None defers to REPRO_CHECKPOINT_DIR; False disables; a path or
+        # CheckpointStore enables solver checkpoint/resume on the
+        # sequential one-shot path (see repro.persist.checkpoint).
+        self.checkpoints = checkpoints
+        # Learned clauses re-installed from a checkpoint by the last
+        # check(); > 0 proves a resume actually reused prior work.
+        self.last_restored_learnts = 0
         self.certificate: Optional[Certificate] = None
         self._bounds = BoundsEnv(default=default_bounds)
         self._stack: list[list[Term]] = [[]]
@@ -329,6 +338,11 @@ class SmtSolver:
         if self.certify is not None:
             return self.certify
         return certify_default()
+
+    def _effective_checkpoints(self):
+        from ..persist.checkpoint import resolve_checkpoints
+
+        return resolve_checkpoints(self.checkpoints)
 
     # ----- solving ---------------------------------------------------------------
 
@@ -570,7 +584,11 @@ class SmtSolver:
             configs.extend(
                 self.escalation.ladder(self.sat_config, self.budget)
             )
+        self.last_restored_learnts = 0
         if self._effective_jobs() > 1:
+            # The parallel portfolio does not checkpoint: workers race
+            # non-deterministically, so there is no canonical state to
+            # serialize.  Sequential fallback below still does.
             try:
                 return self._solve_parallel(blaster, configs, certify)
             except Exception as exc:
@@ -580,8 +598,24 @@ class SmtSolver:
                     raise
                 # fall through to the sequential ladder
 
+        # Checkpoint/resume (repro.persist): a previous budget-exhausted
+        # solve of this exact CNF left its learned clauses on disk —
+        # restore them into the first rung.  Certified runs skip both
+        # directions: a DRAT log cannot replay clause derivations made
+        # by a previous process, so restored learnts would be
+        # uncertifiable and a saved proof-logging state unusable.
+        ck_store = None if certify else self._effective_checkpoints()
+        ck_key: Optional[str] = None
+        if ck_store is not None:
+            from ..persist.checkpoint import cnf_fingerprint
+
+            ck_key = cnf_fingerprint(
+                blaster.cnf.num_vars, blaster.cnf.clauses
+            )
+
         attempts = 0
         outcome = _SolveOutcome(SatResult.UNKNOWN)
+        last_sat: Optional[CDCLSolver] = None
         last_seconds = 0.0
         for config in configs:
             if attempts > 0 and not self.escalation.can_afford(
@@ -596,6 +630,7 @@ class SmtSolver:
                     blaster.cnf.num_vars, config, budget=self.budget,
                     proof=ProofLog() if certify else None,
                 )
+                last_sat = sat
                 try:
                     ok = sat.add_cnf(blaster.cnf)
                 except BudgetExhausted as exc:
@@ -603,6 +638,19 @@ class SmtSolver:
                         SatResult.UNKNOWN, stats=sat.stats,
                         exhaust_report=exc.report, attempts=attempts,
                     )
+                if ok and attempts == 1 and ck_store is not None:
+                    state = ck_store.load(ck_key)
+                    if state is not None:
+                        try:
+                            restored = sat.restore_state(state)
+                        except ValueError:
+                            pass  # stale/incompatible: solve from scratch
+                        else:
+                            self.last_restored_learnts = restored
+                            if METRICS.enabled:
+                                METRICS.counter_inc(
+                                    "repro_checkpoint_restores_total")
+                            ok = sat._ok
                 with TRACER.span("cdcl", rung=attempts) as cdcl_span:
                     result = (
                         sat.solve(budget=self.budget) if ok
@@ -626,6 +674,13 @@ class SmtSolver:
                 break
             if sat.exhaust_report is not None:
                 break  # hard budget exhaustion: escalating would be futile
+        if ck_store is not None and last_sat is not None:
+            if outcome.result is SatResult.UNKNOWN:
+                # Exhausted: persist the search state so the next solve
+                # of this CNF resumes instead of restarting.
+                ck_store.save(ck_key, last_sat.checkpoint_state())
+            else:
+                ck_store.discard(ck_key)  # answered: checkpoint is spent
         return outcome
 
     def _solve_parallel(

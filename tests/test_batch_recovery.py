@@ -1,0 +1,141 @@
+"""End-to-end crash recovery: SIGKILL a real ``repro batch run``, resume.
+
+The acceptance test for the durability layer: a batch sweep killed
+mid-run (via the deterministic ``REPRO_BATCH_KILL_AFTER`` hook, which
+SIGKILLs the worker process right after its Nth job completes) must be
+finishable by ``repro batch resume`` — every job completed exactly
+once, with verdicts identical to an uninterrupted control run, cross-
+checked through the per-batch result-cache keys.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+OK_SRC = """
+prog(in buffer ib, out buffer ob){
+  move-p(ib, ob, 1);
+  assert(backlog-p(ob) >= 0);
+}
+"""
+
+BAD_SRC = """
+prog(in buffer ib, out buffer ob){
+  move-p(ib, ob, 1);
+  // Violated whenever a packet actually moves.
+  assert(backlog-p(ob) == 0);
+}
+"""
+
+
+def _repro(args, *, extra_env=None, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.pop("REPRO_BATCH_KILL_AFTER", None)
+    env.update(extra_env or {})
+    # start_new_session: the kill hook SIGKILLs its whole process group
+    # (so portfolio workers die with the parent, under REPRO_JOBS=2
+    # too); the run must therefore not share the test runner's group.
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, timeout=timeout,
+        start_new_session=True,
+    )
+
+
+def _submit_sweep(batch_dir, ok_file, bad_file):
+    """Three distinct jobs: two horizons of OK_SRC plus one violation."""
+    for horizon, path in (("2", ok_file), ("3", ok_file), ("2", bad_file)):
+        proc = _repro([
+            "batch", "submit", batch_dir, path, "--horizon", horizon,
+        ])
+        assert proc.returncode == 0, proc.stderr
+
+
+def _verdicts(batch_dir):
+    proc = _repro(["batch", "status", batch_dir])
+    assert proc.returncode == 0, proc.stderr
+    return sorted(
+        line.strip() for line in proc.stdout.splitlines()
+        if ": proved" in line or ": violated" in line
+    )
+
+
+def _cache_keys(batch_dir):
+    cache_dir = os.path.join(batch_dir, "cache")
+    keys = set()
+    for root, _dirs, files in os.walk(cache_dir):
+        keys.update(f for f in files if f.endswith(".json"))
+    return keys
+
+
+class TestKillResume:
+    @pytest.fixture()
+    def sources(self, tmp_path):
+        ok = tmp_path / "ok.buffy"
+        bad = tmp_path / "bad.buffy"
+        ok.write_text(OK_SRC)
+        bad.write_text(BAD_SRC)
+        return str(ok), str(bad)
+
+    def test_sigkilled_sweep_resumes_to_identical_verdicts(
+        self, tmp_path, sources
+    ):
+        ok_file, bad_file = sources
+        killed = str(tmp_path / "killed")
+        control = str(tmp_path / "control")
+        _submit_sweep(killed, ok_file, bad_file)
+        _submit_sweep(control, ok_file, bad_file)
+
+        # Run the sweep with the deterministic kill hook armed: the
+        # process SIGKILLs itself right after its first job completes.
+        proc = _repro(
+            ["batch", "run", killed],
+            extra_env={"REPRO_BATCH_KILL_AFTER": "1"},
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        status = _repro(["batch", "status", killed]).stdout
+        assert "1 done" in status          # exactly one finished pre-kill
+        assert "pending" in status         # the rest were left behind
+
+        # Resume finishes exactly the missing work.
+        resumed = _repro(["batch", "resume", killed])
+        # Exit 1: the sweep legitimately contains one violated job.
+        assert resumed.returncode == 1, resumed.stderr
+        assert "3 done" in resumed.stdout
+        assert "deadletter" not in resumed.stdout
+
+        # Control: the same sweep, never interrupted.
+        ctrl = _repro(["batch", "run", control])
+        assert ctrl.returncode == 1, ctrl.stderr
+
+        killed_verdicts = _verdicts(killed)
+        assert killed_verdicts == _verdicts(control)
+        assert len(killed_verdicts) == 3
+        assert sum("violated" in v for v in killed_verdicts) == 1
+
+        # Cross-check through the result cache: both sweeps answered
+        # exactly the same set of sub-queries (content-addressed keys),
+        # so the resumed run derived the same results, not just the
+        # same summary line.
+        assert _cache_keys(killed) == _cache_keys(control)
+        assert _cache_keys(killed)
+
+        # Resume is idempotent: a third invocation replays the journal
+        # and re-executes nothing.
+        again = _repro(["batch", "resume", killed])
+        assert again.returncode == 1
+        assert "3 done" in again.stdout
+
+    def test_resume_without_journal_is_a_usage_error(self, tmp_path):
+        proc = _repro(["batch", "resume", str(tmp_path / "never-ran")])
+        assert proc.returncode == 4  # EXIT_ERROR
+        assert "nothing to resume" in proc.stderr

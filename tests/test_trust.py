@@ -339,6 +339,30 @@ class TestSupervisedPool:
         finally:
             pool.close()
 
+    def test_worker_death_holding_result_lock_is_recovered(self):
+        # A worker that dies abruptly can die *while its queue feeder
+        # thread holds the shared result pipe's write lock* (the feeder
+        # takes it for every message; os._exit / OOM-kill can strike
+        # between send_bytes and the release).  Every surviving
+        # worker's answers then block behind the dead holder.  Simulate
+        # the dead holder by seizing the lock from the parent: the
+        # supervisor must notice the silence, rebuild the transport
+        # (fresh queues, fresh workers), and still answer — not hang,
+        # not quarantine the innocent query.
+        cnf = pigeonhole(4)
+        pool = PortfolioPool(jobs=2)
+        try:
+            baseline, _ = pool.solve_portfolio(cnf, [None])
+            assert baseline.verdict is SatResult.UNSAT
+            pool.hang_seconds = 1.0  # keep the stall window short
+            pool._results._wlock.acquire()  # the "dead" lock holder
+            result, _ = pool.solve_portfolio(cnf, [None])
+            assert result.verdict is baseline.verdict
+            assert pool.last_respawned >= 1
+            assert pool.last_quarantined == 0
+        finally:
+            pool.close()
+
     def test_repeatedly_crashing_query_is_quarantined(self):
         cnf = pigeonhole(4)
         pool = PortfolioPool(jobs=2)
