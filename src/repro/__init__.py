@@ -33,7 +33,13 @@ The package provides:
 * :mod:`repro.persist` — durability: a checksummed write-ahead
   journal, CDCL checkpoint/resume (``REPRO_CHECKPOINT_DIR``), and the
   crash-recoverable batch queue behind :func:`repro.analyze_many` and
-  ``repro batch run/resume``.
+  ``repro batch run/resume``;
+* :mod:`repro.serve` — the overload-safe analysis service (``repro
+  serve``): bounded admission with per-tenant rate limits, a
+  degrade-then-shed overload ladder, a circuit breaker around the
+  solve path, and graceful drain into the batch journal;
+* :mod:`repro.client` — the matching HTTP client with retry/backoff
+  honoring ``Retry-After``.
 
 Quickstart::
 
@@ -81,11 +87,14 @@ from .lang.pretty import pretty_program
 from .obs import METRICS, TRACER, TelemetrySnapshot, telemetry
 from .persist import BatchRunner, CheckpointStore, Journal
 from .trust import Certificate, DratChecker, DratError, ProofLog, check_drat
+from .client import ServiceClient, ServiceUnavailable
+from .serve import AnalysisService, ReproServer, ServeConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisOutcome",
+    "AnalysisService",
     "BatchRunner",
     "Budget",
     "BudgetExhausted",
@@ -112,7 +121,11 @@ __all__ = [
     "Packet",
     "ProgramBuilder",
     "ProofLog",
+    "ReproServer",
     "ResourceReport",
+    "ServeConfig",
+    "ServiceClient",
+    "ServiceUnavailable",
     "SmtBackend",
     "SolverFault",
     "StateView",

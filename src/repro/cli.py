@@ -259,24 +259,14 @@ def cmd_batch_submit(args) -> int:
 
 
 def _batch_chaos():
-    """Env-driven I/O chaos for CI smoke jobs (mirrors the worker-crash
-    hook in the portfolio pool): REPRO_CHAOS_IO_ERROR=<rate> with
-    optional REPRO_CHAOS_SEED makes every persistence write roll a
-    seeded die and degrade on OSError instead of crashing the run."""
-    from contextlib import nullcontext
+    """Env-driven chaos for CI smoke jobs: ``REPRO_CHAOS_IO_ERROR``,
+    ``REPRO_CHAOS_SLOW_CLIENT``, ``REPRO_CHAOS_REQUEST_KILL`` (each a
+    per-call probability) with optional ``REPRO_CHAOS_SEED``; a no-op
+    when every rate is unset.  (The worker-crash hook stays separate,
+    env-driven inside the portfolio pool.)"""
+    from .runtime.chaos import chaos_from_env
 
-    try:
-        rate = float(os.environ.get("REPRO_CHAOS_IO_ERROR", "0"))
-    except ValueError:
-        rate = 0.0
-    if rate <= 0:
-        return nullcontext()
-    from .runtime.chaos import inject_faults
-
-    return inject_faults(
-        seed=int(os.environ.get("REPRO_CHAOS_SEED", "0")),
-        io_error_rate=rate,
-    )
+    return chaos_from_env()
 
 
 def cmd_batch_run(args) -> int:
@@ -298,10 +288,57 @@ def cmd_batch_run(args) -> int:
 def cmd_batch_status(args) -> int:
     with _batch_runner(args) as runner:
         report = runner.status()
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0
     print(report.describe())
     if report.recovered:
         print(f"  note: {report.recovered} job(s) look interrupted;"
               " `repro batch resume` will requeue them")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the analysis service until SIGTERM/SIGINT, then drain."""
+    import asyncio
+
+    from .serve import AnalysisService, ReproServer, ServeConfig
+
+    # Point the CDCL checkpoint store into the spool (unless the
+    # operator chose one), so drain-cancelled solves leave resumable
+    # checkpoints next to the journal that `batch resume` reads.
+    os.environ.setdefault(
+        "REPRO_CHECKPOINT_DIR", os.path.join(args.spool, "checkpoints"))
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        spool_dir=args.spool,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        deadline_seconds=args.deadline,
+        degraded_deadline=args.degraded_deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        read_timeout=args.read_timeout,
+        jobs=args.jobs,
+        certify=args.certify or None,
+    )
+    service = AnalysisService(config)
+    server = ReproServer(service)
+    print(f"repro serve: listening on http://{args.host}:{args.port}"
+          f" (spool: {args.spool}, queue limit {args.queue_limit},"
+          f" {args.workers} workers)", file=sys.stderr, flush=True)
+    with _batch_chaos():
+        try:
+            summary = asyncio.run(server.serve_until_signalled())
+        finally:
+            service.runner.close()
+    left = summary.get("jobs_left_for_resume", 0)
+    print(f"drained: {summary.get('cancelled_inflight', 0)} in-flight"
+          f" solve(s) cancelled, {left} job(s) journaled for"
+          f" `repro batch resume {args.spool}`", file=sys.stderr)
     return 0
 
 
@@ -464,7 +501,51 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="print the journaled job table without executing"
     )
     bp.add_argument("dir", help="batch journal directory")
+    bp.add_argument("--json", action="store_true",
+                    help="machine-readable output (per-state counts with"
+                         " orphaned-running jobs reported distinctly,"
+                         " one row per job)")
     bp.set_defaults(fn=cmd_batch_status)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the overload-safe analysis service (POST /v1/analyze;"
+             " SIGTERM drains: in-flight solves checkpoint, the backlog"
+             " journals for `batch resume`)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8650)
+    p.add_argument("--spool", default=".repro-serve", metavar="DIR",
+                   help="durable spool: batch journal + shared result"
+                        " cache + solver checkpoints (default .repro-serve)")
+    p.add_argument("--queue-limit", type=int, default=8, metavar="Q",
+                   help="bounded admission queue; beyond it requests get"
+                        " 429 + Retry-After (default 8)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="solve worker threads (default 2)")
+    p.add_argument("--deadline", type=float, default=30.0, metavar="SECONDS",
+                   help="per-request budget at NORMAL load (default 30)")
+    p.add_argument("--degraded-deadline", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="per-request budget once the ladder degrades:"
+                        " saturated requests answer fast UNKNOWN"
+                        " (default 0.5)")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive solve-path failures that trip the"
+                        " circuit breaker (default 3)")
+    p.add_argument("--breaker-reset", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="seconds an open breaker waits before half-open"
+                        " probes (default 5)")
+    p.add_argument("--read-timeout", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="per-read client deadline; slow clients get 408"
+                        " (default 5)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="solver processes per solve"
+                        " (default $REPRO_JOBS or 1)")
+    certify_opt(p)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "stats", help="summarize a --trace file (spans by total time)"

@@ -1,0 +1,190 @@
+"""repro.client — a well-behaved client for ``repro serve``.
+
+Stdlib-only (:mod:`http.client`).  "Well-behaved" means the retry
+loop cooperates with the server's overload control instead of fighting
+it:
+
+* ``429``/``503`` retry after honoring the server's ``Retry-After``
+  header — the server's estimate of when a queue slot frees is better
+  than any client-side guess;
+* transport errors (connection refused/reset, timeouts) retry under
+  exponential backoff with seeded jitter, capped at ``backoff_cap`` —
+  jitter decorrelates a thundering herd of restarting clients;
+* everything else — including fast UNKNOWN verdicts — is returned to
+  the caller: a degraded answer is an answer, not a retry trigger.
+
+Every response is a plain dict with ``status`` (the HTTP code) merged
+over the JSON body; :class:`ServiceUnavailable` is raised only after
+the retry budget is spent.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from typing import Any, Callable, Optional
+
+#: Statuses worth retrying: overload rejects and drain, never 4xx bugs.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class ServiceUnavailable(RuntimeError):
+    """The retry budget was spent without a non-retryable answer."""
+
+    def __init__(self, message: str, last: Optional[dict] = None):
+        super().__init__(message)
+        self.last = last
+
+
+class ServiceClient:
+    """One server endpoint plus a retry/backoff policy."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8650,
+        *,
+        tenant: str = "default",
+        timeout: float = 60.0,
+        max_retries: int = 5,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self.max_retries = max(0, max_retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+
+    # ----- the API ----------------------------------------------------------
+
+    def analyze(
+        self,
+        source: str,
+        *,
+        backend: str = "smt",
+        steps: int = 6,
+        consts: Optional[dict[str, int]] = None,
+        prove: bool = False,
+        options: Optional[dict] = None,
+        label: Optional[str] = None,
+        priority: Optional[int] = None,
+        retry: bool = True,
+    ) -> dict:
+        """Submit one analysis; retries rejects per the policy above."""
+        payload: dict[str, Any] = {
+            "source": source, "backend": backend, "steps": steps,
+            "prove": prove, "tenant": self.tenant,
+        }
+        if consts:
+            payload["consts"] = consts
+        if options:
+            payload["options"] = options
+        if label is not None:
+            payload["label"] = label
+        if priority is not None:
+            payload["priority"] = priority
+        return self.request("POST", "/v1/analyze", payload, retry=retry)
+
+    def job(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}", retry=False)
+
+    def health(self) -> dict:
+        return self.request("GET", "/healthz", retry=False)
+
+    def ready(self) -> dict:
+        return self.request("GET", "/readyz", retry=False)
+
+    def metrics(self) -> str:
+        """The raw Prometheus text (not JSON)."""
+        status, headers, body = self._once("GET", "/metrics", None)
+        if status != 200:
+            raise ServiceUnavailable(f"/metrics answered {status}")
+        return body.decode("utf-8")
+
+    # ----- transport --------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None, *,
+                retry: bool = True) -> dict:
+        """One logical request through the retry loop."""
+        attempts = (self.max_retries + 1) if retry else 1
+        last_doc: Optional[dict] = None
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                status, headers, body = self._once(method, path, payload)
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = exc
+                if attempt + 1 < attempts:
+                    self._sleep(self._backoff(attempt))
+                continue
+            doc = _decode(body)
+            doc["status"] = status
+            if status not in RETRYABLE_STATUSES or not retry:
+                return doc
+            last_doc = doc
+            if attempt + 1 < attempts:
+                self._sleep(self._retry_delay(headers, doc, attempt))
+        if last_doc is not None:
+            raise ServiceUnavailable(
+                f"{method} {path} still rejected after"
+                f" {attempts} attempts: {last_doc.get('reason', '?')}",
+                last=last_doc,
+            )
+        raise ServiceUnavailable(
+            f"{method} {path} unreachable after {attempts} attempts:"
+            f" {last_error!r}"
+        )
+
+    def _once(self, method: str, path: str,
+              payload: Optional[dict]) -> tuple[int, dict, bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {"X-Repro-Tenant": self.tenant}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            return resp.status, dict(resp.getheaders()), data
+        finally:
+            conn.close()
+
+    # ----- backoff ----------------------------------------------------------
+
+    def _retry_delay(self, headers: dict, doc: dict, attempt: int) -> float:
+        """Server-directed wait: Retry-After (header, else body) plus a
+        jittered slice of the base backoff to spread synchronized
+        clients; falls back to pure exponential backoff."""
+        retry_after = headers.get("Retry-After") or doc.get("retry_after")
+        try:
+            hinted = float(retry_after)
+        except (TypeError, ValueError):
+            return self._backoff(attempt)
+        return max(0.0, hinted) + self._rng.random() * self.backoff_base
+
+    def _backoff(self, attempt: int) -> float:
+        base = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return base * (0.5 + self._rng.random())
+
+
+def _decode(body: bytes) -> dict:
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return {"raw": body.decode("utf-8", "replace")}
+    if not isinstance(doc, dict):
+        return {"raw": doc}
+    return doc

@@ -24,6 +24,112 @@ from typing import Any, Iterable, Optional
 #: Default histogram bucket upper bounds (seconds-oriented, powers of 4).
 DEFAULT_BUCKETS = (0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384)
 
+#: Metric name → ``# HELP`` text.  Real scrapers want a HELP line per
+#: series; names absent here still get one, generated from the name by
+#: :func:`help_text`.  Extend via :func:`register_help`.
+_HELP: dict[str, str] = {
+    # engine cache
+    "repro_cache_hits_total": "Result-cache hits, by tier (memory/disk).",
+    "repro_cache_misses_total": "Result-cache misses.",
+    "repro_cache_stores_total": "Result-cache entries stored.",
+    "repro_cache_corrupt_entries_total":
+        "On-disk cache entries rejected by checksum or schema.",
+    "repro_cache_hit_ratio":
+        "Derived at export: hits / (hits + misses) across tiers.",
+    # CDCL core
+    "repro_cdcl_solves_total": "CDCL solve() invocations.",
+    "repro_cdcl_conflicts_total": "CDCL conflicts analyzed.",
+    "repro_cdcl_decisions_total": "CDCL decisions made.",
+    "repro_cdcl_propagations_total": "CDCL unit propagations.",
+    "repro_cdcl_learned_total": "Clauses learned from conflicts.",
+    "repro_cdcl_deleted_total": "Learned clauses deleted by reduction.",
+    "repro_cdcl_minimized_lits_total":
+        "Literals removed by learned-clause minimization.",
+    "repro_cdcl_restarts_total": "CDCL restarts.",
+    "repro_solver_checks_total": "SmtSolver.check() calls, by result.",
+    "repro_vcs_total": "Verification conditions discharged.",
+    # incremental engine
+    "repro_incremental_checks_total":
+        "Incremental-session check() calls, by reuse kind.",
+    "repro_incremental_frames_pushed_total":
+        "Assertion frames pushed onto incremental sessions.",
+    "repro_incremental_frames_retired_total":
+        "Assertion frames popped from incremental sessions.",
+    "repro_incremental_clauses_reused_total":
+        "CNF clauses reused across incremental checks.",
+    # parallel engine / pool supervision
+    "repro_parallel_tasks_total": "Portfolio tasks dispatched to workers.",
+    "repro_parallel_cancelled_total":
+        "Portfolio slots cooperatively cancelled.",
+    "repro_engine_workers_respawned_total":
+        "Workers respawned after dying or hanging.",
+    "repro_engine_requeued_total":
+        "Tasks re-dispatched after losing their worker.",
+    "repro_engine_quarantined_total":
+        "Queries quarantined after repeated worker loss.",
+    # trust layer
+    "repro_trust_proofs_checked_total": "DRAT certificates checked.",
+    "repro_trust_proofs_failed_total": "DRAT certificates rejected.",
+    # chaos harness
+    "repro_chaos_injected_total": "Faults injected by the chaos monkey, by kind.",
+    # persistence
+    "repro_persist_journal_records_total": "Write-ahead journal appends.",
+    "repro_persist_journal_bytes_total": "Bytes appended to the journal.",
+    "repro_persist_io_errors_total":
+        "Persistence writes degraded to metrics after OSError, by site.",
+    "repro_persist_torn_tail_truncations_total":
+        "Journal torn tails truncated during replay.",
+    "repro_persist_snapshot_corrupt_total":
+        "Snapshots rejected by checksum at load.",
+    "repro_persist_compactions_total": "Journal-to-snapshot compactions.",
+    "repro_persist_jobs_submitted_total": "Batch jobs journaled.",
+    "repro_persist_jobs_done_total": "Batch jobs finished with a verdict.",
+    "repro_persist_retries_total": "Batch job transient-failure retries.",
+    "repro_persist_deadletters_total": "Batch jobs parked in the deadletter state.",
+    "repro_persist_recoveries_total":
+        "Interrupted batch jobs requeued after a crash.",
+    "repro_checkpoint_saves_total": "Solver checkpoints saved.",
+    "repro_checkpoint_restores_total": "Solver checkpoints restored.",
+    "repro_checkpoint_corrupt_total": "Solver checkpoints rejected at load.",
+    "repro_checkpoint_learnts_restored_total":
+        "Learned clauses reinstated from checkpoints.",
+    # observability
+    "repro_obs_export_errors_total":
+        "Telemetry exports degraded after OSError, by exporter.",
+    "repro_span_seconds": "Span wall-clock durations, by span name.",
+    # serve control plane
+    "repro_serve_requests_total": "Analysis requests received, by tenant.",
+    "repro_serve_rejected_total":
+        "Requests rejected by admission, by reason and tenant.",
+    "repro_serve_replayed_total":
+        "Requests answered from the journal's existing verdict.",
+    "repro_serve_fast_unknown_total":
+        "Requests answered with a fast UNKNOWN, by cause.",
+    "repro_serve_queue_depth": "Admitted requests waiting for a worker.",
+    "repro_serve_inflight": "Requests currently executing.",
+    "repro_serve_overload_level":
+        "Overload ladder rung: 0 normal, 1 degraded, 2 shedding.",
+    "repro_serve_breaker_state":
+        "Circuit breaker: 0 closed, 1 half-open, 2 open.",
+    "repro_serve_breaker_trips_total": "Circuit breaker trips.",
+    "repro_serve_drains_total": "Graceful drains initiated.",
+    "repro_serve_request_seconds": "End-to-end request service time.",
+}
+
+
+def register_help(name: str, text: str) -> None:
+    """Attach ``# HELP`` text to a metric name (idempotent overwrite)."""
+    _HELP[name] = text
+
+
+def help_text(name: str) -> str:
+    """The HELP line body for ``name`` (generated when unregistered)."""
+    text = _HELP.get(name)
+    if text:
+        return text
+    words = name.removeprefix("repro_").removesuffix("_total")
+    return f"repro {words.replace('_', ' ')}."
+
 LabelKey = "tuple[tuple[str, str], ...]"
 
 
@@ -204,6 +310,12 @@ class MetricsRegistry:
         def typ(name: str, kind: str) -> None:
             if name not in seen_types:
                 seen_types.add(name)
+                # HELP precedes TYPE, once per metric family; HELP text
+                # escapes only backslash and newline (label values
+                # additionally escape double quotes).
+                doc = help_text(name).replace("\\", "\\\\")
+                doc = doc.replace("\n", "\\n")
+                lines.append(f"# HELP {name} {doc}")
                 lines.append(f"# TYPE {name} {kind}")
 
         for (name, labels), value in sorted(self._counters.items()):

@@ -39,6 +39,7 @@ import hashlib
 import os
 import random
 import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -75,6 +76,10 @@ class JobRecord:
     exit_code: Optional[int] = None
     error: Optional[str] = None
     recovered: bool = False  # requeued from an interrupted run
+    # Observed ``running`` with no live executor behind it (a crashed or
+    # SIGKILLed run): reported distinctly by ``status`` so operators see
+    # interrupted work instead of it hiding among pending/done jobs.
+    orphaned: bool = False
 
     @property
     def label(self) -> str:
@@ -110,9 +115,12 @@ class BatchReport:
     replayed: int = 0  # finished jobs answered straight from the journal
 
     def by_state(self) -> dict[str, int]:
+        """State → count; interrupted jobs count as ``orphaned``, not as
+        whatever transient state the journal last recorded for them."""
         counts: dict[str, int] = {}
         for rec in self.records:
-            counts[rec.state] = counts.get(rec.state, 0) + 1
+            state = "orphaned" if rec.orphaned else rec.state
+            counts[state] = counts.get(state, 0) + 1
         return counts
 
     @property
@@ -148,8 +156,9 @@ class BatchReport:
     def describe(self) -> str:
         lines = []
         counts = self.by_state()
+        order = [s for s in STATES if s != "running"] + ["running", "orphaned"]
         summary = ", ".join(
-            f"{counts[s]} {s}" for s in STATES if counts.get(s)
+            f"{counts[s]} {s}" for s in order if counts.get(s)
         ) or "no jobs"
         lines.append(f"batch: {summary}")
         if self.recovered:
@@ -158,10 +167,40 @@ class BatchReport:
             lines.append(f"  transient retries: {self.retries}")
         for rec in self.records:
             detail = rec.verdict or rec.state
-            if rec.state == "deadletter" and rec.error:
+            if rec.orphaned:
+                detail = "orphaned (interrupted while running)"
+            elif rec.state == "deadletter" and rec.error:
                 detail = f"deadletter after {rec.attempts} attempts: {rec.error}"
             lines.append(f"  {rec.label}: {detail}")
         return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """Machine-readable status (``repro batch status --json``).
+
+        The shape ops scripts and the serve ``/readyz`` endpoint read:
+        per-state counts (orphaned-running jobs reported distinctly),
+        the aggregate exit code, and one row per job.
+        """
+        return {
+            "counts": self.by_state(),
+            "recovered": self.recovered,
+            "retries": self.retries,
+            "executed": self.executed,
+            "replayed": self.replayed,
+            "exit_code": self.exit_code,
+            "jobs": [
+                {
+                    "job_id": rec.job_id,
+                    "label": rec.label,
+                    "state": "orphaned" if rec.orphaned else rec.state,
+                    "attempts": rec.attempts,
+                    "verdict": rec.verdict,
+                    "exit_code": rec.exit_code,
+                    "error": rec.error,
+                }
+                for rec in self.records
+            ],
+        }
 
 
 class BatchRunner:
@@ -193,6 +232,10 @@ class BatchRunner:
         self._fsync = fsync
         self._executor = executor
         self._sleep = sleep
+        # Serializes journal appends and the in-process job table: the
+        # serve layer executes jobs from multiple worker threads against
+        # one runner, and interleaved writes would tear the journal.
+        self._lock = threading.RLock()
         # Per-job engine knobs used by the default executor; set by run().
         self._run_knobs: dict[str, Any] = {}
         # In-process job table: jobs submitted by THIS process, kept so
@@ -214,8 +257,14 @@ class BatchRunner:
 
         Replay is idempotent — a transition already reflected in the
         snapshot re-applies to the same state — so a crash between
-        snapshot write and journal truncation costs nothing.
+        snapshot write and journal truncation costs nothing.  Holds the
+        runner lock: replay may truncate a torn tail, which must never
+        race a concurrent append from a serve worker thread.
         """
+        with self._lock:
+            return self._load_locked()
+
+    def _load_locked(self) -> tuple[dict[str, JobRecord], list[str]]:
         jobs: dict[str, JobRecord] = {}
         order: list[str] = []
         snap = load_snapshot(self.directory / self.SNAPSHOT)
@@ -266,10 +315,60 @@ class BatchRunner:
         return ok
 
     def _journal_state(self, rec: JobRecord, **extra) -> None:
-        self.journal.append({
-            "kind": "state", "id": rec.job_id, "state": rec.state,
-            "attempt": rec.attempts, **extra,
-        })
+        with self._lock:
+            self.journal.append({
+                "kind": "state", "id": rec.job_id, "state": rec.state,
+                "attempt": rec.attempts, **extra,
+            })
+
+    # ----- public state transitions (thread-safe) ---------------------------
+
+    def mark_running(self, rec: JobRecord) -> None:
+        """Journal the start of one execution attempt."""
+        with self._lock:
+            rec.attempts += 1
+            rec.state = "running"
+        self._journal_state(rec)
+
+    def mark_done(self, rec: JobRecord, outcome: AnalysisOutcome) -> None:
+        """Journal a terminal verdict for ``rec``."""
+        with self._lock:
+            rec.state = "done"
+            rec.verdict = outcome.verdict.value
+            rec.exit_code = outcome.exit_code
+            rec.error = None
+        self._journal_state(
+            rec, verdict=rec.verdict, exit_code=rec.exit_code,
+        )
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_persist_jobs_done_total")
+
+    def mark_failed(self, rec: JobRecord, error: str) -> None:
+        """Journal a retryable failure (``repro batch resume`` retries it)."""
+        with self._lock:
+            rec.state = "failed"
+            rec.error = error
+        self._journal_state(rec, error=error)
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_persist_retries_total")
+
+    def mark_deadletter(self, rec: JobRecord, error: str) -> None:
+        """Journal a permanent failure for operator attention."""
+        with self._lock:
+            rec.state = "deadletter"
+            rec.error = error
+        self._journal_state(rec, error=error)
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_persist_deadletters_total")
+
+    def requeue(self, rec: JobRecord) -> None:
+        """Journal an interrupted job back to ``pending`` (at-least-once)."""
+        with self._lock:
+            rec.state = "pending"
+            rec.recovered = True
+        self._journal_state(rec, note="recovered")
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_persist_recoveries_total")
 
     # ----- submission -------------------------------------------------------
 
@@ -289,41 +388,96 @@ class BatchRunner:
         Resubmitting an identical spec is a no-op (same key, already
         journaled), so ``submit`` can be retried blindly after a crash.
         """
-        jobs, _ = self.load()
-        ids: list[str] = []
-        for item in sources:
-            label, source = item if isinstance(item, tuple) else (None, item)
-            spec = {
-                "source": source, "backend": backend, "steps": steps,
-                "consts": dict(consts or {}), "prove": prove,
-                "options": dict(options or {}), "label": label,
-            }
-            job_id = job_id_for(spec)
-            ids.append(job_id)
-            if job_id in jobs:
-                continue  # idempotent resubmission
-            rec = JobRecord(job_id=job_id, spec=spec)
-            jobs[job_id] = rec
-            self._mem[job_id] = rec
-            self._mem_order.append(job_id)
-            self.journal.append({"kind": "submit", "id": job_id, "spec": spec})
-            if METRICS.enabled:
-                METRICS.counter_inc("repro_persist_jobs_submitted_total")
-        self.journal.flush()
-        return ids
+        with self._lock:
+            jobs, _ = self.load()
+            ids: list[str] = []
+            for item in sources:
+                label, source = item if isinstance(item, tuple) else (None, item)
+                spec = {
+                    "source": source, "backend": backend, "steps": steps,
+                    "consts": dict(consts or {}), "prove": prove,
+                    "options": dict(options or {}), "label": label,
+                }
+                job_id = job_id_for(spec)
+                ids.append(job_id)
+                if job_id in jobs:
+                    continue  # idempotent resubmission
+                rec = JobRecord(job_id=job_id, spec=spec)
+                jobs[job_id] = rec
+                self._mem[job_id] = rec
+                self._mem_order.append(job_id)
+                self.journal.append(
+                    {"kind": "submit", "id": job_id, "spec": spec})
+                if METRICS.enabled:
+                    METRICS.counter_inc("repro_persist_jobs_submitted_total")
+            self.journal.flush()
+            return ids
+
+    def submit_one(
+        self,
+        source: str,
+        *,
+        label: Optional[str] = None,
+        backend: str = "smt",
+        steps: int = 6,
+        consts: Optional[dict[str, int]] = None,
+        prove: bool = False,
+        options: Optional[dict] = None,
+    ) -> JobRecord:
+        """Journal one job and return its live record (serve entry point).
+
+        Idempotent like :meth:`submit`: resubmitting an identical spec
+        returns the already-journaled record — a completed job answers
+        straight from its journaled verdict.
+        """
+        with self._lock:
+            ids = self.submit(
+                [(label, source) if label else source],
+                backend=backend, steps=steps, consts=consts, prove=prove,
+                options=options,
+            )
+            rec = self._mem.get(ids[0])
+            if rec is None:
+                jobs, _ = self.load()
+                rec = jobs[ids[0]]
+                self._mem[rec.job_id] = rec
+                self._mem_order.append(rec.job_id)
+            return rec
 
     # ----- execution --------------------------------------------------------
 
     def _execute(self, rec: JobRecord) -> AnalysisOutcome:
         """Default executor: one :func:`repro.analyze` call per job."""
-        from ..analysis.facade import analyze
         from ..runtime.budget import Budget
 
-        spec = rec.spec
         knobs = self._run_knobs
         budget = None
         if knobs.get("timeout"):
             budget = Budget(deadline_seconds=knobs["timeout"])
+        return self.execute_record(
+            rec, budget=budget, jobs=knobs.get("jobs"),
+            certify=knobs.get("certify"),
+        )
+
+    def execute_record(
+        self,
+        rec: JobRecord,
+        *,
+        budget=None,
+        escalation=None,
+        jobs: Optional[int] = None,
+        certify: Optional[bool] = None,
+    ) -> AnalysisOutcome:
+        """Run one journaled job's spec through :func:`repro.analyze`.
+
+        The serve layer's execution primitive: callers supply their own
+        budget/escalation (the overload ladder tightens both under
+        saturation) while the job still answers its sub-queries from the
+        batch's shared content-addressed result cache.
+        """
+        from ..analysis.facade import analyze
+
+        spec = rec.spec
         config = None
         options = spec.get("options") or {}
         if options.get("capacity") or options.get("arrivals"):
@@ -340,9 +494,10 @@ class BatchRunner:
             consts=spec.get("consts") or None,
             prove=bool(spec.get("prove")),
             budget=budget,
-            jobs=knobs.get("jobs"),
+            escalation=escalation,
+            jobs=jobs,
             cache=self.cache,
-            certify=knobs.get("certify"),
+            certify=certify,
             config=config,
         )
 
@@ -384,12 +539,8 @@ class BatchRunner:
             rec = jobs_table[job_id]
             if rec.state == "running":
                 # Orphaned by a crashed run: requeue (at-least-once).
-                rec.state = "pending"
-                rec.recovered = True
+                self.requeue(rec)
                 report.recovered += 1
-                self._journal_state(rec, note="recovered")
-                if METRICS.enabled:
-                    METRICS.counter_inc("repro_persist_recoveries_total")
         executor = self._executor or self._execute
         completed_this_run = 0
         for job_id in order:
@@ -399,50 +550,24 @@ class BatchRunner:
                 continue
             with TRACER.span("batch-job", job=rec.label):
                 while rec.state in ("pending", "failed"):
-                    rec.attempts += 1
-                    rec.state = "running"
-                    self._journal_state(rec)
+                    self.mark_running(rec)
                     try:
                         outcome = executor(rec)
                     except TRANSIENT_ERRORS as exc:
                         if rec.attempts >= self.max_attempts:
-                            rec.state = "deadletter"
-                            rec.error = repr(exc)
-                            self._journal_state(rec, error=rec.error)
-                            if METRICS.enabled:
-                                METRICS.counter_inc(
-                                    "repro_persist_deadletters_total")
+                            self.mark_deadletter(rec, repr(exc))
                             break
-                        rec.state = "failed"
-                        rec.error = repr(exc)
                         report.retries += 1
-                        self._journal_state(rec, error=rec.error)
-                        if METRICS.enabled:
-                            METRICS.counter_inc("repro_persist_retries_total")
+                        self.mark_failed(rec, repr(exc))
                         self._sleep(self._backoff(rec.attempts))
                     except Exception as exc:
                         # Permanent (parse/type errors, genuine bugs):
                         # retrying cannot help — deadletter immediately.
-                        rec.state = "deadletter"
-                        rec.error = repr(exc)
-                        self._journal_state(rec, error=rec.error)
-                        if METRICS.enabled:
-                            METRICS.counter_inc(
-                                "repro_persist_deadletters_total")
+                        self.mark_deadletter(rec, repr(exc))
                         break
                     else:
-                        rec.state = "done"
-                        rec.verdict = outcome.verdict.value
-                        rec.exit_code = outcome.exit_code
-                        rec.error = None
                         report.executed += 1
-                        self._journal_state(
-                            rec, verdict=rec.verdict,
-                            exit_code=rec.exit_code,
-                        )
-                        if METRICS.enabled:
-                            METRICS.counter_inc(
-                                "repro_persist_jobs_done_total")
+                        self.mark_done(rec, outcome)
                         completed_this_run += 1
                         if kill_after and completed_this_run >= kill_after:
                             self.journal.flush()
@@ -459,12 +584,19 @@ class BatchRunner:
         return report
 
     def status(self) -> BatchReport:
-        """The job table as the journal tells it, without executing."""
+        """The job table as the journal tells it, without executing.
+
+        A job journaled ``running`` with no live run behind it was
+        interrupted (crash, SIGKILL, server drain): it is flagged
+        ``orphaned`` so reports show it distinctly from pending and
+        done/failed work — ``repro batch resume`` will requeue it.
+        """
         jobs_table, order = self.load()
         report = BatchReport(records=[jobs_table[j] for j in order])
-        report.recovered = sum(
-            1 for r in report.records if r.state == "running"
-        )
+        for rec in report.records:
+            if rec.state == "running":
+                rec.orphaned = True
+        report.recovered = sum(1 for r in report.records if r.orphaned)
         return report
 
     def close(self) -> None:

@@ -54,6 +54,14 @@ class ChaosConfig:
     # atomic rename (the torn-save window).
     io_error_rate: float = 0.0
     kill_checkpoint_rate: float = 0.0
+    # Request-path hooks (repro.serve): stall the server while it reads
+    # a request (a slow or wedged client — the read deadline must catch
+    # it), or kill the worker backing a request mid-solve (raises
+    # InjectedFault inside the request; the circuit breaker must count
+    # it, the client must still get a terminal answer).
+    slow_client_rate: float = 0.0
+    slow_client_seconds: float = 0.05
+    request_kill_rate: float = 0.0
 
 
 @dataclass
@@ -68,6 +76,8 @@ class ChaosLog:
     cache_corrupted: int = 0
     io_errors: int = 0
     checkpoint_kills: int = 0
+    slow_clients: int = 0
+    request_kills: int = 0
     schedule: list[str] = field(default_factory=list)
 
 
@@ -175,6 +185,43 @@ class ChaosMonkey:
                 "repro_chaos_injected_total", kind="kill_checkpoint")
         return True
 
+    def slow_client_delay(self) -> float:
+        """Seconds the server should stall reading this request (0 = none).
+
+        Returned, not slept, so the asyncio server can await it — the
+        stall must block only the afflicted connection, never the loop.
+        """
+        cfg = self.config
+        if not cfg.slow_client_rate:
+            return 0.0
+        if self._rng.random() >= cfg.slow_client_rate:
+            return 0.0
+        self.log.slow_clients += 1
+        self.log.schedule.append("slow_client")
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_chaos_injected_total", kind="slow_client")
+        return cfg.slow_client_seconds
+
+    def should_kill_request_worker(self) -> bool:
+        """Roll the die for a worker dying under an in-flight request.
+
+        The serve executor raises :class:`InjectedFault` when this
+        returns True — modelling a solve whose backing worker was lost
+        mid-request, the failure the circuit breaker exists to absorb.
+        """
+        cfg = self.config
+        if not cfg.request_kill_rate:
+            return False
+        if self._rng.random() >= cfg.request_kill_rate:
+            return False
+        self.log.request_kills += 1
+        self.log.schedule.append("request_kill")
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_chaos_injected_total", kind="request_kill")
+        return True
+
     def corrupt_cache_text(self, text: str) -> str:
         """Maybe truncate a cache entry's serialized form before write."""
         cfg = self.config
@@ -208,6 +255,7 @@ def inject_faults(
     from ..obs import export as export_mod
     from ..persist import checkpoint as ckpt_mod
     from ..persist import journal as journal_mod
+    from ..serve import service as serve_mod
     from ..smt import solver as solver_mod
 
     monkey = ChaosMonkey(config, **kwargs)
@@ -217,6 +265,7 @@ def inject_faults(
         journal_mod.Journal,
         ckpt_mod.CheckpointStore,
         export_mod.TelemetrySnapshot,
+        serve_mod.AnalysisService,
     ]
     previous = [cls._chaos for cls in hooks]
     for cls in hooks:
@@ -226,3 +275,43 @@ def inject_faults(
     finally:
         for cls, prev in zip(hooks, previous):
             cls._chaos = prev
+
+
+def chaos_from_env(environ=None):
+    """A chaos context built from ``REPRO_CHAOS_*`` (CI smoke harness).
+
+    Reads ``REPRO_CHAOS_IO_ERROR``, ``REPRO_CHAOS_SLOW_CLIENT``,
+    ``REPRO_CHAOS_REQUEST_KILL`` (each a per-call probability) and
+    ``REPRO_CHAOS_SEED``; with every rate unset or zero this is a
+    no-op ``nullcontext``.  ``repro batch run`` and ``repro serve``
+    both enter it, so one environment variable puts an entire CI leg
+    under injected faults.  (Portfolio worker crashes are env-driven
+    separately via ``REPRO_CHAOS_WORKER_CRASH`` in the worker pool.)
+    """
+    import os
+    from contextlib import nullcontext
+
+    env = os.environ if environ is None else environ
+
+    def rate(name: str) -> float:
+        try:
+            value = float(env.get(name, "0"))
+        except ValueError:
+            return 0.0
+        return max(0.0, value)
+
+    io_error = rate("REPRO_CHAOS_IO_ERROR")
+    slow_client = rate("REPRO_CHAOS_SLOW_CLIENT")
+    request_kill = rate("REPRO_CHAOS_REQUEST_KILL")
+    if not (io_error or slow_client or request_kill):
+        return nullcontext()
+    try:
+        seed = int(env.get("REPRO_CHAOS_SEED", "0"))
+    except ValueError:
+        seed = 0
+    return inject_faults(
+        seed=seed,
+        io_error_rate=io_error,
+        slow_client_rate=slow_client,
+        request_kill_rate=request_kill,
+    )

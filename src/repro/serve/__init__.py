@@ -1,0 +1,42 @@
+"""repro.serve — the overload-safe, self-healing analysis service.
+
+Layers (transport-free core first):
+
+* :mod:`repro.serve.admission` — bounded queue, per-tenant token
+  buckets + budget accounting, and the overload ladder
+  (NORMAL → DEGRADED → SHEDDING);
+* :mod:`repro.serve.breaker` — circuit breaker around the
+  portfolio/backend solve path;
+* :mod:`repro.serve.service` — :class:`AnalysisService`: admission,
+  durable jobs through the batch journal, ladder budgets, graceful
+  drain;
+* :mod:`repro.serve.http` — the asyncio HTTP/1.1 skin
+  (:class:`ReproServer`) and the ``repro serve`` main loop.
+
+The client half lives in :mod:`repro.client` (retry/backoff honoring
+``Retry-After``).
+"""
+
+from .admission import (
+    Admission,
+    AdmissionController,
+    OverloadLevel,
+    TenantPolicy,
+    TokenBucket,
+)
+from .breaker import BreakerState, CircuitBreaker
+from .http import ReproServer
+from .service import AnalysisService, ServeConfig
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "AnalysisService",
+    "BreakerState",
+    "CircuitBreaker",
+    "OverloadLevel",
+    "ReproServer",
+    "ServeConfig",
+    "TenantPolicy",
+    "TokenBucket",
+]

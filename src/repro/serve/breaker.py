@@ -1,0 +1,148 @@
+"""Circuit breaker around the portfolio/backend solve path.
+
+When the solving substrate itself is sick — portfolio workers being
+repeatedly killed and quarantined, the journal disk failing — pushing
+every request into it just burns each request's full deadline on a
+doomed solve.  The breaker converts that failure mode into *fast*
+UNKNOWN answers:
+
+* ``CLOSED``    — healthy; requests solve normally.  ``failure_threshold``
+  consecutive failures trip the breaker.
+* ``OPEN``      — every request short-circuits to an immediate UNKNOWN
+  (the service still answers — a breaker never drops a connection).
+  After ``reset_seconds`` the breaker admits probes.
+* ``HALF_OPEN`` — up to ``probe_limit`` concurrent requests go through
+  as probes; a probe succeeding closes the breaker, a probe failing
+  re-opens it (and restarts the reset clock).
+
+"Failure" is infrastructure, not verdicts: a :class:`SolverFault`
+(worker lost mid-request), a quarantined query, or the write-ahead
+journal degrading.  A VIOLATED verdict is a *successful* analysis.
+
+Thread-safe; the clock is injectable so tests drive transitions
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable
+
+from ..obs import METRICS
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: Gauge encoding, for /metrics: 0 healthy → 2 tripped.
+_STATE_GAUGE = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_seconds: float = 5.0,
+        probe_limit: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.failure_threshold = max(1, failure_threshold)
+        self.reset_seconds = reset_seconds
+        self.probe_limit = max(1, probe_limit)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._failures = 0            # consecutive, while CLOSED
+        self._opened_at = 0.0
+        self._probes = 0              # in-flight, while HALF_OPEN
+        self.trips = 0                # lifetime count, for telemetry
+
+    # ----- observation ------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def describe(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state.value,
+                "consecutive_failures": self._failures,
+                "trips": self.trips,
+            }
+
+    # ----- the gate ---------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May this request enter the solve path?
+
+        OPEN answers False (short-circuit to fast UNKNOWN).  HALF_OPEN
+        admits up to ``probe_limit`` in-flight probes; the caller MUST
+        follow up with :meth:`record_success` or :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN:
+                if self._probes < self.probe_limit:
+                    self._probes += 1
+                    return True
+            return False
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._set_state(BreakerState.HALF_OPEN)
+            self._probes = 0
+
+    # ----- outcomes ---------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes = max(0, self._probes - 1)
+                self._set_state(BreakerState.CLOSED)
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes = max(0, self._probes - 1)
+                self._trip()
+                return
+            if self._state is BreakerState.OPEN:
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self.trips += 1
+        self._failures = 0
+        self._opened_at = self._clock()
+        self._set_state(BreakerState.OPEN)
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_serve_breaker_trips_total")
+
+    def _set_state(self, state: BreakerState) -> None:
+        self._state = state
+        if METRICS.enabled:
+            METRICS.gauge_set(
+                "repro_serve_breaker_state", _STATE_GAUGE[state])

@@ -1,0 +1,302 @@
+"""The asyncio HTTP/1.1 skin over :class:`AnalysisService`.
+
+Stdlib-only: ``asyncio.start_server`` plus a deliberately small
+HTTP/1.1 parser (request line, headers, ``Content-Length`` body).
+Transport-level robustness lives here:
+
+* every read runs under ``read_timeout`` — a slow or wedged client
+  (see the ``slow_client`` chaos hook) costs one connection, answered
+  ``408``, never a held worker or a blocked loop;
+* bodies are capped at ``max_body_bytes`` (``413``);
+* every response carries ``Content-Length`` and ``Connection: close``
+  — no keep-alive state machine to get wrong;
+* rejects surface ``Retry-After`` as a real header, so off-the-shelf
+  clients back off correctly;
+* SIGTERM/SIGINT stop the accept loop first, then
+  :meth:`AnalysisService.drain` cancels in-flight budgets and journals
+  the backlog for ``repro batch resume``.
+
+Routes::
+
+    POST /v1/analyze      submit a Buffy program + query
+    GET  /v1/jobs/<id>    one journaled job's state
+    GET  /healthz         liveness + control-plane counters
+    GET  /readyz          readiness (503 while draining/breaker-open)
+    GET  /metrics         Prometheus text exposition
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Optional
+
+from .service import AnalysisService
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class ReproServer:
+    """One listening socket bound to one :class:`AnalysisService`."""
+
+    def __init__(
+        self,
+        service: AnalysisService,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ):
+        self.service = service
+        cfg = service.config
+        self.host = cfg.host if host is None else host
+        self.port = cfg.port if port is None else port
+        self._server: Optional[asyncio.base_events.Server] = None
+        # Open-connection tasks: a drain must let these finish writing
+        # their terminal answers before the loop goes away.
+        self._conns: set = set()
+        # Background-thread mode (tests): loop + stop event + thread.
+        self._bg_loop: Optional[asyncio.AbstractEventLoop] = None
+        self._bg_stop: Optional[asyncio.Event] = None
+        self._bg_thread: Optional[threading.Thread] = None
+
+    # ----- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and listen; with ``port=0`` the chosen port is published
+        back onto ``self.port``."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting; in-flight handlers run to completion."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _wait_conns(self, timeout: float = 30.0) -> None:
+        """Let open connections finish writing their terminal answers."""
+        conns = [t for t in self._conns if t is not asyncio.current_task()]
+        if conns:
+            await asyncio.wait(conns, timeout=timeout)
+
+    async def serve_until_signalled(self) -> dict:
+        """The ``repro serve`` main: run until SIGTERM/SIGINT, then
+        stop accepting, drain, and return the drain summary.
+
+        Drain order matters: stop the listener (no new admissions),
+        cancel in-flight budgets (solves checkpoint and return), then
+        wait for the open connections — every accepted request still
+        gets its terminal answer before the loop exits.
+        """
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await self.start()
+        await stop.wait()
+        await self.stop()
+        summary = await loop.run_in_executor(None, self.service.drain)
+        await self._wait_conns()
+        return summary
+
+    # ----- background-thread mode (tests, benches) --------------------------
+
+    def start_background(self, timeout: float = 10.0) -> None:
+        """Run the server on its own event-loop thread; returns once
+        listening (``self.port`` is then final)."""
+        started = threading.Event()
+
+        async def _main() -> None:
+            self._bg_stop = asyncio.Event()
+            await self.start()
+            started.set()
+            await self._bg_stop.wait()
+            await self.stop()
+            await self._wait_conns()
+
+        def _run() -> None:
+            self._bg_loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._bg_loop)
+            try:
+                self._bg_loop.run_until_complete(_main())
+            finally:
+                self._bg_loop.close()
+
+        self._bg_thread = threading.Thread(
+            target=_run, name="repro-serve-loop", daemon=True)
+        self._bg_thread.start()
+        if not started.wait(timeout):  # pragma: no cover - startup hang
+            raise RuntimeError("server failed to start listening")
+
+    def stop_background(self, drain: bool = True,
+                        timeout: float = 30.0) -> Optional[dict]:
+        """Stop the background server; optionally drain the service.
+
+        Draining happens while the loop is still alive so that handlers
+        blocked on cancelled solves can resume and answer before the
+        loop shuts down (same ordering as the SIGTERM path).
+        """
+        summary = self.service.drain() if drain else None
+        if self._bg_loop is not None and self._bg_stop is not None:
+            self._bg_loop.call_soon_threadsafe(self._bg_stop.set)
+        if self._bg_thread is not None:
+            self._bg_thread.join(timeout)
+            self._bg_thread = None
+        return summary
+
+    # ----- one connection ---------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        cfg = self.service.config
+        task = asyncio.current_task()
+        if task is not None:
+            self._conns.add(task)
+            task.add_done_callback(self._conns.discard)
+        try:
+            status, headers, body = await self._respond(reader, cfg)
+        except asyncio.TimeoutError:
+            status, headers, body = 408, {}, _json_body(
+                {"error": "request read timed out"})
+        except Exception as exc:  # never a dropped connection
+            status, headers, body = 500, {}, _json_body(
+                {"error": f"internal error: {exc!r}"})
+        try:
+            writer.write(_render(status, headers, body))
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - client gone
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader,
+                       cfg) -> tuple[int, dict, bytes]:
+        # Chaos: a slow client stalls only this connection's read path.
+        chaos = type(self.service)._chaos
+        if chaos is not None:
+            delay = chaos.slow_client_delay()
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+
+        async def read_line() -> bytes:
+            return await asyncio.wait_for(
+                reader.readline(), cfg.read_timeout)
+
+        request_line = (await read_line()).decode("latin-1").strip()
+        if not request_line:
+            return 400, {}, _json_body({"error": "empty request"})
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {}, _json_body(
+                {"error": f"malformed request line: {request_line!r}"})
+        method, target, _version = parts
+
+        headers: dict[str, str] = {}
+        while True:
+            line = (await read_line()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                return 400, {}, _json_body(
+                    {"error": "bad Content-Length"})
+            if n > cfg.max_body_bytes:
+                return 413, {}, _json_body({
+                    "error": f"body exceeds {cfg.max_body_bytes} bytes"})
+            if n:
+                body = await asyncio.wait_for(
+                    reader.readexactly(n), cfg.read_timeout)
+
+        return await self._route(method, target, headers, body)
+
+    # ----- routing ----------------------------------------------------------
+
+    async def _route(self, method: str, target: str, headers: dict,
+                     body: bytes) -> tuple[int, dict, bytes]:
+        service = self.service
+        path = target.split("?", 1)[0]
+
+        if path == "/v1/analyze":
+            if method != "POST":
+                return 405, {"Allow": "POST"}, _json_body(
+                    {"error": "use POST"})
+            try:
+                payload = json.loads(body.decode("utf-8") or "null")
+            except (ValueError, UnicodeDecodeError) as exc:
+                return 400, {}, _json_body(
+                    {"error": f"bad JSON body: {exc}"})
+            tenant = headers.get("x-repro-tenant", "default")
+            status, doc = await service.analyze(payload, tenant=tenant)
+            return status, _retry_header(status, doc), _json_body(doc)
+
+        if path.startswith("/v1/jobs/") and method == "GET":
+            status, doc = service.job_status(path[len("/v1/jobs/"):])
+            return status, {}, _json_body(doc)
+
+        if path == "/healthz" and method == "GET":
+            status, doc = service.health()
+            return status, {}, _json_body(doc)
+
+        if path == "/readyz" and method == "GET":
+            status, doc = service.ready()
+            return status, _retry_header(status, doc), _json_body(doc)
+
+        if path == "/metrics" and method == "GET":
+            text = service.metrics_text()
+            return 200, {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+            }, text.encode("utf-8")
+
+        return 404, {}, _json_body({"error": f"no route for {path!r}"})
+
+
+def _retry_header(status: int, doc: dict) -> dict:
+    if status in (429, 503):
+        retry = doc.get("retry_after", 1)
+        try:
+            seconds = max(1, int(float(retry) + 0.999))
+        except (TypeError, ValueError):
+            seconds = 1
+        return {"Retry-After": str(seconds)}
+    return {}
+
+
+def _json_body(doc: dict) -> bytes:
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _render(status: int, headers: dict, body: bytes) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}"]
+    base = {
+        "Content-Type": "application/json; charset=utf-8",
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    base.update(headers)
+    base["Content-Length"] = str(len(body))
+    for name, value in base.items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body

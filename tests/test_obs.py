@@ -164,6 +164,48 @@ class TestMetrics:
         assert 'repro_span_seconds_bucket{span="parse",le="+Inf"} 1' in text
         assert 'repro_span_seconds_count{span="parse"} 1' in text
 
+    def test_prometheus_help_precedes_type_for_every_family(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.counter_inc("repro_cdcl_decisions_total", 3)
+        registry.gauge_set("repro_serve_queue_depth", 2)
+        registry.observe("repro_serve_request_seconds", 0.01)
+        text = registry.to_prometheus()
+        families = set()
+        for i, line in enumerate(text.splitlines()):
+            if line.startswith("# TYPE "):
+                name = line.split()[2]
+                families.add(name)
+                # The curated docstring (not the fallback) and the
+                # HELP-before-TYPE ordering, for every family.
+                prev = text.splitlines()[i - 1]
+                assert prev.startswith(f"# HELP {name} "), prev
+                assert prev != f"# HELP {name}"
+        assert families == {
+            "repro_cdcl_decisions_total",
+            "repro_serve_queue_depth",
+            "repro_serve_request_seconds",
+        }
+        # Serve-family names carry curated HELP text, not the fallback.
+        assert "# HELP repro_serve_queue_depth repro serve queue depth." \
+            not in text
+
+    def test_prometheus_escapes_labels_and_help(self):
+        from repro.obs.metrics import register_help
+
+        registry = MetricsRegistry()
+        registry.enable()
+        register_help("weird_total", 'line1\nline2 with \\ backslash')
+        registry.counter_inc(
+            "weird_total", tenant='he said "hi"\n\\end')
+        text = registry.to_prometheus()
+        assert "# HELP weird_total line1\\nline2 with \\\\ backslash" in text
+        assert 'tenant="he said \\"hi\\"\\n\\\\end"' in text
+        # The exposition stays line-oriented: no raw newline leaked
+        # into the middle of a series line.
+        for line in text.splitlines():
+            assert line.startswith(("#", "weird_total"))
+
 
 # ----- per-solve vs lifetime CDCL stats (satellite fix) ----------------------
 
@@ -242,6 +284,10 @@ class TestChromeTrace:
         assert "repro_cdcl_propagations_total" in text
         assert "repro_vcs_total" in text
         assert "repro_cache_hit_ratio" in text
+        # Derived gauges get HELP/TYPE too (they are synthesized at
+        # export time, not recorded by the pipeline).
+        assert "# HELP repro_cache_hit_ratio " in text
+        assert "# TYPE repro_cache_hit_ratio gauge" in text
 
 
 # ----- cross-process aggregation (REPRO_JOBS=2) ------------------------------
