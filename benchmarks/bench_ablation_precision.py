@@ -35,7 +35,7 @@ def test_count_query_per_model(benchmark, model, bench_json):
     config = EncodeConfig(
         buffer_model=model, buffer_capacity=6, arrivals_per_step=2
     )
-    backend = SmtBackend(round_robin(2), horizon=HORIZON, config=config)
+    backend = SmtBackend(round_robin(2), steps=HORIZON, config=config)
     result = benchmark.pedantic(
         lambda: backend.find_trace(count_query(backend)),
         rounds=1, iterations=1,
@@ -55,7 +55,7 @@ def test_count_query_per_model(benchmark, model, bench_json):
 def test_ordering_needs_list_model(benchmark):
     list_config = EncodeConfig(buffer_model="list", buffer_capacity=6,
                                arrivals_per_step=2)
-    backend = SmtBackend(round_robin(2), horizon=HORIZON, config=list_config)
+    backend = SmtBackend(round_robin(2), steps=HORIZON, config=list_config)
     query = ordering_fifo(backend, "ob", first_flow=1, second_flow=0)
     result = benchmark.pedantic(
         lambda: backend.find_trace(query), rounds=1, iterations=1
@@ -65,7 +65,7 @@ def test_ordering_needs_list_model(benchmark):
 
     counter_config = EncodeConfig(buffer_model="counter", buffer_capacity=6,
                                   arrivals_per_step=2)
-    counter_backend = SmtBackend(round_robin(2), horizon=HORIZON,
+    counter_backend = SmtBackend(round_robin(2), steps=HORIZON,
                                  config=counter_config)
     with pytest.raises(ValueError):
         ordering_fifo(counter_backend, "ob", first_flow=1, second_flow=0)

@@ -1,10 +1,21 @@
 """Ablation A2 — SAT engine features on Buffy-compiled formulas.
 
 The SMT substrate (our Z3 stand-in) is itself a system under test:
-this ablation measures how the CDCL features — VSIDS decisions,
-Luby restarts, phase saving, clause minimization — and the plain DPLL
-baseline behave on the formulas the Buffy pipeline actually generates
-(the Figure-6 instance at a fixed horizon).
+this ablation measures how the CDCL features — inprocessing (bounded
+variable elimination, subsumption, vivification), VSIDS decisions,
+Luby restarts, phase saving, clause minimization — behave on the
+formulas the Buffy pipeline actually generates (the Figure-6 instance
+at a fixed horizon).
+
+Every variant is expressed through the *public* solver-tuning surface
+(``CDCLConfig.from_options``, the same path as ``--solver-opt
+key=value`` and ``analyze(solver_config=...)``) — the ablation suite
+no longer constructs solver internals directly.
+
+CI gates on this module: ``scripts/check_bench_regression.py``
+compares the emitted ``BENCH_ablation_sat.json`` against the committed
+``BENCH_ablation_sat.baseline.json`` (machine speed is calibrated by
+the ``full`` variant) and fails on a >20% regression.
 """
 
 import pytest
@@ -18,12 +29,18 @@ from repro.smt.terms import mk_le
 HORIZON = 3
 CONFIG = EncodeConfig(buffer_capacity=5, arrivals_per_step=2)
 
+# Variants as {option: value} mappings — the same strings a user would
+# pass with repeated ``--solver-opt`` flags.
 VARIANTS = {
-    "full": CDCLConfig(),
-    "no-vsids": CDCLConfig(use_vsids=False),
-    "no-restarts": CDCLConfig(use_restarts=False),
-    "no-phase-saving": CDCLConfig(use_phase_saving=False),
-    "no-minimization": CDCLConfig(use_minimization=False),
+    "full": {},
+    "no-inprocess": {"use_inprocessing": "off"},
+    "no-elim": {"use_elim": "off"},
+    "no-subsume": {"use_subsume": "off"},
+    "no-vivify": {"use_vivify": "off"},
+    "no-vsids": {"use_vsids": "off"},
+    "no-restarts": {"use_restarts": "off"},
+    "no-phase-saving": {"use_phase_saving": "off"},
+    "no-minimization": {"use_minimization": "off"},
 }
 
 _rows: list[str] = []
@@ -38,7 +55,8 @@ def total_work_query(view):
 @pytest.mark.parametrize("variant", list(VARIANTS))
 def test_sat_feature_ablation(benchmark, variant, bench_json):
     dafny = DafnyBackend(
-        fq_buggy(2), config=CONFIG, sat_config=VARIANTS[variant]
+        fq_buggy(2), config=CONFIG,
+        sat_config=CDCLConfig.from_options(VARIANTS[variant]),
     )
     report = benchmark.pedantic(
         lambda: dafny.verify_monolithic(

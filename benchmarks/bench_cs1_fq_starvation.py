@@ -38,7 +38,7 @@ def starvation_query(backend):
 
 
 def test_cs1_buggy_trace_synthesis(benchmark, bench_budget, bench_json):
-    backend = SmtBackend(fq_buggy(2), horizon=HORIZON, config=CONFIG,
+    backend = SmtBackend(fq_buggy(2), steps=HORIZON, config=CONFIG,
                          budget=bench_budget())
     result = benchmark.pedantic(
         lambda: backend.find_trace(starvation_query(backend)),
@@ -67,7 +67,7 @@ def test_cs1_buggy_trace_synthesis(benchmark, bench_budget, bench_json):
 
 def test_cs1_fixed_scheduler_excludes_starvation(benchmark, bench_budget,
                                                  bench_json):
-    backend = SmtBackend(fq_fixed(2), horizon=HORIZON, config=CONFIG,
+    backend = SmtBackend(fq_fixed(2), steps=HORIZON, config=CONFIG,
                          budget=bench_budget())
     result = benchmark.pedantic(
         lambda: backend.find_trace(starvation_query(backend)),
@@ -84,7 +84,7 @@ def test_cs1_fixed_scheduler_excludes_starvation(benchmark, bench_budget,
 
 
 def test_cs1_workload_synthesis(benchmark, bench_budget, bench_json):
-    fperf = FPerfBackend(fq_buggy(2), horizon=HORIZON, config=CONFIG,
+    fperf = FPerfBackend(fq_buggy(2), steps=HORIZON, config=CONFIG,
                          budget=bench_budget())
     query = starvation(fperf.backend, "ibs[0]", max_service=1)
     result = benchmark.pedantic(

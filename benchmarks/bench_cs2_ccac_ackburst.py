@@ -45,7 +45,7 @@ def _backend(programs=None, capacity=PATH_CAPACITY, horizon=HORIZON,
     )
     if programs:
         progs.update(programs)
-    return NetworkBackend(progs, connections, horizon=horizon,
+    return NetworkBackend(progs, connections, steps=horizon,
                           configs=configs, budget=budget)
 
 

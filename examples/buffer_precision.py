@@ -39,7 +39,7 @@ def main() -> None:
         config = EncodeConfig(
             buffer_model=model, buffer_capacity=6, arrivals_per_step=2
         )
-        backend = SmtBackend(program, horizon=HORIZON, config=config)
+        backend = SmtBackend(program, steps=HORIZON, config=config)
         result = backend.find_trace(count_query(backend))
         stats = result.solver_stats
         answers[model] = result.status
@@ -53,7 +53,7 @@ def main() -> None:
     print("=== order-sensitive query needs the list model ===")
     config = EncodeConfig(buffer_model="list", buffer_capacity=6,
                           arrivals_per_step=2)
-    backend = SmtBackend(program, horizon=HORIZON, config=config)
+    backend = SmtBackend(program, steps=HORIZON, config=config)
     query = ordering_fifo(backend, "ob", first_flow=1, second_flow=0)
     result = backend.find_trace(query)
     print(f"  list model answers the ordering query: {result.status.value}")
@@ -61,7 +61,7 @@ def main() -> None:
 
     config = EncodeConfig(buffer_model="counter", buffer_capacity=6,
                           arrivals_per_step=2)
-    backend = SmtBackend(program, horizon=HORIZON, config=config)
+    backend = SmtBackend(program, steps=HORIZON, config=config)
     try:
         ordering_fifo(backend, "ob", first_flow=1, second_flow=0)
         raise AssertionError("counter model should reject ordering queries")

@@ -42,7 +42,7 @@ def find_ack_burst_loss() -> None:
         delay_steps=1, path_capacity=PATH_CAPACITY
     )
     backend = NetworkBackend(
-        programs, connections, horizon=HORIZON, configs=configs
+        programs, connections, steps=HORIZON, configs=configs
     )
 
     # The ack-burst condition (§6.2: "we use havoc and assume statements

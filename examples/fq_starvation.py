@@ -42,7 +42,7 @@ def simulate() -> None:
 
 def synthesize_trace() -> None:
     print("=== 2. synthesize an adversarial trace (SMT) ===")
-    backend = SmtBackend(fq_buggy(2), horizon=HORIZON, config=CONFIG)
+    backend = SmtBackend(fq_buggy(2), steps=HORIZON, config=CONFIG)
     query = starvation(
         backend, "ibs[0]",
         max_service=1,
@@ -60,7 +60,7 @@ def synthesize_trace() -> None:
 
 def synthesize_workload() -> None:
     print("=== 4. synthesize the workload conditions (FPerf back end) ===")
-    fperf = FPerfBackend(fq_buggy(2), horizon=HORIZON, config=CONFIG)
+    fperf = FPerfBackend(fq_buggy(2), steps=HORIZON, config=CONFIG)
     query = starvation(fperf.backend, "ibs[0]", max_service=1)
     result = fperf.synthesize_by_generalization(query)
     assert result.ok
@@ -70,7 +70,7 @@ def synthesize_workload() -> None:
 
 def verify_fix() -> None:
     print("=== 5. the RFC fix excludes starvation ===")
-    backend = SmtBackend(fq_fixed(2), horizon=HORIZON, config=CONFIG)
+    backend = SmtBackend(fq_fixed(2), steps=HORIZON, config=CONFIG)
     query = starvation(
         backend, "ibs[0]",
         max_service=1,

@@ -56,7 +56,7 @@ def main() -> None:
         assert outcome.verdict is Verdict.PROVED
 
     print("=== 1. SMT back end: bounded trace synthesis ===")
-    smt = SmtBackend(program, horizon=HORIZON, config=CONFIG)
+    smt = SmtBackend(program, steps=HORIZON, config=CONFIG)
     both_served = mk_and(
         mk_le(mk_int(1), smt.deq_count("ibs[0]")),
         mk_le(mk_int(1), smt.deq_count("ibs[1]")),
@@ -67,7 +67,7 @@ def main() -> None:
     assert result.status is Status.SATISFIED
 
     print("=== 2. FPerf back end: workload synthesis ===")
-    fperf = FPerfBackend(program, horizon=HORIZON, config=CONFIG)
+    fperf = FPerfBackend(program, steps=HORIZON, config=CONFIG)
     target = mk_le(mk_int(2), fperf.backend.deq_count("ibs[0]"))
     synth = fperf.synthesize_by_generalization(target)
     assert synth.ok

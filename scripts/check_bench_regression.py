@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_<name>.json run against a committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py CURRENT.json BASELINE.json \
+        [--metric verify_seconds] [--calibrate full] [--threshold 0.20] \
+        [--floor 0.25]
+
+Both files carry the ``bench_json`` schema (``schema_version: 1``,
+``results: [{name, value, unit, labels}, ...]``).  Rows of ``--metric``
+are matched by their ``variant`` label.
+
+CI machines differ in raw speed, so absolute numbers are not
+comparable run-to-run.  The ``--calibrate`` variant (default ``full``)
+anchors the comparison: every baseline number is scaled by
+``current[full] / baseline[full]`` before the threshold test.  The
+calibration variant itself is exempt (it *is* the machine-speed
+estimate); every other variant fails the gate when::
+
+    current > scaled_baseline * (1 + threshold)
+    and (current - scaled_baseline) > floor          # noise floor, s
+
+Exit codes: 0 ok, 1 regression(s), 2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_metric(path: str, metric: str) -> dict[str, float]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if doc.get("schema_version") != 1:
+        print(f"error: {path}: unexpected schema_version"
+              f" {doc.get('schema_version')!r}", file=sys.stderr)
+        raise SystemExit(2)
+    out: dict[str, float] = {}
+    for row in doc.get("results", ()):
+        if row.get("name") != metric:
+            continue
+        variant = (row.get("labels") or {}).get("variant")
+        if variant is not None:
+            out[variant] = float(row["value"])
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="BENCH json from this run")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument("--metric", default="verify_seconds")
+    parser.add_argument("--calibrate", default="full",
+                        help="variant used as the machine-speed anchor")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max allowed relative regression (default 0.20)")
+    parser.add_argument("--floor", type=float, default=0.25,
+                        help="absolute noise floor in metric units; smaller"
+                             " deltas never fail (default 0.25)")
+    args = parser.parse_args(argv)
+
+    current = load_metric(args.current, args.metric)
+    baseline = load_metric(args.baseline, args.metric)
+    if args.calibrate not in current or args.calibrate not in baseline:
+        print(f"error: calibration variant {args.calibrate!r} missing"
+              f" (current: {sorted(current)}, baseline: {sorted(baseline)})",
+              file=sys.stderr)
+        return 2
+
+    scale = current[args.calibrate] / baseline[args.calibrate]
+    print(f"machine-speed calibration ({args.calibrate}):"
+          f" {baseline[args.calibrate]:.3f} -> {current[args.calibrate]:.3f}"
+          f" (x{scale:.2f})")
+
+    failures = []
+    for variant in sorted(baseline):
+        if variant == args.calibrate:
+            continue
+        if variant not in current:
+            failures.append(f"{variant}: missing from current run")
+            continue
+        allowed = baseline[variant] * scale
+        got = current[variant]
+        delta = got - allowed
+        rel = delta / allowed if allowed else float("inf")
+        verdict = "ok"
+        if rel > args.threshold and delta > args.floor:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{variant}: {got:.3f} vs allowed {allowed:.3f}"
+                f" (+{rel * 100:.0f}%)"
+            )
+        print(f"  {variant:<18} current={got:7.3f}"
+              f" baseline(scaled)={allowed:7.3f} ({rel:+7.1%}) {verdict}")
+
+    for variant in sorted(set(current) - set(baseline)):
+        print(f"  {variant:<18} current={current[variant]:7.3f}"
+              " (new variant, not gated)")
+
+    if failures:
+        print("\nbenchmark regressions vs committed baseline:",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

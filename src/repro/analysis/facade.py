@@ -36,6 +36,15 @@ Engine knobs: ``jobs`` (portfolio/VC parallelism, default
 default), ``certify`` (require checker-accepted DRAT certificates for
 UNSAT/VERIFIED answers, default ``$REPRO_CERTIFY``), ``chaos`` and
 ``solver_factory`` (test seams).
+
+Solver tuning: ``solver_config`` accepts either a ready
+:class:`~repro.smt.sat.cdcl.CDCLConfig` or a ``{name: value}`` mapping
+of its fields (string values as parsed from the CLI's ``--solver-opt
+key=value`` are coerced; see ``CDCLConfig.option_names()``)::
+
+    repro.analyze(src, backend="smt", steps=5,
+                  solver_config={"use_inprocessing": False,
+                                 "restart_base": 200})
 """
 
 from __future__ import annotations
@@ -63,6 +72,7 @@ def analyze(
     escalation: Any = None,
     config: Any = None,
     sat_config: Any = None,
+    solver_config: Any = None,
     consts: Optional[dict[str, int]] = None,
     prove: bool = False,
     certify: Optional[bool] = None,
@@ -80,7 +90,8 @@ def analyze(
             program, query, backend=backend, steps=steps, budget=budget,
             jobs=jobs, cache=cache, incremental=incremental, chaos=chaos,
             solver_factory=solver_factory, escalation=escalation,
-            config=config, sat_config=sat_config, consts=consts,
+            config=config, sat_config=sat_config,
+            solver_config=solver_config, consts=consts,
             prove=prove, certify=certify,
         )
 
@@ -96,7 +107,8 @@ def analyze(
                 program, query, backend=backend, steps=steps, budget=budget,
                 jobs=jobs, cache=cache, incremental=incremental, chaos=chaos,
                 solver_factory=solver_factory, escalation=escalation,
-                config=config, sat_config=sat_config, consts=consts,
+                config=config, sat_config=sat_config,
+                solver_config=solver_config, consts=consts,
                 prove=prove, certify=certify,
             )
     finally:
@@ -117,6 +129,27 @@ def analyze_many(programs, **kwargs) -> "list[AnalysisOutcome]":
     return _analyze_many(programs, **kwargs)
 
 
+def resolve_solver_config(sat_config: Any, solver_config: Any) -> Any:
+    """Normalize the public ``solver_config`` knob onto ``sat_config``.
+
+    ``solver_config`` may be a ready ``CDCLConfig`` (exclusive with
+    ``sat_config``) or a ``{name: value}`` option mapping, applied on
+    top of ``sat_config`` when one is given.
+    """
+    if solver_config is None:
+        return sat_config
+    from ..smt.sat.cdcl import CDCLConfig
+
+    if isinstance(solver_config, CDCLConfig):
+        if sat_config is not None:
+            raise ValueError(
+                "pass either 'sat_config' or a CDCLConfig 'solver_config',"
+                " not both"
+            )
+        return solver_config
+    return CDCLConfig.from_options(solver_config, base=sat_config)
+
+
 def _analyze(
     program: Any,
     query: Any = None,
@@ -132,6 +165,7 @@ def _analyze(
     escalation: Any = None,
     config: Any = None,
     sat_config: Any = None,
+    solver_config: Any = None,
     consts: Optional[dict[str, int]] = None,
     prove: bool = False,
     certify: Optional[bool] = None,
@@ -146,6 +180,7 @@ def _analyze(
 
         program = check_program(parse_program(program, consts=consts))
 
+    sat_config = resolve_solver_config(sat_config, solver_config)
     knobs = dict(
         config=config, sat_config=sat_config, budget=budget,
         escalation=escalation, chaos=chaos, solver_factory=solver_factory,

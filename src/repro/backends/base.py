@@ -19,6 +19,7 @@ underneath (:mod:`repro.engine`) decides *how*.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 from ..runtime.budget import Budget
@@ -40,20 +41,32 @@ def resolve_legacy_names(
     """Merge the normalized (``program``/``steps``) and legacy
     (``checked``/``horizon``) constructor spellings.
 
-    Either spelling may be used, not both; the legacy keywords are kept
-    as deprecated shims so existing call sites and tests stay valid.
+    Either spelling may be used, not both.  The legacy keywords emit a
+    :class:`DeprecationWarning` and will be removed one release after
+    the normalized surface shipped (see DESIGN.md, "Constructor
+    normalization").
     """
     if checked is not None:
         if program is not None:
             raise TypeError(
                 f"{owner}: pass either 'program' or legacy 'checked', not both"
             )
+        warnings.warn(
+            f"{owner}: the 'checked=' keyword is deprecated; "
+            "pass 'program=' (or positionally) instead",
+            DeprecationWarning, stacklevel=3,
+        )
         program = checked
     if horizon is not None:
         if steps is not None:
             raise TypeError(
                 f"{owner}: pass either 'steps' or legacy 'horizon', not both"
             )
+        warnings.warn(
+            f"{owner}: the 'horizon=' keyword is deprecated; "
+            "pass 'steps=' instead",
+            DeprecationWarning, stacklevel=3,
+        )
         steps = horizon
     return program, steps
 
@@ -103,13 +116,24 @@ class AnalysisBackend:
         self.incremental = incremental
         self.certify = certify
 
-    # ``checked`` stays readable on every back end (legacy attribute).
+    # ``checked`` stays readable/writable for one release (legacy
+    # attribute alias of ``program``); both directions warn.
     @property
     def checked(self) -> Any:
+        warnings.warn(
+            f"{type(self).__name__}.checked is deprecated; "
+            "use .program instead",
+            DeprecationWarning, stacklevel=2,
+        )
         return self.program
 
     @checked.setter
     def checked(self, value: Any) -> None:
+        warnings.warn(
+            f"{type(self).__name__}.checked is deprecated; "
+            "use .program instead",
+            DeprecationWarning, stacklevel=2,
+        )
         self.program = value
 
     # ----- engine-aware solver construction ---------------------------------

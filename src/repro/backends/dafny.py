@@ -168,7 +168,8 @@ class DafnyBackend(AnalysisBackend):
 
     Normalized constructor: ``DafnyBackend(program, *, budget=...,
     chaos=..., solver_factory=..., jobs=..., cache=...)``; the legacy
-    ``checked=`` keyword remains as a shim.  All VCs sharing one
+    ``checked=`` keyword remains for one release and emits a
+    ``DeprecationWarning``.  All VCs sharing one
     symbolic machine are discharged against **one** incremental solver
     (the machine is bit-blasted once, each negated goal rides as a
     check-time assumption), and with ``jobs > 1`` independent VCs of a
@@ -511,7 +512,7 @@ class DafnyBackend(AnalysisBackend):
         transformation §6.1 describes, and the per-VC formulas grow
         with the horizon.
         """
-        machine = SymbolicMachine(self.checked, self.config,
+        machine = SymbolicMachine(self.program, self.config,
                                   budget=self.budget)
         report = DafnyReport()
         try:
@@ -554,12 +555,12 @@ class DafnyBackend(AnalysisBackend):
 
         # (1) initiation: the freshly initialized machine has no
         # variables in its state, so the invariant must be valid as-is.
-        init_machine = SymbolicMachine(self.checked, self.config)
+        init_machine = SymbolicMachine(self.program, self.config)
         init_goal = invariant(StateView(init_machine))
         report.vcs.append(self._discharge("init", init_machine, init_goal))
 
         # (2) consecution: havoc state, assume the invariant, run one step.
-        step_machine = SymbolicMachine(self.checked, self.config,
+        step_machine = SymbolicMachine(self.program, self.config,
                                        budget=self.budget)
         step_machine.havoc_state(value_range=value_range, stat_bound=stat_bound)
         step_machine.assumptions.append(invariant(StateView(step_machine)))
@@ -573,7 +574,7 @@ class DafnyBackend(AnalysisBackend):
 
         # (3) property: invariant implies each query at the boundary.
         for name, query in queries:
-            query_machine = SymbolicMachine(self.checked, self.config)
+            query_machine = SymbolicMachine(self.program, self.config)
             query_machine.havoc_state(
                 value_range=value_range, stat_bound=stat_bound
             )
@@ -594,7 +595,7 @@ class DafnyBackend(AnalysisBackend):
     ) -> DafnyReport:
         """Check a procedure's body against its requires/ensures contract."""
         proc = self._find_procedure(name)
-        machine = SymbolicMachine(self.checked, self.config)
+        machine = SymbolicMachine(self.program, self.config)
         machine.havoc_state(value_range=value_range, stat_bound=stat_bound)
         env = self._havoc_params(machine, proc, value_range)
         executor = _Executor(machine, env)
@@ -611,10 +612,10 @@ class DafnyBackend(AnalysisBackend):
         return report
 
     def _find_procedure(self, name: str) -> Procedure:
-        for proc in self.checked.program.procedures:
+        for proc in self.program.program.procedures:
             if proc.name == name:
                 return proc
-        raise KeyError(f"no procedure {name!r} in {self.checked.name}")
+        raise KeyError(f"no procedure {name!r} in {self.program.name}")
 
     def _havoc_params(self, machine: SymbolicMachine, proc: Procedure,
                       value_range: tuple[int, int]) -> dict:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -40,6 +41,7 @@ from ..analysis.workloads import (
     Workload,
     exact_characterization,
 )
+from ..backends.base import resolve_legacy_names
 from ..backends.smt_backend import SmtBackend, Status
 from ..buffers.packets import Packet
 from ..compiler.symexec import EncodeConfig
@@ -130,6 +132,8 @@ class FPerfBackend:
         horizon: Optional[int] = None,
     ):
         self.budget = budget
+        program, steps = resolve_legacy_names(program, steps, checked,
+                                              horizon, "FPerfBackend")
         self.backend = SmtBackend(
             program, steps, config=config, sat_config=sat_config,
             validate_models=validate_models, budget=budget,
@@ -137,14 +141,22 @@ class FPerfBackend:
             solver_factory=solver_factory, jobs=jobs, cache=cache,
             incremental=True if incremental is None else incremental,
             certify=certify,
-            checked=checked, horizon=horizon,
         )
-        self.checked = self.backend.program
+        self.program = self.backend.program
         self.horizon = self.backend.horizon
         self.machine = self.backend.machine
         self.labels = self.machine.input_buffer_labels()
         # Report from the most recent UNKNOWN solver answer (if any).
         self._last_report: Optional[ResourceReport] = None
+
+    # Legacy attribute alias (one release of compatibility).
+    @property
+    def checked(self) -> CheckedProgram:
+        warnings.warn(
+            "FPerfBackend.checked is deprecated; use .program instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.program
 
     # ----- budget plumbing ------------------------------------------------------
 

@@ -248,7 +248,7 @@ class HoudiniSynthesizer(AnalysisBackend):
         dropped: list[tuple[str, str]] = []
 
         # ---- stage 0: build the one-step transition with pre/post terms.
-        machine = SymbolicMachine(self.checked, self.config,
+        machine = SymbolicMachine(self.program, self.config,
                                   budget=self.budget)
         if candidates is None:
             candidates = default_grammar(machine)
@@ -267,7 +267,7 @@ class HoudiniSynthesizer(AnalysisBackend):
         post_terms = {c.name: c.build(post_view) for c in candidates}
 
         # ---- stage 1: drop candidates false in the (ground) initial state.
-        init_machine = SymbolicMachine(self.checked, self.config)
+        init_machine = SymbolicMachine(self.program, self.config)
         init_view = StateView(init_machine)
         surviving: list[Candidate] = []
         for cand in candidates:

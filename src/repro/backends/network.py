@@ -20,7 +20,7 @@ from ..smt.model import Model
 from ..smt.sat.cdcl import CDCLConfig
 from ..smt.solver import CheckResult, SmtSolver, governed_check
 from ..smt.terms import Term, mk_not, mk_or
-from .base import AnalysisBackend
+from .base import AnalysisBackend, resolve_legacy_names
 from .smt_backend import CounterexampleTrace, Status, VerificationResult
 
 
@@ -29,8 +29,8 @@ class NetworkBackend(AnalysisBackend):
 
     Carries the same normalized keyword tail as the other back ends
     (``budget`` / ``chaos`` / ``solver_factory`` / ``jobs`` / ``cache``
-    / ``incremental``); ``steps`` is the legacy ``horizon`` (third
-    positional argument, kept in place).
+    / ``incremental``); the legacy ``horizon=`` keyword remains for
+    one release and emits a ``DeprecationWarning``.
     """
 
     def __init__(
@@ -52,13 +52,8 @@ class NetworkBackend(AnalysisBackend):
         incremental: Optional[bool] = None,
         horizon: Optional[int] = None,
     ):
-        if horizon is not None:
-            if steps is not None:
-                raise TypeError(
-                    "NetworkBackend: pass either 'steps' or legacy"
-                    " 'horizon', not both"
-                )
-            steps = horizon
+        _, steps = resolve_legacy_names(None, steps, None, horizon,
+                                        "NetworkBackend")
         if steps is None or steps <= 0:
             raise ValueError("horizon must be positive")
         super().__init__(

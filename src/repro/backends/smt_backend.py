@@ -120,9 +120,9 @@ class VerificationResult:
             "elapsed_seconds": self.elapsed_seconds,
         }
         if self.solver_stats is not None:
-            stats["conflicts"] = self.solver_stats.sat.conflicts
-            stats["attempts"] = self.solver_stats.attempts
-            stats["cache_hit"] = self.solver_stats.cache_hit
+            # The unified flat schema from repro.smt.stats — the same
+            # names the metrics families and `repro stats` report.
+            stats.update(self.solver_stats.as_dict())
         return AnalysisOutcome(
             verdict=verdict,
             witness=self.counterexample,

@@ -175,6 +175,38 @@ def _budget_from(args):
     return Budget(deadline_seconds=args.timeout)
 
 
+def _sat_config(args):
+    """Build a CDCLConfig from repeated ``--solver-opt key=value`` flags.
+
+    ``--solver-opt help`` lists the available knobs and exits.  Parse
+    or coercion errors exit with EXIT_ERROR (the verdict codes 0-6 are
+    reserved for analysis results).
+    """
+    opts = getattr(args, "solver_opt", None)
+    if not opts:
+        return None
+    from .smt.sat.cdcl import CDCL_OPTION_HELP, CDCLConfig
+
+    mapping = {}
+    for item in opts:
+        if item in ("help", "list"):
+            width = max(len(n) for n in CDCL_OPTION_HELP)
+            for name, text in sorted(CDCL_OPTION_HELP.items()):
+                print(f"  {name:<{width}}  {text}")
+            raise SystemExit(0)
+        if "=" not in item:
+            print(f"error: --solver-opt expects key=value, got {item!r}"
+                  " (try --solver-opt help)", file=sys.stderr)
+            raise SystemExit(EXIT_ERROR)
+        key, value = item.split("=", 1)
+        mapping[key] = value
+    try:
+        return CDCLConfig.from_options(mapping)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(EXIT_ERROR)
+
+
 def cmd_verify(args) -> int:
     snapshot = None
     wanted = _telemetry_wanted(args)
@@ -184,9 +216,11 @@ def cmd_verify(args) -> int:
         obs.reset()
         obs.enable()
     try:
+        sat_config = _sat_config(args)  # before load: --solver-opt help exits
         checked = _load(args.file, args.define)
         backend = SmtBackend(
-            checked, horizon=args.horizon, config=_config(args),
+            checked, steps=args.horizon, config=_config(args),
+            sat_config=sat_config,
             budget=_budget_from(args), jobs=args.jobs,
             certify=args.certify or None,
         )
@@ -211,6 +245,7 @@ def cmd_verify(args) -> int:
 def cmd_analyze(args) -> int:
     from .analysis.facade import analyze
 
+    solver_config = _sat_config(args)  # before I/O: --solver-opt help exits
     with open(args.file) as handle:
         source = handle.read()
     outcome = analyze(
@@ -220,6 +255,7 @@ def cmd_analyze(args) -> int:
         budget=_budget_from(args),
         jobs=args.jobs,
         config=_config(args),
+        solver_config=solver_config,
         consts=_parse_defines(args.define),
         prove=args.prove,
         certify=args.certify or None,
@@ -354,7 +390,7 @@ def cmd_smtlib(args) -> int:
     from .smt.smtlib import to_smtlib
 
     checked = _load(args.file, args.define)
-    backend = SmtBackend(checked, horizon=args.horizon, config=_config(args))
+    backend = SmtBackend(checked, steps=args.horizon, config=_config(args))
     bounds = dict(backend.machine.bounds)
     formulas = list(backend.machine.assumptions)
     formulas.extend(ob.formula for ob in backend.machine.obligations)
@@ -408,6 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="solver processes for the parallel portfolio"
                             " (default $REPRO_JOBS or 1)")
+        p.add_argument("--solver-opt", action="append", default=[],
+                       dest="solver_opt", metavar="KEY=VALUE",
+                       help="tune a CDCL solver knob (repeatable);"
+                            " '--solver-opt help' lists the knobs")
 
     def certify_opt(p):
         p.add_argument("--certify", action="store_true",

@@ -113,15 +113,9 @@ def _chaos_should_crash(chaos, task_id: int, slot: int, attempt: int) -> bool:
 
 
 def _stats_tuple(stats: SatStats) -> tuple:
-    return (
-        stats.decisions,
-        stats.conflicts,
-        stats.propagations,
-        stats.restarts,
-        stats.learned,
-        stats.deleted,
-        stats.minimized_lits,
-    )
+    # Positional wire form; SatStats owns the field order so new
+    # counters cannot silently desynchronize the two ends.
+    return stats.to_tuple()
 
 
 def _worker_telemetry_begin(enabled: bool) -> None:
@@ -599,7 +593,7 @@ class PortfolioPool:
                 # Fold the worker's span/metric delta into this process.
                 TRACER.merge(telem["spans"])
                 METRICS.merge(telem["metrics"])
-            stats = SatStats(*stats_t)
+            stats = SatStats.from_tuple(stats_t)
             if verdict == "sat":
                 slots[slot] = SlotResult(SatResult.SAT, payload, None, stats)
             elif verdict == "unsat":

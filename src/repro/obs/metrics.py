@@ -46,6 +46,15 @@ _HELP: dict[str, str] = {
     "repro_cdcl_minimized_lits_total":
         "Literals removed by learned-clause minimization.",
     "repro_cdcl_restarts_total": "CDCL restarts.",
+    "repro_cdcl_inprocessings_total":
+        "Inprocessing rounds (subsumption/vivification/elimination).",
+    "repro_cdcl_subsumed_total": "Clauses removed by subsumption.",
+    "repro_cdcl_strengthened_total":
+        "Clauses strengthened by self-subsumption.",
+    "repro_cdcl_eliminated_total":
+        "Variables removed by bounded variable elimination.",
+    "repro_cdcl_vivified_lits_total":
+        "Literals removed by clause vivification.",
     "repro_solver_checks_total": "SmtSolver.check() calls, by result.",
     "repro_vcs_total": "Verification conditions discharged.",
     # incremental engine

@@ -1,28 +1,48 @@
-"""A conflict-driven clause-learning (CDCL) SAT solver.
+"""A conflict-driven clause-learning (CDCL) SAT solver on a flat clause arena.
 
 This is the decision engine at the bottom of the reproduction's SMT
-stack (the paper uses Z3; we build the solver ourselves).  The design
-follows MiniSat:
+stack (the paper uses Z3; we build the solver ourselves).  The search
+follows MiniSat/Glucose; the storage layer does not:
 
-* two-watched-literal unit propagation,
-* first-UIP conflict analysis with clause minimization,
-* VSIDS (exponential) variable activities with phase saving,
-* Luby-sequence restarts,
-* activity-based learned-clause database reduction,
-* solving under assumptions, with unsat-core extraction over them.
+* clauses live in one flat literal arena (``_ar``) addressed by integer
+  clause ids with parallel header lists (offset, size, learnt flag,
+  LBD, activity, dead flag) — no per-clause Python objects,
+* truth values are literal-indexed (slot ``2v`` for ``v``, ``2v+1`` for
+  ``-v``), so the hot loops never call ``abs()`` or flip signs,
+* watch lists are flat interleaved ``[cid, blocker, cid, blocker, ...]``
+  lists keyed by literal index,
+* binary clauses bypass the watch machinery entirely through direct
+  implication lists ``[implied_lit, cid, ...]``,
+* learned-clause DB reduction is LBD (glue) based with arena
+  compaction, not activity based,
+* inprocessing runs between restarts: root-level clause strengthening,
+  subsumption/self-subsumption, clause vivification, and SatELite-style
+  bounded variable elimination (with model extension and on-demand
+  variable reintroduction for incremental sessions).
 
+Search features: two-watched-literal propagation, first-UIP conflict
+analysis with clause minimization, VSIDS with phase saving, Luby
+restarts, solving under assumptions with unsat-core extraction.
 Individual features can be switched off through :class:`CDCLConfig`,
 which the SAT ablation benchmark (experiment A2 in DESIGN.md) uses.
+
+Proof logging stays sound under inprocessing because every derived
+clause (resolvent, strengthened clause, vivified clause) is a reverse
+unit propagation (RUP) consequence of clauses alive when it is logged,
+and the solver never logs deletions for irredundant clauses — the
+checker keeping extra clauses can only make *more* additions pass, so
+deletions remain a performance matter, never a soundness one.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 from ..cnf import CNF
+from ..stats import SatStats
 from ...obs import METRICS
 
 if TYPE_CHECKING:  # avoid a runtime ↔ smt import cycle; Budget is duck-typed
@@ -36,41 +56,124 @@ class SatResult(enum.Enum):
     UNKNOWN = "unknown"
 
 
+#: One-line help per public tuning knob, surfaced by ``--solver-opt help``.
+CDCL_OPTION_HELP = {
+    "use_vsids": "VSIDS decision heuristic (else first unassigned var)",
+    "use_restarts": "Luby restarts",
+    "use_phase_saving": "remember last polarity per variable",
+    "use_minimization": "learned-clause self-subsumption minimization",
+    "use_inprocessing": "inprocessing between restarts (master switch)",
+    "use_subsume": "subsumption/self-subsumption during inprocessing",
+    "use_vivify": "clause vivification during inprocessing",
+    "use_elim": "bounded variable elimination during inprocessing",
+    "restart_base": "conflicts per Luby restart unit",
+    "var_decay": "VSIDS activity decay factor",
+    "clause_decay": "learned-clause activity decay factor",
+    "max_learnts_frac": "legacy activity-reduction knob (unused)",
+    "max_conflicts": "per-solve conflict cap (none = unlimited)",
+    "lbd_keep": "learned clauses with LBD <= this are never deleted",
+    "reduce_base": "conflicts before the first DB reduction",
+    "reduce_inc": "extra conflicts between successive reductions",
+    "inprocess_interval": "conflicts between inprocessing rounds",
+    "elim_occ_limit": "skip elimination of vars with more occurrences",
+    "elim_growth": "max extra clauses an elimination may add",
+    "elim_lit_limit": "skip resolvents longer than this",
+    "vivify_ticks": "propagation budget per vivification round",
+}
+
+
 @dataclass
 class CDCLConfig:
-    """Feature switches and tuning constants for :class:`CDCLSolver`."""
+    """Feature switches and tuning constants for :class:`CDCLSolver`.
+
+    Every field is a public tuning knob: :meth:`from_options` builds a
+    config from ``key=value`` strings (the CLI's ``--solver-opt``) and
+    :func:`repro.analyze`'s ``solver_config=`` accepts either an
+    instance or such a mapping.
+    """
 
     use_vsids: bool = True
     use_restarts: bool = True
     use_phase_saving: bool = True
     use_minimization: bool = True
-    restart_base: int = 100
+    use_inprocessing: bool = True
+    use_subsume: bool = True
+    use_vivify: bool = True
+    use_elim: bool = True
+    restart_base: int = 200
     var_decay: float = 0.95
     clause_decay: float = 0.999
+    # Retained for one release of config compatibility: the arena solver
+    # reduces by LBD on a conflict schedule, so this knob is ignored.
     max_learnts_frac: float = 0.35
     max_conflicts: Optional[int] = None
+    lbd_keep: int = 2
+    reduce_base: int = 1000
+    reduce_inc: int = 300
+    inprocess_interval: int = 1000
+    elim_occ_limit: int = 10
+    elim_growth: int = 0
+    elim_lit_limit: int = 24
+    vivify_ticks: int = 120_000
+
+    @classmethod
+    def option_names(cls) -> list[str]:
+        return [f.name for f in fields(cls)]
+
+    @classmethod
+    def from_options(
+        cls,
+        options: Mapping[str, object],
+        base: Optional["CDCLConfig"] = None,
+    ) -> "CDCLConfig":
+        """Build a config from a ``{name: value}`` mapping.
+
+        Values may be strings (as parsed from ``--solver-opt key=value``)
+        or already-typed Python values.  Unknown names raise
+        :class:`ValueError` listing the valid knobs; boolean fields
+        accept ``1/0, true/false, yes/no, on/off``.
+        """
+        cfg = base if base is not None else cls()
+        types = {f.name: str(f.type) for f in fields(cls)}
+        updates = {}
+        for key, raw in options.items():
+            name = key.strip().replace("-", "_")
+            if name not in types:
+                raise ValueError(
+                    f"unknown solver option {key!r}; valid options: "
+                    + ", ".join(sorted(types))
+                )
+            updates[name] = _coerce_option(name, types[name], raw)
+        return replace(cfg, **updates)
 
 
-@dataclass
-class SatStats:
-    """Counters exposed for benchmarks and tests."""
+def _coerce_option(name: str, type_str: str, raw: object):
+    """Coerce one ``--solver-opt`` value to its CDCLConfig field type."""
+    if not isinstance(raw, str):
+        return raw
+    text = raw.strip().lower()
+    if "bool" in type_str:
+        if text in ("1", "true", "yes", "on"):
+            return True
+        if text in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"solver option {name!r} expects a boolean, got {raw!r}")
+    if "Optional[int]" in type_str or "int | None" in type_str:
+        if text in ("none", "null", ""):
+            return None
+        return int(text)
+    try:
+        if "float" in type_str:
+            return float(text)
+        return int(text)
+    except ValueError as exc:
+        raise ValueError(
+            f"solver option {name!r} expects {type_str}, got {raw!r}"
+        ) from exc
 
-    decisions: int = 0
-    conflicts: int = 0
-    propagations: int = 0
-    restarts: int = 0
-    learned: int = 0
-    deleted: int = 0
-    minimized_lits: int = 0
 
-    def snapshot(self) -> "SatStats":
-        return SatStats(**vars(self))
-
-    def diff(self, earlier: "SatStats") -> "SatStats":
-        """Per-call view: this snapshot minus an ``earlier`` one."""
-        return SatStats(**{
-            k: v - getattr(earlier, k) for k, v in vars(self).items()
-        })
+# SatStats lives in repro.smt.stats (the unified schema); re-exported
+# here because this was its historical home.
 
 
 def _luby(i: int) -> int:
@@ -88,15 +191,6 @@ def _luby(i: int) -> int:
     return 1 << seq
 
 
-class _Clause:
-    __slots__ = ("lits", "learnt", "activity")
-
-    def __init__(self, lits: list[int], learnt: bool):
-        self.lits = lits
-        self.learnt = learnt
-        self.activity = 0.0
-
-
 _UNASSIGNED = 0
 
 
@@ -110,6 +204,15 @@ class CDCLSolver:
         result = solver.solve()
         if result is SatResult.SAT:
             model = solver.model()   # model[v] in {True, False}, 1-indexed
+
+    Internally a literal ``l`` is addressed by its *index*
+    ``2v`` (positive) or ``2v+1`` (negative), computed inline as
+    ``(l+l) if l > 0 else (1-l-l)``; ``index ^ 1`` is the negation.
+    The arena, watch/implication lists, trail, and learnt clauses all
+    hold indices — signed DIMACS literals exist only at the public
+    API, proof-log, and checkpoint boundaries (``index >> 1`` is the
+    variable, ``index & 1`` the polarity), so the hot loops never
+    branch on literal sign.
     """
 
     def __init__(self, num_vars: int = 0, config: Optional[CDCLConfig] = None,
@@ -117,8 +220,8 @@ class CDCLSolver:
                  proof: Optional["ProofLog"] = None):
         self.config = config or CDCLConfig()
         self.budget = budget
-        # Optional DRAT-style proof log: every learned clause, every
-        # learned-clause deletion, and the empty clause on root-level
+        # Optional DRAT-style proof log: every learned/derived clause,
+        # every learned-clause deletion, and the empty clause on root
         # unsatisfiability.  Checked by repro.trust.drat independently.
         self.proof = proof
         # Populated when solve() answers UNKNOWN: a ResourceReport when a
@@ -131,16 +234,35 @@ class CDCLSolver:
         self.stats = SatStats()
         self.last_stats = SatStats()
         self.num_vars = 0
+        # Literal-indexed truth values: slot 2v is the value of literal
+        # v, slot 2v+1 of -v (+1 true, -1 false, 0 unassigned).
+        self._vals: list[int] = [0, 0]
         # Per-variable state (1-indexed; slot 0 unused).
-        self._value: list[int] = [0]        # +1 true, -1 false, 0 unassigned
         self._level: list[int] = [0]
-        self._reason: list[Optional[_Clause]] = [None]
+        self._reason: list[int] = [-1]      # clause id, -1 = no reason
         self._activity: list[float] = [0.0]
         self._phase: list[bool] = [False]
-        # Watches keyed by literal index (2v for v, 2v+1 for -v).
-        self._watches: list[list[_Clause]] = [[], []]
-        self._clauses: list[_Clause] = []
-        self._learnts: list[_Clause] = []
+        self._seen: list[int] = [0]         # analysis scratch marks
+        self._eliminated: list[int] = [0]
+        # Watches keyed by literal index: flat [cid, blocker, ...] — the
+        # clauses to visit when that literal becomes true (they watch
+        # its negation).  Binary clauses use direct implication lists
+        # [implied_lit, cid, ...] instead and never enter the watches.
+        self._watches: list[list[int]] = [[], []]
+        self._bins: list[list[int]] = [[], []]
+        # The clause arena: one flat literal buffer plus parallel header
+        # lists indexed by clause id.  The two watched literals of a
+        # live clause are always at arena positions start and start+1.
+        self._ar: list[int] = []
+        self._c_start: list[int] = []
+        self._c_size: list[int] = []
+        self._c_learnt: list[int] = []
+        self._c_lbd: list[int] = []
+        self._c_act: list[float] = []
+        self._c_dead: list[int] = []
+        self._free_lits = 0                 # garbage literals in the arena
+        self._n_irr = 0                     # live irredundant clauses
+        self._n_learnt = 0                  # live learned clauses
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
@@ -149,7 +271,13 @@ class CDCLSolver:
         self._ok = True
         self._conflict_assumptions: list[int] = []
         # Max-activity heap with lazy (stale-entry) deletion.
+        # _heap_act[v] is the priority of v's live heap entry (-1.0 when
+        # v has none): backtrack pushes only when the activity actually
+        # rose, and _decide drops entries whose stored priority no
+        # longer matches — so duplicates die on first pop instead of
+        # being requeued, keeping the heap near the unassigned-var count.
         self._heap: list[tuple[float, int]] = []
+        self._heap_act: list[float] = [-1.0]
         # Where the next solve() resumes the Luby restart sequence.
         # 0 for fresh solvers; restore_state() advances it so a resumed
         # search continues the interrupted solve's restart schedule.
@@ -159,6 +287,15 @@ class CDCLSolver:
         self._restart_count = 0
         # Learned clauses re-installed by restore_state(), for telemetry.
         self.restored_learnts = 0
+        # Bounded variable elimination bookkeeping: the stack holds
+        # (var, removed clauses) frames in elimination order; model()
+        # extends assignments in reverse, and reintroduction replays a
+        # suffix when an eliminated variable is mentioned again.
+        self._elim_stack: list[tuple[int, list[list[int]]]] = []
+        self._conflicts_at_reduce = 0
+        self._reduce_fuel = self.config.reduce_base
+        self._conflicts_at_inprocess = 0
+        self._inprocessed_once = False
         self._ensure_vars(num_vars)
 
     # ----- problem construction -------------------------------------------
@@ -166,13 +303,19 @@ class CDCLSolver:
     def _ensure_vars(self, n: int) -> None:
         while self.num_vars < n:
             self.num_vars += 1
-            self._value.append(_UNASSIGNED)
+            self._vals.append(0)
+            self._vals.append(0)
             self._level.append(0)
-            self._reason.append(None)
+            self._reason.append(-1)
             self._activity.append(0.0)
             self._phase.append(False)
+            self._seen.append(0)
+            self._eliminated.append(0)
             self._watches.append([])
             self._watches.append([])
+            self._bins.append([])
+            self._bins.append([])
+            self._heap_act.append(0.0)
             heapq.heappush(self._heap, (0.0, self.num_vars))
 
     def new_var(self) -> int:
@@ -183,53 +326,158 @@ class CDCLSolver:
     def _idx(lit: int) -> int:
         return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
 
+    @staticmethod
+    def _to_signed(lits: Iterable[int]) -> list[int]:
+        """Literal indices back to DIMACS literals (proof/API boundary)."""
+        return [-(q >> 1) if q & 1 else (q >> 1) for q in lits]
+
     def _lit_value(self, lit: int) -> int:
-        v = self._value[abs(lit)]
-        return v if lit > 0 else -v
+        return self._vals[(lit + lit) if lit > 0 else (1 - lit - lit)]
 
     def _log_empty(self) -> None:
         """Log the empty clause: the proof's terminal refutation step."""
         if self.proof is not None:
             self.proof.add(())
 
+    # ----- clause arena -----------------------------------------------------
+
+    def _alloc(self, lits: list[int], learnt: bool, lbd: int = 0) -> int:
+        """Append a clause of literal *indices* to the arena."""
+        cid = len(self._c_start)
+        self._c_start.append(len(self._ar))
+        self._c_size.append(len(lits))
+        self._c_learnt.append(1 if learnt else 0)
+        self._c_lbd.append(lbd)
+        self._c_act.append(0.0)
+        self._c_dead.append(0)
+        self._ar.extend(lits)
+        if learnt:
+            self._n_learnt += 1
+        else:
+            self._n_irr += 1
+        return cid
+
+    def _clause_lits(self, cid: int) -> list[int]:
+        """A clause's literals as signed DIMACS values (export boundary)."""
+        s = self._c_start[cid]
+        return self._to_signed(self._ar[s:s + self._c_size[cid]])
+
+    def _clause_idxs(self, cid: int) -> list[int]:
+        s = self._c_start[cid]
+        return self._ar[s:s + self._c_size[cid]]
+
+    def _attach(self, cid: int) -> None:
+        s = self._c_start[cid]
+        a = self._ar[s]
+        b = self._ar[s + 1]
+        if self._c_size[cid] == 2:
+            self._bins[a ^ 1].extend((b, cid))
+            self._bins[b ^ 1].extend((a, cid))
+        else:
+            self._watches[a ^ 1].extend((cid, b))
+            self._watches[b ^ 1].extend((cid, a))
+
+    def _detach(self, cid: int) -> None:
+        s = self._c_start[cid]
+        a = self._ar[s]
+        b = self._ar[s + 1]
+        if self._c_size[cid] == 2:
+            self._pair_remove(self._bins[a ^ 1], cid, 1)
+            self._pair_remove(self._bins[b ^ 1], cid, 1)
+        else:
+            self._pair_remove(self._watches[a ^ 1], cid, 0)
+            self._pair_remove(self._watches[b ^ 1], cid, 0)
+
+    @staticmethod
+    def _pair_remove(flat: list[int], cid: int, slot: int) -> None:
+        """Remove the (pair-aligned) entry whose ``slot`` element is cid."""
+        for k in range(slot, len(flat), 2):
+            if flat[k] == cid:
+                base = k - slot
+                flat[base] = flat[-2]
+                flat[base + 1] = flat[-1]
+                del flat[-2:]
+                return
+
+    def _kill(self, cid: int) -> None:
+        """Mark a clause dead; caller must have detached it already."""
+        if self._c_dead[cid]:
+            return
+        self._c_dead[cid] = 1
+        self._free_lits += self._c_size[cid]
+        if self._c_learnt[cid]:
+            self._n_learnt -= 1
+        else:
+            self._n_irr -= 1
+
+    def _remove_clause(self, cid: int) -> None:
+        """Detach + kill, logging the deletion only for learned clauses.
+
+        Irredundant deletions are deliberately *not* logged: the DRAT
+        checker keeping them is sound (extra clauses only help RUP),
+        and it keeps reintroduction after variable elimination honest.
+        """
+        if self._c_dead[cid]:
+            return
+        if self.proof is not None and self._c_learnt[cid]:
+            self.proof.delete(self._clause_lits(cid))
+        self._detach(cid)
+        self._kill(cid)
+
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula became trivially unsat."""
         if not self._ok:
             return False
-        clause: list[int] = []
-        seen: set[int] = set()
+        lits = list(lits)
         for lit in lits:
             if lit == 0:
                 raise ValueError("0 is not a valid literal")
-            self._ensure_vars(abs(lit))
+            self._ensure_vars(-lit if lit < 0 else lit)
+        if self._elim_stack:
+            # A new clause may mention variables a previous inprocessing
+            # round eliminated; reintroduce them (in reverse elimination
+            # order) before the clause joins the database.
+            for lit in lits:
+                v = -lit if lit < 0 else lit
+                if self._eliminated[v]:
+                    self._restore_eliminated(v)
+            if not self._ok:
+                return False
+        clause: list[int] = []
+        seen: set[int] = set()
+        root = not self._trail_lim
+        vals = self._vals
+        for lit in lits:
             if -lit in seen:
                 return True  # tautology
             if lit in seen:
                 continue
             # Skip literals already false at level 0; satisfied at level 0
             # makes the clause redundant.
-            if not self._trail_lim and self._lit_value(lit) == 1:
-                return True
-            if not self._trail_lim and self._lit_value(lit) == -1:
-                continue
+            if root:
+                v = vals[(lit + lit) if lit > 0 else (1 - lit - lit)]
+                if v > 0:
+                    return True
+                if v < 0:
+                    continue
             seen.add(lit)
             clause.append(lit)
         if not clause:
             self._log_empty()
             self._ok = False
             return False
-        if len(clause) == 1:
-            if not self._enqueue(clause[0], None):
+        idxs = [(l + l) if l > 0 else (1 - l - l) for l in clause]
+        if len(idxs) == 1:
+            if not self._enqueue(idxs[0], -1):
                 self._log_empty()
                 self._ok = False
                 return False
-            self._ok = self._propagate() is None
+            self._ok = self._propagate() < 0
             if not self._ok:
                 self._log_empty()
             return self._ok
-        c = _Clause(clause, learnt=False)
-        self._clauses.append(c)
-        self._attach(c)
+        cid = self._alloc(idxs, learnt=False)
+        self._attach(cid)
         return True
 
     def add_cnf(self, cnf: CNF) -> bool:
@@ -241,249 +489,458 @@ class CDCLSolver:
                 return False
         return True
 
-    def _attach(self, clause: _Clause) -> None:
-        # Watch the negations of the first two literals: when one of them
-        # becomes false we must visit the clause.
-        self._watches[self._idx(-clause.lits[0])].append(clause)
-        self._watches[self._idx(-clause.lits[1])].append(clause)
-
     # ----- assignment / propagation ----------------------------------------
 
-    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
-        val = self._lit_value(lit)
-        if val == 1:
+    def _enqueue(self, lit: int, reason: int = -1) -> bool:
+        """Assign a literal given by *index*; False on contradiction."""
+        v = self._vals[lit]
+        if v > 0:
             return True
-        if val == -1:
+        if v < 0:
             return False
-        v = abs(lit)
-        self._value[v] = 1 if lit > 0 else -1
-        self._level[v] = len(self._trail_lim)
-        self._reason[v] = reason
+        self._vals[lit] = 1
+        self._vals[lit ^ 1] = -1
+        u = lit >> 1
+        self._level[u] = len(self._trail_lim)
+        self._reason[u] = reason
         self._trail.append(lit)
         return True
 
-    def _propagate(self) -> Optional[_Clause]:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
-            self._qhead += 1
-            self.stats.propagations += 1
-            false_lit = -lit
-            watch_list = self._watches[self._idx(lit)]
+    def _propagate(self) -> int:
+        """Unit propagation; returns the conflicting clause id, or -1."""
+        vals = self._vals
+        ar = self._ar
+        watches = self._watches
+        bins = self._bins
+        trail = self._trail
+        level = self._level
+        reason = self._reason
+        starts = self._c_start
+        sizes = self._c_size
+        lvl = len(self._trail_lim)
+        qhead = self._qhead
+        nprops = 0
+        confl = -1
+        while qhead < len(trail):
+            pi = trail[qhead]
+            qhead += 1
+            nprops += 1
+            false_lit = pi ^ 1
+
+            blist = bins[pi]
+            if blist:
+                bk = 0
+                nb = len(blist)
+                while bk < nb:
+                    other = blist[bk]
+                    ov = vals[other]
+                    if ov < 0:
+                        confl = blist[bk + 1]
+                        break
+                    if ov == 0:
+                        vals[other] = 1
+                        vals[other ^ 1] = -1
+                        u = other >> 1
+                        level[u] = lvl
+                        reason[u] = blist[bk + 1]
+                        trail.append(other)
+                    bk += 2
+                if confl >= 0:
+                    break
+
+            wl = watches[pi]
+            if not wl:
+                continue
             i = 0
             j = 0
-            n = len(watch_list)
+            n = len(wl)
             while i < n:
-                clause = watch_list[i]
-                i += 1
-                lits = clause.lits
-                # Normalize: make sure the false literal is at position 1.
-                if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                if self._lit_value(first) == 1:
-                    watch_list[j] = clause
-                    j += 1
+                blocker = wl[i + 1]
+                if vals[blocker] > 0:
+                    wl[j] = wl[i]
+                    wl[j + 1] = blocker
+                    j += 2
+                    i += 2
+                    continue
+                cid = wl[i]
+                i += 2
+                s = starts[cid]
+                # Normalize: keep the false literal at arena slot s+1.
+                first = ar[s]
+                if first == false_lit:
+                    first = ar[s + 1]
+                    ar[s] = first
+                    ar[s + 1] = false_lit
+                fv = vals[first]
+                if fv > 0:
+                    wl[j] = cid
+                    wl[j + 1] = first
+                    j += 2
                     continue
                 # Look for a new literal to watch.
-                found = False
-                for k in range(2, len(lits)):
-                    if self._lit_value(lits[k]) != -1:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[self._idx(-lits[1])].append(clause)
-                        found = True
+                end = s + sizes[cid]
+                k = s + 2
+                q = 0
+                while k < end:
+                    q = ar[k]
+                    if vals[q] >= 0:
                         break
-                if found:
+                    k += 1
+                if k < end:
+                    ar[s + 1] = q
+                    ar[k] = false_lit
+                    nwl = watches[q ^ 1]
+                    nwl.append(cid)
+                    nwl.append(first)
                     continue
                 # Clause is unit or conflicting.
-                watch_list[j] = clause
-                j += 1
-                if self._lit_value(first) == -1:
-                    # Conflict: keep remaining watches, restore list, report.
+                wl[j] = cid
+                wl[j + 1] = first
+                j += 2
+                if fv < 0:
+                    # Conflict: keep remaining watches, restore, report.
                     while i < n:
-                        watch_list[j] = watch_list[i]
-                        j += 1
-                        i += 1
-                    del watch_list[j:]
-                    self._qhead = len(self._trail)
-                    return clause
-                self._enqueue(first, clause)
-            del watch_list[j:]
-        return None
+                        wl[j] = wl[i]
+                        wl[j + 1] = wl[i + 1]
+                        j += 2
+                        i += 2
+                    confl = cid
+                    break
+                vals[first] = 1
+                vals[first ^ 1] = -1
+                u = first >> 1
+                level[u] = lvl
+                reason[u] = cid
+                trail.append(first)
+            del wl[j:]
+            if confl >= 0:
+                break
+        self._qhead = len(trail) if confl >= 0 else qhead
+        self.stats.propagations += nprops
+        return confl
 
     # ----- activities -------------------------------------------------------
 
-    def _bump_var(self, v: int) -> None:
-        self._activity[v] += self._var_inc
-        if self._activity[v] > 1e100:
-            for u in range(1, self.num_vars + 1):
-                self._activity[u] *= 1e-100
-            self._var_inc *= 1e-100
-        if self._value[v] == _UNASSIGNED:
-            heapq.heappush(self._heap, (-self._activity[v], v))
+    def _rescale_var_act(self) -> None:
+        act = self._activity
+        for u in range(1, self.num_vars + 1):
+            act[u] *= 1e-100
+        self._var_inc *= 1e-100
+        # Heap priorities are pre-rescale snapshots; rebuild so the old
+        # generation cannot outrank (or shadow) post-rescale pushes.
+        self._rebuild_heap()
 
-    def _decay_var(self) -> None:
-        self._var_inc /= self.config.var_decay
+    def _rebuild_heap(self) -> None:
+        vals = self._vals
+        eliminated = self._eliminated
+        act = self._activity
+        heap_act = self._heap_act
+        heap: list[tuple[float, int]] = []
+        for u in range(1, self.num_vars + 1):
+            if vals[u + u] == 0 and not eliminated[u]:
+                a = act[u]
+                heap.append((-a, u))
+                heap_act[u] = a
+            else:
+                heap_act[u] = -1.0
+        heapq.heapify(heap)
+        self._heap = heap
 
-    def _bump_clause(self, clause: _Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > 1e20:
-            for c in self._learnts:
-                c.activity *= 1e-20
-            self._cla_inc *= 1e-20
-
-    def _decay_clause(self) -> None:
-        self._cla_inc /= self.config.clause_decay
+    def _rescale_clause_act(self) -> None:
+        ca = self._c_act
+        learnt = self._c_learnt
+        for i in range(len(ca)):
+            if learnt[i]:
+                ca[i] *= 1e-20
+        self._cla_inc *= 1e-20
 
     # ----- conflict analysis -------------------------------------------------
 
-    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
-        """First-UIP analysis; returns (learnt clause, backtrack level).
+    def _analyze(self, confl: int) -> tuple[list[int], int, int]:
+        """First-UIP analysis; returns (learnt clause, backtrack level, LBD).
 
-        The asserting literal is placed first in the learnt clause.
+        The learnt clause is in literal-index form with the asserting
+        literal first.
         """
         learnt: list[int] = [0]  # placeholder for the asserting literal
-        seen = [False] * (self.num_vars + 1)
+        seen = self._seen
+        level = self._level
+        trail = self._trail
+        ar = self._ar
+        starts = self._c_start
+        sizes = self._c_size
+        reason = self._reason
+        activity = self._activity
+        cla_act = self._c_act
+        cla_learnt = self._c_learnt
+        cleanup: list[int] = []
         counter = 0
-        lit = None
-        clause: Optional[_Clause] = conflict
-        index = len(self._trail) - 1
+        lit = 0
+        cid = confl
+        index = len(trail) - 1
         cur_level = len(self._trail_lim)
+        var_inc = self._var_inc
+        cla_inc = self._cla_inc
 
         while True:
-            assert clause is not None
-            if clause.learnt:
-                self._bump_clause(clause)
-            for q in clause.lits:
-                if lit is not None and q == lit:
+            if cla_learnt[cid]:
+                a = cla_act[cid] + cla_inc
+                cla_act[cid] = a
+                if a > 1e20:
+                    self._rescale_clause_act()
+                    cla_inc = self._cla_inc
+            s = starts[cid]
+            for k in range(s, s + sizes[cid]):
+                q = ar[k]
+                if q == lit:
                     continue
-                v = abs(q)
-                if not seen[v] and self._level[v] > 0:
-                    seen[v] = True
-                    self._bump_var(v)
-                    if self._level[v] >= cur_level:
+                v = q >> 1
+                if not seen[v] and level[v] > 0:
+                    seen[v] = 1
+                    cleanup.append(v)
+                    act = activity[v] + var_inc
+                    activity[v] = act
+                    if act > 1e100:
+                        self._rescale_var_act()
+                        var_inc = self._var_inc
+                    if level[v] >= cur_level:
                         counter += 1
                     else:
                         learnt.append(q)
             # Find next literal to expand on the trail.
-            while not seen[abs(self._trail[index])]:
+            q = trail[index]
+            while not seen[q >> 1]:
                 index -= 1
-            lit = self._trail[index]
+                q = trail[index]
+            lit = q
             index -= 1
-            v = abs(lit)
-            seen[v] = False
+            v = lit >> 1
+            seen[v] = 0
             counter -= 1
             if counter == 0:
-                learnt[0] = -lit
+                learnt[0] = lit ^ 1
                 break
-            clause = self._reason[v]
+            cid = reason[v]
 
-        if self.config.use_minimization:
-            learnt = self._minimize(learnt, seen)
+        if self.config.use_minimization and len(learnt) > 1:
+            learnt = self._minimize(learnt)
+        for v in cleanup:
+            seen[v] = 0
 
         # Compute backtrack level: max level among non-asserting literals.
         if len(learnt) == 1:
             bt_level = 0
         else:
             max_i = 1
+            lv_max = level[learnt[1] >> 1]
             for i in range(2, len(learnt)):
-                if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
+                lv = level[learnt[i] >> 1]
+                if lv > lv_max:
                     max_i = i
+                    lv_max = lv
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-            bt_level = self._level[abs(learnt[1])]
-        return learnt, bt_level
+            bt_level = lv_max
+        lbd = len({level[q >> 1] for q in learnt})
+        return learnt, bt_level, lbd
 
-    def _minimize(self, learnt: list[int], seen: list[bool]) -> list[int]:
+    def _minimize(self, learnt: list[int]) -> list[int]:
         """Local clause minimization (self-subsumption with reasons)."""
         # Re-mark learnt literals (analysis unmarked expanded ones).
-        for lit in learnt:
-            seen[abs(lit)] = True
+        seen = self._seen
+        level = self._level
+        reason = self._reason
+        ar = self._ar
+        starts = self._c_start
+        sizes = self._c_size
+        for q in learnt:
+            seen[q >> 1] = 1
         out = [learnt[0]]
-        for lit in learnt[1:]:
-            reason = self._reason[abs(lit)]
-            if reason is None:
-                out.append(lit)
+        removed = 0
+        for q in learnt[1:]:
+            v = q >> 1
+            r = reason[v]
+            if r < 0:
+                out.append(q)
                 continue
             redundant = True
-            for q in reason.lits:
-                v = abs(q)
-                if q != -lit and not seen[v] and self._level[v] > 0:
+            s = starts[r]
+            for k in range(s, s + sizes[r]):
+                p = ar[k]
+                u = p >> 1
+                if p != q ^ 1 and not seen[u] and level[u] > 0:
                     redundant = False
                     break
             if redundant:
-                self.stats.minimized_lits += 1
+                removed += 1
             else:
-                out.append(lit)
+                out.append(q)
+        self.stats.minimized_lits += removed
         return out
 
-    def _backtrack(self, level: int) -> None:
-        if len(self._trail_lim) <= level:
+    def _backtrack(self, level_to: int) -> None:
+        if len(self._trail_lim) <= level_to:
             return
-        limit = self._trail_lim[level]
-        for lit in reversed(self._trail[limit:]):
-            v = abs(lit)
-            if self.config.use_phase_saving:
-                self._phase[v] = lit > 0
-            self._value[v] = _UNASSIGNED
-            self._reason[v] = None
-            heapq.heappush(self._heap, (-self._activity[v], v))
-        del self._trail[limit:]
-        del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        limit = self._trail_lim[level_to]
+        vals = self._vals
+        trail = self._trail
+        phase = self._phase
+        heap = self._heap
+        heap_act = self._heap_act
+        activity = self._activity
+        reason = self._reason
+        push = heapq.heappush
+        saving = self.config.use_phase_saving
+        for k in range(len(trail) - 1, limit - 1, -1):
+            lit = trail[k]
+            v = lit >> 1
+            if saving:
+                phase[v] = not lit & 1
+            vals[lit] = 0
+            vals[lit ^ 1] = 0
+            reason[v] = -1
+            a = activity[v]
+            if a > heap_act[v]:
+                heap_act[v] = a
+                push(heap, (-a, v))
+        del trail[limit:]
+        del self._trail_lim[level_to:]
+        self._qhead = limit
 
     # ----- decisions ----------------------------------------------------------
 
     def _decide(self) -> Optional[int]:
+        vals = self._vals
+        eliminated = self._eliminated
         if self.config.use_vsids:
+            heap = self._heap
+            heap_act = self._heap_act
             v = 0
-            while self._heap:
-                neg_act, u = heapq.heappop(self._heap)
-                if self._value[u] != _UNASSIGNED:
-                    continue  # stale: assigned since it was pushed
-                if -neg_act != self._activity[u]:
-                    # Stale activity snapshot: requeue the fresh value.
-                    heapq.heappush(self._heap, (-self._activity[u], u))
+            while heap:
+                neg_act, u = heapq.heappop(heap)
+                if -neg_act != heap_act[u]:
+                    continue  # stale duplicate; a fresher entry served
+                heap_act[u] = -1.0
+                if vals[u + u] != 0 or eliminated[u]:
                     continue
                 v = u
                 break
             if v == 0:
-                return None
+                # Defensive completeness: variables reintroduced after
+                # elimination may have no live entry; refill and retry.
+                self._rebuild_heap()
+                heap = self._heap
+                while heap:
+                    neg_act, u = heapq.heappop(heap)
+                    heap_act[u] = -1.0
+                    if vals[u + u] == 0 and not eliminated[u]:
+                        v = u
+                        break
+                if v == 0:
+                    return None
         else:
             v = 0
             for u in range(1, self.num_vars + 1):
-                if self._value[u] == _UNASSIGNED:
+                if vals[u + u] == 0 and not eliminated[u]:
                     v = u
                     break
             if v == 0:
                 return None
-        return v if self._phase[v] else -v
+        return (v + v) if self._phase[v] else (v + v + 1)
 
     # ----- learned clause DB ----------------------------------------------------
 
     def _reduce_db(self) -> None:
-        self._learnts.sort(key=lambda c: c.activity)
-        keep_from = len(self._learnts) // 2
-        kept: list[_Clause] = []
-        removed = 0
-        for i, clause in enumerate(self._learnts):
-            locked = self._reason[abs(clause.lits[0])] is clause
-            if i >= keep_from or locked or len(clause.lits) <= 2:
-                kept.append(clause)
-            else:
-                if self.proof is not None:
-                    self.proof.delete(clause.lits)
-                self._detach(clause)
-                removed += 1
-        self._learnts = kept
-        self.stats.deleted += removed
+        """LBD-based reduction: drop the worse half of deletable learnts.
 
-    def _detach(self, clause: _Clause) -> None:
-        for lit in clause.lits[:2]:
-            lst = self._watches[self._idx(-lit)]
-            try:
-                lst.remove(clause)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+        Learned clauses with LBD <= ``lbd_keep`` (glue clauses), binary
+        clauses, and clauses locked as reasons on the current trail are
+        never deleted.  Triggered on a conflict schedule (``reduce_base``
+        then +``reduce_inc`` per round), glucose style.
+        """
+        self._conflicts_at_reduce = self.stats.conflicts
+        self._reduce_fuel += self.config.reduce_inc
+        keep_lbd = self.config.lbd_keep
+        ar = self._ar
+        starts = self._c_start
+        reason = self._reason
+        c_lbd = self._c_lbd
+        c_act = self._c_act
+        cand = []
+        for cid in range(len(starts)):
+            if not self._c_learnt[cid] or self._c_dead[cid]:
+                continue
+            if self._c_size[cid] <= 2 or c_lbd[cid] <= keep_lbd:
+                continue
+            w0 = ar[starts[cid]]
+            if reason[w0 >> 1] == cid:
+                continue  # locked: reason for an assignment on the trail
+            cand.append(cid)
+        if cand:
+            # Worst first: highest LBD, then lowest activity.
+            cand.sort(key=lambda c: (-c_lbd[c], c_act[c]))
+            proof = self.proof
+            removed = 0
+            for cid in cand[:len(cand) // 2]:
+                if proof is not None:
+                    proof.delete(self._clause_lits(cid))
+                self._detach(cid)
+                self._kill(cid)
+                removed += 1
+            self.stats.deleted += removed
+        if self._free_lits * 2 > len(ar):
+            self._gc()
+
+    def _gc(self) -> None:
+        """Compact the arena: drop dead clauses, remap ids, rebuild watches."""
+        old_ar = self._ar
+        old_start = self._c_start
+        old_size = self._c_size
+        old_learnt = self._c_learnt
+        old_lbd = self._c_lbd
+        old_act = self._c_act
+        old_dead = self._c_dead
+        n_old = len(old_start)
+        remap = [-1] * n_old
+        new_ar: list[int] = []
+        ns: list[int] = []
+        nz: list[int] = []
+        nl: list[int] = []
+        nb: list[int] = []
+        na: list[float] = []
+        for cid in range(n_old):
+            if old_dead[cid]:
+                continue
+            remap[cid] = len(ns)
+            s = old_start[cid]
+            sz = old_size[cid]
+            ns.append(len(new_ar))
+            new_ar.extend(old_ar[s:s + sz])
+            nz.append(sz)
+            nl.append(old_learnt[cid])
+            nb.append(old_lbd[cid])
+            na.append(old_act[cid])
+        self._ar = new_ar
+        self._c_start = ns
+        self._c_size = nz
+        self._c_learnt = nl
+        self._c_lbd = nb
+        self._c_act = na
+        self._c_dead = [0] * len(ns)
+        self._free_lits = 0
+        reason = self._reason
+        for lit in self._trail:
+            v = lit >> 1
+            r = reason[v]
+            if r >= 0:
+                # A dead reason can only belong to a level-0 assignment
+                # (inprocessing removes clauses at the root only); its
+                # reason is never consulted, so -1 is safe.
+                reason[v] = remap[r]
+        nslots = 2 * self.num_vars + 2
+        self._watches = [[] for _ in range(nslots)]
+        self._bins = [[] for _ in range(nslots)]
+        for cid in range(len(ns)):
+            self._attach(cid)
 
     # ----- incremental interface -------------------------------------------------
 
@@ -509,17 +966,27 @@ class CDCLSolver:
         is *not* included — learned clauses are only sound relative to
         the formula they were derived from, so the persistence layer
         keys checkpoints by a CNF fingerprint.
+
+        The format is representation independent (clause literal lists,
+        not arena offsets), so checkpoints interoperate across solver
+        generations.  Clauses derived by inprocessing are all implied
+        by the original CNF, which keeps restored learnts sound even
+        though elimination state itself is not serialized.
         """
         self._backtrack(0)
+        learnts = []
+        for cid in range(len(self._c_start)):
+            if self._c_learnt[cid] and not self._c_dead[cid]:
+                learnts.append({
+                    "lits": self._clause_lits(cid),
+                    "act": self._c_act[cid],
+                })
         return {
             "format": 1,
             "num_vars": self.num_vars,
             "ok": self._ok,
-            "root_units": list(self._trail),
-            "learnts": [
-                {"lits": list(c.lits), "act": c.activity}
-                for c in self._learnts
-            ],
+            "root_units": self._to_signed(self._trail),
+            "learnts": learnts,
             "activity": list(self._activity[1:]),
             "phase": [1 if p else 0 for p in self._phase[1:]],
             "var_inc": self._var_inc,
@@ -582,12 +1049,13 @@ class CDCLSolver:
                     return restored
                 restored += 1
                 continue
-            clause = _Clause(keep, learnt=True)
-            clause.activity = float(item.get("act", 0.0))
-            self._learnts.append(clause)
-            self._attach(clause)
+            cid = self._alloc(
+                [(l + l) if l > 0 else (1 - l - l) for l in keep],
+                learnt=True, lbd=len(keep))
+            self._c_act[cid] = float(item.get("act", 0.0))
+            self._attach(cid)
             restored += 1
-        if self._propagate() is not None:
+        if self._propagate() >= 0:
             self._log_empty()
             self._ok = False
         activity = state.get("activity", ())
@@ -602,12 +1070,7 @@ class CDCLSolver:
         self._cla_inc = float(state.get("cla_inc", 1.0))
         self._restart_resume = int(state.get("restarts", 0))
         # Rebuild the decision heap so restored activities take effect.
-        self._heap = [
-            (-self._activity[v], v)
-            for v in range(1, self.num_vars + 1)
-            if self._value[v] == _UNASSIGNED
-        ]
-        heapq.heapify(self._heap)
+        self._rebuild_heap()
         self.restored_learnts = restored
         if METRICS.enabled and restored:
             METRICS.counter_inc(
@@ -652,24 +1115,12 @@ class CDCLSolver:
                 self._phase = phase_snapshot
             self.last_stats = self.stats.diff(before)
             if METRICS.enabled:
-                delta = self.last_stats
                 proc = METRICS.proc
-                METRICS.counter_inc(
-                    "repro_cdcl_decisions_total", delta.decisions, proc=proc)
-                METRICS.counter_inc(
-                    "repro_cdcl_conflicts_total", delta.conflicts, proc=proc)
-                METRICS.counter_inc(
-                    "repro_cdcl_propagations_total", delta.propagations,
-                    proc=proc)
-                METRICS.counter_inc(
-                    "repro_cdcl_restarts_total", delta.restarts, proc=proc)
-                METRICS.counter_inc(
-                    "repro_cdcl_learned_total", delta.learned, proc=proc)
-                METRICS.counter_inc(
-                    "repro_cdcl_deleted_total", delta.deleted, proc=proc)
-                METRICS.counter_inc(
-                    "repro_cdcl_minimized_lits_total", delta.minimized_lits,
-                    proc=proc)
+                # One family per SatStats field: the unified schema in
+                # repro.smt.stats is also the metrics naming scheme.
+                for name, value in self.last_stats.as_dict().items():
+                    METRICS.counter_inc(
+                        f"repro_cdcl_{name}_total", value, proc=proc)
                 METRICS.counter_inc("repro_cdcl_solves_total", 1, proc=proc)
 
     def _search(self, assumptions: Sequence[int],
@@ -681,28 +1132,41 @@ class CDCLSolver:
         # The per-call conflict cap is a *delta* from this call's start,
         # so a reused (incremental) solver gets a fresh slice each call.
         conflicts_at_start = self.stats.conflicts
+        self._backtrack(0)
+        if self._elim_stack:
+            # Assumptions may mention variables a previous round
+            # eliminated; reintroduce them before searching under them.
+            for a in assumptions:
+                v = -a if a < 0 else a
+                if v <= self.num_vars and self._eliminated[v]:
+                    self._restore_eliminated(v)
         if not self._ok:
             return SatResult.UNSAT
-        self._backtrack(0)
-        if self._propagate() is not None:
+        if self._propagate() >= 0:
             self._log_empty()
             self._ok = False
             return SatResult.UNSAT
+        config = self.config
+        frozen: Optional[set] = None
+        if config.use_inprocessing and not self._inprocessed_once:
+            # First solve on this instance: run a preprocessing round
+            # before search (SatELite style), where it pays off most.
+            self._inprocessed_once = True
+            frozen = {-a if a < 0 else a for a in assumptions}
+            if not self._inprocess(frozen, budget):
+                return SatResult.UNSAT
         decisions_since_check = 0
 
         self._restart_count = self._restart_resume
         conflicts_until_restart = (
-            self.config.restart_base * _luby(self._restart_count + 1)
-            if self.config.use_restarts else -1
+            config.restart_base * _luby(self._restart_count + 1)
+            if config.use_restarts else -1
         )
         conflicts_since_restart = 0
-        max_learnts = max(
-            1000, int(self.config.max_learnts_frac * max(1, len(self._clauses)))
-        )
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict >= 0:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
                 if budget is not None:
@@ -711,23 +1175,22 @@ class CDCLSolver:
                     self._log_empty()
                     self._ok = False
                     return SatResult.UNSAT
-                learnt, bt_level = self._analyze(conflict)
+                learnt, bt_level, lbd = self._analyze(conflict)
                 if self.proof is not None:
-                    self.proof.add(learnt)
+                    self.proof.add(self._to_signed(learnt))
                 self._backtrack(bt_level)
                 if len(learnt) == 1:
-                    self._enqueue(learnt[0], None)
+                    self._enqueue(learnt[0], -1)
                 else:
-                    clause = _Clause(learnt, learnt=True)
-                    self._learnts.append(clause)
-                    self._attach(clause)
-                    self._bump_clause(clause)
+                    cid = self._alloc(learnt, learnt=True, lbd=lbd)
+                    self._attach(cid)
+                    self._c_act[cid] = self._cla_inc
                     self.stats.learned += 1
                     if budget is not None:
                         budget.charge_learned(1)
-                    self._enqueue(learnt[0], clause)
-                self._decay_var()
-                self._decay_clause()
+                    self._enqueue(learnt[0], cid)
+                self._var_inc /= config.var_decay
+                self._cla_inc /= config.clause_decay
                 if budget is not None:
                     reason = budget.exhausted()
                     if reason is not None:
@@ -736,27 +1199,40 @@ class CDCLSolver:
                         )
                         return SatResult.UNKNOWN
                 if (
-                    self.config.max_conflicts is not None
+                    config.max_conflicts is not None
                     and self.stats.conflicts - conflicts_at_start
-                    >= self.config.max_conflicts
+                    >= config.max_conflicts
                 ):
                     return SatResult.UNKNOWN
                 continue
 
             if (
-                self.config.use_restarts
+                config.use_restarts
                 and conflicts_since_restart >= conflicts_until_restart
             ):
                 self._restart_count += 1
                 self.stats.restarts += 1
                 conflicts_since_restart = 0
-                conflicts_until_restart = self.config.restart_base * _luby(
+                conflicts_until_restart = config.restart_base * _luby(
                     self._restart_count + 1
                 )
                 self._backtrack(0)
+                if (
+                    config.use_inprocessing
+                    and self.stats.conflicts - self._conflicts_at_inprocess
+                    >= config.inprocess_interval
+                ):
+                    if frozen is None:
+                        frozen = {-a if a < 0 else a for a in assumptions}
+                    if not self._inprocess(frozen, budget):
+                        return SatResult.UNSAT
                 continue
 
-            if len(self._learnts) > max_learnts + len(self._trail):
+            if (
+                self._n_learnt
+                and self.stats.conflicts - self._conflicts_at_reduce
+                >= self._reduce_fuel
+            ):
                 self._reduce_db()
 
             # Place assumptions as pseudo-decisions before real decisions.
@@ -764,15 +1240,16 @@ class CDCLSolver:
             decision_level = len(self._trail_lim)
             if decision_level < len(assumptions):
                 a = assumptions[decision_level]
-                self._ensure_vars(abs(a))
+                self._ensure_vars(-a if a < 0 else a)
                 val = self._lit_value(a)
                 if val == 1:
                     self._trail_lim.append(len(self._trail))
                     continue
                 if val == -1:
-                    self._conflict_assumptions = self._analyze_final(a, assumptions)
+                    self._conflict_assumptions = self._analyze_final(
+                        a, assumptions)
                     return SatResult.UNSAT
-                next_lit = a
+                next_lit = (a + a) if a > 0 else (1 - a - a)
             else:
                 next_lit = self._decide()
                 if next_lit is None:
@@ -789,26 +1266,34 @@ class CDCLSolver:
                         )
                         return SatResult.UNKNOWN
             self._trail_lim.append(len(self._trail))
-            self._enqueue(next_lit, None)
+            self._enqueue(next_lit, -1)
 
-    def _analyze_final(self, failed: int, assumptions: Sequence[int]) -> list[int]:
+    def _analyze_final(self, failed: int,
+                       assumptions: Sequence[int]) -> list[int]:
         """Compute the subset of assumptions implying ``-failed`` (unsat core)."""
         assumption_set = set(assumptions)
         core = {failed}
         seen = [False] * (self.num_vars + 1)
         seen[abs(failed)] = True
+        ar = self._ar
+        starts = self._c_start
+        sizes = self._c_size
+        level = self._level
         for lit in reversed(self._trail):
-            v = abs(lit)
+            v = lit >> 1
             if not seen[v]:
                 continue
-            reason = self._reason[v]
-            if reason is None:
-                if lit in assumption_set:
-                    core.add(lit)
+            r = self._reason[v]
+            if r < 0:
+                signed = -v if lit & 1 else v
+                if signed in assumption_set:
+                    core.add(signed)
             else:
-                for q in reason.lits:
-                    if self._level[abs(q)] > 0:
-                        seen[abs(q)] = True
+                s = starts[r]
+                for k in range(s, s + sizes[r]):
+                    u = ar[k] >> 1
+                    if level[u] > 0:
+                        seen[u] = True
         return sorted(core, key=abs)
 
     def unsat_assumptions(self) -> list[int]:
@@ -816,11 +1301,501 @@ class CDCLSolver:
         return list(self._conflict_assumptions)
 
     def model(self) -> list[bool]:
-        """The satisfying assignment (1-indexed; index 0 is unused)."""
+        """The satisfying assignment (1-indexed; index 0 is unused).
+
+        Variables removed by bounded elimination are re-valued here by
+        replaying the elimination stack in reverse: each variable gets
+        whichever polarity satisfies all of its removed clauses (the
+        resolvent closure guarantees one always exists).
+        """
+        vals = self._vals
         out = [False] * (self.num_vars + 1)
         for v in range(1, self.num_vars + 1):
-            out[v] = self._value[v] == 1
+            out[v] = vals[v + v] > 0
+        for v, saved in reversed(self._elim_stack):
+            forced = None
+            for lits in saved:
+                vlit = 0
+                satisfied = False
+                for l in lits:
+                    u = l if l > 0 else -l
+                    if u == v:
+                        vlit = l
+                        continue
+                    if (l > 0) == out[u]:
+                        satisfied = True
+                        break
+                if not satisfied:
+                    forced = vlit > 0
+                    break
+            if forced is not None:
+                out[v] = forced
         return out
+
+    # ----- inprocessing -----------------------------------------------------
+
+    def _inprocess(self, frozen: set, budget: Optional["Budget"]) -> bool:
+        """One inprocessing round at the root level; False iff now UNSAT.
+
+        Schedule: strengthen against the root assignment, then
+        subsumption/self-subsumption, then vivification, then bounded
+        variable elimination, then arena compaction.  Every derived
+        clause is RUP at the moment it is logged, and irredundant
+        deletions are never logged, so ``--certify`` replay still works.
+        """
+        self.stats.inprocessings += 1
+        self._conflicts_at_inprocess = self.stats.conflicts
+        config = self.config
+        ok = self._simplify_root()
+        if ok and config.use_subsume:
+            ok = self._subsume(budget)
+        if ok and config.use_vivify:
+            ok = self._vivify(budget)
+        if ok and config.use_elim:
+            ok = self._eliminate(frozen, budget)
+        if ok:
+            self._gc()
+        else:
+            self._ok = False
+        self._conflicts_at_inprocess = self.stats.conflicts
+        return ok
+
+    def _simplify_root(self) -> bool:
+        """Remove satisfied clauses and false literals vs the root trail."""
+        vals = self._vals
+        ar = self._ar
+        for cid in range(len(self._c_start)):
+            if self._c_dead[cid]:
+                continue
+            s = self._c_start[cid]
+            end = s + self._c_size[cid]
+            satisfied = False
+            has_false = False
+            for k in range(s, end):
+                v = vals[ar[k]]
+                if v > 0:
+                    satisfied = True
+                    break
+                if v < 0:
+                    has_false = True
+            if satisfied:
+                self._remove_clause(cid)
+                continue
+            if not has_false:
+                continue
+            keep = [ar[k] for k in range(s, end) if vals[ar[k]] == 0]
+            if not self._replace_clause(cid, keep):
+                return False
+        return True
+
+    def _replace_clause(self, cid: int, keep: list[int]) -> bool:
+        """Swap a live clause for a strengthened version; False iff UNSAT.
+
+        ``keep`` is in literal-index form.  Logs the strengthened clause
+        as an addition *before* retiring the original (RUP needs the
+        original alive), handles the unit and empty cases, and preserves
+        the learnt flag/LBD.
+        """
+        proof = self.proof
+        if not keep:
+            self._log_empty()
+            return False
+        if proof is not None:
+            proof.add(self._to_signed(keep))
+        # Units derived earlier in the same pass may already decide some
+        # of ``keep`` at the root; re-normalize so the watch invariant
+        # holds at attach time (the stripped literals stay RUP-derivable
+        # for proof replay — they follow from logged root units).
+        vals = self._vals
+        if any(vals[q] > 0 for q in keep):
+            self._remove_clause(cid)
+            return True  # satisfied at the root forever
+        keep = [q for q in keep if vals[q] == 0]
+        if not keep:
+            self._log_empty()
+            return False
+        if len(keep) == 1:
+            self._remove_clause(cid)
+            if not self._enqueue(keep[0], -1) or self._propagate() >= 0:
+                self._log_empty()
+                return False
+            return True
+        learnt = bool(self._c_learnt[cid])
+        lbd = min(self._c_lbd[cid], len(keep)) if learnt else 0
+        act = self._c_act[cid]
+        new_cid = self._alloc(keep, learnt=learnt, lbd=lbd)
+        self._c_act[new_cid] = act
+        self._attach(new_cid)
+        self._remove_clause(cid)
+        self.stats.strengthened += 1
+        return True
+
+    def _build_occ(self, include_learnt: bool = True):
+        """Occurrence lists + var-based signatures over live clauses."""
+        occ: list[list[int]] = [[] for _ in range(2 * self.num_vars + 2)]
+        sig: list[int] = [0] * len(self._c_start)
+        ar = self._ar
+        for cid in range(len(self._c_start)):
+            if self._c_dead[cid]:
+                continue
+            if not include_learnt and self._c_learnt[cid]:
+                continue
+            s = self._c_start[cid]
+            m = 0
+            for k in range(s, s + self._c_size[cid]):
+                q = ar[k]
+                occ[q].append(cid)
+                m |= 1 << ((q >> 1) & 63)
+            sig[cid] = m
+        return occ, sig
+
+    def _subsume(self, budget: Optional["Budget"]) -> bool:
+        """Backward subsumption and self-subsuming resolution.
+
+        For each clause C (smallest first) find clauses D ⊇ C via the
+        occurrence list of C's rarest literal: D is removed (subsumed),
+        or strengthened when C∖{l} ⊆ D and ¬l ∈ D (self-subsumption).
+        Var-based signatures prune most candidate pairs in O(1).
+        """
+        occ, sig = self._build_occ()
+        ar = self._ar
+        starts = self._c_start
+        sizes = self._c_size
+        dead = self._c_dead
+        # Literal-indexed membership marks for the current subsumer C:
+        # bytearray indexing beats a dict in the candidate scan below,
+        # which visits every literal of every candidate clause.
+        mark = bytearray(2 * self.num_vars + 2)
+        queue = [cid for cid in range(len(starts)) if not dead[cid]]
+        queue.sort(key=lambda c: sizes[c])
+        qi = 0
+        steps = 0
+        while qi < len(queue):
+            cid = queue[qi]
+            qi += 1
+            if dead[cid]:
+                continue
+            s = starts[cid]
+            size_c = sizes[cid]
+            if size_c > 20:
+                continue  # long clauses almost never subsume anything
+            steps += 1
+            if budget is not None and (steps & 0x3FF) == 0x3FF:
+                if budget.exhausted() is not None:
+                    return True
+            lits_c = ar[s:s + size_c]
+            # Rarest literal = shortest candidate list (count both
+            # polarities so flipped-pivot self-subsumption is found).
+            best = None
+            best_len = -1
+            for q in lits_c:
+                ln = len(occ[q]) + len(occ[q ^ 1])
+                if best is None or ln < best_len:
+                    best = q
+                    best_len = ln
+            for q in lits_c:
+                mark[q] = 1
+            sig_c = sig[cid]
+            for cand_list in (occ[best], occ[best ^ 1]):
+                for did in cand_list:
+                    if did == cid or dead[did] or dead[cid]:
+                        continue
+                    dsz = sizes[did]
+                    if dsz < size_c:
+                        continue
+                    if sig_c & ~sig[did]:
+                        continue
+                    same = 0
+                    negged = 0
+                    neg_count = 0
+                    ds = starts[did]
+                    for q in ar[ds:ds + dsz]:
+                        if mark[q]:
+                            same += 1
+                        elif mark[q ^ 1]:
+                            neg_count += 1
+                            negged = q
+                    if same == size_c:
+                        # C subsumes D: retire D; if D was irredundant
+                        # the subsumer must stay, so promote learnt C.
+                        if not self._c_dead[did]:
+                            if not self._c_learnt[did] and self._c_learnt[cid]:
+                                self._c_learnt[cid] = 0
+                                self._n_learnt -= 1
+                                self._n_irr += 1
+                            self._remove_clause(did)
+                            self.stats.subsumed += 1
+                    elif same == size_c - 1 and neg_count == 1:
+                        # Self-subsumption: strengthen D by dropping
+                        # `negged` (the resolvent of C and D).
+                        keep = [ar[k]
+                                for k in range(ds, ds + sizes[did])
+                                if ar[k] != negged]
+                        old_did = did
+                        new_cid = len(starts)
+                        if not self._replace_clause(old_did, keep):
+                            return False
+                        # _replace_clause may not allocate (strengthened
+                        # to a unit, or normalized away against the root
+                        # assignment): index the new clause only if it
+                        # actually landed at new_cid.
+                        if len(starts) > new_cid and not dead[new_cid]:
+                            # Index the strengthened clause so it can
+                            # subsume (and be subsumed) in this pass.
+                            m = 0
+                            ns2 = starts[new_cid]
+                            for k in range(ns2, ns2 + sizes[new_cid]):
+                                q = ar[k]
+                                occ[q].append(new_cid)
+                                m |= 1 << ((q >> 1) & 63)
+                            while len(sig) <= new_cid:
+                                sig.append(0)
+                            sig[new_cid] = m
+                            queue.append(new_cid)
+            for q in lits_c:
+                mark[q] = 0
+        return True
+
+    def _vivify(self, budget: Optional["Budget"]) -> bool:
+        """Clause vivification: shorten clauses via trial propagation.
+
+        For clause C = (l1 ∨ ... ∨ ln), assume ¬l1, ¬l2, ... in turn
+        (with C itself detached).  If propagation falsifies some li the
+        literal is redundant; if it satisfies li or conflicts, the
+        clause shrinks to the assumed prefix.  Bounded by
+        ``vivify_ticks`` propagations per round, resuming round-robin.
+        """
+        config = self.config
+        saving = config.use_phase_saving
+        config.use_phase_saving = False  # trial decisions must not bias phases
+        try:
+            start_props = self.stats.propagations
+            n = len(self._c_start)
+            if not n:
+                return True
+            cursor = getattr(self, "_viv_cursor", 0) % n
+            vals = self._vals
+            for _ in range(n):
+                cid = cursor
+                cursor = (cursor + 1) % n
+                if self.stats.propagations - start_props > config.vivify_ticks:
+                    break
+                if budget is not None and budget.exhausted() is not None:
+                    break
+                if self._c_dead[cid] or self._c_size[cid] < 3:
+                    continue
+                lits = self._clause_idxs(cid)
+                if any(vals[q] > 0 for q in lits):
+                    self._remove_clause(cid)  # satisfied at the root
+                    continue
+                self._detach(cid)
+                assumed: list[int] = []
+                shrunk = False
+                for l in lits:
+                    v = vals[l]
+                    if v > 0:
+                        # Earlier assumptions imply l: C' = prefix + l.
+                        assumed.append(l)
+                        shrunk = True
+                        break
+                    if v < 0:
+                        # Earlier assumptions imply ¬l: l is redundant.
+                        shrunk = True
+                        continue
+                    self._trail_lim.append(len(self._trail))
+                    self._enqueue(l ^ 1, -1)
+                    assumed.append(l)
+                    if self._propagate() >= 0:
+                        # Prefix already contradictory: C' = prefix.
+                        shrunk = len(assumed) < len(lits)
+                        break
+                self._backtrack(0)
+                if shrunk and len(assumed) < len(lits):
+                    self.stats.vivified_lits += len(lits) - len(assumed)
+                    if not self._replace_clause_detached(cid, assumed):
+                        return False
+                else:
+                    self._attach(cid)
+            self._viv_cursor = cursor
+            return True
+        finally:
+            config.use_phase_saving = saving
+
+    def _replace_clause_detached(self, cid: int, keep: list[int]) -> bool:
+        """Like :meth:`_replace_clause` for an already-detached original."""
+        proof = self.proof
+        if not keep:
+            self._log_empty()
+            return False
+        if proof is not None:
+            proof.add(self._to_signed(keep))
+        if proof is not None and self._c_learnt[cid]:
+            proof.delete(self._clause_lits(cid))
+        self._kill(cid)
+        # Same root-normalization as _replace_clause: never attach a
+        # clause whose watched literals may already be false at level 0.
+        vals = self._vals
+        if any(vals[q] > 0 for q in keep):
+            return True  # satisfied at the root forever
+        keep = [q for q in keep if vals[q] == 0]
+        if not keep:
+            self._log_empty()
+            return False
+        if len(keep) == 1:
+            if not self._enqueue(keep[0], -1) or self._propagate() >= 0:
+                self._log_empty()
+                return False
+            return True
+        learnt = bool(self._c_learnt[cid])
+        lbd = min(self._c_lbd[cid], len(keep)) if learnt else 0
+        new_cid = self._alloc(keep, learnt=learnt, lbd=lbd)
+        self._c_act[new_cid] = self._c_act[cid]
+        self._attach(new_cid)
+        return True
+
+    def _eliminate(self, frozen: set, budget: Optional["Budget"]) -> bool:
+        """SatELite-style bounded variable elimination at the root.
+
+        A variable v qualifies when unassigned, not assumed (frozen),
+        and cheap: both polarities occur at most ``elim_occ_limit``
+        times among irredundant clauses, and the non-tautological
+        resolvent count does not grow the database by more than
+        ``elim_growth``.  Resolvents are logged as RUP additions before
+        the originals are retired; the originals move to the
+        elimination stack for model extension and reintroduction.
+        """
+        config = self.config
+        occ, _sig = self._build_occ()
+        ar = self._ar
+        starts = self._c_start
+        sizes = self._c_size
+        dead = self._c_dead
+        learnt = self._c_learnt
+        vals = self._vals
+        limit = config.elim_occ_limit
+        candidates = [
+            v for v in range(1, self.num_vars + 1)
+            if vals[v + v] == 0 and not self._eliminated[v]
+            and v not in frozen
+            and len(occ[v + v]) <= limit and len(occ[v + v + 1]) <= limit
+        ]
+        candidates.sort(key=lambda v: len(occ[v + v]) + len(occ[v + v + 1]))
+        checked = 0
+        for v in candidates:
+            checked += 1
+            if budget is not None and (checked & 0x3F) == 0x3F:
+                if budget.exhausted() is not None:
+                    return True
+            if vals[v + v] != 0 or self._eliminated[v] or not self._ok:
+                continue
+            pos = [c for c in occ[v + v] if not dead[c] and not learnt[c]]
+            neg = [c for c in occ[v + v + 1] if not dead[c] and not learnt[c]]
+            if len(pos) > limit or len(neg) > limit:
+                continue
+            budget_clauses = len(pos) + len(neg) + config.elim_growth
+            pos_idx = v + v
+            neg_idx = pos_idx + 1
+            resolvents: list[list[int]] = []
+            feasible = True
+            for p_cid in pos:
+                ps = starts[p_cid]
+                p_rest = [ar[k] for k in range(ps, ps + sizes[p_cid])
+                          if ar[k] != pos_idx]
+                for n_cid in neg:
+                    nst = starts[n_cid]
+                    merged = dict.fromkeys(p_rest)
+                    taut = False
+                    for k in range(nst, nst + sizes[n_cid]):
+                        q = ar[k]
+                        if q == neg_idx:
+                            continue
+                        if q ^ 1 in merged:
+                            taut = True
+                            break
+                        merged[q] = None
+                    if taut:
+                        continue
+                    res = list(merged)
+                    if len(res) > config.elim_lit_limit:
+                        feasible = False
+                        break
+                    resolvents.append(res)
+                    if len(resolvents) > budget_clauses:
+                        feasible = False
+                        break
+                if not feasible:
+                    break
+            if not feasible:
+                continue
+            # Commit: log + install resolvents while the originals are
+            # still alive (each resolvent is RUP against them), then
+            # retire the originals onto the elimination stack.
+            proof = self.proof
+            saved: list[list[int]] = []
+            for cid in pos + neg:
+                saved.append(self._clause_lits(cid))
+            for res in resolvents:
+                if proof is not None:
+                    proof.add(self._to_signed(res))
+            self._elim_stack.append((v, saved))
+            self._eliminated[v] = 1
+            self.stats.eliminated += 1
+            for cid in pos + neg:
+                self._remove_clause(cid)
+            # Learned clauses mentioning v are no longer connected to
+            # anything useful; retire them (logged, they are redundant).
+            for cid in occ[v + v] + occ[v + v + 1]:
+                if not dead[cid] and learnt[cid]:
+                    self._remove_clause(cid)
+            failed = False
+            for res in resolvents:
+                if failed:
+                    break
+                # Normalize against the root assignment: unit resolvents
+                # installed earlier in this loop propagate at level 0, so
+                # a later resolvent may carry literals that are already
+                # decided.  Attaching it unfiltered can watch two false
+                # literals — the clause then never wakes propagation and
+                # the search can "satisfy" the formula while violating it.
+                if any(vals[q] > 0 for q in res):
+                    continue  # satisfied at the root forever
+                live = [q for q in res if vals[q] == 0]
+                if not live:
+                    failed = True
+                    continue
+                if len(live) == 1:
+                    if not self._enqueue(live[0], -1):
+                        failed = True
+                        continue
+                    if self._propagate() >= 0:
+                        failed = True
+                    continue
+                cid = self._alloc(live, learnt=False)
+                self._attach(cid)
+                for q in live:
+                    occ[q].append(cid)
+            if failed:
+                self._log_empty()
+                return False
+        return True
+
+    def _restore_eliminated(self, var: int) -> None:
+        """Reintroduce an eliminated variable (and all eliminated after it).
+
+        Frames are popped in reverse elimination order, which guarantees
+        every clause re-added mentions only live variables: a frame's
+        clauses were live at its elimination, so they contain no
+        earlier-eliminated variable, and any later-eliminated variable
+        they mention is restored by an earlier pop.
+        """
+        while self._eliminated[var] and self._elim_stack:
+            v, saved = self._elim_stack.pop()
+            self._eliminated[v] = 0
+            for lits in saved:
+                if not self.add_clause(lits):
+                    return
+
+    # ----- one-shot convenience -------------------------------------------
 
 
 def solve_cnf(

@@ -57,7 +57,8 @@ from ..trust import Certificate, DratChecker, DratError, ProofLog, certify_defau
 from .bitblast import BitBlaster
 from .intervals import BoundsEnv, Interval
 from .model import Model
-from .sat.cdcl import CDCLConfig, CDCLSolver, SatResult, SatStats
+from .sat.cdcl import CDCLConfig, CDCLSolver, SatResult
+from .stats import SatStats, SolverStats
 from .sorts import BOOL
 from .terms import TRUE, Term, evaluate, free_vars, mk_and
 
@@ -79,24 +80,8 @@ class CheckResult(enum.Enum):
         )
 
 
-@dataclass
-class SolverStats:
-    """Aggregate statistics from the last ``check()`` call.
-
-    ``sat`` is always the *per-call* view — on an incremental session it
-    is the delta attributable to this check, not the session's running
-    totals.  ``sat_lifetime`` carries the cumulative counters of the
-    underlying CDCL solver (identical to ``sat`` on one-shot paths).
-    """
-
-    encode_seconds: float = 0.0
-    solve_seconds: float = 0.0
-    cnf_vars: int = 0
-    cnf_clauses: int = 0
-    attempts: int = 1
-    sat: SatStats = field(default_factory=SatStats)
-    sat_lifetime: SatStats = field(default_factory=SatStats)
-    cache_hit: bool = False
+# SolverStats lives in repro.smt.stats (the unified schema);
+# re-exported here because this was its historical home.
 
 
 @dataclass

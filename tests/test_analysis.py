@@ -77,7 +77,7 @@ class TestWorkloadGenerators:
 class TestReplayTamperDetection:
     def test_tampered_trace_reports_mismatch(self):
         config = EncodeConfig(buffer_capacity=5, arrivals_per_step=2)
-        backend = SmtBackend(fq_buggy(2), horizon=4, config=config)
+        backend = SmtBackend(fq_buggy(2), steps=4, config=config)
         result = backend.find_trace(
             mk_le(mk_int(2), backend.deq_count("ibs[1]"))
         )

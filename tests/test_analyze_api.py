@@ -7,6 +7,8 @@ normalized constructor signatures (with their deprecated legacy
 spellings).
 """
 
+import warnings
+
 import pytest
 
 import repro
@@ -16,6 +18,7 @@ from repro.backends.dafny import DafnyBackend
 from repro.backends.fperf import FPerfBackend
 from repro.backends.houdini import HoudiniSynthesizer
 from repro.backends.mc import MCStatus, ModelChecker
+from repro.backends.network import NetworkBackend
 from repro.backends.smt_backend import SmtBackend, Status
 from repro.compiler.symexec import EncodeConfig
 from repro.netmodels.schedulers import fq_fixed, round_robin, strict_priority
@@ -79,8 +82,25 @@ class TestVerdict:
 
 
 class TestOutcomeConversions:
+    def test_outcome_stats_use_unified_schema(self):
+        """outcome.stats carries the flat schema from repro.smt.stats —
+        every SatStats counter and every SolverStats scalar, under the
+        same names the metrics families use."""
+        from repro.smt.stats import SatStats, SolverStats
+
+        backend = SmtBackend(strict_priority(2), steps=3, config=CONFIG)
+        found = backend.find_trace(
+            mk_le(mk_int(1), backend.deq_count("ibs[0]")))
+        stats = found.outcome().stats
+        for key in SatStats().as_dict():
+            assert key in stats, key
+        for key in ("encode_seconds", "solve_seconds", "cnf_vars",
+                    "cnf_clauses", "attempts", "cache_hit"):
+            assert key in stats, key
+        assert set(SolverStats().as_dict()) <= set(stats)
+
     def test_smt_verification_result(self):
-        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        backend = SmtBackend(strict_priority(2), steps=3, config=CONFIG)
         found = backend.find_trace(
             mk_le(mk_int(1), backend.deq_count("ibs[0]")))
         outcome = found.outcome()
@@ -93,7 +113,7 @@ class TestOutcomeConversions:
 
     def test_smt_exhausted_result(self):
         backend = SmtBackend(
-            strict_priority(2), horizon=3, config=CONFIG,
+            strict_priority(2), steps=3, config=CONFIG,
             budget=Budget(max_solver_calls=0),
         )
         result = backend.find_trace(
@@ -126,7 +146,7 @@ class TestOutcomeConversions:
         assert outcome.verdict in (Verdict.PROVED, Verdict.VIOLATED)
 
     def test_fperf_synthesis_result(self):
-        fperf = FPerfBackend(round_robin(2), horizon=3, config=CONFIG)
+        fperf = FPerfBackend(round_robin(2), steps=3, config=CONFIG)
         target = mk_le(mk_int(1), fperf.backend.deq_count("ibs[0]"))
         synth = fperf.synthesize_by_generalization(target)
         outcome = synth.outcome()
@@ -225,12 +245,25 @@ fifo(in buffer ib, out buffer ob){
 
 
 class TestConstructorShims:
+    """Legacy ``checked=``/``horizon=`` spellings: still accepted for
+    one release, but every use now emits a ``DeprecationWarning``."""
+
     def test_smt_legacy_keywords_still_work(self):
         program = strict_priority(2)
-        legacy = SmtBackend(checked=program, horizon=3, config=CONFIG)
+        with pytest.deprecated_call():
+            legacy = SmtBackend(checked=program, horizon=3, config=CONFIG)
         modern = SmtBackend(program, 3, config=CONFIG)
         assert legacy.horizon == modern.horizon == 3
-        assert legacy.checked is legacy.program is program
+        with pytest.deprecated_call():
+            assert legacy.checked is program
+        assert legacy.program is program
+
+    def test_modern_spelling_is_warning_free(self):
+        program = strict_priority(2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            backend = SmtBackend(program, steps=3, config=CONFIG)
+        assert backend.program is program
 
     def test_smt_conflicting_spellings_raise(self):
         program = strict_priority(2)
@@ -241,16 +274,24 @@ class TestConstructorShims:
 
     def test_dafny_legacy_checked_keyword(self):
         program = fq_fixed(2)
-        legacy = DafnyBackend(checked=program, config=CONFIG)
-        assert legacy.program is legacy.checked is program
+        with pytest.deprecated_call():
+            legacy = DafnyBackend(checked=program, config=CONFIG)
+        assert legacy.program is program
         with pytest.raises(TypeError):
             DafnyBackend(program, checked=program)
 
     def test_fperf_legacy_keywords(self):
         program = round_robin(2)
-        legacy = FPerfBackend(checked=program, horizon=3, config=CONFIG)
+        with pytest.deprecated_call():
+            legacy = FPerfBackend(checked=program, horizon=3, config=CONFIG)
         modern = FPerfBackend(program, 3, config=CONFIG)
         assert legacy.horizon == modern.horizon == 3
+
+    def test_network_legacy_horizon_keyword(self):
+        program = strict_priority(2)
+        with pytest.deprecated_call():
+            NetworkBackend({"n": program}, (), horizon=2,
+                           default_config=CONFIG)
 
     def test_backends_require_a_program(self):
         with pytest.raises(TypeError):

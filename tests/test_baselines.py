@@ -83,7 +83,7 @@ def buffy_queries(backend):
 def test_cross_validation(name, scheduler, encode):
     makers = {"prio": strict_priority, "rr": round_robin, "fq": fq_buggy}
     ctx = encode(n_queues=N, horizon=T, capacity=CAP, max_arrivals=ARR)
-    backend = SmtBackend(makers[scheduler](N), horizon=T, config=CONFIG)
+    backend = SmtBackend(makers[scheduler](N), steps=T, config=CONFIG)
 
     base_answer = baseline_sat(ctx, baseline_queries(ctx)[name])
     buffy_answer = buffy_sat(backend, buffy_queries(backend)[name])

@@ -85,7 +85,7 @@ class TestSymbolicLoss:
             delay_steps=1, path_capacity=3
         )
         backend = NetworkBackend(
-            programs, connections, horizon=6, configs=configs
+            programs, connections, steps=6, configs=configs
         )
         lost = mk_le(mk_int(1), backend.drop_count("path", "pin0"))
         result = backend.find_trace(lost)
@@ -107,7 +107,7 @@ class TestSymbolicLoss:
         )
         programs["aimd"] = check_program(parse_program(small_window))
         backend = NetworkBackend(
-            programs, connections, horizon=4, configs=configs
+            programs, connections, steps=4, configs=configs
         )
         lost = mk_le(mk_int(1), backend.drop_count("path", "pin0"))
         result = backend.find_trace(lost)

@@ -85,7 +85,7 @@ class TestSymbolicNetwork:
         backend = NetworkBackend(
             {"a": prog(RELAY), "b": prog(HALF)},
             [Connection("a", "rout", "b", "hin")],
-            horizon=3,
+            steps=3,
             default_config=CONFIG,
         )
         # Whatever b received must have been dequeued by a no later than
@@ -112,7 +112,7 @@ class TestSymbolicNetwork:
         served = concrete.interpreter("b").buffer("hin").stats.dequeued_packets
 
         backend = NetworkBackend(
-            programs, connections, horizon=horizon, default_config=CONFIG
+            programs, connections, steps=horizon, default_config=CONFIG
         )
         pins = []
         for av in backend.network.machine("a").arrival_vars:
@@ -128,7 +128,7 @@ class TestSymbolicNetwork:
         backend = NetworkBackend(
             {"a": prog(RELAY), "b": prog(HALF)},
             [Connection("a", "rout", "b", "hin")],
-            horizon=2,
+            steps=2,
             default_config=CONFIG,
         )
         result = backend.find_trace(

@@ -102,7 +102,11 @@ class TestBackendPartialResults:
     """Satellite: tiny budgets yield structured partial results."""
 
     def test_smt_backend_unknown_with_report(self):
+        # Inprocessing is disabled so the instance genuinely needs
+        # conflicts: variable elimination alone can crack this fixture
+        # without ever charging the conflict budget.
         backend = SmtBackend(fq_buggy(2), HORIZON, config=CONFIG,
+                             sat_config=CDCLConfig(use_inprocessing=False),
                              budget=Budget(max_conflicts=20))
         result = backend.find_trace(_starve(backend))
         assert result.status is Status.UNKNOWN

@@ -60,8 +60,8 @@ class TestParallelPortfolio:
     def test_verdicts_match_sequential(self, scheduler):
         """jobs=2 answers exactly what jobs=1 answers, on every query."""
         maker = SCHEDULERS[scheduler]
-        seq = SmtBackend(maker(N), horizon=T, config=CONFIG, jobs=1)
-        par = SmtBackend(maker(N), horizon=T, config=CONFIG, jobs=2)
+        seq = SmtBackend(maker(N), steps=T, config=CONFIG, jobs=1)
+        par = SmtBackend(maker(N), steps=T, config=CONFIG, jobs=2)
         for name, query in _queries(seq).items():
             expected = seq.find_trace(query).status
             got = par.find_trace(_queries(par)[name]).status
@@ -161,8 +161,8 @@ class TestIncrementalSolving:
     def test_incremental_backend_matches_fresh(self, scheduler):
         """One shared encoding answers like a fresh solver per query."""
         maker = SCHEDULERS[scheduler]
-        fresh = SmtBackend(maker(N), horizon=T, config=CONFIG)
-        shared = SmtBackend(maker(N), horizon=T, config=CONFIG,
+        fresh = SmtBackend(maker(N), steps=T, config=CONFIG)
+        shared = SmtBackend(maker(N), steps=T, config=CONFIG,
                             incremental=True)
         for name, query in _queries(fresh).items():
             expected = fresh.find_trace(query).status
@@ -215,7 +215,7 @@ class TestIncrementalSolving:
 
 
 def _priority_backend(**engine):
-    return SmtBackend(strict_priority(N), horizon=3, config=CONFIG, **engine)
+    return SmtBackend(strict_priority(N), steps=3, config=CONFIG, **engine)
 
 
 class TestResultCache:
@@ -310,7 +310,7 @@ def test_engine_matches_baselines(scheduler, encode):
     """Parallel + cached + incremental answers == hand-written baseline."""
     ctx = encode(n_queues=N, horizon=T, capacity=CAP, max_arrivals=ARR)
     engine_backend = SmtBackend(
-        SCHEDULERS[scheduler](N), horizon=T, config=CONFIG,
+        SCHEDULERS[scheduler](N), steps=T, config=CONFIG,
         jobs=2, cache=ResultCache(), incremental=True,
     )
     deq0 = engine_backend.deq_count("ibs[0]")

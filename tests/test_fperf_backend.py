@@ -71,7 +71,7 @@ class TestAtomEncodingAgreesWithConcrete:
     def test_atom_agreement(self, atom):
         from repro.backends.smt_backend import SmtBackend, Status
 
-        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        backend = SmtBackend(strict_priority(2), steps=3, config=CONFIG)
         encoded = atom.encode(backend.machine, 3)
         result = backend.find_trace(encoded)
         assert result.status is Status.SATISFIED
@@ -80,7 +80,7 @@ class TestAtomEncodingAgreesWithConcrete:
 
 class TestGeneralization:
     def test_synthesizes_for_reachable_query(self):
-        fperf = FPerfBackend(strict_priority(2), horizon=3, config=CONFIG)
+        fperf = FPerfBackend(strict_priority(2), steps=3, config=CONFIG)
         query = mk_le(mk_int(2), fperf.backend.deq_count("ibs[0]"))
         result = fperf.synthesize_by_generalization(query)
         assert result.ok
@@ -93,7 +93,7 @@ class TestGeneralization:
         assert result.stats.solver_calls > stats_before
 
     def test_unreachable_query_returns_none(self):
-        fperf = FPerfBackend(strict_priority(2), horizon=3, config=CONFIG)
+        fperf = FPerfBackend(strict_priority(2), steps=3, config=CONFIG)
         query = mk_le(mk_int(99), fperf.backend.deq_count("ibs[0]"))
         result = fperf.synthesize_by_generalization(query)
         assert not result.ok
@@ -102,7 +102,7 @@ class TestGeneralization:
     def test_fq_starvation_workload(self):
         from repro.analysis.queries import starvation
 
-        fperf = FPerfBackend(fq_buggy(2), horizon=5, config=CONFIG)
+        fperf = FPerfBackend(fq_buggy(2), steps=5, config=CONFIG)
         query = starvation(fperf.backend, "ibs[0]", max_service=1)
         result = fperf.synthesize_by_generalization(query)
         assert result.ok
@@ -113,7 +113,7 @@ class TestGeneralization:
 
 class TestEnumeration:
     def test_single_atom_synthesis(self):
-        fperf = FPerfBackend(strict_priority(2), horizon=3, config=CONFIG)
+        fperf = FPerfBackend(strict_priority(2), steps=3, config=CONFIG)
         # "queue 1 never dequeues anything": guaranteed whenever queue 1
         # receives nothing.
         query = fperf.backend.deq_count("ibs[1]").eq(mk_int(0))
@@ -122,13 +122,13 @@ class TestEnumeration:
         assert result.stats.candidates_tried >= 1
 
     def test_example_pruning_kicks_in(self):
-        fperf = FPerfBackend(strict_priority(2), horizon=3, config=CONFIG)
+        fperf = FPerfBackend(strict_priority(2), steps=3, config=CONFIG)
         query = fperf.backend.deq_count("ibs[1]").eq(mk_int(0))
         result = fperf.synthesize_by_enumeration(query, max_atoms=1)
         assert result.stats.pruned_by_examples > 0
 
     def test_grammar_size(self):
-        fperf = FPerfBackend(strict_priority(2), horizon=3, config=CONFIG)
+        fperf = FPerfBackend(strict_priority(2), steps=3, config=CONFIG)
         grammar = fperf.atom_grammar()
         kinds = {type(a).__name__ for a in grammar}
         assert kinds == {"RateGE", "RateLE", "BurstGE", "BurstLE"}

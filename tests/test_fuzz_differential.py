@@ -128,7 +128,7 @@ def test_random_program_differential(seed):
     interp = Interpreter(checked, buffer_capacity=CONFIG.buffer_capacity)
     trace = interp.run(workload)
 
-    backend = SmtBackend(checked, horizon=HORIZON, config=CONFIG)
+    backend = SmtBackend(checked, steps=HORIZON, config=CONFIG)
     from repro.smt.terms import mk_and, mk_bool, mk_eq, mk_int, mk_not
 
     pins = []

@@ -67,7 +67,7 @@ class TestFullPipeline:
         assert sorted(flows) == [0, 1]
 
     def test_smt_verify_and_replay(self, checked):
-        backend = SmtBackend(checked, horizon=3, config=CONFIG)
+        backend = SmtBackend(checked, steps=3, config=CONFIG)
         assert backend.check_assertions().status is Status.PROVED
         result = backend.find_trace(
             mk_le(mk_int(2), backend.monitor("served"))
@@ -89,13 +89,13 @@ class TestFullPipeline:
         assert mc.k_induction(conservation, k=1).status is MCStatus.PROVED
 
     def test_fperf_synthesis(self, checked):
-        fperf = FPerfBackend(checked, horizon=3, config=CONFIG)
+        fperf = FPerfBackend(checked, steps=3, config=CONFIG)
         query = mk_le(mk_int(2), fperf.backend.deq_count("ibs[0]"))
         result = fperf.synthesize_by_generalization(query)
         assert result.ok
 
     def test_smtlib_export_reimports(self, checked):
-        backend = SmtBackend(checked, horizon=2, config=CONFIG)
+        backend = SmtBackend(checked, steps=2, config=CONFIG)
         formulas = list(backend.machine.assumptions)
         formulas.extend(ob.formula for ob in backend.machine.obligations)
         text = to_smtlib(formulas, bounds=dict(backend.machine.bounds))
@@ -122,7 +122,7 @@ class TestMonitorHistoryAcrossBackends:
         concrete = trace.monitor_series("seen")
 
         backend = SmtBackend(
-            checked, horizon=3,
+            checked, steps=3,
             config=EncodeConfig(buffer_capacity=4, arrivals_per_step=2),
         )
         from repro.smt.terms import mk_bool, mk_eq, mk_not

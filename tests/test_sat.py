@@ -222,3 +222,74 @@ def test_learned_clause_db_reduction_stress():
     result, _, stats = solve_cnf(pigeonhole(7, 6))
     assert result is SatResult.UNSAT
     assert stats.learned > 0
+
+
+def test_eliminate_normalizes_resolvents_against_root_units():
+    """BVE resolvents must be re-filtered against the root assignment.
+
+    Eliminating vars 5 and 6 yields the unit resolvents [7] and [8];
+    eliminating var 9 next produces the resolvent [-7, -8, 3, 4], whose
+    first two literals are already false at level 0.  An unfiltered
+    attach watches two false literals, so the clause never wakes
+    propagation and the search can return a bogus SAT.  (Regression
+    test for a wrong-SAT found on the Figure-6 T=5 instance.)
+    """
+    clauses = [
+        [7, 5], [7, -5],            # eliminate 5 -> unit [7]
+        [8, 6], [8, -6],            # eliminate 6 -> unit [8]
+        [9, -7, -8, 3], [-9, 4],    # eliminate 9 -> [-7, -8, 3, 4]
+        [-3, 10], [-3, -10],        # eliminate 10 -> unit [-3]
+        [-4, 11], [-4, -11],        # eliminate 11 -> unit [-4]
+    ]
+    cnf = CNF(num_vars=11)
+    for c in clauses:
+        cnf.add_clause(c)
+    ref_result, _ = solve_cnf_dpll(cnf)
+    assert ref_result is SatResult.UNSAT
+
+    # Subsume/vivify off so elimination alone drives the derivation.
+    config = CDCLConfig(
+        use_inprocessing=True, use_subsume=False, use_vivify=False
+    )
+    solver = CDCLSolver(cnf.num_vars, config)
+    for c in clauses:
+        assert solver.add_clause(c)
+    if solver._inprocess(set(), None):
+        assert solver.solve() is SatResult.UNSAT
+
+
+def test_inprocessing_never_attaches_clauses_with_dead_watches():
+    """Regression: BVE resolvents built from a strengthened parent.
+
+    In one inprocessing round, subsumption first derives the root units
+    1 and 3, then strengthens [6,5,-1,-3,7] to [5,-1,-3,7] — whose
+    literals -1/-3 are already false.  Eliminating variable 5 next
+    resolves that clause against [-5,8]; unfixed, the resolvent
+    [-1,-3,7,8] was attached watching the two false literals, so no
+    assignment could ever wake it and the constraint was silently lost
+    (observed as a bogus SAT on the Figure-6 T=5 instance).  Vars 7/8
+    are frozen, mimicking solve-under-assumptions, so the resolvent's
+    live literals stay unassigned through the round.
+    """
+    clauses = [[1, 2], [1, -2], [3, 4], [3, -4],
+               [5, -6, -1, -3, 7], [6, 5, -1, -3, 7], [-5, 8]]
+    config = CDCLConfig(use_inprocessing=True, use_vivify=False)
+    solver = CDCLSolver(8, config)
+    for c in clauses:
+        assert solver.add_clause(c)
+    assert solver._inprocess({7, 8}, None)
+    # Watch invariant: an unsatisfied alive clause must never watch two
+    # false literals — their falsification visits already happened, so
+    # propagation would never examine the clause again.
+    vals = solver._vals
+    for cid in range(len(solver._c_start)):
+        if solver._c_dead[cid]:
+            continue
+        idxs = solver._clause_idxs(cid)
+        if any(vals[q] > 0 for q in idxs):
+            continue  # root-satisfied: watches are irrelevant
+        assert not (vals[idxs[0]] < 0 and vals[idxs[1]] < 0), (
+            f"clause {solver._clause_lits(cid)} attached with two false"
+            " watches: invisible to propagation"
+        )
+    assert solver.solve([-7, -8]) is SatResult.UNSAT

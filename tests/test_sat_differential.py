@@ -1,0 +1,113 @@
+"""Hypothesis differential tests: arena CDCL vs the DPLL reference.
+
+The clause-arena CDCL (watched literals, LBD reduction, inprocessing)
+is checked against the naive DPLL solver on random CNFs:
+
+* SAT/UNSAT agreement on every instance;
+* every SAT model actually satisfies the formula;
+* every UNSAT answer carries a DRAT proof the independent checker
+  replays (the ``--certify`` path), with inprocessing both on and off.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.cnf import CNF, check_assignment
+from repro.smt.sat.cdcl import CDCLConfig, CDCLSolver, SatResult, solve_cnf
+from repro.smt.sat.dpll import solve_cnf_dpll
+from repro.trust import check_drat
+from repro.trust.proof import ProofLog
+
+# Small enough for DPLL, large enough to exercise learning, reduction,
+# and (with the aggressive configs below) inprocessing.
+cnf_shapes = st.tuples(
+    st.integers(min_value=1, max_value=12),    # variables
+    st.integers(min_value=1, max_value=55),    # clauses
+    st.integers(min_value=0, max_value=2**32 - 1),  # rng seed
+)
+
+#: Inprocessing forced to run every few conflicts so these tiny
+#: instances actually exercise elimination/subsumption/vivification.
+AGGRESSIVE = CDCLConfig(
+    use_inprocessing=True,
+    inprocess_interval=4,
+    reduce_base=8,
+    restart_base=4,
+)
+PLAIN = CDCLConfig(use_inprocessing=False)
+
+
+def _random_cnf(n_vars: int, n_clauses: int, seed: int) -> CNF:
+    rng = random.Random(seed)
+    cnf = CNF(num_vars=n_vars)
+    for _ in range(n_clauses):
+        width = rng.randint(1, 3)
+        cnf.add_clause([
+            rng.choice([1, -1]) * rng.randint(1, n_vars)
+            for _ in range(width)
+        ])
+    return cnf
+
+
+@settings(max_examples=120, deadline=None)
+@given(cnf_shapes)
+def test_cdcl_agrees_with_dpll(shape):
+    n_vars, n_clauses, seed = shape
+    cnf = _random_cnf(n_vars, n_clauses, seed)
+    ref_result, _ = solve_cnf_dpll(cnf)
+    for config in (AGGRESSIVE, PLAIN):
+        result, model, _ = solve_cnf(cnf, config)
+        assert result is ref_result, (
+            f"verdict mismatch vs DPLL ({config.use_inprocessing=})"
+        )
+        if result is SatResult.SAT:
+            assert check_assignment(cnf, model), "model does not satisfy CNF"
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnf_shapes)
+def test_unsat_answers_carry_checkable_drat_proofs(shape):
+    n_vars, n_clauses, seed = shape
+    cnf = _random_cnf(n_vars, n_clauses, seed)
+    ref_result, _ = solve_cnf_dpll(cnf)
+    if ref_result is not SatResult.UNSAT:
+        return
+    for config in (AGGRESSIVE, PLAIN):
+        proof = ProofLog()
+        solver = CDCLSolver(cnf.num_vars, config, proof=proof)
+        ok = solver.add_cnf(cnf)
+        result = solver.solve() if ok else SatResult.UNSAT
+        assert result is SatResult.UNSAT
+        # The independent checker must accept the refutation — with
+        # inprocessing on, this covers elimination/strengthening steps.
+        check_drat(cnf.num_vars, cnf.clauses, proof.steps)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cnf_shapes, st.integers(min_value=1, max_value=12))
+def test_agreement_under_assumptions(shape, pivot):
+    """UNSAT-under-assumptions vs DPLL on the strengthened formula."""
+    n_vars, n_clauses, seed = shape
+    cnf = _random_cnf(n_vars, n_clauses, seed)
+    lit = ((pivot - 1) % n_vars) + 1
+    strengthened = CNF(num_vars=cnf.num_vars)
+    for clause in cnf.clauses:
+        strengthened.add_clause(clause)
+    strengthened.add_clause([lit])
+    ref_result, _ = solve_cnf_dpll(strengthened)
+
+    solver = CDCLSolver(cnf.num_vars, AGGRESSIVE)
+    if not solver.add_cnf(cnf):
+        # Root-level conflict while loading: the base formula is
+        # already UNSAT, so the strengthened one must be too.
+        assert ref_result is SatResult.UNSAT
+        return
+    result = solver.solve([lit])
+    assert result is ref_result
+    if result is SatResult.SAT:
+        model = solver.model()
+        assert check_assignment(strengthened, model)
+    else:
+        assert lit in solver.unsat_assumptions() or solver._ok is False

@@ -40,7 +40,7 @@ class TestDRRConcrete:
         """Both queues continuously backlogged: service within one
         quantum of each other — checked over all admissible traces."""
         horizon = 6
-        backend = SmtBackend(drr(2, quantum=2), horizon=horizon,
+        backend = SmtBackend(drr(2, quantum=2), steps=horizon,
                              config=CONFIG)
         backlogged = [
             mk_le(mk_int(1), backend.backlog(f"ibs[{q}]", t))
@@ -91,7 +91,7 @@ class TestShaperSymbolic:
         back end, the shaper's defining property."""
         horizon = 5
         backend = SmtBackend(
-            token_bucket_shaper(rate=1, bucket=3), horizon=horizon,
+            token_bucket_shaper(rate=1, bucket=3), steps=horizon,
             config=EncodeConfig(buffer_capacity=8, arrivals_per_step=3),
         )
         envelope = mk_le(

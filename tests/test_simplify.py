@@ -145,7 +145,7 @@ class TestOnCompiledFormulas:
         from repro.smt.terms import mk_le as le
 
         backend = SmtBackend(
-            fq_buggy(2), horizon=3,
+            fq_buggy(2), steps=3,
             config=EncodeConfig(buffer_capacity=4, arrivals_per_step=2),
         )
         query = le(mk_int(2), backend.deq_count("ibs[0]"))

@@ -23,10 +23,10 @@ CONFIG = EncodeConfig(buffer_capacity=5, arrivals_per_step=2)
 class TestBasics:
     def test_invalid_horizon(self):
         with pytest.raises(ValueError):
-            SmtBackend(strict_priority(2), horizon=0)
+            SmtBackend(strict_priority(2), steps=0)
 
     def test_prove_total_service_bound(self):
-        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        backend = SmtBackend(strict_priority(2), steps=3, config=CONFIG)
         total = backend.deq_count("ibs[0]") + backend.deq_count("ibs[1]")
         assert backend.prove(mk_le(total, mk_int(3))).status is Status.PROVED
         result = backend.prove(mk_le(total, mk_int(2)))
@@ -34,7 +34,7 @@ class TestBasics:
         assert result.counterexample is not None
 
     def test_find_trace_decodes_packets(self):
-        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        backend = SmtBackend(strict_priority(2), steps=3, config=CONFIG)
         result = backend.find_trace(
             mk_le(mk_int(2), backend.deq_count("ibs[1]"))
         )
@@ -44,7 +44,7 @@ class TestBasics:
         assert "counterexample over 3 steps" in trace.describe()
 
     def test_priority_invariant(self):
-        backend = SmtBackend(strict_priority(2), horizon=4, config=CONFIG)
+        backend = SmtBackend(strict_priority(2), steps=4, config=CONFIG)
         blocked = [
             mk_le(mk_int(1), backend.backlog("ibs[0]", t)) for t in range(4)
         ]
@@ -68,7 +68,7 @@ class TestInProgramAsserts:
         checked = check_program(
             parse_program(self.SRC, consts={"LIMIT": limit})
         )
-        return SmtBackend(checked, horizon=horizon, config=CONFIG)
+        return SmtBackend(checked, steps=horizon, config=CONFIG)
 
     def test_violable_assert_found(self):
         result = self._backend(limit=1).check_assertions()
@@ -84,7 +84,7 @@ class TestInProgramAsserts:
         checked = check_program(parse_program(
             "p(in buffer ib, out buffer ob){ move-p(ib, ob, 1); }"
         ))
-        backend = SmtBackend(checked, horizon=2, config=CONFIG)
+        backend = SmtBackend(checked, steps=2, config=CONFIG)
         assert backend.check_assertions().status is Status.PROVED
 
 
@@ -98,7 +98,7 @@ class TestAssume:
 
     def test_assume_restricts_traces(self):
         checked = check_program(parse_program(self.SRC))
-        backend = SmtBackend(checked, horizon=3, config=CONFIG)
+        backend = SmtBackend(checked, steps=3, config=CONFIG)
         # With at most 1 packet present at a time, at most 3 ever dequeue,
         # and a backlog of 2 is impossible.
         result = backend.find_trace(
@@ -109,21 +109,21 @@ class TestAssume:
 
 class TestCaseStudyQueries:
     def test_starvation_found_on_buggy_fq(self):
-        backend = SmtBackend(fq_buggy(2), horizon=5, config=CONFIG)
+        backend = SmtBackend(fq_buggy(2), steps=5, config=CONFIG)
         query = starvation(backend, "ibs[0]", max_service=1,
                            competitors_min_service={"ibs[1]": 3})
         result = backend.find_trace(query)
         assert result.status is Status.SATISFIED
 
     def test_starvation_unsat_on_fixed_fq(self):
-        backend = SmtBackend(fq_fixed(2), horizon=5, config=CONFIG)
+        backend = SmtBackend(fq_fixed(2), steps=5, config=CONFIG)
         query = starvation(backend, "ibs[0]", max_service=1,
                            competitors_min_service={"ibs[1]": 3})
         result = backend.find_trace(query)
         assert result.status is Status.UNSATISFIABLE
 
     def test_fair_share_query_shape(self):
-        backend = SmtBackend(fq_fixed(2), horizon=4, config=CONFIG)
+        backend = SmtBackend(fq_fixed(2), steps=4, config=CONFIG)
         term = fair_share(backend, "ibs[0]")
         assert term.sort.value == "Bool"
 
@@ -132,7 +132,7 @@ class TestCaseStudyQueries:
             "p(in buffer ib, out buffer ob){ move-p(ib, ob, 1); }"
         ))
         config = EncodeConfig(buffer_capacity=2, arrivals_per_step=2)
-        backend = SmtBackend(checked, horizon=4, config=config)
+        backend = SmtBackend(checked, steps=4, config=config)
         assert backend.find_trace(
             loss(backend, "ib")
         ).status is Status.SATISFIED
@@ -141,20 +141,20 @@ class TestCaseStudyQueries:
         ).status is Status.SATISFIED
 
     def test_replay_consistency(self):
-        backend = SmtBackend(fq_buggy(2), horizon=5, config=CONFIG)
+        backend = SmtBackend(fq_buggy(2), steps=5, config=CONFIG)
         query = starvation(backend, "ibs[0]", max_service=1)
         result = backend.find_trace(query)
         report = replay(fq_buggy(2), result.counterexample, backend=backend)
         assert report.consistent, report.mismatches
 
     def test_ordering_query_satisfiable(self):
-        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        backend = SmtBackend(strict_priority(2), steps=3, config=CONFIG)
         query = ordering_fifo(backend, "ob", first_flow=0, second_flow=1)
         # prio: flow-0 packets go out first, so flow0-then-flow1 is reachable.
         assert backend.find_trace(query).status is Status.SATISFIED
 
     def test_ordering_query_unsat_when_impossible(self):
-        backend = SmtBackend(strict_priority(2), horizon=3, config=CONFIG)
+        backend = SmtBackend(strict_priority(2), steps=3, config=CONFIG)
         # While ibs[0] stays backlogged, a flow-1 packet can never be
         # *ahead of* a flow-0 packet in the output.
         blocked = [
@@ -171,7 +171,7 @@ class TestCounterModelBackend:
             config = EncodeConfig(
                 buffer_model=model, buffer_capacity=5, arrivals_per_step=2
             )
-            backend = SmtBackend(strict_priority(2), horizon=3, config=config)
+            backend = SmtBackend(strict_priority(2), steps=3, config=config)
             sat_q = mk_le(mk_int(2), backend.deq_count("ibs[0]"))
             assert backend.find_trace(sat_q).status is Status.SATISFIED
             unsat_q = mk_le(mk_int(4), backend.deq_count("ibs[0]"))

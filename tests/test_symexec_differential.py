@@ -57,7 +57,7 @@ def random_workload(labels, horizon, seed):
 def test_deq_counts_match_interpreter(make, seed):
     horizon = 4
     checked = make(2)
-    backend = SmtBackend(checked, horizon=horizon, config=CONFIG)
+    backend = SmtBackend(checked, steps=horizon, config=CONFIG)
     labels = backend.machine.input_buffer_labels()
     workload = random_workload(labels, horizon, seed)
 
@@ -94,7 +94,7 @@ def test_deq_counts_match_interpreter(make, seed):
 def test_pinned_trace_is_feasible():
     """Sanity: the pinned workload itself must be admissible."""
     checked = round_robin(2)
-    backend = SmtBackend(checked, horizon=3, config=CONFIG)
+    backend = SmtBackend(checked, steps=3, config=CONFIG)
     labels = backend.machine.input_buffer_labels()
     workload = random_workload(labels, 3, seed=5)
     pins = pin_arrivals(backend, workload)
@@ -122,7 +122,7 @@ def test_monitor_values_match():
 
     checked = check_program(parse_program(src))
     horizon = 3
-    backend = SmtBackend(checked, horizon=horizon, config=CONFIG)
+    backend = SmtBackend(checked, steps=horizon, config=CONFIG)
     workload = random_workload(["ibs[0]", "ibs[1]"], horizon, seed=9)
     interp = Interpreter(checked, buffer_capacity=CONFIG.buffer_capacity)
     trace = interp.run(workload)
