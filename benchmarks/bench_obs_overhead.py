@@ -1,0 +1,75 @@
+"""Observability overhead: what tracing + the progress beacon cost.
+
+Three numbers, written to ``BENCH_obs_overhead.json``:
+
+* ``solve_seconds`` with telemetry fully off — the baseline;
+* ``solve_seconds`` with spans + metrics + a beacon sink enabled —
+  the worst case an operator can switch on;
+* ``overhead_pct`` — enabled vs disabled, on the same deterministic
+  UNSAT pigeonhole instance (same search, same conflict count).
+
+The hard *disabled*-overhead guarantee (<2% guard) lives in
+``tests/test_obs.py``; this bench tracks the *enabled* cost so a
+regression that makes live introspection unaffordable is visible in
+CI artifacts before anyone notices in production.
+"""
+
+import time
+
+from repro import obs
+from repro.obs import BEACON, progress_scope
+from repro.smt.sat.cdcl import CDCLSolver, SatResult
+
+
+def _pigeonhole(holes):
+    pigeons = holes + 1
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return pigeons * holes, clauses
+
+
+def _solve(num_vars, clauses):
+    t0 = time.perf_counter()
+    solver = CDCLSolver(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    assert solver.solve() is SatResult.UNSAT
+    return time.perf_counter() - t0, solver.stats.conflicts
+
+
+def test_beacon_and_tracing_overhead(bench_json):
+    num_vars, clauses = _pigeonhole(7)
+
+    obs.reset()
+    obs.disable()
+    BEACON.disable()
+    _solve(num_vars, clauses)  # warm-up: caches, allocator, JIT-ish paths
+    disabled, conflicts = _solve(num_vars, clauses)
+
+    obs.enable()
+    samples = []
+    try:
+        with BEACON.routed(samples.append), progress_scope("bench-job"):
+            enabled, _ = _solve(num_vars, clauses)
+    finally:
+        obs.reset()
+        obs.disable()
+        BEACON.disable()
+
+    overhead_pct = 100.0 * (enabled - disabled) / max(disabled, 1e-9)
+    bench_json("solve_seconds", round(disabled, 6), "s",
+               telemetry="disabled", conflicts=conflicts)
+    bench_json("solve_seconds", round(enabled, 6), "s",
+               telemetry="enabled", conflicts=conflicts,
+               beacon_samples=len(samples))
+    bench_json("overhead_pct", round(overhead_pct, 2), "%")
+    print(f"\nobs overhead: disabled {disabled * 1e3:.1f}ms,"
+          f" enabled {enabled * 1e3:.1f}ms ({overhead_pct:+.1f}%,"
+          f" {len(samples)} beacon samples, {conflicts} conflicts)")

@@ -33,7 +33,7 @@ from typing import Callable, Optional
 from ..backends.dafny import StateView
 from ..compiler.symexec import EncodeConfig, SymbolicMachine
 from ..lang.checker import CheckedProgram
-from ..obs import METRICS, TRACER
+from ..obs import METRICS, TRACER, phase_scope
 from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
 from ..smt.sat.cdcl import CDCLConfig
 from ..smt.smtlib import term_to_smtlib
@@ -202,7 +202,8 @@ class ModelChecker(AnalysisBackend):
             if METRICS.enabled:
                 METRICS.counter_inc(
                     "repro_vcs_total", backend="mc", status="bound")
-            with TRACER.span("bmc-bound", bound=step) as sp:
+            with TRACER.span("bmc-bound", bound=step) as sp, \
+                    phase_scope(bound=step):
                 result, report = self._check(machine, goal, session)
                 sp.set("result", result.value)
             if result is CheckResult.SAT:

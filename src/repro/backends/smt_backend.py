@@ -28,7 +28,7 @@ from typing import Optional, Sequence
 from ..buffers.packets import Packet
 from ..compiler.symexec import EncodeConfig, Obligation, SymbolicMachine
 from ..lang.checker import CheckedProgram
-from ..obs import METRICS, TRACER
+from ..obs import METRICS, TRACER, phase_scope
 from ..runtime.budget import Budget, BudgetExhausted, ResourceReport
 from ..smt.model import Model
 from ..smt.sat.cdcl import CDCLConfig
@@ -248,7 +248,8 @@ class SmtBackend(AnalysisBackend):
             METRICS.counter_inc(
                 "repro_vcs_total", backend="smt", status="asserts")
         with TRACER.span("vc", vc="asserts", backend="smt",
-                         obligations=len(obligations)) as sp:
+                         obligations=len(obligations)) as sp, \
+                phase_scope(vc="asserts"):
             result, report = governed_check(solver, *extra_assumptions, goal)
             sp.set("result", result.value)
         elapsed = time.perf_counter() - t0
@@ -283,7 +284,8 @@ class SmtBackend(AnalysisBackend):
         if METRICS.enabled:
             METRICS.counter_inc(
                 "repro_vcs_total", backend="smt", status="trace-query")
-        with TRACER.span("vc", vc="find-trace", backend="smt") as sp:
+        with TRACER.span("vc", vc="find-trace", backend="smt") as sp, \
+                phase_scope(vc="find-trace"):
             result, report = governed_check(solver, *extra_assumptions, query)
             sp.set("result", result.value)
         elapsed = time.perf_counter() - t0

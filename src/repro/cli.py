@@ -12,6 +12,9 @@ Commands:
 * ``batch ...``       — durable batch analysis over a journal directory
   (``submit`` / ``run`` / ``resume`` / ``status``): jobs survive
   SIGKILL and resume exactly where the journal left off;
+* ``top TARGET``      — live job/solver introspection against a running
+  ``repro serve`` (``HOST:PORT``) or a spool directory, refreshing in
+  place (``--once`` for one frame);
 * ``loc``             — print the Table-1 LoC comparison.
 
 Named constants for ``buffer[N]``-style sizes are passed with
@@ -84,6 +87,7 @@ def _config(args) -> EncodeConfig:
 
 def _telemetry_wanted(args) -> bool:
     return (getattr(args, "trace", None) is not None
+            or getattr(args, "trace_jsonl", None) is not None
             or getattr(args, "metrics", None) is not None)
 
 
@@ -102,6 +106,14 @@ def _export_telemetry(snapshot, args) -> None:
                   " open in https://ui.perfetto.dev)", file=sys.stderr)
         else:
             print(f"warning: could not write trace to {args.trace}",
+                  file=sys.stderr)
+    jsonl = getattr(args, "trace_jsonl", None)
+    if jsonl:
+        if snapshot.write_jsonl(jsonl):
+            print(f"trace: wrote {jsonl} ({len(snapshot.spans)} spans,"
+                  " one JSON object per line)", file=sys.stderr)
+        else:
+            print(f"warning: could not write trace to {jsonl}",
                   file=sys.stderr)
     metrics = getattr(args, "metrics", None)
     if metrics == "-":
@@ -378,6 +390,14 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    from .top import run_top
+
+    return run_top(
+        args.target, interval=args.interval, once=args.once,
+    )
+
+
 def cmd_stats(args) -> int:
     from .obs.export import snapshot_from_chrome_trace
 
@@ -460,6 +480,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="record spans and write a Chrome trace-event"
                             " JSON (open in https://ui.perfetto.dev)")
+        p.add_argument("--trace-jsonl", default=None, metavar="FILE",
+                       dest="trace_jsonl",
+                       help="record spans and write them as JSON Lines"
+                            " (one span per line, trace/span ids intact"
+                            " — for scripted validation)")
         p.add_argument("--metrics", nargs="?", const="-", default=None,
                        metavar="FILE",
                        help="record metrics and write Prometheus text"
@@ -586,6 +611,22 @@ def build_parser() -> argparse.ArgumentParser:
                         " (default $REPRO_JOBS or 1)")
     certify_opt(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live job/solver introspection: attach to a running serve"
+             " (HOST:PORT) or a spool/batch directory and refresh a"
+             " job table with solver progress in place",
+    )
+    p.add_argument("target",
+                   help="a serve endpoint (HOST:PORT or http://HOST:PORT)"
+                        " or a spool/batch journal directory")
+    p.add_argument("--interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="refresh interval (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (scripts, CI)")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser(
         "stats", help="summarize a --trace file (spans by total time)"

@@ -26,6 +26,8 @@ import random
 import time
 from typing import Any, Callable, Optional
 
+from .obs import TRACER, make_traceparent
+
 #: Statuses worth retrying: overload rejects and drain, never 4xx bugs.
 RETRYABLE_STATUSES = frozenset({429, 503})
 
@@ -63,6 +65,9 @@ class ServiceClient:
         self.backoff_cap = backoff_cap
         self._rng = random.Random(seed)
         self._sleep = sleep
+        #: The traceparent sent with the most recent request — the
+        #: handle for fetching its distributed trace later.
+        self.last_traceparent: Optional[str] = None
 
     # ----- the API ----------------------------------------------------------
 
@@ -97,6 +102,18 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         return self.request("GET", f"/v1/jobs/{job_id}", retry=False)
 
+    def jobs(self) -> dict:
+        return self.request("GET", "/v1/jobs", retry=False)
+
+    def job_trace(self, job_id: str) -> dict:
+        """The job's stitched span tree (client → serve → workers)."""
+        return self.request("GET", f"/v1/jobs/{job_id}/trace", retry=False)
+
+    def job_progress(self, job_id: str) -> dict:
+        """Live solver-progress samples for a (running) job."""
+        return self.request("GET", f"/v1/jobs/{job_id}/progress",
+                            retry=False)
+
     def health(self) -> dict:
         return self.request("GET", "/healthz", retry=False)
 
@@ -115,13 +132,33 @@ class ServiceClient:
     def request(self, method: str, path: str,
                 payload: Optional[dict] = None, *,
                 retry: bool = True) -> dict:
-        """One logical request through the retry loop."""
+        """One logical request through the retry loop.
+
+        Opens a ``client-request`` span when tracing is enabled and
+        propagates the trace context in a ``traceparent`` header —
+        fabricating a fresh one for submissions even with tracing off,
+        so the server side of the trace is always stitchable.  Retried
+        attempts reuse the same traceparent: one logical request, one
+        trace node.
+        """
+        with TRACER.span("client-request", method=method, path=path):
+            traceparent = TRACER.traceparent()
+            if traceparent is None and method == "POST":
+                traceparent = make_traceparent()
+            if traceparent is not None:
+                self.last_traceparent = traceparent
+            return self._request(method, path, payload, traceparent,
+                                 retry=retry)
+
+    def _request(self, method: str, path: str, payload: Optional[dict],
+                 traceparent: Optional[str], *, retry: bool) -> dict:
         attempts = (self.max_retries + 1) if retry else 1
         last_doc: Optional[dict] = None
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
             try:
-                status, headers, body = self._once(method, path, payload)
+                status, headers, body = self._once(
+                    method, path, payload, traceparent)
             except (OSError, http.client.HTTPException) as exc:
                 last_error = exc
                 if attempt + 1 < attempts:
@@ -145,13 +182,15 @@ class ServiceClient:
             f" {last_error!r}"
         )
 
-    def _once(self, method: str, path: str,
-              payload: Optional[dict]) -> tuple[int, dict, bytes]:
+    def _once(self, method: str, path: str, payload: Optional[dict],
+              traceparent: Optional[str] = None) -> tuple[int, dict, bytes]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
         try:
             body = None
             headers = {"X-Repro-Tenant": self.tenant}
+            if traceparent is not None:
+                headers["traceparent"] = traceparent
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"

@@ -51,7 +51,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..obs import METRICS, TRACER
+from ..obs import BEACON, METRICS, TRACER
 from ..runtime.budget import Budget, BudgetExhausted, ExhaustionReason
 from ..smt.cnf import CNF
 from ..smt.sat.cdcl import CDCLConfig, CDCLSolver, SatResult, SatStats
@@ -118,13 +118,17 @@ def _stats_tuple(stats: SatStats) -> tuple:
     return stats.to_tuple()
 
 
-def _worker_telemetry_begin(enabled: bool) -> None:
+def _worker_telemetry_begin(enabled: bool,
+                            traceparent: Optional[str] = None) -> None:
     """Arm (or disarm) this worker's local tracer/registry for one task.
 
     With ``fork`` the worker inherits the parent's singletons, including
     any records the parent had at fork time — so the state is reset
     explicitly per task and re-enabled only when the parent asked for
     telemetry, making each result's delta attributable to that task.
+    Adopting the dispatcher's ``traceparent`` makes this task's root
+    spans children of the dispatching portfolio span, so the merged
+    trace stitches across the process boundary.
     """
     TRACER.clear()
     METRICS.clear()
@@ -133,10 +137,12 @@ def _worker_telemetry_begin(enabled: bool) -> None:
     if enabled:
         TRACER.metrics = METRICS
         METRICS.proc = "worker"
+        TRACER.adopt(traceparent)
 
 
 def _worker_telemetry_capture(enabled: bool):
     """The span/metric delta shipped back with a result (None if off)."""
+    BEACON.disable()
     if not enabled:
         return None
     METRICS.counter_inc("repro_parallel_tasks_total", proc="worker")
@@ -160,7 +166,9 @@ def _portfolio_worker(task_queue, result_queue, cancel_cell,
     SatStats tuple, ``telemetry`` the worker's span/metric delta (or
     None when the parent ran without telemetry), and ``extra`` is
     ``(proof_steps, unsat_assumptions)`` on a certified UNSAT, else
-    None.
+    None.  Live-progress samples travel on the same queue as
+    ``("progress", task_id, sample)`` messages, re-emitted by the
+    dispatching process's beacon.
     """
     while True:
         task = task_queue.get()
@@ -168,7 +176,7 @@ def _portfolio_worker(task_queue, result_queue, cancel_cell,
             return
         (task_id, slot, attempt, num_vars, clauses, config_kwargs,
          assumptions, deadline, max_conflicts, max_learned, telemetry,
-         certify, chaos) = task
+         certify, chaos, traceparent, progress_ctx) = task
         if heartbeat is not None:
             heartbeat.value = time.time()
         if chaos is not None and _chaos_should_crash(
@@ -183,7 +191,17 @@ def _portfolio_worker(task_queue, result_queue, cancel_cell,
                  _stats_tuple(SatStats()), None, None)
             )
             continue
-        _worker_telemetry_begin(telemetry)
+        _worker_telemetry_begin(telemetry, traceparent)
+        if progress_ctx is not None:
+            progress_ctx = dict(progress_ctx)
+            phase = dict(progress_ctx.get("phase") or {})
+            phase["slot"] = slot
+            progress_ctx["phase"] = phase
+        BEACON.configure_remote(
+            progress_ctx,
+            lambda sample, _tid=task_id: result_queue.put(
+                ("progress", _tid, sample)),
+        )
         budget = _WorkerBudget(
             cancel_cell, task_id, heartbeat,
             deadline_seconds=deadline,
@@ -541,6 +559,11 @@ class PortfolioPool:
                     1, budget.max_learned_clauses - budget.learned_clauses
                 )
         telemetry = TRACER.enabled or METRICS.enabled
+        # Context shipped to workers: the current traceparent (worker
+        # root spans re-parent under the dispatching span) and the
+        # beacon snapshot (job id + phase for live-progress samples).
+        traceparent = TRACER.traceparent() if telemetry else None
+        progress_ctx = BEACON.ship()
         slots: list[Optional[SlotResult]] = [None] * len(tasks)
         # Per-slot dispatch state, kept so the supervisor can requeue a
         # lost worker's in-flight queries on a replacement.
@@ -560,7 +583,7 @@ class PortfolioPool:
             payloads.append((
                 cnf.num_vars, cnf.clauses, dataclasses.asdict(config),
                 assumptions, deadline, max_conflicts, max_learned,
-                telemetry, certify, chaos,
+                telemetry, certify, chaos, traceparent, progress_ctx,
             ))
             dispatch(slot, self._workers[slot % len(self._workers)])
         pending = len(tasks)
@@ -578,6 +601,12 @@ class PortfolioPool:
                     slots, attempts, assigned, dispatched_at,
                     dispatch, pending, winner_seen,
                 )
+                continue
+            if msg[0] == "progress":
+                # A worker's live-progress sample: re-emit through this
+                # process's beacon (stale generations are dropped).
+                if msg[1] == task_id:
+                    BEACON.forward(msg[2])
                 continue
             (msg_task_id, slot, verdict, payload, reason, stats_t, telem,
              extra) = msg

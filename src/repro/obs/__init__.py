@@ -22,8 +22,25 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from .tracer import TRACER, Span, SpanRecord, Tracer
+from .tracer import (
+    TRACER,
+    Span,
+    SpanRecord,
+    Tracer,
+    format_traceparent,
+    make_traceparent,
+    parse_traceparent,
+    span_tree,
+)
 from .metrics import METRICS, MetricsRegistry
+from .progress import (
+    BEACON,
+    ProgressBeacon,
+    ProgressBook,
+    SolveProgress,
+    phase_scope,
+    progress_scope,
+)
 from .export import (
     TelemetrySnapshot,
     load_chrome_trace,
@@ -33,16 +50,26 @@ from .export import (
 __all__ = [
     "TRACER",
     "METRICS",
+    "BEACON",
     "Tracer",
     "Span",
     "SpanRecord",
     "MetricsRegistry",
+    "ProgressBeacon",
+    "ProgressBook",
+    "SolveProgress",
     "TelemetrySnapshot",
     "telemetry",
     "enable",
     "disable",
     "reset",
     "capture",
+    "format_traceparent",
+    "make_traceparent",
+    "parse_traceparent",
+    "phase_scope",
+    "progress_scope",
+    "span_tree",
     "load_chrome_trace",
     "snapshot_from_chrome_trace",
 ]

@@ -64,6 +64,7 @@ class TelemetrySnapshot:
 
     spans: tuple = ()          # tuple[SpanRecord-as-dict, ...]
     metrics: dict = field(default_factory=dict)  # MetricsRegistry.snapshot()
+    pid: int = 0               # capturing process (labels its track)
 
     #: Chaos hook (class attribute — the dataclass is frozen):
     #: repro.runtime.chaos.inject_faults installs a monkey here so
@@ -77,6 +78,7 @@ class TelemetrySnapshot:
         return cls(
             spans=tuple(tracer.export_records()),
             metrics=registry.snapshot(),
+            pid=os.getpid(),
         )
 
     # ----- summaries --------------------------------------------------------
@@ -91,7 +93,11 @@ class TelemetrySnapshot:
     # ----- exporters --------------------------------------------------------
 
     def chrome_trace_events(self) -> list[dict[str, Any]]:
-        """Complete-event list, sorted by ``ts`` (monotonically ordered)."""
+        """Complete-event list, sorted by ``ts``, preceded by
+        ``process_name``/``thread_name`` metadata (``ph: "M"``) so
+        Perfetto labels the tracks — "repro main" for the capturing
+        process, "portfolio worker" for every other pid — instead of
+        showing bare process ids."""
         events = []
         for s in self.spans:
             events.append({
@@ -107,10 +113,26 @@ class TelemetrySnapshot:
                     "cpu_us": round(s["cpu"] * 1e6, 3),
                     "span_id": s["span_id"],
                     "parent_id": s["parent_id"],
+                    "trace_id": s.get("trace_id", ""),
                 },
             })
         events.sort(key=lambda e: (e["ts"], -e["dur"]))
-        return events
+        meta = []
+        for pid in sorted({s["pid"] for s in self.spans}):
+            role = ("repro main" if self.pid and pid == self.pid
+                    else "portfolio worker")
+            label = f"{role} (pid {pid})"
+            for kind in ("process_name", "thread_name"):
+                meta.append({
+                    "name": kind,
+                    "cat": "__metadata",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": pid,
+                    "args": {"name": label},
+                })
+        return meta + events
 
     def write_chrome_trace(self, path: str) -> bool:
         doc = {
@@ -203,7 +225,7 @@ def snapshot_from_chrome_trace(path: str) -> TelemetrySnapshot:
     """Rebuild a (span-only) snapshot from an emitted trace file."""
     spans = []
     for e in load_chrome_trace(path):
-        if e.get("ph") != "X":
+        if e.get("ph") != "X":  # skips "M" metadata events too
             continue
         args = e.get("args", {})
         spans.append({
@@ -214,7 +236,9 @@ def snapshot_from_chrome_trace(path: str) -> TelemetrySnapshot:
             "span_id": args.get("span_id", 0),
             "parent_id": args.get("parent_id", 0),
             "pid": e.get("pid", 0),
+            "trace_id": args.get("trace_id", ""),
             "attrs": {k: v for k, v in args.items()
-                      if k not in ("cpu_us", "span_id", "parent_id")},
+                      if k not in ("cpu_us", "span_id", "parent_id",
+                                   "trace_id")},
         })
     return TelemetrySnapshot(spans=tuple(spans))

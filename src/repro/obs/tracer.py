@@ -16,22 +16,91 @@ Design constraints, in priority order:
    smallest SAT-ablation workload (<2% of its wall time).  Hot inner
    loops (unit propagation, gate construction) are *never* spanned —
    they only feed aggregate counters.
-2. **Cross-process mergeable.**  Wall timestamps use ``time.time()``
-   (the shared system epoch), so spans recorded inside portfolio
-   worker processes interleave correctly with the parent's when merged
-   via :meth:`Tracer.merge`; every record carries its producing
-   ``pid``.
-3. **Zero dependencies.**  Plain dataclasses and ``time``; exporters
+2. **Cross-process stitchable.**  Wall timestamps use ``time.time()``
+   (the shared system epoch) and span ids are drawn from a shared
+   random 63-bit space, so spans recorded inside portfolio worker
+   processes interleave correctly with the parent's when merged via
+   :meth:`Tracer.merge` *and* keep valid parent links — a worker that
+   adopted the dispatcher's traceparent re-parents under the
+   dispatching span.  Every record carries its producing ``pid`` and
+   the ``trace_id`` it belongs to.
+3. **Concurrency-safe.**  The active-span stack and the ambient trace
+   context live in :mod:`contextvars`, so concurrent asyncio requests
+   (each task runs in its own context copy) never mis-parent each
+   other's spans.  To carry the context into a thread pool, snapshot
+   with ``contextvars.copy_context()`` and run the job via
+   ``ctx.run(...)``.
+4. **Zero dependencies.**  Plain dataclasses and ``time``; exporters
    live in :mod:`repro.obs.export`.
+
+Wire format: the cross-process context is a W3C-style traceparent
+string ``00-<32 hex trace_id>-<16 hex span_id>-01``.  It travels in
+the ``traceparent`` HTTP header (client → serve), in batch-journal
+``submit`` records (serve → ``batch resume`` after a crash), and in
+portfolio task tuples (dispatcher → worker).
 """
 
 from __future__ import annotations
 
-import itertools
 import os
+import random
 import time
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Optional
+
+#: Private RNG for span/trace ids — never touches the global
+#: ``random`` state (tests that seed it stay deterministic).
+_rng = random.Random()
+
+
+def _new_span_id() -> int:
+    """A random 63-bit non-zero span id, unique across processes."""
+    while True:
+        sid = _rng.getrandbits(63)
+        if sid:
+            return sid
+
+
+def _new_trace_id() -> str:
+    return f"{_rng.getrandbits(128):032x}"
+
+
+def format_traceparent(trace_id: str, span_id: int) -> str:
+    """Render a W3C-style traceparent: ``00-<trace>-<span>-01``."""
+    return f"00-{trace_id}-{span_id:016x}-01"
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[tuple[str, int]]:
+    """Parse a traceparent into ``(trace_id, span_id)``.
+
+    Returns ``None`` for anything malformed — a bad header must never
+    break request handling, it just starts a fresh trace.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_hex, _flags = parts
+    if len(version) != 2 or len(trace_id) != 32 or len(span_hex) != 16:
+        return None
+    try:
+        int(trace_id, 16)
+        span_id = int(span_hex, 16)
+    except ValueError:
+        return None
+    if int(trace_id, 16) == 0 or span_id == 0:
+        return None
+    return trace_id.lower(), span_id
+
+
+def make_traceparent() -> str:
+    """A fresh traceparent for callers with no ambient trace context
+    (e.g. a non-instrumented ``ServiceClient``): new trace, synthetic
+    root span id."""
+    return format_traceparent(_new_trace_id(), _new_span_id())
 
 
 @dataclass
@@ -40,7 +109,8 @@ class SpanRecord:
 
     ``ts`` is seconds since the Unix epoch (comparable across
     processes on one machine); ``wall`` and ``cpu`` are durations in
-    seconds.  ``parent_id`` is 0 for root spans.
+    seconds.  ``parent_id`` is 0 for root spans; ``trace_id`` groups
+    every span of one logical job across processes.
     """
 
     name: str
@@ -51,6 +121,7 @@ class SpanRecord:
     parent_id: int
     pid: int
     attrs: dict[str, Any] = field(default_factory=dict)
+    trace_id: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -62,6 +133,7 @@ class SpanRecord:
             "parent_id": self.parent_id,
             "pid": self.pid,
             "attrs": self.attrs,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -75,6 +147,7 @@ class SpanRecord:
             parent_id=int(data["parent_id"]),
             pid=int(data["pid"]),
             attrs=dict(data.get("attrs") or {}),
+            trace_id=str(data.get("trace_id") or ""),
         )
 
 
@@ -82,22 +155,35 @@ class Span:
     """A live span; use as a context manager via :meth:`Tracer.span`."""
 
     __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
-                 "_ts", "_wall0", "_cpu0")
+                 "trace_id", "_ts", "_wall0", "_cpu0", "_stack_token",
+                 "_trace_token")
 
-    def __init__(self, tracer: "Tracer", name: str, parent_id: int,
-                 attrs: dict[str, Any]):
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
-        self.span_id = next(tracer._ids)
-        self.parent_id = parent_id
+        self.span_id = _new_span_id()
+        self.parent_id = 0
+        self.trace_id = ""
 
     def set(self, key: str, value: Any) -> None:
         """Attach (or update) an attribute on the live span."""
         self.attrs[key] = value
 
     def __enter__(self) -> "Span":
-        self._tracer._stack.append(self.span_id)
+        tracer = self._tracer
+        trace = tracer._trace.get()
+        self._trace_token = None
+        if trace is None:
+            # Root span of a fresh trace: mint the trace id here so
+            # every descendant (and every process it dispatches to)
+            # shares it.
+            trace = (_new_trace_id(), 0)
+            self._trace_token = tracer._trace.set(trace)
+        self.trace_id = trace[0]
+        stack = tracer._stack.get()
+        self.parent_id = stack[-1] if stack else trace[1]
+        self._stack_token = tracer._stack.set(stack + (self.span_id,))
         self._ts = time.time()
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
@@ -107,14 +193,12 @@ class Span:
         wall = time.perf_counter() - self._wall0
         cpu = time.process_time() - self._cpu0
         tracer = self._tracer
-        stack = tracer._stack
-        if stack and stack[-1] == self.span_id:
-            stack.pop()
-        else:  # pragma: no cover - defensive against unbalanced exits
-            try:
-                stack.remove(self.span_id)
-            except ValueError:
-                pass
+        try:
+            tracer._stack.reset(self._stack_token)
+            if self._trace_token is not None:
+                tracer._trace.reset(self._trace_token)
+        except ValueError:  # pragma: no cover - exited in another context
+            pass
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         tracer._finish(self, wall, cpu)
@@ -137,6 +221,16 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+#: Active span stack (span ids, innermost last) for the current
+#: logical context.  Module-level so every context sees the same
+#: variable object while values stay context-local.
+_SPAN_STACK: ContextVar[tuple[int, ...]] = ContextVar(
+    "repro_span_stack", default=())
+#: Ambient trace context: ``(trace_id, remote_parent_span_id)`` or
+#: ``None`` when no trace is active.
+_TRACE_CTX: ContextVar[Optional[tuple[str, int]]] = ContextVar(
+    "repro_trace_ctx", default=None)
+
 
 class Tracer:
     """Collects :class:`SpanRecord`\\ s while :attr:`enabled` is True.
@@ -146,14 +240,20 @@ class Tracer:
     invalidates imports.  The optional ``metrics`` hook feeds every
     finished span's wall time into a ``repro_span_seconds`` histogram
     so phase timings surface in Prometheus output too.
+
+    ``max_records`` (None = unbounded) bounds memory in long-lived
+    processes such as ``repro serve``: when the buffer overflows, the
+    oldest records are dropped — live trace views may lose the head of
+    very old traces, which is the right trade for a server.
     """
 
     def __init__(self) -> None:
         self.enabled = False
         self.records: list[SpanRecord] = []
         self.metrics = None  # Optional[MetricsRegistry], set by configure()
-        self._stack: list[int] = []
-        self._ids = itertools.count(1)
+        self.max_records: Optional[int] = None
+        self._stack = _SPAN_STACK
+        self._trace = _TRACE_CTX
 
     # ----- recording --------------------------------------------------------
 
@@ -161,8 +261,7 @@ class Tracer:
         """Open a span; returns a context manager (no-op when disabled)."""
         if not self.enabled:
             return _NULL_SPAN
-        parent = self._stack[-1] if self._stack else 0
-        return Span(self, name, parent, attrs)
+        return Span(self, name, attrs)
 
     def _finish(self, span: Span, wall: float, cpu: float) -> None:
         self.records.append(SpanRecord(
@@ -174,10 +273,74 @@ class Tracer:
             parent_id=span.parent_id,
             pid=os.getpid(),
             attrs=span.attrs,
+            trace_id=span.trace_id,
         ))
+        cap = self.max_records
+        if cap is not None and len(self.records) > cap:
+            del self.records[:len(self.records) - cap]
         metrics = self.metrics
         if metrics is not None and metrics.enabled:
             metrics.observe("repro_span_seconds", wall, span=span.name)
+
+    # ----- trace context ----------------------------------------------------
+
+    def stack_depth(self) -> int:
+        """How many spans are open in the current context."""
+        return len(self._stack.get())
+
+    def current_trace_id(self) -> Optional[str]:
+        trace = self._trace.get()
+        return trace[0] if trace else None
+
+    def traceparent(self) -> Optional[str]:
+        """The current context as a traceparent string, or ``None``.
+
+        Encodes the innermost open span (so remote work started now
+        parents under it), falling back to the adopted remote parent
+        when no local span is open.
+        """
+        trace = self._trace.get()
+        if trace is None:
+            return None
+        stack = self._stack.get()
+        span_id = stack[-1] if stack else trace[1]
+        if not span_id:
+            return None
+        return format_traceparent(trace[0], span_id)
+
+    @contextmanager
+    def activate(self, traceparent: Optional[str]):
+        """Adopt a foreign traceparent for the duration of a block.
+
+        Spans opened inside join the foreign trace; the outermost one
+        parents under the foreign span id.  A ``None`` or malformed
+        traceparent makes this a no-op passthrough (a fresh trace
+        starts at the next root span).
+        """
+        parsed = parse_traceparent(traceparent)
+        if parsed is None:
+            yield
+            return
+        trace_token = self._trace.set(parsed)
+        stack_token = self._stack.set(())
+        try:
+            yield
+        finally:
+            try:
+                self._stack.reset(stack_token)
+                self._trace.reset(trace_token)
+            except ValueError:  # pragma: no cover - crossed contexts
+                pass
+
+    def adopt(self, traceparent: Optional[str]) -> None:
+        """Set (or clear) the trace context without restore semantics.
+
+        For process entry points that own their context outright — a
+        portfolio worker adopting the dispatcher's context for one
+        task.  ``None`` clears any previous adoption.
+        """
+        self._trace.set(parse_traceparent(traceparent))
+        self._stack.set(())
 
     # ----- lifecycle --------------------------------------------------------
 
@@ -189,7 +352,8 @@ class Tracer:
 
     def clear(self) -> None:
         self.records.clear()
-        self._stack.clear()
+        self._stack.set(())
+        self._trace.set(None)
 
     # ----- aggregation ------------------------------------------------------
 
@@ -200,16 +364,59 @@ class Tracer:
     def merge(self, records) -> None:
         """Absorb records shipped from another process (or snapshot).
 
-        Child-process span ids live in a different id space, so merged
-        records keep their own parent links but are never re-parented
-        under this process's spans; the exporters separate them by
-        ``pid`` instead.
+        Span ids are globally unique (random 63-bit), so merged
+        records keep valid parent links: a worker that adopted the
+        dispatcher's traceparent re-parents under the dispatching span
+        and the exporters render one stitched tree across pids.
         """
         for item in records:
             if isinstance(item, SpanRecord):
                 self.records.append(item)
             else:
                 self.records.append(SpanRecord.from_dict(item))
+        cap = self.max_records
+        if cap is not None and len(self.records) > cap:
+            del self.records[:len(self.records) - cap]
+
+
+def span_tree(records) -> list[dict[str, Any]]:
+    """Build a nested span tree from record dicts (or SpanRecords).
+
+    Returns the list of roots, each ``{name, ts, wall, cpu, pid,
+    span_id, parent_id, trace_id, attrs, children}``, children sorted
+    by start time.  Spans whose parent is missing (e.g. the parent
+    process was SIGKILLed before its span closed) surface as roots —
+    the hole is real crash evidence, not an error.
+    """
+    nodes: dict[int, dict[str, Any]] = {}
+    ordered: list[dict[str, Any]] = []
+    for item in records:
+        data = item.to_dict() if isinstance(item, SpanRecord) else dict(item)
+        node = {
+            "name": data["name"],
+            "ts": data["ts"],
+            "wall": data["wall"],
+            "cpu": data["cpu"],
+            "pid": data["pid"],
+            "span_id": data["span_id"],
+            "parent_id": data["parent_id"],
+            "trace_id": data.get("trace_id", ""),
+            "attrs": data.get("attrs") or {},
+            "children": [],
+        }
+        nodes[node["span_id"]] = node
+        ordered.append(node)
+    roots: list[dict[str, Any]] = []
+    for node in ordered:
+        parent = nodes.get(node["parent_id"])
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    for node in ordered:
+        node["children"].sort(key=lambda n: n["ts"])
+    roots.sort(key=lambda n: n["ts"])
+    return roots
 
 
 #: The process-wide tracer. Mutated in place, never replaced.

@@ -46,7 +46,14 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Sequence, Union
 
 from ..analysis.result import EXIT_DEADLETTER, AnalysisOutcome, Verdict
-from ..obs import METRICS, TRACER
+from ..obs import (
+    BEACON,
+    METRICS,
+    TRACER,
+    ProgressBook,
+    parse_traceparent,
+    progress_scope,
+)
 from ..runtime.budget import SolverFault
 from .journal import Journal, canonical_json, load_snapshot, write_snapshot
 
@@ -80,16 +87,26 @@ class JobRecord:
     # SIGKILLed run): reported distinctly by ``status`` so operators see
     # interrupted work instead of it hiding among pending/done jobs.
     orphaned: bool = False
+    # W3C-style traceparent captured at submission: a run in a *later*
+    # process (``repro batch resume`` after SIGKILL) re-adopts it, so
+    # one distributed trace spans the original request and the recovery.
+    trace: Optional[str] = None
 
     @property
     def label(self) -> str:
         return self.spec.get("label") or self.job_id[:12]
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        parsed = parse_traceparent(self.trace)
+        return parsed[0] if parsed else None
 
     def to_snapshot(self) -> dict:
         return {
             "job_id": self.job_id, "spec": self.spec, "state": self.state,
             "attempts": self.attempts, "verdict": self.verdict,
             "exit_code": self.exit_code, "error": self.error,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -101,6 +118,7 @@ class JobRecord:
             verdict=data.get("verdict"),
             exit_code=data.get("exit_code"),
             error=data.get("error"),
+            trace=data.get("trace"),
         )
 
 
@@ -197,6 +215,7 @@ class BatchReport:
                     "verdict": rec.verdict,
                     "exit_code": rec.exit_code,
                     "error": rec.error,
+                    "trace_id": rec.trace_id,
                 }
                 for rec in self.records
             ],
@@ -279,7 +298,9 @@ class BatchRunner:
                 spec = rec_data.get("spec") or {}
                 job_id = rec_data.get("id") or job_id_for(spec)
                 if job_id not in jobs:
-                    jobs[job_id] = JobRecord(job_id=job_id, spec=spec)
+                    jobs[job_id] = JobRecord(
+                        job_id=job_id, spec=spec,
+                        trace=rec_data.get("trace"))
                     order.append(job_id)
             elif kind == "state":
                 rec = jobs.get(rec_data.get("id", ""))
@@ -391,6 +412,10 @@ class BatchRunner:
         with self._lock:
             jobs, _ = self.load()
             ids: list[str] = []
+            # Capture the submitter's trace context once: jobs journaled
+            # under an open span re-join that trace when executed later,
+            # even by a different process after a crash.
+            trace = TRACER.traceparent()
             for item in sources:
                 label, source = item if isinstance(item, tuple) else (None, item)
                 spec = {
@@ -402,12 +427,14 @@ class BatchRunner:
                 ids.append(job_id)
                 if job_id in jobs:
                     continue  # idempotent resubmission
-                rec = JobRecord(job_id=job_id, spec=spec)
+                rec = JobRecord(job_id=job_id, spec=spec, trace=trace)
                 jobs[job_id] = rec
                 self._mem[job_id] = rec
                 self._mem_order.append(job_id)
-                self.journal.append(
-                    {"kind": "submit", "id": job_id, "spec": spec})
+                entry = {"kind": "submit", "id": job_id, "spec": spec}
+                if trace is not None:
+                    entry["trace"] = trace
+                self.journal.append(entry)
                 if METRICS.enabled:
                     METRICS.counter_inc("repro_persist_jobs_submitted_total")
             self.journal.flush()
@@ -543,36 +570,47 @@ class BatchRunner:
                 report.recovered += 1
         executor = self._executor or self._execute
         completed_this_run = 0
-        for job_id in order:
-            rec = jobs_table[job_id]
-            if rec.state in ("done", "deadletter"):
-                report.replayed += 1
-                continue
-            with TRACER.span("batch-job", job=rec.label):
-                while rec.state in ("pending", "failed"):
-                    self.mark_running(rec)
-                    try:
-                        outcome = executor(rec)
-                    except TRANSIENT_ERRORS as exc:
-                        if rec.attempts >= self.max_attempts:
+        # Live-introspection sidecar: solver progress beacons land in
+        # ``<dir>/progress/<job>.json`` where a detached ``repro top``
+        # can watch them without any server process.
+        progress_book = ProgressBook(self.directory / "progress")
+        with BEACON.routed(progress_book.record):
+            for job_id in order:
+                rec = jobs_table[job_id]
+                if rec.state in ("done", "deadletter"):
+                    report.replayed += 1
+                    continue
+                # Re-adopt the trace journaled at submission: a resume
+                # after SIGKILL continues the original request's trace
+                # instead of starting a disconnected one.
+                with TRACER.activate(rec.trace), \
+                        TRACER.span("batch-job", job=rec.label,
+                                    resumed=rec.recovered), \
+                        progress_scope(rec.job_id):
+                    while rec.state in ("pending", "failed"):
+                        self.mark_running(rec)
+                        try:
+                            outcome = executor(rec)
+                        except TRANSIENT_ERRORS as exc:
+                            if rec.attempts >= self.max_attempts:
+                                self.mark_deadletter(rec, repr(exc))
+                                break
+                            report.retries += 1
+                            self.mark_failed(rec, repr(exc))
+                            self._sleep(self._backoff(rec.attempts))
+                        except Exception as exc:
+                            # Permanent (parse/type errors, genuine bugs):
+                            # retrying cannot help — deadletter immediately.
                             self.mark_deadletter(rec, repr(exc))
                             break
-                        report.retries += 1
-                        self.mark_failed(rec, repr(exc))
-                        self._sleep(self._backoff(rec.attempts))
-                    except Exception as exc:
-                        # Permanent (parse/type errors, genuine bugs):
-                        # retrying cannot help — deadletter immediately.
-                        self.mark_deadletter(rec, repr(exc))
-                        break
-                    else:
-                        report.executed += 1
-                        self.mark_done(rec, outcome)
-                        completed_this_run += 1
-                        if kill_after and completed_this_run >= kill_after:
-                            self.journal.flush()
-                            _die_hard()
-                        break
+                        else:
+                            report.executed += 1
+                            self.mark_done(rec, outcome)
+                            completed_this_run += 1
+                            if kill_after and completed_this_run >= kill_after:
+                                self.journal.flush()
+                                _die_hard()
+                            break
         report.records = [jobs_table[j] for j in order]
         self.journal.flush()
         try:

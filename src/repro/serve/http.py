@@ -18,11 +18,19 @@ Transport-level robustness lives here:
 
 Routes::
 
-    POST /v1/analyze      submit a Buffy program + query
-    GET  /v1/jobs/<id>    one journaled job's state
-    GET  /healthz         liveness + control-plane counters
-    GET  /readyz          readiness (503 while draining/breaker-open)
-    GET  /metrics         Prometheus text exposition
+    POST /v1/analyze               submit a Buffy program + query
+    GET  /v1/jobs                  journaled jobs + live progress index
+    GET  /v1/jobs/<id>             one journaled job's state
+    GET  /v1/jobs/<id>/trace       the job's stitched span tree (JSON)
+    GET  /v1/jobs/<id>/progress    live solver-progress ring buffer
+    GET  /healthz                  liveness + control-plane counters
+    GET  /readyz                   readiness (503 while draining/breaker-open)
+    GET  /metrics                  Prometheus text exposition
+
+Distributed tracing: ``POST /v1/analyze`` reads an optional W3C-style
+``traceparent`` header and threads it through the service, so the
+request's spans (and everything downstream: journal, workers, a later
+``batch resume``) join the caller's trace.
 """
 
 from __future__ import annotations
@@ -248,11 +256,24 @@ class ReproServer:
                 return 400, {}, _json_body(
                     {"error": f"bad JSON body: {exc}"})
             tenant = headers.get("x-repro-tenant", "default")
-            status, doc = await service.analyze(payload, tenant=tenant)
+            status, doc = await service.analyze(
+                payload, tenant=tenant,
+                traceparent=headers.get("traceparent"))
             return status, _retry_header(status, doc), _json_body(doc)
 
+        if path == "/v1/jobs" and method == "GET":
+            status, doc = service.jobs_index()
+            return status, {}, _json_body(doc)
+
         if path.startswith("/v1/jobs/") and method == "GET":
-            status, doc = service.job_status(path[len("/v1/jobs/"):])
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/trace"):
+                status, doc = service.job_trace(rest[:-len("/trace")])
+            elif rest.endswith("/progress"):
+                status, doc = service.job_progress(
+                    rest[:-len("/progress")])
+            else:
+                status, doc = service.job_status(rest)
             return status, {}, _json_body(doc)
 
         if path == "/healthz" and method == "GET":

@@ -41,6 +41,7 @@ reads (``slow_client_rate``).
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -50,7 +51,14 @@ from typing import Any, Callable, Optional, Union
 
 from .. import obs
 from ..analysis.result import AnalysisOutcome, Verdict, verdict_for_unknown
-from ..obs import METRICS
+from ..obs import (
+    BEACON,
+    METRICS,
+    TRACER,
+    ProgressBook,
+    progress_scope,
+    span_tree,
+)
 from ..persist.batch import BatchRunner, JobRecord
 from ..runtime.budget import (
     Budget,
@@ -153,6 +161,14 @@ class AnalysisService:
             "faults": 0, "drained": 0,
         }
         obs.enable()
+        # Bound span memory for the long-lived server; a live trace
+        # view losing the head of a very old trace is the right trade.
+        TRACER.max_records = 20_000
+        # Live solver progress: per-job ring buffers behind
+        # /v1/jobs/<id>/progress, mirrored under <spool>/progress/ so
+        # `repro top <spool>` works even without the HTTP plane.
+        self.progress = ProgressBook(Path(cfg.spool_dir) / "progress")
+        BEACON.enable(self.progress.record)
 
     def _count(self, key: str, n: int = 1) -> None:
         with self._counters_lock:
@@ -197,13 +213,31 @@ class AnalysisService:
 
     # ----- the request path -------------------------------------------------
 
-    async def analyze(self, payload: Any,
-                      tenant: str = "default") -> tuple[int, dict]:
+    async def analyze(self, payload: Any, tenant: str = "default",
+                      traceparent: Optional[str] = None) -> tuple[int, dict]:
         """Serve one analysis request; returns ``(status, body)``.
 
         Every path out of here is a terminal answer: a verdict, a fast
         UNKNOWN, or a reject with ``retry_after`` — never a hang.
+
+        A caller-provided ``traceparent`` is adopted for the whole
+        request, so the ``serve-request`` span (and everything under
+        it, across the journal and the portfolio workers) joins the
+        caller's distributed trace; the response carries the
+        ``trace_id`` either way.
         """
+        with TRACER.activate(traceparent), \
+                TRACER.span("serve-request", tenant=tenant) as span:
+            status, body = await self._analyze(payload, tenant, span)
+            if isinstance(body, dict):
+                trace_id = TRACER.current_trace_id()
+                if trace_id:
+                    body.setdefault("trace_id", trace_id)
+            span.set("status", status)
+            return status, body
+
+    async def _analyze(self, payload: Any, tenant: str,
+                       span) -> tuple[int, dict]:
         self._count("requests")
         if METRICS.enabled:
             METRICS.counter_inc("repro_serve_requests_total", tenant=tenant)
@@ -219,7 +253,10 @@ class AnalysisService:
         if priority is not None and not isinstance(priority, int):
             return 400, {"error": "'priority' must be an integer"}
 
-        adm = self.admission.admit(tenant, priority)
+        with TRACER.span("serve-admission", tenant=tenant) as adm_span:
+            adm = self.admission.admit(tenant, priority)
+            adm_span.set("admitted", adm.admitted)
+            adm_span.set("level", int(adm.level))
         if not adm.admitted:
             self._count("rejected")
             return adm.status, {
@@ -231,15 +268,17 @@ class AnalysisService:
         self._count("admitted")
 
         try:
-            rec = self.runner.submit_one(
-                spec["source"], label=spec["label"],
-                backend=spec["backend"], steps=spec["steps"],
-                consts=spec["consts"], prove=spec["prove"],
-                options=spec["options"],
-            )
+            with TRACER.span("journal-submit"):
+                rec = self.runner.submit_one(
+                    spec["source"], label=spec["label"],
+                    backend=spec["backend"], steps=spec["steps"],
+                    consts=spec["consts"], prove=spec["prove"],
+                    options=spec["options"],
+                )
         except Exception as exc:
             self.admission.note_abandoned()
             return 400, {"error": f"submit failed: {exc!r}"}
+        span.set("job", rec.job_id[:12])
 
         if rec.state == "done" and rec.verdict is not None:
             # Journal replay: this exact job already has a verdict.
@@ -257,9 +296,14 @@ class AnalysisService:
             }
 
         loop = asyncio.get_running_loop()
+        # run_in_executor does not carry contextvars: snapshot here so
+        # the solve thread inherits this request's span stack and trace
+        # context (the serve-request span parents the solve-job span).
+        ctx = contextvars.copy_context()
         try:
             outcome, note = await loop.run_in_executor(
-                self._pool, self._execute_job, rec, adm.level, tenant,
+                self._pool, ctx.run, self._execute_job, rec, adm.level,
+                tenant,
             )
         except RuntimeError:
             # The pool was shut down by a racing drain: the job stays
@@ -300,7 +344,23 @@ class AnalysisService:
     def _execute_job(self, rec: JobRecord, level: OverloadLevel,
                      tenant: str) -> tuple[AnalysisOutcome, str]:
         """Solve one admitted job under the ladder's budget (in a
-        worker thread); returns ``(outcome, note)``."""
+        worker thread); returns ``(outcome, note)``.
+
+        Runs under the request's copied context, so the ``solve-job``
+        span parents under ``serve-request`` and every progress beacon
+        emitted below (CDCL conflicts, portfolio workers) is stamped
+        with this job's id.
+        """
+        with TRACER.span("solve-job", job=rec.job_id[:12]) as span, \
+                progress_scope(rec.job_id):
+            outcome, note = self._execute_job_inner(rec, level, tenant)
+            span.set("verdict", outcome.verdict.value)
+            if note:
+                span.set("note", note)
+            return outcome, note
+
+    def _execute_job_inner(self, rec: JobRecord, level: OverloadLevel,
+                           tenant: str) -> tuple[AnalysisOutcome, str]:
         self.admission.note_started()
         started = self._clock()
         try:
@@ -456,6 +516,59 @@ class AnalysisService:
             "verdict": rec.verdict,
             "exit_code": rec.exit_code,
             "error": rec.error,
+            "trace_id": rec.trace_id,
+        }
+
+    def jobs_index(self) -> tuple[int, dict]:
+        """`GET /v1/jobs`: the journaled job table plus, per job, the
+        latest live progress sample — the feed behind ``repro top``."""
+        report = self.runner.status().to_json()
+        for row in report["jobs"]:
+            latest = self.progress.latest(row["job_id"])
+            if latest is not None:
+                row["progress"] = latest
+        report["level"] = int(self.admission.level())
+        report["queued"] = self.admission.queued
+        report["running"] = self.admission.running
+        report["draining"] = self.draining
+        return 200, report
+
+    def job_trace(self, job_id: str) -> tuple[int, dict]:
+        """`GET /v1/jobs/<id>/trace`: the job's stitched span tree.
+
+        Spans are matched by the trace id journaled at submission, so
+        the tree covers every process that served this job — the
+        original request, its portfolio workers, and any later resume
+        that re-adopted the trace.
+        """
+        jobs, _ = self.runner.load()
+        rec = jobs.get(job_id)
+        if rec is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        trace_id = rec.trace_id
+        if trace_id is None:
+            return 200, {"job_id": job_id, "trace_id": None, "spans": []}
+        records = [r for r in list(TRACER.records)
+                   if r.trace_id == trace_id]
+        return 200, {
+            "job_id": job_id,
+            "trace_id": trace_id,
+            "traceparent": rec.trace,
+            "span_count": len(records),
+            "spans": span_tree(records),
+        }
+
+    def job_progress(self, job_id: str) -> tuple[int, dict]:
+        """`GET /v1/jobs/<id>/progress`: the live solver-progress ring."""
+        jobs, _ = self.runner.load()
+        rec = jobs.get(job_id)
+        if rec is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        return 200, {
+            "job_id": job_id,
+            "state": rec.state,
+            "latest": self.progress.latest(job_id),
+            "samples": self.progress.samples(job_id),
         }
 
     def health(self) -> tuple[int, dict]:

@@ -38,12 +38,14 @@ from __future__ import annotations
 
 import enum
 import heapq
+import time
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 from ..cnf import CNF
 from ..stats import SatStats
 from ...obs import METRICS
+from ...obs.progress import BEACON
 
 if TYPE_CHECKING:  # avoid a runtime ↔ smt import cycle; Budget is duck-typed
     from ...runtime.budget import Budget, ResourceReport
@@ -1156,6 +1158,16 @@ class CDCLSolver:
             if not self._inprocess(frozen, budget):
                 return SatResult.UNSAT
         decisions_since_check = 0
+        # Progress beacon: resolved once per solve so a disabled beacon
+        # costs nothing inside the loop; enabled, one int compare per
+        # conflict plus a sample dict every `interval` conflicts.
+        beacon = BEACON if BEACON.enabled else None
+        beacon_next = 0
+        beacon_mark = (0.0, 0, 0)
+        if beacon is not None:
+            beacon_next = self.stats.conflicts + beacon.interval
+            beacon_mark = (time.perf_counter(), self.stats.conflicts,
+                           self.stats.propagations)
 
         self._restart_count = self._restart_resume
         conflicts_until_restart = (
@@ -1204,6 +1216,9 @@ class CDCLSolver:
                     >= config.max_conflicts
                 ):
                     return SatResult.UNKNOWN
+                if beacon is not None and self.stats.conflicts >= beacon_next:
+                    beacon_next = self.stats.conflicts + beacon.interval
+                    beacon_mark = self._emit_progress(beacon, beacon_mark)
                 continue
 
             if (
@@ -1267,6 +1282,32 @@ class CDCLSolver:
                         return SatResult.UNKNOWN
             self._trail_lim.append(len(self._trail))
             self._enqueue(next_lit, -1)
+
+    def _emit_progress(self, beacon, mark) -> tuple:
+        """Emit one live-progress sample; returns the new rate mark.
+
+        Rates are computed against the previous emission (or solve
+        start), so a sample says what the solver is doing *now*, not a
+        lifetime average.
+        """
+        t0, c0, p0 = mark
+        now = time.perf_counter()
+        dt = now - t0
+        stats = self.stats
+        beacon.emit({
+            "conflicts": stats.conflicts,
+            "decisions": stats.decisions,
+            "propagations": stats.propagations,
+            "restarts": stats.restarts,
+            "learnt": self._n_learnt,
+            "trail": len(self._trail),
+            "num_vars": self.num_vars,
+            "conflicts_per_s": round((stats.conflicts - c0) / dt, 1)
+            if dt > 0 else 0.0,
+            "props_per_s": round((stats.propagations - p0) / dt, 1)
+            if dt > 0 else 0.0,
+        })
+        return (now, stats.conflicts, stats.propagations)
 
     def _analyze_final(self, failed: int,
                        assumptions: Sequence[int]) -> list[int]:

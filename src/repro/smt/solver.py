@@ -45,7 +45,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
-from ..obs import METRICS, TRACER
+from ..obs import METRICS, TRACER, phase_scope
 from ..runtime.budget import (
     Budget,
     BudgetExhausted,
@@ -610,7 +610,8 @@ class SmtSolver:
             attempts += 1
             t0 = time.perf_counter()
             with TRACER.span("portfolio-rung", rung=attempts,
-                             mode="sequential") as rung_span:
+                             mode="sequential") as rung_span, \
+                    phase_scope(rung=attempts):
                 sat = CDCLSolver(
                     blaster.cnf.num_vars, config, budget=self.budget,
                     proof=ProofLog() if certify else None,

@@ -1,0 +1,208 @@
+"""``repro top`` — live solver introspection, htop-style.
+
+Attaches to either face of the system and refreshes one screen in
+place:
+
+* ``repro top HOST:PORT`` — a running ``repro serve`` instance: the
+  control plane from ``/healthz`` (overload level, queue, breaker)
+  plus the job table from ``/v1/jobs``, each running job annotated
+  with its latest :class:`~repro.obs.progress.SolveProgress` beacon
+  (conflicts, propagation rate, learnt-DB size, phase context);
+* ``repro top DIR`` — a batch/spool directory, no server needed: the
+  journaled job table via :meth:`BatchRunner.status` plus the beacon
+  mirrors under ``DIR/progress/`` — this works *while* a ``repro
+  batch run`` is executing in another process, and after a crash.
+
+``--once`` prints a single frame and exits (scripts, CI); the exit
+code is 0 either way — ``top`` is a viewer, not a health check.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+#: State → single-glyph marker, in the order rows are sorted.
+_STATE_ORDER = {"running": 0, "orphaned": 1, "pending": 2, "failed": 3,
+                "done": 4, "deadletter": 5}
+_STATE_MARK = {"running": "▶", "orphaned": "✗", "pending": "·",
+               "failed": "!", "done": "✓", "deadletter": "†"}
+
+
+def _fmt_rate(value: Any) -> str:
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return "-"
+    if v >= 1e6:
+        return f"{v / 1e6:.1f}M/s"
+    if v >= 1e3:
+        return f"{v / 1e3:.1f}k/s"
+    return f"{v:.0f}/s"
+
+
+def _fmt_count(value: Any) -> str:
+    try:
+        v = int(value)
+    except (TypeError, ValueError):
+        return "-"
+    if v >= 1_000_000:
+        return f"{v / 1e6:.1f}M"
+    if v >= 10_000:
+        return f"{v / 1e3:.0f}k"
+    return str(v)
+
+
+def _fmt_phase(phase: Any) -> str:
+    if not isinstance(phase, dict) or not phase:
+        return ""
+    return " ".join(f"{k}={v}" for k, v in sorted(phase.items()))
+
+
+def _progress_cell(sample: Optional[dict]) -> str:
+    if not sample:
+        return ""
+    parts = [
+        f"cfl {_fmt_count(sample.get('conflicts'))}",
+        f"{_fmt_rate(sample.get('props_per_s'))} props",
+        f"learnt {_fmt_count(sample.get('learnt'))}",
+        f"rst {_fmt_count(sample.get('restarts'))}",
+    ]
+    phase = _fmt_phase(sample.get("phase"))
+    if phase:
+        parts.append(phase)
+    return "  ".join(parts)
+
+
+def _job_rows(jobs: list[dict],
+              progress_for: Callable[[dict], Optional[dict]]) -> list[str]:
+    rows = []
+    jobs = sorted(jobs, key=lambda j: (
+        _STATE_ORDER.get(j.get("state"), 9), j.get("label") or ""))
+    for job in jobs:
+        state = str(job.get("state") or "?")
+        mark = _STATE_MARK.get(state, "?")
+        label = str(job.get("label") or job.get("job_id", "?")[:12])[:28]
+        verdict = job.get("verdict") or ""
+        detail = _progress_cell(progress_for(job))
+        if not detail and job.get("error"):
+            detail = str(job["error"])[:60]
+        rows.append(f" {mark} {label:<28} {state:<10} {verdict:<10} {detail}")
+    return rows
+
+
+# ----- the two frame sources ------------------------------------------------
+
+
+def _serve_frame(client) -> list[str]:
+    """One screen's lines from a live ``repro serve`` instance."""
+    health = client.health()
+    index = client.jobs()
+    counts = index.get("counts") or {}
+    summary = ", ".join(
+        f"{counts[s]} {s}" for s in sorted(counts, key=lambda s: (
+            _STATE_ORDER.get(s, 9), s)) if counts.get(s)
+    ) or "no jobs"
+    lines = [
+        f"repro top — serve http://{client.host}:{client.port}"
+        f"  [{health.get('state', '?')}]",
+        f" level {health.get('level', '?')}"
+        f"  queued {health.get('queued', '?')}"
+        f"/{health.get('queue_limit', '?')}"
+        f"  running {health.get('running', '?')}"
+        f"  breaker {((health.get('breaker') or {}).get('state', '?'))}"
+        f"  uptime {health.get('uptime_seconds', 0):.0f}s",
+        f" jobs: {summary}",
+        "",
+    ]
+    lines.extend(_job_rows(
+        index.get("jobs") or [],
+        lambda job: job.get("progress"),
+    ))
+    return lines
+
+
+def _dir_frame(directory: Path) -> list[str]:
+    """One screen's lines from a spool/batch directory (no server)."""
+    from .obs.progress import ProgressBook
+    from .persist.batch import BatchRunner
+
+    with BatchRunner(directory) as runner:
+        report = runner.status().to_json()
+    mirrors = ProgressBook.read_dir(directory / "progress")
+    counts = report.get("counts") or {}
+    summary = ", ".join(
+        f"{counts[s]} {s}" for s in sorted(counts, key=lambda s: (
+            _STATE_ORDER.get(s, 9), s)) if counts.get(s)
+    ) or "no jobs"
+    lines = [
+        f"repro top — spool {directory}",
+        f" jobs: {summary}",
+        "",
+    ]
+    lines.extend(_job_rows(
+        report.get("jobs") or [],
+        lambda job: (mirrors.get(job.get("job_id", "")) or {}).get("latest"),
+    ))
+    return lines
+
+
+# ----- the loop -------------------------------------------------------------
+
+
+def _parse_target(target: str):
+    """``HOST:PORT`` (or ``http://HOST:PORT``) → client; else a Path."""
+    stripped = target
+    for prefix in ("http://", "https://"):
+        if stripped.startswith(prefix):
+            stripped = stripped[len(prefix):].rstrip("/")
+    host, sep, port = stripped.rpartition(":")
+    if sep and port.isdigit() and "/" not in stripped:
+        from .client import ServiceClient
+
+        return ServiceClient(host or "127.0.0.1", int(port))
+    return Path(target)
+
+
+def run_top(
+    target: str,
+    *,
+    interval: float = 1.0,
+    once: bool = False,
+    iterations: Optional[int] = None,
+    out=None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """The ``repro top`` loop; returns an exit code.
+
+    ``iterations`` bounds the refresh loop (tests); interactive runs
+    leave it ``None`` and exit via Ctrl-C.
+    """
+    out = out or sys.stdout
+    source = _parse_target(target)
+    if isinstance(source, Path) and not source.is_dir():
+        print(f"error: {target!r} is neither HOST:PORT nor a directory",
+              file=sys.stderr)
+        return 4
+    shown = 0
+    try:
+        while True:
+            try:
+                if isinstance(source, Path):
+                    lines = _dir_frame(source)
+                else:
+                    lines = _serve_frame(source)
+            except Exception as exc:
+                lines = [f"repro top — {target}: unreachable ({exc})"]
+            if not once:
+                out.write("\x1b[H\x1b[2J")  # home + clear: refresh in place
+            out.write("\n".join(lines) + "\n")
+            out.flush()
+            shown += 1
+            if once or (iterations is not None and shown >= iterations):
+                return 0
+            sleep(max(0.1, interval))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0

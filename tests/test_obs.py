@@ -76,7 +76,7 @@ class TestSpans:
                 raise ValueError("boom")
         (record,) = tracer.records
         assert record.attrs["error"] == "ValueError"
-        assert tracer._stack == []  # unwound cleanly
+        assert tracer.stack_depth() == 0  # unwound cleanly
 
     def test_merge_preserves_foreign_records(self):
         tracer = Tracer()
@@ -105,6 +105,120 @@ class TestSpans:
         assert hist["name"] == "repro_span_seconds"
         assert hist["labels"] == {"span": "typecheck"}
         assert hist["count"] == 1
+
+
+# ----- distributed trace context ---------------------------------------------
+
+
+class TestTraceContext:
+    def test_traceparent_round_trip(self):
+        from repro.obs import make_traceparent, parse_traceparent
+
+        tp = make_traceparent()
+        parsed = parse_traceparent(tp)
+        assert parsed is not None
+        trace_id, span_id = parsed
+        assert len(trace_id) == 32 and int(trace_id, 16) != 0
+        assert span_id != 0
+
+    def test_parse_rejects_malformed_and_zero_ids(self):
+        from repro.obs import parse_traceparent
+
+        assert parse_traceparent(None) is None
+        assert parse_traceparent("") is None
+        assert parse_traceparent("not-a-traceparent") is None
+        assert parse_traceparent("00-" + "0" * 32 + "-" + "1" * 16 + "-01") \
+            is None
+        assert parse_traceparent("00-" + "a" * 32 + "-" + "0" * 16 + "-01") \
+            is None
+
+    def test_activate_adopts_remote_parent(self):
+        from repro.obs import parse_traceparent
+
+        tracer = Tracer()
+        tracer.enable()
+        tp = "00-" + "ab" * 16 + "-" + "12" * 8 + "-01"
+        trace_id, span_id = parse_traceparent(tp)
+        with tracer.activate(tp):
+            assert tracer.current_trace_id() == trace_id
+            with tracer.span("child") as sp:
+                assert sp.trace_id == trace_id
+                assert sp.parent_id == span_id
+        # Context restored: a fresh root mints its own trace.
+        with tracer.span("root") as sp:
+            assert sp.trace_id != trace_id
+
+    def test_root_span_mints_trace_and_children_share_it(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("a") as a:
+            assert tracer.traceparent() is not None
+            with tracer.span("b") as b:
+                assert b.trace_id == a.trace_id
+        with tracer.span("c") as c:
+            assert c.trace_id != a.trace_id  # new root, new trace
+
+    def test_interleaved_async_requests_keep_their_own_stacks(self):
+        """Regression: the span stack is contextvar-scoped, so two
+        concurrently-traced asyncio requests must not parent their
+        spans under each other (the old list-based ``_stack`` did)."""
+        import asyncio
+
+        tracer = Tracer()
+        tracer.enable()
+
+        async def request(name):
+            with tracer.span(f"req-{name}") as outer:
+                await asyncio.sleep(0.01)  # force interleaving
+                with tracer.span(f"inner-{name}") as inner:
+                    await asyncio.sleep(0.01)
+                    assert inner.parent_id == outer.span_id
+                    assert inner.trace_id == outer.trace_id
+                return outer
+
+        async def main():
+            return await asyncio.gather(request("a"), request("b"))
+
+        outer_a, outer_b = asyncio.run(main())
+        # Two independent requests: distinct traces, both roots.
+        assert outer_a.trace_id != outer_b.trace_id
+        assert outer_a.parent_id == 0 and outer_b.parent_id == 0
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["inner-a"].parent_id == outer_a.span_id
+        assert by_name["inner-b"].parent_id == outer_b.span_id
+
+    def test_span_tree_orphans_surface_as_roots(self):
+        from repro.obs import span_tree
+
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        records = list(tracer.records)
+        # Simulate a SIGKILLed parent process: drop the root record.
+        orphaned = [r for r in records if r.name != "root"]
+        tree = span_tree(orphaned)
+        assert [n["name"] for n in tree] == ["child"]
+
+    def test_merge_stitches_worker_spans_under_parent(self):
+        """Worker span ids are random (not per-process counters), so a
+        merged worker record parents under the dispatching span."""
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("portfolio") as disp:
+            foreign = [{
+                "name": "cdcl", "ts": 1.0, "wall": 0.5, "cpu": 0.4,
+                "span_id": 123456789, "parent_id": disp.span_id,
+                "pid": 99999, "attrs": {}, "trace_id": disp.trace_id,
+            }]
+            tracer.merge(foreign)
+        from repro.obs import span_tree
+
+        tree = span_tree(list(tracer.records))
+        (root,) = tree
+        assert root["name"] == "portfolio"
+        assert [c["name"] for c in root["children"]] == ["cdcl"]
 
 
 # ----- metrics ---------------------------------------------------------------
@@ -254,14 +368,29 @@ class TestChromeTrace:
         path = tmp_path / "trace.json"
         snap.write_chrome_trace(str(path))
         doc = json.loads(path.read_text())  # valid JSON round-trip
-        events = doc["traceEvents"]
-        assert events and doc["displayTimeUnit"] == "ms"
+        all_events = doc["traceEvents"]
+        assert all_events and doc["displayTimeUnit"] == "ms"
+        meta = [e for e in all_events if e["ph"] == "M"]
+        events = [e for e in all_events if e["ph"] != "M"]
         for event in events:
             assert event["ph"] == "X"
             assert set(event) >= {"name", "cat", "ts", "dur", "pid", "args"}
             assert event["dur"] >= 0
         ts = [event["ts"] for event in events]
         assert ts == sorted(ts)  # monotonically ordered
+
+        # Perfetto metadata: every pid is labelled (process + thread
+        # name), and this process is the named "repro main".
+        pids = {e["pid"] for e in events}
+        for pid in pids:
+            kinds = {m["name"] for m in meta if m["pid"] == pid}
+            assert kinds == {"process_name", "thread_name"}
+        main_labels = [m["args"]["name"] for m in meta
+                       if m["pid"] == os.getpid()]
+        assert main_labels and all(
+            label == f"repro main (pid {os.getpid()})"
+            for label in main_labels
+        )
 
         # `repro stats` reconstructs phase names from the artifact.
         rebuilt = snapshot_from_chrome_trace(str(path))
