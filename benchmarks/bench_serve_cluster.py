@@ -1,0 +1,229 @@
+"""Cluster benchmark for ``repro serve --route`` — failover + handoff.
+
+Boots a real router in front of real in-process replicas (real HTTP,
+real solves) and measures the two robustness paths the cluster adds:
+
+* **failover**: a warm phase through the healthy ring, then one replica
+  is killed mid-burst — every request must still get a terminal answer,
+  and the extra latency of walking to the next ring node is the cost
+  being measured;
+* **journal handoff**: a dead replica's spool (journaled backlog, stale
+  lease heartbeat) is taken over and finished — verdicts already on the
+  survivor are adopted, the rest resolved — and the wall time of that
+  recovery is the headline number.
+
+Recorded into ``BENCH_serve_cluster.json``:
+
+* ``latency_p50_seconds`` / ``latency_p99_seconds`` per phase
+  (``warm`` via the full ring, ``degraded`` with one replica dead),
+* ``failover_rate`` — fraction of degraded-phase answers that needed a
+  ring walk,
+* ``handoff_seconds`` — lease takeover + adoption + resume for a
+  seeded backlog, with ``jobs_adopted`` / ``jobs_resolved`` splits.
+"""
+
+import threading
+import time
+
+from repro.client import ServiceClient
+from repro.obs import TRACER, make_traceparent
+from repro.persist.batch import BatchRunner
+from repro.runtime.chaos import chaos_from_env
+from repro.serve import (
+    AnalysisService,
+    ClusterService,
+    Replica,
+    ReproServer,
+    RouterConfig,
+    ServeConfig,
+)
+
+SRC = """
+prog(in buffer ib, out buffer ob){
+  move-p(ib, ob, 1);
+  assert(backlog-p(ob) >= 0);
+}
+"""
+
+REPLICAS = 2
+WARM = 8                 # distinct programs through the healthy ring
+DEGRADED = 12            # burst requests with one replica dead
+HANDOFF_JOBS = 4         # backlog size for the handoff measurement
+STEPS = 2
+
+
+def _program(i: int) -> str:
+    return SRC + f"// cluster workload {i}\n"
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+
+def _start_replica(tmp_path, name):
+    cfg = ServeConfig(
+        port=0, spool_dir=tmp_path / name, workers=2, queue_limit=16,
+        deadline_seconds=30.0, lease_ttl=0.5,
+    )
+    service = AnalysisService(cfg)
+    server = ReproServer(service)
+    server.start_background()
+    replica = Replica(
+        name=f"127.0.0.1:{server.port}", host="127.0.0.1",
+        port=server.port, spool=tmp_path / name)
+    return service, server, replica
+
+
+def test_cluster_failover(benchmark, bench_json, results_table, tmp_path):
+    backends = [_start_replica(tmp_path, f"r{i}") for i in range(REPLICAS)]
+    router = ClusterService(
+        RouterConfig(port=0, name="bench-router", probe_interval=60.0,
+                     readmit_seconds=60.0, route_deadline=60.0,
+                     forward_timeout=30.0, handoff=False),
+        [rep for _, _, rep in backends],
+    )
+    router_server = ReproServer(router)
+
+    lock = threading.Lock()
+    warm_latencies: list = []
+    degraded_latencies: list = []
+    statuses: list = []
+
+    def one_degraded_request(i: int) -> None:
+        client = ServiceClient(port=router_server.port, timeout=60.0)
+        started = time.perf_counter()
+        try:
+            doc = client.analyze(_program(WARM + i), steps=STEPS,
+                                 retry=False)
+            status = doc["status"]
+        except Exception as exc:  # noqa: BLE001 - a drop fails the bench
+            status = f"error: {exc!r}"
+        elapsed = time.perf_counter() - started
+        with lock:
+            degraded_latencies.append(elapsed)
+            statuses.append(status)
+
+    def run() -> None:
+        router_server.start_background()
+        warm = ServiceClient(port=router_server.port, timeout=60.0)
+        for i in range(WARM):
+            started = time.perf_counter()
+            doc = warm.analyze(_program(i), steps=STEPS)
+            warm_latencies.append(time.perf_counter() - started)
+            assert doc["status"] == 200, doc
+        # Kill one replica's listener, then burst: the ring walks to
+        # the survivor.
+        backends[0][1].stop_background(drain=False)
+        threads = [
+            threading.Thread(target=one_degraded_request, args=(i,))
+            for i in range(DEGRADED)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120.0)
+
+    try:
+        with chaos_from_env():
+            benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        router_server.stop_background(drain=False)
+        router.close()
+        backends[0][0].close()
+        backends[1][1].stop_background()
+
+    assert len(statuses) == DEGRADED
+    # Terminal answers only — overload rejects are fine, drops are not.
+    assert all(s in (200, 429, 503) for s in statuses), statuses
+    answered = [s for s in statuses if s == 200]
+    failovers = router.counters["failovers"]
+    failover_rate = min(1.0, failovers / max(1, len(answered)))
+
+    bench_json("latency_p50_seconds", _percentile(warm_latencies, 0.50),
+               "s", phase="warm", replicas=REPLICAS)
+    bench_json("latency_p99_seconds", _percentile(warm_latencies, 0.99),
+               "s", phase="warm", replicas=REPLICAS)
+    bench_json("latency_p50_seconds",
+               _percentile(degraded_latencies, 0.50), "s",
+               phase="degraded", replicas=REPLICAS)
+    bench_json("latency_p99_seconds",
+               _percentile(degraded_latencies, 0.99), "s",
+               phase="degraded", replicas=REPLICAS)
+    bench_json("failover_rate", failover_rate, "fraction",
+               requests=DEGRADED)
+    bench_json("answered_rate", len(answered) / DEGRADED, "fraction",
+               requests=DEGRADED)
+
+    results_table["Serve cluster — one replica killed mid-burst"] = [
+        f"warm     p50/p99: {_percentile(warm_latencies, 0.5):6.3f}s"
+        f" / {_percentile(warm_latencies, 0.99):6.3f}s",
+        f"degraded p50/p99: {_percentile(degraded_latencies, 0.5):6.3f}s"
+        f" / {_percentile(degraded_latencies, 0.99):6.3f}s",
+        f"failovers: {failovers}   answered: {len(answered)}/{DEGRADED}",
+    ]
+
+
+def test_journal_handoff(benchmark, bench_json, results_table, tmp_path):
+    """Wall time to finish a dead replica's backlog: lease takeover,
+    peer adoption, local resume."""
+    # A spool as a crashed replica leaves it: jobs journaled, lease
+    # heartbeat stopped (tiny TTL → immediately stale).
+    spool = tmp_path / "dead"
+    with TRACER.activate(make_traceparent()):
+        with BatchRunner(spool, owner="dead-replica",
+                         lease_ttl=0.05) as runner:
+            runner.lease.acquire("dead-replica")
+            for i in range(HANDOFF_JOBS):
+                runner.submit_one(_program(100 + i), steps=STEPS)
+
+    survivor_service, survivor_server, survivor = \
+        _start_replica(tmp_path, "survivor")
+    dead = Replica(name="127.0.0.1:1", host="127.0.0.1", port=1,
+                   spool=spool)
+    router = ClusterService(
+        RouterConfig(port=0, name="bench-router", probe_interval=60.0,
+                     readmit_seconds=60.0, forward_timeout=30.0),
+        [dead, survivor],
+    )
+    # One backlog job already failed over and was solved on the
+    # survivor: the handoff must adopt it, not re-solve it.
+    doc = ServiceClient(port=survivor_server.port, timeout=60.0).analyze(
+        _program(100), steps=STEPS)
+    assert doc["status"] == 200, doc
+    time.sleep(0.1)  # the dead lease's TTL lapses
+
+    result = {}
+
+    def run() -> None:
+        started = time.perf_counter()
+        outcome = router.handoff(dead)
+        result["seconds"] = time.perf_counter() - started
+        result["outcome"] = outcome
+
+    try:
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        router.close()
+        survivor_server.stop_background()
+
+    outcome = result["outcome"]
+    assert outcome is not None, "handoff was refused"
+    assert outcome["adopted"] == 1
+    assert outcome["resolved"] == HANDOFF_JOBS - 1
+    table = BatchRunner(spool).status().to_json()
+    assert set(table["counts"]) == {"done"}, table["counts"]
+
+    bench_json("handoff_seconds", result["seconds"], "s",
+               jobs=HANDOFF_JOBS)
+    bench_json("handoff_jobs_adopted", outcome["adopted"], "jobs",
+               jobs=HANDOFF_JOBS)
+    bench_json("handoff_jobs_resolved", outcome["resolved"], "jobs",
+               jobs=HANDOFF_JOBS)
+
+    results_table["Serve cluster — journal handoff"] = [
+        f"backlog of {HANDOFF_JOBS} finished in"
+        f" {result['seconds']:6.3f}s"
+        f" (adopted {outcome['adopted']},"
+        f" resolved {outcome['resolved']})",
+    ]

@@ -354,6 +354,8 @@ def cmd_serve(args) -> int:
 
     from .serve import AnalysisService, ReproServer, ServeConfig
 
+    if args.route:
+        return _cmd_serve_router(args)
     # Point the CDCL checkpoint store into the spool (unless the
     # operator chose one), so drain-cancelled solves leave resumable
     # checkpoints next to the journal that `batch resume` reads.
@@ -372,6 +374,8 @@ def cmd_serve(args) -> int:
         read_timeout=args.read_timeout,
         jobs=args.jobs,
         certify=args.certify or None,
+        name=args.name,
+        lease_ttl=args.lease_ttl,
     )
     service = AnalysisService(config)
     server = ReproServer(service)
@@ -387,6 +391,58 @@ def cmd_serve(args) -> int:
     print(f"drained: {summary.get('cancelled_inflight', 0)} in-flight"
           f" solve(s) cancelled, {left} job(s) journaled for"
           f" `repro batch resume {args.spool}`", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_router(args) -> int:
+    """``repro serve --route``: run the shard router until signalled."""
+    import asyncio
+
+    from .serve import ClusterService, ReproServer, RouterConfig
+    from .serve.cluster import parse_replica
+
+    try:
+        replicas = [parse_replica(spec)
+                    for spec in args.route.split(",") if spec.strip()]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if not replicas:
+        print("error: --route needs at least one HOST:PORT replica",
+              file=sys.stderr)
+        return EXIT_ERROR
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        name=args.name or f"router:{args.host}:{args.port}",
+        failure_threshold=args.failure_threshold,
+        readmit_seconds=args.readmit,
+        probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout,
+        forward_timeout=args.deadline * 2,
+        route_deadline=args.route_deadline,
+        hedge_seconds=args.hedge,
+        lease_ttl=args.lease_ttl,
+        workers=max(2, args.workers),
+        read_timeout=args.read_timeout,
+    )
+    service = ClusterService(config, replicas)
+    server = ReproServer(service)
+    names = ", ".join(r.name for r in replicas)
+    print(f"repro serve (router): listening on"
+          f" http://{args.host}:{args.port} routing {names}",
+          file=sys.stderr, flush=True)
+    service.start()
+    with _batch_chaos():
+        try:
+            summary = asyncio.run(server.serve_until_signalled())
+        finally:
+            service.close()
+    counters = summary.get("counters", {})
+    print(f"router drained: {counters.get('routed', 0)} routed,"
+          f" {counters.get('failovers', 0)} failover(s),"
+          f" {counters.get('handoffs', 0)} journal handoff(s)",
+          file=sys.stderr)
     return 0
 
 
@@ -609,6 +665,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="solver processes per solve"
                         " (default $REPRO_JOBS or 1)")
+    p.add_argument("--name", default=None, metavar="NAME",
+                   help="this replica's cluster name (default HOST:PORT);"
+                        " stamps journal records and the spool lease")
+    p.add_argument("--lease-ttl", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="spool-lease heartbeat TTL: how stale this"
+                        " replica's heartbeat must be before a router may"
+                        " take over its journal (default 10)")
+    p.add_argument("--route", default=None, metavar="REPLICAS",
+                   help="router mode: comma-separated HOST:PORT[=SPOOL]"
+                        " replicas; requests are consistent-hash routed"
+                        " with health-probed failover, and a dead"
+                        " replica's spool (when given) is finished via"
+                        " journal handoff")
+    p.add_argument("--probe-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="router: seconds between replica health probes"
+                        " (default 1)")
+    p.add_argument("--probe-timeout", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="router: per-probe timeout (default 2)")
+    p.add_argument("--readmit", type=float, default=5.0, metavar="SECONDS",
+                   help="router: seconds an ejected replica waits before"
+                        " a re-admission probe (default 5)")
+    p.add_argument("--failure-threshold", type=int, default=3,
+                   help="router: consecutive probe/forward failures that"
+                        " eject a replica (default 3)")
+    p.add_argument("--hedge", type=float, default=None, metavar="SECONDS",
+                   help="router: hedge a second replica after this much"
+                        " silence (off by default; a hedged job may"
+                        " solve twice)")
+    p.add_argument("--route-deadline", type=float, default=90.0,
+                   metavar="SECONDS",
+                   help="router: total wall budget for one request"
+                        " across all failovers (default 90)")
     certify_opt(p)
     p.set_defaults(fn=cmd_serve)
 

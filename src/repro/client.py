@@ -9,13 +9,21 @@ it:
   than any client-side guess;
 * transport errors (connection refused/reset, timeouts) retry under
   exponential backoff with seeded jitter, capped at ``backoff_cap`` —
-  jitter decorrelates a thundering herd of restarting clients;
+  jitter decorrelates a thundering herd of restarting clients; with
+  ``failover`` endpoints configured, a transport error also rotates to
+  the next endpoint *immediately* (a dead replica shouldn't cost a
+  backoff sleep when a live one is known);
+* an overall ``deadline`` caps total wall-time across every retry and
+  failover — a long ``Retry-After`` chain can otherwise exceed any
+  caller's budget;
 * everything else — including fast UNKNOWN verdicts — is returned to
   the caller: a degraded answer is an answer, not a retry trigger.
 
 Every response is a plain dict with ``status`` (the HTTP code) merged
 over the JSON body; :class:`ServiceUnavailable` is raised only after
-the retry budget is spent.
+the retry budget (attempts or deadline) is spent.  ``last_report``
+records what the most recent logical request cost: attempts,
+failovers, the endpoint that answered, elapsed wall-time.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import http.client
 import json
 import random
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence, Union
 
 from .obs import TRACER, make_traceparent
 
@@ -40,8 +48,19 @@ class ServiceUnavailable(RuntimeError):
         self.last = last
 
 
+def _parse_endpoint(spec: Union[str, tuple]) -> tuple[str, int]:
+    """``"host:port"`` or ``(host, port)`` → ``(host, port)``."""
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    host, _, port_text = str(spec).rpartition(":")
+    if not host or not port_text:
+        raise ValueError(f"endpoint {spec!r} is not HOST:PORT")
+    return host, int(port_text)
+
+
 class ServiceClient:
-    """One server endpoint plus a retry/backoff policy."""
+    """One server endpoint (plus optional failovers) and a retry policy."""
 
     def __init__(
         self,
@@ -55,6 +74,9 @@ class ServiceClient:
         backoff_cap: float = 2.0,
         seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
+        failover: Sequence[Union[str, tuple]] = (),
+        deadline: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.host = host
         self.port = port
@@ -65,9 +87,22 @@ class ServiceClient:
         self.backoff_cap = backoff_cap
         self._rng = random.Random(seed)
         self._sleep = sleep
+        self._clock = clock
+        #: Total wall-time budget per logical request, across every
+        #: retry, Retry-After wait, and failover.  None = attempts-only.
+        self.deadline = deadline
+        #: Endpoint rotation order: the primary plus the failovers.
+        #: ``self.host``/``self.port`` always reflect the *current*
+        #: endpoint (``repro top`` shows where requests are going).
+        self.endpoints: list[tuple[str, int]] = [(host, port)]
+        self.endpoints += [_parse_endpoint(spec) for spec in failover]
+        self._endpoint_index = 0
         #: The traceparent sent with the most recent request — the
         #: handle for fetching its distributed trace later.
         self.last_traceparent: Optional[str] = None
+        #: What the most recent logical request cost (attempts,
+        #: failovers, endpoint, elapsed_seconds, status/error).
+        self.last_report: dict[str, Any] = {}
 
     # ----- the API ----------------------------------------------------------
 
@@ -114,6 +149,10 @@ class ServiceClient:
         return self.request("GET", f"/v1/jobs/{job_id}/progress",
                             retry=False)
 
+    def cluster(self) -> dict:
+        """Topology + replica health (router mode only)."""
+        return self.request("GET", "/v1/cluster", retry=False)
+
     def health(self) -> dict:
         return self.request("GET", "/healthz", retry=False)
 
@@ -150,36 +189,105 @@ class ServiceClient:
             return self._request(method, path, payload, traceparent,
                                  retry=retry)
 
+    def _rotate_endpoint(self) -> None:
+        """Advance to the next configured endpoint (transport failover)."""
+        self._endpoint_index = \
+            (self._endpoint_index + 1) % len(self.endpoints)
+        self.host, self.port = self.endpoints[self._endpoint_index]
+
     def _request(self, method: str, path: str, payload: Optional[dict],
                  traceparent: Optional[str], *, retry: bool) -> dict:
         attempts = (self.max_retries + 1) if retry else 1
+        started = self._clock()
+        hard_deadline = (started + self.deadline
+                         if self.deadline is not None else None)
+        report: dict[str, Any] = {
+            "method": method, "path": path,
+            "attempts": 0, "failovers": 0,
+        }
+        self.last_report = report
+
+        def finish(status: Any = None, error: Any = None,
+                   deadline_exceeded: bool = False) -> None:
+            report["endpoint"] = f"{self.host}:{self.port}"
+            report["elapsed_seconds"] = round(self._clock() - started, 6)
+            if status is not None:
+                report["status"] = status
+            if error is not None:
+                report["error"] = error
+            if deadline_exceeded:
+                report["deadline_exceeded"] = True
+
+        def budget_left() -> Optional[float]:
+            if hard_deadline is None:
+                return None
+            return hard_deadline - self._clock()
+
+        def sleep_within_budget(delay: float) -> bool:
+            """Sleep ``delay`` clamped to the deadline; False when the
+            budget is already spent (caller stops retrying)."""
+            left = budget_left()
+            if left is not None:
+                if left <= 0.0:
+                    return False
+                delay = min(delay, left)
+            if delay > 0.0:
+                self._sleep(delay)
+            return True
+
         last_doc: Optional[dict] = None
         last_error: Optional[Exception] = None
-        for attempt in range(attempts):
+        attempt = 0
+        while attempt < attempts:
+            left = budget_left()
+            if left is not None and left <= 0.0:
+                break
+            report["attempts"] = attempt + 1
             try:
                 status, headers, body = self._once(
                     method, path, payload, traceparent)
             except (OSError, http.client.HTTPException) as exc:
                 last_error = exc
-                if attempt + 1 < attempts:
-                    self._sleep(self._backoff(attempt))
+                attempt += 1
+                if attempt >= attempts:
+                    break
+                if len(self.endpoints) > 1:
+                    # A known-alternative endpoint beats a backoff nap
+                    # against a dead socket: rotate and go immediately.
+                    self._rotate_endpoint()
+                    report["failovers"] += 1
+                    continue
+                if not sleep_within_budget(self._backoff(attempt - 1)):
+                    break
                 continue
             doc = _decode(body)
             doc["status"] = status
             if status not in RETRYABLE_STATUSES or not retry:
+                finish(status=status)
                 return doc
             last_doc = doc
-            if attempt + 1 < attempts:
-                self._sleep(self._retry_delay(headers, doc, attempt))
+            attempt += 1
+            if attempt >= attempts:
+                break
+            if not sleep_within_budget(
+                    self._retry_delay(headers, doc, attempt - 1)):
+                break
+        exceeded = (hard_deadline is not None
+                    and self._clock() >= hard_deadline)
+        budget = (f"deadline {self.deadline}s" if exceeded
+                  else f"{report['attempts']} attempts")
         if last_doc is not None:
+            finish(status=last_doc.get("status"),
+                   error=last_doc.get("reason", "rejected"),
+                   deadline_exceeded=exceeded)
             raise ServiceUnavailable(
-                f"{method} {path} still rejected after"
-                f" {attempts} attempts: {last_doc.get('reason', '?')}",
+                f"{method} {path} still rejected after {budget}:"
+                f" {last_doc.get('reason', '?')}",
                 last=last_doc,
             )
+        finish(error=repr(last_error), deadline_exceeded=exceeded)
         raise ServiceUnavailable(
-            f"{method} {path} unreachable after {attempts} attempts:"
-            f" {last_error!r}"
+            f"{method} {path} unreachable after {budget}: {last_error!r}"
         )
 
     def _once(self, method: str, path: str, payload: Optional[dict],

@@ -123,6 +123,36 @@ _HELP: dict[str, str] = {
     "repro_serve_breaker_trips_total": "Circuit breaker trips.",
     "repro_serve_drains_total": "Graceful drains initiated.",
     "repro_serve_request_seconds": "End-to-end request service time.",
+    "repro_serve_probe_lost_total":
+        "Requests bounced 503 after losing the half-open probe race.",
+    # cluster (router + registry + handoff)
+    "repro_cluster_requests_total": "Requests received by the shard router.",
+    "repro_cluster_failovers_total":
+        "Forwards re-routed to the next ring node, by failed replica.",
+    "repro_cluster_hedges_total":
+        "Hedged second requests fired after hedge_seconds of silence.",
+    "repro_cluster_probe_seconds": "Replica health-probe latency.",
+    "repro_cluster_replica_state":
+        "Replica health: 0 healthy, 1 probing, 2 ejected.",
+    "repro_cluster_ejections_total":
+        "Replicas ejected after consecutive failures, by replica.",
+    "repro_cluster_readmissions_total":
+        "Ejected replicas re-admitted after a good probe, by replica.",
+    "repro_cluster_handoffs_total":
+        "Journal handoffs started for dead replicas' spools.",
+    "repro_cluster_handoff_jobs_total":
+        "Jobs finished during handoff, by mode (adopted/resolved).",
+    "repro_cluster_handoff_refused_total":
+        "Handoffs refused because the spool lease was still fresh.",
+    "repro_cluster_handoff_errors_total":
+        "Handoff attempts that raised (spool left for manual resume).",
+    # spool ownership leases
+    "repro_persist_lease_takeovers_total":
+        "Spool leases taken over from a stale or released owner.",
+    "repro_persist_lease_lost_total":
+        "Lease renewals refused because another owner took the spool.",
+    "repro_persist_jobs_adopted_total":
+        "Batch jobs finished by adopting a peer replica's verdict.",
 }
 
 

@@ -17,6 +17,8 @@ from .batch import (
     BatchReport,
     BatchRunner,
     JobRecord,
+    LeaseHeld,
+    SpoolLease,
     analyze_many,
     job_id_for,
 )
@@ -36,6 +38,8 @@ __all__ = [
     "CheckpointStore",
     "JobRecord",
     "Journal",
+    "LeaseHeld",
+    "SpoolLease",
     "analyze_many",
     "canonical_json",
     "cnf_fingerprint",

@@ -11,6 +11,13 @@ The durable counterpart of calling :func:`repro.analyze` in a loop: a
   shared by every job, so a job re-executed after a crash answers its
   already-solved sub-queries from disk instead of re-deriving them.
 
+A spool may also carry an **ownership lease** (``owner.json``): the
+process that serves a spool (one ``repro serve`` replica) acquires the
+lease and renews it on a heartbeat.  A *different* process may
+:meth:`SpoolLease.takeover` only once the heartbeat has gone stale —
+the arbiter that lets a cluster router finish a dead replica's backlog
+(journal handoff) without ever racing a replica that is merely slow.
+
 Execution contract — **at-least-once, idempotent**:
 
 * A job's identity is a sha256 over its canonical spec (source text,
@@ -36,6 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import os
 import random
 import signal
@@ -71,6 +79,166 @@ def job_id_for(spec: dict) -> str:
     return hashlib.sha256(canonical_json(keyed).encode()).hexdigest()
 
 
+class LeaseHeld(RuntimeError):
+    """A takeover was refused: the current owner's heartbeat is fresh."""
+
+
+class SpoolLease:
+    """Ownership lease over one spool directory (``owner.json``).
+
+    The liveness arbiter for journal handoff.  The owning process
+    (a serve replica, a batch run) acquires the lease and renews it on
+    a heartbeat; a peer that believes the owner died may take the spool
+    over only once the heartbeat is **stale** — ``renewed_at`` older
+    than the TTL the owner itself advertised.  A health prober can be
+    fooled by a partition or a flapping probe; a fresh heartbeat on
+    shared storage cannot, so :meth:`takeover` raising
+    :class:`LeaseHeld` is what stops two processes from executing one
+    journal at once.
+
+    Wall-clock based (``time.time``) because the two sides are
+    different processes; the clock is injectable for tests.  All writes
+    are atomic (temp + rename) and degrade to a counted metric on
+    ``OSError`` — a lost lease write costs takeover safety margin,
+    never the run.
+    """
+
+    FILE = "owner.json"
+
+    def __init__(self, directory: Union[str, Path], *,
+                 ttl_seconds: float = 10.0,
+                 clock: Callable[[], float] = time.time):
+        self.directory = Path(directory)
+        self.path = self.directory / self.FILE
+        self.ttl_seconds = max(0.001, ttl_seconds)
+        self._clock = clock
+        self._owner: Optional[str] = None
+
+    # ----- observation ------------------------------------------------------
+
+    def read(self) -> Optional[dict]:
+        """The lease record, or None (no lease / unreadable)."""
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def holder(self) -> Optional[str]:
+        data = self.read()
+        return data.get("owner") if data else None
+
+    def is_stale(self, data: Optional[dict] = None) -> bool:
+        """True when the spool is safely claimable: no lease, a released
+        lease, or a heartbeat older than the owner's advertised TTL."""
+        if data is None:
+            data = self.read()
+        if not data:
+            return True
+        if data.get("state") == "released":
+            return True
+        try:
+            renewed = float(data.get("renewed_at", 0.0))
+            ttl = float(data.get("ttl_seconds", self.ttl_seconds))
+        except (TypeError, ValueError):
+            return True
+        return self._clock() - renewed >= ttl
+
+    # ----- transitions ------------------------------------------------------
+
+    def acquire(self, owner: str, *, force: bool = False) -> bool:
+        """Claim the spool for ``owner``; refuses a fresh foreign lease
+        unless ``force`` (a replica restarting over its own spool passes
+        ``force=True`` — it *is* the owner, the old pid just died)."""
+        data = self.read()
+        if (data and not force and not self.is_stale(data)
+                and data.get("owner") != owner):
+            return False
+        self._owner = owner
+        return self._write({
+            "owner": owner,
+            "pid": os.getpid(),
+            "acquired_at": self._clock(),
+            "renewed_at": self._clock(),
+            "ttl_seconds": self.ttl_seconds,
+        })
+
+    def renew(self) -> bool:
+        """Heartbeat: push ``renewed_at`` forward.  Returns False (and
+        writes nothing) if the lease was taken over from under us — the
+        signal for a zombie owner to stop touching the journal."""
+        if self._owner is None:
+            return False
+        data = self.read()
+        if data and data.get("owner") != self._owner:
+            if METRICS.enabled:
+                METRICS.counter_inc("repro_persist_lease_lost_total")
+            return False
+        data = data or {"owner": self._owner, "pid": os.getpid(),
+                        "acquired_at": self._clock(),
+                        "ttl_seconds": self.ttl_seconds}
+        data["renewed_at"] = self._clock()
+        return self._write(data)
+
+    def release(self) -> bool:
+        """Voluntary surrender (graceful drain): a peer may take over
+        immediately instead of waiting out the TTL."""
+        data = self.read() or {"owner": self._owner}
+        data["state"] = "released"
+        data["released_at"] = self._clock()
+        return self._write(data)
+
+    def takeover(self, new_owner: str, *, force: bool = False) -> dict:
+        """Claim a (believedly) dead owner's spool.
+
+        Raises :class:`LeaseHeld` while the current owner's heartbeat
+        is fresh — ejection by a health prober is a *suspicion*; only a
+        stale (or released) lease makes it safe to execute the journal.
+        Returns the new lease record, which names the previous owner.
+        """
+        data = self.read()
+        if (data and not force and not self.is_stale(data)
+                and data.get("owner") != new_owner):
+            age = self._clock() - float(data.get("renewed_at", 0.0))
+            raise LeaseHeld(
+                f"spool {self.directory} is owned by"
+                f" {data.get('owner')!r} (heartbeat {age:.1f}s ago,"
+                f" ttl {data.get('ttl_seconds')}s)"
+            )
+        self._owner = new_owner
+        record = {
+            "owner": new_owner,
+            "pid": os.getpid(),
+            "acquired_at": self._clock(),
+            "renewed_at": self._clock(),
+            "ttl_seconds": self.ttl_seconds,
+            "taken_over_by": new_owner,
+            "taken_from": (data or {}).get("owner"),
+        }
+        if not self._write(record):
+            raise LeaseHeld(
+                f"could not write takeover lease in {self.directory}")
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_persist_lease_takeovers_total")
+        return record
+
+    def _write(self, data: dict) -> bool:
+        tmp = self.path.with_suffix(".tmp")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(data, fh, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.path)
+        except OSError:
+            if METRICS.enabled:
+                METRICS.counter_inc(
+                    "repro_persist_io_errors_total", site="lease")
+            return False
+        return True
+
+
 @dataclass
 class JobRecord:
     """One job's current state, as reconstructed from the journal."""
@@ -91,6 +259,14 @@ class JobRecord:
     # process (``repro batch resume`` after SIGKILL) re-adopts it, so
     # one distributed trace spans the original request and the recovery.
     trace: Optional[str] = None
+    # Which replica/process journaled the job (its spool lease owner).
+    owner: Optional[str] = None
+    # Set when a *different* owner journaled a later state transition —
+    # the visible mark of a journal handoff after the original owner died.
+    taken_over_by: Optional[str] = None
+    # Set when the verdict was copied from a peer replica's journal
+    # instead of being solved here (failover dedupe during handoff).
+    adopted_from: Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -106,7 +282,9 @@ class JobRecord:
             "job_id": self.job_id, "spec": self.spec, "state": self.state,
             "attempts": self.attempts, "verdict": self.verdict,
             "exit_code": self.exit_code, "error": self.error,
-            "trace": self.trace,
+            "trace": self.trace, "owner": self.owner,
+            "taken_over_by": self.taken_over_by,
+            "adopted_from": self.adopted_from,
         }
 
     @classmethod
@@ -119,6 +297,9 @@ class JobRecord:
             exit_code=data.get("exit_code"),
             error=data.get("error"),
             trace=data.get("trace"),
+            owner=data.get("owner"),
+            taken_over_by=data.get("taken_over_by"),
+            adopted_from=data.get("adopted_from"),
         )
 
 
@@ -131,6 +312,9 @@ class BatchReport:
     retries: int = 0
     executed: int = 0
     replayed: int = 0  # finished jobs answered straight from the journal
+    # The spool's ownership lease (owner, heartbeat age, takeover marks),
+    # attached by :meth:`BatchRunner.status` when an ``owner.json`` exists.
+    lease: Optional[dict] = None
 
     def by_state(self) -> dict[str, int]:
         """State → count; interrupted jobs count as ``orphaned``, not as
@@ -189,6 +373,10 @@ class BatchReport:
                 detail = "orphaned (interrupted while running)"
             elif rec.state == "deadletter" and rec.error:
                 detail = f"deadletter after {rec.attempts} attempts: {rec.error}"
+            if rec.adopted_from:
+                detail = f"{detail} [adopted from {rec.adopted_from}]"
+            elif rec.taken_over_by:
+                detail = f"{detail} [taken over by {rec.taken_over_by}]"
             lines.append(f"  {rec.label}: {detail}")
         return "\n".join(lines)
 
@@ -197,15 +385,33 @@ class BatchReport:
 
         The shape ops scripts and the serve ``/readyz`` endpoint read:
         per-state counts (orphaned-running jobs reported distinctly),
-        the aggregate exit code, and one row per job.
+        the aggregate exit code, and one row per job.  Cluster runs add
+        handoff visibility: which replica owned each job, who took it
+        over, which verdicts were adopted from a peer instead of solved
+        here, and how many orphaned jobs each dead owner left behind.
         """
-        return {
+        orphaned_by_owner: dict[str, int] = {}
+        handed_off = adopted = 0
+        for rec in self.records:
+            if rec.orphaned:
+                key = rec.owner or "unknown"
+                orphaned_by_owner[key] = orphaned_by_owner.get(key, 0) + 1
+            if rec.taken_over_by:
+                handed_off += 1
+            if rec.adopted_from:
+                adopted += 1
+        doc = {
             "counts": self.by_state(),
             "recovered": self.recovered,
             "retries": self.retries,
             "executed": self.executed,
             "replayed": self.replayed,
             "exit_code": self.exit_code,
+            "handoff": {
+                "taken_over": handed_off,
+                "adopted": adopted,
+                "orphaned_by_owner": orphaned_by_owner,
+            },
             "jobs": [
                 {
                     "job_id": rec.job_id,
@@ -216,10 +422,16 @@ class BatchReport:
                     "exit_code": rec.exit_code,
                     "error": rec.error,
                     "trace_id": rec.trace_id,
+                    "owner": rec.owner,
+                    "taken_over_by": rec.taken_over_by,
+                    "adopted_from": rec.adopted_from,
                 }
                 for rec in self.records
             ],
         }
+        if self.lease is not None:
+            doc["lease"] = self.lease
+        return doc
 
 
 class BatchRunner:
@@ -240,9 +452,18 @@ class BatchRunner:
         compact_after_bytes: int = 1 << 20,
         executor: Optional[Callable[[JobRecord], AnalysisOutcome]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        owner: Optional[str] = None,
+        lease_ttl: float = 10.0,
     ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # Cluster identity: which replica this runner acts as.  Journal
+        # records it writes are stamped ``by=owner`` so a later reader can
+        # see which process drove each transition — the raw material for
+        # the ``taken_over_by`` handoff marks.  None (single-node batch
+        # runs) keeps the journal format exactly as before.
+        self.owner = owner
+        self.lease = SpoolLease(self.directory, ttl_seconds=lease_ttl)
         self.max_attempts = max(1, max_attempts)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -300,7 +521,8 @@ class BatchRunner:
                 if job_id not in jobs:
                     jobs[job_id] = JobRecord(
                         job_id=job_id, spec=spec,
-                        trace=rec_data.get("trace"))
+                        trace=rec_data.get("trace"),
+                        owner=rec_data.get("owner"))
                     order.append(job_id)
             elif kind == "state":
                 rec = jobs.get(rec_data.get("id", ""))
@@ -314,6 +536,13 @@ class BatchRunner:
                     rec.exit_code = rec_data["exit_code"]
                 if "error" in rec_data:
                     rec.error = rec_data["error"]
+                if "adopted_from" in rec_data:
+                    rec.adopted_from = rec_data["adopted_from"]
+                # A transition journaled by someone other than the job's
+                # submitter is the durable trace of a handoff.
+                by = rec_data.get("by")
+                if by and rec.owner and by != rec.owner:
+                    rec.taken_over_by = by
         # Jobs this process submitted that never reached the journal
         # (degraded writes): fold them in so they still execute.
         for job_id in self._mem_order:
@@ -337,10 +566,13 @@ class BatchRunner:
 
     def _journal_state(self, rec: JobRecord, **extra) -> None:
         with self._lock:
-            self.journal.append({
+            entry = {
                 "kind": "state", "id": rec.job_id, "state": rec.state,
                 "attempt": rec.attempts, **extra,
-            })
+            }
+            if self.owner is not None:
+                entry["by"] = self.owner
+            self.journal.append(entry)
 
     # ----- public state transitions (thread-safe) ---------------------------
 
@@ -363,6 +595,33 @@ class BatchRunner:
         )
         if METRICS.enabled:
             METRICS.counter_inc("repro_persist_jobs_done_total")
+
+    def adopt_verdict(
+        self,
+        rec: JobRecord,
+        verdict: str,
+        exit_code: Optional[int],
+        *,
+        source: str,
+    ) -> None:
+        """Journal a terminal verdict copied from a peer replica.
+
+        The dedupe half of journal handoff: a job that failed over to a
+        surviving replica was already solved *there* — re-solving it here
+        would be a duplicate solve for the same idempotency key, so the
+        taker-over adopts the peer's journaled verdict instead.
+        """
+        with self._lock:
+            rec.state = "done"
+            rec.verdict = verdict
+            rec.exit_code = exit_code
+            rec.error = None
+            rec.adopted_from = source
+        self._journal_state(
+            rec, verdict=verdict, exit_code=exit_code, adopted_from=source,
+        )
+        if METRICS.enabled:
+            METRICS.counter_inc("repro_persist_jobs_adopted_total")
 
     def mark_failed(self, rec: JobRecord, error: str) -> None:
         """Journal a retryable failure (``repro batch resume`` retries it)."""
@@ -427,13 +686,16 @@ class BatchRunner:
                 ids.append(job_id)
                 if job_id in jobs:
                     continue  # idempotent resubmission
-                rec = JobRecord(job_id=job_id, spec=spec, trace=trace)
+                rec = JobRecord(job_id=job_id, spec=spec, trace=trace,
+                                owner=self.owner)
                 jobs[job_id] = rec
                 self._mem[job_id] = rec
                 self._mem_order.append(job_id)
                 entry = {"kind": "submit", "id": job_id, "spec": spec}
                 if trace is not None:
                     entry["trace"] = trace
+                if self.owner is not None:
+                    entry["owner"] = self.owner
                 self.journal.append(entry)
                 if METRICS.enabled:
                     METRICS.counter_inc("repro_persist_jobs_submitted_total")
@@ -635,6 +897,14 @@ class BatchRunner:
             if rec.state == "running":
                 rec.orphaned = True
         report.recovered = sum(1 for r in report.records if r.orphaned)
+        lease_data = self.lease.read()
+        if lease_data is not None:
+            report.lease = {
+                "owner": lease_data.get("owner"),
+                "state": lease_data.get("state", "held"),
+                "stale": self.lease.is_stale(lease_data),
+                "taken_from": lease_data.get("taken_from"),
+            }
         return report
 
     def close(self) -> None:

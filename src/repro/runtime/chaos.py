@@ -62,6 +62,12 @@ class ChaosConfig:
     slow_client_rate: float = 0.0
     slow_client_seconds: float = 0.05
     request_kill_rate: float = 0.0
+    # Cluster hooks (repro.serve.cluster): make the router see a dead
+    # connection when forwarding to a replica (it must fail over along
+    # the ring), or make the registry see a failed health probe (a
+    # flapping replica must be ejected and later re-admitted).
+    replica_kill_rate: float = 0.0
+    probe_flap_rate: float = 0.0
 
 
 @dataclass
@@ -78,6 +84,8 @@ class ChaosLog:
     checkpoint_kills: int = 0
     slow_clients: int = 0
     request_kills: int = 0
+    replica_kills: int = 0
+    probe_flaps: int = 0
     schedule: list[str] = field(default_factory=list)
 
 
@@ -222,6 +230,44 @@ class ChaosMonkey:
                 "repro_chaos_injected_total", kind="request_kill")
         return True
 
+    def should_kill_replica(self) -> bool:
+        """Roll the die for a forward hitting a dead replica.
+
+        The router treats True as a transport-level connection failure:
+        it must count the failure against the replica's health and fail
+        the request over to the next ring node.
+        """
+        cfg = self.config
+        if not cfg.replica_kill_rate:
+            return False
+        if self._rng.random() >= cfg.replica_kill_rate:
+            return False
+        self.log.replica_kills += 1
+        self.log.schedule.append("replica_kill")
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_chaos_injected_total", kind="replica_kill")
+        return True
+
+    def should_flap_probe(self) -> bool:
+        """Roll the die for a health probe spuriously failing.
+
+        Exercises the registry's ejection/re-admission cycle — and the
+        lease guard: a flapped-out replica is *alive*, so its fresh
+        heartbeat must make the router's journal takeover refuse.
+        """
+        cfg = self.config
+        if not cfg.probe_flap_rate:
+            return False
+        if self._rng.random() >= cfg.probe_flap_rate:
+            return False
+        self.log.probe_flaps += 1
+        self.log.schedule.append("probe_flap")
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_chaos_injected_total", kind="probe_flap")
+        return True
+
     def corrupt_cache_text(self, text: str) -> str:
         """Maybe truncate a cache entry's serialized form before write."""
         cfg = self.config
@@ -255,6 +301,7 @@ def inject_faults(
     from ..obs import export as export_mod
     from ..persist import checkpoint as ckpt_mod
     from ..persist import journal as journal_mod
+    from ..serve import cluster as cluster_mod
     from ..serve import service as serve_mod
     from ..smt import solver as solver_mod
 
@@ -266,6 +313,8 @@ def inject_faults(
         ckpt_mod.CheckpointStore,
         export_mod.TelemetrySnapshot,
         serve_mod.AnalysisService,
+        cluster_mod.ClusterService,
+        cluster_mod.ReplicaRegistry,
     ]
     previous = [cls._chaos for cls in hooks]
     for cls in hooks:
@@ -281,7 +330,8 @@ def chaos_from_env(environ=None):
     """A chaos context built from ``REPRO_CHAOS_*`` (CI smoke harness).
 
     Reads ``REPRO_CHAOS_IO_ERROR``, ``REPRO_CHAOS_SLOW_CLIENT``,
-    ``REPRO_CHAOS_REQUEST_KILL`` (each a per-call probability) and
+    ``REPRO_CHAOS_REQUEST_KILL``, ``REPRO_CHAOS_REPLICA_KILL``,
+    ``REPRO_CHAOS_PROBE_FLAP`` (each a per-call probability) and
     ``REPRO_CHAOS_SEED``; with every rate unset or zero this is a
     no-op ``nullcontext``.  ``repro batch run`` and ``repro serve``
     both enter it, so one environment variable puts an entire CI leg
@@ -303,7 +353,10 @@ def chaos_from_env(environ=None):
     io_error = rate("REPRO_CHAOS_IO_ERROR")
     slow_client = rate("REPRO_CHAOS_SLOW_CLIENT")
     request_kill = rate("REPRO_CHAOS_REQUEST_KILL")
-    if not (io_error or slow_client or request_kill):
+    replica_kill = rate("REPRO_CHAOS_REPLICA_KILL")
+    probe_flap = rate("REPRO_CHAOS_PROBE_FLAP")
+    if not (io_error or slow_client or request_kill
+            or replica_kill or probe_flap):
         return nullcontext()
     try:
         seed = int(env.get("REPRO_CHAOS_SEED", "0"))
@@ -314,4 +367,6 @@ def chaos_from_env(environ=None):
         io_error_rate=io_error,
         slow_client_rate=slow_client,
         request_kill_rate=request_kill,
+        replica_kill_rate=replica_kill,
+        probe_flap_rate=probe_flap,
     )

@@ -10,11 +10,14 @@ Layers (transport-free core first):
 * :mod:`repro.serve.service` — :class:`AnalysisService`: admission,
   durable jobs through the batch journal, ladder budgets, graceful
   drain;
+* :mod:`repro.serve.cluster` — the multi-replica topology:
+  consistent-hash ring, health-probed replica registry, the shard
+  router (``repro serve --route``), and journal handoff;
 * :mod:`repro.serve.http` — the asyncio HTTP/1.1 skin
   (:class:`ReproServer`) and the ``repro serve`` main loop.
 
 The client half lives in :mod:`repro.client` (retry/backoff honoring
-``Retry-After``).
+``Retry-After``, endpoint failover, total-deadline budgets).
 """
 
 from .admission import (
@@ -25,6 +28,15 @@ from .admission import (
     TokenBucket,
 )
 from .breaker import BreakerState, CircuitBreaker
+from .cluster import (
+    ClusterService,
+    HashRing,
+    Replica,
+    ReplicaRegistry,
+    ReplicaState,
+    RouterConfig,
+    parse_replica,
+)
 from .http import ReproServer
 from .service import AnalysisService, ServeConfig
 
@@ -34,9 +46,16 @@ __all__ = [
     "AnalysisService",
     "BreakerState",
     "CircuitBreaker",
+    "ClusterService",
+    "HashRing",
     "OverloadLevel",
+    "Replica",
+    "ReplicaRegistry",
+    "ReplicaState",
     "ReproServer",
+    "RouterConfig",
     "ServeConfig",
     "TenantPolicy",
     "TokenBucket",
+    "parse_replica",
 ]

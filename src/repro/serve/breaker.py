@@ -76,6 +76,22 @@ class CircuitBreaker:
             self._maybe_half_open()
             return self._state
 
+    def retry_after(self) -> float:
+        """How long a rejected caller should wait before retrying.
+
+        OPEN: the remainder of the reset window (when probes start).
+        HALF_OPEN: a short constant — the in-flight probe resolves in
+        one request's time, not a full reset window.  CLOSED: 0.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.OPEN:
+                elapsed = self._clock() - self._opened_at
+                return max(0.0, self.reset_seconds - elapsed)
+            if self._state is BreakerState.HALF_OPEN:
+                return 1.0
+            return 0.0
+
     def describe(self) -> dict:
         with self._lock:
             self._maybe_half_open()

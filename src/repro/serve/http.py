@@ -23,9 +23,15 @@ Routes::
     GET  /v1/jobs/<id>             one journaled job's state
     GET  /v1/jobs/<id>/trace       the job's stitched span tree (JSON)
     GET  /v1/jobs/<id>/progress    live solver-progress ring buffer
+    GET  /v1/cluster               topology + replica health (router mode)
     GET  /healthz                  liveness + control-plane counters
     GET  /readyz                   readiness (503 while draining/breaker-open)
     GET  /metrics                  Prometheus text exposition
+
+The server binds to a *service object* by duck typing, not by class:
+a :class:`~repro.serve.cluster.ClusterService` (the shard router)
+serves the same routes, with its read-path methods returning
+awaitables — :func:`_resolve` absorbs the difference.
 
 Distributed tracing: ``POST /v1/analyze`` reads an optional W3C-style
 ``traceparent`` header and threads it through the service, so the
@@ -36,12 +42,21 @@ request's spans (and everything downstream: journal, workers, a later
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import signal
 import threading
 from typing import Optional
 
 from .service import AnalysisService
+
+
+async def _resolve(value):
+    """Await the result when the service method is async (the cluster
+    router's proxied reads); pass through plain values otherwise."""
+    if inspect.isawaitable(value):
+        return await value
+    return value
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -262,18 +277,26 @@ class ReproServer:
             return status, _retry_header(status, doc), _json_body(doc)
 
         if path == "/v1/jobs" and method == "GET":
-            status, doc = service.jobs_index()
+            status, doc = await _resolve(service.jobs_index())
             return status, {}, _json_body(doc)
 
         if path.startswith("/v1/jobs/") and method == "GET":
             rest = path[len("/v1/jobs/"):]
             if rest.endswith("/trace"):
-                status, doc = service.job_trace(rest[:-len("/trace")])
+                result = service.job_trace(rest[:-len("/trace")])
             elif rest.endswith("/progress"):
-                status, doc = service.job_progress(
-                    rest[:-len("/progress")])
+                result = service.job_progress(rest[:-len("/progress")])
             else:
-                status, doc = service.job_status(rest)
+                result = service.job_status(rest)
+            status, doc = await _resolve(result)
+            return status, {}, _json_body(doc)
+
+        if path == "/v1/cluster" and method == "GET":
+            info = getattr(service, "cluster_info", None)
+            if info is None:
+                return 404, {}, _json_body(
+                    {"error": "not a cluster router"})
+            status, doc = await _resolve(info())
             return status, {}, _json_body(doc)
 
         if path == "/healthz" and method == "GET":

@@ -103,6 +103,11 @@ class ServeConfig:
     jobs: Optional[int] = None
     certify: Optional[bool] = None
     tenants: list[TenantPolicy] = field(default_factory=list)
+    # Cluster identity: this replica's name (defaults to host:port) and
+    # its spool lease heartbeat TTL — the window a router must wait out
+    # before taking over this replica's journal (see SpoolLease).
+    name: Optional[str] = None
+    lease_ttl: float = 10.0
 
 
 class AnalysisService:
@@ -125,7 +130,9 @@ class AnalysisService:
     ):
         self.config = config or ServeConfig()
         cfg = self.config
-        self.runner = runner or BatchRunner(cfg.spool_dir)
+        self.name = cfg.name or f"{cfg.host}:{cfg.port}"
+        self.runner = runner or BatchRunner(
+            cfg.spool_dir, owner=self.name, lease_ttl=cfg.lease_ttl)
         self.admission = admission or AdmissionController(
             queue_limit=cfg.queue_limit,
             shed_priority_floor=cfg.shed_priority_floor,
@@ -158,9 +165,19 @@ class AnalysisService:
         self.counters = {
             "requests": 0, "admitted": 0, "rejected": 0, "replayed": 0,
             "solved": 0, "degraded": 0, "breaker_fast_unknown": 0,
-            "faults": 0, "drained": 0,
+            "faults": 0, "drained": 0, "probe_lost": 0, "lease_lost": 0,
         }
         obs.enable()
+        # Own the spool: force=True because configuration — not a lease
+        # race — decides which process serves a spool; a restart after
+        # SIGKILL (or after a router's handoff finished) must reclaim
+        # its own journal immediately, not wait out a stale TTL.
+        self.runner.lease.acquire(self.name, force=True)
+        self._lease_stop = threading.Event()
+        self._lease_thread = threading.Thread(
+            target=self._lease_heartbeat, name="repro-serve-lease",
+            daemon=True)
+        self._lease_thread.start()
         # Bound span memory for the long-lived server; a live trace
         # view losing the head of a very old trace is the right trade.
         TRACER.max_records = 20_000
@@ -173,6 +190,16 @@ class AnalysisService:
     def _count(self, key: str, n: int = 1) -> None:
         with self._counters_lock:
             self.counters[key] += n
+
+    def _lease_heartbeat(self) -> None:
+        """Renew the spool lease well inside its TTL.  A failed renewal
+        means a router took the spool over (it believed us dead): we
+        keep serving — our in-flight answers are still valid — but the
+        journal's new owner is on record and /healthz shows the loss."""
+        interval = max(0.05, self.config.lease_ttl / 3.0)
+        while not self._lease_stop.wait(interval):
+            if not self.runner.lease.renew():
+                self._count("lease_lost")
 
     # ----- request validation ----------------------------------------------
 
@@ -337,6 +364,12 @@ class AnalysisService:
             # for resume: tell the client when to come back.
             status = 503
             body["retry_after"] = self.admission.drain_retry_after
+        if note == "probe_lost":
+            # Lost the half-open probe race: a quick retry gets either
+            # a healthy (re-closed) breaker or an honest open one.
+            status = 503
+            body["error"] = "breaker half-open: probe in flight"
+            body["retry_after"] = max(0.1, self.breaker.retry_after())
         return status, body
 
     # ----- worker-thread execution ------------------------------------------
@@ -372,6 +405,20 @@ class AnalysisService:
                     ExhaustionReason.CANCELLED, "draining", started,
                 ), "drained"
             if not self.breaker.allow():
+                if self.breaker.state is BreakerState.HALF_OPEN:
+                    # Lost the probe race: another request is already in
+                    # flight testing the substrate.  Tell the caller to
+                    # retry shortly (503 + Retry-After) instead of
+                    # answering a misleading UNKNOWN — the probe's
+                    # outcome decides the breaker in one request's time.
+                    self._count("probe_lost")
+                    if METRICS.enabled:
+                        METRICS.counter_inc(
+                            "repro_serve_probe_lost_total")
+                    return self._fast_unknown(
+                        ExhaustionReason.CANCELLED,
+                        "breaker half-open: probe in flight", started,
+                    ), "probe_lost"
                 # OPEN breaker: answer immediately, never solve.  The
                 # job stays pending — resume completes it once healthy.
                 self._count("breaker_fast_unknown")
@@ -577,6 +624,8 @@ class AnalysisService:
             counters = dict(self.counters)
         return 200, {
             "state": "draining" if self.draining else "ok",
+            "name": self.name,
+            "lease_holder": self.runner.lease.holder(),
             "uptime_seconds": round(self._clock() - self.started_at, 3),
             "level": int(self.admission.level()),
             "queued": self.admission.queued,
@@ -634,6 +683,11 @@ class AnalysisService:
                 budget.cancel()
         self._pool.shutdown(wait=True)
         self.runner.journal.flush()
+        # Surrender the spool lease *after* the journal is flushed: a
+        # voluntary release lets a router take the backlog over
+        # immediately instead of waiting out the heartbeat TTL.
+        self._lease_stop.set()
+        self.runner.lease.release()
         report = self.runner.status()
         counts = report.by_state()
         left = sum(

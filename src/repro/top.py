@@ -24,6 +24,10 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+#: Longest reconnect backoff: a dead target is re-tried at least this
+#: often, so a restarted server shows up within seconds.
+_RECONNECT_CAP = 8.0
+
 #: State → single-glyph marker, in the order rows are sorted.
 _STATE_ORDER = {"running": 0, "orphaned": 1, "pending": 2, "failed": 3,
                 "done": 4, "deadletter": 5}
@@ -179,6 +183,13 @@ def run_top(
 
     ``iterations`` bounds the refresh loop (tests); interactive runs
     leave it ``None`` and exit via Ctrl-C.
+
+    A serve target that restarts or refuses connections does not kill
+    the viewer: the loop keeps the last good frame on screen under a
+    ``[reconnecting]`` header and retries under exponential backoff
+    (capped at ``_RECONNECT_CAP``), resetting to the normal refresh
+    interval on the first successful frame — ``top`` outliving its
+    target is the whole point of a monitoring view.
     """
     out = out or sys.stdout
     source = _parse_target(target)
@@ -187,6 +198,8 @@ def run_top(
               file=sys.stderr)
         return 4
     shown = 0
+    fail_streak = 0
+    last_good: Optional[list[str]] = None
     try:
         while True:
             try:
@@ -194,8 +207,18 @@ def run_top(
                     lines = _dir_frame(source)
                 else:
                     lines = _serve_frame(source)
+                fail_streak = 0
+                last_good = lines
             except Exception as exc:
-                lines = [f"repro top — {target}: unreachable ({exc})"]
+                fail_streak += 1
+                header = (f"repro top — {target}"
+                          f"  [reconnecting #{fail_streak}: {exc}]")
+                if last_good is not None:
+                    # Keep the last good frame's body visible; only the
+                    # header says the feed is stale.
+                    lines = [header] + last_good[1:]
+                else:
+                    lines = [header]
             if not once:
                 out.write("\x1b[H\x1b[2J")  # home + clear: refresh in place
             out.write("\n".join(lines) + "\n")
@@ -203,6 +226,11 @@ def run_top(
             shown += 1
             if once or (iterations is not None and shown >= iterations):
                 return 0
-            sleep(max(0.1, interval))
+            if fail_streak:
+                delay = min(_RECONNECT_CAP,
+                            max(0.1, interval) * (2 ** (fail_streak - 1)))
+                sleep(delay)
+            else:
+                sleep(max(0.1, interval))
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         return 0

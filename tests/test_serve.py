@@ -176,6 +176,47 @@ def test_breaker_trips_half_opens_and_recovers():
     assert breaker.trips == 3  # initial trip, post-recovery trip, re-trip
 
 
+def test_breaker_half_open_admits_one_probe_under_contention():
+    """Concurrent requests racing a HALF_OPEN breaker: exactly
+    ``probe_limit`` winners; the losers get a retry hint."""
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0,
+                             clock=clock)
+    breaker.record_failure()
+    clock.advance(5.0)  # the reset window opens
+
+    barrier = threading.Barrier(8)
+    admitted: list[bool] = []
+    lock = threading.Lock()
+
+    def racer() -> None:
+        barrier.wait()
+        ok = breaker.allow()
+        with lock:
+            admitted.append(ok)
+
+    threads = [threading.Thread(target=racer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10.0)
+    assert admitted.count(True) == 1
+    assert breaker.state is BreakerState.HALF_OPEN
+    # Losers wait one probe's time, not a full reset window.
+    assert breaker.retry_after() == pytest.approx(1.0)
+
+
+def test_breaker_retry_after_counts_down_the_reset_window():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0,
+                             clock=clock)
+    assert breaker.retry_after() == 0.0  # CLOSED
+    breaker.record_failure()
+    assert breaker.retry_after() == pytest.approx(5.0)
+    clock.advance(2.0)
+    assert breaker.retry_after() == pytest.approx(3.0)
+
+
 # ----- service helpers ------------------------------------------------------
 
 
@@ -285,6 +326,62 @@ def test_open_breaker_short_circuits_to_fast_unknown(tmp_path):
         # The unsolved job stays pending for `batch resume`.
         _, job = service.job_status(body["job_id"])
         assert job["state"] == "pending"
+    finally:
+        service.close()
+
+
+def test_half_open_probe_loser_gets_503_with_retry_after(tmp_path):
+    """Two concurrent requests against a HALF_OPEN breaker: one is the
+    probe (solves), the loser gets an honest 503 + Retry-After instead
+    of a misleading UNKNOWN."""
+    breaker = CircuitBreaker(failure_threshold=1, reset_seconds=0.0)
+    entered = threading.Event()
+    gate = threading.Event()
+
+    def gated_fn(rec, budget, escalation):
+        entered.set()
+        gate.wait(30.0)
+        return AnalysisOutcome(verdict=Verdict.PROVED)
+
+    service = make_service(tmp_path, solve_fn=gated_fn, workers=2,
+                           breaker=breaker)
+    try:
+        breaker.record_failure()  # OPEN; reset=0 → next allow is a probe
+        probe_result: dict = {}
+
+        def probe_request() -> None:
+            status, body = call(service, {"source": variant(40)})
+            probe_result["status"] = status
+            probe_result["body"] = body
+
+        t = threading.Thread(target=probe_request)
+        t.start()
+        assert entered.wait(30.0)  # the probe holds the half-open slot
+        status, body = call(service, {"source": variant(41)})
+        assert status == 503
+        assert body["note"] == "probe_lost"
+        assert "probe in flight" in body["error"]
+        assert body["retry_after"] >= 0.1
+        # The loser's job is journaled for resume, not lost.
+        _, job = service.job_status(body["job_id"])
+        assert job["state"] == "pending"
+        gate.set()
+        t.join(30.0)
+        assert probe_result["status"] == 200
+        assert probe_result["body"]["verdict"] == "proved"
+        assert breaker.state is BreakerState.CLOSED
+    finally:
+        gate.set()
+        service.close()
+
+
+def test_health_names_the_replica_and_its_lease(tmp_path):
+    service = make_service(tmp_path, solve_fn=proved_fn, name="replica-7")
+    try:
+        status, body = service.health()
+        assert status == 200
+        assert body["name"] == "replica-7"
+        assert body["lease_holder"] == "replica-7"
     finally:
         service.close()
 
