@@ -12,7 +12,9 @@ it:
   jitter decorrelates a thundering herd of restarting clients; with
   ``failover`` endpoints configured, a transport error also rotates to
   the next endpoint *immediately* (a dead replica shouldn't cost a
-  backoff sleep when a live one is known);
+  backoff sleep when a live one is known) — until a full rotation has
+  failed, at which point every endpoint is down and the jittered
+  backoff applies between laps;
 * an overall ``deadline`` caps total wall-time across every retry and
   failover — a long ``Retry-After`` chain can otherwise exceed any
   caller's budget;
@@ -253,10 +255,15 @@ class ServiceClient:
                     break
                 if len(self.endpoints) > 1:
                     # A known-alternative endpoint beats a backoff nap
-                    # against a dead socket: rotate and go immediately.
+                    # against a dead socket: rotate and go immediately —
+                    # but once a full rotation has failed, every
+                    # endpoint is down (a restarting cluster), and the
+                    # jittered backoff must apply before the next lap
+                    # or the herd hammers it with zero sleep.
                     self._rotate_endpoint()
                     report["failovers"] += 1
-                    continue
+                    if report["failovers"] % len(self.endpoints) != 0:
+                        continue
                 if not sleep_within_budget(self._backoff(attempt - 1)):
                     break
                 continue

@@ -436,6 +436,12 @@ class ClusterService:
     #: Chaos-injection slot (see repro.runtime.chaos.inject_faults).
     _chaos = None
 
+    #: Read-path fallback rows kept per handed-off job.  A long-lived
+    #: router sees many replica deaths; without a cap the records dict
+    #: is a slow leak.  Oldest rows are evicted first — by then the
+    #: restarted replica has reclaimed its spool and answers reads.
+    _HANDOFF_RECORDS_MAX = 4096
+
     def __init__(
         self,
         config: RouterConfig,
@@ -443,10 +449,12 @@ class ClusterService:
         *,
         registry: Optional[ReplicaRegistry] = None,
         clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.config = config
         self.name = config.name
         self._clock = clock
+        self._sleep = sleep
         self.registry = registry or ReplicaRegistry(
             replicas,
             failure_threshold=config.failure_threshold,
@@ -472,9 +480,17 @@ class ClusterService:
         self._handoff_lock = threading.Lock()
         #: Spools already handed off (don't take over twice per death).
         self._handoff_done: set[str] = set()
+        #: Spools with a handoff *in flight* right now.  The eject →
+        #: readmit → failed-probe cycle re-fires on_eject while a slow
+        #: handoff (peer waits + local solves) is still running; without
+        #: this guard a second takeover of the same spool would succeed
+        #: (the lease owner is already us) and two BatchRunners would
+        #: solve the same journal concurrently.
+        self._handoff_active: set[str] = set()
         #: job_id → final row for jobs we finished during handoff: the
         #: dead replica can no longer answer /v1/jobs/<id> for them, so
-        #: the router serves these as a read-path fallback.
+        #: the router serves these as a read-path fallback.  Bounded by
+        #: ``_HANDOFF_RECORDS_MAX`` (oldest rows evicted first).
         self._handoff_records: dict[str, dict] = {}
         obs.enable()
         TRACER.max_records = 20_000
@@ -482,6 +498,17 @@ class ClusterService:
     def _count(self, key: str, n: int = 1) -> None:
         with self._counters_lock:
             self.counters[key] += n
+
+    def _remember_handoff_rows(self, rows: Sequence[dict]) -> None:
+        """Retain final rows for the read path, LRU-capped.  Caller
+        holds ``_handoff_lock``."""
+        for row in rows:
+            # Re-insert so refreshed rows move to the young end.
+            self._handoff_records.pop(row["job_id"], None)
+            self._handoff_records[row["job_id"]] = dict(row)
+        while len(self._handoff_records) > self._HANDOFF_RECORDS_MAX:
+            self._handoff_records.pop(
+                next(iter(self._handoff_records)))
 
     # ----- lifecycle --------------------------------------------------------
 
@@ -525,7 +552,12 @@ class ClusterService:
             try:
                 status, body = await loop.run_in_executor(
                     self._pool, ctx.run, self._forward, payload, tenant)
-            except RuntimeError:
+            except RuntimeError as exc:
+                # Only the pool's shutdown refusal means "draining"; any
+                # other RuntimeError is a bug and must surface as one.
+                if not (self.draining
+                        or "after shutdown" in str(exc)):
+                    raise
                 status, body = 503, {
                     "error": "draining", "retry_after": 5.0}
             if isinstance(body, dict):
@@ -702,6 +734,12 @@ class ClusterService:
             return
         if self.draining:
             return
+        with self._handoff_lock:
+            # Cheap pre-check so repeated eject cycles don't pile up
+            # no-op threads; handoff() re-checks atomically.
+            if (replica.name in self._handoff_done
+                    or replica.name in self._handoff_active):
+                return
         thread = threading.Thread(
             target=self._handoff_guarded, args=(replica,),
             name=f"repro-handoff-{replica.name}", daemon=True)
@@ -742,8 +780,24 @@ class ClusterService:
         if spool is None:
             return None
         with self._handoff_lock:
-            if replica.name in self._handoff_done:
+            # Atomic claim: one handoff per spool, ever.  A concurrent
+            # eject cycle must not start a second takeover while this
+            # one is mid-flight (see _handoff_active above); a finished
+            # one must not repeat (_handoff_done).  The claim is
+            # released in the finally so a *refused or failed* handoff
+            # can retry on the next eject cycle.
+            if (replica.name in self._handoff_done
+                    or replica.name in self._handoff_active):
                 return None
+            self._handoff_active.add(replica.name)
+        try:
+            return self._handoff_claimed(replica, spool)
+        finally:
+            with self._handoff_lock:
+                self._handoff_active.discard(replica.name)
+
+    def _handoff_claimed(self, replica: Replica,
+                         spool: Path) -> Optional[dict]:
         with TRACER.span("cluster-handoff", replica=replica.name) as span:
             runner = BatchRunner(
                 spool, owner=self.name, lease_ttl=self.config.lease_ttl)
@@ -772,8 +826,7 @@ class ClusterService:
                 self._handoff_done.add(replica.name)
                 # The dead replica can no longer answer reads for these
                 # jobs; keep the final rows so /v1/jobs stays truthful.
-                for row in rows:
-                    self._handoff_records[row["job_id"]] = dict(row)
+                self._remember_handoff_rows(rows)
             resolved = report.executed
             self._count("handoff_jobs_adopted", adopted)
             self._count("handoff_jobs_resolved", resolved)
@@ -810,21 +863,32 @@ class ClusterService:
         #: job_id -> (rec, peer): in flight on a survivor, await it.
         waiting: dict[str, tuple] = {}
         for rec in pending:
+            # Scan every survivor: a 'done' verdict anywhere wins over a
+            # merely-pending copy on an earlier peer (a job can be
+            # journaled on several replicas after failover, and only
+            # one of them has finished it).
+            in_flight = None
+            done_doc = None
             for peer in survivors:
                 doc = self._peer_job(peer, rec.job_id)
                 if doc is None or doc.get("status") != 200:
                     continue
                 if doc.get("state") == "done" and doc.get("verdict"):
-                    runner.adopt_verdict(
-                        rec, doc["verdict"], doc.get("exit_code"),
-                        source=peer.name)
-                    adopted += 1
-                else:
-                    waiting[rec.job_id] = (rec, peer)
-                break
+                    done_doc = (peer, doc)
+                    break
+                if in_flight is None:
+                    in_flight = peer
+            if done_doc is not None:
+                peer, doc = done_doc
+                runner.adopt_verdict(
+                    rec, doc["verdict"], doc.get("exit_code"),
+                    source=peer.name)
+                adopted += 1
+            elif in_flight is not None:
+                waiting[rec.job_id] = (rec, in_flight)
         deadline = self._clock() + self.config.forward_timeout
         while waiting and self._clock() < deadline and not self.draining:
-            time.sleep(0.2)
+            self._sleep(0.2)
             for job_id, (rec, peer) in list(waiting.items()):
                 doc = self._peer_job(peer, job_id)
                 if doc is None or doc.get("status") == 404:

@@ -613,6 +613,160 @@ def test_handoff_refused_while_owner_heartbeat_fresh(tmp_path):
         router.close()
 
 
+def test_concurrent_eject_cycles_run_one_handoff(tmp_path):
+    """The eject → readmit → failed-probe cycle re-fires on_eject while
+    a handoff is still mid-flight.  The second takeover would *succeed*
+    (the lease owner is already the router), so without the in-flight
+    guard two BatchRunners solve the same journal concurrently."""
+    spool, traces = _seed_dead_replica_spool(tmp_path, n=1)
+    dead = Replica(name="127.0.0.1:1", host="127.0.0.1", port=1,
+                   spool=spool)
+    router = _router([dead], failure_threshold=1)
+    entered = threading.Event()
+    gate = threading.Event()
+    orig = router._adopt_from_peers
+
+    def gated(runner, replica):
+        entered.set()
+        assert gate.wait(30.0)
+        return orig(runner, replica)
+
+    router._adopt_from_peers = gated
+    try:
+        time.sleep(0.1)  # the dead lease's 0.05s TTL lapses
+        results: dict[str, object] = {}
+        thread = threading.Thread(
+            target=lambda: results.setdefault(
+                "first", router.handoff(dead)))
+        thread.start()
+        assert entered.wait(10.0)
+        # First handoff took the lease and is now blocked mid-flight:
+        # a concurrent duplicate must be a no-op.
+        assert router.handoff(dead) is None
+        assert router.counters["handoffs"] == 1
+        gate.set()
+        thread.join(60.0)
+        assert results["first"] is not None
+        assert results["first"]["resolved"] == 1
+        # And once finished, the spool is never handed off again.
+        assert router.handoff(dead) is None
+        assert router.counters["handoffs"] == 1
+    finally:
+        gate.set()
+        router.close()
+
+
+def test_adopt_prefers_done_verdict_on_later_survivor(tmp_path):
+    """A job can be journaled on several replicas after failover; only
+    one has finished it.  The scan must find that 'done' verdict even
+    when an earlier survivor only knows the job as pending — waiting on
+    the pending copy would stall the handoff for forward_timeout."""
+    spool, traces = _seed_dead_replica_spool(tmp_path, n=1)
+    dead = Replica(name="127.0.0.1:1", host="127.0.0.1", port=1,
+                   spool=spool)
+    peer_a = Replica(name="127.0.0.1:2", host="127.0.0.1", port=2)
+    peer_b = Replica(name="127.0.0.1:3", host="127.0.0.1", port=3)
+    router = ClusterService(
+        RouterConfig(port=0, name="router-t", probe_interval=60.0,
+                     readmit_seconds=60.0, forward_timeout=5.0),
+        [dead, peer_a, peer_b],
+        sleep=lambda s: pytest.fail(
+            "waited on a pending peer despite a done verdict elsewhere"),
+    )
+
+    def fake_peer_job(peer, job_id):
+        if peer.name == peer_b.name:
+            return {"status": 200, "state": "done", "verdict": "proved",
+                    "exit_code": 0}
+        return {"status": 200, "state": "pending"}
+
+    router._peer_job = fake_peer_job
+    try:
+        time.sleep(0.1)  # the dead lease's 0.05s TTL lapses
+        result = router.handoff(dead)
+        assert result is not None
+        assert result["adopted"] == 1 and result["resolved"] == 0
+        rows = BatchRunner(spool).status().to_json()["jobs"]
+        assert rows[0]["adopted_from"] == peer_b.name
+    finally:
+        router.close()
+
+
+def test_adopt_wait_loop_uses_injected_sleep(tmp_path):
+    """The wait-for-in-flight-peer loop paces with the injectable sleep
+    (a fake clock plus a real time.sleep would spin forever)."""
+    spool, traces = _seed_dead_replica_spool(tmp_path, n=1)
+    dead = Replica(name="127.0.0.1:1", host="127.0.0.1", port=1,
+                   spool=spool)
+    peer = Replica(name="127.0.0.1:2", host="127.0.0.1", port=2)
+    state = {"value": "running"}
+    sleeps: list[float] = []
+
+    def fake_sleep(seconds: float) -> None:
+        sleeps.append(seconds)
+        state["value"] = "done"  # the peer finishes during the nap
+
+    router = ClusterService(
+        RouterConfig(port=0, name="router-t", probe_interval=60.0,
+                     readmit_seconds=60.0, forward_timeout=5.0),
+        [dead, peer], sleep=fake_sleep)
+
+    def fake_peer_job(p, job_id):
+        if state["value"] == "done":
+            return {"status": 200, "state": "done", "verdict": "proved",
+                    "exit_code": 0}
+        return {"status": 200, "state": "running"}
+
+    router._peer_job = fake_peer_job
+    try:
+        time.sleep(0.1)  # the dead lease's 0.05s TTL lapses
+        result = router.handoff(dead)
+        assert result is not None
+        assert result["adopted"] == 1 and result["resolved"] == 0
+        assert sleeps == [0.2]
+    finally:
+        router.close()
+
+
+def test_handoff_records_lru_capped():
+    router = _router([])
+    try:
+        router._HANDOFF_RECORDS_MAX = 4  # instance shadow for the test
+        with router._handoff_lock:
+            router._remember_handoff_rows(
+                [{"job_id": f"j{i}", "state": "done"} for i in range(6)])
+        assert list(router._handoff_records) == ["j2", "j3", "j4", "j5"]
+        # A refreshed row moves to the young end; the oldest is evicted.
+        with router._handoff_lock:
+            router._remember_handoff_rows(
+                [{"job_id": "j2"}, {"job_id": "j9"}])
+        assert list(router._handoff_records) == ["j4", "j5", "j2", "j9"]
+    finally:
+        router.close()
+
+
+def test_analyze_surfaces_unrelated_runtime_errors():
+    """Only the executor's shutdown refusal means 'draining'; any other
+    RuntimeError is a bug and must not be mislabeled as a 503."""
+    router = _router([])
+
+    def boom(payload, tenant):
+        raise RuntimeError("boom")
+
+    router._forward = boom
+    payload = {"source": variant(950), "steps": 3}
+    try:
+        with pytest.raises(RuntimeError, match="boom"):
+            asyncio.run(router.analyze(payload))
+        # After drain the pool refuses new work: that (and only that)
+        # maps to the graceful draining response.
+        router.drain()
+        status, body = asyncio.run(router.analyze(payload))
+        assert status == 503 and body["error"] == "draining"
+    finally:
+        router.close()
+
+
 # ----- `repro top` reconnect (satellite) ------------------------------------
 
 
@@ -659,6 +813,24 @@ def test_client_rotates_to_failover_endpoint(tmp_path):
         assert (client.host, client.port) == ("127.0.0.1", server.port)
     finally:
         server.stop_background()
+
+
+def test_client_backs_off_after_full_failover_rotation():
+    """With every endpoint down (whole cluster restarting), the client
+    must sleep the jittered backoff after each full lap through the
+    endpoint list — never spin through max_retries with zero sleep."""
+    sleeps: list[float] = []
+    client = ServiceClient(
+        "127.0.0.1", _free_port(), timeout=1.0, max_retries=5,
+        sleep=sleeps.append,
+        failover=[f"127.0.0.1:{_free_port()}"])
+    with pytest.raises(ServiceUnavailable):
+        client.analyze(variant(900), steps=3)
+    # 6 attempts over 2 endpoints: rotate free between fresh endpoints,
+    # back off once per completed lap (after attempts 2 and 4).
+    assert client.last_report["failovers"] == 5
+    assert len(sleeps) == 2
+    assert all(s > 0.0 for s in sleeps)
 
 
 def test_client_deadline_caps_total_retry_wall_time(tmp_path):
