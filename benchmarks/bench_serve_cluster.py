@@ -19,7 +19,12 @@ Recorded into ``BENCH_serve_cluster.json``:
 * ``failover_rate`` — fraction of degraded-phase answers that needed a
   ring walk,
 * ``handoff_seconds`` — lease takeover + adoption + resume for a
-  seeded backlog, with ``jobs_adopted`` / ``jobs_resolved`` splits.
+  seeded backlog, with ``jobs_adopted`` / ``jobs_resolved`` splits,
+* ``cluster_seconds`` — the regression-gate rows: one row per
+  ``variant`` (``warm_p99`` anchors machine speed, ``degraded_p99``
+  and ``handoff`` are gated), consumed by
+  ``scripts/check_bench_regression.py`` against the committed
+  ``BENCH_serve_cluster.baseline.json``.
 """
 
 import threading
@@ -140,20 +145,27 @@ def test_cluster_failover(benchmark, bench_json, results_table, tmp_path):
     failovers = router.counters["failovers"]
     failover_rate = min(1.0, failovers / max(1, len(answered)))
 
+    warm_p99 = _percentile(warm_latencies, 0.99)
+    degraded_p99 = _percentile(degraded_latencies, 0.99)
     bench_json("latency_p50_seconds", _percentile(warm_latencies, 0.50),
-               "s", phase="warm", replicas=REPLICAS)
-    bench_json("latency_p99_seconds", _percentile(warm_latencies, 0.99),
-               "s", phase="warm", replicas=REPLICAS)
+               "s", phase="warm", variant="warm", replicas=REPLICAS)
+    bench_json("latency_p99_seconds", warm_p99,
+               "s", phase="warm", variant="warm", replicas=REPLICAS)
     bench_json("latency_p50_seconds",
                _percentile(degraded_latencies, 0.50), "s",
-               phase="degraded", replicas=REPLICAS)
-    bench_json("latency_p99_seconds",
-               _percentile(degraded_latencies, 0.99), "s",
-               phase="degraded", replicas=REPLICAS)
+               phase="degraded", variant="degraded", replicas=REPLICAS)
+    bench_json("latency_p99_seconds", degraded_p99, "s",
+               phase="degraded", variant="degraded", replicas=REPLICAS)
     bench_json("failover_rate", failover_rate, "fraction",
                requests=DEGRADED)
     bench_json("answered_rate", len(answered) / DEGRADED, "fraction",
                requests=DEGRADED)
+    # Regression-gate rows: every gated quantity under ONE metric name
+    # so check_bench_regression.py can calibrate machine speed on the
+    # warm path and gate the robustness paths against it.
+    bench_json("cluster_seconds", warm_p99, "s", variant="warm_p99")
+    bench_json("cluster_seconds", degraded_p99, "s",
+               variant="degraded_p99")
 
     results_table["Serve cluster — one replica killed mid-burst"] = [
         f"warm     p50/p99: {_percentile(warm_latencies, 0.5):6.3f}s"
@@ -215,11 +227,13 @@ def test_journal_handoff(benchmark, bench_json, results_table, tmp_path):
     assert set(table["counts"]) == {"done"}, table["counts"]
 
     bench_json("handoff_seconds", result["seconds"], "s",
-               jobs=HANDOFF_JOBS)
+               variant="handoff", jobs=HANDOFF_JOBS)
     bench_json("handoff_jobs_adopted", outcome["adopted"], "jobs",
                jobs=HANDOFF_JOBS)
     bench_json("handoff_jobs_resolved", outcome["resolved"], "jobs",
                jobs=HANDOFF_JOBS)
+    bench_json("cluster_seconds", result["seconds"], "s",
+               variant="handoff", jobs=HANDOFF_JOBS)
 
     results_table["Serve cluster — journal handoff"] = [
         f"backlog of {HANDOFF_JOBS} finished in"

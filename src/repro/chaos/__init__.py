@@ -1,0 +1,68 @@
+"""Deterministic chaos campaigns with a durability auditor.
+
+``repro.runtime.chaos`` injects *randomized* faults at seeded rates;
+this package turns those hooks (plus scenario-level nemeses) into
+*exhaustive, replayable* campaigns: record a scenario's fault
+universe, replay it fault point by fault point, audit every episode
+against the durability invariants, and dump failing episodes as
+self-contained repro bundles.  Surfaced as ``repro chaos run`` and
+``repro chaos replay``.
+"""
+
+from .auditor import (
+    RESPONSE_LOSS_KINDS,
+    WRITE_LOSS_KINDS,
+    Violation,
+    audit_episode,
+    audit_spools,
+    scan_spool,
+)
+from .campaign import (
+    CampaignConfig,
+    ChaosCampaign,
+    FaultPoint,
+    ScheduledMonkey,
+    build_schedules,
+    enumerate_points,
+    run_campaign,
+)
+from .report import (
+    CampaignReport,
+    EpisodeResult,
+    audit_bundle,
+    dump_bundle,
+    load_bundle,
+    replay_bundle,
+)
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioOutcome,
+    make_scenario,
+)
+
+__all__ = [
+    "RESPONSE_LOSS_KINDS",
+    "WRITE_LOSS_KINDS",
+    "Violation",
+    "audit_episode",
+    "audit_spools",
+    "scan_spool",
+    "CampaignConfig",
+    "ChaosCampaign",
+    "FaultPoint",
+    "ScheduledMonkey",
+    "build_schedules",
+    "enumerate_points",
+    "run_campaign",
+    "CampaignReport",
+    "EpisodeResult",
+    "audit_bundle",
+    "dump_bundle",
+    "load_bundle",
+    "replay_bundle",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioOutcome",
+    "make_scenario",
+]

@@ -1,0 +1,285 @@
+"""The durability invariant auditor.
+
+After every chaos episode the auditor cross-checks the scenario's
+spools and client-observed answers against the durability contract the
+persistence and cluster layers claim to provide.  Each check is a pure
+function over on-disk journals plus the episode's observations —
+nothing here talks to a live service, which is what makes a dumped
+bundle re-auditable offline.
+
+Invariants (names are what ``repro chaos`` prints and what the
+``repro_chaos_violations_total`` metric labels):
+
+``journal_clean``
+    Every journal replays without *mid-file* corruption.  A torn final
+    line is the legitimate crash-during-append window (replay truncates
+    it); a bad record with good records after it means framing or the
+    fence failed.
+``no_lost_jobs``
+    Every job the client got a definitive verdict for is journaled in
+    at least one spool.  Skipped when the episode injected ``io_error``
+    (journal writes were deliberately dropped — the runner's in-memory
+    degradation is a different contract).
+``durable_verdicts``
+    Stronger: every definitive client verdict has a journaled ``done``
+    record somewhere.  Skipped under faults that legitimately destroy
+    or fence tail writes (io_error, torn_tail, replica_down,
+    lease_skew).
+``no_duplicate_solves``
+    At-most-once *solving* per idempotency key.  Two non-adopted
+    ``done`` records for one job in one spool is always a violation.
+    Across spools it is a violation unless the episode injected a
+    response-loss fault (partition, replica_kill, replica_down,
+    slow_client, request_kill, torn_tail) — failover after a lost
+    response re-solves by design (at-least-once), and the journals
+    record both solves honestly.
+``single_lease_owner``
+    At scenario end, at most one live process claims each spool lease.
+``no_stale_epoch_writes``
+    Journal state records carry the writer's lease epoch; in append
+    order the epoch must never decrease.  A write stamped with an
+    older epoch is from a zombie owner that lost a takeover — the
+    write fence failed.
+``verdicts_match_oracle``
+    Every definitive client verdict equals the fault-free oracle's.
+    Never gated: chaos may degrade an answer to UNKNOWN or an error,
+    but a *wrong* definitive verdict is always a bug.
+``trace_continuity``
+    The trace id journaled at submission matches the trace id the
+    client observed for that job — the recovery path must keep joining
+    the original request's trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from ..persist.journal import _unframe
+
+#: Fault kinds after which a failed-over request may legitimately be
+#: solved on two replicas (the response, not the solve, was lost).
+RESPONSE_LOSS_KINDS = frozenset((
+    "partition", "replica_kill", "replica_down", "slow_client",
+    "request_kill", "torn_tail", "probe_flap",
+))
+
+#: Fault kinds that legitimately drop or destroy journal tail writes.
+WRITE_LOSS_KINDS = frozenset((
+    "io_error", "torn_tail", "replica_down", "lease_skew",
+    "kill_checkpoint", "worker_crash",
+))
+
+DEFINITIVE = ("proved", "violated")
+
+
+@dataclass
+class Violation:
+    """One broken invariant, with enough context to chase it."""
+
+    invariant: str
+    detail: str
+    spool: Optional[str] = None
+    job_id: Optional[str] = None
+
+    def to_json(self) -> dict:
+        doc = {"invariant": self.invariant, "detail": self.detail}
+        if self.spool:
+            doc["spool"] = self.spool
+        if self.job_id:
+            doc["job_id"] = self.job_id
+        return doc
+
+
+@dataclass
+class SpoolScan:
+    """One journal, decoded in append order."""
+
+    name: str
+    records: list = field(default_factory=list)
+    #: Indices (0-based, over non-empty lines) that failed to unframe.
+    bad_lines: list = field(default_factory=list)
+    total_lines: int = 0
+
+
+def scan_spool(name: str, directory: Path) -> SpoolScan:
+    """Decode a spool's journal without the replay()'s truncation —
+    the auditor wants to *see* corruption, not repair it."""
+    from ..persist.batch import BatchRunner
+
+    scan = SpoolScan(name=name)
+    path = Path(directory) / BatchRunner.JOURNAL
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return scan
+    lines = [line for line in raw.split("\n") if line.strip()]
+    scan.total_lines = len(lines)
+    for index, line in enumerate(lines):
+        try:
+            scan.records.append(_unframe(line))
+        except ValueError:
+            scan.bad_lines.append(index)
+    return scan
+
+
+def audit_spools(
+    spools: dict[str, Path],
+    *,
+    answers: Optional[dict[str, dict]] = None,
+    oracle_verdicts: Optional[dict[str, str]] = None,
+    schedule_kinds: Iterable[str] = (),
+    live_claims: Optional[dict[str, list]] = None,
+) -> list[Violation]:
+    """Run every invariant over the given spools; returns violations
+    (empty = green).  This is the offline core — ``audit_episode``
+    adapts a live :class:`~repro.chaos.scenarios.ScenarioOutcome`."""
+    kinds = set(schedule_kinds)
+    answers = answers or {}
+    violations: list[Violation] = []
+    scans = {name: scan_spool(name, path)
+             for name, path in spools.items()}
+
+    # -- journal_clean -------------------------------------------------------
+    for name, scan in scans.items():
+        for index in scan.bad_lines:
+            if index == scan.total_lines - 1:
+                continue  # torn tail: the legitimate crash window
+            violations.append(Violation(
+                "journal_clean",
+                f"journal line {index + 1}/{scan.total_lines} is "
+                f"corrupt with valid records after it",
+                spool=name))
+
+    # -- per-job record indexes ----------------------------------------------
+    #: job_id → spool names with a submit record.
+    known: dict[str, set] = {}
+    #: job_id → spool → count of non-adopted done records.
+    solves: dict[str, dict[str, int]] = {}
+    #: job_id → spool → submit trace id.
+    traces: dict[str, dict[str, str]] = {}
+    for name, scan in scans.items():
+        max_epoch = 0
+        for rec in scan.records:
+            if not isinstance(rec, dict):
+                continue
+            job_id = rec.get("id")
+            if rec.get("kind") == "submit" and job_id:
+                known.setdefault(job_id, set()).add(name)
+                trace = rec.get("trace")
+                if trace:
+                    from ..obs.tracer import parse_traceparent
+
+                    parsed = parse_traceparent(trace)
+                    if parsed:
+                        traces.setdefault(job_id, {})[name] = parsed[0]
+            elif rec.get("kind") == "state" and job_id:
+                known.setdefault(job_id, set()).add(name)
+                epoch = rec.get("epoch")
+                if isinstance(epoch, int):
+                    if epoch < max_epoch:
+                        violations.append(Violation(
+                            "no_stale_epoch_writes",
+                            f"state write by {rec.get('by')!r} carries "
+                            f"epoch {epoch} after epoch {max_epoch} "
+                            f"was journaled — zombie owner wrote "
+                            f"through the fence",
+                            spool=name, job_id=job_id))
+                    else:
+                        max_epoch = epoch
+                if (rec.get("state") == "done"
+                        and not rec.get("adopted_from")):
+                    per = solves.setdefault(job_id, {})
+                    per[name] = per.get(name, 0) + 1
+
+    # -- no_duplicate_solves -------------------------------------------------
+    for job_id, per_spool in solves.items():
+        for name, count in per_spool.items():
+            if count >= 2:
+                violations.append(Violation(
+                    "no_duplicate_solves",
+                    f"{count} non-adopted done records in one spool "
+                    f"for one idempotency key",
+                    spool=name, job_id=job_id))
+        if len(per_spool) >= 2 and not (kinds & RESPONSE_LOSS_KINDS):
+            violations.append(Violation(
+                "no_duplicate_solves",
+                f"job solved independently on {sorted(per_spool)} "
+                f"with no response-loss fault to excuse the failover",
+                job_id=job_id))
+
+    # -- no_lost_jobs / durable_verdicts -------------------------------------
+    definitive = {
+        job_id: answer["verdict"]
+        for job_id, answer in answers.items()
+        if answer.get("verdict") in DEFINITIVE
+    }
+    if "io_error" not in kinds:
+        for job_id in definitive:
+            if job_id not in known:
+                violations.append(Violation(
+                    "no_lost_jobs",
+                    "client holds a definitive verdict but no spool "
+                    "journaled the job at all",
+                    job_id=job_id))
+    if not (kinds & WRITE_LOSS_KINDS):
+        done_somewhere = {
+            job_id for job_id, per_spool in solves.items() if per_spool
+        }
+        for name, scan in scans.items():
+            for rec in scan.records:
+                if (isinstance(rec, dict) and rec.get("kind") == "state"
+                        and rec.get("state") == "done"):
+                    done_somewhere.add(rec.get("id"))
+        for job_id in definitive:
+            if job_id not in done_somewhere:
+                violations.append(Violation(
+                    "durable_verdicts",
+                    "definitive client verdict has no journaled done "
+                    "record in any spool",
+                    job_id=job_id))
+
+    # -- single_lease_owner --------------------------------------------------
+    for name, claimants in (live_claims or {}).items():
+        if len(claimants) > 1:
+            violations.append(Violation(
+                "single_lease_owner",
+                f"{sorted(claimants)} all believe they hold the lease",
+                spool=name))
+
+    # -- verdicts_match_oracle -----------------------------------------------
+    for job_id, verdict in definitive.items():
+        expected = (oracle_verdicts or {}).get(job_id)
+        if expected in DEFINITIVE and verdict != expected:
+            violations.append(Violation(
+                "verdicts_match_oracle",
+                f"client saw {verdict!r}, fault-free oracle says "
+                f"{expected!r}",
+                job_id=job_id))
+
+    # -- trace_continuity ----------------------------------------------------
+    for job_id, answer in answers.items():
+        client_trace = answer.get("trace_id")
+        if not client_trace:
+            continue
+        for name, journaled in traces.get(job_id, {}).items():
+            if journaled != client_trace:
+                violations.append(Violation(
+                    "trace_continuity",
+                    f"journaled submit trace {journaled} != client "
+                    f"trace {client_trace}",
+                    spool=name, job_id=job_id))
+    return violations
+
+
+def audit_episode(outcome, *, oracle=None,
+                  schedule_kinds: Iterable[str] = ()) -> list[Violation]:
+    """Audit one scenario run against its fault-free oracle."""
+    return audit_spools(
+        outcome.spools,
+        answers=outcome.answers,
+        oracle_verdicts=oracle.verdicts() if oracle else None,
+        schedule_kinds=schedule_kinds,
+        live_claims=outcome.live_claims,
+    )

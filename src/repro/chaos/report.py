@@ -1,0 +1,209 @@
+"""Campaign reports and failing-episode repro bundles.
+
+A bundle is the minimal artifact that makes a red episode someone
+else's bug report: the seed, the fault schedule, the fault-free
+oracle's verdicts, the client-observed answers, the violations, and a
+byte-for-byte copy of every spool file.  ``repro chaos replay`` takes
+a bundle and (a) re-audits the copied journals offline — the
+violations must reproduce from the artifact alone — and (b) re-runs
+the scenario live under the same schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from .auditor import Violation, audit_spools
+
+BUNDLE_FILE = "bundle.json"
+
+#: Spool files worth copying into a bundle (everything the auditor and
+#: a resume can use; caches are derivable, so they stay behind).
+SPOOL_FILES = ("journal.jsonl", "owner.json", "snapshot.json")
+
+
+@dataclass
+class EpisodeResult:
+    """One episode's schedule, observations, and verdict."""
+
+    index: int
+    schedule: list
+    fired: list = field(default_factory=list)
+    answers: dict = field(default_factory=dict)
+    violations: list = field(default_factory=list)
+    bundle: Optional[Path] = None
+
+    def to_json(self) -> dict:
+        return {
+            "episode": self.index,
+            "schedule": self.schedule,
+            "fired": self.fired,
+            "violations": [v.to_json() for v in self.violations],
+            "bundle": str(self.bundle) if self.bundle else None,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """What one ``repro chaos run`` did, CLI- and JSON-renderable."""
+
+    scenario: str
+    seed: int
+    universe: list = field(default_factory=list)
+    oracle_verdicts: dict = field(default_factory=dict)
+    episodes: list = field(default_factory=list)
+
+    def add(self, episode: EpisodeResult) -> None:
+        self.episodes.append(episode)
+
+    @property
+    def failed(self) -> list:
+        return [ep for ep in self.episodes if ep.violations]
+
+    @property
+    def green(self) -> bool:
+        return not self.failed
+
+    def violation_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for episode in self.failed:
+            for violation in episode.violations:
+                counts[violation.invariant] = counts.get(
+                    violation.invariant, 0) + 1
+        return counts
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "universe_points": len(self.universe),
+            "universe": self.universe,
+            "episodes_run": len(self.episodes),
+            "episodes_failed": len(self.failed),
+            "violations": self.violation_counts(),
+            "green": self.green,
+            "failed": [ep.to_json() for ep in self.failed],
+        }
+
+    def describe(self) -> str:
+        head = (
+            f"chaos campaign [{self.scenario}] seed {self.seed}: "
+            f"{len(self.episodes)} episodes over "
+            f"{len(self.universe)} fault points"
+        )
+        if self.green:
+            return head + " — auditor green"
+        lines = [head + f" — {len(self.failed)} RED"]
+        for invariant, count in sorted(self.violation_counts().items()):
+            lines.append(f"  {invariant}: {count}")
+        for episode in self.failed:
+            if episode.bundle:
+                lines.append(f"  bundle: {episode.bundle}")
+        return "\n".join(lines)
+
+
+# ----- bundles --------------------------------------------------------------
+
+
+def dump_bundle(root: Path, *, scenario: str, seed: int,
+                episode: EpisodeResult, outcome,
+                oracle=None) -> Path:
+    """Write a failing episode's repro bundle; returns its directory."""
+    root = Path(root)
+    bundle_dir = root / f"ep{episode.index:03d}"
+    bundle_dir.mkdir(parents=True, exist_ok=True)
+    spool_names = {}
+    for name, directory in outcome.spools.items():
+        dest = bundle_dir / "spools" / name
+        dest.mkdir(parents=True, exist_ok=True)
+        for filename in SPOOL_FILES:
+            src = Path(directory) / filename
+            if src.exists():
+                shutil.copy2(src, dest / filename)
+        spool_names[name] = str(dest)
+    doc = {
+        "scenario": scenario,
+        "seed": seed,
+        "episode": episode.index,
+        "schedule": episode.schedule,
+        "fired": episode.fired,
+        "answers": outcome.answers,
+        "oracle_verdicts": dict(oracle.verdicts()) if oracle else {},
+        "violations": [v.to_json() for v in episode.violations],
+        "notes": getattr(outcome, "notes", {}),
+        "live_claims": getattr(outcome, "live_claims", {}),
+    }
+    (bundle_dir / BUNDLE_FILE).write_text(
+        json.dumps(doc, indent=2, sort_keys=True), encoding="utf-8")
+    return bundle_dir
+
+
+def load_bundle(bundle_dir: Path) -> dict:
+    bundle_dir = Path(bundle_dir)
+    path = bundle_dir / BUNDLE_FILE
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    doc["_dir"] = bundle_dir
+    return doc
+
+
+def audit_bundle(bundle_dir: Path) -> tuple[dict, list[Violation]]:
+    """Offline re-audit: run the auditor over the *copied* spool files.
+
+    The violations recorded at dump time must reproduce from the
+    artifact alone — this is what makes a bundle a self-contained bug
+    report rather than a pointer into a vanished tempdir.
+    """
+    doc = load_bundle(bundle_dir)
+    spools_root = Path(bundle_dir) / "spools"
+    spools = {p.name: p for p in sorted(spools_root.iterdir())
+              if p.is_dir()} if spools_root.is_dir() else {}
+    kinds = {k for k, _ in map(tuple, doc.get("schedule", ()))}
+    violations = audit_spools(
+        spools,
+        answers=doc.get("answers", {}),
+        oracle_verdicts=doc.get("oracle_verdicts", {}),
+        schedule_kinds=kinds,
+        live_claims=doc.get("live_claims", {}),
+    )
+    return doc, violations
+
+
+def replay_bundle(bundle_dir: Path,
+                  workdir: Optional[Path] = None) -> dict:
+    """Re-execute a bundle's episode: offline re-audit, then a live
+    re-run of the scenario under the same schedule and seed."""
+    from ..runtime.chaos import ChaosConfig, inject_faults
+    from .campaign import ScheduledMonkey
+    from .scenarios import make_scenario
+
+    doc, offline = audit_bundle(bundle_dir)
+    schedule = [tuple(p) for p in doc.get("schedule", ())]
+    scenario = make_scenario(doc["scenario"])
+    base = Path(workdir) if workdir else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-replay-"))
+    base.mkdir(parents=True, exist_ok=True)
+    monkey = ScheduledMonkey(schedule, config=ChaosConfig(
+        seed=int(doc.get("seed", 0))))
+    with inject_faults(monkey=monkey):
+        outcome = scenario.run(monkey, base)
+    live = audit_spools(
+        outcome.spools,
+        answers=outcome.answers,
+        oracle_verdicts=doc.get("oracle_verdicts", {}),
+        schedule_kinds={k for k, _ in schedule},
+        live_claims=outcome.live_claims,
+    )
+    return {
+        "bundle": str(bundle_dir),
+        "scenario": doc["scenario"],
+        "schedule": doc.get("schedule", []),
+        "offline_violations": [v.to_json() for v in offline],
+        "live_fired": [list(p) for p in monkey.fired],
+        "live_violations": [v.to_json() for v in live],
+        "reproduced": bool(offline) or bool(live),
+    }

@@ -348,6 +348,70 @@ def cmd_batch_status(args) -> int:
     return 0
 
 
+def cmd_chaos_run(args) -> int:
+    """Run a deterministic chaos campaign; exit 0 only if the
+    durability auditor is green on every episode."""
+    from pathlib import Path
+
+    from .chaos import CampaignConfig, run_campaign
+
+    kinds = None
+    if args.kinds:
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    config = CampaignConfig(
+        scenario=args.scenario,
+        episodes=args.episodes,
+        seed=args.seed,
+        bundle_dir=Path(args.bundle_dir) if args.bundle_dir else None,
+        workdir=Path(args.workdir) if args.workdir else None,
+        kinds=kinds,
+        fail_fast=args.fail_fast,
+    )
+    echo = (lambda line: None) if args.json else print
+    report = run_campaign(config, echo=echo)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0 if report.green else 1
+
+
+def cmd_chaos_replay(args) -> int:
+    """Re-execute a failing episode's repro bundle: offline re-audit
+    of the bundled journals, then a live re-run under the bundled
+    fault schedule."""
+    from pathlib import Path
+
+    from .chaos import replay_bundle
+
+    try:
+        result = replay_bundle(
+            Path(args.bundle),
+            workdir=Path(args.workdir) if args.workdir else None)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: not a readable bundle: {exc!r}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.json:
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        schedule = ",".join(f"{k}@{i}" for k, i in result["schedule"])
+        print(f"replay [{result['scenario']}] schedule [{schedule}]")
+        offline = result["offline_violations"]
+        live = result["live_violations"]
+        print(f"  offline re-audit: "
+              f"{len(offline)} violation(s)"
+              + "".join(f"\n    {v['invariant']}: {v['detail']}"
+                        for v in offline))
+        print(f"  live re-run: {len(live)} violation(s)"
+              + "".join(f"\n    {v['invariant']}: {v['detail']}"
+                        for v in live))
+    return 1 if result["reproduced"] else 0
+
+
 def cmd_serve(args) -> int:
     """Run the analysis service until SIGTERM/SIGINT, then drain."""
     import asyncio
@@ -702,6 +766,53 @@ def build_parser() -> argparse.ArgumentParser:
                         " across all failovers (default 90)")
     certify_opt(p)
     p.set_defaults(fn=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection campaigns with a"
+             " cluster-wide durability auditor",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_cmd", required=True)
+    cp = chaos_sub.add_parser(
+        "run",
+        help="enumerate a scenario's fault points, replay it fault by"
+             " fault, audit every episode, dump failing episodes as"
+             " repro bundles",
+    )
+    cp.add_argument("--scenario", default="cluster",
+                    choices=("batch", "serve", "cluster"),
+                    help="workload to campaign over (default cluster)")
+    cp.add_argument("--episodes", type=int, default=50, metavar="N",
+                    help="episode budget: singles round-robin across"
+                         " fault kinds, then sampled pairs (default 50)")
+    cp.add_argument("--seed", type=int, default=7,
+                    help="campaign seed: fixes the pair sampling and"
+                         " the injected fault parameters (default 7)")
+    cp.add_argument("--bundle-dir", default=None, metavar="DIR",
+                    help="where failing episodes dump repro bundles"
+                         " (default: under the campaign workdir)")
+    cp.add_argument("--workdir", default=None, metavar="DIR",
+                    help="scratch directory for episode spools"
+                         " (default: a tempdir, removed when green)")
+    cp.add_argument("--kinds", default=None, metavar="K1,K2",
+                    help="restrict the fault universe to these kinds")
+    cp.add_argument("--fail-fast", action="store_true",
+                    help="stop the campaign at the first red episode")
+    cp.add_argument("--json", action="store_true",
+                    help="print the full campaign report as JSON")
+    cp.set_defaults(fn=cmd_chaos_run)
+    cp = chaos_sub.add_parser(
+        "replay",
+        help="re-execute a failing episode's bundle: offline re-audit"
+             " of the bundled journals plus a live re-run under the"
+             " bundled fault schedule",
+    )
+    cp.add_argument("bundle", help="bundle directory from `chaos run`")
+    cp.add_argument("--workdir", default=None, metavar="DIR",
+                    help="scratch directory for the live re-run")
+    cp.add_argument("--json", action="store_true",
+                    help="print the replay report as JSON")
+    cp.set_defaults(fn=cmd_chaos_replay)
 
     p = sub.add_parser(
         "top",

@@ -239,6 +239,11 @@ class ServiceClient:
 
         last_doc: Optional[dict] = None
         last_error: Optional[Exception] = None
+        #: endpoint → most recent failure reason, so the exhaustion
+        #: error can say *which* replica failed *how* instead of only
+        #: surfacing the last exception (campaign logs are actionable).
+        endpoint_errors: dict[str, str] = {}
+        report["endpoints"] = endpoint_errors
         attempt = 0
         while attempt < attempts:
             left = budget_left()
@@ -250,6 +255,7 @@ class ServiceClient:
                     method, path, payload, traceparent)
             except (OSError, http.client.HTTPException) as exc:
                 last_error = exc
+                endpoint_errors[f"{self.host}:{self.port}"] = repr(exc)
                 attempt += 1
                 if attempt >= attempts:
                     break
@@ -273,6 +279,8 @@ class ServiceClient:
                 finish(status=status)
                 return doc
             last_doc = doc
+            endpoint_errors[f"{self.host}:{self.port}"] = (
+                f"{status} {doc.get('reason', 'rejected')}")
             attempt += 1
             if attempt >= attempts:
                 break
@@ -283,18 +291,22 @@ class ServiceClient:
                     and self._clock() >= hard_deadline)
         budget = (f"deadline {self.deadline}s" if exceeded
                   else f"{report['attempts']} attempts")
+        per_endpoint = "; ".join(
+            f"{ep}: {why}" for ep, why in endpoint_errors.items())
+        detail = f" [{per_endpoint}]" if per_endpoint else ""
         if last_doc is not None:
             finish(status=last_doc.get("status"),
                    error=last_doc.get("reason", "rejected"),
                    deadline_exceeded=exceeded)
             raise ServiceUnavailable(
                 f"{method} {path} still rejected after {budget}:"
-                f" {last_doc.get('reason', '?')}",
+                f" {last_doc.get('reason', '?')}{detail}",
                 last=last_doc,
             )
         finish(error=repr(last_error), deadline_exceeded=exceeded)
         raise ServiceUnavailable(
-            f"{method} {path} unreachable after {budget}: {last_error!r}"
+            f"{method} {path} unreachable after {budget}:"
+            f" {last_error!r}{detail}"
         )
 
     def _once(self, method: str, path: str, payload: Optional[dict],

@@ -153,6 +153,18 @@ _HELP: dict[str, str] = {
         "Lease renewals refused because another owner took the spool.",
     "repro_persist_jobs_adopted_total":
         "Batch jobs finished by adopting a peer replica's verdict.",
+    "repro_persist_fenced_writes_total":
+        "Journal writes dropped because the spool lease moved to"
+        " another owner (zombie-writer fence).",
+    "repro_serve_lease_reacquired_total":
+        "Spool leases reacquired by their replica after a handoff"
+        " released them (fence lifted).",
+    # chaos campaigns
+    "repro_chaos_episodes_total":
+        "Chaos campaign episodes executed, by scenario and outcome.",
+    "repro_chaos_violations_total":
+        "Durability invariant violations found by the chaos auditor,"
+        " by invariant.",
 }
 
 

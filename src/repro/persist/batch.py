@@ -105,6 +105,11 @@ class SpoolLease:
 
     FILE = "owner.json"
 
+    #: Chaos hook: repro.runtime.chaos.inject_faults installs a monkey
+    #: here so campaigns can skew lease heartbeats (stale-owner
+    #: split-brain pressure) without touching the wall clock.
+    _chaos = None
+
     def __init__(self, directory: Union[str, Path], *,
                  ttl_seconds: float = 10.0,
                  clock: Callable[[], float] = time.time):
@@ -113,6 +118,11 @@ class SpoolLease:
         self.ttl_seconds = max(0.001, ttl_seconds)
         self._clock = clock
         self._owner: Optional[str] = None
+        #: The fencing epoch of the lease this process last wrote.
+        #: Every acquire/takeover increments the spool's epoch, so a
+        #: write stamped with an older epoch is provably from a zombie
+        #: owner that lost the lease (the auditor checks exactly this).
+        self.epoch: int = 0
 
     # ----- observation ------------------------------------------------------
 
@@ -156,12 +166,14 @@ class SpoolLease:
                 and data.get("owner") != owner):
             return False
         self._owner = owner
+        self.epoch = self._next_epoch(data)
         return self._write({
             "owner": owner,
             "pid": os.getpid(),
             "acquired_at": self._clock(),
-            "renewed_at": self._clock(),
+            "renewed_at": self._clock() - self._skew(),
             "ttl_seconds": self.ttl_seconds,
+            "epoch": self.epoch,
         })
 
     def renew(self) -> bool:
@@ -177,8 +189,12 @@ class SpoolLease:
             return False
         data = data or {"owner": self._owner, "pid": os.getpid(),
                         "acquired_at": self._clock(),
-                        "ttl_seconds": self.ttl_seconds}
-        data["renewed_at"] = self._clock()
+                        "ttl_seconds": self.ttl_seconds,
+                        "epoch": self.epoch}
+        # A skewed heartbeat backdates ``renewed_at``: the owner is
+        # alive, but to every reader its lease looks stale — the clock
+        # drift that invites a split-brain takeover.
+        data["renewed_at"] = self._clock() - self._skew()
         return self._write(data)
 
     def release(self) -> bool:
@@ -207,12 +223,14 @@ class SpoolLease:
                 f" ttl {data.get('ttl_seconds')}s)"
             )
         self._owner = new_owner
+        self.epoch = self._next_epoch(data)
         record = {
             "owner": new_owner,
             "pid": os.getpid(),
             "acquired_at": self._clock(),
             "renewed_at": self._clock(),
             "ttl_seconds": self.ttl_seconds,
+            "epoch": self.epoch,
             "taken_over_by": new_owner,
             "taken_from": (data or {}).get("owner"),
         }
@@ -222,6 +240,22 @@ class SpoolLease:
         if METRICS.enabled:
             METRICS.counter_inc("repro_persist_lease_takeovers_total")
         return record
+
+    def _next_epoch(self, data: Optional[dict]) -> int:
+        """The fencing epoch a fresh claim writes: strictly greater
+        than any epoch ever persisted for this spool."""
+        try:
+            current = int((data or {}).get("epoch", 0))
+        except (TypeError, ValueError):
+            current = 0
+        return max(current, self.epoch) + 1
+
+    def _skew(self) -> float:
+        """Injected clock skew for this heartbeat write (0.0 normally)."""
+        monkey = SpoolLease._chaos
+        if monkey is None:
+            return 0.0
+        return monkey.lease_skew()
 
     def _write(self, data: dict) -> bool:
         tmp = self.path.with_suffix(".tmp")
@@ -391,6 +425,7 @@ class BatchReport:
         here, and how many orphaned jobs each dead owner left behind.
         """
         orphaned_by_owner: dict[str, int] = {}
+        handoff_rows: list[dict] = []
         handed_off = adopted = 0
         for rec in self.records:
             if rec.orphaned:
@@ -400,6 +435,18 @@ class BatchReport:
                 handed_off += 1
             if rec.adopted_from:
                 adopted += 1
+            if rec.taken_over_by or rec.adopted_from:
+                # One row per handed-off job, carrying its trace_id so
+                # the failover path is joinable against the distributed
+                # trace the original submission started.
+                handoff_rows.append({
+                    "job_id": rec.job_id,
+                    "label": rec.label,
+                    "trace_id": rec.trace_id,
+                    "owner": rec.owner,
+                    "taken_over_by": rec.taken_over_by,
+                    "adopted_from": rec.adopted_from,
+                })
         doc = {
             "counts": self.by_state(),
             "recovered": self.recovered,
@@ -411,6 +458,7 @@ class BatchReport:
                 "taken_over": handed_off,
                 "adopted": adopted,
                 "orphaned_by_owner": orphaned_by_owner,
+                "rows": handoff_rows,
             },
             "jobs": [
                 {
@@ -464,6 +512,12 @@ class BatchRunner:
         # runs) keeps the journal format exactly as before.
         self.owner = owner
         self.lease = SpoolLease(self.directory, ttl_seconds=lease_ttl)
+        #: Set once this process learns it lost the spool lease (its
+        #: heartbeat failed, or a takeover was observed).  A fenced
+        #: runner stops journaling state transitions — the write fence
+        #: that keeps a zombie owner from corrupting a handed-off
+        #: journal with stale ``done`` records.
+        self.fenced = False
         self.max_attempts = max(1, max_attempts)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -566,13 +620,34 @@ class BatchRunner:
 
     def _journal_state(self, rec: JobRecord, **extra) -> None:
         with self._lock:
+            if self.owner is not None and not self._may_write():
+                if METRICS.enabled:
+                    METRICS.counter_inc(
+                        "repro_persist_fenced_writes_total")
+                return
             entry = {
                 "kind": "state", "id": rec.job_id, "state": rec.state,
                 "attempt": rec.attempts, **extra,
             }
             if self.owner is not None:
                 entry["by"] = self.owner
+                if self.lease.epoch:
+                    entry["epoch"] = self.lease.epoch
             self.journal.append(entry)
+
+    def _may_write(self) -> bool:
+        """Write fence for cluster spools: a runner whose lease moved
+        to another owner must not journal — its in-flight transitions
+        are stale the moment a takeover's epoch supersedes them.  A
+        missing/unreadable lease file never fences (single-node runs
+        and degraded disks keep journaling)."""
+        if self.fenced:
+            return False
+        holder = self.lease.holder()
+        if holder is not None and holder != self.owner:
+            self.fenced = True
+            return False
+        return True
 
     # ----- public state transitions (thread-safe) ---------------------------
 

@@ -254,6 +254,44 @@ class Journal:
         return iter(self.replay(truncate_torn_tail=False))
 
 
+def tear_tail(path: Union[str, Path]) -> bool:
+    """Cut the journal's final framed line in half (a nemesis helper).
+
+    Models the torn tail a power cut leaves behind: the last record's
+    write was interrupted mid-line, so bytes exist but the frame cannot
+    verify.  :meth:`Journal.replay` must detect exactly this shape and
+    truncate back to the last good byte.  Only the *final* line is ever
+    torn — corrupting an interior record would destroy the good suffix
+    behind it, which no single interrupted ``write()`` can do.
+
+    Returns True when a tear was applied (the file had at least one
+    complete line to tear).
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return False
+    body = raw.rstrip(b"\n")
+    if not body:
+        return False
+    start = body.rfind(b"\n") + 1  # 0 when the file has a single line
+    last = body[start:]
+    if len(last) < 2:
+        return False
+    torn = raw[:start] + last[:len(last) // 2]
+    try:
+        with open(path, "wb") as fh:
+            fh.write(torn)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except OSError:
+        return False
+    if METRICS.enabled:
+        METRICS.counter_inc("repro_chaos_injected_total", kind="torn_tail")
+    return True
+
+
 # ----- snapshots (compaction targets) ---------------------------------------
 
 

@@ -68,6 +68,17 @@ class ChaosConfig:
     # flapping replica must be ejected and later re-admitted).
     replica_kill_rate: float = 0.0
     probe_flap_rate: float = 0.0
+    # Network partition: once a link (a named router→replica edge)
+    # partitions, it stays down for the next ``partition_span``
+    # consultations of that same link — count-based persistence keeps
+    # the schedule deterministic where a wall-clock window would not be.
+    partition_rate: float = 0.0
+    partition_span: int = 4
+    # Clock-skewed lease heartbeats: an afflicted lease write backdates
+    # ``renewed_at`` by ``lease_skew_seconds``, making a *live* owner's
+    # heartbeat look stale — split-brain pressure on the takeover path.
+    lease_skew_rate: float = 0.0
+    lease_skew_seconds: float = 60.0
 
 
 @dataclass
@@ -86,6 +97,8 @@ class ChaosLog:
     request_kills: int = 0
     replica_kills: int = 0
     probe_flaps: int = 0
+    partitions: int = 0
+    lease_skews: int = 0
     schedule: list[str] = field(default_factory=list)
 
 
@@ -96,6 +109,8 @@ class ChaosMonkey:
         self.config = config or ChaosConfig(**kwargs)
         self._rng = random.Random(self.config.seed)
         self.log = ChaosLog()
+        #: link → remaining consultations this partition stays down.
+        self._partitions: dict[str, int] = {}
 
     def intercept(self) -> Optional[str]:
         """Called by ``SmtSolver.check()`` on entry.
@@ -268,6 +283,63 @@ class ChaosMonkey:
                 "repro_chaos_injected_total", kind="probe_flap")
         return True
 
+    def is_partitioned(self, link: str) -> bool:
+        """Roll (or continue) a network partition on a named link.
+
+        A link is an edge the caller names (``"router->r0"``,
+        ``"probe->r0"``, ``"adopt->r1"``).  Once a partition starts it
+        holds for the next ``partition_span`` consultations of that
+        same link — modelling an outage that outlives one retry, which
+        is what actually pressures failover and the lease arbiter.
+        """
+        cfg = self.config
+        if not cfg.partition_rate:
+            return False
+        active = self._partitions.get(link, 0)
+        if active > 0:
+            self._partitions[link] = active - 1
+            return True
+        if self._rng.random() >= cfg.partition_rate:
+            return False
+        self._partitions[link] = max(0, cfg.partition_span - 1)
+        self.log.partitions += 1
+        self.log.schedule.append(f"partition:{link}")
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_chaos_injected_total", kind="partition")
+        return True
+
+    def heal_partitions(self) -> None:
+        """Forget every active partition span (the nemesis heal step)."""
+        self._partitions.clear()
+
+    def lease_skew(self) -> float:
+        """Seconds to backdate this lease write's heartbeat (0 = none).
+
+        Consulted by :class:`~repro.persist.batch.SpoolLease` on
+        acquire/renew: a skewed write makes a *live* owner look stale,
+        inviting a takeover while the owner still runs — exactly the
+        split-brain pressure per-write lease fencing must absorb.
+        """
+        cfg = self.config
+        if not cfg.lease_skew_rate:
+            return 0.0
+        if self._rng.random() >= cfg.lease_skew_rate:
+            return 0.0
+        self.log.lease_skews += 1
+        self.log.schedule.append("lease_skew")
+        if METRICS.enabled:
+            METRICS.counter_inc(
+                "repro_chaos_injected_total", kind="lease_skew")
+        return cfg.lease_skew_seconds
+
+    def nemesis(self, kind: str) -> bool:
+        """Scenario-level nemesis consultation (``replica_down``,
+        ``torn_tail``...).  The base monkey never fires these — they
+        are decided by the campaign engine's scheduled subclass, which
+        overrides this to fire at enumerated fault points."""
+        return False
+
     def corrupt_cache_text(self, text: str) -> str:
         """Maybe truncate a cache entry's serialized form before write."""
         cfg = self.config
@@ -285,7 +357,10 @@ class ChaosMonkey:
 
 @contextmanager
 def inject_faults(
-    config: Optional[ChaosConfig] = None, **kwargs
+    config: Optional[ChaosConfig] = None,
+    *,
+    monkey: Optional[ChaosMonkey] = None,
+    **kwargs,
 ) -> Iterator[ChaosMonkey]:
     """Install a :class:`ChaosMonkey` on every ``SmtSolver`` in scope.
 
@@ -294,18 +369,23 @@ def inject_faults(
         with inject_faults(seed=7, unknown_rate=0.3) as monkey:
             report = DafnyBackend(prog).verify_monolithic(3)
         assert monkey.log.unknowns >= 1
+
+    A prebuilt ``monkey`` (e.g. the campaign engine's scheduled
+    subclass) can be passed instead of a config.
     """
     # Imported lazily: repro.smt.solver imports this package's budget
     # module, so a top-level import here would be circular.
     from ..engine import cache as cache_mod
     from ..obs import export as export_mod
+    from ..persist import batch as batch_mod
     from ..persist import checkpoint as ckpt_mod
     from ..persist import journal as journal_mod
     from ..serve import cluster as cluster_mod
     from ..serve import service as serve_mod
     from ..smt import solver as solver_mod
 
-    monkey = ChaosMonkey(config, **kwargs)
+    if monkey is None:
+        monkey = ChaosMonkey(config, **kwargs)
     hooks = [
         solver_mod.SmtSolver,
         cache_mod.ResultCache,
@@ -315,6 +395,7 @@ def inject_faults(
         serve_mod.AnalysisService,
         cluster_mod.ClusterService,
         cluster_mod.ReplicaRegistry,
+        batch_mod.SpoolLease,
     ]
     previous = [cls._chaos for cls in hooks]
     for cls in hooks:
@@ -326,47 +407,111 @@ def inject_faults(
             cls._chaos = prev
 
 
+#: ``REPRO_CHAOS_<suffix>`` → :class:`ChaosConfig` rate field.  Every
+#: in-process hook kind is settable from the environment; the mapping
+#: is also what :func:`chaos_from_env` validates unknown variables
+#: against.
+ENV_RATE_KNOBS: dict[str, str] = {
+    "UNKNOWN": "unknown_rate",
+    "FAULT": "fault_rate",
+    "DELAY": "delay_rate",
+    "PROOF_CORRUPT": "proof_corrupt_rate",
+    "CACHE_CORRUPT": "cache_corrupt_rate",
+    "IO_ERROR": "io_error_rate",
+    "KILL_CHECKPOINT": "kill_checkpoint_rate",
+    "SLOW_CLIENT": "slow_client_rate",
+    "REQUEST_KILL": "request_kill_rate",
+    "REPLICA_KILL": "replica_kill_rate",
+    "PROBE_FLAP": "probe_flap_rate",
+    "PARTITION": "partition_rate",
+    "LEASE_SKEW": "lease_skew_rate",
+}
+
+#: Recognized non-rate knobs (tuning values and cross-process hooks).
+#: ``WORKER_CRASH`` is read by the portfolio worker pool itself
+#: (:mod:`repro.engine.parallel`) — listed here so it never warns.
+ENV_OTHER_KNOBS: dict[str, str] = {
+    "SEED": "seed",
+    "DELAY_SECONDS": "delay_seconds",
+    "SLOW_CLIENT_SECONDS": "slow_client_seconds",
+    "PARTITION_SPAN": "partition_span",
+    "LEASE_SKEW_SECONDS": "lease_skew_seconds",
+    "WORKER_CRASH": "worker_crash_rate",
+    "WORKER_MAX_CRASHES": "worker_max_crashes",
+}
+
+_ENV_PREFIX = "REPRO_CHAOS_"
+_warned_unknown_env = False
+
+
+def _warn_unknown_chaos_env(unknown: list[str]) -> None:
+    """Warn once per process about unrecognized ``REPRO_CHAOS_*``
+    variables, listing the valid knobs (mirrors ``--solver-opt help``:
+    a typoed knob must never silently run fault-free)."""
+    global _warned_unknown_env
+    if _warned_unknown_env:
+        return
+    _warned_unknown_env = True
+    import sys
+
+    valid = sorted(
+        _ENV_PREFIX + k
+        for k in (*ENV_RATE_KNOBS, *ENV_OTHER_KNOBS)
+    )
+    print(
+        f"warning: ignoring unknown chaos variable(s):"
+        f" {', '.join(sorted(unknown))}\n"
+        f"  valid knobs: {', '.join(valid)}",
+        file=sys.stderr,
+    )
+
+
 def chaos_from_env(environ=None):
     """A chaos context built from ``REPRO_CHAOS_*`` (CI smoke harness).
 
-    Reads ``REPRO_CHAOS_IO_ERROR``, ``REPRO_CHAOS_SLOW_CLIENT``,
-    ``REPRO_CHAOS_REQUEST_KILL``, ``REPRO_CHAOS_REPLICA_KILL``,
-    ``REPRO_CHAOS_PROBE_FLAP`` (each a per-call probability) and
-    ``REPRO_CHAOS_SEED``; with every rate unset or zero this is a
-    no-op ``nullcontext``.  ``repro batch run`` and ``repro serve``
-    both enter it, so one environment variable puts an entire CI leg
-    under injected faults.  (Portfolio worker crashes are env-driven
-    separately via ``REPRO_CHAOS_WORKER_CRASH`` in the worker pool.)
+    Every per-call rate in :data:`ENV_RATE_KNOBS` is settable
+    (``REPRO_CHAOS_IO_ERROR=0.2`` …), plus the tuning knobs in
+    :data:`ENV_OTHER_KNOBS` (``REPRO_CHAOS_SEED``,
+    ``REPRO_CHAOS_PARTITION_SPAN``, …); with every rate unset or zero
+    this is a no-op ``nullcontext``.  ``repro batch run`` and ``repro
+    serve`` both enter it, so one environment variable puts an entire
+    CI leg under injected faults.  An unrecognized ``REPRO_CHAOS_*``
+    variable warns once and lists the valid knobs instead of silently
+    running fault-free.  (Portfolio worker crashes stay env-driven
+    inside the worker pool via ``REPRO_CHAOS_WORKER_CRASH``.)
     """
     import os
     from contextlib import nullcontext
 
     env = os.environ if environ is None else environ
 
-    def rate(name: str) -> float:
-        try:
-            value = float(env.get(name, "0"))
-        except ValueError:
-            return 0.0
-        return max(0.0, value)
+    unknown = [
+        name for name in env
+        if name.startswith(_ENV_PREFIX)
+        and name[len(_ENV_PREFIX):] not in ENV_RATE_KNOBS
+        and name[len(_ENV_PREFIX):] not in ENV_OTHER_KNOBS
+    ]
+    if unknown:
+        _warn_unknown_chaos_env(unknown)
 
-    io_error = rate("REPRO_CHAOS_IO_ERROR")
-    slow_client = rate("REPRO_CHAOS_SLOW_CLIENT")
-    request_kill = rate("REPRO_CHAOS_REQUEST_KILL")
-    replica_kill = rate("REPRO_CHAOS_REPLICA_KILL")
-    probe_flap = rate("REPRO_CHAOS_PROBE_FLAP")
-    if not (io_error or slow_client or request_kill
-            or replica_kill or probe_flap):
+    def value_of(name: str, cast, default):
+        try:
+            return cast(env.get(_ENV_PREFIX + name, default))
+        except (TypeError, ValueError):
+            return cast(default)
+
+    kwargs = {}
+    for suffix, field_name in ENV_RATE_KNOBS.items():
+        rate = max(0.0, value_of(suffix, float, "0"))
+        if rate:
+            kwargs[field_name] = rate
+    if not kwargs:
         return nullcontext()
-    try:
-        seed = int(env.get("REPRO_CHAOS_SEED", "0"))
-    except ValueError:
-        seed = 0
-    return inject_faults(
-        seed=seed,
-        io_error_rate=io_error,
-        slow_client_rate=slow_client,
-        request_kill_rate=request_kill,
-        replica_kill_rate=replica_kill,
-        probe_flap_rate=probe_flap,
-    )
+    kwargs["seed"] = value_of("SEED", int, "0")
+    kwargs["delay_seconds"] = value_of("DELAY_SECONDS", float, "0.005")
+    kwargs["slow_client_seconds"] = value_of(
+        "SLOW_CLIENT_SECONDS", float, "0.05")
+    kwargs["partition_span"] = value_of("PARTITION_SPAN", int, "4")
+    kwargs["lease_skew_seconds"] = value_of(
+        "LEASE_SKEW_SECONDS", float, "60")
+    return inject_faults(**kwargs)

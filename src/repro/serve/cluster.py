@@ -282,7 +282,9 @@ class ReplicaRegistry:
                 return False
             replica.probes += 1
         chaos = self._chaos
-        flapped = chaos is not None and chaos.should_flap_probe()
+        flapped = chaos is not None and (
+            chaos.should_flap_probe()
+            or chaos.is_partitioned(f"router->{replica.name}"))
         try:
             if flapped:
                 raise ConnectionError("injected probe flap")
@@ -435,6 +437,13 @@ class ClusterService:
 
     #: Chaos-injection slot (see repro.runtime.chaos.inject_faults).
     _chaos = None
+
+    #: The single-flight handoff claim: at most one takeover per spool,
+    #: ever, even across racing eject cycles.  Exists as a knob ONLY so
+    #: the chaos regression test can disable it and demonstrate the
+    #: duplicate-solve violation the claim prevents — never disable it
+    #: in production.
+    single_flight_handoff = True
 
     #: Read-path fallback rows kept per handed-off job.  A long-lived
     #: router sees many replica deaths; without a cap the records dict
@@ -702,6 +711,13 @@ class ClusterService:
         if chaos is not None and chaos.should_kill_replica():
             self.registry.note_failure(replica)
             return None, {"error": f"injected replica kill {replica.name}"}
+        if chaos is not None and chaos.is_partitioned(
+                f"router->{replica.name}"):
+            # A partitioned link looks exactly like a dead replica to
+            # the router: the connection attempt never completes.
+            self.registry.note_failure(replica)
+            return None, {"error": f"injected partition"
+                                   f" router->{replica.name}"}
         timeout = min(self.config.forward_timeout,
                       max(0.1, deadline - self._clock()))
         client = ServiceClient(
@@ -786,7 +802,8 @@ class ClusterService:
             # one must not repeat (_handoff_done).  The claim is
             # released in the finally so a *refused or failed* handoff
             # can retry on the next eject cycle.
-            if (replica.name in self._handoff_done
+            if self.single_flight_handoff and (
+                    replica.name in self._handoff_done
                     or replica.name in self._handoff_active):
                 return None
             self._handoff_active.add(replica.name)
@@ -822,6 +839,11 @@ class ClusterService:
             report = runner.run(resume=has_journal)
             rows = runner.status().to_json().get("jobs", ())
             runner.close()
+            # Hand the spool back: releasing the takeover lease lets a
+            # restarted (or fenced-but-alive) replica reacquire its own
+            # spool with a plain acquire instead of staying locked out
+            # until the router's lease goes stale.
+            runner.lease.release()
             with self._handoff_lock:
                 self._handoff_done.add(replica.name)
                 # The dead replica can no longer answer reads for these
@@ -903,6 +925,10 @@ class ClusterService:
         return adopted
 
     def _peer_job(self, peer: Replica, job_id: str) -> Optional[dict]:
+        chaos = self._chaos
+        if chaos is not None and chaos.is_partitioned(
+                f"router->{peer.name}"):
+            return None
         client = ServiceClient(
             peer.host, peer.port, timeout=self.config.probe_timeout)
         try:

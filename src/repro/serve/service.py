@@ -166,6 +166,7 @@ class AnalysisService:
             "requests": 0, "admitted": 0, "rejected": 0, "replayed": 0,
             "solved": 0, "degraded": 0, "breaker_fast_unknown": 0,
             "faults": 0, "drained": 0, "probe_lost": 0, "lease_lost": 0,
+            "lease_reacquired": 0,
         }
         obs.enable()
         # Own the spool: force=True because configuration — not a lease
@@ -192,14 +193,30 @@ class AnalysisService:
             self.counters[key] += n
 
     def _lease_heartbeat(self) -> None:
-        """Renew the spool lease well inside its TTL.  A failed renewal
-        means a router took the spool over (it believed us dead): we
-        keep serving — our in-flight answers are still valid — but the
-        journal's new owner is on record and /healthz shows the loss."""
+        """Renew the spool lease well inside its TTL.
+
+        A failed renewal means a router took the spool over (it
+        believed us dead).  We keep *serving* — in-flight answers to
+        connected clients are still valid — but the runner is fenced:
+        a zombie owner journaling stale ``done`` records over a
+        handed-off journal is exactly the split-brain corruption the
+        lease exists to prevent.  Once the usurper's handoff finishes
+        (its lease released or gone stale), a plain non-forced
+        ``acquire`` succeeds and the fence lifts — the replica heals
+        back into full ownership of its spool.
+        """
         interval = max(0.05, self.config.lease_ttl / 3.0)
         while not self._lease_stop.wait(interval):
-            if not self.runner.lease.renew():
-                self._count("lease_lost")
+            if self.runner.lease.renew():
+                continue
+            self._count("lease_lost")
+            self.runner.fenced = True
+            if self.runner.lease.acquire(self.name):
+                self.runner.fenced = False
+                self._count("lease_reacquired")
+                if METRICS.enabled:
+                    METRICS.counter_inc(
+                        "repro_serve_lease_reacquired_total")
 
     # ----- request validation ----------------------------------------------
 

